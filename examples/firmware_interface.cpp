@@ -1,0 +1,84 @@
+// Firmware-style integration: talk to the sensor macro the way an SoC
+// driver would — through the command/status/result register map, polling
+// BUSY, decoding fixed-point registers — while the die's physical state
+// changes underneath.
+//
+//   $ ./examples/firmware_interface
+#include <cstdio>
+
+#include "core/controller.hpp"
+#include "process/variation.hpp"
+
+int main() {
+  using namespace tsvpt;
+  using core::Register;
+  using Command = core::SensorController::Command;
+
+  // The die this macro happens to live on.
+  process::VariationModel variation{device::Technology::tsmc65_like(),
+                                    {process::Point{1e-3, 1e-3}}};
+  Rng rng{77};
+  core::DieEnvironment die;
+  die.vt_delta = variation.sample_die(rng).at(0);
+  die.temperature = to_kelvin(Celsius{31.0});
+
+  core::SensorController macro{core::SensorController::Config{}, 12345};
+
+  auto poll_until_done = [&](const char* op) {
+    std::uint64_t cycles = 0;
+    while (macro.read_register(Register::kStatus) &
+           core::SensorController::kBusy) {
+      macro.tick(die, &rng);
+      ++cycles;
+    }
+    std::printf("  %-9s done in %llu bus cycles (%.1f us @ 25 MHz)\n", op,
+                static_cast<unsigned long long>(cycles),
+                static_cast<double>(cycles) / 25.0);
+  };
+
+  std::printf("boot: STATUS = 0x%04x (expect 0: idle, uncalibrated)\n",
+              macro.read_register(Register::kStatus));
+
+  // --- power-on self-calibration -----------------------------------------
+  std::printf("\nissue CALIBRATE\n");
+  macro.write_command(Command::kCalibrate);
+  poll_until_done("calibrate");
+  const std::uint16_t status = macro.read_register(Register::kStatus);
+  std::printf("  STATUS = 0x%04x (CALIBRATED|DONE)\n", status);
+  std::printf("  TEMP   = %.2f degC   (true %.2f)\n",
+              core::SensorController::decode_temp(
+                  macro.read_register(Register::kTemp)),
+              to_celsius(die.temperature).value());
+  std::printf("  DVTN   = %+.2f mV    (true %+.2f)\n",
+              core::SensorController::decode_vt(
+                  macro.read_register(Register::kDvtn)) * 1e3,
+              die.vt_delta.nmos.value() * 1e3);
+  std::printf("  DVTP   = %+.2f mV    (true %+.2f)\n",
+              core::SensorController::decode_vt(
+                  macro.read_register(Register::kDvtp)) * 1e3,
+              die.vt_delta.pmos.value() * 1e3);
+  std::printf("  ENERGY = %u pJ\n", macro.read_register(Register::kEnergy));
+
+  // --- periodic temperature polling ---------------------------------------
+  std::printf("\npolling loop (die heats up under load):\n");
+  for (double t : {35.0, 52.0, 71.0, 66.0, 48.0}) {
+    die = die.at_celsius(Celsius{t});
+    macro.write_command(Command::kConvert);
+    poll_until_done("convert");
+    std::printf("    TEMP = %.2f degC (true %.2f), ENERGY = %u pJ\n",
+                core::SensorController::decode_temp(
+                    macro.read_register(Register::kTemp)),
+                t, macro.read_register(Register::kEnergy));
+  }
+
+  // --- reset & auto-calibration path --------------------------------------
+  std::printf("\nissue SOFT_RESET, then CONVERT (auto-calibrates)\n");
+  macro.write_command(Command::kSoftReset);
+  macro.write_command(Command::kConvert);
+  poll_until_done("convert");
+  std::printf("  STATUS = 0x%04x, TEMP = %.2f degC\n",
+              macro.read_register(Register::kStatus),
+              core::SensorController::decode_temp(
+                  macro.read_register(Register::kTemp)));
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a PT sensor, drop it on a die with process variation,
+// self-calibrate once at power-on, then read temperature and the extracted
+// process point.
+//
+//   $ ./examples/quickstart
+#include <iostream>
+
+#include "core/pt_sensor.hpp"
+#include "process/variation.hpp"
+
+int main() {
+  using namespace tsvpt;
+
+  // 1. The technology card (a behavioral TSMC-65nm-like model).
+  const device::Technology tech = device::Technology::tsmc65_like();
+
+  // 2. Draw a die from the statistical process: this is the (unknown to the
+  //    sensor) threshold-voltage deviation the sensor must extract.
+  process::VariationModel variation{tech, {process::Point{2.5e-3, 2.5e-3}}};
+  Rng rng{2026};
+  const process::DieVariation die = variation.sample_die(rng);
+  const device::VtDelta truth = die.at(0);
+
+  // 3. Instantiate the sensor macro.  The seed individualizes the instance
+  //    (its internal device mismatch), exactly like a physical chip.
+  core::PtSensor sensor{core::PtSensor::Config{}, /*instance_seed=*/1};
+
+  // 4. The physical environment: 63.2 degC junction, the die's deviation.
+  core::DieEnvironment env;
+  env.temperature = to_kelvin(Celsius{63.2});
+  env.vt_delta = truth;
+
+  // 5. One full self-calibrating conversion: measures the three ring
+  //    oscillators and decouples (dVtn, dVtp, T) — no external references.
+  const auto estimate = sensor.self_calibrate(env, &rng);
+  std::cout << "self-calibration (" << (estimate.converged ? "converged" : "FAILED")
+            << " in " << estimate.iterations << " Newton iterations)\n"
+            << "  dVtn: estimated " << estimate.dvtn.value() * 1e3
+            << " mV, true " << truth.nmos.value() * 1e3 << " mV\n"
+            << "  dVtp: estimated " << estimate.dvtp.value() * 1e3
+            << " mV, true " << truth.pmos.value() * 1e3 << " mV\n"
+            << "  T:    estimated " << to_celsius(estimate.temperature).value()
+            << " degC, true 63.2 degC\n"
+            << "  energy: " << estimate.energy.value() * 1e12
+            << " pJ for the full conversion\n\n";
+
+  // 6. Cheap tracking conversions follow the temperature using the latched
+  //    process point (TDRO window only).
+  std::cout << "tracking reads:\n";
+  for (double t : {20.0, 45.0, 85.0}) {
+    const auto reading = sensor.read(env.at_celsius(Celsius{t}), &rng);
+    std::cout << "  true " << t << " degC -> sensed "
+              << reading.temperature.value() << " degC  ("
+              << reading.energy.value() * 1e12 << " pJ)\n";
+  }
+  return 0;
+}

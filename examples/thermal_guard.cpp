@@ -1,0 +1,93 @@
+// Thermal guard: closed-loop thermal management driven by the sensor
+// network.  A hot workload pushes the stack past its limit; the guard
+// throttles power when any *sensed* temperature crosses the trip point.
+// Runs the same scenario unguarded, guarded-by-PT-sensor, and guarded by a
+// deliberately miscalibrated monitor, to show what sensing accuracy buys.
+//
+//   $ ./examples/thermal_guard
+#include <iostream>
+
+#include "core/stack_monitor.hpp"
+#include "process/variation.hpp"
+#include "sim/thermal_guard.hpp"
+#include "thermal/workload.hpp"
+
+namespace {
+
+using namespace tsvpt;
+
+std::vector<core::SensorSite> build_sites(const thermal::StackConfig& stack,
+                                          Volt extra_shift) {
+  std::vector<core::SensorSite> sites =
+      core::StackMonitor::uniform_sites(stack, 2, 2);
+  std::vector<process::Point> points;
+  for (std::size_t i = 0; i < 4; ++i) points.push_back(sites[i].location);
+  process::VariationModel variation{device::Technology::tsmc65_like(), points};
+  Rng rng{11};
+  for (std::size_t d = 0; d < stack.die_count(); ++d) {
+    const process::DieVariation die = variation.sample_die(rng);
+    for (std::size_t i = 0; i < 4; ++i) {
+      device::VtDelta delta = die.at(i);
+      delta.nmos += extra_shift;
+      delta.pmos += extra_shift;
+      sites[d * 4 + i].vt_delta = delta;
+    }
+  }
+  return sites;
+}
+
+}  // namespace
+
+int main() {
+  const thermal::StackConfig stack = thermal::StackConfig::four_die_stack();
+  const thermal::Workload hot = thermal::Workload::burst_idle(
+      stack, Watt{16.0}, Watt{1.0}, Second{60e-3}, 3);
+
+  sim::ThermalGuard::Config guard_cfg;
+  guard_cfg.throttle_on = Celsius{70.0};
+  guard_cfg.throttle_off = Celsius{62.0};
+  guard_cfg.throttle_factor = 0.25;
+  guard_cfg.sample_period = Second{2e-3};
+  guard_cfg.thermal_step = Second{0.5e-3};
+  const sim::ThermalGuard guard{guard_cfg};
+
+  struct Scenario {
+    const char* name;
+    bool enabled;
+    Volt sensor_skew;  // extra uncorrected shift injected into sensor sites
+    bool calibrated;
+  };
+  const Scenario scenarios[] = {
+      {"unguarded", false, Volt{0.0}, true},
+      {"guarded, self-calibrated PT sensors", true, Volt{0.0}, true},
+      {"guarded, sensors read through typical model (no self-cal)", true,
+       Volt{0.0}, false},
+  };
+
+  std::cout << "trip point " << guard_cfg.throttle_on.value()
+            << " degC; peak power " << 16.0 << " W bursts\n\n";
+  for (const Scenario& s : scenarios) {
+    thermal::ThermalNetwork network{stack};
+    std::vector<core::SensorSite> sites = build_sites(stack, s.sensor_skew);
+    core::PtSensor::Config cfg;
+    if (!s.calibrated) {
+      // Emulate a never-calibrated monitor: zero out its knowledge of the
+      // die by inflating the mismatch it cannot correct.
+      cfg.ro_mismatch_sigma = Volt{12e-3};  // ~ die-level scatter left in
+    }
+    core::StackMonitor monitor{&network, cfg, sites, 21};
+    const auto result =
+        guard.run(network, hot, monitor, Second{180e-3}, 33, s.enabled);
+    std::cout << s.name << ":\n"
+              << "  max true " << result.max_true.value() << " degC, max sensed "
+              << result.max_sensed.value() << " degC\n"
+              << "  over-limit integral " << result.overshoot_integral
+              << " degC*s, throttled " << 100.0 * result.throttled_fraction
+              << "% of samples (" << result.throttle_events << " trip events)\n\n";
+  }
+
+  std::cout << "Takeaway: the guard only works as well as its sensors — the\n"
+               "self-calibrated monitor trips on time; an uncalibrated one\n"
+               "mis-times the trip and either overshoots or over-throttles.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Wafer report: an ASCII wafer map of sensed process speed, reconstructed
+// purely from each packaged part's power-on self-calibration — the fab
+// feedback loop without wafer probe.  Each cell is one sampled die, binned
+// by its sensor-extracted critical-path speed.
+//
+//   $ ./examples/wafer_report
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "circuit/ring_oscillator.hpp"
+#include "core/pt_sensor.hpp"
+#include "process/wafer.hpp"
+
+int main() {
+  using namespace tsvpt;
+  const device::Technology tech = device::Technology::tsmc65_like();
+  const process::WaferModel wafer{process::WaferParams{}, 7};
+  const circuit::RingOscillator path =
+      circuit::RingOscillator::make(tech, circuit::RoTopology::kStandard);
+
+  auto speed_of = [&](device::VtDelta d) {
+    circuit::OperatingPoint op;
+    op.vdd = Volt{1.0};
+    op.temperature = to_kelvin(Celsius{25.0});
+    op.vt_delta = d;
+    return path.frequency(op).value() / 1e6;
+  };
+
+  // Sense every 4th die; keep a coarse (x, y) grid for display.
+  std::map<std::pair<int, int>, double> sensed_speed;
+  double lo = 1e30;
+  double hi = -1e30;
+  const double pitch = wafer.params().die_pitch_x.value();
+  for (std::size_t i = 0; i < wafer.die_count(); i += 4) {
+    const process::Point site = wafer.die_sites()[i];
+    core::PtSensor sensor{core::PtSensor::Config{}, derive_seed(3, i)};
+    Rng noise{derive_seed(4, i)};
+    core::DieEnvironment env;
+    env.temperature = to_kelvin(Celsius{noise.uniform(20.0, 35.0)});
+    env.vt_delta = wafer.die_offset(i);
+    const auto est = sensor.self_calibrate(env, &noise);
+    const double mhz = speed_of({est.dvtn, est.dvtp});
+    const int gx = static_cast<int>(std::lround(site.x / (2.0 * pitch)));
+    const int gy = static_cast<int>(std::lround(site.y / (2.0 * pitch)));
+    sensed_speed[{gx, gy}] = mhz;
+    lo = std::min(lo, mhz);
+    hi = std::max(hi, mhz);
+  }
+
+  // 5 speed bins, '1' fastest.
+  auto bin_of = [&](double mhz) {
+    const double norm = (hi - mhz) / (hi - lo + 1e-12);
+    return 1 + std::min(4, static_cast<int>(norm * 5.0));
+  };
+
+  std::printf("sensed speed map (MHz bins: 1 fastest .. 5 slowest, '.' = "
+              "outside wafer)\n");
+  std::printf("range: %.0f .. %.0f MHz\n\n", lo, hi);
+  const int extent = static_cast<int>(
+      std::lround(wafer.params().radius.value() / (2.0 * pitch)));
+  for (int gy = extent; gy >= -extent; --gy) {
+    std::printf("  ");
+    for (int gx = -extent; gx <= extent; ++gx) {
+      const auto it = sensed_speed.find({gx, gy});
+      if (it == sensed_speed.end()) {
+        std::printf(". ");
+      } else {
+        std::printf("%d ", bin_of(it->second));
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nThe radial bowl (slow edge, fast center) and the wafer's "
+              "tilt are visible —\nreconstructed entirely from packaged "
+              "parts' self-calibrations.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Lookup tables with interpolation — the hardware-realistic calibration
+// store.  A silicon implementation keeps its calibration as a small LUT in
+// fuses or SRAM; these classes model exactly that (including an optional
+// fixed-point quantization of stored values).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tsvpt::calib {
+
+/// 1-D table y = f(x) over a uniform x grid with linear interpolation.
+/// Queries outside the grid extrapolate linearly from the end segments.
+class Lut1D {
+ public:
+  Lut1D(double x_lo, double x_hi, std::vector<double> values);
+
+  [[nodiscard]] double x_lo() const { return x_lo_; }
+  [[nodiscard]] double x_hi() const { return x_hi_; }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Inverse lookup: find x with f(x) = y.  Requires the stored values to be
+  /// strictly monotone; throws std::runtime_error otherwise or when y is out
+  /// of range.
+  [[nodiscard]] double invert(double y) const;
+
+  [[nodiscard]] bool is_monotone() const;
+
+  /// Quantize stored values to `bits`-wide fixed point over their own range
+  /// (models an on-chip register file).  Returns the worst quantization
+  /// error introduced.
+  double quantize(unsigned bits);
+
+ private:
+  double x_lo_;
+  double x_hi_;
+  double step_;
+  std::vector<double> values_;
+};
+
+/// 2-D table z = f(x, y) on a uniform grid with bilinear interpolation;
+/// out-of-range queries clamp to the grid edge.
+class Lut2D {
+ public:
+  Lut2D(double x_lo, double x_hi, std::size_t nx, double y_lo, double y_hi,
+        std::size_t ny);
+
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] double x_at(std::size_t i) const;
+  [[nodiscard]] double y_at(std::size_t j) const;
+
+  [[nodiscard]] double& cell(std::size_t i, std::size_t j);
+  [[nodiscard]] double cell(std::size_t i, std::size_t j) const;
+
+  [[nodiscard]] double operator()(double x, double y) const;
+
+ private:
+  double x_lo_;
+  double x_hi_;
+  double y_lo_;
+  double y_hi_;
+  std::size_t nx_;
+  std::size_t ny_;
+  std::vector<double> cells_;
+};
+
+}  // namespace tsvpt::calib

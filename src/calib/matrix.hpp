@@ -1,0 +1,63 @@
+// Small dense matrix/vector algebra for calibration math and the thermal
+// solver.  Deliberately minimal: row-major storage, bounds-checked access,
+// and only the operations the project uses.  Sizes here are tiny (3x3
+// decoupling systems, ~tens of fit coefficients) to moderate (thermal grids
+// handled via the sparse solver, not this class).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace tsvpt::calib {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+  /// Unchecked access for hot loops.
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] Vector operator*(const Vector& v) const;
+  [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator*(double s) const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double norm() const;
+
+  [[nodiscard]] std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Vector helpers.
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+[[nodiscard]] double norm2(const Vector& v);
+[[nodiscard]] Vector operator+(const Vector& a, const Vector& b);
+[[nodiscard]] Vector operator-(const Vector& a, const Vector& b);
+[[nodiscard]] Vector operator*(double s, const Vector& v);
+
+}  // namespace tsvpt::calib

@@ -1,0 +1,172 @@
+#include "calib/newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "calib/linalg.hpp"
+
+namespace tsvpt::calib {
+namespace {
+
+double inf_norm(const Vector& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+void clamp_to_box(Vector& x, const NewtonOptions& opt) {
+  if (!opt.lower_bounds.empty()) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = std::max(x[i], opt.lower_bounds[i]);
+    }
+  }
+  if (!opt.upper_bounds.empty()) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = std::min(x[i], opt.upper_bounds[i]);
+    }
+  }
+}
+
+}  // namespace
+
+NewtonResult newton_solve(const std::function<Vector(const Vector&)>& f,
+                          Vector x0, const NewtonOptions& options) {
+  const std::size_t n = x0.size();
+  if (!options.lower_bounds.empty() && options.lower_bounds.size() != n) {
+    throw std::invalid_argument{"newton: bounds shape"};
+  }
+  if (!options.upper_bounds.empty() && options.upper_bounds.size() != n) {
+    throw std::invalid_argument{"newton: bounds shape"};
+  }
+
+  NewtonResult result;
+  result.x = std::move(x0);
+  clamp_to_box(result.x, options);
+  Vector fx = f(result.x);
+  if (fx.size() != n) throw std::invalid_argument{"newton: non-square system"};
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it;
+    result.residual = inf_norm(fx);
+    if (result.residual < options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+
+    // Forward-difference Jacobian.
+    Matrix jac{n, n};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double h =
+          options.jacobian_step * std::max(1.0, std::abs(result.x[j]));
+      Vector xh = result.x;
+      xh[j] += h;
+      const Vector fh = f(xh);
+      for (std::size_t i = 0; i < n; ++i) {
+        jac(i, j) = (fh[i] - fx[i]) / h;
+      }
+    }
+
+    Vector step;
+    try {
+      Vector rhs = fx;
+      for (double& v : rhs) v = -v;
+      step = lu_solve(jac, rhs);
+    } catch (const std::runtime_error&) {
+      // Singular Jacobian: bail out with converged=false.
+      return result;
+    }
+
+    // Backtracking line search on ||f||_inf.
+    double lambda = 1.0;
+    bool accepted = false;
+    for (int bt = 0; bt < options.max_backtracks; ++bt) {
+      Vector candidate = result.x + lambda * step;
+      clamp_to_box(candidate, options);
+      Vector fc = f(candidate);
+      if (inf_norm(fc) < result.residual) {
+        result.x = std::move(candidate);
+        fx = std::move(fc);
+        accepted = true;
+        break;
+      }
+      lambda *= options.backtrack;
+    }
+    if (!accepted) {
+      // No descent direction found; accept the full step once in case we
+      // are at a flat spot, then give up next iteration if still stuck.
+      Vector candidate = result.x + lambda * step;
+      clamp_to_box(candidate, options);
+      Vector fc = f(candidate);
+      if (inf_norm(fc) >= result.residual) return result;
+      result.x = std::move(candidate);
+      fx = std::move(fc);
+    }
+  }
+  result.residual = inf_norm(fx);
+  result.converged = result.residual < options.tolerance;
+  return result;
+}
+
+double brent_root(const std::function<double(double)>& f, double lo, double hi,
+                  double tolerance, int max_iterations) {
+  double a = lo;
+  double b = hi;
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  if (fa * fb > 0.0) throw std::runtime_error{"brent_root: not bracketed"};
+
+  // Keep b the best estimate.
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a;
+  double fc = fa;
+  bool bisected = true;
+  double d = 0.0;
+
+  for (int it = 0; it < max_iterations; ++it) {
+    if (std::abs(fb) < tolerance || std::abs(b - a) < tolerance) return b;
+    double s;
+    if (fa != fc && fb != fc) {
+      // Inverse quadratic interpolation.
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // Secant.
+      s = b - fb * (b - a) / (fb - fa);
+    }
+    const double mid = 0.5 * (a + b);
+    const bool out_of_range = (s < std::min(mid, b)) || (s > std::max(mid, b));
+    if (out_of_range ||
+        (bisected && std::abs(s - b) >= 0.5 * std::abs(b - c)) ||
+        (!bisected && std::abs(s - b) >= 0.5 * std::abs(c - d))) {
+      s = mid;
+      bisected = true;
+    } else {
+      bisected = false;
+    }
+    const double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if (fa * fs < 0.0) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::abs(fa) < std::abs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+  }
+  return b;
+}
+
+}  // namespace tsvpt::calib

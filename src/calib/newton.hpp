@@ -1,0 +1,48 @@
+// Nonlinear solvers: damped multivariate Newton with numerical Jacobian, and
+// a robust scalar root bracket solver.  The self-calibration engine inverts
+// the oscillator-bank model F(Vtn, Vtp, T) = f_measured with these.
+#pragma once
+
+#include <functional>
+
+#include "calib/matrix.hpp"
+
+namespace tsvpt::calib {
+
+/// Result of a Newton solve.
+struct NewtonResult {
+  Vector x;
+  bool converged = false;
+  int iterations = 0;
+  /// Final residual infinity-norm.
+  double residual = 0.0;
+};
+
+struct NewtonOptions {
+  int max_iterations = 60;
+  /// Convergence threshold on the residual infinity-norm (in the residual's
+  /// own units — callers should scale their residuals sensibly).
+  double tolerance = 1e-12;
+  /// Relative step used for the forward-difference Jacobian.
+  double jacobian_step = 1e-6;
+  /// Backtracking line-search shrink factor and maximum trials.
+  double backtrack = 0.5;
+  int max_backtracks = 20;
+  /// Optional box constraints (empty = unconstrained).
+  Vector lower_bounds;
+  Vector upper_bounds;
+};
+
+/// Solve F(x) = 0 for square systems.  `f` maps an n-vector to an n-vector.
+[[nodiscard]] NewtonResult newton_solve(
+    const std::function<Vector(const Vector&)>& f, Vector x0,
+    const NewtonOptions& options = {});
+
+/// Robust 1-D root of f on [lo, hi] (Brent-style bisection/secant hybrid).
+/// Requires f(lo) and f(hi) to bracket a root; throws otherwise.
+[[nodiscard]] double brent_root(const std::function<double(double)>& f,
+                                double lo, double hi,
+                                double tolerance = 1e-12,
+                                int max_iterations = 200);
+
+}  // namespace tsvpt::calib

@@ -1,0 +1,114 @@
+#include "calib/polyfit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "calib/linalg.hpp"
+
+namespace tsvpt::calib {
+
+Polynomial::Polynomial(Vector coefficients) : coeffs_(std::move(coefficients)) {
+  if (coeffs_.empty()) throw std::invalid_argument{"empty polynomial"};
+}
+
+double Polynomial::operator()(double x) const {
+  double acc = 0.0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) acc = acc * x + coeffs_[i];
+  return acc;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (coeffs_.size() <= 1) return Polynomial{Vector{0.0}};
+  Vector d(coeffs_.size() - 1);
+  for (std::size_t i = 1; i < coeffs_.size(); ++i) {
+    d[i - 1] = coeffs_[i] * static_cast<double>(i);
+  }
+  return Polynomial{std::move(d)};
+}
+
+double Polynomial::invert(double y, double lo, double hi,
+                          double tolerance) const {
+  double flo = (*this)(lo) - y;
+  double fhi = (*this)(hi) - y;
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if (flo * fhi > 0.0) {
+    throw std::runtime_error{"Polynomial::invert: y not bracketed"};
+  }
+  const Polynomial deriv = derivative();
+  double a = lo;
+  double b = hi;
+  double x = 0.5 * (a + b);
+  for (int it = 0; it < 200; ++it) {
+    const double fx = (*this)(x)-y;
+    if (std::abs(fx) < tolerance || 0.5 * (b - a) < tolerance) return x;
+    if ((flo < 0.0) == (fx < 0.0)) {
+      a = x;
+      flo = fx;
+    } else {
+      b = x;
+    }
+    const double dfx = deriv(x);
+    double next = dfx != 0.0 ? x - fx / dfx : x;
+    if (next <= a || next >= b) next = 0.5 * (a + b);  // fall back: bisection
+    x = next;
+  }
+  return x;
+}
+
+Polynomial polyfit(const std::vector<double>& x, const std::vector<double>& y,
+                   std::size_t degree) {
+  if (x.size() != y.size()) throw std::invalid_argument{"polyfit shape"};
+  if (x.size() < degree + 1) {
+    throw std::invalid_argument{"polyfit: too few samples for degree"};
+  }
+  // Center/scale x for conditioning.
+  const auto [min_it, max_it] = std::minmax_element(x.begin(), x.end());
+  const double center = 0.5 * (*min_it + *max_it);
+  double scale = 0.5 * (*max_it - *min_it);
+  if (scale == 0.0) scale = 1.0;
+
+  Matrix a{x.size(), degree + 1};
+  Vector b = y;
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    const double t = (x[r] - center) / scale;
+    double p = 1.0;
+    for (std::size_t c = 0; c <= degree; ++c) {
+      a(r, c) = p;
+      p *= t;
+    }
+  }
+  const Vector scaled = qr_least_squares(std::move(a), std::move(b));
+
+  // Expand q(t) with t = (x - center)/scale back to coefficients in x by
+  // repeated synthetic substitution: accumulate (x - center)^k / scale^k.
+  Vector coeffs(degree + 1, 0.0);
+  Vector basis{1.0};  // (x-center)^0 / scale^0 in x-coefficients
+  for (std::size_t k = 0; k <= degree; ++k) {
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+      coeffs[i] += scaled[k] * basis[i];
+    }
+    if (k == degree) break;
+    // basis *= (x - center) / scale
+    Vector next(basis.size() + 1, 0.0);
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+      next[i + 1] += basis[i] / scale;
+      next[i] -= basis[i] * center / scale;
+    }
+    basis = std::move(next);
+  }
+  return Polynomial{std::move(coeffs)};
+}
+
+double max_residual(const Polynomial& p, const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  if (x.size() != y.size()) throw std::invalid_argument{"max_residual shape"};
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    worst = std::max(worst, std::abs(p(x[i]) - y[i]));
+  }
+  return worst;
+}
+
+}  // namespace tsvpt::calib

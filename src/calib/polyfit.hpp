@@ -1,0 +1,52 @@
+// Polynomial fitting and evaluation — the on-chip-feasible calibration model
+// (a LUT/polynomial is what a real sensor macro would store in fuses/SRAM).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "calib/matrix.hpp"
+
+namespace tsvpt::calib {
+
+/// Polynomial with coefficients in ascending-power order:
+/// p(x) = c0 + c1 x + c2 x^2 + ...
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(Vector coefficients);
+
+  [[nodiscard]] std::size_t degree() const {
+    return coeffs_.empty() ? 0 : coeffs_.size() - 1;
+  }
+  [[nodiscard]] const Vector& coefficients() const { return coeffs_; }
+
+  /// Horner evaluation.
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Analytic derivative polynomial.
+  [[nodiscard]] Polynomial derivative() const;
+
+  /// Solve p(x) = y on [lo, hi] by safeguarded Newton/bisection.  Requires
+  /// p monotone over the bracket (checked via endpoint values); throws
+  /// std::runtime_error when y is outside the bracketed range.
+  [[nodiscard]] double invert(double y, double lo, double hi,
+                              double tolerance = 1e-12) const;
+
+ private:
+  Vector coeffs_;
+};
+
+/// Least-squares polynomial fit of given degree through (x, y) samples.
+/// Centers and scales x internally for conditioning; the returned polynomial
+/// is in the *original* x variable.
+[[nodiscard]] Polynomial polyfit(const std::vector<double>& x,
+                                 const std::vector<double>& y,
+                                 std::size_t degree);
+
+/// Maximum absolute residual of a polynomial over sample pairs.
+[[nodiscard]] double max_residual(const Polynomial& p,
+                                  const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+}  // namespace tsvpt::calib

@@ -1,0 +1,69 @@
+#include "circuit/counter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvpt::circuit {
+
+FrequencyCounter::FrequencyCounter(Config config) : config_(config) {
+  if (config_.window.value() <= 0.0) {
+    throw std::invalid_argument{"FrequencyCounter: window <= 0"};
+  }
+  if (config_.reference.nominal.value() <= 0.0) {
+    throw std::invalid_argument{"FrequencyCounter: reference <= 0"};
+  }
+  if (config_.counter_bits == 0 || config_.counter_bits > 63) {
+    throw std::invalid_argument{"FrequencyCounter: counter_bits"};
+  }
+  ref_cycles_ = static_cast<std::uint64_t>(std::llround(
+      config_.window.value() * config_.reference.nominal.value()));
+  if (ref_cycles_ == 0) {
+    throw std::invalid_argument{
+        "FrequencyCounter: window shorter than one reference cycle"};
+  }
+}
+
+Second FrequencyCounter::nominal_window() const {
+  return Second{static_cast<double>(ref_cycles_) /
+                config_.reference.nominal.value()};
+}
+
+Hertz FrequencyCounter::resolution() const {
+  return Hertz{1.0 / nominal_window().value()};
+}
+
+FrequencyCounter::Reading FrequencyCounter::measure(Hertz true_frequency,
+                                                    Rng* rng) const {
+  if (true_frequency.value() < 0.0) {
+    throw std::invalid_argument{"FrequencyCounter: negative frequency"};
+  }
+  // Physical window: ref_cycles of the *actual* reference, plus edge jitter.
+  double window = static_cast<double>(ref_cycles_) /
+                  config_.reference.actual().value();
+  if (rng != nullptr) {
+    window += window * 1e-6 * config_.reference.jitter_ppm_rms *
+              rng->gaussian();
+  }
+  window = std::max(window, 0.0);
+
+  // Edges captured in the window; the sampling phase adds the fractional
+  // uncertainty that makes quantization ±1 count rather than a fixed floor.
+  const double edges = true_frequency.value() * window;
+  const double phase = rng != nullptr ? rng->uniform() : 0.5;
+  auto count = static_cast<std::uint64_t>(std::floor(edges + phase));
+
+  Reading reading;
+  const std::uint64_t max_count =
+      (1ULL << config_.counter_bits) - 1;
+  if (count > max_count) {
+    count = max_count;
+    reading.saturated = true;
+  }
+  reading.count = count;
+  reading.actual_window = Second{window};
+  reading.measured =
+      Hertz{static_cast<double>(count) / nominal_window().value()};
+  return reading;
+}
+
+}  // namespace tsvpt::circuit

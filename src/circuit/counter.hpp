@@ -1,0 +1,67 @@
+// Frequency-to-digital conversion: a ripple counter gated by a window derived
+// from a reference clock.  Models the three real error sources of the scheme:
+// quantization (±1 count), reference-frequency error (systematic ppm offset
+// per instance), and window jitter (accumulated cycle jitter).
+#pragma once
+
+#include <cstdint>
+
+#include "ptsim/rng.hpp"
+#include "ptsim/units.hpp"
+
+namespace tsvpt::circuit {
+
+/// The on-chip (or forwarded) reference clock that times the count window.
+struct ReferenceClock {
+  Hertz nominal{25e6};
+  /// Per-instance systematic frequency error, parts-per-million.
+  double systematic_ppm = 0.0;
+  /// RMS window-edge jitter as ppm of the window length.
+  double jitter_ppm_rms = 5.0;
+
+  [[nodiscard]] Hertz actual() const {
+    return Hertz{nominal.value() * (1.0 + systematic_ppm * 1e-6)};
+  }
+};
+
+class FrequencyCounter {
+ public:
+  struct Config {
+    ReferenceClock reference;
+    /// Nominal gate window (realized as a whole number of ref cycles).
+    Second window{2e-6};
+    /// Counter width; overflow saturates and flags the reading.
+    unsigned counter_bits = 16;
+  };
+
+  struct Reading {
+    std::uint64_t count = 0;
+    /// count / nominal_window — what the digital side believes it measured.
+    Hertz measured{0.0};
+    /// The physical window that actually elapsed (for diagnostics).
+    Second actual_window{0.0};
+    bool saturated = false;
+  };
+
+  explicit FrequencyCounter(Config config);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Gate window as actually realized: a whole number of reference cycles.
+  [[nodiscard]] Second nominal_window() const;
+  [[nodiscard]] std::uint64_t reference_cycles() const { return ref_cycles_; }
+
+  /// Frequency quantization step (LSB) of one reading.
+  [[nodiscard]] Hertz resolution() const;
+
+  /// Measure a signal of the given true frequency.  When `rng` is non-null,
+  /// sampling phase and window jitter are randomized; with nullptr the
+  /// measurement is the deterministic expected value (useful in tests).
+  [[nodiscard]] Reading measure(Hertz true_frequency, Rng* rng = nullptr) const;
+
+ private:
+  Config config_;
+  std::uint64_t ref_cycles_;
+};
+
+}  // namespace tsvpt::circuit

@@ -1,0 +1,21 @@
+#include "circuit/energy.hpp"
+
+namespace tsvpt::circuit {
+
+void ConversionEnergyModel::add_oscillator_window(Joule energy_per_cycle,
+                                                  std::uint64_t cycles,
+                                                  Second window) {
+  breakdown_.oscillators +=
+      Joule{energy_per_cycle.value() * static_cast<double>(cycles)};
+  breakdown_.counters +=
+      Joule{params_.per_count.value() * static_cast<double>(cycles)};
+  active_time_ += window;
+}
+
+ConversionEnergyBreakdown ConversionEnergyModel::finish() {
+  breakdown_.control = params_.control_fixed + auxiliary_;
+  breakdown_.bias = params_.bias_static * active_time_;
+  return breakdown_;
+}
+
+}  // namespace tsvpt::circuit

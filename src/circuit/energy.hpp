@@ -1,0 +1,80 @@
+// Energy accounting for one sensor conversion.
+//
+// A conversion runs each enabled oscillator for one count window and then
+// executes the digital decoupling/readout step.  Components:
+//   * oscillator dynamic energy: E_cycle(VDD) x cycles counted,
+//   * counter energy: per-increment switching of the ripple counter,
+//   * digital/control energy: FSM, bias DAC settle, decoupling arithmetic,
+//     readout latching — a fixed cost per conversion,
+//   * bias/static power integrated over the active time.
+//
+// The fixed digital cost is the one free parameter, calibrated so that the
+// default sensor configuration lands on the paper's 367.5 pJ/conversion
+// headline; the *scaling behaviour* (linear in window length, per-RO
+// breakdown) is model-driven and is what bench T1 reproduces.
+#pragma once
+
+#include <cstdint>
+
+#include "ptsim/units.hpp"
+
+namespace tsvpt::circuit {
+
+struct ConversionEnergyParams {
+  /// Energy per counter increment (flip-flop cascade average toggles).
+  Joule per_count{20e-15};
+  /// Fixed digital cost per conversion (control FSM + decoupling math).
+  /// Calibrated so the default full conversion totals the paper's
+  /// 367.5 pJ/conversion headline at 25 degC nominal (see EXPERIMENTS.md).
+  Joule control_fixed{235.7e-12};
+  /// Bias network static power while the conversion is active.
+  Watt bias_static{2e-6};
+};
+
+struct ConversionEnergyBreakdown {
+  Joule oscillators{0.0};
+  Joule counters{0.0};
+  Joule control{0.0};
+  Joule bias{0.0};
+
+  [[nodiscard]] Joule total() const {
+    return oscillators + counters + control + bias;
+  }
+};
+
+class ConversionEnergyModel {
+ public:
+  ConversionEnergyModel() = default;
+  explicit ConversionEnergyModel(ConversionEnergyParams params)
+      : params_(params) {}
+
+  [[nodiscard]] const ConversionEnergyParams& params() const {
+    return params_;
+  }
+
+  /// Begin a conversion's accounting.
+  void reset() {
+    breakdown_ = {};
+    auxiliary_ = Joule{0.0};
+    active_time_ = Second{0.0};
+  }
+
+  /// Record one oscillator's window: its dynamic energy and counts.
+  void add_oscillator_window(Joule energy_per_cycle, std::uint64_t cycles,
+                             Second window);
+
+  /// Record an auxiliary block's fixed cost (e.g. a VDD-monitor sample);
+  /// reported under the control component.
+  void add_auxiliary(Joule energy) { auxiliary_ += energy; }
+
+  /// Finalize: adds the fixed control cost and integrated bias power.
+  [[nodiscard]] ConversionEnergyBreakdown finish();
+
+ private:
+  ConversionEnergyParams params_;
+  ConversionEnergyBreakdown breakdown_;
+  Joule auxiliary_{0.0};
+  Second active_time_{0.0};
+};
+
+}  // namespace tsvpt::circuit

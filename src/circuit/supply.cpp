@@ -1,0 +1,34 @@
+#include "circuit/supply.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvpt::circuit {
+
+VddMonitor::VddMonitor(Config config, std::uint64_t instance_seed)
+    : config_(config) {
+  if (config_.bits == 0 || config_.bits > 24) {
+    throw std::invalid_argument{"VddMonitor: bits"};
+  }
+  if (!(config_.range_hi > config_.range_lo)) {
+    throw std::invalid_argument{"VddMonitor: range"};
+  }
+  Rng rng{instance_seed};
+  instance_gain_ = 1.0 + rng.gaussian(0.0, config_.gain_sigma);
+  instance_offset_ = Volt{rng.gaussian(0.0, config_.offset_sigma.value())};
+}
+
+Volt VddMonitor::measure(Volt true_vdd, Rng* noise) const {
+  double v = instance_gain_ * true_vdd.value() + instance_offset_.value();
+  if (noise != nullptr) v += config_.noise_rms.value() * noise->gaussian();
+  // Quantize over the monitor range.
+  const double lo = config_.range_lo.value();
+  const double hi = config_.range_hi.value();
+  const double levels = static_cast<double>((1ULL << config_.bits) - 1);
+  const double norm = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+  const double code = std::round(norm * levels);
+  return Volt{lo + code / levels * (hi - lo)};
+}
+
+}  // namespace tsvpt::circuit

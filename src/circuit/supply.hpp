@@ -1,0 +1,78 @@
+// Supply-rail model: systematic IR droop plus random high-frequency noise.
+// Ring-oscillator sensors are notoriously supply-sensitive; the A4 ablation
+// bench quantifies how much accuracy survives a dirty rail, and the
+// ratio-metric reading mode in the core sensor mitigates it.
+#pragma once
+
+#include "ptsim/rng.hpp"
+#include "ptsim/units.hpp"
+
+namespace tsvpt::circuit {
+
+class SupplyRail {
+ public:
+  struct Config {
+    Volt nominal{1.0};
+    /// Static IR droop at this point of the grid (subtracted from nominal).
+    Volt droop{0.0};
+    /// RMS random noise seen averaged over one count window.
+    Volt noise_rms{0.0};
+  };
+
+  SupplyRail() = default;
+  explicit SupplyRail(Config config) : config_(config) {}
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] Volt nominal() const { return config_.nominal; }
+
+  /// Effective rail voltage for one measurement; deterministic when rng is
+  /// null (droop only).
+  [[nodiscard]] Volt effective(Rng* rng = nullptr) const {
+    double v = config_.nominal.value() - config_.droop.value();
+    if (rng != nullptr && config_.noise_rms.value() > 0.0) {
+      v += config_.noise_rms.value() * rng->gaussian();
+    }
+    return Volt{v};
+  }
+
+ private:
+  Config config_;
+};
+
+/// On-chip supply-voltage monitor: a small ADC-like block that reports the
+/// local rail with per-instance gain/offset error plus sampling noise and
+/// quantization.  Used by the sensor's supply-compensated mode — solving for
+/// VDD as an extra unknown of the oscillator bank is ill-conditioned (a rail
+/// change is nearly collinear with a (dVtn, dVtp, T) combination), so a
+/// direct measurement is required, exactly as in PVT-sensor practice.
+class VddMonitor {
+ public:
+  struct Config {
+    /// Per-instance gain error sigma (relative) and offset sigma.
+    double gain_sigma = 0.2e-2;
+    Volt offset_sigma{1.5e-3};
+    /// Per-sample noise.
+    Volt noise_rms{0.5e-3};
+    /// Quantizer: codes span [lo, hi].
+    unsigned bits = 10;
+    Volt range_lo{0.6};
+    Volt range_hi{1.4};
+    /// Energy per sample (sampling network + SAR).
+    Joule sample_energy{18e-12};
+  };
+
+  VddMonitor(Config config, std::uint64_t instance_seed);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] Joule sample_energy() const { return config_.sample_energy; }
+
+  /// One sample of the true rail voltage.
+  [[nodiscard]] Volt measure(Volt true_vdd, Rng* noise) const;
+
+ private:
+  Config config_;
+  double instance_gain_ = 1.0;
+  Volt instance_offset_{0.0};
+};
+
+}  // namespace tsvpt::circuit

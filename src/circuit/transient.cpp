@@ -1,0 +1,145 @@
+#include "circuit/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "device/mosfet.hpp"
+
+namespace tsvpt::circuit {
+namespace {
+
+/// Per-stage drive evaluation mirroring the analytic model's topology
+/// abstraction: the pull-down NMOS gate rides the stage input but is
+/// ceiling-limited by the bias fraction (stacked/starved structures), and
+/// the stack divisor scales the current; complementary for the pull-up.
+class StageModel {
+ public:
+  StageModel(const device::Technology& tech,
+             const RingOscillator::Config& cfg)
+      : nmos_(tech, device::TransistorKind::kNmos),
+        pmos_(tech, device::TransistorKind::kPmos), cfg_(cfg) {}
+
+  [[nodiscard]] double pulldown_current(double vin, double vout, double vdd,
+                                        Kelvin t,
+                                        device::VtDelta dvt) const {
+    const double vgs = std::min(vin, cfg_.nmos_gate_fraction * vdd);
+    if (vgs <= 0.0 || vout <= 0.0) return 0.0;
+    return nmos_.id(Volt{vgs}, Volt{vout}, t, dvt.nmos).value() /
+           cfg_.nmos_stack;
+  }
+
+  [[nodiscard]] double pullup_current(double vin, double vout, double vdd,
+                                      Kelvin t, device::VtDelta dvt) const {
+    const double vsg = std::min(vdd - vin, cfg_.pmos_gate_fraction * vdd);
+    const double vsd = vdd - vout;
+    if (vsg <= 0.0 || vsd <= 0.0) return 0.0;
+    return pmos_.id(Volt{vsg}, Volt{vsd}, t, dvt.pmos).value() /
+           cfg_.pmos_stack;
+  }
+
+ private:
+  device::Mosfet nmos_;
+  device::Mosfet pmos_;
+  RingOscillator::Config cfg_;
+};
+
+}  // namespace
+
+TransientResult TransientRoSimulator::simulate(const RingOscillator& ro,
+                                               const device::Technology& tech,
+                                               const OperatingPoint& op,
+                                               const Options& options) {
+  if (options.step_fraction <= 0.0 || options.step_fraction > 0.5) {
+    throw std::invalid_argument{"TransientRoSimulator: step fraction"};
+  }
+  const std::size_t stages = ro.config().stages;
+  const double vdd = op.vdd.value();
+  const double c = tech.stage_cap.value();
+  const StageModel stage{tech, ro.config()};
+
+  // Integration step scaled from the analytic estimate.
+  const double tpd_estimate =
+      1.0 / (2.0 * static_cast<double>(stages) * ro.frequency(op).value());
+  const double dt = options.step_fraction * tpd_estimate;
+
+  // Initial condition: alternating rails (odd chain cannot satisfy it, so
+  // the contradiction at the wrap seeds the oscillation).
+  std::vector<double> v(stages);
+  for (std::size_t i = 0; i < stages; ++i) {
+    v[i] = (i % 2 == 0) ? 0.0 : vdd;
+  }
+
+  const double threshold = 0.5 * vdd;
+  std::vector<double> crossing_times;
+  crossing_times.reserve(options.settle_periods + options.measure_periods +
+                         2);
+  double prev_v0 = v[0];
+  std::vector<double> dv(stages);
+
+  const std::size_t needed =
+      options.settle_periods + options.measure_periods + 1;
+  double time = 0.0;
+  for (std::size_t step = 0; step < options.max_steps; ++step) {
+    // Heun (RK2) integration of the coupled chain.
+    auto derivative = [&](const std::vector<double>& state,
+                          std::vector<double>& out) {
+      for (std::size_t i = 0; i < stages; ++i) {
+        const double vin = state[(i + stages - 1) % stages];
+        const double vout = state[i];
+        const double i_up =
+            stage.pullup_current(vin, vout, vdd, op.temperature, op.vt_delta);
+        const double i_down = stage.pulldown_current(vin, vout, vdd,
+                                                     op.temperature,
+                                                     op.vt_delta);
+        out[i] = (i_up - i_down) / c;
+      }
+    };
+    static thread_local std::vector<double> k1;
+    static thread_local std::vector<double> mid;
+    static thread_local std::vector<double> k2;
+    k1.assign(stages, 0.0);
+    mid.assign(stages, 0.0);
+    k2.assign(stages, 0.0);
+    derivative(v, k1);
+    for (std::size_t i = 0; i < stages; ++i) {
+      mid[i] = std::clamp(v[i] + dt * k1[i], 0.0, vdd);
+    }
+    derivative(mid, k2);
+    for (std::size_t i = 0; i < stages; ++i) {
+      v[i] = std::clamp(v[i] + 0.5 * dt * (k1[i] + k2[i]), 0.0, vdd);
+    }
+    time += dt;
+
+    // Rising-edge detection on node 0 with linear interpolation.
+    if (prev_v0 < threshold && v[0] >= threshold) {
+      const double frac = (threshold - prev_v0) / (v[0] - prev_v0);
+      crossing_times.push_back(time - dt + frac * dt);
+      if (crossing_times.size() >= needed) break;
+    }
+    prev_v0 = v[0];
+  }
+
+  TransientResult result;
+  if (crossing_times.size() < needed) return result;  // did not oscillate
+  const std::size_t first = options.settle_periods;
+  const double span = crossing_times.back() - crossing_times[first];
+  const auto periods = crossing_times.size() - 1 - first;
+  result.periods_measured = periods;
+  result.frequency = Hertz{static_cast<double>(periods) / span};
+  result.valid = true;
+  return result;
+}
+
+double TransientRoSimulator::relative_deviation(const RingOscillator& ro,
+                                                const device::Technology& tech,
+                                                const OperatingPoint& op,
+                                                const Options& options) {
+  const TransientResult result = simulate(ro, tech, op, options);
+  if (!result.valid) {
+    throw std::runtime_error{"transient simulation did not oscillate"};
+  }
+  return result.frequency.value() / ro.frequency(op).value() - 1.0;
+}
+
+}  // namespace tsvpt::circuit

@@ -1,0 +1,69 @@
+// Transistor-level transient simulation of a ring oscillator.
+//
+// The sensor library computes RO frequency from the analytic switched-
+// capacitance abstraction f = 1 / (2 N tpd) with tpd from saturation
+// currents.  This module validates that abstraction: it integrates the
+// actual circuit ODE
+//
+//   C dV_i/dt = I_up(V_{i-1}, V_i) - I_down(V_{i-1}, V_i)
+//
+// stage by stage, using the *same* EKV device model, and measures the
+// oscillation period from threshold crossings.  The `transient_validation`
+// tests pin the analytic model to the simulated circuit within a fixed
+// band across temperature, Vt shift, supply and topology — so every
+// higher-level result is traceable to circuit behaviour, not just to the
+// shortcut formula.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/operating_point.hpp"
+#include "circuit/ring_oscillator.hpp"
+#include "ptsim/units.hpp"
+
+namespace tsvpt::circuit {
+
+struct TransientResult {
+  Hertz frequency{0.0};
+  /// Full periods actually measured (after settling).
+  std::size_t periods_measured = 0;
+  /// True when the chain oscillated and enough periods were captured.
+  bool valid = false;
+};
+
+class TransientRoSimulator {
+ public:
+  struct Options {
+    /// Integration step as a fraction of the analytic stage delay.
+    double step_fraction = 0.02;
+    /// Periods to discard (start-up) and to average.
+    std::size_t settle_periods = 3;
+    std::size_t measure_periods = 8;
+    /// Hard cap on integration steps.
+    std::size_t max_steps = 2000000;
+  };
+
+  /// Simulate `ro` at the operating point and measure its frequency.
+  [[nodiscard]] static TransientResult simulate(const RingOscillator& ro,
+                                                const device::Technology& tech,
+                                                const OperatingPoint& op,
+                                                const Options& options);
+  [[nodiscard]] static TransientResult simulate(const RingOscillator& ro,
+                                                const device::Technology& tech,
+                                                const OperatingPoint& op) {
+    return simulate(ro, tech, op, Options{});
+  }
+
+  /// Convenience: relative deviation (f_transient / f_analytic - 1).
+  [[nodiscard]] static double relative_deviation(
+      const RingOscillator& ro, const device::Technology& tech,
+      const OperatingPoint& op, const Options& options);
+  [[nodiscard]] static double relative_deviation(
+      const RingOscillator& ro, const device::Technology& tech,
+      const OperatingPoint& op) {
+    return relative_deviation(ro, tech, op, Options{});
+  }
+};
+
+}  // namespace tsvpt::circuit

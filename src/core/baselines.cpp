@@ -1,0 +1,208 @@
+#include "core/baselines.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "calib/newton.hpp"
+
+namespace tsvpt::core {
+
+// ---------------------------------------------------------------- RO-uncal
+
+UncalibratedRoSensor::UncalibratedRoSensor(Config config,
+                                           std::uint64_t instance_seed)
+    : config_(std::move(config)),
+      tdro_(circuit::RingOscillator::make(config_.tech,
+                                          circuit::RoTopology::kThermal,
+                                          config_.tdro_stages)),
+      counter_(config_.counter) {
+  Rng rng{instance_seed};
+  // Same macro-internal mismatch scale as the PT sensor's oscillators.
+  mismatch_.nmos = Volt{rng.gaussian(0.0, 0.15e-3)};
+  mismatch_.pmos = Volt{rng.gaussian(0.0, 0.15e-3)};
+  circuit::FrequencyCounter::Config counter_cfg = config_.counter;
+  counter_cfg.reference.systematic_ppm = rng.gaussian(0.0, 20.0);
+  counter_ = circuit::FrequencyCounter{counter_cfg};
+}
+
+TemperatureReading UncalibratedRoSensor::read(const DieEnvironment& env,
+                                              Rng* noise) {
+  circuit::ConversionEnergyModel energy{config_.energy};
+  energy.reset();
+  circuit::OperatingPoint op;
+  op.vdd = env.supply.effective(noise);
+  op.temperature = env.temperature;
+  op.vt_delta = env.vt_delta + mismatch_;
+  const auto reading = counter_.measure(tdro_.frequency(op), noise);
+  energy.add_oscillator_window(tdro_.energy_per_cycle(op.vdd), reading.count,
+                               counter_.nominal_window());
+
+  TemperatureReading out;
+  out.degraded = reading.saturated;
+  const double target = std::log(reading.measured.value());
+  auto f = [&](double t_kelvin) {
+    circuit::OperatingPoint model_op;
+    model_op.vdd = config_.model_vdd;
+    model_op.temperature = Kelvin{t_kelvin};
+    model_op.vt_delta = {};  // the uncalibrated sensor assumes typical
+    return std::log(tdro_.frequency(model_op).value()) - target;
+  };
+  const double t_lo = to_kelvin(config_.t_min).value();
+  const double t_hi = to_kelvin(config_.t_max).value();
+  double t_solved;
+  try {
+    t_solved = calib::brent_root(f, t_lo, t_hi, 1e-9);
+  } catch (const std::runtime_error&) {
+    t_solved = std::abs(f(t_lo)) < std::abs(f(t_hi)) ? t_lo : t_hi;
+    out.degraded = true;
+  }
+  out.temperature = to_celsius(Kelvin{t_solved});
+  out.energy = energy.finish().total();
+  return out;
+}
+
+// ------------------------------------------------------------------ RO-2pt
+
+TwoPointCalibratedRoSensor::TwoPointCalibratedRoSensor(
+    Config config, std::uint64_t instance_seed)
+    : config_(std::move(config)),
+      tdro_(circuit::RingOscillator::make(config_.tech,
+                                          circuit::RoTopology::kThermal,
+                                          config_.tdro_stages)),
+      counter_(config_.counter) {
+  Rng rng{instance_seed};
+  mismatch_.nmos = Volt{rng.gaussian(0.0, 0.15e-3)};
+  mismatch_.pmos = Volt{rng.gaussian(0.0, 0.15e-3)};
+  circuit::FrequencyCounter::Config counter_cfg = config_.counter;
+  counter_cfg.reference.systematic_ppm = rng.gaussian(0.0, 20.0);
+  counter_ = circuit::FrequencyCounter{counter_cfg};
+}
+
+circuit::FrequencyCounter::Reading TwoPointCalibratedRoSensor::measure(
+    const DieEnvironment& env, Rng* noise,
+    circuit::ConversionEnergyModel& energy) const {
+  circuit::OperatingPoint op;
+  op.vdd = env.supply.effective(noise);
+  op.temperature = env.temperature;
+  op.vt_delta = env.vt_delta + mismatch_;
+  const auto reading = counter_.measure(tdro_.frequency(op), noise);
+  energy.add_oscillator_window(tdro_.energy_per_cycle(op.vdd), reading.count,
+                               counter_.nominal_window());
+  return reading;
+}
+
+double TwoPointCalibratedRoSensor::model_inverse_celsius(
+    Hertz measured) const {
+  const double target = std::log(measured.value());
+  auto f = [&](double t_kelvin) {
+    circuit::OperatingPoint op;
+    op.vdd = config_.model_vdd;
+    op.temperature = Kelvin{t_kelvin};
+    return std::log(tdro_.frequency(op).value()) - target;
+  };
+  const double t_lo = to_kelvin(config_.t_min).value();
+  const double t_hi = to_kelvin(config_.t_max).value();
+  double t_solved;
+  try {
+    t_solved = calib::brent_root(f, t_lo, t_hi, 1e-9);
+  } catch (const std::runtime_error&) {
+    t_solved = std::abs(f(t_lo)) < std::abs(f(t_hi)) ? t_lo : t_hi;
+  }
+  return to_celsius(Kelvin{t_solved}).value();
+}
+
+void TwoPointCalibratedRoSensor::factory_calibrate(const DieEnvironment& env,
+                                                   Rng* noise) {
+  // Bath insertions: the tester believes it set cal_low / cal_high; the die
+  // actually sits within bath_accuracy of that.  The stored correction is a
+  // gain/offset on the model-inverted temperature — curvature comes from the
+  // design-time model, the per-die shift from the two insertions.
+  auto insertion = [&](Celsius setpoint) {
+    DieEnvironment bath = env;
+    double t = setpoint.value();
+    if (noise != nullptr) {
+      t += config_.bath_accuracy.value() * noise->gaussian();
+    }
+    bath.temperature = to_kelvin(Celsius{t});
+    circuit::ConversionEnergyModel energy{config_.energy};
+    energy.reset();
+    return model_inverse_celsius(measure(bath, noise, energy).measured);
+  };
+  const double raw_low = insertion(config_.cal_low);
+  const double raw_high = insertion(config_.cal_high);
+  if (raw_low == raw_high) {
+    throw std::runtime_error{"factory_calibrate: degenerate points"};
+  }
+  gain_ = (config_.cal_high.value() - config_.cal_low.value()) /
+          (raw_high - raw_low);
+  offset_ = config_.cal_low.value() - gain_ * raw_low;
+  calibrated_ = true;
+}
+
+TemperatureReading TwoPointCalibratedRoSensor::read(const DieEnvironment& env,
+                                                    Rng* noise) {
+  if (!calibrated_) {
+    throw std::logic_error{"TwoPointCalibratedRoSensor: not calibrated"};
+  }
+  circuit::ConversionEnergyModel energy{config_.energy};
+  energy.reset();
+  const auto reading = measure(env, noise, energy);
+  TemperatureReading out;
+  out.degraded = reading.saturated || reading.count == 0;
+  const double raw = model_inverse_celsius(reading.measured);
+  out.temperature = Celsius{gain_ * raw + offset_};
+  out.energy = energy.finish().total();
+  return out;
+}
+
+// ------------------------------------------------------------------- Diode
+
+DiodeSensor::DiodeSensor(Config config, std::uint64_t instance_seed)
+    : config_(std::move(config)) {
+  Rng rng{instance_seed};
+  instance_offset_ = Volt{rng.gaussian(0.0, config_.offset_sigma.value())};
+  instance_slope_ =
+      config_.slope + rng.gaussian(0.0, config_.slope_sigma);
+}
+
+Volt DiodeSensor::vbe(Kelvin t, Rng* noise) const {
+  double v = config_.vbe_nominal.value() + instance_offset_.value() +
+             instance_slope_ * (t.value() - 300.0);
+  if (noise != nullptr) v += config_.noise_rms.value() * noise->gaussian();
+  return Volt{v};
+}
+
+void DiodeSensor::trim(const DieEnvironment& env, Rng* noise) {
+  // One-point production trim at a known ambient: store the correction that
+  // makes the reading exact there (to ADC precision).
+  const Kelvin t_true = env.temperature;
+  const Volt measured = vbe(t_true, noise);
+  const double expected = config_.vbe_nominal.value() +
+                          config_.slope * (t_true.value() - 300.0);
+  trim_correction_ = Volt{expected - measured.value()};
+  trimmed_ = true;
+}
+
+TemperatureReading DiodeSensor::read(const DieEnvironment& env, Rng* noise) {
+  Volt v = vbe(env.temperature, noise);
+  if (trimmed_) v += trim_correction_;
+
+  // ADC quantization over [adc_lo, adc_hi].
+  const double span = config_.adc_hi.value() - config_.adc_lo.value();
+  const double levels = static_cast<double>((1ULL << config_.adc_bits) - 1);
+  double norm = (v.value() - config_.adc_lo.value()) / span;
+  TemperatureReading out;
+  if (norm < 0.0 || norm > 1.0) out.degraded = true;
+  norm = std::clamp(norm, 0.0, 1.0);
+  const double code = std::round(norm * levels);
+  const double v_q = config_.adc_lo.value() + code / levels * span;
+
+  // Digital back-end inverts the *nominal* transfer curve.
+  const double t_kelvin =
+      300.0 + (v_q - config_.vbe_nominal.value()) / config_.slope;
+  out.temperature = to_celsius(Kelvin{t_kelvin});
+  out.energy = config_.conversion_energy;
+  return out;
+}
+
+}  // namespace tsvpt::core

@@ -1,0 +1,152 @@
+// Baseline temperature sensors the paper's proposal is compared against.
+//
+//  * UncalibratedRoSensor — a TDRO read through the *typical-corner* model,
+//    blind to the die's actual process point.  Shows how much error Vt
+//    scatter injects when nothing is calibrated.
+//  * TwoPointCalibratedRoSensor — the industry-standard alternative: each
+//    die is soaked at two known temperatures on the tester and a linear
+//    count→temperature map is fused in.  Accurate, but needs per-die test
+//    time and thermal control — exactly the cost the paper's self-calibrated
+//    scheme avoids.
+//  * DiodeSensor — a conventional BJT/diode analog sensor with ideality and
+//    offset spread and an ADC; optionally one-point trimmed.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/counter.hpp"
+#include "circuit/energy.hpp"
+#include "circuit/ring_oscillator.hpp"
+#include "core/die_environment.hpp"
+#include "core/sensor_interface.hpp"
+#include "device/tech.hpp"
+
+namespace tsvpt::core {
+
+/// TDRO + counter, inverted through the nominal (zero-deviation) model.
+class UncalibratedRoSensor final : public TemperatureSensor {
+ public:
+  struct Config {
+    device::Technology tech = device::Technology::tsmc65_like();
+    std::size_t tdro_stages = 15;
+    circuit::FrequencyCounter::Config counter{
+        circuit::ReferenceClock{}, Second{2e-6}, 16};
+    /// Far less digital than the PT sensor: no decoupling solver, just a
+    /// readout FSM and a LUT walk.
+    circuit::ConversionEnergyParams energy{Joule{20e-15}, Joule{60e-12},
+                                           Watt{2e-6}};
+    Volt model_vdd{1.0};
+    Celsius t_min{-40.0};
+    Celsius t_max{140.0};
+  };
+
+  UncalibratedRoSensor(Config config, std::uint64_t instance_seed);
+
+  [[nodiscard]] std::string name() const override { return "RO-uncal"; }
+  [[nodiscard]] TemperatureReading read(const DieEnvironment& env,
+                                        Rng* noise) override;
+
+ private:
+  Config config_;
+  circuit::RingOscillator tdro_;
+  device::VtDelta mismatch_;
+  circuit::FrequencyCounter counter_;
+};
+
+/// TDRO + counter with an external two-point (bath) calibration: the tester
+/// exposes the die to two *known* temperatures and stores a linear
+/// count->temperature map.  Models the per-die test cost the paper avoids.
+class TwoPointCalibratedRoSensor final : public TemperatureSensor {
+ public:
+  struct Config {
+    device::Technology tech = device::Technology::tsmc65_like();
+    std::size_t tdro_stages = 15;
+    circuit::FrequencyCounter::Config counter{
+        circuit::ReferenceClock{}, Second{2e-6}, 16};
+    /// Same light digital back-end as the uncalibrated sensor.
+    circuit::ConversionEnergyParams energy{Joule{20e-15}, Joule{60e-12},
+                                           Watt{2e-6}};
+    Celsius cal_low{0.0};
+    Celsius cal_high{100.0};
+    /// Accuracy of the tester's thermal control at each insertion.
+    Celsius bath_accuracy{0.2};
+    Volt model_vdd{1.0};
+    Celsius t_min{-40.0};
+    Celsius t_max{140.0};
+  };
+
+  TwoPointCalibratedRoSensor(Config config, std::uint64_t instance_seed);
+
+  /// Run the tester calibration against the die's true environment (the
+  /// bath forces the temperature; process/supply are whatever the die has).
+  void factory_calibrate(const DieEnvironment& env, Rng* noise);
+  [[nodiscard]] bool is_calibrated() const { return calibrated_; }
+
+  [[nodiscard]] std::string name() const override { return "RO-2pt"; }
+  [[nodiscard]] TemperatureReading read(const DieEnvironment& env,
+                                        Rng* noise) override;
+
+ private:
+  [[nodiscard]] circuit::FrequencyCounter::Reading measure(
+      const DieEnvironment& env, Rng* noise,
+      circuit::ConversionEnergyModel& energy) const;
+  /// Invert the design-time nominal TDRO model (curvature removal); the
+  /// per-die gain/offset correction is applied on top of this.
+  [[nodiscard]] double model_inverse_celsius(Hertz measured) const;
+
+  Config config_;
+  circuit::RingOscillator tdro_;
+  device::VtDelta mismatch_;
+  circuit::FrequencyCounter counter_;
+  bool calibrated_ = false;
+  // Two-point correction of the model-inverted temperature:
+  // T = gain * T_model(f) + offset, exact at the two bath insertions.
+  double gain_ = 1.0;
+  double offset_ = 0.0;
+};
+
+/// Conventional diode/BJT analog sensor: V_BE falls ~ linearly with T, with
+/// per-instance spread in slope and offset, digitized by an ADC.
+class DiodeSensor final : public TemperatureSensor {
+ public:
+  struct Config {
+    /// Nominal V_BE at 300 K and its slope (V/K).
+    Volt vbe_nominal{0.60};
+    double slope = -1.73e-3;
+    /// Per-instance spreads (process): offset sigma and slope sigma.
+    Volt offset_sigma{4e-3};
+    double slope_sigma = 0.01e-3;
+    /// ADC: input range mapped over 2^bits codes.
+    unsigned adc_bits = 10;
+    Volt adc_lo{0.35};
+    Volt adc_hi{0.75};
+    /// Conversion energy (bias + ADC), fixed per read.
+    Joule conversion_energy{550e-12};
+    /// Input-referred noise per conversion.
+    Volt noise_rms{0.15e-3};
+    bool one_point_trim = false;
+    Celsius trim_temperature{25.0};
+  };
+
+  DiodeSensor(Config config, std::uint64_t instance_seed);
+
+  /// Apply the optional one-point production trim (needs a known ambient).
+  void trim(const DieEnvironment& env, Rng* noise);
+
+  [[nodiscard]] std::string name() const override {
+    return config_.one_point_trim ? "Diode-1pt" : "Diode";
+  }
+  [[nodiscard]] TemperatureReading read(const DieEnvironment& env,
+                                        Rng* noise) override;
+
+ private:
+  [[nodiscard]] Volt vbe(Kelvin t, Rng* noise) const;
+
+  Config config_;
+  Volt instance_offset_{0.0};
+  double instance_slope_ = 0.0;
+  Volt trim_correction_{0.0};
+  bool trimmed_ = false;
+};
+
+}  // namespace tsvpt::core

@@ -1,0 +1,137 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvpt::core {
+
+SensorController::SensorController(Config config, std::uint64_t instance_seed)
+    : config_(std::move(config)), sensor_(config_.sensor, instance_seed) {
+  if (config_.clock.value() <= 0.0) {
+    throw std::invalid_argument{"SensorController: clock <= 0"};
+  }
+}
+
+std::uint64_t SensorController::window_cycles() const {
+  const double window = config_.sensor.counter.window.value();
+  return static_cast<std::uint64_t>(
+      std::ceil(window * config_.clock.value()));
+}
+
+std::uint64_t SensorController::calibrate_latency_cycles() const {
+  // Three sequential oscillator windows plus the digital pipeline.
+  return 3 * window_cycles() + kSolverCycles;
+}
+
+std::uint64_t SensorController::convert_latency_cycles() const {
+  return window_cycles() + kSolverCycles;
+}
+
+void SensorController::write_command(Command command) {
+  if (busy()) return;  // dropped, like a NAKed bus write
+  status_ &= static_cast<std::uint16_t>(~kDone);
+  switch (command) {
+    case Command::kNop:
+      break;
+    case Command::kCalibrate:
+      active_ = command;
+      remaining_cycles_ = calibrate_latency_cycles();
+      status_ |= kBusy;
+      break;
+    case Command::kConvert:
+      active_ = command;
+      // An unsolicited CONVERT before any CALIBRATE triggers the sensor's
+      // power-on auto-calibration, which costs the full latency.
+      remaining_cycles_ = sensor_.is_calibrated()
+                              ? convert_latency_cycles()
+                              : calibrate_latency_cycles();
+      status_ |= kBusy;
+      break;
+    case Command::kSoftReset:
+      sensor_.clear_calibration();
+      status_ = 0;
+      temp_reg_ = dvtn_reg_ = dvtp_reg_ = vdd_reg_ = energy_reg_ = 0;
+      active_ = Command::kNop;
+      break;
+  }
+}
+
+std::uint16_t SensorController::read_register(Register reg) const {
+  switch (reg) {
+    case Register::kStatus:
+      return status_;
+    case Register::kTemp:
+      return temp_reg_;
+    case Register::kDvtn:
+      return dvtn_reg_;
+    case Register::kDvtp:
+      return dvtp_reg_;
+    case Register::kVdd:
+      return vdd_reg_;
+    case Register::kEnergy:
+      return energy_reg_;
+  }
+  throw std::invalid_argument{"SensorController: unknown register"};
+}
+
+std::uint16_t SensorController::encode_signed(double value, double lsb) {
+  const double code = std::round(value / lsb);
+  const double clamped = std::clamp(code, -32768.0, 32767.0);
+  return static_cast<std::uint16_t>(
+      static_cast<std::int16_t>(clamped));
+}
+
+double SensorController::decode_temp(std::uint16_t code) {
+  return static_cast<std::int16_t>(code) * kTempLsb;
+}
+
+double SensorController::decode_vt(std::uint16_t code) {
+  return static_cast<std::int16_t>(code) * kVtLsbVolts;
+}
+
+double SensorController::decode_vdd(std::uint16_t code) {
+  return code * kVddLsb;
+}
+
+void SensorController::complete(const DieEnvironment& env, Rng* noise) {
+  bool degraded = false;
+  if (active_ == Command::kCalibrate || !sensor_.is_calibrated()) {
+    const PtSensor::ProcessEstimate est = sensor_.self_calibrate(env, noise);
+    degraded = !est.converged;
+    temp_reg_ = encode_signed(to_celsius(est.temperature).value(), kTempLsb);
+    dvtn_reg_ = encode_signed(est.dvtn.value(), kVtLsbVolts);
+    dvtp_reg_ = encode_signed(est.dvtp.value(), kVtLsbVolts);
+    vdd_reg_ = static_cast<std::uint16_t>(std::clamp(
+        std::round(est.vdd.value() / kVddLsb), 0.0, 65535.0));
+    energy_reg_ = static_cast<std::uint16_t>(
+        std::min(std::round(est.energy.value() * 1e12), 65535.0));
+    status_ |= kCalibrated;
+  } else {
+    const TemperatureReading reading = sensor_.read(env, noise);
+    degraded = reading.degraded;
+    temp_reg_ = encode_signed(reading.temperature.value(), kTempLsb);
+    energy_reg_ = static_cast<std::uint16_t>(
+        std::min(std::round(reading.energy.value() * 1e12), 65535.0));
+  }
+  status_ = static_cast<std::uint16_t>(
+      (status_ & ~kBusy & ~kDegraded) | kDone |
+      (degraded ? kDegraded : 0));
+  active_ = Command::kNop;
+}
+
+void SensorController::tick(const DieEnvironment& env, Rng* noise,
+                            std::uint64_t cycles) {
+  for (std::uint64_t i = 0; i < cycles; ++i) {
+    ++cycle_count_;
+    if (remaining_cycles_ > 0) {
+      if (--remaining_cycles_ == 0) complete(env, noise);
+    }
+  }
+}
+
+Second SensorController::elapsed() const {
+  return Second{static_cast<double>(cycle_count_) / config_.clock.value()};
+}
+
+}  // namespace tsvpt::core

@@ -1,0 +1,109 @@
+// Digital front door of the sensor macro: the register map and command FSM
+// a SoC integrator actually talks to.  Wraps PtSensor behind a bus-clocked
+// interface with fixed-point result registers, busy/valid handshaking and
+// realistic conversion latency (count windows + solver cycles), so firmware
+// and RTL testbenches can be developed against the model.
+//
+// Register map (16-bit registers):
+//   CMD     (w): 0 NOP / 1 CALIBRATE / 2 CONVERT / 3 SOFT_RESET
+//   STATUS  (r): bit0 BUSY, bit1 CALIBRATED, bit2 DEGRADED, bit3 DONE
+//                (DONE latches on completion, clears on next command)
+//   TEMP    (r): two's-complement, 1/16 degC per LSB
+//   DVTN    (r): two's-complement, 1/20 mV (50 uV) per LSB
+//   DVTP    (r): two's-complement, 50 uV per LSB
+//   VDD     (r): unsigned, 1/4096 V per LSB (compensated mode; else the
+//                configured model VDD)
+//   ENERGY  (r): unsigned, pJ of the last conversion (saturating)
+#pragma once
+
+#include <cstdint>
+
+#include "core/pt_sensor.hpp"
+
+namespace tsvpt::core {
+
+enum class Register : std::uint8_t {
+  kStatus = 0,
+  kTemp = 1,
+  kDvtn = 2,
+  kDvtp = 3,
+  kVdd = 4,
+  kEnergy = 5,
+};
+
+class SensorController {
+ public:
+  enum class Command : std::uint8_t {
+    kNop = 0,
+    kCalibrate = 1,
+    kConvert = 2,
+    kSoftReset = 3,
+  };
+
+  // STATUS bits.
+  static constexpr std::uint16_t kBusy = 1u << 0;
+  static constexpr std::uint16_t kCalibrated = 1u << 1;
+  static constexpr std::uint16_t kDegraded = 1u << 2;
+  static constexpr std::uint16_t kDone = 1u << 3;
+
+  // Fixed-point scales.
+  static constexpr double kTempLsb = 1.0 / 16.0;     // degC
+  static constexpr double kVtLsbVolts = 50e-6;       // 50 uV
+  static constexpr double kVddLsb = 1.0 / 4096.0;    // V
+  /// Digital pipeline overhead per conversion, in bus cycles (bias settle,
+  /// FSM, Newton/1-D solve on the embedded datapath).
+  static constexpr std::uint64_t kSolverCycles = 96;
+
+  struct Config {
+    PtSensor::Config sensor;
+    /// The bus/control clock the FSM runs on.
+    Hertz clock{25e6};
+  };
+
+  SensorController(Config config, std::uint64_t instance_seed);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Issue a command.  Commands while BUSY are ignored (real macros NAK or
+  /// drop; we drop and keep the current operation).
+  void write_command(Command command);
+
+  /// Read one register.  Result registers hold the *last completed*
+  /// conversion while a new one is in flight.
+  [[nodiscard]] std::uint16_t read_register(Register reg) const;
+
+  /// Advance the macro by `cycles` bus cycles in the given environment.
+  /// The physical conversion is sampled at completion time.
+  void tick(const DieEnvironment& env, Rng* noise, std::uint64_t cycles = 1);
+
+  [[nodiscard]] bool busy() const { return remaining_cycles_ > 0; }
+  /// Total simulated time elapsed on this controller.
+  [[nodiscard]] Second elapsed() const;
+  /// Conversion latency in cycles for each command type.
+  [[nodiscard]] std::uint64_t calibrate_latency_cycles() const;
+  [[nodiscard]] std::uint64_t convert_latency_cycles() const;
+
+  // Decoding helpers for host-side software (and tests).
+  [[nodiscard]] static double decode_temp(std::uint16_t code);
+  [[nodiscard]] static double decode_vt(std::uint16_t code);
+  [[nodiscard]] static double decode_vdd(std::uint16_t code);
+
+ private:
+  [[nodiscard]] std::uint64_t window_cycles() const;
+  void complete(const DieEnvironment& env, Rng* noise);
+  static std::uint16_t encode_signed(double value, double lsb);
+
+  Config config_;
+  PtSensor sensor_;
+  std::uint64_t cycle_count_ = 0;
+  std::uint64_t remaining_cycles_ = 0;
+  Command active_ = Command::kNop;
+  std::uint16_t status_ = 0;
+  std::uint16_t temp_reg_ = 0;
+  std::uint16_t dvtn_reg_ = 0;
+  std::uint16_t dvtp_reg_ = 0;
+  std::uint16_t vdd_reg_ = 0;
+  std::uint16_t energy_reg_ = 0;
+};
+
+}  // namespace tsvpt::core

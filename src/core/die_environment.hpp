@@ -1,0 +1,29 @@
+// The physical condition a sensor macro experiences: the ground truth the
+// simulation knows and the sensor must estimate.
+#pragma once
+
+#include "circuit/supply.hpp"
+#include "device/mosfet.hpp"
+#include "ptsim/units.hpp"
+
+namespace tsvpt::core {
+
+struct DieEnvironment {
+  /// True junction temperature at the macro.
+  Kelvin temperature{300.0};
+  /// True threshold deviation at the macro (D2D + WID + TSV stress).
+  device::VtDelta vt_delta;
+  /// Supply rail feeding the macro.
+  circuit::SupplyRail supply{};
+
+  [[nodiscard]] DieEnvironment at_temperature(Kelvin t) const {
+    DieEnvironment env = *this;
+    env.temperature = t;
+    return env;
+  }
+  [[nodiscard]] DieEnvironment at_celsius(Celsius t) const {
+    return at_temperature(to_kelvin(t));
+  }
+};
+
+}  // namespace tsvpt::core

@@ -1,0 +1,112 @@
+#include "core/fault_detector.hpp"
+
+#include <cmath>
+#include <optional>
+
+namespace tsvpt::core {
+
+std::vector<FaultDetector::Verdict> FaultDetector::analyze(
+    const std::vector<StackMonitor::SiteReading>& sample) const {
+  std::vector<Verdict> verdicts(sample.size());
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    verdicts[i].site_index = sample[i].site_index;
+    if (sample[i].degraded) {
+      verdicts[i].suspect = true;
+      verdicts[i].reason = "self-reported degraded";
+    }
+  }
+
+  FieldEstimator::Config est_cfg;
+  est_cfg.power = config_.idw_power;
+  est_cfg.skip_degraded = true;
+  const FieldEstimator estimator{est_cfg};
+
+  // Leave-one-out deviation of site i against the current healthy set.  A
+  // stuck sensor contaminates its neighbours' estimates, so suspects are
+  // excluded greedily — worst violator first — until the set is consistent.
+  auto deviation_of = [&](std::size_t i) -> std::optional<double> {
+    std::vector<StackMonitor::SiteReading> reference;
+    reference.reserve(sample.size());
+    for (std::size_t j = 0; j < sample.size(); ++j) {
+      if (j == i || verdicts[j].suspect) continue;
+      if (sample[j].die != sample[i].die) continue;
+      reference.push_back(sample[j]);
+    }
+    if (reference.empty()) return std::nullopt;  // cannot cross-check
+    try {
+      const double estimate =
+          estimator
+              .estimate_at(reference, sample[i].die, sample[i].location)
+              .value();
+      return sample[i].sensed.value() - estimate;
+    } catch (const std::runtime_error&) {
+      return std::nullopt;
+    }
+  };
+
+  for (std::size_t round = 0; round < sample.size(); ++round) {
+    double worst = config_.threshold.value();
+    std::ptrdiff_t worst_index = -1;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      if (verdicts[i].suspect) continue;
+      const auto deviation = deviation_of(i);
+      if (!deviation) continue;
+      verdicts[i].deviation = Celsius{*deviation};
+      if (std::abs(*deviation) > worst) {
+        worst = std::abs(*deviation);
+        worst_index = static_cast<std::ptrdiff_t>(i);
+      }
+    }
+    if (worst_index < 0) break;
+    verdicts[worst_index].suspect = true;
+    verdicts[worst_index].reason = "spatially inconsistent with neighbours";
+  }
+
+  // Final deviations for the healthy sites, against the cleaned set.
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    if (verdicts[i].suspect) continue;
+    if (const auto deviation = deviation_of(i)) {
+      verdicts[i].deviation = Celsius{*deviation};
+    }
+  }
+  return verdicts;
+}
+
+std::vector<std::size_t> FaultDetector::suspects(
+    const std::vector<StackMonitor::SiteReading>& sample) const {
+  std::vector<std::size_t> out;
+  for (const Verdict& verdict : analyze(sample)) {
+    if (verdict.suspect) out.push_back(verdict.site_index);
+  }
+  return out;
+}
+
+std::vector<std::size_t> JumpDetector::feed(
+    const std::vector<StackMonitor::SiteReading>& scan) {
+  std::vector<std::size_t> jumped;
+  if (previous_.size() == scan.size()) {
+    for (std::size_t i = 0; i < scan.size(); ++i) {
+      const double own_move =
+          std::abs(scan[i].sensed.value() - previous_[i].sensed.value());
+      if (own_move <= config_.jump_threshold.value()) continue;
+      // How much did the rest of this die move?
+      double neighbour_move = 0.0;
+      std::size_t neighbours = 0;
+      for (std::size_t j = 0; j < scan.size(); ++j) {
+        if (j == i || scan[j].die != scan[i].die) continue;
+        neighbour_move += std::abs(scan[j].sensed.value() -
+                                   previous_[j].sensed.value());
+        ++neighbours;
+      }
+      if (neighbours == 0) continue;  // lone sensor: cannot disambiguate
+      neighbour_move /= static_cast<double>(neighbours);
+      if (neighbour_move < config_.neighbour_allowance.value()) {
+        jumped.push_back(scan[i].site_index);
+      }
+    }
+  }
+  previous_ = scan;
+  return jumped;
+}
+
+}  // namespace tsvpt::core

@@ -1,0 +1,87 @@
+// Fleet-level fault detection: a sensor that dies or sticks cannot always
+// tell you so (a stuck oscillator still produces a confident-looking
+// temperature).  But sensors share a die: the temperature field is smooth,
+// so each reading can be cross-checked against the leave-one-out spatial
+// estimate from its neighbours.  Suspects are excluded greedily (worst
+// violator first) so a single stuck sensor cannot contaminate its
+// neighbours' estimates into false positives.
+//
+// Known limitation (pinned by tests): a hotspot concentrated on exactly one
+// sensor is spatially indistinguishable from that sensor sticking high, and
+// is flagged.  Disambiguation is temporal — real hotspots grow on thermal
+// time constants, faults jump between consecutive scans — and belongs to
+// the caller, which has the scan history.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/field_estimator.hpp"
+#include "core/stack_monitor.hpp"
+
+namespace tsvpt::core {
+
+class FaultDetector {
+ public:
+  struct Config {
+    /// A reading deviating more than this from its neighbours' estimate is
+    /// suspect.  Set comfortably above sensor accuracy + real gradients.
+    Celsius threshold{8.0};
+    /// IDW exponent for the leave-one-out estimate.
+    double idw_power = 2.0;
+  };
+
+  struct Verdict {
+    std::size_t site_index = 0;
+    bool suspect = false;
+    /// Deviation from the leave-one-out estimate (0 when not computable).
+    Celsius deviation{0.0};
+    std::string reason;  // empty when healthy
+  };
+
+  FaultDetector() = default;
+  explicit FaultDetector(Config config) : config_(config) {}
+
+  /// Analyze one scan.  Verdicts are aligned with the sample's order.
+  [[nodiscard]] std::vector<Verdict> analyze(
+      const std::vector<StackMonitor::SiteReading>& sample) const;
+
+  /// Indices of suspect sites in the sample.
+  [[nodiscard]] std::vector<std::size_t> suspects(
+      const std::vector<StackMonitor::SiteReading>& sample) const;
+
+ private:
+  Config config_{};
+};
+
+/// Temporal disambiguation between faults and real thermal events: feed it
+/// consecutive scans; a site whose reading jumps faster than physics allows
+/// — while its same-die neighbours barely move — is a fault, not a hotspot
+/// (silicon heats every nearby sensor together; electronics break alone).
+class JumpDetector {
+ public:
+  struct Config {
+    /// A site moving more than this between scans is a candidate jump.
+    Celsius jump_threshold{6.0};
+    /// ...unless its die's other sites moved more than this too (a real
+    /// transient moves the neighbourhood).
+    Celsius neighbour_allowance{3.0};
+  };
+
+  JumpDetector() = default;
+  explicit JumpDetector(Config config) : config_(config) {}
+
+  /// Feed the next scan (sites must keep the same order between scans).
+  /// Returns the site indices that jumped alone.  The first scan primes the
+  /// history and returns nothing.
+  [[nodiscard]] std::vector<std::size_t> feed(
+      const std::vector<StackMonitor::SiteReading>& scan);
+
+  void reset() { previous_.clear(); }
+
+ private:
+  Config config_{};
+  std::vector<StackMonitor::SiteReading> previous_;
+};
+
+}  // namespace tsvpt::core

@@ -1,0 +1,62 @@
+#include "core/field_estimator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvpt::core {
+
+Celsius FieldEstimator::estimate_at(
+    const std::vector<StackMonitor::SiteReading>& sample, std::size_t die,
+    process::Point location) const {
+  double weight_sum = 0.0;
+  double acc = 0.0;
+  for (const StackMonitor::SiteReading& reading : sample) {
+    if (reading.die != die) continue;
+    if (config_.skip_degraded && reading.degraded) continue;
+    const double d = location.distance_to(reading.location);
+    if (d < 1e-9) return reading.sensed;  // on a sensor: exact
+    const double w = 1.0 / std::pow(d, config_.power);
+    weight_sum += w;
+    acc += w * reading.sensed.value();
+  }
+  if (weight_sum == 0.0) {
+    throw std::runtime_error{"FieldEstimator: no usable readings on die"};
+  }
+  return Celsius{acc / weight_sum};
+}
+
+std::vector<double> FieldEstimator::reconstruct(
+    const thermal::ThermalNetwork& network, std::size_t die,
+    const std::vector<StackMonitor::SiteReading>& sample) const {
+  const thermal::DieGeometry& geom = network.config().dies.at(die);
+  const double cell_w = geom.width.value() / static_cast<double>(geom.nx);
+  const double cell_h = geom.height.value() / static_cast<double>(geom.ny);
+  std::vector<double> field(geom.nx * geom.ny, 0.0);
+  for (std::size_t iy = 0; iy < geom.ny; ++iy) {
+    for (std::size_t ix = 0; ix < geom.nx; ++ix) {
+      const process::Point center{(static_cast<double>(ix) + 0.5) * cell_w,
+                                  (static_cast<double>(iy) + 0.5) * cell_h};
+      field[iy * geom.nx + ix] = estimate_at(sample, die, center).value();
+    }
+  }
+  return field;
+}
+
+double FieldEstimator::max_error(
+    const thermal::ThermalNetwork& network, std::size_t die,
+    const std::vector<StackMonitor::SiteReading>& sample) const {
+  const thermal::DieGeometry& geom = network.config().dies.at(die);
+  const std::vector<double> estimated = reconstruct(network, die, sample);
+  double worst = 0.0;
+  for (std::size_t iy = 0; iy < geom.ny; ++iy) {
+    for (std::size_t ix = 0; ix < geom.nx; ++ix) {
+      const double truth =
+          to_celsius(network.temperature_at(die, ix, iy)).value();
+      worst = std::max(worst,
+                       std::abs(estimated[iy * geom.nx + ix] - truth));
+    }
+  }
+  return worst;
+}
+
+}  // namespace tsvpt::core

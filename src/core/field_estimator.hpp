@@ -1,0 +1,51 @@
+// Software companion of the sensor network: reconstruct a die's full
+// temperature field from the handful of sensed points.  Inverse-distance
+// weighting (Shepard interpolation) — the standard cheap choice for on-line
+// thermal estimation — with exactness at the sensor sites.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/stack_monitor.hpp"
+#include "ptsim/units.hpp"
+#include "thermal/network.hpp"
+
+namespace tsvpt::core {
+
+class FieldEstimator {
+ public:
+  struct Config {
+    /// Inverse-distance exponent (2 = classic Shepard).
+    double power = 2.0;
+    /// Readings flagged degraded are excluded when true.
+    bool skip_degraded = true;
+  };
+
+  FieldEstimator() = default;
+  explicit FieldEstimator(Config config) : config_(config) {}
+
+  /// Estimate the temperature at one location on `die` from the sample's
+  /// readings on that die.  Throws if the sample has no usable reading
+  /// there.
+  [[nodiscard]] Celsius estimate_at(
+      const std::vector<StackMonitor::SiteReading>& sample, std::size_t die,
+      process::Point location) const;
+
+  /// Reconstruct the whole per-cell field of `die` (Celsius, row-major
+  /// iy * nx + ix, matching the thermal network's grid).
+  [[nodiscard]] std::vector<double> reconstruct(
+      const thermal::ThermalNetwork& network, std::size_t die,
+      const std::vector<StackMonitor::SiteReading>& sample) const;
+
+  /// Convenience: worst absolute reconstruction error vs the network's
+  /// current true state on that die.
+  [[nodiscard]] double max_error(
+      const thermal::ThermalNetwork& network, std::size_t die,
+      const std::vector<StackMonitor::SiteReading>& sample) const;
+
+ private:
+  Config config_{};
+};
+
+}  // namespace tsvpt::core

@@ -1,0 +1,246 @@
+#include "core/pt_sensor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "calib/newton.hpp"
+
+namespace tsvpt::core {
+namespace {
+
+std::array<circuit::RingOscillator, kRoCount> build_bank(
+    const PtSensor::Config& cfg) {
+  using circuit::RingOscillator;
+  using circuit::RoTopology;
+  return {RingOscillator::make(cfg.tech, RoTopology::kNmosSensitive,
+                               cfg.psro_stages),
+          RingOscillator::make(cfg.tech, RoTopology::kPmosSensitive,
+                               cfg.psro_stages),
+          RingOscillator::make(cfg.tech, RoTopology::kThermal,
+                               cfg.tdro_stages),
+          RingOscillator::make(cfg.tech, RoTopology::kStandard,
+                               cfg.stdro_stages)};
+}
+
+}  // namespace
+
+PtSensor::PtSensor(Config config, std::uint64_t instance_seed)
+    : config_(std::move(config)), bank_(build_bank(config_)),
+      counter_(config_.counter),
+      vdd_monitor_(config_.vdd_monitor, derive_seed(instance_seed, 0x5DD)) {
+  Rng instance_rng{instance_seed};
+  const double sigma = config_.ro_mismatch_sigma.value();
+  for (auto& m : mismatch_) {
+    m.nmos = Volt{instance_rng.gaussian(0.0, sigma)};
+    m.pmos = Volt{instance_rng.gaussian(0.0, sigma)};
+  }
+  // Per-instance reference-clock error: +-20 ppm systematic, drawn once.
+  circuit::FrequencyCounter::Config counter_cfg = config_.counter;
+  counter_cfg.reference.systematic_ppm = instance_rng.gaussian(0.0, 20.0);
+  counter_ = circuit::FrequencyCounter{counter_cfg};
+}
+
+Hertz PtSensor::model_frequency(RoRole role, Volt dvtn, Volt dvtp,
+                                Kelvin t) const {
+  return model_frequency(role, dvtn, dvtp, t, config_.model_vdd);
+}
+
+Hertz PtSensor::model_frequency(RoRole role, Volt dvtn, Volt dvtp, Kelvin t,
+                                Volt vdd) const {
+  circuit::OperatingPoint op;
+  op.vdd = vdd;
+  op.temperature = t;
+  op.vt_delta = {dvtn, dvtp};
+  return ro(role).frequency(op);
+}
+
+void PtSensor::inject_fault(RoRole role, RoFault fault, Hertz stuck_at) {
+  faults_[static_cast<std::size_t>(role)] = fault;
+  stuck_frequency_[static_cast<std::size_t>(role)] = stuck_at;
+}
+
+void PtSensor::clear_faults() {
+  faults_.fill(RoFault::kNone);
+}
+
+circuit::FrequencyCounter::Reading PtSensor::measure(
+    RoRole role, Volt rail, const DieEnvironment& env, Rng* noise,
+    circuit::ConversionEnergyModel& energy) const {
+  circuit::OperatingPoint op;
+  op.vdd = rail;
+  op.temperature = env.temperature;
+  op.vt_delta = env.vt_delta + mismatch_[static_cast<std::size_t>(role)];
+  Hertz f_true = ro(role).frequency(op);
+  switch (faults_[static_cast<std::size_t>(role)]) {
+    case RoFault::kNone:
+      break;
+    case RoFault::kDead:
+      f_true = Hertz{0.0};
+      break;
+    case RoFault::kStuck:
+      f_true = stuck_frequency_[static_cast<std::size_t>(role)];
+      break;
+  }
+  const auto reading = counter_.measure(f_true, noise);
+  energy.add_oscillator_window(ro(role).energy_per_cycle(op.vdd),
+                               reading.count, counter_.nominal_window());
+  return reading;
+}
+
+PtSensor::ProcessEstimate PtSensor::self_calibrate(const DieEnvironment& env,
+                                                   Rng* noise) {
+  circuit::ConversionEnergyModel energy{config_.energy};
+  energy.reset();
+
+  const Volt rail = env.supply.effective(noise);
+  const Volt vdd_hat = rail_estimate(rail, noise, energy);
+
+  const std::array<RoRole, 3> roles{RoRole::kPsroN, RoRole::kPsroP,
+                                    RoRole::kTdro};
+  std::array<double, 3> meas{};
+  for (std::size_t i = 0; i < roles.size(); ++i) {
+    const auto reading = measure(roles[i], rail, env, noise, energy);
+    if (reading.measured.value() <= 0.0) {
+      // A dead oscillator: no information to solve with.  Report a
+      // non-converged estimate rather than poisoning the solver with
+      // log(0); the caller sees converged == false.
+      ProcessEstimate failed;
+      failed.vdd = vdd_hat;
+      failed.energy = energy.finish().total();
+      latched_ = failed;
+      return failed;
+    }
+    meas[i] = std::log(reading.measured.value());
+  }
+
+  // Residual of the stored nominal model — evaluated at the rail estimate —
+  // vs the measurement.  Unknowns: (dVtn, dVtp, T).
+  auto residual = [&](const calib::Vector& x) {
+    const Volt dvtn{x[0]};
+    const Volt dvtp{x[1]};
+    const Kelvin t{x[2]};
+    calib::Vector r(roles.size());
+    for (std::size_t i = 0; i < roles.size(); ++i) {
+      r[i] =
+          std::log(model_frequency(roles[i], dvtn, dvtp, t, vdd_hat).value()) -
+          meas[i];
+    }
+    return r;
+  };
+
+  calib::NewtonOptions options;
+  options.max_iterations = 80;
+  options.tolerance = 1e-10;
+  const double vt_box = config_.vt_search.value();
+  options.lower_bounds = {-vt_box, -vt_box, to_kelvin(config_.t_min).value()};
+  options.upper_bounds = {+vt_box, +vt_box, to_kelvin(config_.t_max).value()};
+  const calib::NewtonResult solved =
+      calib::newton_solve(residual, calib::Vector{0.0, 0.0, 305.0}, options);
+
+  ProcessEstimate estimate;
+  estimate.dvtn = Volt{solved.x[0]};
+  estimate.dvtp = Volt{solved.x[1]};
+  estimate.temperature = Kelvin{solved.x[2]};
+  estimate.vdd = vdd_hat;
+  estimate.converged = solved.converged;
+  estimate.iterations = solved.iterations;
+  estimate.residual = solved.residual;
+  estimate.energy = energy.finish().total();
+  latched_ = estimate;
+  return estimate;
+}
+
+const PtSensor::ProcessEstimate& PtSensor::latched_process() const {
+  if (!latched_) throw std::logic_error{"PtSensor: not calibrated"};
+  return *latched_;
+}
+
+TemperatureReading PtSensor::read(const DieEnvironment& env, Rng* noise) {
+  if (!latched_) {
+    // Power-on: first conversion is the full self-calibration.
+    const ProcessEstimate est = self_calibrate(env, noise);
+    return {to_celsius(est.temperature), est.energy, !est.converged};
+  }
+
+  circuit::ConversionEnergyModel energy{config_.energy};
+  energy.reset();
+  const Volt rail = env.supply.effective(noise);
+  const Volt vdd_hat = rail_estimate(rail, noise, energy);
+  const auto r_t = measure(RoRole::kTdro, rail, env, noise, energy);
+
+  TemperatureReading out;
+  out.degraded = r_t.saturated;
+  const Volt dvtn = latched_->dvtn;
+  const Volt dvtp = latched_->dvtp;
+  const double t_lo = to_kelvin(config_.t_min).value();
+  const double t_hi = to_kelvin(config_.t_max).value();
+
+  if (r_t.measured.value() <= 0.0) {
+    // Dead TDRO: clamp to the range floor and flag — the fleet-level fault
+    // detector is responsible for spotting the dead site.
+    out.degraded = true;
+    out.temperature = config_.t_min;
+    out.energy = energy.finish().total();
+    return out;
+  }
+  const double target = std::log(r_t.measured.value());
+  auto f = [&](double t_kelvin) {
+    return std::log(model_frequency(RoRole::kTdro, dvtn, dvtp,
+                                    Kelvin{t_kelvin}, vdd_hat)
+                        .value()) -
+           target;
+  };
+  double t_solved;
+  try {
+    t_solved = calib::brent_root(f, t_lo, t_hi, 1e-9);
+  } catch (const std::runtime_error&) {
+    // Out-of-range frequency: clamp to the nearer end and flag it.
+    t_solved = std::abs(f(t_lo)) < std::abs(f(t_hi)) ? t_lo : t_hi;
+    out.degraded = true;
+  }
+  out.temperature = to_celsius(Kelvin{t_solved});
+  out.energy = energy.finish().total();
+  return out;
+}
+
+TemperatureReading PtSensor::read_averaged(const DieEnvironment& env,
+                                           std::size_t samples, Rng* noise) {
+  if (samples == 0) {
+    throw std::invalid_argument{"read_averaged: zero samples"};
+  }
+  TemperatureReading out;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const TemperatureReading one = read(env, noise);
+    acc += one.temperature.value();
+    out.energy += one.energy;
+    out.degraded = out.degraded || one.degraded;
+  }
+  out.temperature = Celsius{acc / static_cast<double>(samples)};
+  return out;
+}
+
+Volt PtSensor::rail_estimate(Volt rail, Rng* noise,
+                             circuit::ConversionEnergyModel& energy) const {
+  if (!config_.compensate_supply) return config_.model_vdd;
+  energy.add_auxiliary(vdd_monitor_.sample_energy());
+  return vdd_monitor_.measure(rail, noise);
+}
+
+Joule PtSensor::calibration_energy() const {
+  PtSensor probe = *this;
+  DieEnvironment env;
+  env.supply = circuit::SupplyRail{{config_.model_vdd, Volt{0.0}, Volt{0.0}}};
+  return probe.self_calibrate(env, nullptr).energy;
+}
+
+Joule PtSensor::tracking_energy() const {
+  PtSensor probe = *this;
+  DieEnvironment env;
+  env.supply = circuit::SupplyRail{{config_.model_vdd, Volt{0.0}, Volt{0.0}}};
+  (void)probe.self_calibrate(env, nullptr);
+  return probe.read(env, nullptr).energy;
+}
+
+}  // namespace tsvpt::core

@@ -1,0 +1,34 @@
+// Common interface for all temperature sensors in the repo (the proposed PT
+// sensor and every baseline), so the comparison benches and the stack
+// monitor can treat them uniformly.
+#pragma once
+
+#include <string>
+
+#include "core/die_environment.hpp"
+#include "ptsim/rng.hpp"
+#include "ptsim/units.hpp"
+
+namespace tsvpt::core {
+
+struct TemperatureReading {
+  Celsius temperature{0.0};
+  /// Energy spent on this conversion.
+  Joule energy{0.0};
+  /// True when the reading is suspect (saturated counter, failed solve...).
+  bool degraded = false;
+};
+
+class TemperatureSensor {
+ public:
+  virtual ~TemperatureSensor() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Perform one conversion in the given environment.  `noise` randomizes
+  /// the physical noise sources; nullptr gives the expected-value reading.
+  [[nodiscard]] virtual TemperatureReading read(const DieEnvironment& env,
+                                                Rng* noise) = 0;
+};
+
+}  // namespace tsvpt::core

@@ -1,0 +1,124 @@
+#include "core/stack_monitor.hpp"
+
+#include <stdexcept>
+
+namespace tsvpt::core {
+
+StackMonitor::StackMonitor(thermal::ThermalNetwork* network,
+                           PtSensor::Config sensor_config,
+                           std::vector<SensorSite> sites, std::uint64_t seed)
+    : network_(network), sites_(std::move(sites)) {
+  if (network_ == nullptr) throw std::invalid_argument{"null network"};
+  if (sites_.empty()) throw std::invalid_argument{"StackMonitor: no sites"};
+  for (const SensorSite& site : sites_) {
+    if (site.die >= network_->config().die_count()) {
+      throw std::invalid_argument{"StackMonitor: site on missing die"};
+    }
+  }
+  sensors_.reserve(sites_.size());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    sensors_.emplace_back(sensor_config, derive_seed(seed, i));
+  }
+}
+
+DieEnvironment StackMonitor::environment_at(std::size_t i) const {
+  const SensorSite& site = sites_[i];
+  DieEnvironment env;
+  env.temperature = network_->temperature_at(site.die, site.location);
+  env.vt_delta = site.vt_delta;
+  env.supply = site.supply;
+  return env;
+}
+
+void StackMonitor::calibrate_all(Rng* noise) {
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    (void)sensors_[i].self_calibrate(environment_at(i), noise);
+  }
+}
+
+StackMonitor::SiteReading StackMonitor::sample_site(std::size_t site_index,
+                                                    Rng* noise) {
+  if (site_index >= sites_.size()) {
+    throw std::out_of_range{"StackMonitor::sample_site"};
+  }
+  const DieEnvironment env = environment_at(site_index);
+  const TemperatureReading reading = sensors_[site_index].read(env, noise);
+  SiteReading site_reading;
+  site_reading.site_index = site_index;
+  site_reading.die = sites_[site_index].die;
+  site_reading.location = sites_[site_index].location;
+  site_reading.sensed = reading.temperature;
+  site_reading.truth = to_celsius(env.temperature);
+  site_reading.energy = reading.energy;
+  site_reading.degraded = reading.degraded;
+  return site_reading;
+}
+
+std::vector<StackMonitor::SiteReading> StackMonitor::sample_all(Rng* noise) {
+  std::vector<SiteReading> out;
+  out.reserve(sites_.size());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    out.push_back(sample_site(i, noise));
+  }
+  return out;
+}
+
+Celsius StackMonitor::max_sensed(const std::vector<SiteReading>& sample,
+                                 std::size_t die) {
+  bool found = false;
+  double best = -1e30;
+  for (const SiteReading& r : sample) {
+    if (r.die != die) continue;
+    found = true;
+    best = std::max(best, r.sensed.value());
+  }
+  if (!found) throw std::invalid_argument{"max_sensed: no sites on die"};
+  return Celsius{best};
+}
+
+std::vector<StackMonitor::ProcessReport> StackMonitor::process_map() const {
+  std::vector<ProcessReport> out;
+  out.reserve(sites_.size());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    const PtSensor& sensor = sensors_[i];
+    ProcessReport report;
+    report.site_index = i;
+    report.die = sites_[i].die;
+    report.location = sites_[i].location;
+    const PtSensor::ProcessEstimate& est = sensor.latched_process();
+    report.dvtn_hat = est.dvtn;
+    report.dvtp_hat = est.dvtp;
+    report.dvtn_true = sites_[i].vt_delta.nmos;
+    report.dvtp_true = sites_[i].vt_delta.pmos;
+    out.push_back(report);
+  }
+  return out;
+}
+
+std::vector<SensorSite> StackMonitor::uniform_sites(
+    const thermal::StackConfig& config, std::size_t columns,
+    std::size_t rows) {
+  if (columns == 0 || rows == 0) {
+    throw std::invalid_argument{"uniform_sites: zero grid"};
+  }
+  std::vector<SensorSite> sites;
+  sites.reserve(config.dies.size() * columns * rows);
+  for (std::size_t d = 0; d < config.dies.size(); ++d) {
+    const thermal::DieGeometry& die = config.dies[d];
+    for (std::size_t i = 0; i < columns; ++i) {
+      for (std::size_t j = 0; j < rows; ++j) {
+        SensorSite site;
+        site.die = d;
+        site.location = {
+            die.width.value() * (static_cast<double>(i) + 0.5) /
+                static_cast<double>(columns),
+            die.height.value() * (static_cast<double>(j) + 0.5) /
+                static_cast<double>(rows)};
+        sites.push_back(site);
+      }
+    }
+  }
+  return sites;
+}
+
+}  // namespace tsvpt::core

@@ -1,0 +1,95 @@
+// Multi-die sensor network: one or more PT-sensor macros per die of a TSV
+// stack, sampled against the thermal simulator's ground truth.  This is the
+// system-level deliverable of the paper — intra-die process/temperature
+// monitoring for 3D-ICs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/supply.hpp"
+#include "core/pt_sensor.hpp"
+#include "process/geometry.hpp"
+#include "thermal/network.hpp"
+
+namespace tsvpt::core {
+
+/// Where a sensor macro sits and what it locally experiences.
+struct SensorSite {
+  std::size_t die = 0;
+  process::Point location;
+  /// True local threshold deviation (from the process model).
+  device::VtDelta vt_delta;
+  /// Local rail (droop grows with die index in a realistic TSV PDN).
+  circuit::SupplyRail supply;
+};
+
+class StackMonitor {
+ public:
+  /// `network` must outlive the monitor.  Each site gets its own PtSensor
+  /// instance with an independent seed (independent mismatch draws).
+  StackMonitor(thermal::ThermalNetwork* network, PtSensor::Config sensor_config,
+               std::vector<SensorSite> sites, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+  [[nodiscard]] const SensorSite& site(std::size_t i) const {
+    return sites_.at(i);
+  }
+  [[nodiscard]] PtSensor& sensor(std::size_t i) { return sensors_.at(i); }
+
+  /// Run the full self-calibration conversion at every site against the
+  /// network's *current* temperature field (power-on calibration).
+  void calibrate_all(Rng* noise);
+
+  struct SiteReading {
+    std::size_t site_index = 0;
+    std::size_t die = 0;
+    process::Point location;
+    Celsius sensed{0.0};
+    Celsius truth{0.0};
+    Joule energy{0.0};
+    bool degraded = false;
+
+    [[nodiscard]] double error() const {
+      return sensed.value() - truth.value();
+    }
+  };
+
+  /// One tracking conversion per site against the current thermal state.
+  [[nodiscard]] std::vector<SiteReading> sample_all(Rng* noise);
+
+  /// One tracking conversion of a single site (used by serialized/TDM
+  /// readout, where sites are visited one at a time as the stack evolves).
+  [[nodiscard]] SiteReading sample_site(std::size_t site_index, Rng* noise);
+
+  /// Hottest *sensed* temperature on a die from the given sample.
+  [[nodiscard]] static Celsius max_sensed(
+      const std::vector<SiteReading>& sample, std::size_t die);
+
+  struct ProcessReport {
+    std::size_t site_index = 0;
+    std::size_t die = 0;
+    process::Point location;
+    Volt dvtn_hat{0.0};
+    Volt dvtp_hat{0.0};
+    Volt dvtn_true{0.0};
+    Volt dvtp_true{0.0};
+  };
+
+  /// Latched process estimates vs ground truth (requires calibrate_all).
+  [[nodiscard]] std::vector<ProcessReport> process_map() const;
+
+  /// Helper: a uniform grid of candidate sites on every die of a stack.
+  [[nodiscard]] static std::vector<SensorSite> uniform_sites(
+      const thermal::StackConfig& config, std::size_t columns,
+      std::size_t rows);
+
+ private:
+  [[nodiscard]] DieEnvironment environment_at(std::size_t i) const;
+
+  thermal::ThermalNetwork* network_;
+  std::vector<SensorSite> sites_;
+  std::vector<PtSensor> sensors_;
+};
+
+}  // namespace tsvpt::core

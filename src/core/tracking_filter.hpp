@@ -1,0 +1,63 @@
+// Temporal smoothing of tracking reads.  Counter quantization and rail
+// noise make raw conversions jitter by tenths of a degree; thermal time
+// constants are milliseconds — so a rate-limited exponential filter removes
+// conversion noise without hiding real transients.  Header-only.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ptsim/units.hpp"
+
+namespace tsvpt::core {
+
+class TrackingFilter {
+ public:
+  struct Config {
+    /// Smoothing factor per update in (0, 1]; 1 = no filtering.
+    double alpha = 0.35;
+    /// Slew bound: the filtered value may move at most this fast.  Bounds
+    /// the impact of a single corrupted conversion.  degC per second.
+    double max_slew = 5e3;
+  };
+
+  TrackingFilter() : TrackingFilter(Config{}) {}
+  explicit TrackingFilter(Config config) : config_(config) {
+    if (config_.alpha <= 0.0 || config_.alpha > 1.0) {
+      throw std::invalid_argument{"TrackingFilter: alpha outside (0, 1]"};
+    }
+    if (config_.max_slew <= 0.0) {
+      throw std::invalid_argument{"TrackingFilter: non-positive slew"};
+    }
+  }
+
+  [[nodiscard]] bool primed() const { return primed_; }
+  [[nodiscard]] Celsius value() const { return Celsius{state_}; }
+
+  /// Feed one raw conversion taken `dt` after the previous one.
+  Celsius update(Celsius raw, Second dt) {
+    if (dt.value() <= 0.0) {
+      throw std::invalid_argument{"TrackingFilter: dt <= 0"};
+    }
+    if (!primed_) {
+      state_ = raw.value();
+      primed_ = true;
+      return Celsius{state_};
+    }
+    const double target =
+        state_ + config_.alpha * (raw.value() - state_);
+    const double bound = config_.max_slew * dt.value();
+    state_ += std::clamp(target - state_, -bound, bound);
+    return Celsius{state_};
+  }
+
+  void reset() { primed_ = false; state_ = 0.0; }
+
+ private:
+  Config config_;
+  bool primed_ = false;
+  double state_ = 0.0;
+};
+
+}  // namespace tsvpt::core

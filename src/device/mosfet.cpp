@@ -1,0 +1,58 @@
+#include "device/mosfet.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvpt::device {
+namespace {
+
+/// Numerically stable ln(1 + exp(x)).
+double softplus(double x) {
+  if (x > 30.0) return x;
+  if (x < -30.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+}  // namespace
+
+Mosfet::Mosfet(const Technology& tech, TransistorKind kind)
+    : params_(tech.params(kind)), t_ref_(tech.t_ref), kind_(kind) {}
+
+Volt Mosfet::vt(Kelvin t, Volt delta_vt) const {
+  return params_.vt_at(t, t_ref_) + delta_vt;
+}
+
+Ampere Mosfet::i_spec(Kelvin t) const {
+  if (t.value() <= 0.0) throw std::invalid_argument{"temperature <= 0 K"};
+  const double mobility = std::pow(t.value() / t_ref_.value(),
+                                   -params_.mobility_exponent);
+  const double vt_ratio = t.value() / t_ref_.value();  // vT scales as T
+  return Ampere{params_.i_spec0.value() * mobility * vt_ratio * vt_ratio};
+}
+
+Ampere Mosfet::id_sat(Volt vgs, Kelvin t, Volt delta_vt) const {
+  const double n = params_.slope_factor;
+  const double v_therm = thermal_voltage(t).value();
+  const double u = vgs.value() - vt(t, delta_vt).value();
+  const double q = softplus(u / (2.0 * n * v_therm));
+  return Ampere{i_spec(t).value() * q * q};
+}
+
+Ampere Mosfet::id(Volt vgs, Volt vds, Kelvin t, Volt delta_vt) const {
+  const double v_therm = thermal_voltage(t).value();
+  const double sat = 1.0 - std::exp(-std::abs(vds.value()) / v_therm);
+  return Ampere{id_sat(vgs, t, delta_vt).value() * sat};
+}
+
+Ampere Mosfet::leakage(Volt vdd, Kelvin t, Volt delta_vt) const {
+  return id(Volt{0.0}, vdd, t, delta_vt);
+}
+
+double Mosfet::did_dvt(Volt vgs, Kelvin t, Volt delta_vt) const {
+  constexpr double kStep = 0.1e-3;  // 0.1 mV central difference
+  const Ampere hi = id_sat(vgs, t, delta_vt + Volt{kStep});
+  const Ampere lo = id_sat(vgs, t, delta_vt - Volt{kStep});
+  return (hi.value() - lo.value()) / (2.0 * kStep);
+}
+
+}  // namespace tsvpt::device

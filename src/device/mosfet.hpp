@@ -1,0 +1,81 @@
+// Behavioral MOSFET current model.
+//
+// EKV-style interpolation between subthreshold exponential conduction and
+// strong-inversion square-law conduction:
+//
+//   Id(Vgs, T) = I_spec(T) * ln(1 + exp(u / (2 n vT)))^2,
+//   u          = Vgs - |Vt|(T),
+//   I_spec(T)  = I_spec0 * (T/T0)^-m * (vT/vT0)^2.
+//
+// This single smooth expression reproduces the two facts the paper's sensor
+// exploits:
+//   * at full overdrive, mobility degradation (T^-m) dominates — a standard
+//     ring oscillator slows slightly as temperature rises and is strongly
+//     Vt-sensitive;
+//   * near/below threshold, the exp(u / n vT) term dominates — a
+//     current-starved oscillator speeds up steeply and monotonically with
+//     temperature.
+// Vds dependence is folded into the saturation assumption (oscillator stages
+// switch rail-to-rail), with an explicit (1 - exp(-Vds/vT)) factor available
+// for triode-region queries.
+#pragma once
+
+#include "device/tech.hpp"
+#include "ptsim/units.hpp"
+
+namespace tsvpt::device {
+
+/// Per-instance threshold deviation: the sum of die-to-die, within-die and
+/// stress-induced shifts, in volts added to |Vt|.
+struct VtDelta {
+  Volt nmos{0.0};
+  Volt pmos{0.0};
+
+  [[nodiscard]] Volt of(TransistorKind kind) const {
+    return kind == TransistorKind::kNmos ? nmos : pmos;
+  }
+  friend VtDelta operator+(VtDelta a, VtDelta b) {
+    return {a.nmos + b.nmos, a.pmos + b.pmos};
+  }
+};
+
+/// Evaluates drain current, threshold voltage and leakage for one transistor
+/// type of a Technology, given operating temperature and a Vt deviation.
+class Mosfet {
+ public:
+  Mosfet(const Technology& tech, TransistorKind kind);
+
+  [[nodiscard]] TransistorKind kind() const { return kind_; }
+
+  /// |Vt| at temperature t including the per-instance deviation.
+  [[nodiscard]] Volt vt(Kelvin t, Volt delta_vt = Volt{0.0}) const;
+
+  /// Saturation drain-current magnitude at gate overdrive from Vgs (gate
+  /// voltage magnitude relative to source).  Always >= 0.
+  [[nodiscard]] Ampere id_sat(Volt vgs, Kelvin t,
+                              Volt delta_vt = Volt{0.0}) const;
+
+  /// Drain current including the drain-saturation factor for small Vds.
+  [[nodiscard]] Ampere id(Volt vgs, Volt vds, Kelvin t,
+                          Volt delta_vt = Volt{0.0}) const;
+
+  /// Subthreshold leakage at Vgs = 0, Vds = VDD.
+  [[nodiscard]] Ampere leakage(Volt vdd, Kelvin t,
+                               Volt delta_vt = Volt{0.0}) const;
+
+  /// Temperature-scaled specific current.
+  [[nodiscard]] Ampere i_spec(Kelvin t) const;
+
+  /// d(Id_sat)/d(Vt) evaluated numerically; used by sensitivity analyses.
+  [[nodiscard]] double did_dvt(Volt vgs, Kelvin t,
+                               Volt delta_vt = Volt{0.0}) const;
+
+ private:
+  // Stored by value: Mosfet instances are frequently captured in lambdas
+  // and member objects that outlive the Technology they were built from.
+  TransistorParams params_;
+  Kelvin t_ref_;
+  TransistorKind kind_;
+};
+
+}  // namespace tsvpt::device

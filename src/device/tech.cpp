@@ -1,0 +1,83 @@
+#include "device/tech.hpp"
+
+namespace tsvpt::device {
+
+const char* to_string(Corner corner) {
+  switch (corner) {
+    case Corner::kTT:
+      return "TT";
+    case Corner::kFF:
+      return "FF";
+    case Corner::kSS:
+      return "SS";
+    case Corner::kFS:
+      return "FS";
+    case Corner::kSF:
+      return "SF";
+  }
+  return "?";
+}
+
+std::array<Corner, 5> all_corners() {
+  return {Corner::kTT, Corner::kFF, Corner::kSS, Corner::kFS, Corner::kSF};
+}
+
+CornerShift Technology::corner_shift(Corner corner) const {
+  // Fast corners are low-Vt (more drive), slow corners high-Vt.  +/-3 sigma
+  // of the D2D spread is the conventional corner definition.
+  const Volt fast{-3.0 * sigma_vt_d2d.value()};
+  const Volt slow{+3.0 * sigma_vt_d2d.value()};
+  switch (corner) {
+    case Corner::kTT:
+      return {Volt{0.0}, Volt{0.0}};
+    case Corner::kFF:
+      return {fast, fast};
+    case Corner::kSS:
+      return {slow, slow};
+    case Corner::kFS:  // fast NMOS, slow PMOS
+      return {fast, slow};
+    case Corner::kSF:  // slow NMOS, fast PMOS
+      return {slow, fast};
+  }
+  return {};
+}
+
+Technology Technology::tsmc65_like() {
+  Technology tech;
+  tech.name = "65nm-GP-like";
+  tech.vdd_nominal = Volt{1.0};
+  tech.t_ref = Kelvin{300.0};
+
+  tech.nmos.vt0 = Volt{0.42};
+  tech.nmos.dvt_dt = -0.9e-3;
+  tech.nmos.mobility_exponent = 1.5;
+  tech.nmos.slope_factor = 1.35;
+  tech.nmos.i_spec0 = Ampere{4.2e-6};
+
+  // PMOS: slightly higher |Vt|, lower mobility (hole transport), expressed
+  // through a smaller specific current.
+  tech.pmos.vt0 = Volt{0.40};
+  tech.pmos.dvt_dt = -0.8e-3;
+  tech.pmos.mobility_exponent = 1.4;
+  tech.pmos.slope_factor = 1.40;
+  tech.pmos.i_spec0 = Ampere{3.0e-6};
+
+  tech.stage_cap = Farad{2.0e-15};
+  tech.sigma_vt_d2d = Volt{12e-3};
+  tech.sigma_vt_wid = Volt{8e-3};
+  tech.wid_correlation_length = Meter{1.0e-3};
+  return tech;
+}
+
+Technology Technology::lp65_like() {
+  Technology tech = tsmc65_like();
+  tech.name = "65nm-LP-like";
+  tech.nmos.vt0 = Volt{0.50};
+  tech.pmos.vt0 = Volt{0.47};
+  tech.nmos.i_spec0 = Ampere{3.0e-6};
+  tech.pmos.i_spec0 = Ampere{2.2e-6};
+  tech.vdd_nominal = Volt{1.2};
+  return tech;
+}
+
+}  // namespace tsvpt::device

@@ -1,0 +1,83 @@
+// Technology description for the behavioral 65 nm-like CMOS models.
+//
+// The paper's silicon is TSMC 65 nm; we have no PDK, so this module defines a
+// *behaviorally equivalent* technology: parameter values chosen to reproduce
+// published 65 nm bulk-CMOS characteristics (|Vt| ~ 0.35-0.45 V, Vt tempco
+// ~ -0.8 mV/K, mobility ~ T^-1.5, inverter FO1 delay of a few ps at 1.0 V).
+// Everything the sensor algorithm exploits — the sign and relative magnitude
+// of ∂f/∂Vtn, ∂f/∂Vtp, ∂f/∂T per oscillator flavour — is preserved.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "ptsim/units.hpp"
+
+namespace tsvpt::device {
+
+/// Which device of the complementary pair.
+enum class TransistorKind { kNmos, kPmos };
+
+/// Global process corner.  Shifts are applied to |Vt| of each device type;
+/// the usual five-corner set.
+enum class Corner { kTT, kFF, kSS, kFS, kSF };
+
+[[nodiscard]] const char* to_string(Corner corner);
+[[nodiscard]] std::array<Corner, 5> all_corners();
+
+/// Per-transistor behavioral parameters (magnitudes; PMOS quantities are
+/// expressed as positive numbers with the sign handled by the models).
+struct TransistorParams {
+  /// Zero-bias threshold-voltage magnitude at the reference temperature.
+  Volt vt0{0.42};
+  /// Threshold tempco d|Vt|/dT (negative: |Vt| falls as T rises), V/K.
+  double dvt_dt = -0.9e-3;
+  /// Mobility temperature exponent m in mu(T) = mu0 (T/T0)^-m.
+  double mobility_exponent = 1.5;
+  /// Subthreshold slope factor n (S = n * vT * ln 10).
+  double slope_factor = 1.35;
+  /// Specific current I_spec at the reference temperature (absorbs
+  /// mu0 * Cox * W/L * 2 n vT0^2); sets the drive-strength scale.
+  Ampere i_spec0{4e-6};
+
+  /// |Vt| at absolute temperature `t`, before any variation delta.
+  [[nodiscard]] Volt vt_at(Kelvin t, Kelvin t_ref) const {
+    return Volt{vt0.value() + dvt_dt * (t.value() - t_ref.value())};
+  }
+};
+
+/// Corner-induced |Vt| shifts for the two device types.
+struct CornerShift {
+  Volt nmos{0.0};
+  Volt pmos{0.0};
+};
+
+/// The full technology card.
+struct Technology {
+  std::string name;
+  Volt vdd_nominal{1.0};
+  Kelvin t_ref{300.0};
+  TransistorParams nmos;
+  TransistorParams pmos;
+  /// Switched capacitance per inverter stage (gate + wire + junction).
+  Farad stage_cap{2.0e-15};
+  /// Die-to-die Vt sigma (same draw shifts every device of one type on a
+  /// die) and within-die Vt sigma (per-location random field).
+  Volt sigma_vt_d2d{12e-3};
+  Volt sigma_vt_wid{8e-3};
+  /// Within-die spatial correlation length of the Vt field.
+  Meter wid_correlation_length{1.0e-3};
+
+  [[nodiscard]] CornerShift corner_shift(Corner corner) const;
+  [[nodiscard]] const TransistorParams& params(TransistorKind kind) const {
+    return kind == TransistorKind::kNmos ? nmos : pmos;
+  }
+
+  /// The behavioral stand-in for TSMC 65 nm GP used throughout the repo.
+  [[nodiscard]] static Technology tsmc65_like();
+  /// A low-power flavour (higher Vt, weaker drive) used by ablations to
+  /// check the algorithm is not tuned to one card.
+  [[nodiscard]] static Technology lp65_like();
+};
+
+}  // namespace tsvpt::device

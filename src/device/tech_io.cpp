@@ -1,0 +1,186 @@
+#include "device/tech_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsvpt::device {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error{"technology card line " + std::to_string(line) +
+                           ": " + message};
+}
+
+double parse_double(const std::string& value, int line) {
+  std::size_t consumed = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    fail(line, "not a number: '" + value + "'");
+  }
+  if (consumed != value.size()) {
+    fail(line, "trailing characters in number: '" + value + "'");
+  }
+  if (!std::isfinite(parsed)) fail(line, "non-finite value");
+  return parsed;
+}
+
+void check_positive(double v, const std::string& key, int line) {
+  if (!(v > 0.0)) fail(line, key + " must be > 0");
+}
+
+}  // namespace
+
+Technology parse_technology(std::istream& in) {
+  Technology tech = Technology::tsmc65_like();
+  // Key -> setter; setters validate where sign/positivity is physical.
+  const std::map<std::string, std::function<void(double, int)>> setters{
+      {"vdd_nominal",
+       [&](double v, int line) {
+         check_positive(v, "vdd_nominal", line);
+         tech.vdd_nominal = Volt{v};
+       }},
+      {"t_ref",
+       [&](double v, int line) {
+         check_positive(v, "t_ref", line);
+         tech.t_ref = Kelvin{v};
+       }},
+      {"nmos.vt0",
+       [&](double v, int line) {
+         check_positive(v, "nmos.vt0", line);
+         tech.nmos.vt0 = Volt{v};
+       }},
+      {"nmos.dvt_dt", [&](double v, int) { tech.nmos.dvt_dt = v; }},
+      {"nmos.mobility_exponent",
+       [&](double v, int) { tech.nmos.mobility_exponent = v; }},
+      {"nmos.slope_factor",
+       [&](double v, int line) {
+         if (v < 1.0) fail(line, "slope factor below 1 is unphysical");
+         tech.nmos.slope_factor = v;
+       }},
+      {"nmos.i_spec0",
+       [&](double v, int line) {
+         check_positive(v, "nmos.i_spec0", line);
+         tech.nmos.i_spec0 = Ampere{v};
+       }},
+      {"pmos.vt0",
+       [&](double v, int line) {
+         check_positive(v, "pmos.vt0", line);
+         tech.pmos.vt0 = Volt{v};
+       }},
+      {"pmos.dvt_dt", [&](double v, int) { tech.pmos.dvt_dt = v; }},
+      {"pmos.mobility_exponent",
+       [&](double v, int) { tech.pmos.mobility_exponent = v; }},
+      {"pmos.slope_factor",
+       [&](double v, int line) {
+         if (v < 1.0) fail(line, "slope factor below 1 is unphysical");
+         tech.pmos.slope_factor = v;
+       }},
+      {"pmos.i_spec0",
+       [&](double v, int line) {
+         check_positive(v, "pmos.i_spec0", line);
+         tech.pmos.i_spec0 = Ampere{v};
+       }},
+      {"stage_cap",
+       [&](double v, int line) {
+         check_positive(v, "stage_cap", line);
+         tech.stage_cap = Farad{v};
+       }},
+      {"sigma_vt_d2d",
+       [&](double v, int line) {
+         if (v < 0.0) fail(line, "sigma_vt_d2d must be >= 0");
+         tech.sigma_vt_d2d = Volt{v};
+       }},
+      {"sigma_vt_wid",
+       [&](double v, int line) {
+         if (v < 0.0) fail(line, "sigma_vt_wid must be >= 0");
+         tech.sigma_vt_wid = Volt{v};
+       }},
+      {"wid_correlation_length",
+       [&](double v, int line) {
+         check_positive(v, "wid_correlation_length", line);
+         tech.wid_correlation_length = Meter{v};
+       }},
+  };
+
+  std::string raw;
+  int line_number = 0;
+  while (std::getline(in, raw)) {
+    ++line_number;
+    // Strip comments.
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_number, "expected 'key = value'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) fail(line_number, "empty key");
+    if (value.empty()) fail(line_number, "empty value for '" + key + "'");
+    if (key == "name") {
+      tech.name = value;
+      continue;
+    }
+    const auto it = setters.find(key);
+    if (it == setters.end()) fail(line_number, "unknown key '" + key + "'");
+    it->second(parse_double(value, line_number), line_number);
+  }
+  return tech;
+}
+
+Technology parse_technology_string(const std::string& text) {
+  std::istringstream in{text};
+  return parse_technology(in);
+}
+
+Technology load_technology(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"cannot open technology card: " + path};
+  return parse_technology(in);
+}
+
+std::string to_card_string(const Technology& tech) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "name = " << tech.name << '\n';
+  os << "vdd_nominal = " << tech.vdd_nominal.value() << '\n';
+  os << "t_ref = " << tech.t_ref.value() << '\n';
+  auto device = [&](const char* prefix, const TransistorParams& params) {
+    os << prefix << ".vt0 = " << params.vt0.value() << '\n';
+    os << prefix << ".dvt_dt = " << params.dvt_dt << '\n';
+    os << prefix << ".mobility_exponent = " << params.mobility_exponent
+       << '\n';
+    os << prefix << ".slope_factor = " << params.slope_factor << '\n';
+    os << prefix << ".i_spec0 = " << params.i_spec0.value() << '\n';
+  };
+  device("nmos", tech.nmos);
+  device("pmos", tech.pmos);
+  os << "stage_cap = " << tech.stage_cap.value() << '\n';
+  os << "sigma_vt_d2d = " << tech.sigma_vt_d2d.value() << '\n';
+  os << "sigma_vt_wid = " << tech.sigma_vt_wid.value() << '\n';
+  os << "wid_correlation_length = " << tech.wid_correlation_length.value()
+     << '\n';
+  return os.str();
+}
+
+void save_technology(const Technology& tech, const std::string& path) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"cannot write technology card: " + path};
+  out << to_card_string(tech);
+  if (!out) throw std::runtime_error{"write failed: " + path};
+}
+
+}  // namespace tsvpt::device

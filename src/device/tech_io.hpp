@@ -1,0 +1,44 @@
+// Text serialization of Technology cards.
+//
+// Downstream users retarget the behavioral models by editing a plain
+// "key = value" card instead of recompiling.  Format:
+//
+//   # 65nm-like example
+//   name = my65nm
+//   vdd_nominal = 1.0            # volts
+//   t_ref = 300.0                # kelvin
+//   nmos.vt0 = 0.42              # volts
+//   nmos.dvt_dt = -0.9e-3        # V/K
+//   nmos.mobility_exponent = 1.5
+//   nmos.slope_factor = 1.35
+//   nmos.i_spec0 = 4.2e-6        # amperes
+//   pmos.vt0 = 0.40
+//   ...
+//   stage_cap = 2.0e-15          # farads
+//   sigma_vt_d2d = 12e-3         # volts
+//   sigma_vt_wid = 8e-3
+//   wid_correlation_length = 1.0e-3   # meters
+//
+// Unspecified keys keep the tsmc65_like defaults; unknown keys and
+// malformed lines are hard errors with line numbers (silent typos in a
+// technology card are how wrong papers get written).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "device/tech.hpp"
+
+namespace tsvpt::device {
+
+/// Parse a card from text.  Throws std::runtime_error with a line number on
+/// any malformed or unknown entry.
+[[nodiscard]] Technology parse_technology(std::istream& in);
+[[nodiscard]] Technology parse_technology_string(const std::string& text);
+[[nodiscard]] Technology load_technology(const std::string& path);
+
+/// Serialize a card (round-trips through parse_technology).
+[[nodiscard]] std::string to_card_string(const Technology& tech);
+void save_technology(const Technology& tech, const std::string& path);
+
+}  // namespace tsvpt::device

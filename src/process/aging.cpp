@@ -1,0 +1,42 @@
+#include "process/aging.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvpt::process {
+
+AgingModel::AgingModel(AgingParams params) : params_(params) {
+  if (params_.time_exponent <= 0.0 || params_.reference_seconds <= 0.0) {
+    throw std::invalid_argument{"AgingModel: non-positive time parameters"};
+  }
+  if (params_.nbti_prefactor < 0.0 || params_.pbti_prefactor < 0.0) {
+    throw std::invalid_argument{"AgingModel: negative prefactor"};
+  }
+}
+
+Volt AgingModel::shift(device::TransistorKind kind, Second age,
+                       StressCondition stress) const {
+  if (age.value() < 0.0) throw std::invalid_argument{"AgingModel: age < 0"};
+  if (stress.duty < 0.0 || stress.duty > 1.0) {
+    throw std::invalid_argument{"AgingModel: duty outside [0, 1]"};
+  }
+  if (age.value() == 0.0 || stress.duty == 0.0) return Volt{0.0};
+  const double prefactor = kind == device::TransistorKind::kPmos
+                               ? params_.nbti_prefactor
+                               : params_.pbti_prefactor;
+  const double arrhenius =
+      std::exp(-params_.activation_ev /
+               (kBoltzmannOverQ * stress.temperature.value()));
+  const double duty = std::pow(stress.duty, params_.duty_exponent);
+  const double time_term =
+      std::pow(age.value() / params_.reference_seconds,
+               params_.time_exponent);
+  return Volt{prefactor * arrhenius * duty * time_term};
+}
+
+device::VtDelta AgingModel::shift(Second age, StressCondition stress) const {
+  return {shift(device::TransistorKind::kNmos, age, stress),
+          shift(device::TransistorKind::kPmos, age, stress)};
+}
+
+}  // namespace tsvpt::process

@@ -1,0 +1,22 @@
+// Planar geometry shared by the process-variation and thermal modules.
+#pragma once
+
+#include <cmath>
+
+namespace tsvpt::process {
+
+/// A point on a die, in meters from the die's lower-left corner.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  [[nodiscard]] double distance_to(Point other) const {
+    const double dx = x - other.x;
+    const double dy = y - other.y;
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+};
+
+}  // namespace tsvpt::process

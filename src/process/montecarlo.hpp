@@ -1,0 +1,40 @@
+// Monte-Carlo experiment driver: deterministic per-trial RNG streams so that
+// any single trial can be reproduced in isolation (trial k always sees the
+// same randomness regardless of how many trials run or in what order).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "ptsim/rng.hpp"
+
+namespace tsvpt::process {
+
+class MonteCarlo {
+ public:
+  MonteCarlo(std::uint64_t seed, std::size_t trials)
+      : seed_(seed), trials_(trials) {}
+
+  [[nodiscard]] std::size_t trials() const { return trials_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Invoke `fn(trial_index, rng)` for every trial with a decorrelated RNG.
+  void run(const std::function<void(std::size_t, Rng&)>& fn) const {
+    for (std::size_t t = 0; t < trials_; ++t) {
+      Rng rng{derive_seed(seed_, t)};
+      fn(t, rng);
+    }
+  }
+
+  /// RNG for one specific trial (for debugging a single failing die).
+  [[nodiscard]] Rng rng_for_trial(std::size_t trial) const {
+    return Rng{derive_seed(seed_, trial)};
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t trials_;
+};
+
+}  // namespace tsvpt::process

@@ -1,0 +1,56 @@
+#include "process/spatial_field.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "calib/linalg.hpp"
+
+namespace tsvpt::process {
+
+SpatialField::SpatialField(std::vector<Point> points, double sigma,
+                           double correlation_length)
+    : points_(std::move(points)), sigma_(sigma),
+      correlation_length_(correlation_length) {
+  if (points_.empty()) throw std::invalid_argument{"SpatialField: no points"};
+  if (sigma_ < 0.0) throw std::invalid_argument{"SpatialField: sigma < 0"};
+  if (correlation_length_ <= 0.0) {
+    throw std::invalid_argument{"SpatialField: correlation length <= 0"};
+  }
+  const std::size_t n = points_.size();
+  calib::Matrix cov{n, n};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double d = points_[i].distance_to(points_[j]);
+      const double c = sigma_ * sigma_ * std::exp(-d / correlation_length_);
+      cov(i, j) = c;
+      cov(j, i) = c;
+    }
+  }
+  // Coincident points make the covariance singular; cholesky() adds jitter,
+  // and for sigma == 0 we skip factorization entirely.
+  if (sigma_ > 0.0) cholesky_ = calib::cholesky(cov, 1e-4);
+}
+
+std::vector<double> SpatialField::sample(Rng& rng) const {
+  const std::size_t n = points_.size();
+  std::vector<double> out(n, 0.0);
+  if (sigma_ == 0.0) return out;
+  std::vector<double> z(n);
+  for (double& v : z) v = rng.gaussian();
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j <= i; ++j) acc += cholesky_(i, j) * z[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+double SpatialField::correlation_between(std::size_t i, std::size_t j) const {
+  if (i >= points_.size() || j >= points_.size()) {
+    throw std::out_of_range{"SpatialField::correlation_between"};
+  }
+  const double d = points_[i].distance_to(points_[j]);
+  return std::exp(-d / correlation_length_);
+}
+
+}  // namespace tsvpt::process

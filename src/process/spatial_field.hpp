@@ -1,0 +1,40 @@
+// Spatially correlated Gaussian random field sampled at a fixed set of die
+// locations.  Within-die Vt variation is not white: nearby devices match
+// better than distant ones.  We use the standard exponential-decay
+// correlation model rho(d) = exp(-d / L) and draw correlated samples through
+// the Cholesky factor of the covariance matrix.
+#pragma once
+
+#include <vector>
+
+#include "calib/matrix.hpp"
+#include "process/geometry.hpp"
+#include "ptsim/rng.hpp"
+
+namespace tsvpt::process {
+
+class SpatialField {
+ public:
+  /// `sigma` is the marginal standard deviation at every point;
+  /// `correlation_length` is L in rho(d) = exp(-d/L), in meters.
+  SpatialField(std::vector<Point> points, double sigma,
+               double correlation_length);
+
+  [[nodiscard]] std::size_t point_count() const { return points_.size(); }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] double sigma() const { return sigma_; }
+
+  /// One correlated realization: a vector aligned with `points()`.
+  [[nodiscard]] std::vector<double> sample(Rng& rng) const;
+
+  /// Model correlation between two of the field's points.
+  [[nodiscard]] double correlation_between(std::size_t i, std::size_t j) const;
+
+ private:
+  std::vector<Point> points_;
+  double sigma_;
+  double correlation_length_;
+  calib::Matrix cholesky_;  // lower factor of the covariance
+};
+
+}  // namespace tsvpt::process

@@ -1,0 +1,58 @@
+#include "process/tsv_stress.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tsvpt::process {
+
+TsvStressField::TsvStressField(std::vector<Point> tsv_centers,
+                               TsvStressParams params,
+                               double die_thinning_factor)
+    : centers_(std::move(tsv_centers)), params_(params),
+      thinning_factor_(die_thinning_factor) {
+  if (params_.via_radius.value() <= 0.0) {
+    throw std::invalid_argument{"TsvStressField: via radius <= 0"};
+  }
+  if (thinning_factor_ < 0.0) {
+    throw std::invalid_argument{"TsvStressField: thinning factor < 0"};
+  }
+}
+
+device::VtDelta TsvStressField::shift_at(Point p) const {
+  double n_shift = 0.0;
+  double p_shift = 0.0;
+  const double r_via = params_.via_radius.value();
+  const double cutoff = params_.cutoff_radius.value();
+  for (const Point& c : centers_) {
+    const double r = std::max(p.distance_to(c), r_via);
+    if (r > cutoff) continue;
+    const double decay = (r_via / r) * (r_via / r);
+    n_shift += params_.nmos_edge_shift.value() * decay;
+    p_shift += params_.pmos_edge_shift.value() * decay;
+  }
+  return {Volt{n_shift * thinning_factor_}, Volt{p_shift * thinning_factor_}};
+}
+
+std::vector<Point> TsvStressField::grid_layout(Meter die_width,
+                                               Meter die_height,
+                                               std::size_t columns,
+                                               std::size_t rows) {
+  if (columns == 0 || rows == 0) {
+    throw std::invalid_argument{"grid_layout: zero rows/columns"};
+  }
+  std::vector<Point> centers;
+  centers.reserve(columns * rows);
+  for (std::size_t i = 0; i < columns; ++i) {
+    for (std::size_t j = 0; j < rows; ++j) {
+      // Cell-centered placement keeps the grid symmetric inside the die.
+      centers.push_back(Point{
+          die_width.value() * (static_cast<double>(i) + 0.5) /
+              static_cast<double>(columns),
+          die_height.value() * (static_cast<double>(j) + 0.5) /
+              static_cast<double>(rows)});
+    }
+  }
+  return centers;
+}
+
+}  // namespace tsvpt::process

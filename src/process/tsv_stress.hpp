@@ -1,0 +1,64 @@
+// TSV-induced mechanical-stress Vt shift.
+//
+// Copper TSVs expand more than silicon when the stack heats during bonding
+// and operation (CTE 17 vs 2.6 ppm/K); the resulting radial stress field
+// shifts carrier mobility and threshold voltage of nearby devices — this is
+// the "thermal stress and Vt scatter" challenge the paper's abstract opens
+// with.  Published 65 nm measurements put the shift at up to ~10-20 mV at
+// the keep-out-zone edge, decaying roughly with the inverse square of
+// distance, with *opposite sign* for NMOS vs PMOS (piezoresistive
+// coefficients of electrons and holes differ in sign along <100>).
+//
+// Model: dVt(r) = amplitude * (r_via / r)^2 for r >= r_via (clamped at the
+// via edge), summed over all TSVs near the point, and scaled by a per-die
+// thinning factor (thinner dies in a stack see more stress).
+#pragma once
+
+#include <vector>
+
+#include "device/mosfet.hpp"
+#include "process/geometry.hpp"
+#include "ptsim/units.hpp"
+
+namespace tsvpt::process {
+
+struct TsvStressParams {
+  /// Via radius (stress reference radius), meters.
+  Meter via_radius{2.5e-6};
+  /// Vt shift magnitude at the via edge for each device type.  Signs differ:
+  /// tensile radial stress raises NMOS |Vt| and lowers PMOS |Vt| here.
+  Volt nmos_edge_shift{+10e-3};
+  Volt pmos_edge_shift{-7e-3};
+  /// Keep-out radius beyond which the shift is truncated to zero (standard
+  /// design-rule abstraction; the tail is negligible anyway).
+  Meter cutoff_radius{25e-6};
+};
+
+/// Positions of the TSVs on one die plus the stress model.
+class TsvStressField {
+ public:
+  TsvStressField() = default;
+  TsvStressField(std::vector<Point> tsv_centers, TsvStressParams params,
+                 double die_thinning_factor = 1.0);
+
+  [[nodiscard]] const std::vector<Point>& tsv_centers() const {
+    return centers_;
+  }
+  [[nodiscard]] const TsvStressParams& params() const { return params_; }
+
+  /// Total stress-induced Vt shift at a die location.
+  [[nodiscard]] device::VtDelta shift_at(Point p) const;
+
+  /// Convenience: a uniform grid of TSVs covering a die of the given size.
+  [[nodiscard]] static std::vector<Point> grid_layout(Meter die_width,
+                                                      Meter die_height,
+                                                      std::size_t columns,
+                                                      std::size_t rows);
+
+ private:
+  std::vector<Point> centers_;
+  TsvStressParams params_;
+  double thinning_factor_ = 1.0;
+};
+
+}  // namespace tsvpt::process

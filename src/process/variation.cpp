@@ -1,0 +1,64 @@
+#include "process/variation.hpp"
+
+#include <stdexcept>
+
+namespace tsvpt::process {
+
+VariationModel::VariationModel(const device::Technology& tech,
+                               std::vector<Point> points)
+    : tech_(&tech), points_(std::move(points)) {
+  if (points_.empty()) throw std::invalid_argument{"VariationModel: no points"};
+  const double sigma = tech.sigma_vt_wid.value();
+  const double length = tech.wid_correlation_length.value();
+  wid_nmos_.emplace(points_, sigma, length);
+  wid_pmos_.emplace(points_, sigma, length);
+}
+
+void VariationModel::set_tsv_stress(TsvStressField field) {
+  tsv_stress_ = std::move(field);
+}
+
+void VariationModel::scale_wid_sigma(double factor) {
+  if (factor < 0.0) throw std::invalid_argument{"scale_wid_sigma < 0"};
+  const double sigma = tech_->sigma_vt_wid.value() * factor;
+  const double length = tech_->wid_correlation_length.value();
+  wid_nmos_.emplace(points_, sigma, length);
+  wid_pmos_.emplace(points_, sigma, length);
+}
+
+std::vector<device::VtDelta> VariationModel::stress_at_points() const {
+  std::vector<device::VtDelta> stress(points_.size());
+  if (tsv_stress_) {
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      stress[i] = tsv_stress_->shift_at(points_[i]);
+    }
+  }
+  return stress;
+}
+
+DieVariation VariationModel::sample_die(Rng& rng) const {
+  DieVariation die;
+  const double sigma_d2d = tech_->sigma_vt_d2d.value() * d2d_scale_;
+  die.d2d.nmos = Volt{rng.gaussian(0.0, sigma_d2d)};
+  die.d2d.pmos = Volt{rng.gaussian(0.0, sigma_d2d)};
+
+  const std::vector<double> n_field = wid_nmos_->sample(rng);
+  const std::vector<double> p_field = wid_pmos_->sample(rng);
+  die.wid.resize(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    die.wid[i] = {Volt{n_field[i]}, Volt{p_field[i]}};
+  }
+  die.stress = stress_at_points();
+  return die;
+}
+
+DieVariation VariationModel::corner_die(device::Corner corner) const {
+  DieVariation die;
+  const device::CornerShift shift = tech_->corner_shift(corner);
+  die.d2d = {shift.nmos, shift.pmos};
+  die.wid.assign(points_.size(), device::VtDelta{});
+  die.stress = stress_at_points();
+  return die;
+}
+
+}  // namespace tsvpt::process

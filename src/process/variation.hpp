@@ -1,0 +1,73 @@
+// Per-die threshold-voltage variation model: die-to-die shift + spatially
+// correlated within-die field + deterministic TSV-stress contribution.
+//
+// This is the statistical environment the paper's sensor must survive: each
+// stacked die lands at a different (ΔVtn, ΔVtp) point, and the sensor's job
+// is to *measure* that point and keep reporting accurate temperature anyway.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "device/mosfet.hpp"
+#include "device/tech.hpp"
+#include "process/spatial_field.hpp"
+#include "process/tsv_stress.hpp"
+#include "ptsim/rng.hpp"
+
+namespace tsvpt::process {
+
+/// One die's realized variation, evaluated at the model's query points
+/// (typically the sensor locations on that die).
+struct DieVariation {
+  /// Die-to-die component: shifts every device of a type identically.
+  device::VtDelta d2d;
+  /// Within-die component per query point.
+  std::vector<device::VtDelta> wid;
+  /// TSV-stress component per query point (deterministic given layout).
+  std::vector<device::VtDelta> stress;
+
+  /// Total deviation applying to devices at query point `i`.
+  [[nodiscard]] device::VtDelta at(std::size_t i) const {
+    return d2d + wid.at(i) + stress.at(i);
+  }
+  [[nodiscard]] std::size_t point_count() const { return wid.size(); }
+};
+
+/// Generates DieVariation realizations for a fixed set of on-die locations.
+class VariationModel {
+ public:
+  VariationModel(const device::Technology& tech, std::vector<Point> points);
+
+  /// Attach a TSV layout whose stress field biases every realization.
+  void set_tsv_stress(TsvStressField field);
+
+  /// Scale factors for ablations (1.0 = technology card values).
+  void scale_d2d_sigma(double factor) { d2d_scale_ = factor; }
+  void scale_wid_sigma(double factor);
+
+  [[nodiscard]] std::size_t point_count() const { return points_.size(); }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+
+  /// Draw a statistical die.
+  [[nodiscard]] DieVariation sample_die(Rng& rng) const;
+
+  /// Deterministic corner die (corner shift as D2D, zero WID, stress kept).
+  [[nodiscard]] DieVariation corner_die(device::Corner corner) const;
+
+ private:
+  [[nodiscard]] std::vector<device::VtDelta> stress_at_points() const;
+
+  const device::Technology* tech_;
+  std::vector<Point> points_;
+  // Separate, independent fields for the two device types: NMOS and PMOS
+  // variation are dominated by their own implant steps and are largely
+  // uncorrelated.
+  std::optional<SpatialField> wid_nmos_;
+  std::optional<SpatialField> wid_pmos_;
+  std::optional<TsvStressField> tsv_stress_;
+  double d2d_scale_ = 1.0;
+};
+
+}  // namespace tsvpt::process

@@ -1,0 +1,75 @@
+#include "process/wafer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvpt::process {
+
+WaferModel::WaferModel(WaferParams params, std::uint64_t wafer_seed)
+    : params_(params) {
+  if (params_.radius.value() <= 0.0 || params_.die_pitch_x.value() <= 0.0 ||
+      params_.die_pitch_y.value() <= 0.0) {
+    throw std::invalid_argument{"WaferModel: non-positive geometry"};
+  }
+  Rng rng{wafer_seed};
+  bowl_scale_ = 1.0 + params_.lot_spread * rng.gaussian();
+  tilt_scale_ = 1.0 + params_.lot_spread * rng.gaussian();
+  tilt_direction_ = rng.uniform(0.0, 2.0 * 3.14159265358979);
+
+  // Reticle grid covering the wafer; keep sites whose center fits inside
+  // the usable radius.
+  const double r = params_.radius.value();
+  const double px = params_.die_pitch_x.value();
+  const double py = params_.die_pitch_y.value();
+  const auto nx = static_cast<long>(std::floor(r / px));
+  const auto ny = static_cast<long>(std::floor(r / py));
+  for (long iy = -ny; iy <= ny; ++iy) {
+    for (long ix = -nx; ix <= nx; ++ix) {
+      const Point p{static_cast<double>(ix) * px,
+                    static_cast<double>(iy) * py};
+      if (std::sqrt(p.x * p.x + p.y * p.y) <= r) sites_.push_back(p);
+    }
+  }
+  if (sites_.empty()) throw std::invalid_argument{"WaferModel: no sites"};
+
+  residuals_.reserve(sites_.size());
+  const double sigma = params_.sigma_residual.value();
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    Rng die_rng{derive_seed(wafer_seed, i + 1)};
+    residuals_.push_back({Volt{die_rng.gaussian(0.0, sigma)},
+                          Volt{die_rng.gaussian(0.0, sigma)}});
+  }
+}
+
+device::VtDelta WaferModel::systematic_at(Point position) const {
+  const double r = params_.radius.value();
+  const double rho2 = (position.x * position.x + position.y * position.y) /
+                      (r * r);
+  const double along_tilt =
+      (position.x * std::cos(tilt_direction_) +
+       position.y * std::sin(tilt_direction_)) /
+      r;
+  const double bowl = bowl_scale_ * rho2;
+  const double tilt = tilt_scale_ * along_tilt;
+  return {Volt{params_.bowl_nmos.value() * bowl +
+               params_.tilt_nmos.value() * tilt},
+          Volt{params_.bowl_pmos.value() * bowl +
+               params_.tilt_pmos.value() * tilt}};
+}
+
+device::VtDelta WaferModel::die_offset(std::size_t site_index) const {
+  if (site_index >= sites_.size()) {
+    throw std::out_of_range{"WaferModel::die_offset"};
+  }
+  return systematic_at(sites_[site_index]) + residuals_[site_index];
+}
+
+double WaferModel::site_radius(std::size_t site_index) const {
+  if (site_index >= sites_.size()) {
+    throw std::out_of_range{"WaferModel::site_radius"};
+  }
+  const Point& p = sites_[site_index];
+  return std::sqrt(p.x * p.x + p.y * p.y);
+}
+
+}  // namespace tsvpt::process

@@ -1,0 +1,72 @@
+// Wafer-level systematic variation.
+//
+// Die-to-die variation is not white across a wafer: implant dose and etch
+// gradients give every wafer a smooth systematic fingerprint — classically
+// a radial "bowl" plus a linear tilt — with a much smaller random per-die
+// residual on top.  3D integrators care because stacking partners are
+// picked from wafer maps; the A7 bench shows the PT sensor reconstructing
+// this map at power-on, for free, from already-packaged parts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/mosfet.hpp"
+#include "device/tech.hpp"
+#include "process/geometry.hpp"
+#include "ptsim/rng.hpp"
+#include "ptsim/units.hpp"
+
+namespace tsvpt::process {
+
+struct WaferParams {
+  /// Usable wafer radius (300 mm wafer with edge exclusion).
+  Meter radius{145e-3};
+  /// Die step on the reticle grid.
+  Meter die_pitch_x{5e-3};
+  Meter die_pitch_y{5e-3};
+  /// Radial bowl amplitude: dVt at the wafer edge relative to the center.
+  Volt bowl_nmos{9e-3};
+  Volt bowl_pmos{7e-3};
+  /// Linear tilt amplitude across the full diameter (direction randomized
+  /// per wafer).
+  Volt tilt_nmos{5e-3};
+  Volt tilt_pmos{4e-3};
+  /// Random per-die residual sigma (the part that is truly die-to-die).
+  Volt sigma_residual{5e-3};
+  /// Wafer-to-wafer jitter of bowl/tilt amplitudes (relative).
+  double lot_spread = 0.2;
+};
+
+/// One wafer's realized systematic map plus per-die residuals.
+class WaferModel {
+ public:
+  WaferModel(WaferParams params, std::uint64_t wafer_seed);
+
+  [[nodiscard]] const WaferParams& params() const { return params_; }
+
+  /// Die centers on the reticle grid that fit inside the usable radius,
+  /// coordinates relative to the wafer center.
+  [[nodiscard]] const std::vector<Point>& die_sites() const { return sites_; }
+  [[nodiscard]] std::size_t die_count() const { return sites_.size(); }
+
+  /// Systematic component only (bowl + tilt) at an arbitrary position.
+  [[nodiscard]] device::VtDelta systematic_at(Point position) const;
+
+  /// Full die-to-die offset of one die site: systematic + that die's
+  /// residual draw (deterministic per wafer seed).
+  [[nodiscard]] device::VtDelta die_offset(std::size_t site_index) const;
+
+  /// Distance of a site from the wafer center.
+  [[nodiscard]] double site_radius(std::size_t site_index) const;
+
+ private:
+  WaferParams params_;
+  std::vector<Point> sites_;
+  std::vector<device::VtDelta> residuals_;
+  double bowl_scale_ = 1.0;
+  double tilt_scale_ = 1.0;
+  double tilt_direction_ = 0.0;  // radians
+};
+
+}  // namespace tsvpt::process

@@ -1,0 +1,112 @@
+// Minimal command-line flag parser for the CLI tool (no external deps).
+// Supports `--key value`, `--key=value` and bare positionals; typed access
+// with defaults; unknown-flag detection.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tsvpt {
+
+class Args {
+ public:
+  /// Parse argv (excluding argv[0]).  Throws std::runtime_error on a flag
+  /// with no value.
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get(const std::string& key, double fallback) const;
+  [[nodiscard]] long long get(const std::string& key,
+                              long long fallback) const;
+
+  /// Throws std::runtime_error listing any flag not in `known`.
+  void check_known(const std::set<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positionals_;
+};
+
+inline Args::Args(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positionals_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    if (i + 1 >= argc) {
+      throw std::runtime_error{"flag --" + body + " needs a value"};
+    }
+    flags_[body] = argv[++i];
+  }
+}
+
+inline bool Args::has(const std::string& key) const {
+  return flags_.count(key) != 0;
+}
+
+inline std::string Args::get(const std::string& key,
+                             const std::string& fallback) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+inline double Args::get(const std::string& key, double fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(it->second, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != it->second.size()) {
+    throw std::runtime_error{"flag --" + key + ": not a number: '" +
+                             it->second + "'"};
+  }
+  return value;
+}
+
+inline long long Args::get(const std::string& key, long long fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  std::size_t consumed = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(it->second, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != it->second.size()) {
+    throw std::runtime_error{"flag --" + key + ": not an integer: '" +
+                             it->second + "'"};
+  }
+  return value;
+}
+
+inline void Args::check_known(const std::set<std::string>& known) const {
+  for (const auto& [key, value] : flags_) {
+    if (known.count(key) == 0) {
+      throw std::runtime_error{"unknown flag --" + key};
+    }
+  }
+}
+
+}  // namespace tsvpt

@@ -1,0 +1,69 @@
+// Minimal leveled logger.  The simulator libraries never print to stdout on
+// their own (bench output must stay machine-parsable); diagnostics go through
+// this sink, which tests can capture and benches can silence.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace tsvpt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+/// Process-wide logging configuration.  Not thread-safe by design: the
+/// simulator is single-threaded per experiment, and benches set this once at
+/// startup.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Replace the output sink (default writes to stderr).
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace detail {
+/// Stream-style one-shot message builder: LogLine(kInfo) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::instance().log(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() {
+  return detail::LogLine{LogLevel::kDebug};
+}
+inline detail::LogLine log_info() { return detail::LogLine{LogLevel::kInfo}; }
+inline detail::LogLine log_warn() { return detail::LogLine{LogLevel::kWarn}; }
+inline detail::LogLine log_error() {
+  return detail::LogLine{LogLevel::kError};
+}
+
+}  // namespace tsvpt

@@ -1,0 +1,114 @@
+#include "ptsim/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvpt {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// SplitMix64 step: used only for seeding / seed derivation.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream_id) {
+  // Mix the stream id through SplitMix64 twice so adjacent ids land far
+  // apart in the seed space.
+  std::uint64_t s = master ^ (0xA0761D6478BD642FULL * (stream_id + 1));
+  (void)splitmix64(s);
+  return splitmix64(s);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+  // xoshiro must not start from the all-zero state; SplitMix64 of any seed
+  // cannot produce four zero words, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (hi < lo) throw std::invalid_argument{"uniform_int: hi < lo"};
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Classic rejection below the bias threshold for an exactly uniform draw.
+  const std::uint64_t threshold = (0 - span) % span;
+  std::uint64_t x = next_u64();
+  while (x < threshold) x = next_u64();
+  return lo + static_cast<std::int64_t>(x % span);
+}
+
+double Rng::gaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  have_cached_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::gaussian(double mean, double sigma) {
+  return mean + sigma * gaussian();
+}
+
+bool Rng::bernoulli(double p_true) { return uniform() < p_true; }
+
+double Rng::exponential(double mean) {
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -mean * std::log(u);
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  return Rng{derive_seed(seed_, stream_id)};
+}
+
+void Rng::shuffle(std::vector<std::size_t>& items) {
+  if (items.empty()) return;
+  for (std::size_t i = items.size() - 1; i > 0; --i) {
+    const auto j =
+        static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i)));
+    std::swap(items[i], items[j]);
+  }
+}
+
+}  // namespace tsvpt

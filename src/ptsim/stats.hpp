@@ -1,0 +1,110 @@
+// Statistics accumulators used by the Monte-Carlo harnesses and benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tsvpt {
+
+/// Streaming mean / variance / extrema accumulator (Welford's algorithm).
+/// Used where the population is too large to keep resident.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double mean() const;
+  /// Population variance (n denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// max(|min|, |max|): the "±x" bound the paper's abstract quotes.
+  [[nodiscard]] double max_abs() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample container with quantile / sigma-bound queries.  Keeps all samples;
+/// fine for the populations used here (thousands to low millions).
+class Samples {
+ public:
+  Samples() = default;
+  explicit Samples(std::vector<double> values);
+
+  void add(double x);
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double max_abs() const;
+  /// Linear-interpolated quantile, q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  /// Three-sigma spread around the mean, the usual sensor-accuracy metric.
+  [[nodiscard]] double three_sigma() const { return 3.0 * stddev(); }
+  /// Root-mean-square of the samples (useful for error populations).
+  [[nodiscard]] double rms() const;
+
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-bin histogram over [lo, hi]; out-of-range samples clamp to the edge
+/// bins so totals always match the sample count.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  [[nodiscard]] double bin_width() const { return width_; }
+
+  /// Render as rows of "center count bar" suitable for bench output.
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Ordinary least-squares line fit; returned as y = slope * x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination of the fit.
+  double r_squared = 0.0;
+};
+
+[[nodiscard]] LineFit fit_line(const std::vector<double>& x,
+                               const std::vector<double>& y);
+
+/// Pearson correlation coefficient of two equal-length series.
+[[nodiscard]] double correlation(const std::vector<double>& x,
+                                 const std::vector<double>& y);
+
+}  // namespace tsvpt

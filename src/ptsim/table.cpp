@@ -1,0 +1,113 @@
+#include "ptsim/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsvpt {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::add_column(std::string header, int precision) {
+  if (!rows_.empty()) {
+    throw std::logic_error{"add_column after rows were added"};
+  }
+  headers_.push_back(std::move(header));
+  precisions_.push_back(precision);
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument{"row width does not match column count"};
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(const Cell& cell, std::size_t column) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  std::ostringstream os;
+  if (const auto* d = std::get_if<double>(&cell)) {
+    os.setf(std::ios::fixed);
+    os.precision(precisions_[column]);
+    os << *d;
+  } else {
+    os << std::get<long long>(cell);
+  }
+  return os.str();
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  std::vector<std::vector<std::string>> formatted;
+  formatted.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(row[c], c));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    formatted.push_back(std::move(cells));
+  }
+
+  std::ostringstream os;
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << cells[c] << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : formatted) print_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) os << ',';
+    os << quote(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << quote(format_cell(row[c], c));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"cannot open " + path};
+  out << to_csv();
+  if (!out) throw std::runtime_error{"write failed: " + path};
+}
+
+}  // namespace tsvpt

@@ -1,0 +1,54 @@
+// ASCII table / CSV rendering for the benchmark harnesses.
+//
+// Every bench binary regenerates a paper table or figure series; this class
+// gives them a uniform, diff-friendly output format (and a CSV sidecar for
+// plotting).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tsvpt {
+
+/// A table cell: text or a number with per-column formatting.
+using Cell = std::variant<std::string, double, long long>;
+
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Define columns, in order.  `precision` applies to double cells.
+  void add_column(std::string header, int precision = 3);
+
+  /// Append one row; must match the number of columns.
+  void add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return headers_.size(); }
+
+  /// Render as an aligned ASCII table.
+  [[nodiscard]] std::string render() const;
+
+  /// Render as CSV (RFC-4180-ish quoting for commas/quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Print the ASCII rendering to a stream (and title, if any).
+  void print(std::ostream& os) const;
+
+  /// Write the CSV form to `path`; throws std::runtime_error on failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  [[nodiscard]] std::string format_cell(const Cell& cell,
+                                        std::size_t column) const;
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<int> precisions_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace tsvpt

@@ -1,0 +1,221 @@
+// Strong physical-unit types used throughout the tsvpt libraries.
+//
+// The sensor models mix temperatures, voltages, frequencies, energies and
+// geometric quantities; silently adding a Kelvin to a Volt is exactly the
+// kind of bug a behavioral-model codebase breeds.  Every public interface in
+// this project therefore traffics in the wrapper types below instead of bare
+// doubles.  The wrappers are zero-overhead: a single double, constexpr
+// everywhere, with only the arithmetic that is dimensionally meaningful.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace tsvpt {
+
+/// CRTP base providing the arithmetic shared by all scalar unit wrappers.
+/// Same-unit add/subtract, scaling by dimensionless doubles, comparisons,
+/// and a ratio operator that yields a dimensionless double.
+template <typename Derived>
+class UnitBase {
+ public:
+  constexpr UnitBase() = default;
+  constexpr explicit UnitBase(double v) : value_(v) {}
+
+  /// Raw numeric value in the unit's canonical SI scale.
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.value_ + b.value_};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.value_ - b.value_};
+  }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.value_}; }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.value_ * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{a.value_ * s};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.value_ / s};
+  }
+  /// Ratio of two same-unit quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value_ / b.value_;
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) {
+    return a.value_ <=> b.value_;
+  }
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.value_ == b.value_;
+  }
+  constexpr Derived& operator+=(Derived b) {
+    value_ += b.value_;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived b) {
+    value_ -= b.value_;
+    return static_cast<Derived&>(*this);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Derived d) {
+    return os << d.value_ << ' ' << Derived::kSymbol;
+  }
+
+ protected:
+  double value_ = 0.0;
+};
+
+/// Electrical potential in volts.
+class Volt : public UnitBase<Volt> {
+ public:
+  static constexpr const char* kSymbol = "V";
+  using UnitBase::UnitBase;
+};
+
+/// Frequency in hertz.
+class Hertz : public UnitBase<Hertz> {
+ public:
+  static constexpr const char* kSymbol = "Hz";
+  using UnitBase::UnitBase;
+};
+
+/// Time in seconds.
+class Second : public UnitBase<Second> {
+ public:
+  static constexpr const char* kSymbol = "s";
+  using UnitBase::UnitBase;
+};
+
+/// Energy in joules.
+class Joule : public UnitBase<Joule> {
+ public:
+  static constexpr const char* kSymbol = "J";
+  using UnitBase::UnitBase;
+};
+
+/// Power in watts.
+class Watt : public UnitBase<Watt> {
+ public:
+  static constexpr const char* kSymbol = "W";
+  using UnitBase::UnitBase;
+};
+
+/// Electrical current in amperes.
+class Ampere : public UnitBase<Ampere> {
+ public:
+  static constexpr const char* kSymbol = "A";
+  using UnitBase::UnitBase;
+};
+
+/// Capacitance in farads.
+class Farad : public UnitBase<Farad> {
+ public:
+  static constexpr const char* kSymbol = "F";
+  using UnitBase::UnitBase;
+};
+
+/// Length in meters.
+class Meter : public UnitBase<Meter> {
+ public:
+  static constexpr const char* kSymbol = "m";
+  using UnitBase::UnitBase;
+};
+
+/// Absolute temperature in kelvin.  The thermal solver and the device physics
+/// work in kelvin; the user-facing API works in Celsius.
+class Kelvin : public UnitBase<Kelvin> {
+ public:
+  static constexpr const char* kSymbol = "K";
+  using UnitBase::UnitBase;
+};
+
+/// Temperature expressed in degrees Celsius.  Distinct from Kelvin so that
+/// the 273.15 offset is applied exactly once, at an explicit conversion.
+class Celsius : public UnitBase<Celsius> {
+ public:
+  static constexpr const char* kSymbol = "degC";
+  using UnitBase::UnitBase;
+};
+
+inline constexpr double kCelsiusOffset = 273.15;
+
+[[nodiscard]] constexpr Kelvin to_kelvin(Celsius c) {
+  return Kelvin{c.value() + kCelsiusOffset};
+}
+[[nodiscard]] constexpr Celsius to_celsius(Kelvin k) {
+  return Celsius{k.value() - kCelsiusOffset};
+}
+
+// Cross-unit arithmetic that the models actually need.
+[[nodiscard]] constexpr Second period_of(Hertz f) {
+  return Second{1.0 / f.value()};
+}
+[[nodiscard]] constexpr Hertz frequency_of(Second t) {
+  return Hertz{1.0 / t.value()};
+}
+[[nodiscard]] constexpr Joule operator*(Watt p, Second t) {
+  return Joule{p.value() * t.value()};
+}
+[[nodiscard]] constexpr Joule operator*(Second t, Watt p) { return p * t; }
+[[nodiscard]] constexpr Watt operator*(Volt v, Ampere i) {
+  return Watt{v.value() * i.value()};
+}
+[[nodiscard]] constexpr Watt operator/(Joule e, Second t) {
+  return Watt{e.value() / t.value()};
+}
+
+// Convenience literal-style factories (SI-prefixed), e.g. millivolts(1.6).
+[[nodiscard]] constexpr Volt volts(double v) { return Volt{v}; }
+[[nodiscard]] constexpr Volt millivolts(double v) { return Volt{v * 1e-3}; }
+[[nodiscard]] constexpr Hertz hertz(double v) { return Hertz{v}; }
+[[nodiscard]] constexpr Hertz kilohertz(double v) { return Hertz{v * 1e3}; }
+[[nodiscard]] constexpr Hertz megahertz(double v) { return Hertz{v * 1e6}; }
+[[nodiscard]] constexpr Hertz gigahertz(double v) { return Hertz{v * 1e9}; }
+[[nodiscard]] constexpr Second seconds(double v) { return Second{v}; }
+[[nodiscard]] constexpr Second milliseconds(double v) {
+  return Second{v * 1e-3};
+}
+[[nodiscard]] constexpr Second microseconds(double v) {
+  return Second{v * 1e-6};
+}
+[[nodiscard]] constexpr Second nanoseconds(double v) {
+  return Second{v * 1e-9};
+}
+[[nodiscard]] constexpr Second picoseconds(double v) {
+  return Second{v * 1e-12};
+}
+[[nodiscard]] constexpr Joule joules(double v) { return Joule{v}; }
+[[nodiscard]] constexpr Joule picojoules(double v) { return Joule{v * 1e-12}; }
+[[nodiscard]] constexpr Joule femtojoules(double v) {
+  return Joule{v * 1e-15};
+}
+[[nodiscard]] constexpr Watt watts(double v) { return Watt{v}; }
+[[nodiscard]] constexpr Watt milliwatts(double v) { return Watt{v * 1e-3}; }
+[[nodiscard]] constexpr Watt microwatts(double v) { return Watt{v * 1e-6}; }
+[[nodiscard]] constexpr Meter meters(double v) { return Meter{v}; }
+[[nodiscard]] constexpr Meter millimeters(double v) { return Meter{v * 1e-3}; }
+[[nodiscard]] constexpr Meter micrometers(double v) { return Meter{v * 1e-6}; }
+[[nodiscard]] constexpr Celsius celsius(double v) { return Celsius{v}; }
+[[nodiscard]] constexpr Kelvin kelvin(double v) { return Kelvin{v}; }
+[[nodiscard]] constexpr Farad farads(double v) { return Farad{v}; }
+[[nodiscard]] constexpr Farad femtofarads(double v) {
+  return Farad{v * 1e-15};
+}
+[[nodiscard]] constexpr Ampere amperes(double v) { return Ampere{v}; }
+[[nodiscard]] constexpr Ampere microamperes(double v) {
+  return Ampere{v * 1e-6};
+}
+
+/// Boltzmann constant over electron charge: thermal voltage slope, V/K.
+inline constexpr double kBoltzmannOverQ = 8.617333262e-5;
+
+/// Thermal voltage kT/q at an absolute temperature.
+[[nodiscard]] constexpr Volt thermal_voltage(Kelvin t) {
+  return Volt{kBoltzmannOverQ * t.value()};
+}
+
+}  // namespace tsvpt

@@ -1,0 +1,100 @@
+#include "sim/dvfs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+
+namespace tsvpt::sim {
+
+DvfsGovernor::Config DvfsGovernor::Config::typical() {
+  Config cfg;
+  cfg.ladder = {{"P0", 1.00, 1.00},
+                {"P1", 0.90, 0.73},   // ~f V^2 at 0.9 f, 0.95 V
+                {"P2", 0.75, 0.51},
+                {"P3", 0.50, 0.25}};
+  return cfg;
+}
+
+DvfsGovernor::DvfsGovernor(Config config) : config_(std::move(config)) {
+  if (config_.ladder.empty()) {
+    throw std::invalid_argument{"DvfsGovernor: empty ladder"};
+  }
+  for (std::size_t i = 1; i < config_.ladder.size(); ++i) {
+    if (config_.ladder[i].relative_frequency >=
+        config_.ladder[i - 1].relative_frequency) {
+      throw std::invalid_argument{"DvfsGovernor: ladder must slow downward"};
+    }
+  }
+  if (config_.initial_level >= config_.ladder.size()) {
+    throw std::invalid_argument{"DvfsGovernor: initial level out of range"};
+  }
+  if (!(config_.floor < config_.ceiling)) {
+    throw std::invalid_argument{"DvfsGovernor: floor must be below ceiling"};
+  }
+}
+
+DvfsGovernor::Result DvfsGovernor::run(thermal::ThermalNetwork& network,
+                                       const thermal::Workload& workload,
+                                       core::StackMonitor& monitor,
+                                       Second duration,
+                                       std::uint64_t noise_seed) const {
+  Rng noise{noise_seed};
+  Result result;
+  result.residency.assign(config_.ladder.size(), 0.0);
+
+  workload.apply(network, Second{0.0});
+  network.set_uniform_temperature(network.config().ambient);
+  monitor.calibrate_all(&noise);
+
+  std::size_t level = config_.initial_level;
+  const std::size_t die_count = network.config().die_count();
+
+  Simulator sim;
+  const Second h = config_.thermal_step;
+  std::function<void(Simulator&)> thermal_tick = [&](Simulator& s) {
+    workload.apply(network, s.now());
+    network.scale_power(config_.ladder[level].power_scale);
+    network.step(h);
+    result.relative_throughput +=
+        config_.ladder[level].relative_frequency * h.value();
+    result.residency[level] += h.value();
+    for (std::size_t d = 0; d < die_count; ++d) {
+      const Celsius t = to_celsius(network.max_temperature(d));
+      if (t > result.max_true) result.max_true = t;
+      const double excess = t.value() - config_.ceiling.value();
+      if (excess > 0.0) result.overshoot_integral += excess * h.value();
+    }
+    if (s.now() + h <= duration) s.schedule_after(h, thermal_tick);
+  };
+  sim.schedule_at(Second{0.0}, thermal_tick);
+
+  std::function<void(Simulator&)> sample_tick = [&](Simulator& s) {
+    const auto readings = monitor.sample_all(&noise);
+    Celsius hottest{-273.15};
+    for (const auto& r : readings) {
+      if (r.sensed > hottest) hottest = r.sensed;
+    }
+    if (hottest > config_.ceiling && level + 1 < config_.ladder.size()) {
+      ++level;
+      ++result.transitions;
+    } else if (hottest < config_.floor && level > 0) {
+      --level;
+      ++result.transitions;
+    }
+    const Second next = s.now() + config_.sample_period;
+    if (next <= duration) s.schedule_after(config_.sample_period, sample_tick);
+  };
+  sim.schedule_at(config_.sample_period, sample_tick);
+
+  sim.run_until(duration);
+
+  // Normalize throughput and residency by elapsed time.
+  if (duration.value() > 0.0) {
+    result.relative_throughput /= duration.value();
+    for (double& r : result.residency) r /= duration.value();
+  }
+  return result;
+}
+
+}  // namespace tsvpt::sim

@@ -1,0 +1,73 @@
+// Sensor-driven DVFS governor.
+//
+// The thermal guard (thermal_guard.hpp) is a blunt on/off throttle; real
+// systems run a ladder of (VDD, f) operating points and walk it under a
+// temperature constraint.  This governor walks the ladder using the sensed
+// stack temperature: step down when the hottest sensed point crosses the
+// ceiling, step back up when it cools below the floor.  Throughput is
+// tallied as the integral of the running level's relative frequency, so
+// sensor accuracy converts directly into either lost throughput (reading
+// high) or thermal overshoot (reading low) — the A11 bench quantifies both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stack_monitor.hpp"
+#include "ptsim/units.hpp"
+#include "thermal/workload.hpp"
+
+namespace tsvpt::sim {
+
+/// One rung of the DVFS ladder.
+struct DvfsLevel {
+  std::string name;
+  /// Relative clock (1.0 = nominal); throughput accrues at this rate.
+  double relative_frequency = 1.0;
+  /// Power multiplier applied to the workload's map (~ f V^2 scaling).
+  double power_scale = 1.0;
+};
+
+class DvfsGovernor {
+ public:
+  struct Config {
+    std::vector<DvfsLevel> ladder;  // ordered fastest first
+    Celsius ceiling{85.0};
+    Celsius floor{75.0};
+    Second sample_period{1e-3};
+    Second thermal_step{2e-4};
+    /// Start at this ladder index.
+    std::size_t initial_level = 0;
+
+    /// A typical 4-level ladder: nominal, -10 %, -25 %, half speed.
+    [[nodiscard]] static Config typical();
+  };
+
+  struct Result {
+    /// Throughput as a fraction of running flat-out at level 0.
+    double relative_throughput = 0.0;
+    Celsius max_true{-273.15};
+    /// Time integral of true excess over the ceiling, degC * s.
+    double overshoot_integral = 0.0;
+    /// Level transitions taken.
+    std::size_t transitions = 0;
+    /// Residency fraction per ladder level.
+    std::vector<double> residency;
+  };
+
+  explicit DvfsGovernor(Config config);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Run the workload under governor control for `duration`.
+  [[nodiscard]] Result run(thermal::ThermalNetwork& network,
+                           const thermal::Workload& workload,
+                           core::StackMonitor& monitor, Second duration,
+                           std::uint64_t noise_seed) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace tsvpt::sim

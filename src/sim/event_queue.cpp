@@ -1,0 +1,34 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tsvpt::sim {
+
+void Simulator::schedule_at(Second t, Action action) {
+  if (t < now_) throw std::invalid_argument{"schedule_at: time in the past"};
+  if (!action) throw std::invalid_argument{"schedule_at: empty action"};
+  queue_.push({t.value(), next_sequence_++, std::move(action)});
+}
+
+void Simulator::schedule_after(Second dt, Action action) {
+  if (dt.value() < 0.0) throw std::invalid_argument{"schedule_after: dt < 0"};
+  schedule_at(now_ + dt, std::move(action));
+}
+
+void Simulator::run_until(Second t_end) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    const Event& top = queue_.top();
+    if (top.time > t_end.value()) break;
+    // Copy out before pop: the action may schedule new events.
+    Action action = top.action;
+    now_ = Second{top.time};
+    queue_.pop();
+    ++processed_;
+    action(*this);
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+}  // namespace tsvpt::sim

@@ -1,0 +1,54 @@
+// Minimal discrete-event kernel.  Events are (time, sequence) ordered —
+// ties break in scheduling order, which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "ptsim/units.hpp"
+
+namespace tsvpt::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void(Simulator&)>;
+
+  [[nodiscard]] Second now() const { return now_; }
+  [[nodiscard]] std::size_t processed_count() const { return processed_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+  /// Schedule an action at an absolute time (must not be in the past).
+  void schedule_at(Second t, Action action);
+  /// Schedule an action `dt` after the current time.
+  void schedule_after(Second dt, Action action);
+
+  /// Process events in order until the queue is empty, `t_end` is reached,
+  /// or stop() is called.  The clock ends at min(t_end, last event).
+  void run_until(Second t_end);
+
+  /// Stop processing after the current event returns.
+  void stop() { stopped_ = true; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t sequence;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Second now_{0.0};
+  std::uint64_t next_sequence_ = 0;
+  std::size_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace tsvpt::sim

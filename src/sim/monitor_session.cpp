@@ -1,0 +1,92 @@
+#include "sim/monitor_session.hpp"
+
+#include <stdexcept>
+
+namespace tsvpt::sim {
+
+MonitoringSession::MonitoringSession(thermal::ThermalNetwork* network,
+                                     const thermal::Workload* workload,
+                                     core::StackMonitor* monitor,
+                                     Config config, std::uint64_t noise_seed)
+    : network_(network), workload_(workload), monitor_(monitor),
+      config_(config), noise_(noise_seed) {
+  if (network_ == nullptr || workload_ == nullptr || monitor_ == nullptr) {
+    throw std::invalid_argument{"MonitoringSession: null dependency"};
+  }
+  if (config_.sample_period.value() <= 0.0 ||
+      config_.thermal_step.value() <= 0.0) {
+    throw std::invalid_argument{"MonitoringSession: non-positive period"};
+  }
+}
+
+void MonitoringSession::run(Second duration) {
+  trace_.clear();
+
+  // Initial thermal state.
+  workload_->apply(*network_, Second{0.0});
+  if (config_.start_at_steady_state) {
+    network_->set_temperatures(network_->steady_state());
+  } else {
+    network_->set_uniform_temperature(network_->config().ambient);
+  }
+
+  // Power-on self-calibration against the initial state.
+  monitor_->calibrate_all(&noise_);
+
+  Simulator sim;
+
+  // Thermal advancement event: re-apply the active workload phase, then
+  // integrate one step.
+  const Second h = config_.thermal_step;
+  std::function<void(Simulator&)> thermal_tick = [&](Simulator& s) {
+    workload_->apply(*network_, s.now());
+    network_->step(h);
+    if (s.now() + h <= duration) s.schedule_after(h, thermal_tick);
+  };
+  sim.schedule_at(Second{0.0}, thermal_tick);
+
+  // Sampling event.  With a TDM slot, the stack keeps evolving between the
+  // individual site conversions of one scan.
+  std::function<void(Simulator&)> sample_tick = [&](Simulator& s) {
+    SamplePoint point;
+    point.time = s.now();
+    if (config_.readout_slot.value() <= 0.0) {
+      point.readings = monitor_->sample_all(&noise_);
+    } else {
+      point.readings.reserve(monitor_->site_count());
+      for (std::size_t i = 0; i < monitor_->site_count(); ++i) {
+        point.readings.push_back(monitor_->sample_site(i, &noise_));
+        if (i + 1 < monitor_->site_count()) {
+          workload_->apply(*network_,
+                           s.now() + config_.readout_slot *
+                                         static_cast<double>(i));
+          network_->step(config_.readout_slot);
+        }
+      }
+    }
+    trace_.push_back(std::move(point));
+    const Second next = s.now() + config_.sample_period;
+    if (next <= duration) s.schedule_after(config_.sample_period, sample_tick);
+  };
+  sim.schedule_at(config_.sample_period, sample_tick);
+
+  sim.run_until(duration);
+}
+
+Samples MonitoringSession::error_samples() const {
+  Samples errors;
+  for (const SamplePoint& point : trace_) {
+    for (const auto& reading : point.readings) errors.add(reading.error());
+  }
+  return errors;
+}
+
+Joule MonitoringSession::total_sensing_energy() const {
+  Joule total{0.0};
+  for (const SamplePoint& point : trace_) {
+    for (const auto& reading : point.readings) total += reading.energy;
+  }
+  return total;
+}
+
+}  // namespace tsvpt::sim

@@ -1,0 +1,80 @@
+#include "sim/thermal_guard.hpp"
+
+#include <algorithm>
+
+#include "sim/event_queue.hpp"
+
+namespace tsvpt::sim {
+
+ThermalGuard::Result ThermalGuard::run(thermal::ThermalNetwork& network,
+                                       const thermal::Workload& workload,
+                                       core::StackMonitor& monitor,
+                                       Second duration,
+                                       std::uint64_t noise_seed,
+                                       bool enabled) const {
+  Rng noise{noise_seed};
+  Result result;
+
+  // Power-on: the stack starts at ambient; the guard must catch the first
+  // burst's transient, not inherit a pre-heated steady state.
+  workload.apply(network, Second{0.0});
+  network.set_uniform_temperature(network.config().ambient);
+  monitor.calibrate_all(&noise);
+
+  bool throttled = false;
+  std::size_t samples = 0;
+  std::size_t throttled_samples = 0;
+
+  Simulator sim;
+  const Second h = config_.thermal_step;
+  const std::size_t die_count = network.config().die_count();
+
+  std::function<void(Simulator&)> thermal_tick = [&](Simulator& s) {
+    workload.apply(network, s.now());
+    if (throttled) network.scale_power(config_.throttle_factor);
+    network.step(h);
+    // Track the true maximum and the over-limit integral.
+    for (std::size_t d = 0; d < die_count; ++d) {
+      const Celsius t = to_celsius(network.max_temperature(d));
+      result.max_true = std::max(result.max_true, t,
+                                 [](Celsius a, Celsius b) { return a < b; });
+      const double excess = t.value() - config_.throttle_on.value();
+      if (excess > 0.0) result.overshoot_integral += excess * h.value();
+    }
+    if (s.now() + h <= duration) s.schedule_after(h, thermal_tick);
+  };
+  sim.schedule_at(Second{0.0}, thermal_tick);
+
+  std::function<void(Simulator&)> sample_tick = [&](Simulator& s) {
+    const auto readings = monitor.sample_all(&noise);
+    Celsius hottest{-273.15};
+    for (const auto& r : readings) {
+      hottest = std::max(hottest, r.sensed,
+                         [](Celsius a, Celsius b) { return a < b; });
+    }
+    result.max_sensed = std::max(result.max_sensed, hottest,
+                                 [](Celsius a, Celsius b) { return a < b; });
+    ++samples;
+    if (throttled) ++throttled_samples;
+    if (enabled) {
+      if (!throttled && hottest > config_.throttle_on) {
+        throttled = true;
+        ++result.throttle_events;
+      } else if (throttled && hottest < config_.throttle_off) {
+        throttled = false;
+      }
+    }
+    const Second next = s.now() + config_.sample_period;
+    if (next <= duration) s.schedule_after(config_.sample_period, sample_tick);
+  };
+  sim.schedule_at(config_.sample_period, sample_tick);
+
+  sim.run_until(duration);
+  result.throttled_fraction =
+      samples == 0 ? 0.0
+                   : static_cast<double>(throttled_samples) /
+                         static_cast<double>(samples);
+  return result;
+}
+
+}  // namespace tsvpt::sim

@@ -1,0 +1,51 @@
+// Closed-loop thermal management driven by the sensor network: a hysteretic
+// throttle that scales the stack's power when any *sensed* temperature
+// crosses the trip point.  Demonstrates the sensor in its intended system
+// role and quantifies what sensing error costs (a miscalibrated sensor trips
+// late — or never).
+#pragma once
+
+#include <cstdint>
+
+#include "core/stack_monitor.hpp"
+#include "ptsim/units.hpp"
+#include "thermal/workload.hpp"
+
+namespace tsvpt::sim {
+
+class ThermalGuard {
+ public:
+  struct Config {
+    Celsius throttle_on{85.0};
+    Celsius throttle_off{78.0};
+    /// Power multiplier while throttled.
+    double throttle_factor = 0.3;
+    Second sample_period{1e-3};
+    Second thermal_step{2e-4};
+  };
+
+  struct Result {
+    /// Hottest true / sensed temperatures seen anywhere during the run.
+    Celsius max_true{-273.15};
+    Celsius max_sensed{-273.15};
+    /// Fraction of samples spent throttled, and throttle-on event count.
+    double throttled_fraction = 0.0;
+    std::size_t throttle_events = 0;
+    /// Time integral of true over-limit excess, degC * s (0 = never over).
+    double overshoot_integral = 0.0;
+  };
+
+  explicit ThermalGuard(Config config) : config_(config) {}
+
+  /// Simulate `duration` of the workload.  When `enabled` is false the
+  /// guard only observes (baseline run).
+  [[nodiscard]] Result run(thermal::ThermalNetwork& network,
+                           const thermal::Workload& workload,
+                           core::StackMonitor& monitor, Second duration,
+                           std::uint64_t noise_seed, bool enabled) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace tsvpt::sim

@@ -1,0 +1,42 @@
+// Device-consistent leakage power sources for the thermal network.
+//
+// Leakage follows the subthreshold current of the technology card — the
+// same exponential the sensor's TDRO exploits — so heating a die raises its
+// leakage, which heats it further: the positive feedback that makes 3D
+// stacks runaway-prone (the A6 bench reproduces the knee).
+#pragma once
+
+#include <algorithm>
+
+#include "device/mosfet.hpp"
+#include "device/tech.hpp"
+#include "ptsim/units.hpp"
+#include "thermal/network.hpp"
+
+namespace tsvpt::thermal {
+
+/// A per-cell leakage source with the technology's temperature shape,
+/// scaled so one cell dissipates `per_cell_at_ref` at `t_ref`, and clamped
+/// at `max_ratio` x the reference (real leakage saturates once devices are
+/// fully off-state-limited; the clamp also keeps the runaway transient
+/// numerically meaningful).  The absolute scale stands in for the die's
+/// total device width, which a floorplan-level model does not resolve.
+[[nodiscard]] inline TemperaturePowerFn leakage_source(
+    const device::Technology& tech, Volt vdd, Watt per_cell_at_ref,
+    Kelvin t_ref, double max_ratio = 40.0) {
+  const device::Mosfet nmos{tech, device::TransistorKind::kNmos};
+  const device::Mosfet pmos{tech, device::TransistorKind::kPmos};
+  auto raw = [nmos, pmos, vdd](double t_kelvin) {
+    const Kelvin t{t_kelvin};
+    return (nmos.leakage(vdd, t).value() + pmos.leakage(vdd, t).value()) *
+           vdd.value();
+  };
+  const double at_ref = raw(t_ref.value());
+  const double scale = per_cell_at_ref.value() / at_ref;
+  const double cap = per_cell_at_ref.value() * max_ratio;
+  return [raw, scale, cap](double t_kelvin) {
+    return std::min(scale * raw(t_kelvin), cap);
+  };
+}
+
+}  // namespace tsvpt::thermal

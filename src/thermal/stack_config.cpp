@@ -1,0 +1,55 @@
+#include "thermal/stack_config.hpp"
+
+#include <stdexcept>
+
+#include "process/tsv_stress.hpp"
+
+namespace tsvpt::thermal {
+
+MaterialProps silicon() { return {120.0, 2330.0, 700.0}; }
+MaterialProps copper() { return {400.0, 8960.0, 385.0}; }
+MaterialProps underfill() { return {0.9, 1700.0, 1000.0}; }
+
+void StackConfig::validate() const {
+  if (dies.empty()) throw std::invalid_argument{"StackConfig: no dies"};
+  if (bonds.size() + 1 != dies.size()) {
+    throw std::invalid_argument{"StackConfig: bonds must be dies-1"};
+  }
+  for (const DieGeometry& die : dies) {
+    if (die.nx == 0 || die.ny == 0) {
+      throw std::invalid_argument{"StackConfig: zero grid"};
+    }
+    if (die.width.value() <= 0.0 || die.height.value() <= 0.0 ||
+        die.thickness.value() <= 0.0) {
+      throw std::invalid_argument{"StackConfig: non-positive die dims"};
+    }
+  }
+  for (const BondLayer& bond : bonds) {
+    if (bond.thickness.value() <= 0.0 || bond.material.conductivity <= 0.0) {
+      throw std::invalid_argument{"StackConfig: bad bond layer"};
+    }
+  }
+  if (sink_resistance <= 0.0 || top_resistance <= 0.0) {
+    throw std::invalid_argument{"StackConfig: non-positive boundary R"};
+  }
+}
+
+StackConfig StackConfig::four_die_stack() {
+  StackConfig cfg;
+  DieGeometry die;
+  die.width = Meter{5e-3};
+  die.height = Meter{5e-3};
+  die.thickness = Meter{100e-6};
+  die.nx = 8;
+  die.ny = 8;
+  cfg.dies.assign(4, die);
+  cfg.bonds.assign(3, BondLayer{});
+  cfg.tsv.centers = process::TsvStressField::grid_layout(
+      die.width, die.height, 4, 4);
+  cfg.sink_resistance = 2.0;
+  cfg.top_resistance = 200.0;
+  cfg.ambient = Kelvin{298.15};
+  return cfg;
+}
+
+}  // namespace tsvpt::thermal

@@ -1,0 +1,78 @@
+// Geometry and material description of a TSV 3D stack for thermal analysis.
+//
+// The stack is modeled die-by-die: each die is a silicon slab discretized
+// into an nx x ny grid; adjacent dies are coupled through a bond/underfill
+// layer whose poor conductivity is shorted locally by copper TSVs; the
+// bottom die conducts into the package/heat-sink; the top die sees weak
+// convection.  This is the standard compact thermal model (HotSpot-style)
+// for stacked ICs, which is what the paper's use case — intra-die
+// temperature monitoring in a 3D stack — needs from its environment.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "process/geometry.hpp"
+#include "ptsim/units.hpp"
+
+namespace tsvpt::thermal {
+
+/// Bulk material properties.
+struct MaterialProps {
+  /// Thermal conductivity, W/(m K).
+  double conductivity = 0.0;
+  /// Density, kg/m^3.
+  double density = 0.0;
+  /// Specific heat, J/(kg K).
+  double specific_heat = 0.0;
+};
+
+[[nodiscard]] MaterialProps silicon();
+[[nodiscard]] MaterialProps copper();
+[[nodiscard]] MaterialProps underfill();
+
+/// One die layer in the stack.
+struct DieGeometry {
+  Meter width{5e-3};
+  Meter height{5e-3};
+  /// Thinned-die silicon thickness.
+  Meter thickness{100e-6};
+  std::size_t nx = 8;
+  std::size_t ny = 8;
+};
+
+/// Bond/underfill layer between two adjacent dies.
+struct BondLayer {
+  Meter thickness{20e-6};
+  MaterialProps material = underfill();
+};
+
+/// TSV thermal description: copper cylinders crossing a bond interface.
+struct TsvThermal {
+  Meter radius{2.5e-6};
+  MaterialProps material = copper();
+  /// TSV centers, shared by every interface (a through-stack via field).
+  std::vector<process::Point> centers;
+};
+
+struct StackConfig {
+  std::vector<DieGeometry> dies;
+  /// bonds[i] couples die i and die i+1; size must be dies.size() - 1.
+  std::vector<BondLayer> bonds;
+  TsvThermal tsv;
+  /// Total package/heat-sink thermal resistance from the bottom die, K/W.
+  double sink_resistance = 2.0;
+  /// Convective resistance from the top die to ambient, K/W (large: the top
+  /// of a molded stack barely convects).
+  double top_resistance = 200.0;
+  Kelvin ambient{298.15};
+
+  [[nodiscard]] std::size_t die_count() const { return dies.size(); }
+  void validate() const;
+
+  /// A representative 4-die neural-sensing-style stack (5x5 mm dies, 100 um
+  /// thin, 8x8 cells, 4x4 TSV field) used by examples and benches.
+  [[nodiscard]] static StackConfig four_die_stack();
+};
+
+}  // namespace tsvpt::thermal

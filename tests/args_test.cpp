@@ -1,0 +1,60 @@
+#include "ptsim/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsvpt {
+namespace {
+
+Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv(tokens);
+  return Args{static_cast<int>(argv.size()), argv.data()};
+}
+
+TEST(Args, FlagsAndPositionals) {
+  const Args args = parse({"run", "--dies", "500", "--card=my.card", "extra"});
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positionals()[0], "run");
+  EXPECT_EQ(args.positionals()[1], "extra");
+  EXPECT_TRUE(args.has("dies"));
+  EXPECT_EQ(args.get("dies", 0LL), 500);
+  EXPECT_EQ(args.get("card", std::string{}), "my.card");
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const Args args = parse({});
+  EXPECT_FALSE(args.has("seed"));
+  EXPECT_EQ(args.get("seed", 42LL), 42);
+  EXPECT_DOUBLE_EQ(args.get("t", 25.0), 25.0);
+  EXPECT_EQ(args.get("name", std::string{"x"}), "x");
+}
+
+TEST(Args, TypedParsing) {
+  const Args args = parse({"--t", "-12.5", "--n", "7"});
+  EXPECT_DOUBLE_EQ(args.get("t", 0.0), -12.5);
+  EXPECT_EQ(args.get("n", 0LL), 7);
+}
+
+TEST(Args, MalformedValuesThrow) {
+  const Args args = parse({"--t", "abc", "--n", "7x"});
+  EXPECT_THROW((void)args.get("t", 0.0), std::runtime_error);
+  EXPECT_THROW((void)args.get("n", 0LL), std::runtime_error);
+}
+
+TEST(Args, MissingValueThrows) {
+  EXPECT_THROW(parse({"--dangling"}), std::runtime_error);
+}
+
+TEST(Args, UnknownFlagDetection) {
+  const Args args = parse({"--seed", "1", "--oops", "2"});
+  EXPECT_THROW(args.check_known({"seed"}), std::runtime_error);
+  EXPECT_NO_THROW(args.check_known({"seed", "oops"}));
+}
+
+TEST(Args, EqualsSyntaxWithEmptyValue) {
+  const Args args = parse({"--card="});
+  EXPECT_TRUE(args.has("card"));
+  EXPECT_EQ(args.get("card", std::string{"z"}), "");
+}
+
+}  // namespace
+}  // namespace tsvpt

@@ -1,0 +1,127 @@
+#include "calib/lut.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace tsvpt::calib {
+namespace {
+
+TEST(Lut1D, ExactAtGridPoints) {
+  const Lut1D lut{0.0, 4.0, {0.0, 1.0, 4.0, 9.0, 16.0}};
+  EXPECT_DOUBLE_EQ(lut(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(lut(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(lut(4.0), 16.0);
+}
+
+TEST(Lut1D, LinearBetweenPoints) {
+  const Lut1D lut{0.0, 2.0, {0.0, 10.0, 40.0}};
+  EXPECT_DOUBLE_EQ(lut(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(lut(1.5), 25.0);
+}
+
+TEST(Lut1D, ExtrapolatesFromEndSegments) {
+  const Lut1D lut{0.0, 1.0, {0.0, 2.0}};
+  EXPECT_DOUBLE_EQ(lut(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(lut(-1.0), -2.0);
+}
+
+TEST(Lut1D, RejectsBadConstruction) {
+  EXPECT_THROW((Lut1D{0.0, 1.0, {1.0}}), std::invalid_argument);
+  EXPECT_THROW((Lut1D{1.0, 0.0, {1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Lut1D, InvertIncreasing) {
+  const Lut1D lut{0.0, 3.0, {1.0, 2.0, 4.0, 8.0}};
+  EXPECT_NEAR(lut.invert(3.0), 1.5, 1e-12);
+  EXPECT_NEAR(lut.invert(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(lut.invert(8.0), 3.0, 1e-12);
+}
+
+TEST(Lut1D, InvertDecreasing) {
+  const Lut1D lut{0.0, 2.0, {10.0, 5.0, 0.0}};
+  EXPECT_NEAR(lut.invert(7.5), 0.5, 1e-12);
+}
+
+TEST(Lut1D, InvertRoundTripDense) {
+  std::vector<double> values;
+  for (int i = 0; i <= 50; ++i) values.push_back(std::exp(0.05 * i));
+  const Lut1D lut{-20.0, 120.0, std::move(values)};
+  for (double x = -20.0; x <= 120.0; x += 3.7) {
+    EXPECT_NEAR(lut.invert(lut(x)), x, 1e-9);
+  }
+}
+
+TEST(Lut1D, InvertNonMonotoneThrows) {
+  const Lut1D lut{0.0, 2.0, {0.0, 5.0, 1.0}};
+  EXPECT_FALSE(lut.is_monotone());
+  EXPECT_THROW((void)lut.invert(2.0), std::runtime_error);
+}
+
+TEST(Lut1D, InvertOutOfRangeThrows) {
+  const Lut1D lut{0.0, 1.0, {0.0, 1.0}};
+  EXPECT_THROW((void)lut.invert(2.0), std::runtime_error);
+}
+
+TEST(Lut1D, QuantizeBoundsError) {
+  std::vector<double> values;
+  for (int i = 0; i <= 32; ++i) values.push_back(static_cast<double>(i));
+  Lut1D lut{0.0, 32.0, std::move(values)};
+  const double worst = lut.quantize(8);
+  // 8-bit over a span of 32: LSB = 32/255, worst rounding error <= LSB/2.
+  EXPECT_LE(worst, 0.5 * 32.0 / 255.0 + 1e-12);
+  EXPECT_THROW((void)lut.quantize(0), std::invalid_argument);
+}
+
+TEST(Lut2D, BilinearExactAtCorners) {
+  Lut2D lut{0.0, 1.0, 2, 0.0, 1.0, 2};
+  lut.cell(0, 0) = 1.0;
+  lut.cell(1, 0) = 2.0;
+  lut.cell(0, 1) = 3.0;
+  lut.cell(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(lut(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(lut(1.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lut(0.0, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(lut(1.0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(lut(0.5, 0.5), 2.5);
+}
+
+TEST(Lut2D, ClampsOutsideDomain) {
+  Lut2D lut{0.0, 1.0, 2, 0.0, 1.0, 2};
+  lut.cell(0, 0) = 1.0;
+  lut.cell(1, 0) = 2.0;
+  lut.cell(0, 1) = 3.0;
+  lut.cell(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(lut(-5.0, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(lut(5.0, 5.0), 4.0);
+}
+
+TEST(Lut2D, ReproducesBilinearFunction) {
+  Lut2D lut{0.0, 2.0, 5, -1.0, 1.0, 5};
+  auto f = [](double x, double y) { return 2.0 + 3.0 * x - y + 0.5 * x * y; };
+  for (std::size_t i = 0; i < lut.nx(); ++i) {
+    for (std::size_t j = 0; j < lut.ny(); ++j) {
+      lut.cell(i, j) = f(lut.x_at(i), lut.y_at(j));
+    }
+  }
+  for (double x = 0.0; x <= 2.0; x += 0.13) {
+    for (double y = -1.0; y <= 1.0; y += 0.17) {
+      EXPECT_NEAR(lut(x, y), f(x, y), 1e-9);
+    }
+  }
+}
+
+TEST(Lut2D, RejectsBadConstruction) {
+  EXPECT_THROW((Lut2D{0.0, 1.0, 1, 0.0, 1.0, 2}), std::invalid_argument);
+  EXPECT_THROW((Lut2D{1.0, 0.0, 2, 0.0, 1.0, 2}), std::invalid_argument);
+}
+
+TEST(Lut2D, CellBoundsChecked) {
+  Lut2D lut{0.0, 1.0, 2, 0.0, 1.0, 2};
+  EXPECT_THROW((void)lut.cell(2, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tsvpt::calib

@@ -1,0 +1,109 @@
+#include "calib/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvpt::calib {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m{2, 3, 1.5};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m{2, 2};
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, InitializerListAndRagged) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((Matrix{{1.0}, {2.0, 3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix id = Matrix::identity(2);
+  const Matrix prod = a * id;
+  EXPECT_DOUBLE_EQ(prod(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(prod(1, 1), 4.0);
+}
+
+TEST(Matrix, MultiplyKnownResult) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix b{{7.0, 8.0}, {9.0, 10.0}, {11.0, 12.0}};
+  const Matrix c = a * b;
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  const Matrix a{2, 3};
+  const Matrix b{2, 3};
+  EXPECT_THROW((void)(a * b), std::invalid_argument);
+}
+
+TEST(Matrix, VectorMultiply) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector v{5.0, 6.0};
+  const Vector out = a * v;
+  EXPECT_DOUBLE_EQ(out[0], 17.0);
+  EXPECT_DOUBLE_EQ(out[1], 39.0);
+  EXPECT_THROW((void)(a * Vector{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  const Matrix back = t.transposed();
+  EXPECT_DOUBLE_EQ(back(1, 2), 6.0);
+}
+
+TEST(Matrix, AddSubtractScale) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ((a + b)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ((a - b)(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0)(1, 0), 6.0);
+  EXPECT_THROW((void)(a + Matrix{1, 1}), std::invalid_argument);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix a{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+}
+
+TEST(Matrix, ToStringContainsValues) {
+  const Matrix a{{1.5, 2.5}};
+  const std::string s = a.to_string(1);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+TEST(VectorOps, DotNormAddSub) {
+  const Vector a{1.0, 2.0, 2.0};
+  const Vector b{2.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 3.0);
+  EXPECT_DOUBLE_EQ((a + b)[0], 3.0);
+  EXPECT_DOUBLE_EQ((a - b)[2], 1.0);
+  EXPECT_DOUBLE_EQ((2.0 * a)[1], 4.0);
+  EXPECT_THROW((void)dot(a, Vector{1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsvpt::calib

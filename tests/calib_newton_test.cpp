@@ -1,0 +1,113 @@
+#include "calib/newton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvpt::calib {
+namespace {
+
+TEST(BrentRoot, FindsSquareRoot) {
+  auto f = [](double x) { return x * x - 2.0; };
+  EXPECT_NEAR(brent_root(f, 0.0, 2.0), std::sqrt(2.0), 1e-10);
+}
+
+TEST(BrentRoot, FindsTranscendentalRoot) {
+  auto f = [](double x) { return std::cos(x) - x; };
+  const double root = brent_root(f, 0.0, 1.0);
+  EXPECT_NEAR(std::cos(root), root, 1e-10);
+}
+
+TEST(BrentRoot, ExactEndpoint) {
+  auto f = [](double x) { return x - 1.0; };
+  EXPECT_DOUBLE_EQ(brent_root(f, 1.0, 2.0), 1.0);
+}
+
+TEST(BrentRoot, NotBracketedThrows) {
+  auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW((void)brent_root(f, -1.0, 1.0), std::runtime_error);
+}
+
+TEST(BrentRoot, SteepExponential) {
+  // Shapes like the TDRO transfer curve: f(T) ~ exp(kT) - target.
+  auto f = [](double t) { return std::exp(0.02 * t) - std::exp(0.02 * 57.3); };
+  EXPECT_NEAR(brent_root(f, -40.0, 140.0), 57.3, 1e-8);
+}
+
+TEST(NewtonSolve, Linear2x2) {
+  auto f = [](const Vector& x) {
+    return Vector{2.0 * x[0] + x[1] - 5.0, x[0] - x[1] + 2.0};
+  };
+  const NewtonResult r = newton_solve(f, Vector{0.0, 0.0});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(r.x[1], 3.0, 1e-8);
+}
+
+TEST(NewtonSolve, Nonlinear2x2) {
+  // Intersection of a circle and a line: x^2+y^2=25, y=x+1 -> (3,4).
+  auto f = [](const Vector& v) {
+    return Vector{v[0] * v[0] + v[1] * v[1] - 25.0, v[1] - v[0] - 1.0};
+  };
+  const NewtonResult r = newton_solve(f, Vector{2.0, 2.0});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-7);
+  EXPECT_NEAR(r.x[1], 4.0, 1e-7);
+}
+
+TEST(NewtonSolve, ExponentialSystemLikeDecoupling) {
+  // A caricature of the sensor's system: three log-frequencies as smooth
+  // functions of (a, b, t); recover the hidden state from measurements.
+  auto model = [](double a, double b, double t) {
+    return Vector{-10.0 * a - 0.2 * b + 0.005 * t,
+                  -0.2 * a - 9.0 * b + 0.004 * t,
+                  -6.0 * a - 5.0 * b + 0.015 * t + 2e-5 * t * t};
+  };
+  const Vector truth = model(0.018, -0.012, 63.0);
+  auto f = [&](const Vector& x) {
+    Vector m = model(x[0], x[1], x[2]);
+    return Vector{m[0] - truth[0], m[1] - truth[1], m[2] - truth[2]};
+  };
+  const NewtonResult r = newton_solve(f, Vector{0.0, 0.0, 30.0});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 0.018, 1e-7);
+  EXPECT_NEAR(r.x[1], -0.012, 1e-7);
+  EXPECT_NEAR(r.x[2], 63.0, 1e-5);
+}
+
+TEST(NewtonSolve, RespectsBoxConstraints) {
+  auto f = [](const Vector& x) { return Vector{x[0] - 10.0}; };
+  NewtonOptions options;
+  options.lower_bounds = {-1.0};
+  options.upper_bounds = {2.0};
+  const NewtonResult r = newton_solve(f, Vector{0.0}, options);
+  EXPECT_LE(r.x[0], 2.0 + 1e-12);
+  EXPECT_FALSE(r.converged);  // the root is outside the box
+}
+
+TEST(NewtonSolve, BadBoundsShapeThrows) {
+  auto f = [](const Vector& x) { return Vector{x[0]}; };
+  NewtonOptions options;
+  options.lower_bounds = {0.0, 0.0};
+  EXPECT_THROW((void)newton_solve(f, Vector{1.0}, options),
+               std::invalid_argument);
+}
+
+TEST(NewtonSolve, NonSquareThrows) {
+  auto f = [](const Vector&) { return Vector{1.0, 2.0}; };
+  EXPECT_THROW((void)newton_solve(f, Vector{0.0}), std::invalid_argument);
+}
+
+TEST(NewtonSolve, ReportsIterationBudget) {
+  auto f = [](const Vector& x) { return Vector{std::exp(x[0]) - 3.0}; };
+  NewtonOptions options;
+  options.max_iterations = 50;
+  const NewtonResult r = newton_solve(f, Vector{0.0}, options);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(r.iterations, 50);
+  EXPECT_NEAR(r.x[0], std::log(3.0), 1e-8);
+}
+
+}  // namespace
+}  // namespace tsvpt::calib

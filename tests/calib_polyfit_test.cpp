@@ -1,0 +1,106 @@
+#include "calib/polyfit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ptsim/rng.hpp"
+
+namespace tsvpt::calib {
+namespace {
+
+TEST(Polynomial, HornerEvaluation) {
+  const Polynomial p{Vector{1.0, -2.0, 3.0}};  // 1 - 2x + 3x^2
+  EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p(2.0), 9.0);
+  EXPECT_EQ(p.degree(), 2u);
+}
+
+TEST(Polynomial, EmptyRejected) {
+  EXPECT_THROW((Polynomial{Vector{}}), std::invalid_argument);
+}
+
+TEST(Polynomial, Derivative) {
+  const Polynomial p{Vector{5.0, 1.0, 2.0}};  // 5 + x + 2x^2
+  const Polynomial d = p.derivative();
+  EXPECT_DOUBLE_EQ(d(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d(3.0), 13.0);
+  const Polynomial constant{Vector{7.0}};
+  EXPECT_DOUBLE_EQ(constant.derivative()(10.0), 0.0);
+}
+
+TEST(Polynomial, InvertMonotone) {
+  const Polynomial p{Vector{0.0, 2.0}};  // y = 2x
+  EXPECT_NEAR(p.invert(5.0, 0.0, 10.0), 2.5, 1e-10);
+}
+
+TEST(Polynomial, InvertCubic) {
+  const Polynomial p{Vector{0.0, 0.0, 0.0, 1.0}};  // y = x^3
+  EXPECT_NEAR(p.invert(8.0, 0.0, 3.0), 2.0, 1e-8);
+}
+
+TEST(Polynomial, InvertUnbracketedThrows) {
+  const Polynomial p{Vector{0.0, 1.0}};
+  EXPECT_THROW((void)p.invert(100.0, 0.0, 1.0), std::runtime_error);
+}
+
+TEST(Polyfit, RecoversExactCoefficients) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 10; ++i) {
+    const double xi = -2.0 + 0.4 * i;
+    x.push_back(xi);
+    y.push_back(1.0 + 2.0 * xi - 0.5 * xi * xi);
+  }
+  const Polynomial p = polyfit(x, y, 2);
+  ASSERT_EQ(p.coefficients().size(), 3u);
+  EXPECT_NEAR(p.coefficients()[0], 1.0, 1e-9);
+  EXPECT_NEAR(p.coefficients()[1], 2.0, 1e-9);
+  EXPECT_NEAR(p.coefficients()[2], -0.5, 1e-9);
+}
+
+TEST(Polyfit, CenteringHandlesOffsetDomain) {
+  // Temperatures in kelvin (270..400): a naive Vandermonde would be badly
+  // conditioned; centered fit must still nail the values.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 40; ++i) {
+    const double t = 270.0 + 3.25 * i;
+    x.push_back(t);
+    y.push_back(1e8 * std::exp(0.01 * (t - 300.0)));
+  }
+  const Polynomial p = polyfit(x, y, 4);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(p(x[i]), y[i], 2e-4 * std::abs(y[i]));
+  }
+}
+
+TEST(Polyfit, NoisyLinearNearTruth) {
+  Rng rng{9};
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    const double xi = rng.uniform(-1.0, 1.0);
+    x.push_back(xi);
+    y.push_back(3.0 * xi - 1.0 + rng.gaussian(0.0, 0.01));
+  }
+  const Polynomial p = polyfit(x, y, 1);
+  EXPECT_NEAR(p.coefficients()[0], -1.0, 5e-3);
+  EXPECT_NEAR(p.coefficients()[1], 3.0, 5e-3);
+}
+
+TEST(Polyfit, RejectsBadShapes) {
+  EXPECT_THROW((void)polyfit({1.0, 2.0}, {1.0}, 1), std::invalid_argument);
+  EXPECT_THROW((void)polyfit({1.0, 2.0}, {1.0, 2.0}, 2),
+               std::invalid_argument);
+}
+
+TEST(Polyfit, MaxResidualReportsWorstCase) {
+  const Polynomial p{Vector{0.0, 1.0}};
+  const double worst = max_residual(p, {0.0, 1.0, 2.0}, {0.0, 1.5, 2.0});
+  EXPECT_DOUBLE_EQ(worst, 0.5);
+}
+
+}  // namespace
+}  // namespace tsvpt::calib

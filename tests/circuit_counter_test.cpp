@@ -1,0 +1,158 @@
+#include "circuit/counter.hpp"
+#include "circuit/energy.hpp"
+#include "circuit/supply.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvpt::circuit {
+namespace {
+
+FrequencyCounter::Config default_config() {
+  FrequencyCounter::Config cfg;
+  cfg.reference = ReferenceClock{};
+  cfg.window = Second{2e-6};
+  cfg.counter_bits = 16;
+  return cfg;
+}
+
+TEST(FrequencyCounter, WindowIsWholeReferenceCycles) {
+  const FrequencyCounter counter{default_config()};
+  // 2 us at 25 MHz = exactly 50 cycles.
+  EXPECT_EQ(counter.reference_cycles(), 50u);
+  EXPECT_DOUBLE_EQ(counter.nominal_window().value(), 2e-6);
+}
+
+TEST(FrequencyCounter, ResolutionIsInverseWindow) {
+  const FrequencyCounter counter{default_config()};
+  EXPECT_DOUBLE_EQ(counter.resolution().value(), 0.5e6);
+}
+
+TEST(FrequencyCounter, DeterministicMeasurementQuantizes) {
+  const FrequencyCounter counter{default_config()};
+  const auto reading = counter.measure(Hertz{100e6}, nullptr);
+  EXPECT_EQ(reading.count, 200u);
+  EXPECT_DOUBLE_EQ(reading.measured.value(), 100e6);
+  EXPECT_FALSE(reading.saturated);
+}
+
+TEST(FrequencyCounter, QuantizationErrorBounded) {
+  const FrequencyCounter counter{default_config()};
+  Rng rng{55};
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double f = rng.uniform(1e6, 400e6);
+    const auto reading = counter.measure(Hertz{f}, &rng);
+    // With jitter at 5 ppm the dominant error is the +-1-count quantization.
+    EXPECT_NEAR(reading.measured.value(), f,
+                1.5 * counter.resolution().value());
+  }
+}
+
+TEST(FrequencyCounter, SystematicPpmShiftsReading) {
+  FrequencyCounter::Config cfg = default_config();
+  cfg.reference.systematic_ppm = 1000.0;  // reference runs 0.1 % fast
+  cfg.reference.jitter_ppm_rms = 0.0;
+  const FrequencyCounter counter{cfg};
+  const auto reading = counter.measure(Hertz{200e6}, nullptr);
+  // Fast reference -> shorter real window -> undercount by ~0.1 %.
+  EXPECT_NEAR(reading.measured.value(), 200e6 * (1.0 - 1e-3),
+              2.0 * counter.resolution().value());
+}
+
+TEST(FrequencyCounter, SaturationFlagsAndClamps) {
+  FrequencyCounter::Config cfg = default_config();
+  cfg.counter_bits = 8;
+  const FrequencyCounter counter{cfg};
+  const auto reading = counter.measure(Hertz{1e9}, nullptr);
+  EXPECT_TRUE(reading.saturated);
+  EXPECT_EQ(reading.count, 255u);
+}
+
+TEST(FrequencyCounter, ZeroFrequencyCountsZeroOrOne) {
+  const FrequencyCounter counter{default_config()};
+  const auto reading = counter.measure(Hertz{0.0}, nullptr);
+  EXPECT_LE(reading.count, 1u);
+}
+
+TEST(FrequencyCounter, NegativeFrequencyThrows) {
+  const FrequencyCounter counter{default_config()};
+  EXPECT_THROW((void)counter.measure(Hertz{-1.0}, nullptr),
+               std::invalid_argument);
+}
+
+TEST(FrequencyCounter, RejectsBadConfigs) {
+  FrequencyCounter::Config cfg = default_config();
+  cfg.window = Second{0.0};
+  EXPECT_THROW((FrequencyCounter{cfg}), std::invalid_argument);
+  cfg = default_config();
+  cfg.counter_bits = 0;
+  EXPECT_THROW((FrequencyCounter{cfg}), std::invalid_argument);
+  cfg = default_config();
+  cfg.window = Second{1e-9};  // shorter than one 25 MHz cycle
+  EXPECT_THROW((FrequencyCounter{cfg}), std::invalid_argument);
+}
+
+TEST(FrequencyCounter, NoiseIsSeedDeterministic) {
+  const FrequencyCounter counter{default_config()};
+  Rng a{9};
+  Rng b{9};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(counter.measure(Hertz{123.456e6}, &a).count,
+              counter.measure(Hertz{123.456e6}, &b).count);
+  }
+}
+
+TEST(SupplyRail, DroopAndNoise) {
+  SupplyRail rail{{Volt{1.0}, Volt{50e-3}, Volt{10e-3}}};
+  EXPECT_DOUBLE_EQ(rail.effective(nullptr).value(), 0.95);
+  Rng rng{77};
+  {
+    double sum = 0.0;
+    double sum2 = 0.0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) {
+      const double v = rail.effective(&rng).value();
+      sum += v;
+      sum2 += v * v;
+    }
+    const double mean = sum / kN;
+    const double sigma = std::sqrt(sum2 / kN - mean * mean);
+    EXPECT_NEAR(mean, 0.95, 5e-4);
+    EXPECT_NEAR(sigma, 10e-3, 5e-4);
+  }
+}
+
+TEST(ConversionEnergy, BreakdownAccumulates) {
+  ConversionEnergyParams params;
+  params.per_count = Joule{10e-15};
+  params.control_fixed = Joule{100e-12};
+  params.bias_static = Watt{1e-6};
+  ConversionEnergyModel model{params};
+  model.reset();
+  model.add_oscillator_window(Joule{50e-15}, 200, Second{2e-6});
+  model.add_oscillator_window(Joule{30e-15}, 100, Second{2e-6});
+  const ConversionEnergyBreakdown breakdown = model.finish();
+  EXPECT_NEAR(breakdown.oscillators.value(), 50e-15 * 200 + 30e-15 * 100,
+              1e-20);
+  EXPECT_NEAR(breakdown.counters.value(), 10e-15 * 300, 1e-20);
+  EXPECT_NEAR(breakdown.control.value(), 100e-12, 1e-20);
+  EXPECT_NEAR(breakdown.bias.value(), 1e-6 * 4e-6, 1e-20);
+  EXPECT_NEAR(breakdown.total().value(),
+              breakdown.oscillators.value() + breakdown.counters.value() +
+                  breakdown.control.value() + breakdown.bias.value(),
+              1e-20);
+}
+
+TEST(ConversionEnergy, ResetClears) {
+  ConversionEnergyModel model;
+  model.add_oscillator_window(Joule{50e-15}, 1000, Second{1e-6});
+  model.reset();
+  const ConversionEnergyBreakdown breakdown = model.finish();
+  EXPECT_DOUBLE_EQ(breakdown.oscillators.value(), 0.0);
+  EXPECT_DOUBLE_EQ(breakdown.bias.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace tsvpt::circuit

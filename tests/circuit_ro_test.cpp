@@ -1,0 +1,196 @@
+#include "circuit/ring_oscillator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvpt::circuit {
+namespace {
+
+const device::Technology kTech = device::Technology::tsmc65_like();
+
+OperatingPoint nominal(double t_celsius = 25.0) {
+  OperatingPoint op;
+  op.vdd = Volt{1.0};
+  op.temperature = to_kelvin(Celsius{t_celsius});
+  return op;
+}
+
+RingOscillator make(RoTopology topo, std::size_t stages = 0) {
+  return RingOscillator::make(kTech, topo, stages);
+}
+
+TEST(RingOscillator, TopologyNames) {
+  EXPECT_STREQ(to_string(RoTopology::kStandard), "STDRO");
+  EXPECT_STREQ(to_string(RoTopology::kNmosSensitive), "PSRO-N");
+  EXPECT_STREQ(to_string(RoTopology::kPmosSensitive), "PSRO-P");
+  EXPECT_STREQ(to_string(RoTopology::kThermal), "TDRO");
+}
+
+TEST(RingOscillator, RejectsEvenOrTinyStageCount) {
+  RingOscillator::Config cfg;
+  cfg.stages = 4;
+  EXPECT_THROW((RingOscillator{kTech, cfg}), std::invalid_argument);
+  cfg.stages = 1;
+  EXPECT_THROW((RingOscillator{kTech, cfg}), std::invalid_argument);
+  cfg.stages = 3;
+  EXPECT_NO_THROW((RingOscillator{kTech, cfg}));
+}
+
+TEST(RingOscillator, FrequencyOrderingAcrossTopologies) {
+  // Full-drive standard chain is fastest; starved thermal chain slowest at
+  // room temperature.
+  const double f_std = make(RoTopology::kStandard).frequency(nominal()).value();
+  const double f_n =
+      make(RoTopology::kNmosSensitive).frequency(nominal()).value();
+  const double f_t = make(RoTopology::kThermal).frequency(nominal()).value();
+  EXPECT_GT(f_std, f_n);
+  EXPECT_GT(f_n, f_t);
+}
+
+TEST(RingOscillator, FrequencyInverseInStageCount) {
+  const RingOscillator short_ro = make(RoTopology::kStandard, 15);
+  const RingOscillator long_ro = make(RoTopology::kStandard, 61);
+  const double ratio = short_ro.frequency(nominal()).value() /
+                       long_ro.frequency(nominal()).value();
+  EXPECT_NEAR(ratio, 61.0 / 15.0, 1e-9);
+}
+
+TEST(RingOscillator, StandardSlowsWithTemperature) {
+  const RingOscillator ro = make(RoTopology::kStandard);
+  double prev = 1e30;
+  for (double t = -20.0; t <= 120.0; t += 10.0) {
+    const double f = ro.frequency(nominal(t)).value();
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(RingOscillator, ThermalSpeedsUpMonotonically) {
+  const RingOscillator ro = make(RoTopology::kThermal);
+  double prev = 0.0;
+  for (double t = -40.0; t <= 140.0; t += 5.0) {
+    const double f = ro.frequency(nominal(t)).value();
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(RingOscillator, ThermalTempcoDominates) {
+  const RoSensitivity s_t =
+      make(RoTopology::kThermal).sensitivity(nominal());
+  const RoSensitivity s_std =
+      make(RoTopology::kStandard).sensitivity(nominal());
+  EXPECT_GT(s_t.dlnf_dt, 5.0 * std::abs(s_std.dlnf_dt));
+}
+
+TEST(RingOscillator, PsroNSelectivity) {
+  const RoSensitivity s = make(RoTopology::kNmosSensitive).sensitivity(
+      nominal());
+  EXPECT_LT(s.dlnf_dvtn, 0.0);
+  EXPECT_GT(std::abs(s.dlnf_dvtn), 20.0 * std::abs(s.dlnf_dvtp));
+}
+
+TEST(RingOscillator, PsroPSelectivity) {
+  const RoSensitivity s = make(RoTopology::kPmosSensitive).sensitivity(
+      nominal());
+  EXPECT_LT(s.dlnf_dvtp, 0.0);
+  EXPECT_GT(std::abs(s.dlnf_dvtp), 20.0 * std::abs(s.dlnf_dvtn));
+}
+
+TEST(RingOscillator, PsroMoreSensitiveThanStandard) {
+  const RoSensitivity psro = make(RoTopology::kNmosSensitive).sensitivity(
+      nominal());
+  const RoSensitivity stdro = make(RoTopology::kStandard).sensitivity(
+      nominal());
+  EXPECT_GT(std::abs(psro.dlnf_dvtn), 4.0 * std::abs(stdro.dlnf_dvtn));
+}
+
+TEST(RingOscillator, HigherVtSlowsEveryTopology) {
+  for (RoTopology topo :
+       {RoTopology::kStandard, RoTopology::kNmosSensitive,
+        RoTopology::kPmosSensitive, RoTopology::kThermal}) {
+    const RingOscillator ro = make(topo);
+    OperatingPoint slow = nominal();
+    slow.vt_delta = {Volt{30e-3}, Volt{30e-3}};
+    OperatingPoint fast = nominal();
+    fast.vt_delta = {Volt{-30e-3}, Volt{-30e-3}};
+    EXPECT_GT(ro.frequency(fast).value(), ro.frequency(slow).value())
+        << to_string(topo);
+  }
+}
+
+TEST(RingOscillator, LowerVddSlows) {
+  const RingOscillator ro = make(RoTopology::kStandard);
+  EXPECT_GT(ro.frequency(nominal()).value(),
+            ro.frequency(nominal().with_vdd(Volt{0.9})).value());
+}
+
+TEST(RingOscillator, RejectsNonPositiveVdd) {
+  const RingOscillator ro = make(RoTopology::kStandard);
+  EXPECT_THROW((void)ro.frequency(nominal().with_vdd(Volt{0.0})),
+               std::invalid_argument);
+}
+
+TEST(RingOscillator, EnergyPerCycleQuadraticInVdd) {
+  const RingOscillator ro = make(RoTopology::kStandard);
+  const double e1 = ro.energy_per_cycle(Volt{1.0}).value();
+  const double e2 = ro.energy_per_cycle(Volt{2.0}).value();
+  EXPECT_NEAR(e2 / e1, 4.0, 1e-12);
+}
+
+TEST(RingOscillator, EnergyScalesWithStages) {
+  const double e31 =
+      make(RoTopology::kStandard, 31).energy_per_cycle(Volt{1.0}).value();
+  const double e61 =
+      make(RoTopology::kStandard, 61).energy_per_cycle(Volt{1.0}).value();
+  EXPECT_NEAR(e61 / e31, 61.0 / 31.0, 1e-12);
+}
+
+TEST(RingOscillator, PowerIsEnergyTimesFrequency) {
+  const RingOscillator ro = make(RoTopology::kStandard);
+  const OperatingPoint op = nominal();
+  EXPECT_NEAR(ro.power(op).value(),
+              ro.energy_per_cycle(op.vdd).value() * ro.frequency(op).value(),
+              1e-18);
+}
+
+TEST(RingOscillator, LeakageGrowsWithTemperature) {
+  const RingOscillator ro = make(RoTopology::kStandard);
+  EXPECT_GT(ro.leakage_power(nominal(100.0)).value(),
+            3.0 * ro.leakage_power(nominal(25.0)).value());
+}
+
+TEST(RingOscillator, LeakageFarBelowActivePower) {
+  const RingOscillator ro = make(RoTopology::kStandard);
+  EXPECT_LT(ro.leakage_power(nominal()).value(),
+            0.01 * ro.power(nominal()).value());
+}
+
+/// Parameterized sanity sweep over corner x temperature for all topologies.
+class RoSweep : public ::testing::TestWithParam<
+                    std::tuple<RoTopology, device::Corner, double>> {};
+
+TEST_P(RoSweep, FrequencyFinitePositiveAndSensible) {
+  const auto [topo, corner, t_c] = GetParam();
+  const RingOscillator ro = make(topo);
+  const device::CornerShift shift = kTech.corner_shift(corner);
+  OperatingPoint op = nominal(t_c);
+  op.vt_delta = {shift.nmos, shift.pmos};
+  const double f = ro.frequency(op).value();
+  EXPECT_TRUE(std::isfinite(f));
+  EXPECT_GT(f, 1e5);    // > 100 kHz: still countable
+  EXPECT_LT(f, 50e9);   // < 50 GHz: physically plausible
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, RoSweep,
+    ::testing::Combine(
+        ::testing::Values(RoTopology::kStandard, RoTopology::kNmosSensitive,
+                          RoTopology::kPmosSensitive, RoTopology::kThermal),
+        ::testing::ValuesIn(device::all_corners()),
+        ::testing::Values(-40.0, 0.0, 25.0, 85.0, 125.0)));
+
+}  // namespace
+}  // namespace tsvpt::circuit

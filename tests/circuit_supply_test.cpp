@@ -1,0 +1,99 @@
+#include "circuit/supply.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ptsim/stats.hpp"
+
+namespace tsvpt::circuit {
+namespace {
+
+VddMonitor::Config ideal_config() {
+  VddMonitor::Config cfg;
+  cfg.gain_sigma = 0.0;
+  cfg.offset_sigma = Volt{0.0};
+  cfg.noise_rms = Volt{0.0};
+  cfg.bits = 16;
+  return cfg;
+}
+
+TEST(VddMonitor, IdealInstanceReadsTrueValue) {
+  const VddMonitor monitor{ideal_config(), 1};
+  for (double v : {0.7, 0.9, 1.0, 1.2}) {
+    EXPECT_NEAR(monitor.measure(Volt{v}, nullptr).value(), v, 2e-5);
+  }
+}
+
+TEST(VddMonitor, QuantizationStepMatchesBits) {
+  VddMonitor::Config cfg = ideal_config();
+  cfg.bits = 8;
+  const VddMonitor monitor{cfg, 1};
+  // LSB over [0.6, 1.4] at 8 bits: 0.8/255 ~ 3.1 mV; worst error LSB/2.
+  double worst = 0.0;
+  for (double v = 0.7; v <= 1.3; v += 0.001) {
+    worst = std::max(worst,
+                     std::abs(monitor.measure(Volt{v}, nullptr).value() - v));
+  }
+  EXPECT_LE(worst, 0.5 * 0.8 / 255.0 + 1e-12);
+  EXPECT_GT(worst, 0.25 * 0.8 / 255.0);
+}
+
+TEST(VddMonitor, ClampsToRange) {
+  const VddMonitor monitor{ideal_config(), 1};
+  EXPECT_DOUBLE_EQ(monitor.measure(Volt{0.2}, nullptr).value(), 0.6);
+  EXPECT_DOUBLE_EQ(monitor.measure(Volt{2.0}, nullptr).value(), 1.4);
+}
+
+TEST(VddMonitor, InstanceErrorsAreSeedDeterministic) {
+  VddMonitor::Config cfg;  // default: real gain/offset spread
+  const VddMonitor a{cfg, 7};
+  const VddMonitor b{cfg, 7};
+  const VddMonitor c{cfg, 8};
+  EXPECT_DOUBLE_EQ(a.measure(Volt{1.0}, nullptr).value(),
+                   b.measure(Volt{1.0}, nullptr).value());
+  EXPECT_NE(a.measure(Volt{1.0}, nullptr).value(),
+            c.measure(Volt{1.0}, nullptr).value());
+}
+
+TEST(VddMonitor, PopulationSpreadMatchesConfig) {
+  VddMonitor::Config cfg = ideal_config();
+  cfg.offset_sigma = Volt{2e-3};
+  RunningStats offsets;
+  for (std::uint64_t seed = 0; seed < 4000; ++seed) {
+    const VddMonitor monitor{cfg, seed};
+    offsets.add(monitor.measure(Volt{1.0}, nullptr).value() - 1.0);
+  }
+  EXPECT_NEAR(offsets.stddev(), 2e-3, 2e-4);
+}
+
+TEST(VddMonitor, NoiseAveragesOut) {
+  VddMonitor::Config cfg = ideal_config();
+  cfg.noise_rms = Volt{1e-3};
+  const VddMonitor monitor{cfg, 3};
+  Rng rng{5};
+  RunningStats readings;
+  for (int i = 0; i < 20000; ++i) {
+    readings.add(monitor.measure(Volt{1.0}, &rng).value());
+  }
+  EXPECT_NEAR(readings.mean(), 1.0, 1e-4);
+  EXPECT_NEAR(readings.stddev(), 1e-3, 2e-4);
+}
+
+TEST(VddMonitor, RejectsBadConfig) {
+  VddMonitor::Config cfg = ideal_config();
+  cfg.bits = 0;
+  EXPECT_THROW((VddMonitor{cfg, 1}), std::invalid_argument);
+  cfg = ideal_config();
+  cfg.range_hi = cfg.range_lo;
+  EXPECT_THROW((VddMonitor{cfg, 1}), std::invalid_argument);
+}
+
+TEST(VddMonitor, SampleEnergyExposed) {
+  const VddMonitor monitor{VddMonitor::Config{}, 1};
+  EXPECT_GT(monitor.sample_energy().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace tsvpt::circuit

@@ -1,0 +1,153 @@
+// Model-validation suite: the analytic stage-delay abstraction vs the
+// transistor-level transient simulation of the same circuit.  The sensor
+// algorithm consumes log-frequency *sensitivities*; a constant multiplicative
+// offset between model and circuit is absorbed by design-time
+// characterization, so the tests pin (a) oscillation, (b) a bounded offset,
+// and (c) agreement of the sensitivities themselves.
+#include "circuit/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvpt::circuit {
+namespace {
+
+const device::Technology kTech = device::Technology::tsmc65_like();
+
+TransientRoSimulator::Options fast_options() {
+  TransientRoSimulator::Options options;
+  options.settle_periods = 2;
+  options.measure_periods = 5;
+  return options;
+}
+
+OperatingPoint op_at(double t_celsius, device::VtDelta dvt = {}) {
+  OperatingPoint op;
+  op.vdd = Volt{1.0};
+  op.temperature = to_kelvin(Celsius{t_celsius});
+  op.vt_delta = dvt;
+  return op;
+}
+
+double transient_mhz(RoTopology topo, const OperatingPoint& op) {
+  const RingOscillator ro = RingOscillator::make(
+      kTech, topo, topo == RoTopology::kThermal ? 15 : 31);
+  const TransientResult result =
+      TransientRoSimulator::simulate(ro, kTech, op, fast_options());
+  EXPECT_TRUE(result.valid);
+  return result.frequency.value() / 1e6;
+}
+
+TEST(TransientValidation, AllTopologiesOscillate) {
+  for (RoTopology topo :
+       {RoTopology::kStandard, RoTopology::kNmosSensitive,
+        RoTopology::kPmosSensitive, RoTopology::kThermal}) {
+    EXPECT_GT(transient_mhz(topo, op_at(25.0)), 1.0) << to_string(topo);
+  }
+}
+
+TEST(TransientValidation, OffsetBounded) {
+  // The C V / 2 I formula is known-optimistic; the circuit must sit within
+  // a fixed band of it, not arbitrarily far.
+  for (RoTopology topo :
+       {RoTopology::kStandard, RoTopology::kNmosSensitive,
+        RoTopology::kPmosSensitive, RoTopology::kThermal}) {
+    const RingOscillator ro = RingOscillator::make(
+        kTech, topo, topo == RoTopology::kThermal ? 15 : 31);
+    const double dev = TransientRoSimulator::relative_deviation(
+        ro, kTech, op_at(25.0), fast_options());
+    EXPECT_GT(dev, -0.45) << to_string(topo);
+    EXPECT_LT(dev, 0.10) << to_string(topo);
+  }
+}
+
+TEST(TransientValidation, OffsetStableAcrossTemperature) {
+  // The offset must be ~constant in T, or the stored-model tempco would be
+  // wrong: spread over 0..100 degC below 3 % for every topology.
+  for (RoTopology topo :
+       {RoTopology::kStandard, RoTopology::kNmosSensitive,
+        RoTopology::kThermal}) {
+    const RingOscillator ro = RingOscillator::make(
+        kTech, topo, topo == RoTopology::kThermal ? 15 : 31);
+    double lo = 1e9;
+    double hi = -1e9;
+    for (double t : {0.0, 50.0, 100.0}) {
+      const double dev = TransientRoSimulator::relative_deviation(
+          ro, kTech, op_at(t), fast_options());
+      lo = std::min(lo, dev);
+      hi = std::max(hi, dev);
+    }
+    EXPECT_LT(hi - lo, 0.03) << to_string(topo);
+  }
+}
+
+TEST(TransientValidation, TdroTempcoMatchesModel) {
+  const RingOscillator ro =
+      RingOscillator::make(kTech, RoTopology::kThermal, 15);
+  const double f_cold = transient_mhz(RoTopology::kThermal, op_at(10.0));
+  const double f_hot = transient_mhz(RoTopology::kThermal, op_at(90.0));
+  const double tempco_sim = std::log(f_hot / f_cold) / 80.0;
+  const double tempco_model =
+      std::log(ro.frequency(op_at(90.0)).value() /
+               ro.frequency(op_at(10.0)).value()) /
+      80.0;
+  EXPECT_GT(tempco_sim, 0.0);
+  EXPECT_NEAR(tempco_sim, tempco_model, 0.25 * tempco_model);
+}
+
+TEST(TransientValidation, PsroVtSensitivityMatchesModel) {
+  const RingOscillator ro =
+      RingOscillator::make(kTech, RoTopology::kNmosSensitive, 31);
+  const device::VtDelta lo{Volt{-20e-3}, Volt{0.0}};
+  const device::VtDelta hi{Volt{+20e-3}, Volt{0.0}};
+  const double f_lo = transient_mhz(RoTopology::kNmosSensitive,
+                                    op_at(25.0, lo));
+  const double f_hi = transient_mhz(RoTopology::kNmosSensitive,
+                                    op_at(25.0, hi));
+  const double sens_sim = std::log(f_hi / f_lo) / 40e-3;  // per volt
+  const double sens_model =
+      std::log(ro.frequency(op_at(25.0, hi)).value() /
+               ro.frequency(op_at(25.0, lo)).value()) /
+      40e-3;
+  EXPECT_LT(sens_sim, 0.0);
+  EXPECT_NEAR(sens_sim, sens_model, 0.25 * std::abs(sens_model));
+}
+
+TEST(TransientValidation, SupplySensitivityDirectionMatches) {
+  const RingOscillator ro =
+      RingOscillator::make(kTech, RoTopology::kStandard, 31);
+  OperatingPoint low = op_at(25.0);
+  low.vdd = Volt{0.9};
+  const TransientResult at_low =
+      TransientRoSimulator::simulate(ro, kTech, low, fast_options());
+  const TransientResult at_nom =
+      TransientRoSimulator::simulate(ro, kTech, op_at(25.0), fast_options());
+  ASSERT_TRUE(at_low.valid);
+  ASSERT_TRUE(at_nom.valid);
+  EXPECT_LT(at_low.frequency.value(), at_nom.frequency.value());
+}
+
+TEST(TransientValidation, OptionsValidated) {
+  const RingOscillator ro =
+      RingOscillator::make(kTech, RoTopology::kThermal, 15);
+  TransientRoSimulator::Options bad;
+  bad.step_fraction = 0.0;
+  EXPECT_THROW(
+      (void)TransientRoSimulator::simulate(ro, kTech, op_at(25.0), bad),
+      std::invalid_argument);
+}
+
+TEST(TransientValidation, TooFewStepsReportsInvalid) {
+  const RingOscillator ro =
+      RingOscillator::make(kTech, RoTopology::kThermal, 15);
+  TransientRoSimulator::Options tiny = fast_options();
+  tiny.max_steps = 100;  // far too few to settle
+  const TransientResult result =
+      TransientRoSimulator::simulate(ro, kTech, op_at(25.0), tiny);
+  EXPECT_FALSE(result.valid);
+}
+
+}  // namespace
+}  // namespace tsvpt::circuit

@@ -1,0 +1,173 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvpt::core {
+namespace {
+
+DieEnvironment environment(double t_celsius, double dvtn_mv = 0.0,
+                           double dvtp_mv = 0.0) {
+  DieEnvironment env;
+  env.temperature = to_kelvin(Celsius{t_celsius});
+  env.vt_delta = {millivolts(dvtn_mv), millivolts(dvtp_mv)};
+  return env;
+}
+
+TEST(UncalibratedRo, AccurateOnTypicalDie) {
+  UncalibratedRoSensor sensor{UncalibratedRoSensor::Config{}, 1};
+  const auto reading = sensor.read(environment(50.0), nullptr);
+  // Only the instance mismatch (~1 mV) biases it on a typical die.
+  EXPECT_NEAR(reading.temperature.value(), 50.0, 2.5);
+}
+
+TEST(UncalibratedRo, VtScatterInjectsLargeError) {
+  UncalibratedRoSensor sensor{UncalibratedRoSensor::Config{}, 2};
+  const auto typical = sensor.read(environment(50.0), nullptr);
+  const auto skewed = sensor.read(environment(50.0, 30.0, 30.0), nullptr);
+  const double err_typical = std::abs(typical.temperature.value() - 50.0);
+  const double err_skewed = std::abs(skewed.temperature.value() - 50.0);
+  // A 30 mV die-level shift should cost several degrees uncalibrated.
+  EXPECT_GT(err_skewed, err_typical + 3.0);
+}
+
+TEST(UncalibratedRo, ErrorGrowsWithShiftMagnitude) {
+  UncalibratedRoSensor sensor{UncalibratedRoSensor::Config{}, 3};
+  double prev = 0.0;
+  for (double shift : {0.0, 12.0, 24.0, 36.0}) {
+    const auto reading = sensor.read(environment(40.0, shift, shift), nullptr);
+    const double err = std::abs(reading.temperature.value() - 40.0);
+    EXPECT_GE(err + 1.2, prev);  // allow mismatch/quantization slack
+    prev = err;
+  }
+  EXPECT_GT(prev, 4.0);
+}
+
+TEST(TwoPoint, ThrowsBeforeCalibration) {
+  TwoPointCalibratedRoSensor sensor{TwoPointCalibratedRoSensor::Config{}, 4};
+  EXPECT_THROW((void)sensor.read(environment(25.0), nullptr),
+               std::logic_error);
+  EXPECT_FALSE(sensor.is_calibrated());
+}
+
+TEST(TwoPoint, AccurateAfterFactoryCalibration) {
+  TwoPointCalibratedRoSensor sensor{TwoPointCalibratedRoSensor::Config{}, 5};
+  const DieEnvironment die = environment(0.0, 25.0, -20.0);  // skewed die
+  sensor.factory_calibrate(die, nullptr);
+  ASSERT_TRUE(sensor.is_calibrated());
+  for (double t : {10.0, 30.0, 50.0, 70.0, 90.0}) {
+    const auto reading = sensor.read(die.at_celsius(Celsius{t}), nullptr);
+    // Log-linear map through two exact points: small residual curvature.
+    EXPECT_NEAR(reading.temperature.value(), t, 1.5) << "T=" << t;
+  }
+}
+
+TEST(TwoPoint, ExactAtCalibrationPoints) {
+  TwoPointCalibratedRoSensor::Config cfg;
+  TwoPointCalibratedRoSensor sensor{cfg, 6};
+  const DieEnvironment die = environment(0.0, 10.0, 10.0);
+  sensor.factory_calibrate(die, nullptr);
+  const auto at_low =
+      sensor.read(die.at_celsius(cfg.cal_low), nullptr);
+  const auto at_high =
+      sensor.read(die.at_celsius(cfg.cal_high), nullptr);
+  EXPECT_NEAR(at_low.temperature.value(), cfg.cal_low.value(), 0.3);
+  EXPECT_NEAR(at_high.temperature.value(), cfg.cal_high.value(), 0.3);
+}
+
+TEST(TwoPoint, BathErrorPropagates) {
+  // A sloppy bath (2 C) must produce visibly worse calibration than a tight
+  // one (0.05 C) on average.
+  auto spread_with_bath = [](double bath_c) {
+    TwoPointCalibratedRoSensor::Config cfg;
+    cfg.bath_accuracy = Celsius{bath_c};
+    double worst = 0.0;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      TwoPointCalibratedRoSensor sensor{cfg, seed};
+      Rng noise{seed + 1000};
+      const DieEnvironment die = environment(0.0, 5.0, 5.0);
+      sensor.factory_calibrate(die, &noise);
+      const auto reading = sensor.read(die.at_celsius(Celsius{50.0}), &noise);
+      worst = std::max(worst, std::abs(reading.temperature.value() - 50.0));
+    }
+    return worst;
+  };
+  EXPECT_GT(spread_with_bath(2.0), spread_with_bath(0.05));
+}
+
+TEST(Diode, NominalInstanceIsAccurate) {
+  DiodeSensor::Config cfg;
+  cfg.offset_sigma = Volt{0.0};
+  cfg.slope_sigma = 0.0;
+  DiodeSensor sensor{cfg, 7};
+  const auto reading = sensor.read(environment(60.0), nullptr);
+  EXPECT_NEAR(reading.temperature.value(), 60.0, 0.3);  // ADC LSB limited
+}
+
+TEST(Diode, ProcessSpreadBiasesUntrimmed) {
+  double worst = 0.0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    DiodeSensor sensor{DiodeSensor::Config{}, seed};
+    const auto reading = sensor.read(environment(60.0), nullptr);
+    worst = std::max(worst, std::abs(reading.temperature.value() - 60.0));
+  }
+  // 4 mV offset sigma / 1.73 mV/K slope: multi-degree tail expected.
+  EXPECT_GT(worst, 2.0);
+}
+
+TEST(Diode, TrimRemovesOffset) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    DiodeSensor::Config cfg;
+    cfg.one_point_trim = true;
+    DiodeSensor sensor{cfg, seed};
+    sensor.trim(environment(25.0), nullptr);
+    const auto reading = sensor.read(environment(25.0), nullptr);
+    EXPECT_NEAR(reading.temperature.value(), 25.0, 0.35) << "seed=" << seed;
+  }
+}
+
+TEST(Diode, TrimImprovesAwayFromTrimPoint) {
+  DiodeSensor::Config cfg;
+  DiodeSensor raw{cfg, 42};
+  cfg.one_point_trim = true;
+  DiodeSensor trimmed{cfg, 42};
+  trimmed.trim(environment(25.0), nullptr);
+  const double err_raw =
+      std::abs(raw.read(environment(80.0), nullptr).temperature.value() -
+               80.0);
+  const double err_trimmed =
+      std::abs(trimmed.read(environment(80.0), nullptr).temperature.value() -
+               80.0);
+  EXPECT_LT(err_trimmed, err_raw + 1e-9);
+}
+
+TEST(Diode, OutOfAdcRangeFlagsDegraded) {
+  DiodeSensor::Config cfg;
+  cfg.adc_lo = Volt{0.58};
+  cfg.adc_hi = Volt{0.62};
+  cfg.offset_sigma = Volt{0.0};
+  cfg.slope_sigma = 0.0;
+  DiodeSensor sensor{cfg, 9};
+  const auto reading = sensor.read(environment(120.0), nullptr);
+  EXPECT_TRUE(reading.degraded);
+}
+
+TEST(Diode, FixedConversionEnergy) {
+  DiodeSensor sensor{DiodeSensor::Config{}, 10};
+  const auto reading = sensor.read(environment(25.0), nullptr);
+  EXPECT_DOUBLE_EQ(reading.energy.value(),
+                   DiodeSensor::Config{}.conversion_energy.value());
+}
+
+TEST(Names, AreDistinct) {
+  UncalibratedRoSensor a{UncalibratedRoSensor::Config{}, 1};
+  TwoPointCalibratedRoSensor b{TwoPointCalibratedRoSensor::Config{}, 1};
+  DiodeSensor c{DiodeSensor::Config{}, 1};
+  EXPECT_NE(a.name(), b.name());
+  EXPECT_NE(b.name(), c.name());
+}
+
+}  // namespace
+}  // namespace tsvpt::core

@@ -1,0 +1,200 @@
+#include "core/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvpt::core {
+namespace {
+
+SensorController::Config clean_config() {
+  SensorController::Config cfg;
+  cfg.sensor.ro_mismatch_sigma = Volt{0.0};
+  return cfg;
+}
+
+DieEnvironment environment(double t_celsius, double dvtn_mv = 0.0,
+                           double dvtp_mv = 0.0) {
+  DieEnvironment env;
+  env.temperature = to_kelvin(Celsius{t_celsius});
+  env.vt_delta = {millivolts(dvtn_mv), millivolts(dvtp_mv)};
+  return env;
+}
+
+/// Drive the controller until it goes idle (bounded).
+void run_to_idle(SensorController& ctrl, const DieEnvironment& env) {
+  for (int i = 0; i < 1000000 && ctrl.busy(); ++i) ctrl.tick(env, nullptr);
+  ASSERT_FALSE(ctrl.busy());
+}
+
+TEST(Controller, PowerOnStateIsIdleAndUncalibrated) {
+  SensorController ctrl{clean_config(), 1};
+  EXPECT_FALSE(ctrl.busy());
+  EXPECT_EQ(ctrl.read_register(Register::kStatus), 0);
+  EXPECT_EQ(ctrl.read_register(Register::kTemp), 0);
+}
+
+TEST(Controller, CalibrateSetsResultRegisters) {
+  SensorController ctrl{clean_config(), 2};
+  const DieEnvironment env = environment(55.0, 15.0, -10.0);
+  ctrl.write_command(SensorController::Command::kCalibrate);
+  EXPECT_TRUE(ctrl.busy());
+  EXPECT_TRUE(ctrl.read_register(Register::kStatus) & SensorController::kBusy);
+  run_to_idle(ctrl, env);
+
+  const std::uint16_t status = ctrl.read_register(Register::kStatus);
+  EXPECT_TRUE(status & SensorController::kCalibrated);
+  EXPECT_TRUE(status & SensorController::kDone);
+  EXPECT_FALSE(status & SensorController::kBusy);
+  EXPECT_NEAR(
+      SensorController::decode_temp(ctrl.read_register(Register::kTemp)),
+      55.0, 0.6);
+  EXPECT_NEAR(
+      SensorController::decode_vt(ctrl.read_register(Register::kDvtn)) * 1e3,
+      15.0, 1.2);
+  EXPECT_NEAR(
+      SensorController::decode_vt(ctrl.read_register(Register::kDvtp)) * 1e3,
+      -10.0, 1.2);
+  EXPECT_GT(ctrl.read_register(Register::kEnergy), 300);  // ~367 pJ
+  EXPECT_LT(ctrl.read_register(Register::kEnergy), 450);
+}
+
+TEST(Controller, ConvertAfterCalibrateTracksTemperature) {
+  SensorController ctrl{clean_config(), 3};
+  DieEnvironment env = environment(25.0, 8.0, 6.0);
+  ctrl.write_command(SensorController::Command::kCalibrate);
+  run_to_idle(ctrl, env);
+  for (double t : {10.0, 40.0, 90.0}) {
+    env = env.at_celsius(Celsius{t});
+    ctrl.write_command(SensorController::Command::kConvert);
+    run_to_idle(ctrl, env);
+    EXPECT_NEAR(
+        SensorController::decode_temp(ctrl.read_register(Register::kTemp)),
+        t, 0.7)
+        << "T=" << t;
+  }
+}
+
+TEST(Controller, LatencyMatchesWindowsPlusSolver) {
+  SensorController ctrl{clean_config(), 4};
+  // 2 us window at 25 MHz = 50 cycles per window.
+  EXPECT_EQ(ctrl.calibrate_latency_cycles(),
+            3 * 50 + SensorController::kSolverCycles);
+  EXPECT_EQ(ctrl.convert_latency_cycles(),
+            50 + SensorController::kSolverCycles);
+
+  const DieEnvironment env = environment(30.0);
+  ctrl.write_command(SensorController::Command::kCalibrate);
+  std::uint64_t ticks = 0;
+  while (ctrl.busy()) {
+    ctrl.tick(env, nullptr);
+    ++ticks;
+  }
+  EXPECT_EQ(ticks, ctrl.calibrate_latency_cycles());
+}
+
+TEST(Controller, FirstConvertAutoCalibratesWithFullLatency) {
+  SensorController ctrl{clean_config(), 5};
+  const DieEnvironment env = environment(42.0);
+  ctrl.write_command(SensorController::Command::kConvert);
+  std::uint64_t ticks = 0;
+  while (ctrl.busy()) {
+    ctrl.tick(env, nullptr);
+    ++ticks;
+  }
+  EXPECT_EQ(ticks, ctrl.calibrate_latency_cycles());
+  EXPECT_TRUE(ctrl.read_register(Register::kStatus) &
+              SensorController::kCalibrated);
+}
+
+TEST(Controller, CommandsWhileBusyAreDropped) {
+  SensorController ctrl{clean_config(), 6};
+  const DieEnvironment env = environment(30.0);
+  ctrl.write_command(SensorController::Command::kCalibrate);
+  const std::uint64_t expected = ctrl.calibrate_latency_cycles();
+  ctrl.tick(env, nullptr, 10);
+  ctrl.write_command(SensorController::Command::kConvert);  // dropped
+  std::uint64_t ticks = 10;
+  while (ctrl.busy()) {
+    ctrl.tick(env, nullptr);
+    ++ticks;
+  }
+  EXPECT_EQ(ticks, expected);  // the in-flight calibration was unaffected
+  EXPECT_TRUE(ctrl.read_register(Register::kStatus) &
+              SensorController::kCalibrated);
+}
+
+TEST(Controller, ResultsHoldWhileNextConversionInFlight) {
+  SensorController ctrl{clean_config(), 7};
+  DieEnvironment env = environment(25.0);
+  ctrl.write_command(SensorController::Command::kCalibrate);
+  run_to_idle(ctrl, env);
+  const std::uint16_t first_temp = ctrl.read_register(Register::kTemp);
+  ctrl.write_command(SensorController::Command::kConvert);
+  ctrl.tick(env.at_celsius(Celsius{90.0}), nullptr, 5);
+  EXPECT_EQ(ctrl.read_register(Register::kTemp), first_temp);  // stale hold
+}
+
+TEST(Controller, SoftResetClearsEverything) {
+  SensorController ctrl{clean_config(), 8};
+  const DieEnvironment env = environment(25.0);
+  ctrl.write_command(SensorController::Command::kCalibrate);
+  run_to_idle(ctrl, env);
+  ctrl.write_command(SensorController::Command::kSoftReset);
+  EXPECT_EQ(ctrl.read_register(Register::kStatus), 0);
+  EXPECT_EQ(ctrl.read_register(Register::kTemp), 0);
+  // Next convert must pay the full auto-calibration latency again.
+  ctrl.write_command(SensorController::Command::kConvert);
+  std::uint64_t ticks = 0;
+  while (ctrl.busy()) {
+    ctrl.tick(env, nullptr);
+    ++ticks;
+  }
+  EXPECT_EQ(ticks, ctrl.calibrate_latency_cycles());
+}
+
+TEST(Controller, DoneClearsOnNextCommand) {
+  SensorController ctrl{clean_config(), 9};
+  const DieEnvironment env = environment(25.0);
+  ctrl.write_command(SensorController::Command::kCalibrate);
+  run_to_idle(ctrl, env);
+  EXPECT_TRUE(ctrl.read_register(Register::kStatus) & SensorController::kDone);
+  ctrl.write_command(SensorController::Command::kConvert);
+  EXPECT_FALSE(ctrl.read_register(Register::kStatus) &
+               SensorController::kDone);
+}
+
+TEST(Controller, NegativeTemperatureEncodesTwosComplement) {
+  SensorController ctrl{clean_config(), 10};
+  const DieEnvironment env = environment(-20.0);
+  ctrl.write_command(SensorController::Command::kCalibrate);
+  run_to_idle(ctrl, env);
+  EXPECT_NEAR(
+      SensorController::decode_temp(ctrl.read_register(Register::kTemp)),
+      -20.0, 0.7);
+}
+
+TEST(Controller, ElapsedTimeTracksClock) {
+  SensorController ctrl{clean_config(), 11};
+  const DieEnvironment env = environment(25.0);
+  ctrl.tick(env, nullptr, 250);
+  EXPECT_NEAR(ctrl.elapsed().value(), 250.0 / 25e6, 1e-12);
+}
+
+TEST(Controller, EncodingRoundTripsWithinLsb) {
+  EXPECT_NEAR(SensorController::decode_temp(
+                  static_cast<std::uint16_t>(static_cast<std::int16_t>(
+                      std::lround(63.3 / SensorController::kTempLsb)))),
+              63.3, SensorController::kTempLsb);
+  EXPECT_DOUBLE_EQ(SensorController::decode_vdd(4096), 1.0);
+}
+
+TEST(Controller, RejectsBadConfig) {
+  SensorController::Config cfg = clean_config();
+  cfg.clock = Hertz{0.0};
+  EXPECT_THROW((SensorController{cfg, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsvpt::core

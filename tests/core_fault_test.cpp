@@ -1,0 +1,240 @@
+// Failure-injection suite: oscillator faults injected into live sensors,
+// the sensor's own degradation behaviour, and the fleet-level detector
+// that localizes the faulty site.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/fault_detector.hpp"
+#include "core/pt_sensor.hpp"
+#include "core/stack_monitor.hpp"
+#include "process/variation.hpp"
+
+namespace tsvpt::core {
+namespace {
+
+PtSensor::Config clean_config() {
+  PtSensor::Config cfg;
+  cfg.ro_mismatch_sigma = Volt{0.0};
+  return cfg;
+}
+
+DieEnvironment environment(double t_celsius) {
+  DieEnvironment env;
+  env.temperature = to_kelvin(Celsius{t_celsius});
+  return env;
+}
+
+TEST(FaultInjection, DeadTdroDegradesTrackingRead) {
+  PtSensor sensor{clean_config(), 1};
+  (void)sensor.self_calibrate(environment(40.0), nullptr);
+  sensor.inject_fault(RoRole::kTdro, RoFault::kDead);
+  const auto reading = sensor.read(environment(40.0), nullptr);
+  EXPECT_TRUE(reading.degraded);
+  EXPECT_DOUBLE_EQ(reading.temperature.value(),
+                   clean_config().t_min.value());
+}
+
+TEST(FaultInjection, DeadPsroFailsCalibrationGracefully) {
+  PtSensor sensor{clean_config(), 2};
+  sensor.inject_fault(RoRole::kPsroN, RoFault::kDead);
+  const auto est = sensor.self_calibrate(environment(40.0), nullptr);
+  EXPECT_FALSE(est.converged);  // no throw, no poisoned solve
+}
+
+TEST(FaultInjection, StuckTdroGivesConfidentWrongAnswer) {
+  // The dangerous failure mode: a stuck oscillator still yields a plausible
+  // reading that does NOT track temperature — undetectable locally.
+  PtSensor sensor{clean_config(), 3};
+  const DieEnvironment base = environment(40.0);
+  (void)sensor.self_calibrate(base, nullptr);
+  const Hertz frozen = sensor.model_frequency(RoRole::kTdro, Volt{0.0},
+                                              Volt{0.0},
+                                              to_kelvin(Celsius{40.0}));
+  sensor.inject_fault(RoRole::kTdro, RoFault::kStuck, frozen);
+  const auto hot = sensor.read(base.at_celsius(Celsius{90.0}), nullptr);
+  EXPECT_FALSE(hot.degraded);  // looks healthy...
+  EXPECT_NEAR(hot.temperature.value(), 40.0, 2.0);  // ...but reads 40.
+}
+
+TEST(FaultInjection, ClearFaultsRestoresOperation) {
+  PtSensor sensor{clean_config(), 4};
+  (void)sensor.self_calibrate(environment(40.0), nullptr);
+  sensor.inject_fault(RoRole::kTdro, RoFault::kDead);
+  sensor.clear_faults();
+  const auto reading = sensor.read(environment(70.0), nullptr);
+  EXPECT_FALSE(reading.degraded);
+  EXPECT_NEAR(reading.temperature.value(), 70.0, 0.7);
+}
+
+struct FleetFixture {
+  thermal::StackConfig cfg = thermal::StackConfig::four_die_stack();
+  thermal::ThermalNetwork network{cfg};
+  std::vector<SensorSite> sites;
+  std::unique_ptr<StackMonitor> monitor;
+
+  FleetFixture() {
+    sites = StackMonitor::uniform_sites(cfg, 3, 3);
+    std::vector<process::Point> points;
+    for (std::size_t i = 0; i < 9; ++i) points.push_back(sites[i].location);
+    const process::VariationModel model{device::Technology::tsmc65_like(),
+                                        points};
+    Rng rng{5};
+    for (std::size_t d = 0; d < cfg.die_count(); ++d) {
+      const process::DieVariation die = model.sample_die(rng);
+      for (std::size_t i = 0; i < 9; ++i) {
+        sites[d * 9 + i].vt_delta = die.at(i);
+      }
+    }
+    network.set_uniform_power(0, Watt{1.5});
+    network.set_temperatures(network.steady_state());
+    monitor = std::make_unique<StackMonitor>(&network, PtSensor::Config{},
+                                             sites, 6);
+    monitor->calibrate_all(nullptr);
+  }
+};
+
+TEST(FaultDetectorTest, HealthyFleetHasNoSuspects) {
+  FleetFixture fx;
+  const auto sample = fx.monitor->sample_all(nullptr);
+  const FaultDetector detector;
+  EXPECT_TRUE(detector.suspects(sample).empty());
+}
+
+TEST(FaultDetectorTest, LocalizesDeadSensor) {
+  FleetFixture fx;
+  fx.monitor->sensor(7).inject_fault(RoRole::kTdro, RoFault::kDead);
+  const auto sample = fx.monitor->sample_all(nullptr);
+  const FaultDetector detector;
+  const auto suspects = detector.suspects(sample);
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0], 7u);
+  const auto verdicts = detector.analyze(sample);
+  EXPECT_EQ(verdicts[7].reason, "self-reported degraded");
+}
+
+TEST(FaultDetectorTest, LocalizesStuckSensorSpatially) {
+  FleetFixture fx;
+  // Freeze site 4's TDRO at a frequency corresponding to a much hotter die:
+  // locally plausible, spatially absurd.
+  PtSensor& victim = fx.monitor->sensor(4);
+  const Hertz frozen = victim.model_frequency(
+      RoRole::kTdro, Volt{0.0}, Volt{0.0}, to_kelvin(Celsius{110.0}));
+  victim.inject_fault(RoRole::kTdro, RoFault::kStuck, frozen);
+
+  const auto sample = fx.monitor->sample_all(nullptr);
+  const FaultDetector detector;
+  const auto verdicts = detector.analyze(sample);
+  ASSERT_EQ(verdicts.size(), sample.size());
+  EXPECT_TRUE(verdicts[4].suspect);
+  EXPECT_EQ(verdicts[4].reason, "spatially inconsistent with neighbours");
+  // And nobody else got blamed.
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    if (i != 4) {
+      EXPECT_FALSE(verdicts[i].suspect) << i;
+    }
+  }
+}
+
+TEST(FaultDetectorTest, LoneSensorCannotBeCrossChecked) {
+  // One sensor per die: a stuck (non-degraded) fault is undetectable —
+  // the detector must stay silent rather than guess.
+  thermal::StackConfig cfg = thermal::StackConfig::four_die_stack();
+  thermal::ThermalNetwork network{cfg};
+  std::vector<SensorSite> sites = StackMonitor::uniform_sites(cfg, 1, 1);
+  StackMonitor monitor{&network, PtSensor::Config{}, sites, 8};
+  network.set_temperatures(network.steady_state());
+  monitor.calibrate_all(nullptr);
+  PtSensor& victim = monitor.sensor(0);
+  victim.inject_fault(RoRole::kTdro, RoFault::kStuck,
+                      victim.model_frequency(RoRole::kTdro, Volt{0.0},
+                                             Volt{0.0}, Kelvin{390.0}));
+  const auto sample = monitor.sample_all(nullptr);
+  const FaultDetector detector;
+  EXPECT_TRUE(detector.suspects(sample).empty());
+}
+
+TEST(FaultDetectorTest, SmoothGradientsAreNotFlagged) {
+  // A broad hotspot creates a real but smooth gradient across the grid;
+  // the threshold must tolerate it.
+  FleetFixture fx;
+  fx.network.add_hotspot(0, {1.5e-3, 1.5e-3}, Meter{1.8e-3}, Watt{3.0});
+  fx.network.set_temperatures(fx.network.steady_state());
+  const auto sample = fx.monitor->sample_all(nullptr);
+  const FaultDetector detector;
+  EXPECT_TRUE(detector.suspects(sample).empty());
+}
+
+TEST(FaultDetectorTest, PointHotspotOnASensorAliasesAsFault) {
+  // Known limitation, pinned down: a hotspot concentrated on exactly one
+  // sensor is spatially indistinguishable from that sensor sticking high.
+  // The detector flags it — callers must disambiguate temporally (real
+  // hotspots grow on thermal time constants; faults jump instantly).
+  FleetFixture fx;
+  fx.network.add_hotspot(0, {0.83e-3, 0.83e-3}, Meter{0.4e-3}, Watt{4.0});
+  fx.network.set_temperatures(fx.network.steady_state());
+  const auto sample = fx.monitor->sample_all(nullptr);
+  const FaultDetector detector;
+  const auto suspects = detector.suspects(sample);
+  ASSERT_FALSE(suspects.empty());
+  EXPECT_EQ(suspects[0], 0u);  // the sensor under the hotspot
+}
+
+TEST(JumpDetectorTest, FirstScanPrimesSilently) {
+  FleetFixture fx;
+  JumpDetector jump;
+  EXPECT_TRUE(jump.feed(fx.monitor->sample_all(nullptr)).empty());
+}
+
+TEST(JumpDetectorTest, FaultJumpIsCaughtRealTransientIsNot) {
+  FleetFixture fx;
+  JumpDetector jump;
+  (void)jump.feed(fx.monitor->sample_all(nullptr));
+
+  // Real transient: the whole die heats together -> no flags.
+  fx.network.set_uniform_power(0, Watt{6.0});
+  fx.network.set_temperatures(fx.network.steady_state());
+  EXPECT_TRUE(jump.feed(fx.monitor->sample_all(nullptr)).empty());
+
+  // Fault: one sensor's TDRO sticks at a hot frequency between scans ->
+  // only that site moves -> flagged.
+  PtSensor& victim = fx.monitor->sensor(4);
+  victim.inject_fault(RoRole::kTdro, RoFault::kStuck,
+                      victim.model_frequency(RoRole::kTdro, Volt{0.0},
+                                             Volt{0.0}, Kelvin{390.0}));
+  const auto jumped = jump.feed(fx.monitor->sample_all(nullptr));
+  ASSERT_EQ(jumped.size(), 1u);
+  EXPECT_EQ(jumped[0], 4u);
+}
+
+TEST(JumpDetectorTest, ResetForgetsHistory) {
+  FleetFixture fx;
+  JumpDetector jump;
+  (void)jump.feed(fx.monitor->sample_all(nullptr));
+  jump.reset();
+  // After reset the next feed primes again, even if the state moved a lot.
+  fx.network.set_uniform_power(0, Watt{8.0});
+  fx.network.set_temperatures(fx.network.steady_state());
+  EXPECT_TRUE(jump.feed(fx.monitor->sample_all(nullptr)).empty());
+}
+
+TEST(JumpDetectorTest, PointHotspotDisambiguatedFromFault) {
+  // The case the spatial detector cannot crack: a hotspot landing on one
+  // sensor.  Temporally it is NOT a lone jump if it grows over several
+  // scans while the die warms around it — approximate by applying the
+  // hotspot and stepping the network briefly so neighbours move too.
+  // (Scanned at a period long enough for lateral diffusion to reach the
+  // neighbours; a scan much faster than the die's lateral time constant
+  // cannot tell a point hotspot's first milliseconds from a fault.)
+  FleetFixture fx;
+  JumpDetector jump{{Celsius{6.0}, Celsius{0.8}}};
+  (void)jump.feed(fx.monitor->sample_all(nullptr));
+  fx.network.add_hotspot(0, {0.83e-3, 0.83e-3}, Meter{0.4e-3}, Watt{4.0});
+  fx.network.step(Second{25e-3});
+  const auto jumped = jump.feed(fx.monitor->sample_all(nullptr));
+  EXPECT_TRUE(jumped.empty());
+}
+
+}  // namespace
+}  // namespace tsvpt::core

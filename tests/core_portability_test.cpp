@@ -1,0 +1,92 @@
+// Cross-technology portability: the self-calibration algorithm must not be
+// tuned to one technology card.  Runs the decoupling round trip on the
+// low-power 65 nm flavour (higher Vt, weaker drive, 1.2 V) with its own
+// stored model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pt_sensor.hpp"
+#include "process/variation.hpp"
+#include "ptsim/stats.hpp"
+
+namespace tsvpt::core {
+namespace {
+
+PtSensor::Config lp_config() {
+  PtSensor::Config cfg;
+  cfg.tech = device::Technology::lp65_like();
+  cfg.model_vdd = cfg.tech.vdd_nominal;  // 1.2 V card
+  return cfg;
+}
+
+DieEnvironment lp_environment(double t_celsius, Volt dvtn, Volt dvtp) {
+  DieEnvironment env;
+  env.temperature = to_kelvin(Celsius{t_celsius});
+  env.vt_delta = {dvtn, dvtp};
+  env.supply = circuit::SupplyRail{
+      {device::Technology::lp65_like().vdd_nominal, Volt{0.0}, Volt{0.0}}};
+  return env;
+}
+
+TEST(Portability, LpCardDecouplingRoundTrip) {
+  PtSensor::Config cfg = lp_config();
+  cfg.ro_mismatch_sigma = Volt{0.0};
+  PtSensor sensor{cfg, 1};
+  const auto est = sensor.self_calibrate(
+      lp_environment(60.0, millivolts(20.0), millivolts(-15.0)), nullptr);
+  ASSERT_TRUE(est.converged);
+  EXPECT_NEAR(est.dvtn.value() * 1e3, 20.0, 1.5);
+  EXPECT_NEAR(est.dvtp.value() * 1e3, -15.0, 1.5);
+  EXPECT_NEAR(to_celsius(est.temperature).value(), 60.0, 1.0);
+}
+
+TEST(Portability, LpCardTrackingAcrossRange) {
+  PtSensor::Config cfg = lp_config();
+  cfg.ro_mismatch_sigma = Volt{0.0};
+  PtSensor sensor{cfg, 2};
+  const DieEnvironment base =
+      lp_environment(25.0, millivolts(-12.0), millivolts(10.0));
+  (void)sensor.self_calibrate(base, nullptr);
+  for (double t = 0.0; t <= 100.0; t += 25.0) {
+    const auto reading = sensor.read(base.at_celsius(Celsius{t}), nullptr);
+    EXPECT_NEAR(reading.temperature.value(), t, 1.0) << "T=" << t;
+  }
+}
+
+TEST(Portability, LpCardMonteCarloAccuracy) {
+  // Same statistical exercise as F4, small scale: accuracy on the LP card
+  // stays within ~2x of the GP result (different sensitivities, same
+  // algorithm).
+  const device::Technology tech = device::Technology::lp65_like();
+  const process::VariationModel variation{tech,
+                                          {process::Point{1e-3, 1e-3}}};
+  Samples errors;
+  for (std::uint64_t trial = 0; trial < 60; ++trial) {
+    Rng rng{derive_seed(313, trial)};
+    const process::DieVariation die = variation.sample_die(rng);
+    PtSensor sensor{lp_config(), derive_seed(314, trial)};
+    DieEnvironment env = lp_environment(0.0, die.at(0).nmos, die.at(0).pmos);
+    env.temperature = to_kelvin(Celsius{rng.uniform(15.0, 45.0)});
+    (void)sensor.self_calibrate(env, &rng);
+    for (double t : {10.0, 50.0, 90.0}) {
+      const auto reading = sensor.read(env.at_celsius(Celsius{t}), &rng);
+      errors.add(reading.temperature.value() - t);
+    }
+  }
+  EXPECT_LT(errors.three_sigma(), 3.5);
+  EXPECT_NEAR(errors.mean(), 0.0, 0.5);
+}
+
+TEST(Portability, CardsProduceDifferentOscillators) {
+  // Sanity: the two cards are genuinely different silicon.
+  const PtSensor gp{PtSensor::Config{}, 1};
+  PtSensor::Config lp_cfg = lp_config();
+  const PtSensor lp{lp_cfg, 1};
+  const Kelvin t = to_kelvin(Celsius{25.0});
+  EXPECT_NE(gp.model_frequency(RoRole::kTdro, Volt{0.0}, Volt{0.0}, t).value(),
+            lp.model_frequency(RoRole::kTdro, Volt{0.0}, Volt{0.0}, t).value());
+}
+
+}  // namespace
+}  // namespace tsvpt::core

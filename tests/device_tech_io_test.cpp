@@ -1,0 +1,118 @@
+#include "device/tech_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/mosfet.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace tsvpt::device {
+namespace {
+
+TEST(TechIo, RoundTripPreservesEveryField) {
+  const Technology original = Technology::lp65_like();
+  const Technology parsed =
+      parse_technology_string(to_card_string(original));
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_DOUBLE_EQ(parsed.vdd_nominal.value(), original.vdd_nominal.value());
+  EXPECT_DOUBLE_EQ(parsed.t_ref.value(), original.t_ref.value());
+  EXPECT_DOUBLE_EQ(parsed.nmos.vt0.value(), original.nmos.vt0.value());
+  EXPECT_DOUBLE_EQ(parsed.nmos.dvt_dt, original.nmos.dvt_dt);
+  EXPECT_DOUBLE_EQ(parsed.nmos.mobility_exponent,
+                   original.nmos.mobility_exponent);
+  EXPECT_DOUBLE_EQ(parsed.nmos.slope_factor, original.nmos.slope_factor);
+  EXPECT_DOUBLE_EQ(parsed.nmos.i_spec0.value(), original.nmos.i_spec0.value());
+  EXPECT_DOUBLE_EQ(parsed.pmos.vt0.value(), original.pmos.vt0.value());
+  EXPECT_DOUBLE_EQ(parsed.stage_cap.value(), original.stage_cap.value());
+  EXPECT_DOUBLE_EQ(parsed.sigma_vt_d2d.value(),
+                   original.sigma_vt_d2d.value());
+  EXPECT_DOUBLE_EQ(parsed.sigma_vt_wid.value(),
+                   original.sigma_vt_wid.value());
+  EXPECT_DOUBLE_EQ(parsed.wid_correlation_length.value(),
+                   original.wid_correlation_length.value());
+}
+
+TEST(TechIo, PartialCardKeepsDefaults) {
+  const Technology tech = parse_technology_string(
+      "name = custom\n"
+      "nmos.vt0 = 0.5\n");
+  EXPECT_EQ(tech.name, "custom");
+  EXPECT_DOUBLE_EQ(tech.nmos.vt0.value(), 0.5);
+  // Untouched fields stay at the GP defaults.
+  const Technology defaults = Technology::tsmc65_like();
+  EXPECT_DOUBLE_EQ(tech.pmos.vt0.value(), defaults.pmos.vt0.value());
+  EXPECT_DOUBLE_EQ(tech.stage_cap.value(), defaults.stage_cap.value());
+}
+
+TEST(TechIo, CommentsAndBlankLinesIgnored) {
+  const Technology tech = parse_technology_string(
+      "# a comment\n"
+      "\n"
+      "   \t  \n"
+      "nmos.vt0 = 0.45   # inline comment\n");
+  EXPECT_DOUBLE_EQ(tech.nmos.vt0.value(), 0.45);
+}
+
+TEST(TechIo, UnknownKeyIsHardError) {
+  try {
+    (void)parse_technology_string("nmos.vt_zero = 0.4\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 1"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("unknown key"), std::string::npos);
+  }
+}
+
+TEST(TechIo, MalformedLinesReportLineNumbers) {
+  try {
+    (void)parse_technology_string("name = ok\nnmos.vt0 0.4\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW((void)parse_technology_string("nmos.vt0 = \n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_technology_string(" = 5\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_technology_string("nmos.vt0 = abc\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_technology_string("nmos.vt0 = 0.4volts\n"),
+               std::runtime_error);
+}
+
+TEST(TechIo, PhysicalValidation) {
+  EXPECT_THROW((void)parse_technology_string("nmos.vt0 = -0.4\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_technology_string("vdd_nominal = 0\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_technology_string("nmos.slope_factor = 0.9\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_technology_string("sigma_vt_d2d = -1e-3\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_technology_string("nmos.i_spec0 = inf\n"),
+               std::runtime_error);
+}
+
+TEST(TechIo, FileRoundTrip) {
+  const std::string path = "/tmp/tsvpt_tech_card_test.txt";
+  save_technology(Technology::tsmc65_like(), path);
+  const Technology loaded = load_technology(path);
+  EXPECT_EQ(loaded.name, "65nm-GP-like");
+  EXPECT_DOUBLE_EQ(loaded.nmos.vt0.value(), 0.42);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_technology("/nonexistent/card.txt"),
+               std::runtime_error);
+}
+
+TEST(TechIo, ParsedCardDrivesTheModels) {
+  // End-to-end: a card with a lower Vt must yield a faster oscillator.
+  const Technology slow = parse_technology_string("nmos.vt0 = 0.48\n");
+  const Technology fast = parse_technology_string("nmos.vt0 = 0.36\n");
+  const Mosfet slow_n{slow, TransistorKind::kNmos};
+  const Mosfet fast_n{fast, TransistorKind::kNmos};
+  EXPECT_GT(fast_n.id_sat(Volt{1.0}, Kelvin{300.0}).value(),
+            slow_n.id_sat(Volt{1.0}, Kelvin{300.0}).value());
+}
+
+}  // namespace
+}  // namespace tsvpt::device

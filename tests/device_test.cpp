@@ -1,0 +1,169 @@
+#include "device/mosfet.hpp"
+#include "device/tech.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvpt::device {
+namespace {
+
+const Technology kTech = Technology::tsmc65_like();
+
+TEST(Tech, CornerShiftsHaveConventionalSigns) {
+  const CornerShift ff = kTech.corner_shift(Corner::kFF);
+  const CornerShift ss = kTech.corner_shift(Corner::kSS);
+  const CornerShift fs = kTech.corner_shift(Corner::kFS);
+  EXPECT_LT(ff.nmos.value(), 0.0);
+  EXPECT_LT(ff.pmos.value(), 0.0);
+  EXPECT_GT(ss.nmos.value(), 0.0);
+  EXPECT_GT(ss.pmos.value(), 0.0);
+  EXPECT_LT(fs.nmos.value(), 0.0);
+  EXPECT_GT(fs.pmos.value(), 0.0);
+  const CornerShift tt = kTech.corner_shift(Corner::kTT);
+  EXPECT_DOUBLE_EQ(tt.nmos.value(), 0.0);
+  EXPECT_DOUBLE_EQ(tt.pmos.value(), 0.0);
+}
+
+TEST(Tech, CornerIsThreeSigmaD2d) {
+  const CornerShift ss = kTech.corner_shift(Corner::kSS);
+  EXPECT_NEAR(ss.nmos.value(), 3.0 * kTech.sigma_vt_d2d.value(), 1e-12);
+}
+
+TEST(Tech, ToStringCoversAllCorners) {
+  for (Corner c : all_corners()) {
+    EXPECT_STRNE(to_string(c), "?");
+  }
+}
+
+TEST(Tech, LpFlavorIsHigherVtLowerDrive) {
+  const Technology lp = Technology::lp65_like();
+  EXPECT_GT(lp.nmos.vt0.value(), kTech.nmos.vt0.value());
+  EXPECT_LT(lp.nmos.i_spec0.value(), kTech.nmos.i_spec0.value());
+}
+
+TEST(Mosfet, VtFallsWithTemperature) {
+  const Mosfet nmos{kTech, TransistorKind::kNmos};
+  const Volt cold = nmos.vt(Kelvin{250.0});
+  const Volt hot = nmos.vt(Kelvin{400.0});
+  EXPECT_GT(cold.value(), hot.value());
+  // Slope matches the card: -0.9 mV/K over 150 K.
+  EXPECT_NEAR(cold.value() - hot.value(), 0.9e-3 * 150.0, 1e-9);
+}
+
+TEST(Mosfet, VtIncludesDelta) {
+  const Mosfet nmos{kTech, TransistorKind::kNmos};
+  const Volt base = nmos.vt(Kelvin{300.0});
+  const Volt shifted = nmos.vt(Kelvin{300.0}, Volt{25e-3});
+  EXPECT_NEAR(shifted.value() - base.value(), 25e-3, 1e-12);
+}
+
+TEST(Mosfet, IdSatMonotoneInVgs) {
+  const Mosfet nmos{kTech, TransistorKind::kNmos};
+  double prev = -1.0;
+  for (double vgs = 0.0; vgs <= 1.2; vgs += 0.05) {
+    const double id = nmos.id_sat(Volt{vgs}, Kelvin{300.0}).value();
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+}
+
+TEST(Mosfet, IdSatFallsWithVt) {
+  const Mosfet nmos{kTech, TransistorKind::kNmos};
+  const double lo = nmos.id_sat(Volt{1.0}, Kelvin{300.0}, Volt{-20e-3}).value();
+  const double hi = nmos.id_sat(Volt{1.0}, Kelvin{300.0}, Volt{+20e-3}).value();
+  EXPECT_GT(lo, hi);
+}
+
+TEST(Mosfet, SubthresholdSlopeIsExponential) {
+  // Deep below threshold, Id should change by ~a decade per (n vT ln10) of
+  // Vgs.  (Probe well below Vt: the EKV interpolation rounds the slope off
+  // in the moderate-inversion region near Vt, as real devices do.)
+  const Mosfet nmos{kTech, TransistorKind::kNmos};
+  const Kelvin t{300.0};
+  const double n = kTech.nmos.slope_factor;
+  const double swing = n * thermal_voltage(t).value() * std::log(10.0);
+  const double i1 = nmos.id_sat(Volt{0.10}, t).value();
+  const double i2 = nmos.id_sat(Volt{0.10 + swing}, t).value();
+  EXPECT_NEAR(i2 / i1, 10.0, 0.8);
+}
+
+TEST(Mosfet, StrongInversionCurrentFallsWithT) {
+  // Mobility-limited regime: hotter means weaker drive.
+  const Mosfet nmos{kTech, TransistorKind::kNmos};
+  const double cold = nmos.id_sat(Volt{1.0}, Kelvin{273.0}).value();
+  const double hot = nmos.id_sat(Volt{1.0}, Kelvin{373.0}).value();
+  EXPECT_GT(cold, hot);
+}
+
+TEST(Mosfet, SubthresholdCurrentRisesWithT) {
+  const Mosfet nmos{kTech, TransistorKind::kNmos};
+  const double cold = nmos.id_sat(Volt{0.30}, Kelvin{273.0}).value();
+  const double hot = nmos.id_sat(Volt{0.30}, Kelvin{373.0}).value();
+  EXPECT_LT(cold, hot);
+}
+
+TEST(Mosfet, LeakageRisesSteeplyWithT) {
+  const Mosfet nmos{kTech, TransistorKind::kNmos};
+  const double cold = nmos.leakage(Volt{1.0}, Kelvin{300.0}).value();
+  const double hot = nmos.leakage(Volt{1.0}, Kelvin{360.0}).value();
+  EXPECT_GT(hot / cold, 5.0);  // decades over 60 K is the textbook behavior
+}
+
+TEST(Mosfet, IdApproachesSaturationWithVds) {
+  const Mosfet nmos{kTech, TransistorKind::kNmos};
+  const Kelvin t{300.0};
+  const double sat = nmos.id_sat(Volt{1.0}, t).value();
+  const double triode = nmos.id(Volt{1.0}, Volt{0.01}, t).value();
+  const double nearly = nmos.id(Volt{1.0}, Volt{0.5}, t).value();
+  EXPECT_LT(triode, 0.5 * sat);
+  EXPECT_NEAR(nearly, sat, 1e-9);
+}
+
+TEST(Mosfet, DidDvtIsNegative) {
+  const Mosfet nmos{kTech, TransistorKind::kNmos};
+  EXPECT_LT(nmos.did_dvt(Volt{0.6}, Kelvin{300.0}), 0.0);
+}
+
+TEST(Mosfet, PmosWeakerThanNmos) {
+  const Mosfet nmos{kTech, TransistorKind::kNmos};
+  const Mosfet pmos{kTech, TransistorKind::kPmos};
+  EXPECT_GT(nmos.id_sat(Volt{1.0}, Kelvin{300.0}).value(),
+            pmos.id_sat(Volt{1.0}, Kelvin{300.0}).value());
+}
+
+TEST(Mosfet, RejectsNonPositiveTemperature) {
+  const Mosfet nmos{kTech, TransistorKind::kNmos};
+  EXPECT_THROW((void)nmos.i_spec(Kelvin{0.0}), std::invalid_argument);
+  EXPECT_THROW((void)nmos.id_sat(Volt{1.0}, Kelvin{-5.0}),
+               std::invalid_argument);
+}
+
+/// Parameterized physical-sanity sweep: current must be positive and finite
+/// at every (corner, temperature, Vgs) combination the sensor can visit.
+class MosfetSweep
+    : public ::testing::TestWithParam<std::tuple<Corner, double, double>> {};
+
+TEST_P(MosfetSweep, CurrentPositiveFinite) {
+  const auto [corner, t_c, vgs] = GetParam();
+  const CornerShift shift = kTech.corner_shift(corner);
+  const Mosfet nmos{kTech, TransistorKind::kNmos};
+  const Mosfet pmos{kTech, TransistorKind::kPmos};
+  const Kelvin t = to_kelvin(Celsius{t_c});
+  const double id_n = nmos.id_sat(Volt{vgs}, t, shift.nmos).value();
+  const double id_p = pmos.id_sat(Volt{vgs}, t, shift.pmos).value();
+  EXPECT_TRUE(std::isfinite(id_n));
+  EXPECT_TRUE(std::isfinite(id_p));
+  EXPECT_GT(id_n, 0.0);
+  EXPECT_GT(id_p, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCorners, MosfetSweep,
+    ::testing::Combine(::testing::ValuesIn(all_corners()),
+                       ::testing::Values(-40.0, 0.0, 25.0, 85.0, 125.0),
+                       ::testing::Values(0.2, 0.45, 0.7, 1.0, 1.2)));
+
+}  // namespace
+}  // namespace tsvpt::device

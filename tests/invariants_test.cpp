@@ -1,0 +1,167 @@
+// Cross-module physical invariants: properties the models must satisfy by
+// construction, checked over randomized inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/counter.hpp"
+#include "circuit/ring_oscillator.hpp"
+#include "thermal/network.hpp"
+#include "thermal/workload.hpp"
+
+namespace tsvpt {
+namespace {
+
+thermal::StackConfig small_stack() {
+  thermal::StackConfig cfg;
+  thermal::DieGeometry die;
+  die.nx = 4;
+  die.ny = 4;
+  cfg.dies.assign(2, die);
+  cfg.bonds.assign(1, thermal::BondLayer{});
+  return cfg;
+}
+
+TEST(Invariants, ThermalSuperposition) {
+  // The network is linear (without leakage feedback): the rise caused by
+  // P1 + P2 equals the sum of the rises caused separately.
+  Rng rng{901};
+  thermal::ThermalNetwork net{small_stack()};
+  const double ambient = net.config().ambient.value();
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> p1(32);
+    std::vector<double> p2(32);
+    net.clear_power();
+    for (std::size_t d = 0; d < 2; ++d) {
+      for (std::size_t iy = 0; iy < 4; ++iy) {
+        for (std::size_t ix = 0; ix < 4; ++ix) {
+          p1[d * 16 + iy * 4 + ix] = rng.uniform(0.0, 0.3);
+          p2[d * 16 + iy * 4 + ix] = rng.uniform(0.0, 0.3);
+        }
+      }
+    }
+    auto solve_with = [&](const std::vector<double>& a,
+                          const std::vector<double>& b, double wa,
+                          double wb) {
+      net.clear_power();
+      for (std::size_t d = 0; d < 2; ++d) {
+        for (std::size_t iy = 0; iy < 4; ++iy) {
+          for (std::size_t ix = 0; ix < 4; ++ix) {
+            const std::size_t k = d * 16 + iy * 4 + ix;
+            net.set_cell_power(d, ix, iy, Watt{wa * a[k] + wb * b[k]});
+          }
+        }
+      }
+      return net.steady_state(1e-12);
+    };
+    const auto t1 = solve_with(p1, p2, 1.0, 0.0);
+    const auto t2 = solve_with(p1, p2, 0.0, 1.0);
+    const auto t12 = solve_with(p1, p2, 1.0, 1.0);
+    for (std::size_t n = 0; n < t12.size(); ++n) {
+      EXPECT_NEAR(t12[n] - ambient, (t1[n] - ambient) + (t2[n] - ambient),
+                  1e-6);
+    }
+  }
+}
+
+TEST(Invariants, ThermalScalingIsLinear) {
+  thermal::ThermalNetwork net{small_stack()};
+  net.set_uniform_power(0, Watt{1.0});
+  const auto base = net.steady_state(1e-12);
+  net.set_uniform_power(0, Watt{3.0});
+  const auto tripled = net.steady_state(1e-12);
+  const double ambient = net.config().ambient.value();
+  for (std::size_t n = 0; n < base.size(); ++n) {
+    EXPECT_NEAR(tripled[n] - ambient, 3.0 * (base[n] - ambient), 1e-6);
+  }
+}
+
+TEST(Invariants, TransientConservesHeatBudget) {
+  // Starting hot with no power: the stack can only lose energy; the
+  // capacitance-weighted mean temperature must decay monotonically to
+  // ambient.
+  thermal::ThermalNetwork net{small_stack()};
+  net.set_uniform_temperature(Kelvin{360.0});
+  double prev_mean = 360.0;
+  for (int i = 0; i < 20; ++i) {
+    net.step(Second{2e-3});
+    double mean = 0.0;
+    for (double t : net.temperatures()) mean += t;
+    mean /= static_cast<double>(net.node_count());
+    EXPECT_LE(mean, prev_mean + 1e-9);
+    EXPECT_GE(mean, net.config().ambient.value() - 1e-9);
+    prev_mean = mean;
+  }
+}
+
+TEST(Invariants, RoFrequencyHomogeneousInCapacitance) {
+  // f scales exactly as 1/C in the stage-delay abstraction.
+  device::Technology tech = device::Technology::tsmc65_like();
+  const auto f1 =
+      circuit::RingOscillator::make(tech, circuit::RoTopology::kThermal)
+          .frequency({Volt{1.0}, Kelvin{320.0}, {}});
+  tech.stage_cap = Farad{2.0 * tech.stage_cap.value()};
+  const auto f2 =
+      circuit::RingOscillator::make(tech, circuit::RoTopology::kThermal)
+          .frequency({Volt{1.0}, Kelvin{320.0}, {}});
+  EXPECT_NEAR(f1.value() / f2.value(), 2.0, 1e-12);
+}
+
+TEST(Invariants, RoSensitivitySignsStableOverRange) {
+  // The decoupling relies on fixed sensitivity signs across the whole
+  // operating box: check every topology over a coarse (T, dVt) grid.
+  const device::Technology tech = device::Technology::tsmc65_like();
+  for (circuit::RoTopology topo :
+       {circuit::RoTopology::kStandard, circuit::RoTopology::kNmosSensitive,
+        circuit::RoTopology::kPmosSensitive, circuit::RoTopology::kThermal}) {
+    const auto ro = circuit::RingOscillator::make(tech, topo);
+    for (double t = -20.0; t <= 120.0; t += 35.0) {
+      for (double mv = -40.0; mv <= 40.0; mv += 40.0) {
+        circuit::OperatingPoint op;
+        op.vdd = Volt{1.0};
+        op.temperature = to_kelvin(Celsius{t});
+        op.vt_delta = {millivolts(mv), millivolts(mv)};
+        const auto s = ro.sensitivity(op);
+        EXPECT_LT(s.dlnf_dvtn, 0.0) << circuit::to_string(topo);
+        EXPECT_LT(s.dlnf_dvtp, 0.0) << circuit::to_string(topo);
+        if (topo == circuit::RoTopology::kThermal) {
+          EXPECT_GT(s.dlnf_dt, 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(Invariants, CounterAveragingConvergesToTruth) {
+  // The mean of many noisy measurements approaches the true frequency
+  // (quantization is unbiased thanks to the random sampling phase).
+  const circuit::FrequencyCounter counter{
+      {circuit::ReferenceClock{}, Second{2e-6}, 16}};
+  Rng rng{902};
+  const double truth = 123.4567e6;
+  double acc = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    acc += counter.measure(Hertz{truth}, &rng).measured.value();
+  }
+  EXPECT_NEAR(acc / kN, truth, 6e3);  // ~1/sqrt(N) of the 0.5 MHz LSB
+}
+
+TEST(Invariants, WorkloadPowerIsConserved) {
+  // apply() must inject exactly the phase's declared power.
+  const thermal::StackConfig cfg = small_stack();
+  thermal::ThermalNetwork net{cfg};
+  Rng rng{903};
+  const thermal::Workload workload =
+      thermal::Workload::random(cfg, rng, 6, Watt{4.0}, Second{1e-3});
+  for (const thermal::WorkloadPhase& phase : workload.phases()) {
+    double declared = 0.0;
+    for (const auto& d : phase.directives) declared += d.total.value();
+    thermal::Workload single{{phase}};
+    single.apply(net, Second{0.0});
+    EXPECT_NEAR(net.total_power().value(), declared, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tsvpt

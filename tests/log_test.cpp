@@ -1,0 +1,72 @@
+#include "ptsim/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tsvpt {
+namespace {
+
+/// RAII capture of the global logger's sink and level.
+class LogCapture {
+ public:
+  LogCapture() {
+    previous_level_ = Logger::instance().level();
+    Logger::instance().set_sink(
+        [this](LogLevel level, const std::string& message) {
+          entries_.push_back({level, message});
+        });
+  }
+  ~LogCapture() {
+    Logger::instance().set_level(previous_level_);
+    Logger::instance().set_sink(nullptr);
+  }
+
+  struct Entry {
+    LogLevel level;
+    std::string message;
+  };
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  LogLevel previous_level_;
+  std::vector<Entry> entries_;
+};
+
+TEST(Log, LevelFiltering) {
+  LogCapture capture;
+  Logger::instance().set_level(LogLevel::kWarn);
+  log_debug() << "invisible";
+  log_info() << "also invisible";
+  log_warn() << "visible";
+  log_error() << "critical";
+  ASSERT_EQ(capture.entries().size(), 2u);
+  EXPECT_EQ(capture.entries()[0].level, LogLevel::kWarn);
+  EXPECT_EQ(capture.entries()[1].level, LogLevel::kError);
+}
+
+TEST(Log, StreamingComposesMessage) {
+  LogCapture capture;
+  Logger::instance().set_level(LogLevel::kDebug);
+  log_info() << "f=" << 42 << " MHz, T=" << 25.5;
+  ASSERT_EQ(capture.entries().size(), 1u);
+  EXPECT_EQ(capture.entries()[0].message, "f=42 MHz, T=25.5");
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+}
+
+TEST(Log, NullSinkIsSafe) {
+  LogCapture capture;
+  Logger::instance().set_sink(nullptr);
+  Logger::instance().set_level(LogLevel::kDebug);
+  EXPECT_NO_THROW(log_error() << "nowhere to go");
+}
+
+}  // namespace
+}  // namespace tsvpt

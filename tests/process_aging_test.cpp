@@ -1,0 +1,108 @@
+#include "process/aging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsvpt::process {
+namespace {
+
+const AgingModel kModel{};
+
+TEST(Aging, ZeroAgeZeroShift) {
+  const device::VtDelta fresh = kModel.shift(Second{0.0}, StressCondition{});
+  EXPECT_DOUBLE_EQ(fresh.nmos.value(), 0.0);
+  EXPECT_DOUBLE_EQ(fresh.pmos.value(), 0.0);
+}
+
+TEST(Aging, ZeroDutyZeroShift) {
+  StressCondition idle;
+  idle.duty = 0.0;
+  const device::VtDelta shift = kModel.shift(AgingModel::years(10.0), idle);
+  EXPECT_DOUBLE_EQ(shift.pmos.value(), 0.0);
+}
+
+TEST(Aging, TenYearMagnitudeMatchesCalibration) {
+  // ~21 mV NBTI after 10 years at 85 degC full duty (the calibration
+  // anchor), PBTI ~ 40 % of that.
+  StressCondition stress;
+  stress.temperature = to_kelvin(Celsius{85.0});
+  stress.duty = 1.0;
+  const device::VtDelta shift =
+      kModel.shift(AgingModel::years(10.0), stress);
+  EXPECT_NEAR(shift.pmos.value() * 1e3, 21.0, 3.0);
+  EXPECT_NEAR(shift.nmos.value() / shift.pmos.value(), 0.42, 0.05);
+}
+
+TEST(Aging, MonotoneInTime) {
+  StressCondition stress;
+  double prev = 0.0;
+  for (double years : {0.1, 0.5, 1.0, 3.0, 10.0, 20.0}) {
+    const double shift =
+        kModel.shift(device::TransistorKind::kPmos,
+                     AgingModel::years(years), stress)
+            .value();
+    EXPECT_GT(shift, prev);
+    prev = shift;
+  }
+}
+
+TEST(Aging, SubLinearInTime) {
+  // Power law with n < 1: the second decade adds less than the first.
+  StressCondition stress;
+  const double y1 = kModel.shift(device::TransistorKind::kPmos,
+                                 AgingModel::years(1.0), stress)
+                        .value();
+  const double y10 = kModel.shift(device::TransistorKind::kPmos,
+                                  AgingModel::years(10.0), stress)
+                         .value();
+  EXPECT_LT(y10, 5.0 * y1);
+  EXPECT_GT(y10, y1);
+}
+
+TEST(Aging, HotterAgesFaster) {
+  StressCondition cool;
+  cool.temperature = to_kelvin(Celsius{45.0});
+  StressCondition hot;
+  hot.temperature = to_kelvin(Celsius{105.0});
+  const Second age = AgingModel::years(5.0);
+  EXPECT_GT(kModel.shift(device::TransistorKind::kPmos, age, hot).value(),
+            1.3 * kModel.shift(device::TransistorKind::kPmos, age, cool)
+                      .value());
+}
+
+TEST(Aging, DutyReducesStress) {
+  StressCondition full;
+  StressCondition half;
+  half.duty = 0.25;
+  const Second age = AgingModel::years(5.0);
+  const double f = kModel.shift(device::TransistorKind::kPmos, age, full)
+                       .value();
+  const double h = kModel.shift(device::TransistorKind::kPmos, age, half)
+                       .value();
+  EXPECT_NEAR(h / f, 0.5, 1e-9);  // duty^0.5 with duty = 0.25
+}
+
+TEST(Aging, ShiftsArePositiveBothKinds) {
+  const device::VtDelta shift =
+      kModel.shift(AgingModel::years(2.0), StressCondition{});
+  EXPECT_GT(shift.nmos.value(), 0.0);
+  EXPECT_GT(shift.pmos.value(), 0.0);
+  EXPECT_GT(shift.pmos.value(), shift.nmos.value());  // NBTI dominates
+}
+
+TEST(Aging, Validation) {
+  EXPECT_THROW(
+      (void)kModel.shift(Second{-1.0}, StressCondition{}),
+      std::invalid_argument);
+  StressCondition bad;
+  bad.duty = 1.5;
+  EXPECT_THROW((void)kModel.shift(Second{1.0}, bad), std::invalid_argument);
+  AgingParams params;
+  params.time_exponent = 0.0;
+  EXPECT_THROW((AgingModel{params}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsvpt::process

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "process/montecarlo.hpp"
+#include "process/spatial_field.hpp"
+#include "process/tsv_stress.hpp"
+#include "process/variation.hpp"
+#include "ptsim/stats.hpp"
+
+namespace tsvpt::process {
+namespace {
+
+const device::Technology kTech = device::Technology::tsmc65_like();
+
+std::vector<Point> line_points(std::size_t n, double spacing) {
+  std::vector<Point> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({static_cast<double>(i) * spacing, 0.0});
+  }
+  return points;
+}
+
+TEST(SpatialField, MarginalSigmaMatches) {
+  const SpatialField field{line_points(5, 1e-3), 8e-3, 1e-3};
+  Rng rng{100};
+  RunningStats stats;
+  for (int trial = 0; trial < 5000; ++trial) {
+    for (double v : field.sample(rng)) stats.add(v);
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 3e-4);
+  EXPECT_NEAR(stats.stddev(), 8e-3, 3e-4);
+}
+
+TEST(SpatialField, NearbyPointsCorrelated) {
+  // Two points 0.1 correlation-lengths apart vs two points 5 apart.
+  const std::vector<Point> points{{0.0, 0.0}, {1e-4, 0.0}, {5e-3, 0.0}};
+  const SpatialField field{points, 10e-3, 1e-3};
+  Rng rng{200};
+  std::vector<double> a;
+  std::vector<double> b;
+  std::vector<double> c;
+  for (int trial = 0; trial < 4000; ++trial) {
+    const auto sample = field.sample(rng);
+    a.push_back(sample[0]);
+    b.push_back(sample[1]);
+    c.push_back(sample[2]);
+  }
+  EXPECT_GT(correlation(a, b), 0.85);  // exp(-0.1) ~ 0.90
+  EXPECT_LT(correlation(a, c), 0.05);  // exp(-5) ~ 0.007
+}
+
+TEST(SpatialField, ModelCorrelationDecay) {
+  const SpatialField field{line_points(3, 1e-3), 5e-3, 1e-3};
+  EXPECT_NEAR(field.correlation_between(0, 1), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(field.correlation_between(0, 2), std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(field.correlation_between(1, 1), 1.0);
+}
+
+TEST(SpatialField, ZeroSigmaYieldsZeros) {
+  const SpatialField field{line_points(4, 1e-3), 0.0, 1e-3};
+  Rng rng{1};
+  for (double v : field.sample(rng)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(SpatialField, CoincidentPointsHandled) {
+  // Degenerate covariance: jitter must keep the factorization alive and the
+  // two coincident points nearly identical in every draw.
+  const std::vector<Point> points{{0.0, 0.0}, {0.0, 0.0}};
+  const SpatialField field{points, 5e-3, 1e-3};
+  Rng rng{2};
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = field.sample(rng);
+    EXPECT_NEAR(sample[0], sample[1], 0.2 * 5e-3);
+  }
+}
+
+TEST(SpatialField, RejectsBadArguments) {
+  EXPECT_THROW((SpatialField{{}, 1e-3, 1e-3}), std::invalid_argument);
+  EXPECT_THROW((SpatialField{line_points(2, 1e-3), -1.0, 1e-3}),
+               std::invalid_argument);
+  EXPECT_THROW((SpatialField{line_points(2, 1e-3), 1e-3, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(TsvStress, DecaysWithDistance) {
+  const TsvStressField field{{Point{0.0, 0.0}}, TsvStressParams{}};
+  const device::VtDelta near = field.shift_at({3e-6, 0.0});
+  const device::VtDelta far = field.shift_at({20e-6, 0.0});
+  EXPECT_GT(near.nmos.value(), far.nmos.value());
+  EXPECT_GT(std::abs(near.pmos.value()), std::abs(far.pmos.value()));
+}
+
+TEST(TsvStress, OppositeSignsForNmosPmos) {
+  const TsvStressField field{{Point{0.0, 0.0}}, TsvStressParams{}};
+  const device::VtDelta shift = field.shift_at({5e-6, 0.0});
+  EXPECT_GT(shift.nmos.value(), 0.0);
+  EXPECT_LT(shift.pmos.value(), 0.0);
+}
+
+TEST(TsvStress, ClampedAtViaEdge) {
+  const TsvStressParams params;
+  const TsvStressField field{{Point{0.0, 0.0}}, params};
+  const device::VtDelta at_center = field.shift_at({0.0, 0.0});
+  EXPECT_NEAR(at_center.nmos.value(), params.nmos_edge_shift.value(), 1e-12);
+}
+
+TEST(TsvStress, CutoffTruncates) {
+  const TsvStressField field{{Point{0.0, 0.0}}, TsvStressParams{}};
+  const device::VtDelta beyond = field.shift_at({30e-6, 0.0});
+  EXPECT_DOUBLE_EQ(beyond.nmos.value(), 0.0);
+  EXPECT_DOUBLE_EQ(beyond.pmos.value(), 0.0);
+}
+
+TEST(TsvStress, MultipleViasAccumulate) {
+  const std::vector<Point> one{Point{0.0, 0.0}};
+  const std::vector<Point> two{Point{-4e-6, 0.0}, Point{4e-6, 0.0}};
+  const TsvStressField f1{one, TsvStressParams{}};
+  const TsvStressField f2{two, TsvStressParams{}};
+  EXPECT_GT(f2.shift_at({0.0, 0.0}).nmos.value(),
+            f1.shift_at({6e-6, 0.0}).nmos.value());
+}
+
+TEST(TsvStress, ThinningFactorScales) {
+  const TsvStressField thick{{Point{0.0, 0.0}}, TsvStressParams{}, 1.0};
+  const TsvStressField thin{{Point{0.0, 0.0}}, TsvStressParams{}, 2.0};
+  EXPECT_NEAR(thin.shift_at({5e-6, 0.0}).nmos.value(),
+              2.0 * thick.shift_at({5e-6, 0.0}).nmos.value(), 1e-15);
+}
+
+TEST(TsvStress, GridLayoutCountAndBounds) {
+  const auto grid = TsvStressField::grid_layout(Meter{5e-3}, Meter{5e-3}, 4, 3);
+  EXPECT_EQ(grid.size(), 12u);
+  for (const Point& p : grid) {
+    EXPECT_GT(p.x, 0.0);
+    EXPECT_LT(p.x, 5e-3);
+    EXPECT_GT(p.y, 0.0);
+    EXPECT_LT(p.y, 5e-3);
+  }
+  EXPECT_THROW((void)TsvStressField::grid_layout(Meter{1e-3}, Meter{1e-3}, 0,
+                                                 1),
+               std::invalid_argument);
+}
+
+TEST(VariationModel, D2dSigmaMatchesCard) {
+  const VariationModel model{kTech, line_points(1, 1e-3)};
+  Rng rng{300};
+  RunningStats n_stats;
+  RunningStats p_stats;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const DieVariation die = model.sample_die(rng);
+    n_stats.add(die.d2d.nmos.value());
+    p_stats.add(die.d2d.pmos.value());
+  }
+  EXPECT_NEAR(n_stats.stddev(), kTech.sigma_vt_d2d.value(), 5e-4);
+  EXPECT_NEAR(p_stats.stddev(), kTech.sigma_vt_d2d.value(), 5e-4);
+}
+
+TEST(VariationModel, TotalsComposeComponents) {
+  VariationModel model{kTech, line_points(3, 1e-3)};
+  model.set_tsv_stress(
+      TsvStressField{{Point{0.0, 0.0}}, TsvStressParams{}});
+  Rng rng{301};
+  const DieVariation die = model.sample_die(rng);
+  ASSERT_EQ(die.point_count(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const device::VtDelta total = die.at(i);
+    EXPECT_NEAR(total.nmos.value(),
+                die.d2d.nmos.value() + die.wid[i].nmos.value() +
+                    die.stress[i].nmos.value(),
+                1e-15);
+  }
+}
+
+TEST(VariationModel, CornerDieHasNoRandomness) {
+  const VariationModel model{kTech, line_points(2, 1e-3)};
+  const DieVariation ss = model.corner_die(device::Corner::kSS);
+  EXPECT_GT(ss.d2d.nmos.value(), 0.0);
+  for (const auto& wid : ss.wid) {
+    EXPECT_DOUBLE_EQ(wid.nmos.value(), 0.0);
+    EXPECT_DOUBLE_EQ(wid.pmos.value(), 0.0);
+  }
+}
+
+TEST(VariationModel, ScalingKnobs) {
+  VariationModel model{kTech, line_points(1, 1e-3)};
+  model.scale_d2d_sigma(0.0);
+  Rng rng{302};
+  const DieVariation die = model.sample_die(rng);
+  EXPECT_DOUBLE_EQ(die.d2d.nmos.value(), 0.0);
+  EXPECT_THROW(model.scale_wid_sigma(-1.0), std::invalid_argument);
+}
+
+TEST(MonteCarlo, TrialsAreReproducibleAndOrderFree) {
+  const MonteCarlo mc{777, 10};
+  std::vector<double> first(10);
+  mc.run([&](std::size_t trial, Rng& rng) { first[trial] = rng.uniform(); });
+  // Re-running gives identical draws.
+  std::vector<double> second(10);
+  mc.run([&](std::size_t trial, Rng& rng) { second[trial] = rng.uniform(); });
+  EXPECT_EQ(first, second);
+  // A standalone per-trial RNG matches too (order independence).
+  Rng solo = mc.rng_for_trial(7);
+  EXPECT_DOUBLE_EQ(solo.uniform(), first[7]);
+}
+
+TEST(MonteCarlo, DistinctTrialsDecorrelated) {
+  const MonteCarlo mc{778, 2};
+  Rng a = mc.rng_for_trial(0);
+  Rng b = mc.rng_for_trial(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace tsvpt::process

@@ -1,0 +1,101 @@
+#include "process/wafer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ptsim/stats.hpp"
+
+namespace tsvpt::process {
+namespace {
+
+TEST(Wafer, SitesFitInsideRadius) {
+  const WaferModel wafer{WaferParams{}, 1};
+  EXPECT_GT(wafer.die_count(), 2000u);  // ~290 mm usable / 5 mm pitch
+  for (std::size_t i = 0; i < wafer.die_count(); ++i) {
+    EXPECT_LE(wafer.site_radius(i), wafer.params().radius.value() + 1e-12);
+  }
+}
+
+TEST(Wafer, DeterministicPerSeed) {
+  const WaferModel a{WaferParams{}, 7};
+  const WaferModel b{WaferParams{}, 7};
+  const WaferModel c{WaferParams{}, 8};
+  EXPECT_DOUBLE_EQ(a.die_offset(100).nmos.value(),
+                   b.die_offset(100).nmos.value());
+  EXPECT_NE(a.die_offset(100).nmos.value(), c.die_offset(100).nmos.value());
+}
+
+TEST(Wafer, BowlRaisesEdgeAboveCenter) {
+  WaferParams params;
+  params.tilt_nmos = Volt{0.0};
+  params.tilt_pmos = Volt{0.0};
+  params.lot_spread = 0.0;
+  const WaferModel wafer{params, 2};
+  const device::VtDelta center = wafer.systematic_at({0.0, 0.0});
+  const device::VtDelta edge =
+      wafer.systematic_at({params.radius.value(), 0.0});
+  EXPECT_NEAR(center.nmos.value(), 0.0, 1e-12);
+  EXPECT_NEAR(edge.nmos.value(), params.bowl_nmos.value(), 1e-12);
+  EXPECT_NEAR(edge.pmos.value(), params.bowl_pmos.value(), 1e-12);
+  // Quadratic: half radius -> quarter amplitude.
+  EXPECT_NEAR(wafer.systematic_at({params.radius.value() / 2.0, 0.0})
+                  .nmos.value(),
+              params.bowl_nmos.value() / 4.0, 1e-12);
+}
+
+TEST(Wafer, TiltIsAntisymmetric) {
+  WaferParams params;
+  params.bowl_nmos = Volt{0.0};
+  params.bowl_pmos = Volt{0.0};
+  params.lot_spread = 0.0;
+  const WaferModel wafer{params, 3};
+  const double r = params.radius.value();
+  const device::VtDelta plus = wafer.systematic_at({r, 0.0});
+  const device::VtDelta minus = wafer.systematic_at({-r, 0.0});
+  EXPECT_NEAR(plus.nmos.value(), -minus.nmos.value(), 1e-12);
+}
+
+TEST(Wafer, ResidualSigmaMatches) {
+  WaferParams params;
+  params.bowl_nmos = Volt{0.0};
+  params.bowl_pmos = Volt{0.0};
+  params.tilt_nmos = Volt{0.0};
+  params.tilt_pmos = Volt{0.0};
+  params.sigma_residual = Volt{5e-3};
+  const WaferModel wafer{params, 4};
+  RunningStats stats;
+  for (std::size_t i = 0; i < wafer.die_count(); ++i) {
+    stats.add(wafer.die_offset(i).nmos.value());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 4e-4);
+  EXPECT_NEAR(stats.stddev(), 5e-3, 5e-4);
+}
+
+TEST(Wafer, SystematicDominatesWhenResidualSmall) {
+  WaferParams params;
+  params.sigma_residual = Volt{0.5e-3};
+  const WaferModel wafer{params, 5};
+  // Correlate offset with radius^2: should be strongly positive.
+  std::vector<double> r2;
+  std::vector<double> offset;
+  for (std::size_t i = 0; i < wafer.die_count(); ++i) {
+    const double radius = wafer.site_radius(i);
+    r2.push_back(radius * radius);
+    offset.push_back(wafer.die_offset(i).nmos.value());
+  }
+  EXPECT_GT(correlation(r2, offset), 0.5);
+}
+
+TEST(Wafer, Validation) {
+  WaferParams params;
+  params.radius = Meter{0.0};
+  EXPECT_THROW((WaferModel{params, 1}), std::invalid_argument);
+  const WaferModel wafer{WaferParams{}, 1};
+  EXPECT_THROW((void)wafer.die_offset(wafer.die_count()), std::out_of_range);
+  EXPECT_THROW((void)wafer.site_radius(wafer.die_count()), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tsvpt::process

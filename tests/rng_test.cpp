@@ -1,0 +1,145 @@
+#include "ptsim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace tsvpt {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{11};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng rng{13};
+  double sum = 0.0;
+  double sum2 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaleAndShift) {
+  Rng rng{17};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.05);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng{19};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{23};
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{29};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / kN, 2.5, 0.05);
+}
+
+TEST(Rng, ForkedStreamsAreDecorrelated) {
+  Rng parent{31};
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  double cov = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    cov += (a.uniform() - 0.5) * (b.uniform() - 0.5);
+  }
+  EXPECT_NEAR(cov / 10000.0, 0.0, 0.005);
+}
+
+TEST(Rng, DeriveSeedDistinctStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(derive_seed(99, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{37};
+  std::vector<std::size_t> items{0, 1, 2, 3, 4, 5, 6, 7};
+  rng.shuffle(items);
+  std::set<std::size_t> unique(items.begin(), items.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(Rng, ShuffleEmptyIsNoop) {
+  Rng rng{41};
+  std::vector<std::size_t> items;
+  rng.shuffle(items);
+  EXPECT_TRUE(items.empty());
+}
+
+}  // namespace
+}  // namespace tsvpt

@@ -1,0 +1,121 @@
+#include "sim/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "process/variation.hpp"
+
+namespace tsvpt::sim {
+namespace {
+
+struct DvfsFixture {
+  thermal::StackConfig cfg = thermal::StackConfig::four_die_stack();
+  thermal::ThermalNetwork network{cfg};
+  std::vector<core::SensorSite> sites;
+  std::unique_ptr<core::StackMonitor> monitor;
+
+  DvfsFixture() {
+    sites = core::StackMonitor::uniform_sites(cfg, 1, 1);
+    const process::VariationModel model{device::Technology::tsmc65_like(),
+                                        {sites[0].location}};
+    Rng rng{3};
+    for (auto& site : sites) site.vt_delta = model.sample_die(rng).at(0);
+    monitor = std::make_unique<core::StackMonitor>(
+        &network, core::PtSensor::Config{}, sites, 5);
+  }
+};
+
+thermal::Workload hot_uniform(const thermal::StackConfig& /*cfg*/, double watts) {
+  thermal::WorkloadPhase phase;
+  phase.name = "hot";
+  phase.duration = Second{1.0};
+  phase.directives.push_back({thermal::PowerDirective::Kind::kUniform, 0,
+                              Watt{watts}, {}, Meter{0.0}});
+  return thermal::Workload{{phase}};
+}
+
+DvfsGovernor::Config fast_config() {
+  DvfsGovernor::Config cfg = DvfsGovernor::Config::typical();
+  cfg.ceiling = Celsius{45.0};
+  cfg.floor = Celsius{40.0};
+  cfg.sample_period = Second{2e-3};
+  cfg.thermal_step = Second{1e-3};
+  return cfg;
+}
+
+TEST(Dvfs, ValidationRejectsBadLadders) {
+  DvfsGovernor::Config cfg;
+  EXPECT_THROW((DvfsGovernor{cfg}), std::invalid_argument);  // empty
+  cfg = DvfsGovernor::Config::typical();
+  cfg.ladder[1].relative_frequency = 1.5;  // not descending
+  EXPECT_THROW((DvfsGovernor{cfg}), std::invalid_argument);
+  cfg = DvfsGovernor::Config::typical();
+  cfg.initial_level = 9;
+  EXPECT_THROW((DvfsGovernor{cfg}), std::invalid_argument);
+  cfg = DvfsGovernor::Config::typical();
+  cfg.floor = cfg.ceiling;
+  EXPECT_THROW((DvfsGovernor{cfg}), std::invalid_argument);
+}
+
+TEST(Dvfs, CoolWorkloadStaysAtTopLevel) {
+  DvfsFixture fx;
+  const DvfsGovernor governor{fast_config()};
+  const auto result = governor.run(fx.network, hot_uniform(fx.cfg, 0.5),
+                                   *fx.monitor, Second{100e-3}, 1);
+  EXPECT_NEAR(result.relative_throughput, 1.0, 1e-6);
+  EXPECT_EQ(result.transitions, 0u);
+  EXPECT_NEAR(result.residency[0], 1.0, 1e-6);
+}
+
+TEST(Dvfs, HotWorkloadStepsDownAndCapsTemperature) {
+  DvfsFixture fx;
+  const DvfsGovernor governor{fast_config()};
+  const auto result = governor.run(fx.network, hot_uniform(fx.cfg, 14.0),
+                                   *fx.monitor, Second{400e-3}, 2);
+  EXPECT_GT(result.transitions, 0u);
+  EXPECT_LT(result.relative_throughput, 1.0);
+  EXPECT_GT(result.relative_throughput, 0.4);  // not stuck at the bottom
+  // Temperature is contained near the ceiling (sampling slack allowed).
+  EXPECT_LT(result.max_true.value(), 60.0);
+  // Residency fractions sum to ~1.
+  double total = 0.0;
+  for (double r : result.residency) total += r;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(Dvfs, GovernorBeatsStaticWorstCaseLevel) {
+  // A designer without a sensor must statically pick the level that is safe
+  // for the worst case; the governor adapts and wins throughput.
+  DvfsFixture fx_gov;
+  const DvfsGovernor governor{fast_config()};
+  const auto adaptive = governor.run(fx_gov.network, hot_uniform(fx_gov.cfg, 14.0),
+                                     *fx_gov.monitor, Second{400e-3}, 3);
+  // Static P3 (half speed) is the worst-case-safe choice here.
+  DvfsGovernor::Config static_cfg = fast_config();
+  static_cfg.initial_level = 3;
+  static_cfg.ceiling = Celsius{1000.0};  // never steps down...
+  static_cfg.floor = Celsius{-200.0};    // ...and never steps up: static
+  DvfsFixture fx_static;
+  const DvfsGovernor static_governor{static_cfg};
+  const auto fixed = static_governor.run(fx_static.network,
+                                         hot_uniform(fx_static.cfg, 14.0),
+                                         *fx_static.monitor, Second{400e-3},
+                                         3);
+  EXPECT_GT(adaptive.relative_throughput, fixed.relative_throughput);
+}
+
+TEST(Dvfs, HysteresisLimitsTransitionRate) {
+  DvfsFixture fx;
+  DvfsGovernor::Config cfg = fast_config();
+  const DvfsGovernor governor{cfg};
+  const auto result = governor.run(fx.network, hot_uniform(fx.cfg, 14.0),
+                                   *fx.monitor, Second{400e-3}, 4);
+  // With a 5 degC hysteresis band the governor must not thrash every sample
+  // (400 ms / 2 ms = 200 samples).
+  EXPECT_LT(result.transitions, 60u);
+}
+
+}  // namespace
+}  // namespace tsvpt::sim

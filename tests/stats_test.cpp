@@ -1,0 +1,153 @@
+#include "ptsim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ptsim/rng.hpp"
+
+namespace tsvpt {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.25);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, MaxAbsUsesBothTails) {
+  RunningStats s;
+  s.add(-5.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.max_abs(), 5.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  Rng rng{5};
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.gaussian(3.0, 2.0);
+    all.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Samples, QuantileInterpolates) {
+  Samples s{{1.0, 2.0, 3.0, 4.0, 5.0}};
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+}
+
+TEST(Samples, QuantileRejectsOutOfRange) {
+  Samples s{{1.0, 2.0}};
+  EXPECT_THROW((void)s.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Samples, RmsAndThreeSigma) {
+  Samples s{{3.0, -4.0}};
+  EXPECT_DOUBLE_EQ(s.rms(), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(s.three_sigma(), 3.0 * 3.5);
+}
+
+TEST(Samples, AddInvalidatesSortCache) {
+  Samples s{{5.0, 1.0}};
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  s.add(-7.0);
+  EXPECT_DOUBLE_EQ(s.min(), -7.0);
+  EXPECT_DOUBLE_EQ(s.max_abs(), 7.0);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.5);
+  h.add(5.5);
+  h.add(-100.0);  // clamps into first bin
+  h.add(100.0);   // clamps into last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), std::invalid_argument);
+  EXPECT_THROW((Histogram{1.0, 0.0, 4}), std::invalid_argument);
+}
+
+TEST(Histogram, RenderContainsRows) {
+  Histogram h{0.0, 1.0, 2};
+  h.add(0.2);
+  const std::string out = h.render();
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(FitLine, RecoversExactLine) {
+  std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y{1.0, 3.0, 5.0, 7.0};
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyFitHasReasonableR2) {
+  Rng rng{3};
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(0.5 * i + rng.gaussian(0.0, 1.0));
+  }
+  const LineFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.02);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLine, RejectsDegenerate) {
+  EXPECT_THROW((void)fit_line({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)fit_line({1.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Correlation, PerfectAndAnti) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> up{2.0, 4.0, 6.0};
+  std::vector<double> down{6.0, 4.0, 2.0};
+  EXPECT_NEAR(correlation(x, up), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(x, down), -1.0, 1e-12);
+}
+
+TEST(Correlation, IndependentNearZero) {
+  Rng rng{8};
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.gaussian());
+    y.push_back(rng.gaussian());
+  }
+  EXPECT_NEAR(correlation(x, y), 0.0, 0.02);
+}
+
+}  // namespace
+}  // namespace tsvpt

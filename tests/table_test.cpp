@@ -1,0 +1,84 @@
+#include "ptsim/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace tsvpt {
+namespace {
+
+Table make_sample() {
+  Table t{"sample"};
+  t.add_column("name");
+  t.add_column("value", 2);
+  t.add_column("count", 0);
+  t.add_row({std::string{"alpha"}, 1.234, 7LL});
+  t.add_row({std::string{"beta"}, -0.5, 42LL});
+  return t;
+}
+
+TEST(Table, RenderContainsHeadersAndValues) {
+  const std::string out = make_sample().render();
+  EXPECT_NE(out.find("sample"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(Table, PrecisionIsPerColumn) {
+  Table t;
+  t.add_column("a", 1);
+  t.add_column("b", 4);
+  t.add_row({3.14159, 3.14159});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("3.1 "), std::string::npos);
+  EXPECT_NE(out.find("3.1416"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t;
+  t.add_column("a");
+  EXPECT_THROW(t.add_row({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Table, AddColumnAfterRowsThrows) {
+  Table t;
+  t.add_column("a");
+  t.add_row({1.0});
+  EXPECT_THROW(t.add_column("b"), std::logic_error);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t;
+  t.add_column("text");
+  t.add_row({std::string{"hello, \"world\""}});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"hello, \"\"world\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundNumbers) {
+  const std::string csv = make_sample().to_csv();
+  EXPECT_NE(csv.find("alpha,1.23,7"), std::string::npos);
+}
+
+TEST(Table, WriteCsvCreatesFile) {
+  const std::string path = "/tmp/tsvpt_table_test.csv";
+  make_sample().write_csv(path);
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "name,value,count");
+  std::remove(path.c_str());
+}
+
+TEST(Table, CountsAreTracked) {
+  const Table t = make_sample();
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 3u);
+}
+
+}  // namespace
+}  // namespace tsvpt

@@ -1,0 +1,106 @@
+#include "thermal/workload_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "ptsim/rng.hpp"
+
+namespace tsvpt::thermal {
+namespace {
+
+TEST(WorkloadIo, ParsesMixedTrace) {
+  const Workload workload = parse_workload_string(
+      "# burst/idle trace\n"
+      "phase 0.010 burst\n"
+      "uniform 0 2.0\n"
+      "hotspot 0 3.0 1.2e-3 3.4e-3 5e-4\n"
+      "\n"
+      "phase 0.020 idle\n"
+      "uniform 0 0.5\n");
+  ASSERT_EQ(workload.phases().size(), 2u);
+  EXPECT_EQ(workload.phases()[0].name, "burst");
+  EXPECT_DOUBLE_EQ(workload.phases()[0].duration.value(), 0.010);
+  ASSERT_EQ(workload.phases()[0].directives.size(), 2u);
+  const PowerDirective& hotspot = workload.phases()[0].directives[1];
+  EXPECT_EQ(hotspot.kind, PowerDirective::Kind::kHotspot);
+  EXPECT_DOUBLE_EQ(hotspot.total.value(), 3.0);
+  EXPECT_DOUBLE_EQ(hotspot.center.x, 1.2e-3);
+  EXPECT_DOUBLE_EQ(hotspot.radius.value(), 5e-4);
+  EXPECT_DOUBLE_EQ(workload.total_duration().value(), 0.030);
+}
+
+TEST(WorkloadIo, RoundTripsRandomWorkloads) {
+  const StackConfig cfg = StackConfig::four_die_stack();
+  Rng rng{55};
+  const Workload original =
+      Workload::random(cfg, rng, 5, Watt{4.0}, Second{2e-3});
+  const Workload reparsed =
+      parse_workload_string(to_trace_string(original));
+  ASSERT_EQ(reparsed.phases().size(), original.phases().size());
+  for (std::size_t p = 0; p < original.phases().size(); ++p) {
+    const WorkloadPhase& a = original.phases()[p];
+    const WorkloadPhase& b = reparsed.phases()[p];
+    EXPECT_DOUBLE_EQ(a.duration.value(), b.duration.value());
+    ASSERT_EQ(a.directives.size(), b.directives.size());
+    for (std::size_t d = 0; d < a.directives.size(); ++d) {
+      EXPECT_EQ(a.directives[d].kind, b.directives[d].kind);
+      EXPECT_EQ(a.directives[d].die, b.directives[d].die);
+      EXPECT_DOUBLE_EQ(a.directives[d].total.value(),
+                       b.directives[d].total.value());
+    }
+  }
+}
+
+TEST(WorkloadIo, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_workload_string("phase 0.01\nuniform 0 1.0\nbogus 1 2\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 3"), std::string::npos);
+  }
+}
+
+TEST(WorkloadIo, RejectsMalformedRecords) {
+  EXPECT_THROW((void)parse_workload_string("uniform 0 1.0\n"),
+               std::runtime_error);  // directive before phase
+  EXPECT_THROW((void)parse_workload_string("phase 0\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_workload_string("phase 0.01\nuniform 0 -1\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_workload_string("phase 0.01\nuniform 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_workload_string("phase 0.01\nuniform 0 1.0 extra\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_workload_string("phase 0.01\nhotspot 0 1 0 0 0\n"),
+      std::runtime_error);  // zero radius
+  EXPECT_THROW((void)parse_workload_string("# only comments\n"),
+               std::runtime_error);
+}
+
+TEST(WorkloadIo, FileRoundTrip) {
+  const std::string path = "/tmp/tsvpt_workload_test.trace";
+  const Workload original = parse_workload_string(
+      "phase 0.005 a\nuniform 1 1.5\nphase 0.007 b\nuniform 2 0.25\n");
+  save_workload(original, path);
+  const Workload loaded = load_workload(path);
+  EXPECT_DOUBLE_EQ(loaded.total_duration().value(), 0.012);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_workload("/nonexistent/trace"),
+               std::runtime_error);
+}
+
+TEST(WorkloadIo, ParsedTraceDrivesTheNetwork) {
+  const Workload workload = parse_workload_string(
+      "phase 0.01\nuniform 0 2.0\nphase 0.01\nuniform 1 1.0\n");
+  ThermalNetwork net{StackConfig::four_die_stack()};
+  workload.apply(net, Second{0.0});
+  EXPECT_NEAR(net.total_power().value(), 2.0, 1e-12);
+  workload.apply(net, Second{0.015});
+  EXPECT_NEAR(net.total_power().value(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tsvpt::thermal

@@ -1,0 +1,76 @@
+#include "ptsim/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tsvpt {
+namespace {
+
+TEST(Units, CelsiusKelvinRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_kelvin(Celsius{25.0}).value(), 298.15);
+  EXPECT_DOUBLE_EQ(to_celsius(Kelvin{373.15}).value(), 100.0);
+  EXPECT_DOUBLE_EQ(to_celsius(to_kelvin(Celsius{-40.0})).value(), -40.0);
+}
+
+TEST(Units, ArithmeticWithinUnit) {
+  const Volt a = millivolts(500.0);
+  const Volt b = millivolts(250.0);
+  EXPECT_DOUBLE_EQ((a + b).value(), 0.75);
+  EXPECT_DOUBLE_EQ((a - b).value(), 0.25);
+  EXPECT_DOUBLE_EQ((2.0 * b).value(), 0.5);
+  EXPECT_DOUBLE_EQ((a / 2.0).value(), 0.25);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Celsius{20.0}, Celsius{25.0});
+  EXPECT_EQ(Hertz{100.0}, hertz(100.0));
+  EXPECT_GT(megahertz(1.0), kilohertz(999.0));
+}
+
+TEST(Units, CompoundAssignment) {
+  Joule e{1.0};
+  e += Joule{2.0};
+  EXPECT_DOUBLE_EQ(e.value(), 3.0);
+  e -= Joule{0.5};
+  EXPECT_DOUBLE_EQ(e.value(), 2.5);
+}
+
+TEST(Units, FrequencyPeriodInverse) {
+  EXPECT_DOUBLE_EQ(period_of(megahertz(1.0)).value(), 1e-6);
+  EXPECT_DOUBLE_EQ(frequency_of(nanoseconds(1.0)).value(), 1e9);
+}
+
+TEST(Units, EnergyPowerRelations) {
+  const Watt p = milliwatts(2.0);
+  const Second t = seconds(3.0);
+  EXPECT_DOUBLE_EQ((p * t).value(), 6e-3);
+  EXPECT_DOUBLE_EQ((t * p).value(), 6e-3);
+  EXPECT_DOUBLE_EQ((Joule{6e-3} / t).value(), 2e-3);
+  EXPECT_DOUBLE_EQ((volts(2.0) * amperes(3.0)).value(), 6.0);
+}
+
+TEST(Units, SiPrefixFactories) {
+  EXPECT_DOUBLE_EQ(picojoules(367.5).value(), 367.5e-12);
+  EXPECT_DOUBLE_EQ(femtofarads(2.0).value(), 2e-15);
+  EXPECT_DOUBLE_EQ(micrometers(100.0).value(), 1e-4);
+  EXPECT_DOUBLE_EQ(microwatts(20.0).value(), 2e-5);
+}
+
+TEST(Units, ThermalVoltageAt300K) {
+  EXPECT_NEAR(thermal_voltage(Kelvin{300.0}).value(), 0.02585, 1e-4);
+}
+
+TEST(Units, StreamingIncludesSymbol) {
+  std::ostringstream os;
+  os << Celsius{25.0};
+  EXPECT_NE(os.str().find("degC"), std::string::npos);
+}
+
+TEST(Units, UnaryNegation) {
+  EXPECT_DOUBLE_EQ((-millivolts(3.0)).value(), -3e-3);
+}
+
+}  // namespace
+}  // namespace tsvpt

@@ -1,0 +1,191 @@
+// tsvpt command-line tool: drive the library without writing C++.
+//
+//   tsvpt_cli tech [--card FILE]
+//       Print the (default or loaded) technology card.
+//   tsvpt_cli sense --t 63.2 [--dvtn-mv 18] [--dvtp-mv -12] [--seed 1]
+//                   [--card FILE] [--compensate]
+//       One self-calibrating conversion on a synthetic die; prints the
+//       estimate vs the truth you specified.
+//   tsvpt_cli mc [--dies 500] [--seed 42] [--card FILE]
+//       Monte-Carlo accuracy summary (mini F3/F4).
+//   tsvpt_cli trace [--trace FILE] [--sample-ms 2] [--duration-ms 150]
+//                   [--seed 9]
+//       Play a workload trace (or the built-in burst/idle) against the
+//       4-die stack with a 16-sensor monitor; prints tracking statistics.
+#include <cstdio>
+#include <iostream>
+#include <set>
+
+#include "core/stack_monitor.hpp"
+#include "device/tech_io.hpp"
+#include "process/montecarlo.hpp"
+#include "process/variation.hpp"
+#include "ptsim/args.hpp"
+#include "ptsim/stats.hpp"
+#include "sim/monitor_session.hpp"
+#include "thermal/workload_io.hpp"
+
+namespace {
+
+using namespace tsvpt;
+
+device::Technology technology_from(const Args& args) {
+  const std::string card = args.get("card", std::string{});
+  return card.empty() ? device::Technology::tsmc65_like()
+                      : device::load_technology(card);
+}
+
+int cmd_tech(const Args& args) {
+  args.check_known({"card"});
+  std::cout << device::to_card_string(technology_from(args));
+  return 0;
+}
+
+int cmd_sense(const Args& args) {
+  args.check_known({"card", "t", "dvtn-mv", "dvtp-mv", "seed", "compensate"});
+  core::PtSensor::Config cfg;
+  cfg.tech = technology_from(args);
+  cfg.model_vdd = cfg.tech.vdd_nominal;
+  if (args.has("compensate")) cfg.compensate_supply = true;
+  core::PtSensor sensor{cfg,
+                        static_cast<std::uint64_t>(args.get("seed", 1LL))};
+
+  const double t = args.get("t", 25.0);
+  const double dvtn = args.get("dvtn-mv", 0.0);
+  const double dvtp = args.get("dvtp-mv", 0.0);
+  core::DieEnvironment env;
+  env.temperature = to_kelvin(Celsius{t});
+  env.vt_delta = {millivolts(dvtn), millivolts(dvtp)};
+  env.supply = circuit::SupplyRail{{cfg.model_vdd, Volt{0.0}, Volt{0.0}}};
+  Rng noise{static_cast<std::uint64_t>(args.get("seed", 1LL)) + 1};
+
+  const auto est = sensor.self_calibrate(env, &noise);
+  std::printf("self-calibration: %s (%d iterations)\n",
+              est.converged ? "converged" : "FAILED", est.iterations);
+  std::printf("  dVtn  %8.3f mV   (true %8.3f)\n", est.dvtn.value() * 1e3,
+              dvtn);
+  std::printf("  dVtp  %8.3f mV   (true %8.3f)\n", est.dvtp.value() * 1e3,
+              dvtp);
+  std::printf("  T     %8.3f degC (true %8.3f)\n",
+              to_celsius(est.temperature).value(), t);
+  std::printf("  energy %7.1f pJ\n", est.energy.value() * 1e12);
+  return est.converged ? 0 : 1;
+}
+
+int cmd_mc(const Args& args) {
+  args.check_known({"card", "dies", "seed"});
+  const device::Technology tech = technology_from(args);
+  core::PtSensor::Config cfg;
+  cfg.tech = tech;
+  cfg.model_vdd = tech.vdd_nominal;
+  const auto dies = static_cast<std::size_t>(args.get("dies", 500LL));
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", 42LL));
+
+  const process::VariationModel variation{tech,
+                                          {process::Point{2.5e-3, 2.5e-3}}};
+  Samples err_n;
+  Samples err_p;
+  Samples err_t;
+  const process::MonteCarlo mc{seed, dies};
+  mc.run([&](std::size_t trial, Rng& rng) {
+    const process::DieVariation die = variation.sample_die(rng);
+    core::PtSensor sensor{cfg, derive_seed(seed, trial)};
+    core::DieEnvironment env;
+    env.vt_delta = die.at(0);
+    env.supply = circuit::SupplyRail{{cfg.model_vdd, Volt{0.0}, Volt{0.0}}};
+    env.temperature = to_kelvin(Celsius{rng.uniform(15.0, 45.0)});
+    const auto est = sensor.self_calibrate(env, &rng);
+    if (!est.converged) return;
+    err_n.add((est.dvtn.value() - die.at(0).nmos.value()) * 1e3);
+    err_p.add((est.dvtp.value() - die.at(0).pmos.value()) * 1e3);
+    for (double t : {10.0, 50.0, 90.0}) {
+      err_t.add(sensor.read(env.at_celsius(Celsius{t}), &rng)
+                    .temperature.value() -
+                t);
+    }
+  });
+  std::printf("%zu dies on %s:\n", dies, tech.name.c_str());
+  std::printf("  dVtn error: 3sigma %.3f mV, max |e| %.3f mV\n",
+              err_n.three_sigma(), err_n.max_abs());
+  std::printf("  dVtp error: 3sigma %.3f mV, max |e| %.3f mV\n",
+              err_p.three_sigma(), err_p.max_abs());
+  std::printf("  T error:    3sigma %.3f degC, max |e| %.3f degC\n",
+              err_t.three_sigma(), err_t.max_abs());
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  args.check_known({"trace", "sample-ms", "duration-ms", "seed"});
+  const thermal::StackConfig stack = thermal::StackConfig::four_die_stack();
+  const std::string trace = args.get("trace", std::string{});
+  const thermal::Workload workload =
+      trace.empty() ? thermal::Workload::burst_idle(stack, Watt{5.0},
+                                                    Watt{0.25},
+                                                    Second{50e-3}, 3)
+                    : thermal::load_workload(trace);
+
+  thermal::ThermalNetwork network{stack};
+  std::vector<core::SensorSite> sites =
+      core::StackMonitor::uniform_sites(stack, 2, 2);
+  std::vector<process::Point> points;
+  for (std::size_t i = 0; i < 4; ++i) points.push_back(sites[i].location);
+  process::VariationModel variation{device::Technology::tsmc65_like(),
+                                    points};
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", 9LL));
+  Rng rng{seed};
+  for (std::size_t d = 0; d < stack.die_count(); ++d) {
+    const process::DieVariation die = variation.sample_die(rng);
+    for (std::size_t i = 0; i < 4; ++i) sites[d * 4 + i].vt_delta = die.at(i);
+  }
+  core::StackMonitor monitor{&network, core::PtSensor::Config{}, sites,
+                             derive_seed(seed, 1)};
+  sim::MonitoringSession::Config session_cfg;
+  session_cfg.sample_period =
+      Second{args.get("sample-ms", 2.0) * 1e-3};
+  session_cfg.thermal_step = Second{0.5e-3};
+  sim::MonitoringSession session{&network, &workload, &monitor, session_cfg,
+                                 derive_seed(seed, 2)};
+  const double duration_ms =
+      args.get("duration-ms", workload.total_duration().value() * 1e3);
+  session.run(Second{duration_ms * 1e-3});
+
+  const Samples errors = session.error_samples();
+  std::printf("trace: %s, %.1f ms simulated, %zu scans of %zu sensors\n",
+              trace.empty() ? "(built-in burst/idle)" : trace.c_str(),
+              duration_ms, session.trace().size(), monitor.site_count());
+  std::printf("  tracking error: mean %+.3f, 3sigma %.3f, max |e| %.3f degC\n",
+              errors.mean(), errors.three_sigma(), errors.max_abs());
+  std::printf("  sensing energy: %.1f nJ\n",
+              session.total_sensing_energy().value() * 1e9);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tsvpt_cli <tech|sense|mc|trace> [flags]\n"
+               "  tech   [--card FILE]\n"
+               "  sense  --t DEGC [--dvtn-mv MV] [--dvtp-mv MV] [--seed N]"
+               " [--card FILE] [--compensate 1]\n"
+               "  mc     [--dies N] [--seed N] [--card FILE]\n"
+               "  trace  [--trace FILE] [--sample-ms MS] [--duration-ms MS]"
+               " [--seed N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args{argc - 2, argv + 2};
+    if (command == "tech") return cmd_tech(args);
+    if (command == "sense") return cmd_sense(args);
+    if (command == "mc") return cmd_mc(args);
+    if (command == "trace") return cmd_trace(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tsvpt_cli: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
