@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a10_readout"
+  "../bench/bench_a10_readout.pdb"
+  "CMakeFiles/bench_a10_readout.dir/bench_a10_readout.cpp.o"
+  "CMakeFiles/bench_a10_readout.dir/bench_a10_readout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a10_readout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a11_dvfs"
+  "../bench/bench_a11_dvfs.pdb"
+  "CMakeFiles/bench_a11_dvfs.dir/bench_a11_dvfs.cpp.o"
+  "CMakeFiles/bench_a11_dvfs.dir/bench_a11_dvfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a11_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

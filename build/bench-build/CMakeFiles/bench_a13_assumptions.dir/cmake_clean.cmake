@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a13_assumptions"
+  "../bench/bench_a13_assumptions.pdb"
+  "CMakeFiles/bench_a13_assumptions.dir/bench_a13_assumptions.cpp.o"
+  "CMakeFiles/bench_a13_assumptions.dir/bench_a13_assumptions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a13_assumptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

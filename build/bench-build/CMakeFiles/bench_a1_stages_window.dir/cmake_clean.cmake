@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a1_stages_window"
+  "../bench/bench_a1_stages_window.pdb"
+  "CMakeFiles/bench_a1_stages_window.dir/bench_a1_stages_window.cpp.o"
+  "CMakeFiles/bench_a1_stages_window.dir/bench_a1_stages_window.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_stages_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a3_sensor_placement"
+  "../bench/bench_a3_sensor_placement.pdb"
+  "CMakeFiles/bench_a3_sensor_placement.dir/bench_a3_sensor_placement.cpp.o"
+  "CMakeFiles/bench_a3_sensor_placement.dir/bench_a3_sensor_placement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_sensor_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a4_supply_noise"
+  "../bench/bench_a4_supply_noise.pdb"
+  "CMakeFiles/bench_a4_supply_noise.dir/bench_a4_supply_noise.cpp.o"
+  "CMakeFiles/bench_a4_supply_noise.dir/bench_a4_supply_noise.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_supply_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a5_aging"
+  "../bench/bench_a5_aging.pdb"
+  "CMakeFiles/bench_a5_aging.dir/bench_a5_aging.cpp.o"
+  "CMakeFiles/bench_a5_aging.dir/bench_a5_aging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a6_runaway"
+  "../bench/bench_a6_runaway.pdb"
+  "CMakeFiles/bench_a6_runaway.dir/bench_a6_runaway.cpp.o"
+  "CMakeFiles/bench_a6_runaway.dir/bench_a6_runaway.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_runaway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a7_wafer_map"
+  "../bench/bench_a7_wafer_map.pdb"
+  "CMakeFiles/bench_a7_wafer_map.dir/bench_a7_wafer_map.cpp.o"
+  "CMakeFiles/bench_a7_wafer_map.dir/bench_a7_wafer_map.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_wafer_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a8_vdd_scaling"
+  "../bench/bench_a8_vdd_scaling.pdb"
+  "CMakeFiles/bench_a8_vdd_scaling.dir/bench_a8_vdd_scaling.cpp.o"
+  "CMakeFiles/bench_a8_vdd_scaling.dir/bench_a8_vdd_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a8_vdd_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a9_field_reconstruction"
+  "../bench/bench_a9_field_reconstruction.pdb"
+  "CMakeFiles/bench_a9_field_reconstruction.dir/bench_a9_field_reconstruction.cpp.o"
+  "CMakeFiles/bench_a9_field_reconstruction.dir/bench_a9_field_reconstruction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a9_field_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

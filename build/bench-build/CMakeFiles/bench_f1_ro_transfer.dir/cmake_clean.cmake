@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f1_ro_transfer"
+  "../bench/bench_f1_ro_transfer.pdb"
+  "CMakeFiles/bench_f1_ro_transfer.dir/bench_f1_ro_transfer.cpp.o"
+  "CMakeFiles/bench_f1_ro_transfer.dir/bench_f1_ro_transfer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_ro_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f2_process_sensitivity"
+  "../bench/bench_f2_process_sensitivity.pdb"
+  "CMakeFiles/bench_f2_process_sensitivity.dir/bench_f2_process_sensitivity.cpp.o"
+  "CMakeFiles/bench_f2_process_sensitivity.dir/bench_f2_process_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_process_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f3_vt_extraction"
+  "../bench/bench_f3_vt_extraction.pdb"
+  "CMakeFiles/bench_f3_vt_extraction.dir/bench_f3_vt_extraction.cpp.o"
+  "CMakeFiles/bench_f3_vt_extraction.dir/bench_f3_vt_extraction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_vt_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_f4_temp_accuracy.cpp" "bench-build/CMakeFiles/bench_f4_temp_accuracy.dir/bench_f4_temp_accuracy.cpp.o" "gcc" "bench-build/CMakeFiles/bench_f4_temp_accuracy.dir/bench_f4_temp_accuracy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ptsim/CMakeFiles/ptsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ptsim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/ptsim_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/ptsim_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/ptsim_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/ptsim_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ptsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ptsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f4_temp_accuracy"
+  "../bench/bench_f4_temp_accuracy.pdb"
+  "CMakeFiles/bench_f4_temp_accuracy.dir/bench_f4_temp_accuracy.cpp.o"
+  "CMakeFiles/bench_f4_temp_accuracy.dir/bench_f4_temp_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_temp_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

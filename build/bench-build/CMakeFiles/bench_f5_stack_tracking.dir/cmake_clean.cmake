@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f5_stack_tracking"
+  "../bench/bench_f5_stack_tracking.pdb"
+  "CMakeFiles/bench_f5_stack_tracking.dir/bench_f5_stack_tracking.cpp.o"
+  "CMakeFiles/bench_f5_stack_tracking.dir/bench_f5_stack_tracking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_stack_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f6_stack_vt_map"
+  "../bench/bench_f6_stack_vt_map.pdb"
+  "CMakeFiles/bench_f6_stack_vt_map.dir/bench_f6_stack_vt_map.cpp.o"
+  "CMakeFiles/bench_f6_stack_vt_map.dir/bench_f6_stack_vt_map.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_stack_vt_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

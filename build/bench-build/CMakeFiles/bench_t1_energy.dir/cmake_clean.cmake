@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t1_energy"
+  "../bench/bench_t1_energy.pdb"
+  "CMakeFiles/bench_t1_energy.dir/bench_t1_energy.cpp.o"
+  "CMakeFiles/bench_t1_energy.dir/bench_t1_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_interface.dir/firmware_interface.cpp.o"
+  "CMakeFiles/firmware_interface.dir/firmware_interface.cpp.o.d"
+  "firmware_interface"
+  "firmware_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

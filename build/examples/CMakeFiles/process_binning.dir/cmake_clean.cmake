@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_binning.dir/process_binning.cpp.o"
+  "CMakeFiles/process_binning.dir/process_binning.cpp.o.d"
+  "process_binning"
+  "process_binning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

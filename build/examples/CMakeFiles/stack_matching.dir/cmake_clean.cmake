@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_matching.dir/stack_matching.cpp.o"
+  "CMakeFiles/stack_matching.dir/stack_matching.cpp.o.d"
+  "stack_matching"
+  "stack_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

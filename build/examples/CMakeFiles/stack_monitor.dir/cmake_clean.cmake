@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_monitor.dir/stack_monitor.cpp.o"
+  "CMakeFiles/stack_monitor.dir/stack_monitor.cpp.o.d"
+  "stack_monitor"
+  "stack_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

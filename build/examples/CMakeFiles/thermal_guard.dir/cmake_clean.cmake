@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_guard.dir/thermal_guard.cpp.o"
+  "CMakeFiles/thermal_guard.dir/thermal_guard.cpp.o.d"
+  "thermal_guard"
+  "thermal_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wafer_report.dir/wafer_report.cpp.o"
+  "CMakeFiles/wafer_report.dir/wafer_report.cpp.o.d"
+  "wafer_report"
+  "wafer_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wafer_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

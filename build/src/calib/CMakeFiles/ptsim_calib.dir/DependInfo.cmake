@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calib/linalg.cpp" "src/calib/CMakeFiles/ptsim_calib.dir/linalg.cpp.o" "gcc" "src/calib/CMakeFiles/ptsim_calib.dir/linalg.cpp.o.d"
+  "/root/repo/src/calib/lut.cpp" "src/calib/CMakeFiles/ptsim_calib.dir/lut.cpp.o" "gcc" "src/calib/CMakeFiles/ptsim_calib.dir/lut.cpp.o.d"
+  "/root/repo/src/calib/matrix.cpp" "src/calib/CMakeFiles/ptsim_calib.dir/matrix.cpp.o" "gcc" "src/calib/CMakeFiles/ptsim_calib.dir/matrix.cpp.o.d"
+  "/root/repo/src/calib/newton.cpp" "src/calib/CMakeFiles/ptsim_calib.dir/newton.cpp.o" "gcc" "src/calib/CMakeFiles/ptsim_calib.dir/newton.cpp.o.d"
+  "/root/repo/src/calib/polyfit.cpp" "src/calib/CMakeFiles/ptsim_calib.dir/polyfit.cpp.o" "gcc" "src/calib/CMakeFiles/ptsim_calib.dir/polyfit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ptsim/CMakeFiles/ptsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

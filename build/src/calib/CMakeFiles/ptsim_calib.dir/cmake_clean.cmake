@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptsim_calib.dir/linalg.cpp.o"
+  "CMakeFiles/ptsim_calib.dir/linalg.cpp.o.d"
+  "CMakeFiles/ptsim_calib.dir/lut.cpp.o"
+  "CMakeFiles/ptsim_calib.dir/lut.cpp.o.d"
+  "CMakeFiles/ptsim_calib.dir/matrix.cpp.o"
+  "CMakeFiles/ptsim_calib.dir/matrix.cpp.o.d"
+  "CMakeFiles/ptsim_calib.dir/newton.cpp.o"
+  "CMakeFiles/ptsim_calib.dir/newton.cpp.o.d"
+  "CMakeFiles/ptsim_calib.dir/polyfit.cpp.o"
+  "CMakeFiles/ptsim_calib.dir/polyfit.cpp.o.d"
+  "libptsim_calib.a"
+  "libptsim_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptsim_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

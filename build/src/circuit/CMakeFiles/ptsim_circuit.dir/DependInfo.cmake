@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/counter.cpp" "src/circuit/CMakeFiles/ptsim_circuit.dir/counter.cpp.o" "gcc" "src/circuit/CMakeFiles/ptsim_circuit.dir/counter.cpp.o.d"
+  "/root/repo/src/circuit/energy.cpp" "src/circuit/CMakeFiles/ptsim_circuit.dir/energy.cpp.o" "gcc" "src/circuit/CMakeFiles/ptsim_circuit.dir/energy.cpp.o.d"
+  "/root/repo/src/circuit/ring_oscillator.cpp" "src/circuit/CMakeFiles/ptsim_circuit.dir/ring_oscillator.cpp.o" "gcc" "src/circuit/CMakeFiles/ptsim_circuit.dir/ring_oscillator.cpp.o.d"
+  "/root/repo/src/circuit/supply.cpp" "src/circuit/CMakeFiles/ptsim_circuit.dir/supply.cpp.o" "gcc" "src/circuit/CMakeFiles/ptsim_circuit.dir/supply.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/circuit/CMakeFiles/ptsim_circuit.dir/transient.cpp.o" "gcc" "src/circuit/CMakeFiles/ptsim_circuit.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ptsim/CMakeFiles/ptsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ptsim_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptsim_circuit.dir/counter.cpp.o"
+  "CMakeFiles/ptsim_circuit.dir/counter.cpp.o.d"
+  "CMakeFiles/ptsim_circuit.dir/energy.cpp.o"
+  "CMakeFiles/ptsim_circuit.dir/energy.cpp.o.d"
+  "CMakeFiles/ptsim_circuit.dir/ring_oscillator.cpp.o"
+  "CMakeFiles/ptsim_circuit.dir/ring_oscillator.cpp.o.d"
+  "CMakeFiles/ptsim_circuit.dir/supply.cpp.o"
+  "CMakeFiles/ptsim_circuit.dir/supply.cpp.o.d"
+  "CMakeFiles/ptsim_circuit.dir/transient.cpp.o"
+  "CMakeFiles/ptsim_circuit.dir/transient.cpp.o.d"
+  "libptsim_circuit.a"
+  "libptsim_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptsim_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/ptsim_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/ptsim_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/ptsim_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/ptsim_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/fault_detector.cpp" "src/core/CMakeFiles/ptsim_core.dir/fault_detector.cpp.o" "gcc" "src/core/CMakeFiles/ptsim_core.dir/fault_detector.cpp.o.d"
+  "/root/repo/src/core/field_estimator.cpp" "src/core/CMakeFiles/ptsim_core.dir/field_estimator.cpp.o" "gcc" "src/core/CMakeFiles/ptsim_core.dir/field_estimator.cpp.o.d"
+  "/root/repo/src/core/pt_sensor.cpp" "src/core/CMakeFiles/ptsim_core.dir/pt_sensor.cpp.o" "gcc" "src/core/CMakeFiles/ptsim_core.dir/pt_sensor.cpp.o.d"
+  "/root/repo/src/core/stack_monitor.cpp" "src/core/CMakeFiles/ptsim_core.dir/stack_monitor.cpp.o" "gcc" "src/core/CMakeFiles/ptsim_core.dir/stack_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ptsim/CMakeFiles/ptsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ptsim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/ptsim_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/ptsim_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/ptsim_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/ptsim_thermal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

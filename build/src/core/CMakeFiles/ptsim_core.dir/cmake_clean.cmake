@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptsim_core.dir/baselines.cpp.o"
+  "CMakeFiles/ptsim_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/ptsim_core.dir/controller.cpp.o"
+  "CMakeFiles/ptsim_core.dir/controller.cpp.o.d"
+  "CMakeFiles/ptsim_core.dir/fault_detector.cpp.o"
+  "CMakeFiles/ptsim_core.dir/fault_detector.cpp.o.d"
+  "CMakeFiles/ptsim_core.dir/field_estimator.cpp.o"
+  "CMakeFiles/ptsim_core.dir/field_estimator.cpp.o.d"
+  "CMakeFiles/ptsim_core.dir/pt_sensor.cpp.o"
+  "CMakeFiles/ptsim_core.dir/pt_sensor.cpp.o.d"
+  "CMakeFiles/ptsim_core.dir/stack_monitor.cpp.o"
+  "CMakeFiles/ptsim_core.dir/stack_monitor.cpp.o.d"
+  "libptsim_core.a"
+  "libptsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

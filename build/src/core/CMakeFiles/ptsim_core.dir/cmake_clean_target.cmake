@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libptsim_core.a"
+)

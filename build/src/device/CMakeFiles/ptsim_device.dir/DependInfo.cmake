@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/mosfet.cpp" "src/device/CMakeFiles/ptsim_device.dir/mosfet.cpp.o" "gcc" "src/device/CMakeFiles/ptsim_device.dir/mosfet.cpp.o.d"
+  "/root/repo/src/device/tech.cpp" "src/device/CMakeFiles/ptsim_device.dir/tech.cpp.o" "gcc" "src/device/CMakeFiles/ptsim_device.dir/tech.cpp.o.d"
+  "/root/repo/src/device/tech_io.cpp" "src/device/CMakeFiles/ptsim_device.dir/tech_io.cpp.o" "gcc" "src/device/CMakeFiles/ptsim_device.dir/tech_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ptsim/CMakeFiles/ptsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

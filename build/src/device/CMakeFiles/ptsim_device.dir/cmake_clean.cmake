@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptsim_device.dir/mosfet.cpp.o"
+  "CMakeFiles/ptsim_device.dir/mosfet.cpp.o.d"
+  "CMakeFiles/ptsim_device.dir/tech.cpp.o"
+  "CMakeFiles/ptsim_device.dir/tech.cpp.o.d"
+  "CMakeFiles/ptsim_device.dir/tech_io.cpp.o"
+  "CMakeFiles/ptsim_device.dir/tech_io.cpp.o.d"
+  "libptsim_device.a"
+  "libptsim_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptsim_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/process/aging.cpp" "src/process/CMakeFiles/ptsim_process.dir/aging.cpp.o" "gcc" "src/process/CMakeFiles/ptsim_process.dir/aging.cpp.o.d"
+  "/root/repo/src/process/spatial_field.cpp" "src/process/CMakeFiles/ptsim_process.dir/spatial_field.cpp.o" "gcc" "src/process/CMakeFiles/ptsim_process.dir/spatial_field.cpp.o.d"
+  "/root/repo/src/process/tsv_stress.cpp" "src/process/CMakeFiles/ptsim_process.dir/tsv_stress.cpp.o" "gcc" "src/process/CMakeFiles/ptsim_process.dir/tsv_stress.cpp.o.d"
+  "/root/repo/src/process/variation.cpp" "src/process/CMakeFiles/ptsim_process.dir/variation.cpp.o" "gcc" "src/process/CMakeFiles/ptsim_process.dir/variation.cpp.o.d"
+  "/root/repo/src/process/wafer.cpp" "src/process/CMakeFiles/ptsim_process.dir/wafer.cpp.o" "gcc" "src/process/CMakeFiles/ptsim_process.dir/wafer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ptsim/CMakeFiles/ptsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ptsim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/ptsim_calib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

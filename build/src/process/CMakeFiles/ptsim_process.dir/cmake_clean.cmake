@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptsim_process.dir/aging.cpp.o"
+  "CMakeFiles/ptsim_process.dir/aging.cpp.o.d"
+  "CMakeFiles/ptsim_process.dir/spatial_field.cpp.o"
+  "CMakeFiles/ptsim_process.dir/spatial_field.cpp.o.d"
+  "CMakeFiles/ptsim_process.dir/tsv_stress.cpp.o"
+  "CMakeFiles/ptsim_process.dir/tsv_stress.cpp.o.d"
+  "CMakeFiles/ptsim_process.dir/variation.cpp.o"
+  "CMakeFiles/ptsim_process.dir/variation.cpp.o.d"
+  "CMakeFiles/ptsim_process.dir/wafer.cpp.o"
+  "CMakeFiles/ptsim_process.dir/wafer.cpp.o.d"
+  "libptsim_process.a"
+  "libptsim_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptsim_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ptsim/log.cpp" "src/ptsim/CMakeFiles/ptsim_util.dir/log.cpp.o" "gcc" "src/ptsim/CMakeFiles/ptsim_util.dir/log.cpp.o.d"
+  "/root/repo/src/ptsim/rng.cpp" "src/ptsim/CMakeFiles/ptsim_util.dir/rng.cpp.o" "gcc" "src/ptsim/CMakeFiles/ptsim_util.dir/rng.cpp.o.d"
+  "/root/repo/src/ptsim/stats.cpp" "src/ptsim/CMakeFiles/ptsim_util.dir/stats.cpp.o" "gcc" "src/ptsim/CMakeFiles/ptsim_util.dir/stats.cpp.o.d"
+  "/root/repo/src/ptsim/table.cpp" "src/ptsim/CMakeFiles/ptsim_util.dir/table.cpp.o" "gcc" "src/ptsim/CMakeFiles/ptsim_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptsim_util.dir/log.cpp.o"
+  "CMakeFiles/ptsim_util.dir/log.cpp.o.d"
+  "CMakeFiles/ptsim_util.dir/rng.cpp.o"
+  "CMakeFiles/ptsim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ptsim_util.dir/stats.cpp.o"
+  "CMakeFiles/ptsim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ptsim_util.dir/table.cpp.o"
+  "CMakeFiles/ptsim_util.dir/table.cpp.o.d"
+  "libptsim_util.a"
+  "libptsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptsim_sim.dir/dvfs.cpp.o"
+  "CMakeFiles/ptsim_sim.dir/dvfs.cpp.o.d"
+  "CMakeFiles/ptsim_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ptsim_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ptsim_sim.dir/monitor_session.cpp.o"
+  "CMakeFiles/ptsim_sim.dir/monitor_session.cpp.o.d"
+  "CMakeFiles/ptsim_sim.dir/thermal_guard.cpp.o"
+  "CMakeFiles/ptsim_sim.dir/thermal_guard.cpp.o.d"
+  "libptsim_sim.a"
+  "libptsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/network.cpp" "src/thermal/CMakeFiles/ptsim_thermal.dir/network.cpp.o" "gcc" "src/thermal/CMakeFiles/ptsim_thermal.dir/network.cpp.o.d"
+  "/root/repo/src/thermal/stack_config.cpp" "src/thermal/CMakeFiles/ptsim_thermal.dir/stack_config.cpp.o" "gcc" "src/thermal/CMakeFiles/ptsim_thermal.dir/stack_config.cpp.o.d"
+  "/root/repo/src/thermal/workload.cpp" "src/thermal/CMakeFiles/ptsim_thermal.dir/workload.cpp.o" "gcc" "src/thermal/CMakeFiles/ptsim_thermal.dir/workload.cpp.o.d"
+  "/root/repo/src/thermal/workload_io.cpp" "src/thermal/CMakeFiles/ptsim_thermal.dir/workload_io.cpp.o" "gcc" "src/thermal/CMakeFiles/ptsim_thermal.dir/workload_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ptsim/CMakeFiles/ptsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/ptsim_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ptsim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/ptsim_calib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptsim_thermal.dir/network.cpp.o"
+  "CMakeFiles/ptsim_thermal.dir/network.cpp.o.d"
+  "CMakeFiles/ptsim_thermal.dir/stack_config.cpp.o"
+  "CMakeFiles/ptsim_thermal.dir/stack_config.cpp.o.d"
+  "CMakeFiles/ptsim_thermal.dir/workload.cpp.o"
+  "CMakeFiles/ptsim_thermal.dir/workload.cpp.o.d"
+  "CMakeFiles/ptsim_thermal.dir/workload_io.cpp.o"
+  "CMakeFiles/ptsim_thermal.dir/workload_io.cpp.o.d"
+  "libptsim_thermal.a"
+  "libptsim_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptsim_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

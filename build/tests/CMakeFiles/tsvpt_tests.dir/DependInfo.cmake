@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/acceptance_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/acceptance_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/acceptance_test.cpp.o.d"
+  "/root/repo/tests/args_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/args_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/args_test.cpp.o.d"
+  "/root/repo/tests/calib_linalg_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/calib_linalg_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/calib_linalg_test.cpp.o.d"
+  "/root/repo/tests/calib_lut_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/calib_lut_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/calib_lut_test.cpp.o.d"
+  "/root/repo/tests/calib_matrix_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/calib_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/calib_matrix_test.cpp.o.d"
+  "/root/repo/tests/calib_newton_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/calib_newton_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/calib_newton_test.cpp.o.d"
+  "/root/repo/tests/calib_polyfit_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/calib_polyfit_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/calib_polyfit_test.cpp.o.d"
+  "/root/repo/tests/circuit_counter_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/circuit_counter_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/circuit_counter_test.cpp.o.d"
+  "/root/repo/tests/circuit_ro_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/circuit_ro_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/circuit_ro_test.cpp.o.d"
+  "/root/repo/tests/circuit_supply_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/circuit_supply_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/circuit_supply_test.cpp.o.d"
+  "/root/repo/tests/circuit_transient_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/circuit_transient_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/circuit_transient_test.cpp.o.d"
+  "/root/repo/tests/core_baselines_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/core_baselines_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/core_baselines_test.cpp.o.d"
+  "/root/repo/tests/core_controller_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/core_controller_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/core_controller_test.cpp.o.d"
+  "/root/repo/tests/core_fault_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/core_fault_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/core_fault_test.cpp.o.d"
+  "/root/repo/tests/core_field_filter_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/core_field_filter_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/core_field_filter_test.cpp.o.d"
+  "/root/repo/tests/core_portability_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/core_portability_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/core_portability_test.cpp.o.d"
+  "/root/repo/tests/core_sensor_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/core_sensor_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/core_sensor_test.cpp.o.d"
+  "/root/repo/tests/core_stack_monitor_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/core_stack_monitor_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/core_stack_monitor_test.cpp.o.d"
+  "/root/repo/tests/device_tech_io_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/device_tech_io_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/device_tech_io_test.cpp.o.d"
+  "/root/repo/tests/device_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/device_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/device_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/invariants_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/invariants_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/invariants_test.cpp.o.d"
+  "/root/repo/tests/log_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/log_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/log_test.cpp.o.d"
+  "/root/repo/tests/process_aging_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/process_aging_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/process_aging_test.cpp.o.d"
+  "/root/repo/tests/process_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/process_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/process_test.cpp.o.d"
+  "/root/repo/tests/process_wafer_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/process_wafer_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/process_wafer_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/sim_dvfs_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/sim_dvfs_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/sim_dvfs_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/table_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/table_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/table_test.cpp.o.d"
+  "/root/repo/tests/thermal_leakage_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/thermal_leakage_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/thermal_leakage_test.cpp.o.d"
+  "/root/repo/tests/thermal_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/thermal_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/thermal_test.cpp.o.d"
+  "/root/repo/tests/thermal_workload_io_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/thermal_workload_io_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/thermal_workload_io_test.cpp.o.d"
+  "/root/repo/tests/thermal_workload_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/thermal_workload_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/thermal_workload_test.cpp.o.d"
+  "/root/repo/tests/units_test.cpp" "tests/CMakeFiles/tsvpt_tests.dir/units_test.cpp.o" "gcc" "tests/CMakeFiles/tsvpt_tests.dir/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ptsim/CMakeFiles/ptsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ptsim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/ptsim_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/ptsim_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/ptsim_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/ptsim_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ptsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ptsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsvpt_cli.dir/tsvpt_cli.cpp.o"
+  "CMakeFiles/tsvpt_cli.dir/tsvpt_cli.cpp.o.d"
+  "tsvpt_cli"
+  "tsvpt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsvpt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
