@@ -33,6 +33,11 @@ class MonitoringSession {
     /// with this much wall-clock between them (a shared readout bus/scan
     /// chain), so later sites see a *newer* thermal state while the sample
     /// point as a whole is skewed.  0 = ideal simultaneous sampling.
+    /// Site i of a scan nominally timestamped t therefore reflects the
+    /// stack at t + i * readout_slot; each reading's `truth` is taken at
+    /// that same instant, so per-reading errors stay conversion-accurate
+    /// (pinned by MonitoringSession.TdmReadoutSkewsLaterSitesTowardNewer-
+    /// ThermalState).
     Second readout_slot{0.0};
   };
 

@@ -1,0 +1,179 @@
+#include "telemetry/aggregator.hpp"
+
+#include <chrono>
+
+namespace tsvpt::telemetry {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* to_string(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kOverTemperature: return "over_temperature";
+    case AlertKind::kThermalRunaway: return "thermal_runaway";
+    case AlertKind::kDeadSensor: return "dead_sensor";
+    case AlertKind::kSpatialSuspect: return "spatial_suspect";
+  }
+  return "unknown";
+}
+
+Aggregator::Aggregator(Config config, AlertCallback on_alert)
+    : config_(std::move(config)), on_alert_(std::move(on_alert)),
+      fault_detector_(config_.fault) {}
+
+Aggregator::~Aggregator() { stop(); }
+
+void Aggregator::start(std::vector<FrameRing*> rings) {
+  if (collector_.joinable()) {
+    throw std::logic_error{"Aggregator::start: already running"};
+  }
+  stop_requested_.store(false, std::memory_order_relaxed);
+  collector_ = std::thread{[this, rings = std::move(rings)]() mutable {
+    collect(std::move(rings));
+  }};
+}
+
+void Aggregator::stop() {
+  if (!collector_.joinable()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  collector_.join();
+}
+
+void Aggregator::collect(std::vector<FrameRing*> rings) {
+  std::vector<std::uint8_t> buffer;
+  for (;;) {
+    bool drained_any = false;
+    for (FrameRing* ring : rings) {
+      while (ring->try_pop(buffer)) {
+        drained_any = true;
+        ingest(buffer);
+      }
+    }
+    if (!drained_any) {
+      // Stop only once every ring has been seen empty *after* the stop
+      // request: producers are done, nothing more can arrive.
+      if (stop_requested_.load(std::memory_order_acquire)) return;
+      std::this_thread::yield();
+    }
+  }
+}
+
+void Aggregator::raise(AlertKind kind, const Frame& frame, std::size_t die,
+                       std::size_t site, double value) {
+  Alert alert;
+  alert.kind = kind;
+  alert.stack_id = frame.stack_id;
+  alert.die = die;
+  alert.site_index = site;
+  alert.value = value;
+  alert.sim_time = frame.sim_time;
+  summary_.alerts += 1;
+  summary_.alerts_by_kind[kind] += 1;
+  summary_.stacks[frame.stack_id].alerts += 1;
+  if (on_alert_) on_alert_(alert);
+}
+
+void Aggregator::ingest(const std::vector<std::uint8_t>& buffer) {
+  DecodeResult result = decode(buffer);
+  if (!result.ok()) {
+    summary_.decode_errors += 1;
+    return;
+  }
+  const Frame& frame = result.frame;
+
+  summary_.frames += 1;
+  if (frame.capture_ns != 0) {
+    const std::uint64_t now = steady_now_ns();
+    if (now > frame.capture_ns) {
+      summary_.latency.add(static_cast<double>(now - frame.capture_ns) * 1e-9);
+    }
+  }
+
+  StackStats& stack = summary_.stacks[frame.stack_id];
+  stack.frames += 1;
+  stack.last_sim_time = frame.sim_time;
+  auto [seq_it, first_frame] =
+      next_sequence_.try_emplace(frame.stack_id, frame.sequence);
+  if (first_frame) {
+    // Sequences start at 0, so a first arrival at seq > 0 means the ring
+    // evicted the stack's opening frames before we drained them.
+    stack.missed += frame.sequence;
+  } else if (frame.sequence > seq_it->second) {
+    stack.missed += frame.sequence - seq_it->second;
+  }
+  seq_it->second = frame.sequence + 1;
+
+  // Per-die fold + runaway bookkeeping input (hottest sensed site per die).
+  std::map<std::size_t, std::pair<double, std::size_t>> die_max;
+  for (const auto& r : frame.readings) {
+    DieStats& die = stack.dies[r.die];
+    die.sensed_c.add(r.sensed.value());
+    die.error_c.add(r.error());
+
+    auto [it, inserted] =
+        die_max.try_emplace(r.die, r.sensed.value(), r.site_index);
+    if (!inserted && r.sensed.value() > it->second.first) {
+      it->second = {r.sensed.value(), r.site_index};
+    }
+
+    SiteState& site = sites_[{frame.stack_id, r.site_index}];
+    // Over-temperature: edge-triggered on threshold crossing.
+    const bool over = r.sensed.value() > config_.alert_threshold.value();
+    if (over && !site.over_temperature) {
+      raise(AlertKind::kOverTemperature, frame, r.die, r.site_index,
+            r.sensed.value());
+    }
+    site.over_temperature = over;
+    // Dead sensor: degraded conversions for dead_scan_limit straight frames.
+    site.degraded_streak = r.degraded ? site.degraded_streak + 1 : 0;
+    if (site.degraded_streak >= config_.dead_scan_limit && !site.dead) {
+      site.dead = true;
+      raise(AlertKind::kDeadSensor, frame, r.die, r.site_index,
+            static_cast<double>(site.degraded_streak));
+    }
+    if (!r.degraded) site.dead = false;
+  }
+
+  // Runaway: the die's peak sensed temperature climbing faster than
+  // config_.runaway_rate between consecutive frames.
+  for (const auto& [die, peak] : die_max) {
+    DieRunaway& state = runaway_[{frame.stack_id, die}];
+    if (state.primed) {
+      const double dt = (frame.sim_time - state.last_time).value();
+      if (dt > 0.0) {
+        const double rate = (peak.first - state.last_max_c) / dt;
+        if (rate > config_.runaway_rate && !state.alerting) {
+          state.alerting = true;
+          raise(AlertKind::kThermalRunaway, frame, die, peak.second, rate);
+        }
+        if (rate <= config_.runaway_rate) state.alerting = false;
+      }
+    }
+    state.last_max_c = peak.first;
+    state.last_time = frame.sim_time;
+    state.primed = true;
+  }
+
+  // Spatial leave-one-out cross-check within the scan.
+  if (config_.spatial_check && frame.readings.size() >= 3) {
+    for (const auto& verdict : fault_detector_.analyze(frame.readings)) {
+      SiteState& site = sites_[{frame.stack_id, verdict.site_index}];
+      if (verdict.suspect && !site.spatial_suspect) {
+        raise(AlertKind::kSpatialSuspect, frame,
+              frame.readings[verdict.site_index].die, verdict.site_index,
+              verdict.deviation.value());
+      }
+      site.spatial_suspect = verdict.suspect;
+    }
+  }
+}
+
+}  // namespace tsvpt::telemetry

@@ -1,0 +1,157 @@
+// Fleet aggregation and alerting: a collector thread drains the samplers'
+// rings, decodes wire frames, folds every reading into per-stack/per-die
+// rolling statistics (ptsim's RunningStats) and raises alerts:
+//
+//   kOverTemperature — a sensed reading crossed the threshold;
+//   kThermalRunaway  — a die's hottest sensed reading is climbing faster
+//                      than the configured rate between consecutive frames
+//                      (the runaway precursor the paper's stack monitoring
+//                      exists to catch);
+//   kDeadSensor      — a site reported degraded conversions (a dead/stuck
+//                      oscillator) for `dead_scan_limit` consecutive frames;
+//   kSpatialSuspect  — core::FaultDetector's leave-one-out spatial
+//                      cross-check flagged the site within its scan.
+//
+// Alert edges, not levels: an alert fires when a condition becomes true and
+// re-arms when it clears, so a stack sitting at 90 C does not emit one
+// alert per frame.  The callback runs on the collector thread — keep it
+// cheap and do not touch the sampler from it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fault_detector.hpp"
+#include "ptsim/stats.hpp"
+#include "telemetry/frame.hpp"
+#include "telemetry/ring.hpp"
+
+namespace tsvpt::telemetry {
+
+enum class AlertKind {
+  kOverTemperature,
+  kThermalRunaway,
+  kDeadSensor,
+  kSpatialSuspect,
+};
+
+[[nodiscard]] const char* to_string(AlertKind kind);
+
+struct Alert {
+  AlertKind kind = AlertKind::kOverTemperature;
+  std::uint32_t stack_id = 0;
+  std::size_t die = 0;
+  /// Site that triggered (the die's hottest site for runaway).
+  std::size_t site_index = 0;
+  /// Condition magnitude: degC for over-temperature, degC/s for runaway,
+  /// consecutive degraded frames for dead-sensor, degC deviation for
+  /// spatial suspects.
+  double value = 0.0;
+  Second sim_time{0.0};
+};
+
+class Aggregator {
+ public:
+  struct Config {
+    /// Sensed temperature above which a site is alerting.
+    Celsius alert_threshold{85.0};
+    /// Die-level heating rate (degC per simulated second) above which the
+    /// die is flagged as running away.
+    double runaway_rate{400.0};
+    /// Consecutive degraded frames before a site is declared dead.
+    std::size_t dead_scan_limit = 3;
+    /// Spatial leave-one-out cross-check per scan (FaultDetector).
+    bool spatial_check = true;
+    /// Fleet monitoring uses sparse per-die grids (2x2 typical), where real
+    /// hotspot gradients reach well past FaultDetector's 8 C single-stack
+    /// default; widen the threshold so healthy fleets stay quiet and the
+    /// check catches electrically impossible outliers (dead/stuck sensors).
+    core::FaultDetector::Config fault{.threshold = Celsius{15.0}};
+  };
+
+  using AlertCallback = std::function<void(const Alert&)>;
+
+  explicit Aggregator(Config config, AlertCallback on_alert = nullptr);
+  ~Aggregator();
+
+  Aggregator(const Aggregator&) = delete;
+  Aggregator& operator=(const Aggregator&) = delete;
+
+  /// Spawn the collector thread draining `rings` (which must outlive the
+  /// aggregator or the next stop()).  The collector spins over the rings,
+  /// yielding when all are momentarily empty.
+  void start(std::vector<FrameRing*> rings);
+
+  /// Drain whatever is still queued, then join the collector.  Idempotent.
+  void stop();
+
+  /// Synchronous ingestion of one encoded frame — the collector's inner
+  /// step, exposed for deterministic single-threaded tests and replay.
+  /// Not thread-safe against a running collector.
+  void ingest(const std::vector<std::uint8_t>& buffer);
+
+  struct DieStats {
+    RunningStats sensed_c;
+    RunningStats error_c;  // sensed - truth, the tracking-accuracy ledger
+  };
+
+  struct StackStats {
+    std::uint64_t frames = 0;
+    /// Sequence-number gaps observed (frames lost before the collector).
+    std::uint64_t missed = 0;
+    std::uint64_t alerts = 0;
+    Second last_sim_time{0.0};
+    std::map<std::size_t, DieStats> dies;
+  };
+
+  struct Summary {
+    std::uint64_t frames = 0;
+    std::uint64_t decode_errors = 0;
+    std::uint64_t alerts = 0;
+    std::map<AlertKind, std::uint64_t> alerts_by_kind;
+    std::map<std::uint32_t, StackStats> stacks;
+    /// Collector-side end-to-end latency (capture to decode), seconds.
+    Samples latency;
+  };
+
+  /// Snapshot of everything aggregated so far.  Call after stop() (or
+  /// before start()) — not concurrently with a running collector.
+  [[nodiscard]] const Summary& summary() const { return summary_; }
+
+ private:
+  void collect(std::vector<FrameRing*> rings);
+  void raise(AlertKind kind, const Frame& frame, std::size_t die,
+             std::size_t site, double value);
+
+  /// Per-site edge/streak state for alert re-arming.
+  struct SiteState {
+    bool over_temperature = false;
+    std::size_t degraded_streak = 0;
+    bool dead = false;
+    bool spatial_suspect = false;
+  };
+  struct DieRunaway {
+    double last_max_c = 0.0;
+    Second last_time{0.0};
+    bool primed = false;
+    bool alerting = false;
+  };
+
+  Config config_;
+  AlertCallback on_alert_;
+  core::FaultDetector fault_detector_;
+  Summary summary_;
+  std::map<std::pair<std::uint32_t, std::size_t>, SiteState> sites_;
+  std::map<std::pair<std::uint32_t, std::size_t>, DieRunaway> runaway_;
+  std::map<std::uint32_t, std::uint64_t> next_sequence_;
+
+  std::thread collector_;
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace tsvpt::telemetry

@@ -1,0 +1,184 @@
+#include "telemetry/fleet_sampler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "process/variation.hpp"
+
+namespace tsvpt::telemetry {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// Everything one stack needs to evolve and be scanned, owned by exactly
+/// one worker thread for the whole run.
+struct FleetSampler::Stack {
+  thermal::StackConfig geometry;
+  thermal::ThermalNetwork network;
+  thermal::Workload workload;
+  core::StackMonitor monitor;
+  Rng noise;
+  Second now{0.0};
+  std::uint64_t sequence = 0;
+
+  Stack(thermal::StackConfig geom, thermal::Workload load,
+        std::vector<core::SensorSite> sites,
+        const core::PtSensor::Config& sensor, std::uint64_t seed)
+      : geometry(std::move(geom)),
+        network(geometry),
+        workload(std::move(load)),
+        monitor(&network, sensor, std::move(sites), derive_seed(seed, 1)),
+        noise(derive_seed(seed, 2)) {}
+};
+
+FleetSampler::FleetSampler(Config config) : config_(std::move(config)) {
+  if (config_.stack_count == 0) {
+    throw std::invalid_argument{"FleetSampler: zero stacks"};
+  }
+  if (config_.scans_per_stack == 0) {
+    throw std::invalid_argument{"FleetSampler: zero scans"};
+  }
+  if (config_.sample_period.value() <= 0.0 ||
+      config_.thermal_step.value() <= 0.0) {
+    throw std::invalid_argument{"FleetSampler: non-positive period"};
+  }
+  if (config_.thread_count == 0) {
+    config_.thread_count = std::thread::hardware_concurrency();
+    if (config_.thread_count == 0) config_.thread_count = 1;
+  }
+  if (config_.thread_count > config_.stack_count) {
+    config_.thread_count = config_.stack_count;
+  }
+
+  stacks_.reserve(config_.stack_count);
+  production_.resize(config_.stack_count);
+  for (std::size_t k = 0; k < config_.stack_count; ++k) {
+    const std::uint64_t stack_seed = derive_seed(config_.seed, k);
+    thermal::StackConfig geometry = thermal::StackConfig::four_die_stack();
+    thermal::Workload workload = thermal::Workload::burst_idle(
+        geometry, config_.peak_power, config_.idle_power,
+        config_.burst_period,
+        /*cycles=*/1'000'000);  // effectively unbounded; scans set duration
+
+    std::vector<core::SensorSite> sites = core::StackMonitor::uniform_sites(
+        geometry, config_.grid_columns, config_.grid_rows);
+    const std::size_t per_die = config_.grid_columns * config_.grid_rows;
+    std::vector<process::Point> points;
+    points.reserve(per_die);
+    for (std::size_t i = 0; i < per_die; ++i) {
+      points.push_back(sites[i].location);
+    }
+    process::VariationModel variation{config_.sensor.tech, points};
+    Rng process_rng{derive_seed(stack_seed, 0)};
+    for (std::size_t d = 0; d < geometry.die_count(); ++d) {
+      const process::DieVariation die = variation.sample_die(process_rng);
+      for (std::size_t i = 0; i < per_die; ++i) {
+        sites[d * per_die + i].vt_delta = die.at(i);
+      }
+    }
+    stacks_.push_back(std::make_unique<Stack>(
+        std::move(geometry), std::move(workload), std::move(sites),
+        config_.sensor, stack_seed));
+  }
+
+  rings_.reserve(config_.thread_count);
+  for (std::size_t w = 0; w < config_.thread_count; ++w) {
+    rings_.push_back(std::make_unique<FrameRing>(config_.ring_capacity));
+  }
+}
+
+FleetSampler::~FleetSampler() = default;
+
+std::vector<FrameRing*> FleetSampler::rings() {
+  std::vector<FrameRing*> out;
+  out.reserve(rings_.size());
+  for (auto& ring : rings_) out.push_back(ring.get());
+  return out;
+}
+
+void FleetSampler::worker(std::size_t worker_index) {
+  FrameRing& ring = *rings_[worker_index];
+
+  // Initialize and power-on-calibrate this worker's stacks.
+  for (std::size_t k = worker_index; k < stacks_.size();
+       k += config_.thread_count) {
+    Stack& stack = *stacks_[k];
+    stack.workload.apply(stack.network, Second{0.0});
+    stack.network.set_temperatures(stack.network.steady_state());
+    stack.monitor.calibrate_all(&stack.noise);
+  }
+
+  // Round-robin the stacks scan by scan so every stack streams steadily
+  // (scan-major, not stack-major: a collector watching for runaway should
+  // not see one stack's whole history before another's first frame).
+  for (std::size_t scan = 0; scan < config_.scans_per_stack; ++scan) {
+    for (std::size_t k = worker_index; k < stacks_.size();
+         k += config_.thread_count) {
+      Stack& stack = *stacks_[k];
+      // Advance simulated time to the next sampling instant.
+      Second advanced{0.0};
+      while (advanced < config_.sample_period) {
+        const Second h =
+            std::min(config_.thermal_step, config_.sample_period - advanced);
+        if (h.value() <= 0.0) break;  // float residue; the period is covered
+        stack.workload.apply(stack.network, stack.now + advanced);
+        stack.network.step(h);
+        advanced += h;
+      }
+      stack.now += config_.sample_period;
+
+      Frame frame;
+      frame.stack_id = static_cast<std::uint32_t>(k);
+      frame.sequence = stack.sequence++;
+      frame.sim_time = stack.now;
+      frame.readings = stack.monitor.sample_all(&stack.noise);
+      frame.capture_ns = steady_now_ns();
+
+      production_[k].frames += 1;
+      ring.push_overwrite(encode(frame), [&](std::vector<std::uint8_t>&& v) {
+        if (const auto victim = peek_stack_id(v)) {
+          production_[*victim].dropped += 1;
+        }
+      });
+    }
+  }
+}
+
+void FleetSampler::run() {
+  if (ran_) throw std::logic_error{"FleetSampler::run: already ran"};
+  ran_ = true;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(config_.thread_count);
+  for (std::size_t w = 0; w < config_.thread_count; ++w) {
+    pool.emplace_back([this, w] { worker(w); });
+  }
+  for (auto& t : pool) t.join();
+  elapsed_ = Second{std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count()};
+}
+
+std::uint64_t FleetSampler::total_frames() const {
+  std::uint64_t total = 0;
+  for (const auto& p : production_) total += p.frames;
+  return total;
+}
+
+std::uint64_t FleetSampler::total_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& p : production_) total += p.dropped;
+  return total;
+}
+
+}  // namespace tsvpt::telemetry

@@ -1,0 +1,99 @@
+// Concurrent fleet sampling: N independent TSV stacks, each with its own
+// thermal network, workload and sensor monitor, advanced and scanned by a
+// pool of worker threads.  Every scan is encoded as a wire frame
+// (telemetry::encode) and published into the worker's lock-free ring, from
+// which the Aggregator's collector thread drains.
+//
+// Stacks are deterministic given the master seed: stack k draws its process
+// variation, sensor instances and noise stream from derive_seed(seed, k),
+// so frame *contents* are identical no matter how many threads run —
+// threading only changes interleaving.  Workers own disjoint stack subsets
+// (stack k -> worker k % threads), so no lock ever guards simulation state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/stack_monitor.hpp"
+#include "telemetry/frame.hpp"
+#include "telemetry/ring.hpp"
+#include "thermal/network.hpp"
+#include "thermal/workload.hpp"
+
+namespace tsvpt::telemetry {
+
+class FleetSampler {
+ public:
+  struct Config {
+    /// Independent stacks in the fleet.
+    std::size_t stack_count = 8;
+    /// Worker threads (clamped to stack_count; 0 = hardware_concurrency).
+    std::size_t thread_count = 0;
+    /// Frames (full scans) each stack produces.
+    std::size_t scans_per_stack = 50;
+    /// Simulated time between scans and thermal integration granularity.
+    Second sample_period{1e-3};
+    Second thermal_step{2.5e-4};
+    /// Sensor grid per die.
+    std::size_t grid_columns = 2;
+    std::size_t grid_rows = 2;
+    /// Capacity of each worker's ring (frames).
+    std::size_t ring_capacity = 256;
+    /// Burst/idle workload shape (die 0 is the hot logic die).
+    Watt peak_power{5.0};
+    Watt idle_power{0.25};
+    Second burst_period{50e-3};
+    core::PtSensor::Config sensor;
+    std::uint64_t seed = 1;
+  };
+
+  /// Builds every stack up front (thermal network, variation draw, monitor)
+  /// so run() measures sampling, not construction.
+  explicit FleetSampler(Config config);
+  ~FleetSampler();
+
+  FleetSampler(const FleetSampler&) = delete;
+  FleetSampler& operator=(const FleetSampler&) = delete;
+
+  [[nodiscard]] std::size_t stack_count() const { return stacks_.size(); }
+  [[nodiscard]] std::size_t worker_count() const { return rings_.size(); }
+
+  /// The rings workers publish into — hand these to Aggregator::start
+  /// *before* run() so frames are drained while sampling is in flight.
+  [[nodiscard]] std::vector<FrameRing*> rings();
+
+  /// Sample the whole fleet: spawns the worker pool, blocks until every
+  /// stack has produced scans_per_stack frames.  Callable once.
+  void run();
+
+  struct StackProduction {
+    std::uint64_t frames = 0;
+    /// Frames this stack lost to ring eviction (drop-oldest).
+    std::uint64_t dropped = 0;
+  };
+
+  /// Per-stack production counters (valid after run()).
+  [[nodiscard]] const std::vector<StackProduction>& production() const {
+    return production_;
+  }
+  [[nodiscard]] std::uint64_t total_frames() const;
+  [[nodiscard]] std::uint64_t total_dropped() const;
+  /// Wall-clock duration of run().
+  [[nodiscard]] Second elapsed() const { return elapsed_; }
+
+ private:
+  struct Stack;
+
+  void worker(std::size_t worker_index);
+
+  Config config_;
+  std::vector<std::unique_ptr<Stack>> stacks_;
+  std::vector<std::unique_ptr<FrameRing>> rings_;
+  std::vector<StackProduction> production_;
+  Second elapsed_{0.0};
+  bool ran_ = false;
+};
+
+}  // namespace tsvpt::telemetry

@@ -1,0 +1,240 @@
+#include "telemetry/frame.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace tsvpt::telemetry {
+namespace {
+
+// Header: magic, version, flags, stack_id, site_count, sequence, sim_time,
+// capture_ns.
+constexpr std::size_t kHeaderSize = 4 + 2 + 2 + 4 + 4 + 8 + 8 + 8;
+constexpr std::size_t kSiteSize = 4 + 4 + 8 * 5 + 1;
+constexpr std::size_t kCrcSize = 4;
+constexpr std::size_t kStackIdOffset = 4 + 2 + 2;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+class Writer {
+ public:
+  explicit Writer(std::size_t reserve) { out_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  std::vector<std::uint8_t>& bytes() { return out_; }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8() { return data_[pos_++]; }
+  std::uint16_t u16() {
+    const auto v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool Frame::operator==(const Frame& other) const {
+  if (stack_id != other.stack_id || sequence != other.sequence ||
+      sim_time.value() != other.sim_time.value() ||
+      capture_ns != other.capture_ns ||
+      readings.size() != other.readings.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < readings.size(); ++i) {
+    const auto& a = readings[i];
+    const auto& b = other.readings[i];
+    if (a.site_index != b.site_index || a.die != b.die ||
+        a.location.x != b.location.x || a.location.y != b.location.y ||
+        a.sensed.value() != b.sensed.value() ||
+        a.truth.value() != b.truth.value() ||
+        a.energy.value() != b.energy.value() || a.degraded != b.degraded) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t encoded_size(std::size_t site_count) {
+  return kHeaderSize + site_count * kSiteSize + kCrcSize;
+}
+
+std::vector<std::uint8_t> encode(const Frame& frame) {
+  Writer w{encoded_size(frame.readings.size())};
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u16(0);  // flags, reserved
+  w.u32(frame.stack_id);
+  w.u32(static_cast<std::uint32_t>(frame.readings.size()));
+  w.u64(frame.sequence);
+  w.f64(frame.sim_time.value());
+  w.u64(frame.capture_ns);
+  for (const auto& r : frame.readings) {
+    w.u32(static_cast<std::uint32_t>(r.site_index));
+    w.u32(static_cast<std::uint32_t>(r.die));
+    w.f64(r.location.x);
+    w.f64(r.location.y);
+    w.f64(r.sensed.value());
+    w.f64(r.truth.value());
+    w.f64(r.energy.value());
+    w.u8(r.degraded ? 1 : 0);
+  }
+  w.u32(crc32(w.bytes().data(), w.bytes().size()));
+  return std::move(w.bytes());
+}
+
+DecodeResult decode(const std::uint8_t* data, std::size_t size) {
+  DecodeResult result;
+  if (data == nullptr || size < kHeaderSize + kCrcSize) {
+    result.status = DecodeStatus::kTruncated;
+    return result;
+  }
+  Reader r{data, size};
+  if (r.u32() != kWireMagic) {
+    result.status = DecodeStatus::kBadMagic;
+    return result;
+  }
+  if (r.u16() != kWireVersion) {
+    result.status = DecodeStatus::kUnsupportedVersion;
+    return result;
+  }
+  (void)r.u16();  // flags
+  Frame frame;
+  frame.stack_id = r.u32();
+  const std::uint32_t site_count = r.u32();
+  if (site_count > kMaxSiteCount) {
+    result.status = DecodeStatus::kBadSiteCount;
+    return result;
+  }
+  if (size != encoded_size(site_count)) {
+    result.status = DecodeStatus::kTruncated;
+    return result;
+  }
+  if (crc32(data, size - kCrcSize) !=
+      [&] {
+        std::uint32_t v = 0;
+        std::memcpy(&v, data + size - kCrcSize, kCrcSize);
+        if constexpr (std::endian::native == std::endian::big) {
+          v = __builtin_bswap32(v);
+        }
+        return v;
+      }()) {
+    result.status = DecodeStatus::kBadCrc;
+    return result;
+  }
+  frame.sequence = r.u64();
+  frame.sim_time = Second{r.f64()};
+  frame.capture_ns = r.u64();
+  frame.readings.reserve(site_count);
+  for (std::uint32_t i = 0; i < site_count; ++i) {
+    core::StackMonitor::SiteReading reading;
+    reading.site_index = r.u32();
+    reading.die = r.u32();
+    reading.location.x = r.f64();
+    reading.location.y = r.f64();
+    reading.sensed = Celsius{r.f64()};
+    reading.truth = Celsius{r.f64()};
+    reading.energy = Joule{r.f64()};
+    reading.degraded = r.u8() != 0;
+    frame.readings.push_back(reading);
+  }
+  result.status = DecodeStatus::kOk;
+  result.frame = std::move(frame);
+  return result;
+}
+
+DecodeResult decode(const std::vector<std::uint8_t>& buffer) {
+  return decode(buffer.data(), buffer.size());
+}
+
+std::optional<std::uint32_t> peek_stack_id(
+    const std::vector<std::uint8_t>& buffer) {
+  if (buffer.size() < kHeaderSize) return std::nullopt;
+  std::uint32_t id = 0;
+  for (int i = 0; i < 4; ++i) {
+    id |= static_cast<std::uint32_t>(buffer[kStackIdOffset + i]) << (8 * i);
+  }
+  return id;
+}
+
+const char* to_string(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kTruncated: return "truncated";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kUnsupportedVersion: return "unsupported-version";
+    case DecodeStatus::kBadSiteCount: return "bad-site-count";
+    case DecodeStatus::kBadCrc: return "bad-crc";
+  }
+  return "unknown";
+}
+
+}  // namespace tsvpt::telemetry

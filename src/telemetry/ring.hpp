@@ -1,0 +1,163 @@
+// Fixed-capacity lock-free ring buffer carrying telemetry frames from a
+// sampler thread to the collector, with drop-oldest backpressure.
+//
+// Nominal use is single-producer / single-consumer (one worker thread, one
+// collector).  Drop-oldest, however, makes the producer a *second consumer*:
+// when the ring is full the producer evicts the oldest frame to make room —
+// stale telemetry is worthless, the newest scan is what alerting needs.  A
+// classic two-index SPSC ring cannot support that (the producer and consumer
+// would race on the read index while a slot's payload is being copied), so
+// slots carry Vyukov-style sequence numbers: a slot's atomic `seq` encodes
+// whose turn it is, payloads are only touched by the thread that won the
+// slot's ticket, and both indices advance by CAS.  The structure is
+// therefore MPMC-safe, which the stress tests and TSan exercise; the
+// telemetry pipeline still deploys it 1:1.
+//
+// Accounting: pushed() counts successful publishes, dropped() counts
+// evicted frames, popped() counts consumer takes.  At quiescence
+// pushed == popped + dropped + size.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace tsvpt::telemetry {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) {
+      if (cap > (std::size_t{1} << 60)) {
+        throw std::invalid_argument{"SpscRing: capacity overflow"};
+      }
+      cap <<= 1;
+    }
+    cells_ = std::vector<Cell>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Publish `value`; returns false (and leaves `value` unconsumed) when the
+  /// ring is full.
+  bool try_push(T& value) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          pushed_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // full: slot still holds an unconsumed frame
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Publish unconditionally: when full, evict oldest frames until the push
+  /// lands.  Returns the number evicted; each victim is handed to
+  /// `on_drop(T&&)` before being destroyed (pass a no-op to just count).
+  template <typename OnDrop>
+  std::size_t push_overwrite(T value, OnDrop&& on_drop) {
+    std::size_t evicted = 0;
+    while (!try_push(value)) {
+      T victim;
+      if (try_pop(victim)) {
+        ++evicted;
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        popped_.fetch_sub(1, std::memory_order_relaxed);  // not a real take
+        on_drop(std::move(victim));
+      }
+    }
+    return evicted;
+  }
+
+  std::size_t push_overwrite(T value) {
+    return push_overwrite(std::move(value), [](T&&) {});
+  }
+
+  /// Take the oldest frame; false when empty.
+  bool try_pop(T& out) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          out = std::move(cell.value);
+          cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+          popped_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Frames currently resident (racy snapshot; exact at quiescence).
+  [[nodiscard]] std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return head >= tail ? head - tail : 0;
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] std::uint64_t pushed() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t popped() const {
+    return popped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Separate cache lines so the producer's head and consumer's tail do not
+  // false-share.
+  struct alignas(64) Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> popped_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// The pipeline's ring instantiation: encoded wire frames (frame.hpp).
+using FrameRing = SpscRing<std::vector<std::uint8_t>>;
+
+}  // namespace tsvpt::telemetry

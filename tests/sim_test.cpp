@@ -146,6 +146,72 @@ TEST(MonitoringSession, TdmReadoutStillProducesFullScans) {
   EXPECT_LT(session.error_samples().max_abs(), 4.0);
 }
 
+TEST(MonitoringSession, TdmReadoutSkewsLaterSitesTowardNewerThermalState) {
+  // Pin the documented readout_slot semantics: during a heating transient,
+  // a serialized (TDM) scan visits sites one slot apart, so later sites see
+  // a *newer* (here: hotter) thermal state, while simultaneous readout
+  // (readout_slot = 0) sees one instant.  Four sites sit at symmetric
+  // locations on die 0 under a uniform load, so at any single instant their
+  // true temperatures are identical — any spread is pure readout skew.
+  const thermal::StackConfig stack_cfg = thermal::StackConfig::four_die_stack();
+  thermal::WorkloadPhase heat;
+  heat.name = "heat";
+  heat.duration = Second{1.0};
+  heat.directives.push_back({thermal::PowerDirective::Kind::kUniform, 0,
+                             Watt{8.0}, {}, Meter{0.0}});
+  const thermal::Workload workload{{heat}};
+
+  auto run_session = [&](Second slot) {
+    thermal::ThermalNetwork network{stack_cfg};
+    std::vector<core::SensorSite> sites;
+    const double w = stack_cfg.dies[0].width.value();
+    const double h = stack_cfg.dies[0].height.value();
+    const double fractions[4][2] = {
+        {0.25, 0.25}, {0.75, 0.25}, {0.25, 0.75}, {0.75, 0.75}};
+    for (const auto& f : fractions) {
+      core::SensorSite site;
+      site.die = 0;
+      site.location = {f[0] * w, f[1] * h};
+      sites.push_back(site);
+    }
+    core::StackMonitor monitor{&network, core::PtSensor::Config{}, sites, 21};
+    MonitoringSession::Config cfg;
+    cfg.sample_period = Second{10e-3};
+    cfg.thermal_step = Second{1e-3};
+    cfg.start_at_steady_state = false;  // heat up from ambient
+    cfg.readout_slot = slot;
+    MonitoringSession session{&network, &workload, &monitor, cfg, 31};
+    session.run(Second{10e-3});
+    return session.trace().at(0).readings;
+  };
+
+  const auto simultaneous = run_session(Second{0.0});
+  const auto serialized = run_session(Second{2e-3});
+  ASSERT_EQ(simultaneous.size(), 4u);
+  ASSERT_EQ(serialized.size(), 4u);
+
+  // Simultaneous readout: symmetric sites agree to the stack's tiny
+  // physical asymmetry (the TSV field), far below the TDM skew tested next.
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_NEAR(simultaneous[i].truth.value(), simultaneous[0].truth.value(),
+                0.01);
+  }
+  // Site 0 is read at the scan instant in both modes: identical trajectory,
+  // identical truth.
+  EXPECT_DOUBLE_EQ(serialized[0].truth.value(), simultaneous[0].truth.value());
+  // TDM readout: site i is read i slots later, so (relative to the same
+  // site's simultaneous reading, which cancels any spatial asymmetry) its
+  // truth reflects a strictly newer, hotter state — and monotonically more
+  // so down the scan chain.
+  double previous_skew = 0.0;
+  for (std::size_t i = 1; i < 4; ++i) {
+    const double skew =
+        serialized[i].truth.value() - simultaneous[i].truth.value();
+    EXPECT_GT(skew, previous_skew + 0.05) << "site " << i;
+    previous_skew = skew;
+  }
+}
+
 TEST(StackMonitorSampleSite, MatchesSampleAllOrdering) {
   SessionFixture fx;
   fx.network.set_uniform_power(0, Watt{1.0});

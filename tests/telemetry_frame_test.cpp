@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "telemetry/frame.hpp"
+
+namespace tsvpt::telemetry {
+namespace {
+
+// Wire header offsets (see frame.hpp layout).
+constexpr std::size_t kVersionOffset = 4;
+constexpr std::size_t kSiteCountOffset = 12;
+
+Frame sample_frame() {
+  Frame frame;
+  frame.stack_id = 17;
+  frame.sequence = 0xDEADBEEF01ull;
+  frame.sim_time = Second{12.5e-3};
+  frame.capture_ns = 123456789;
+  for (std::size_t i = 0; i < 5; ++i) {
+    core::StackMonitor::SiteReading r;
+    r.site_index = i;
+    r.die = i % 3;
+    r.location = {1.25e-3 * static_cast<double>(i), 3.75e-3};
+    r.sensed = Celsius{25.0 + 7.3 * static_cast<double>(i)};
+    r.truth = Celsius{25.1 + 7.3 * static_cast<double>(i)};
+    r.energy = Joule{-1.0e-12 * static_cast<double>(i)};  // sign survives
+    r.degraded = (i == 4);
+    frame.readings.push_back(r);
+  }
+  return frame;
+}
+
+/// Rewrite the trailing CRC so a deliberately edited buffer is otherwise
+/// self-consistent (isolates the field check under test from the CRC check).
+void refresh_crc(std::vector<std::uint8_t>& buffer) {
+  const std::uint32_t crc = crc32(buffer.data(), buffer.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    buffer[buffer.size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+}
+
+TEST(TelemetryFrame, Crc32KnownVector) {
+  // The canonical IEEE CRC-32 check value.
+  const char* data = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(data), 9),
+            0xCBF43926u);
+}
+
+TEST(TelemetryFrame, RoundTrip) {
+  const Frame original = sample_frame();
+  const std::vector<std::uint8_t> wire = encode(original);
+  EXPECT_EQ(wire.size(), encoded_size(original.readings.size()));
+
+  const DecodeResult result = decode(wire);
+  ASSERT_EQ(result.status, DecodeStatus::kOk);
+  EXPECT_TRUE(result.frame == original);
+}
+
+TEST(TelemetryFrame, EmptyScanRoundTrips) {
+  Frame frame;
+  frame.stack_id = 3;
+  const DecodeResult result = decode(encode(frame));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.frame.stack_id, 3u);
+  EXPECT_TRUE(result.frame.readings.empty());
+}
+
+TEST(TelemetryFrame, EveryTruncationRejected) {
+  const std::vector<std::uint8_t> wire = encode(sample_frame());
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const DecodeResult result = decode(wire.data(), len);
+    EXPECT_NE(result.status, DecodeStatus::kOk) << "length " << len;
+  }
+  // Trailing garbage is not a valid frame either.
+  std::vector<std::uint8_t> longer = wire;
+  longer.push_back(0);
+  EXPECT_EQ(decode(longer).status, DecodeStatus::kTruncated);
+  EXPECT_EQ(decode(nullptr, 0).status, DecodeStatus::kTruncated);
+}
+
+TEST(TelemetryFrame, EveryBitFlipRejected) {
+  const std::vector<std::uint8_t> wire = encode(sample_frame());
+  for (std::size_t pos = 0; pos < wire.size(); ++pos) {
+    std::vector<std::uint8_t> corrupt = wire;
+    corrupt[pos] ^= 0x10;
+    EXPECT_NE(decode(corrupt).status, DecodeStatus::kOk) << "byte " << pos;
+  }
+}
+
+TEST(TelemetryFrame, PayloadCorruptionIsBadCrc) {
+  std::vector<std::uint8_t> wire = encode(sample_frame());
+  wire[wire.size() / 2] ^= 0xFF;
+  EXPECT_EQ(decode(wire).status, DecodeStatus::kBadCrc);
+}
+
+TEST(TelemetryFrame, UnknownVersionRejected) {
+  // A well-formed frame from a *future* codec revision (valid CRC) must be
+  // refused, not misparsed.
+  std::vector<std::uint8_t> wire = encode(sample_frame());
+  wire[kVersionOffset] = static_cast<std::uint8_t>(kWireVersion + 1);
+  refresh_crc(wire);
+  EXPECT_EQ(decode(wire).status, DecodeStatus::kUnsupportedVersion);
+}
+
+TEST(TelemetryFrame, BadMagicRejected) {
+  std::vector<std::uint8_t> wire = encode(sample_frame());
+  wire[0] ^= 0xFF;
+  refresh_crc(wire);
+  EXPECT_EQ(decode(wire).status, DecodeStatus::kBadMagic);
+}
+
+TEST(TelemetryFrame, AbsurdSiteCountRejected) {
+  // A hostile/corrupt length field must be caught before any allocation is
+  // sized from it.
+  std::vector<std::uint8_t> wire = encode(sample_frame());
+  const std::uint32_t absurd = kMaxSiteCount + 1;
+  for (int i = 0; i < 4; ++i) {
+    wire[kSiteCountOffset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(absurd >> (8 * i));
+  }
+  refresh_crc(wire);
+  EXPECT_EQ(decode(wire).status, DecodeStatus::kBadSiteCount);
+}
+
+TEST(TelemetryFrame, PeekStackId) {
+  const Frame frame = sample_frame();
+  const std::vector<std::uint8_t> wire = encode(frame);
+  ASSERT_TRUE(peek_stack_id(wire).has_value());
+  EXPECT_EQ(*peek_stack_id(wire), frame.stack_id);
+  EXPECT_FALSE(peek_stack_id(std::vector<std::uint8_t>(8)).has_value());
+}
+
+TEST(TelemetryFrame, StatusStringsCoverEveryCode) {
+  for (const DecodeStatus status :
+       {DecodeStatus::kOk, DecodeStatus::kTruncated, DecodeStatus::kBadMagic,
+        DecodeStatus::kUnsupportedVersion, DecodeStatus::kBadSiteCount,
+        DecodeStatus::kBadCrc}) {
+    EXPECT_STRNE(to_string(status), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace tsvpt::telemetry

@@ -12,9 +12,16 @@
 //                   [--seed 9]
 //       Play a workload trace (or the built-in burst/idle) against the
 //       4-die stack with a 16-sensor monitor; prints tracking statistics.
+//   tsvpt_cli fleet [--stacks 32] [--threads 8] [--scans 50] [--sample-ms 1]
+//                   [--ring 256] [--grid 2] [--alert-c 85] [--seed 1]
+//       Concurrent fleet telemetry: sample N independent stacks on a worker
+//       pool, stream wire frames through lock-free rings into the
+//       aggregator, print a JSON summary (frame/drop/alert counts).
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <set>
+#include <sstream>
 
 #include "core/stack_monitor.hpp"
 #include "device/tech_io.hpp"
@@ -23,6 +30,8 @@
 #include "ptsim/args.hpp"
 #include "ptsim/stats.hpp"
 #include "sim/monitor_session.hpp"
+#include "telemetry/aggregator.hpp"
+#include "telemetry/fleet_sampler.hpp"
 #include "thermal/workload_io.hpp"
 
 namespace {
@@ -160,15 +169,100 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
+int cmd_fleet(const Args& args) {
+  args.check_known({"stacks", "threads", "scans", "sample-ms", "ring", "grid",
+                    "alert-c", "seed", "card"});
+  telemetry::FleetSampler::Config cfg;
+  cfg.stack_count = static_cast<std::size_t>(args.get("stacks", 8LL));
+  cfg.thread_count = static_cast<std::size_t>(args.get("threads", 0LL));
+  cfg.scans_per_stack = static_cast<std::size_t>(args.get("scans", 50LL));
+  cfg.sample_period = Second{args.get("sample-ms", 1.0) * 1e-3};
+  cfg.ring_capacity = static_cast<std::size_t>(args.get("ring", 256LL));
+  cfg.grid_columns = cfg.grid_rows =
+      static_cast<std::size_t>(args.get("grid", 2LL));
+  cfg.seed = static_cast<std::uint64_t>(args.get("seed", 1LL));
+  cfg.sensor.tech = technology_from(args);
+  cfg.sensor.model_vdd = cfg.sensor.tech.vdd_nominal;
+
+  telemetry::Aggregator::Config agg_cfg;
+  agg_cfg.alert_threshold = Celsius{args.get("alert-c", 85.0)};
+
+  telemetry::FleetSampler sampler{cfg};
+  telemetry::Aggregator aggregator{agg_cfg};
+  aggregator.start(sampler.rings());
+  sampler.run();
+  aggregator.stop();
+
+  const telemetry::Aggregator::Summary& sum = aggregator.summary();
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"stacks\": " << sampler.stack_count() << ",\n"
+       << "  \"threads\": " << sampler.worker_count() << ",\n"
+       << "  \"scans_per_stack\": " << cfg.scans_per_stack << ",\n"
+       << "  \"elapsed_s\": " << sampler.elapsed().value() << ",\n"
+       << "  \"frames_produced\": " << sampler.total_frames() << ",\n"
+       << "  \"frames_received\": " << sum.frames << ",\n"
+       << "  \"frames_dropped\": " << sampler.total_dropped() << ",\n"
+       << "  \"decode_errors\": " << sum.decode_errors << ",\n"
+       << "  \"frames_per_s\": "
+       << (sampler.elapsed().value() > 0.0
+               ? static_cast<double>(sampler.total_frames()) /
+                     sampler.elapsed().value()
+               : 0.0)
+       << ",\n"
+       << "  \"latency_p50_us\": " << sum.latency.quantile(0.5) * 1e6 << ",\n"
+       << "  \"latency_p95_us\": " << sum.latency.quantile(0.95) * 1e6
+       << ",\n"
+       << "  \"alerts\": {";
+  {
+    bool first = true;
+    for (const auto& [kind, count] : sum.alerts_by_kind) {
+      json << (first ? "" : ", ") << '"' << telemetry::to_string(kind)
+           << "\": " << count;
+      first = false;
+    }
+  }
+  json << "},\n  \"per_stack\": [\n";
+  for (std::size_t k = 0; k < sampler.stack_count(); ++k) {
+    const auto id = static_cast<std::uint32_t>(k);
+    const auto it = sum.stacks.find(id);
+    std::uint64_t received = 0;
+    std::uint64_t missed = 0;
+    std::uint64_t alerts = 0;
+    double max_sensed = 0.0;
+    if (it != sum.stacks.end()) {
+      received = it->second.frames;
+      missed = it->second.missed;
+      alerts = it->second.alerts;
+      for (const auto& [die, stats] : it->second.dies) {
+        max_sensed = std::max(max_sensed, stats.sensed_c.max());
+      }
+    }
+    json << "    {\"stack\": " << k
+         << ", \"frames\": " << sampler.production()[k].frames
+         << ", \"received\": " << received
+         << ", \"dropped\": " << sampler.production()[k].dropped
+         << ", \"missed\": " << missed << ", \"alerts\": " << alerts
+         << ", \"max_sensed_c\": " << max_sensed << "}"
+         << (k + 1 < sampler.stack_count() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << json.str();
+  return sum.decode_errors == 0 ? 0 : 1;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: tsvpt_cli <tech|sense|mc|trace> [flags]\n"
+               "usage: tsvpt_cli <tech|sense|mc|trace|fleet> [flags]\n"
                "  tech   [--card FILE]\n"
                "  sense  --t DEGC [--dvtn-mv MV] [--dvtp-mv MV] [--seed N]"
                " [--card FILE] [--compensate 1]\n"
                "  mc     [--dies N] [--seed N] [--card FILE]\n"
                "  trace  [--trace FILE] [--sample-ms MS] [--duration-ms MS]"
-               " [--seed N]\n");
+               " [--seed N]\n"
+               "  fleet  [--stacks N] [--threads N] [--scans N]"
+               " [--sample-ms MS] [--ring N] [--grid N] [--alert-c DEGC]"
+               " [--seed N] [--card FILE]\n");
   return 2;
 }
 
@@ -183,6 +277,7 @@ int main(int argc, char** argv) {
     if (command == "sense") return cmd_sense(args);
     if (command == "mc") return cmd_mc(args);
     if (command == "trace") return cmd_trace(args);
+    if (command == "fleet") return cmd_fleet(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tsvpt_cli: %s\n", e.what());
     return 1;
