@@ -58,9 +58,16 @@ void Aggregator::collect(std::vector<FrameRing*> rings) {
       }
     }
     if (!drained_any) {
-      // Stop only once every ring has been seen empty *after* the stop
-      // request: producers are done, nothing more can arrive.
-      if (stop_requested_.load(std::memory_order_acquire)) return;
+      if (stop_requested_.load(std::memory_order_acquire)) {
+        // The empty pass above may have scanned a ring *before* its worker's
+        // final push (stop() is only called once workers are joined, but the
+        // scan and the push can interleave).  Workers are done now, so one
+        // more full drain picks up any such tail frames before we return.
+        for (FrameRing* ring : rings) {
+          while (ring->try_pop(buffer)) ingest(buffer);
+        }
+        return;
+      }
       std::this_thread::yield();
     }
   }
@@ -92,7 +99,9 @@ void Aggregator::ingest(const std::vector<std::uint8_t>& buffer) {
   summary_.frames += 1;
   if (frame.capture_ns != 0) {
     const std::uint64_t now = steady_now_ns();
-    if (now > frame.capture_ns) {
+    // >= : on coarse steady_clock resolution capture and decode can share a
+    // tick, and zero is a valid latency sample.
+    if (now >= frame.capture_ns) {
       summary_.latency.add(static_cast<double>(now - frame.capture_ns) * 1e-9);
     }
   }
@@ -164,12 +173,16 @@ void Aggregator::ingest(const std::vector<std::uint8_t>& buffer) {
 
   // Spatial leave-one-out cross-check within the scan.
   if (config_.spatial_check && frame.readings.size() >= 3) {
-    for (const auto& verdict : fault_detector_.analyze(frame.readings)) {
+    // Verdicts are positional (verdict i judges reading i), so take the die
+    // from the reading itself rather than indexing readings by the
+    // wire-supplied site_index.
+    const auto verdicts = fault_detector_.analyze(frame.readings);
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+      const auto& verdict = verdicts[i];
       SiteState& site = sites_[{frame.stack_id, verdict.site_index}];
       if (verdict.suspect && !site.spatial_suspect) {
-        raise(AlertKind::kSpatialSuspect, frame,
-              frame.readings[verdict.site_index].die, verdict.site_index,
-              verdict.deviation.value());
+        raise(AlertKind::kSpatialSuspect, frame, frame.readings[i].die,
+              verdict.site_index, verdict.deviation.value());
       }
       site.spatial_suspect = verdict.suspect;
     }

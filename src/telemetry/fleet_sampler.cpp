@@ -145,8 +145,14 @@ void FleetSampler::worker(std::size_t worker_index) {
 
       production_[k].frames += 1;
       ring.push_overwrite(encode(frame), [&](std::vector<std::uint8_t>&& v) {
-        if (const auto victim = peek_stack_id(v)) {
+        const auto victim = peek_stack_id(v);
+        if (victim && *victim < production_.size()) {
           production_[*victim].dropped += 1;
+        } else {
+          // Peeked id out of range (or no header): a frame this sampler did
+          // not produce.  Impossible while rings stay private, but never an
+          // excuse for an out-of-bounds write.
+          unattributed_drops_.fetch_add(1, std::memory_order_relaxed);
         }
       });
     }
@@ -176,7 +182,7 @@ std::uint64_t FleetSampler::total_frames() const {
 }
 
 std::uint64_t FleetSampler::total_dropped() const {
-  std::uint64_t total = 0;
+  std::uint64_t total = unattributed_drops_.load(std::memory_order_relaxed);
   for (const auto& p : production_) total += p.dropped;
   return total;
 }

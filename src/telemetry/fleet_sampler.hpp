@@ -11,6 +11,7 @@
 // (stack k -> worker k % threads), so no lock ever guards simulation state.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <thread>
@@ -79,7 +80,14 @@ class FleetSampler {
     return production_;
   }
   [[nodiscard]] std::uint64_t total_frames() const;
+  /// All drops, attributed or not.
   [[nodiscard]] std::uint64_t total_dropped() const;
+  /// Evicted frames whose peeked stack id did not name a stack of this
+  /// sampler (cannot happen while the rings stay private; counted, not
+  /// written through, if it ever does).
+  [[nodiscard]] std::uint64_t unattributed_drops() const {
+    return unattributed_drops_.load(std::memory_order_relaxed);
+  }
   /// Wall-clock duration of run().
   [[nodiscard]] Second elapsed() const { return elapsed_; }
 
@@ -92,6 +100,7 @@ class FleetSampler {
   std::vector<std::unique_ptr<Stack>> stacks_;
   std::vector<std::unique_ptr<FrameRing>> rings_;
   std::vector<StackProduction> production_;
+  std::atomic<std::uint64_t> unattributed_drops_{0};
   Second elapsed_{0.0};
   bool ran_ = false;
 };

@@ -197,6 +197,10 @@ DecodeResult decode(const std::uint8_t* data, std::size_t size) {
   for (std::uint32_t i = 0; i < site_count; ++i) {
     core::StackMonitor::SiteReading reading;
     reading.site_index = r.u32();
+    if (reading.site_index >= site_count) {
+      result.status = DecodeStatus::kBadSiteIndex;
+      return result;
+    }
     reading.die = r.u32();
     reading.location.x = r.f64();
     reading.location.y = r.f64();
@@ -232,6 +236,7 @@ const char* to_string(DecodeStatus status) {
     case DecodeStatus::kBadMagic: return "bad-magic";
     case DecodeStatus::kUnsupportedVersion: return "unsupported-version";
     case DecodeStatus::kBadSiteCount: return "bad-site-count";
+    case DecodeStatus::kBadSiteIndex: return "bad-site-index";
     case DecodeStatus::kBadCrc: return "bad-crc";
   }
   return "unknown";

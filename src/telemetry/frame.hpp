@@ -64,6 +64,10 @@ enum class DecodeStatus {
   kUnsupportedVersion,
   /// Site count exceeds kMaxSiteCount (corrupt or hostile length field).
   kBadSiteCount,
+  /// A reading's site_index is outside [0, site_count).  Version-1 frames
+  /// carry one full scan, so indexes are dense; consumers rely on this to
+  /// index scan-shaped arrays safely.
+  kBadSiteIndex,
   kBadCrc,
 };
 

@@ -125,6 +125,20 @@ TEST(TelemetryFrame, AbsurdSiteCountRejected) {
   EXPECT_EQ(decode(wire).status, DecodeStatus::kBadSiteCount);
 }
 
+TEST(TelemetryFrame, OutOfRangeSiteIndexRejected) {
+  // A CRC-valid frame whose reading claims a site outside [0, site_count)
+  // must be refused: consumers index scan-shaped arrays by site_index.
+  constexpr std::size_t kHeaderSize = 40;  // first reading's site_index field
+  std::vector<std::uint8_t> wire = encode(sample_frame());
+  const std::uint32_t rogue = 5;  // == site_count, first invalid value
+  for (int i = 0; i < 4; ++i) {
+    wire[kHeaderSize + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(rogue >> (8 * i));
+  }
+  refresh_crc(wire);
+  EXPECT_EQ(decode(wire).status, DecodeStatus::kBadSiteIndex);
+}
+
 TEST(TelemetryFrame, PeekStackId) {
   const Frame frame = sample_frame();
   const std::vector<std::uint8_t> wire = encode(frame);
@@ -137,7 +151,7 @@ TEST(TelemetryFrame, StatusStringsCoverEveryCode) {
   for (const DecodeStatus status :
        {DecodeStatus::kOk, DecodeStatus::kTruncated, DecodeStatus::kBadMagic,
         DecodeStatus::kUnsupportedVersion, DecodeStatus::kBadSiteCount,
-        DecodeStatus::kBadCrc}) {
+        DecodeStatus::kBadSiteIndex, DecodeStatus::kBadCrc}) {
     EXPECT_STRNE(to_string(status), "unknown");
   }
 }
