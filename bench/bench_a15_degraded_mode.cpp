@@ -1,0 +1,96 @@
+// A15 [R]: degraded-mode service — fleet throughput and temperature error
+// with 0, 1 and 25% of the fleet's sensor sites knocked out.
+//
+// Dead oscillators are injected through the chaos seam for the whole run,
+// so the HealthSupervisor quarantines the victims early and serves
+// leave-one-out substitutes for the rest of the run.  Each row reports wall
+// time, frames/s, the healthy sites' tracking error, and the substitutes'
+// error — the cost of degraded mode in accuracy terms.
+//
+// Expectations: throughput barely moves (quarantined sites skip their
+// conversions between probes, so the fleet does *less* sampling work as it
+// degrades), healthy-site accuracy is untouched, and substitute error stays
+// well inside the supervisor's 25 C spatial threshold — single digits of a
+// degree on the sparse 2x2 grid, dominated by the interpolation distance.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "inject/fault_plan.hpp"
+#include "inject/injectors.hpp"
+#include "ptsim/table.hpp"
+#include "telemetry/aggregator.hpp"
+#include "telemetry/fleet_sampler.hpp"
+
+int main() {
+  using namespace tsvpt;
+
+  constexpr std::size_t kStacks = 8;
+  constexpr std::size_t kScans = 40;
+  constexpr std::size_t kSitesPerStack = 16;  // 2x2 grid on each of 4 dies
+
+  bench::banner("A15", "degraded-mode error and throughput vs dead sites");
+  std::printf("fleet: %zu stacks x %zu scans, %zu sites each (%zu total)\n\n",
+              kStacks, kScans, kSitesPerStack, kStacks * kSitesPerStack);
+
+  Table table{"dead TDROs injected for the whole run; supervisor substitutes"};
+  table.add_column("dead sites", 0);
+  table.add_column("wall s", 3);
+  table.add_column("frames/s", 1);
+  table.add_column("healthy err 3s C", 2);
+  table.add_column("subst mean C", 2);
+  table.add_column("subst max C", 2);
+  table.add_column("substituted", 0);
+
+  for (const std::size_t dead_count : {0u, 1u, 32u}) {  // 0, one, 25%
+    telemetry::FleetSampler::Config cfg;
+    cfg.stack_count = kStacks;
+    cfg.thread_count = 4;
+    cfg.scans_per_stack = kScans;
+    cfg.ring_capacity = 512;
+    cfg.seed = 9;
+    cfg.supervise = true;
+    // Burst hotspots reach ~20 C leave-one-out deviation on a 2x2 grid.
+    cfg.health.fault.threshold = Celsius{25.0};
+    telemetry::FleetSampler sampler{cfg};
+
+    inject::FaultPlan plan;
+    for (std::size_t n = 0; n < dead_count; ++n) {
+      // Spread victims across stacks, then across dies within a stack.
+      plan.add({.kind = inject::FaultKind::kDeadRo,
+                .stack = n % kStacks,
+                .site = (n / kStacks) * 4 + 1,
+                .start_scan = 2,
+                .end_scan = kScans + 1});  // never clears: no recovery
+    }
+    inject::ChaosInjector injector{plan};
+    if (!plan.empty()) sampler.set_interceptor(&injector);
+
+    telemetry::Aggregator::Config acfg;
+    acfg.alert_threshold = Celsius{200.0};
+    acfg.fault.threshold = Celsius{25.0};
+    telemetry::Aggregator aggregator{acfg};
+    aggregator.start(sampler.rings());
+    sampler.run();
+    aggregator.stop();
+
+    const auto& sum = aggregator.summary();
+    RunningStats healthy;
+    RunningStats degraded;
+    for (const auto& [stack_id, stats] : sum.stacks) {
+      for (const auto& [die, die_stats] : stats.dies) {
+        healthy.merge(die_stats.error_c);
+        degraded.merge(die_stats.degraded_error_c);
+      }
+    }
+    const double elapsed = sampler.elapsed().value();
+    table.add_row({static_cast<double>(dead_count), elapsed,
+                   static_cast<double>(sampler.total_frames()) / elapsed,
+                   3.0 * healthy.stddev(),
+                   degraded.count() ? degraded.mean() : 0.0,
+                   degraded.count() ? degraded.max_abs() : 0.0,
+                   static_cast<double>(sum.substituted_readings)});
+  }
+  bench::emit(table, "a15_degraded_mode");
+  return 0;
+}

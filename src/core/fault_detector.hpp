@@ -9,8 +9,11 @@
 // Known limitation (pinned by tests): a hotspot concentrated on exactly one
 // sensor is spatially indistinguishable from that sensor sticking high, and
 // is flagged.  Disambiguation is temporal — real hotspots grow on thermal
-// time constants, faults jump between consecutive scans — and belongs to
-// the caller, which has the scan history.
+// time constants, faults jump between consecutive scans.  The caller that
+// owns the scan history and performs that disambiguation is
+// core::HealthSupervisor, which quarantines a single-scan jump immediately
+// but lets a multi-scan thermal ramp (the whole neighbourhood moving) pass
+// (pinned by HealthSupervisorTest.SingleScanJumpQuarantinedHotspotRampIsNot).
 #pragma once
 
 #include <string>

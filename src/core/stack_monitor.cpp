@@ -54,6 +54,22 @@ StackMonitor::SiteReading StackMonitor::sample_site(std::size_t site_index,
   return site_reading;
 }
 
+Celsius StackMonitor::truth_at(std::size_t site_index) const {
+  if (site_index >= sites_.size()) {
+    throw std::out_of_range{"StackMonitor::truth_at"};
+  }
+  const SensorSite& site = sites_[site_index];
+  return to_celsius(network_->temperature_at(site.die, site.location));
+}
+
+void StackMonitor::set_site_supply(std::size_t site_index,
+                                   circuit::SupplyRail supply) {
+  if (site_index >= sites_.size()) {
+    throw std::out_of_range{"StackMonitor::set_site_supply"};
+  }
+  sites_[site_index].supply = supply;
+}
+
 std::vector<StackMonitor::SiteReading> StackMonitor::sample_all(Rng* noise) {
   std::vector<SiteReading> out;
   out.reserve(sites_.size());

@@ -49,6 +49,9 @@ class StackMonitor {
     Celsius truth{0.0};
     Joule energy{0.0};
     bool degraded = false;
+    /// core::HealthState of the site as judged by the HealthSupervisor
+    /// (0 = healthy; raw byte so this header stays supervisor-agnostic).
+    std::uint8_t health = 0;
 
     [[nodiscard]] double error() const {
       return sensed.value() - truth.value();
@@ -61,6 +64,16 @@ class StackMonitor {
   /// One tracking conversion of a single site (used by serialized/TDM
   /// readout, where sites are visited one at a time as the stack evolves).
   [[nodiscard]] SiteReading sample_site(std::size_t site_index, Rng* noise);
+
+  /// Ground-truth temperature at a site without running a conversion (used
+  /// by the health supervisor's degraded-mode accounting for sites whose
+  /// conversion is skipped while quarantined).
+  [[nodiscard]] Celsius truth_at(std::size_t site_index) const;
+
+  /// Replace a site's supply rail (fault injection: droop excursions are a
+  /// supply-network event, not a sensor event, so they are injected at the
+  /// site rather than inside the sensor model).
+  void set_site_supply(std::size_t site_index, circuit::SupplyRail supply);
 
   /// Hottest *sensed* temperature on a die from the given sample.
   [[nodiscard]] static Celsius max_sensed(

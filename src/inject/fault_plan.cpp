@@ -1,0 +1,161 @@
+#include "inject/fault_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace tsvpt::inject {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStuckRo: return "stuck-ro";
+    case FaultKind::kDeadRo: return "dead-ro";
+    case FaultKind::kCounterBitFlip: return "counter-bit-flip";
+    case FaultKind::kSupplyDroop: return "supply-droop";
+    case FaultKind::kCalDrift: return "cal-drift";
+    case FaultKind::kFrameCorrupt: return "frame-corrupt";
+    case FaultKind::kRingStall: return "ring-stall";
+    case FaultKind::kWorkerStall: return "worker-stall";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::add(FaultEvent event) {
+  if (event.start_scan >= event.end_scan) {
+    throw std::invalid_argument{"FaultPlan::add: empty scan window"};
+  }
+  events_.push_back(event);
+  return *this;
+}
+
+std::uint64_t FaultPlan::last_active_scan() const {
+  std::uint64_t last = 0;
+  for (const FaultEvent& e : events_) {
+    last = std::max(last, e.end_scan - 1);
+  }
+  return last;
+}
+
+bool FaultPlan::has_kind(FaultKind kind) const {
+  return std::any_of(events_.begin(), events_.end(),
+                     [&](const FaultEvent& e) { return e.kind == kind; });
+}
+
+FaultPlan FaultPlan::random_campaign(std::uint64_t seed,
+                                     std::size_t stack_count,
+                                     std::size_t sites_per_stack,
+                                     std::uint64_t scans,
+                                     const std::vector<FaultKind>& kinds,
+                                     std::size_t events_per_kind) {
+  if (stack_count == 0 || sites_per_stack == 0) {
+    throw std::invalid_argument{"random_campaign: empty fleet"};
+  }
+  if (scans < 16) {
+    throw std::invalid_argument{
+        "random_campaign: too few scans to observe recovery"};
+  }
+  Rng rng{derive_seed(seed, 0xFA17)};
+  FaultPlan plan;
+
+  // Sensor faults target distinct (stack, site) pairs, transport faults
+  // distinct stacks, so one fault's symptoms never mask another's.
+  std::vector<std::pair<std::size_t, std::size_t>> used_sites;
+  std::vector<std::size_t> used_stacks;
+
+  const auto pick_site = [&](FaultEvent& e) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      e.stack = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(stack_count) - 1));
+      e.site = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(sites_per_stack) - 1));
+      const auto key = std::make_pair(e.stack, e.site);
+      if (std::find(used_sites.begin(), used_sites.end(), key) ==
+          used_sites.end()) {
+        used_sites.push_back(key);
+        return;
+      }
+    }
+    // Fleet smaller than the campaign: accept the collision.
+  };
+  const auto pick_stack = [&](FaultEvent& e) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      e.stack = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(stack_count) - 1));
+      if (std::find(used_stacks.begin(), used_stacks.end(), e.stack) ==
+          used_stacks.end()) {
+        used_stacks.push_back(e.stack);
+        return;
+      }
+    }
+  };
+  // Windows live in the first half of the run so the second half shows
+  // recovery (probe + probation need tens of scans after the fault clears).
+  const auto pick_window = [&](FaultEvent& e, std::uint64_t min_len,
+                               std::uint64_t max_len) {
+    const std::uint64_t latest_start = std::max<std::uint64_t>(scans / 4, 3);
+    e.start_scan = static_cast<std::uint64_t>(
+        rng.uniform_int(2, static_cast<std::int64_t>(latest_start)));
+    const std::uint64_t len = static_cast<std::uint64_t>(rng.uniform_int(
+        static_cast<std::int64_t>(min_len),
+        static_cast<std::int64_t>(max_len)));
+    e.end_scan = std::min(e.start_scan + len, scans / 2);
+    if (e.end_scan <= e.start_scan) e.end_scan = e.start_scan + 1;
+  };
+
+  for (const FaultKind kind : kinds) {
+    for (std::size_t n = 0; n < events_per_kind; ++n) {
+      FaultEvent e;
+      e.kind = kind;
+      switch (kind) {
+        case FaultKind::kStuckRo:
+          pick_site(e);
+          pick_window(e, 8, 20);
+          // Rail high or low — either way far enough from any plausible
+          // neighbourhood temperature that the onset reads as a jump.
+          e.magnitude = rng.bernoulli(0.5) ? rng.uniform(85.0, 115.0)
+                                           : rng.uniform(-15.0, 5.0);
+          break;
+        case FaultKind::kDeadRo:
+          pick_site(e);
+          pick_window(e, 8, 20);
+          break;
+        case FaultKind::kCounterBitFlip:
+          pick_site(e);
+          pick_window(e, 6, 16);
+          e.magnitude = (rng.bernoulli(0.5) ? 1.0 : -1.0) *
+                        rng.uniform(12.0, 25.0);
+          break;
+        case FaultKind::kSupplyDroop:
+          pick_site(e);
+          pick_window(e, 8, 20);
+          e.magnitude = rng.uniform(0.08, 0.15);
+          break;
+        case FaultKind::kCalDrift:
+          // Long window, fast enough walk that the accumulated offset
+          // clears a hotspot-safe spatial threshold well before the window
+          // closes (and the snap-back at the end reads as a jump anyway).
+          pick_site(e);
+          pick_window(e, 14, 24);
+          e.magnitude = rng.uniform(2.0, 4.0);
+          break;
+        case FaultKind::kFrameCorrupt:
+          pick_stack(e);
+          pick_window(e, 2, 5);
+          break;
+        case FaultKind::kRingStall:
+          pick_stack(e);
+          pick_window(e, 3, 6);
+          break;
+        case FaultKind::kWorkerStall:
+          // Fires once at start_scan; recovery is the watchdog's job.
+          pick_stack(e);
+          pick_window(e, 1, 1);
+          break;
+      }
+      plan.add(e);
+    }
+  }
+  return plan;
+}
+
+}  // namespace tsvpt::inject

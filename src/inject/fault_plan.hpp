@@ -1,0 +1,107 @@
+// Deterministic fault schedules for chaos testing the telemetry path.  A
+// FaultPlan is data, not behaviour: a list of timed fault events, each
+// naming a kind, a target (stack / site), a scan window and a magnitude.
+// The ChaosInjector (injectors.hpp) executes a plan through the
+// FleetSampler's ScanInterceptor seam without modifying any physics code —
+// faults act on the same public surfaces real failures act on (the sensor's
+// fault-injection hooks, the site's supply rail, the wire bytes, the
+// worker's stall gate).
+//
+// Plans are either hand-written (regression tests pin one scenario) or
+// drawn by random_campaign from a seed, so an entire chaos campaign is
+// reproducible from one integer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ptsim/rng.hpp"
+
+namespace tsvpt::inject {
+
+/// What breaks.  The first five act on a single sensor site; the last three
+/// act on a stack's transport (frame bytes, ring publish, worker thread).
+enum class FaultKind {
+  /// TDRO latches at a fixed frequency: the sensor confidently reports the
+  /// temperature that frequency corresponds to, forever.  magnitude = the
+  /// apparent temperature (degC) the stuck oscillator encodes.
+  kStuckRo,
+  /// TDRO stops: the counter sees zero edges and the conversion degrades.
+  kDeadRo,
+  /// A counter/readout bit flip: the reading is silently offset.
+  /// magnitude = offset in degC (sign included).
+  kCounterBitFlip,
+  /// Supply-droop excursion at the site's point of the PDN.
+  /// magnitude = extra droop in volts.
+  kSupplyDroop,
+  /// Slow calibration drift: the reading walks away from truth a little
+  /// more every scan.  magnitude = degC of drift added per scan.
+  kCalDrift,
+  /// Frame corrupted on the wire (bytes flipped after encode; the CRC
+  /// catches it at the collector as a decode error).
+  kFrameCorrupt,
+  /// Publish suppressed: frames are produced but never reach the ring
+  /// (the collector sees sequence gaps).
+  kRingStall,
+  /// The worker thread owning the stack parks at its next scan boundary
+  /// (fires once at start_scan); only the collector's watchdog — or an
+  /// explicit resume — brings it back.
+  kWorkerStall,
+};
+inline constexpr std::size_t kFaultKindCount = 8;
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kStuckRo;
+  /// Target stack (fleet index).
+  std::size_t stack = 0;
+  /// Target site within the stack (ignored by transport faults).
+  std::size_t site = 0;
+  /// Active scan window [start_scan, end_scan).
+  std::uint64_t start_scan = 0;
+  std::uint64_t end_scan = 0;
+  /// Kind-specific severity (see FaultKind docs).
+  double magnitude = 0.0;
+
+  [[nodiscard]] bool active_at(std::uint64_t scan) const {
+    return scan >= start_scan && scan < end_scan;
+  }
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Append one event (start_scan < end_scan required).
+  FaultPlan& add(FaultEvent event);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Last scan at which any event is still active (0 for an empty plan);
+  /// after this scan the fleet should converge back to all-healthy.
+  [[nodiscard]] std::uint64_t last_active_scan() const;
+
+  /// Does any event of `kind` exist?
+  [[nodiscard]] bool has_kind(FaultKind kind) const;
+
+  /// Draw a reproducible campaign: `events_per_kind` events of every kind
+  /// in `kinds`, targeting random (stack, site) pairs, with windows placed
+  /// in the first half of the run so recovery can be observed in the
+  /// second.  Sensor-level events avoid doubling up on a (stack, site)
+  /// pair; transport events avoid doubling up on a stack.
+  [[nodiscard]] static FaultPlan random_campaign(
+      std::uint64_t seed, std::size_t stack_count,
+      std::size_t sites_per_stack, std::uint64_t scans,
+      const std::vector<FaultKind>& kinds, std::size_t events_per_kind = 1);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace tsvpt::inject

@@ -1,0 +1,159 @@
+#include "inject/injectors.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "ptsim/units.hpp"
+
+namespace tsvpt::inject {
+
+ChaosInjector::ChaosInjector(FaultPlan plan, telemetry::FleetSampler* sampler)
+    : plan_(std::move(plan)), sampler_(sampler) {
+  std::size_t max_stack = 0;
+  for (const FaultEvent& e : plan_.events()) {
+    max_stack = std::max(max_stack, e.stack);
+    if (e.kind == FaultKind::kWorkerStall && sampler_ == nullptr) {
+      throw std::invalid_argument{
+          "ChaosInjector: kWorkerStall events need a sampler"};
+    }
+  }
+  by_stack_.resize(max_stack + 1);
+  stats_by_stack_.resize(max_stack + 1);
+  for (const FaultEvent& e : plan_.events()) {
+    by_stack_[e.stack].push_back(Slot{e, false, {}});
+  }
+}
+
+void ChaosInjector::before_scan(std::size_t stack, std::uint64_t scan,
+                                core::StackMonitor& monitor) {
+  if (stack >= by_stack_.size()) return;
+  Stats& stats = stats_by_stack_[stack];
+  for (Slot& slot : by_stack_[stack]) {
+    const FaultEvent& e = slot.event;
+    const bool active = e.active_at(scan);
+    switch (e.kind) {
+      case FaultKind::kStuckRo: {
+        if (active && !slot.applied) {
+          // Latch the TDRO at the frequency its own nominal model assigns
+          // to the apparent temperature: a confident, plausible-looking,
+          // dead-wrong reading.
+          const Hertz stuck = monitor.sensor(e.site).model_frequency(
+              core::RoRole::kTdro, Volt{0.0}, Volt{0.0},
+              to_kelvin(Celsius{e.magnitude}));
+          monitor.sensor(e.site).inject_fault(core::RoRole::kTdro,
+                                              core::RoFault::kStuck, stuck);
+          slot.applied = true;
+          stats.sensor_faults_applied += 1;
+        } else if (!active && slot.applied) {
+          monitor.sensor(e.site).clear_faults();
+          slot.applied = false;
+        }
+        break;
+      }
+      case FaultKind::kDeadRo: {
+        if (active && !slot.applied) {
+          monitor.sensor(e.site).inject_fault(core::RoRole::kTdro,
+                                              core::RoFault::kDead);
+          slot.applied = true;
+          stats.sensor_faults_applied += 1;
+        } else if (!active && slot.applied) {
+          monitor.sensor(e.site).clear_faults();
+          slot.applied = false;
+        }
+        break;
+      }
+      case FaultKind::kSupplyDroop: {
+        if (active && !slot.applied) {
+          slot.saved_rail = monitor.site(e.site).supply;
+          circuit::SupplyRail::Config drooped = slot.saved_rail.config();
+          drooped.droop = Volt{drooped.droop.value() + e.magnitude};
+          monitor.set_site_supply(e.site, circuit::SupplyRail{drooped});
+          slot.applied = true;
+          stats.sensor_faults_applied += 1;
+        } else if (!active && slot.applied) {
+          monitor.set_site_supply(e.site, slot.saved_rail);
+          slot.applied = false;
+        }
+        break;
+      }
+      case FaultKind::kWorkerStall: {
+        if (scan == e.start_scan && !slot.applied) {
+          // Takes effect at the worker's *next* scan boundary; recovery is
+          // the collector watchdog's job (or an explicit resume).
+          sampler_->stall_worker(sampler_->worker_of(stack));
+          slot.applied = true;
+          stats.worker_stalls_requested += 1;
+        }
+        break;
+      }
+      case FaultKind::kCounterBitFlip:
+      case FaultKind::kCalDrift:
+      case FaultKind::kFrameCorrupt:
+      case FaultKind::kRingStall:
+        break;  // handled after sampling / at publish
+    }
+  }
+}
+
+void ChaosInjector::after_scan(
+    std::size_t stack, std::uint64_t scan,
+    std::vector<core::StackMonitor::SiteReading>& readings) {
+  if (stack >= by_stack_.size()) return;
+  Stats& stats = stats_by_stack_[stack];
+  for (Slot& slot : by_stack_[stack]) {
+    const FaultEvent& e = slot.event;
+    if (!e.active_at(scan) || e.site >= readings.size()) continue;
+    switch (e.kind) {
+      case FaultKind::kCounterBitFlip:
+        // Silent corruption: the value moves, the degraded flag does not.
+        readings[e.site].sensed =
+            Celsius{readings[e.site].sensed.value() + e.magnitude};
+        stats.readings_corrupted += 1;
+        break;
+      case FaultKind::kCalDrift:
+        readings[e.site].sensed = Celsius{
+            readings[e.site].sensed.value() +
+            e.magnitude * static_cast<double>(scan - e.start_scan + 1)};
+        stats.readings_corrupted += 1;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+bool ChaosInjector::before_publish(std::size_t stack, std::uint64_t scan,
+                                   std::vector<std::uint8_t>& buffer) {
+  if (stack >= by_stack_.size()) return true;
+  Stats& stats = stats_by_stack_[stack];
+  bool publish = true;
+  for (Slot& slot : by_stack_[stack]) {
+    const FaultEvent& e = slot.event;
+    if (!e.active_at(scan)) continue;
+    if (e.kind == FaultKind::kFrameCorrupt && !buffer.empty()) {
+      // Flip bits mid-payload; the trailing CRC no longer matches and the
+      // collector counts a decode error instead of ingesting garbage.
+      buffer[buffer.size() / 2] ^= 0xFFu;
+      stats.frames_corrupted += 1;
+    } else if (e.kind == FaultKind::kRingStall) {
+      publish = false;
+    }
+  }
+  if (!publish) stats.publishes_suppressed += 1;
+  return publish;
+}
+
+ChaosInjector::Stats ChaosInjector::stats() const {
+  Stats total;
+  for (const Stats& s : stats_by_stack_) {
+    total.sensor_faults_applied += s.sensor_faults_applied;
+    total.readings_corrupted += s.readings_corrupted;
+    total.frames_corrupted += s.frames_corrupted;
+    total.publishes_suppressed += s.publishes_suppressed;
+    total.worker_stalls_requested += s.worker_stalls_requested;
+  }
+  return total;
+}
+
+}  // namespace tsvpt::inject

@@ -1,0 +1,80 @@
+// ChaosInjector: executes a FaultPlan through the FleetSampler's
+// ScanInterceptor seam.  Faults are applied and withdrawn on the same
+// public surfaces real failures act on:
+//
+//   kStuckRo / kDeadRo    -> PtSensor::inject_fault on the site's TDRO
+//   kSupplyDroop          -> StackMonitor::set_site_supply (extra IR droop;
+//                            the prior rail is restored when the window ends)
+//   kCounterBitFlip       -> additive offset on the raw reading (silent
+//                            corruption: the degraded flag stays false)
+//   kCalDrift             -> growing offset, magnitude degC per scan
+//   kFrameCorrupt         -> bytes flipped in the encoded frame (the CRC
+//                            catches it collector-side)
+//   kRingStall            -> before_publish returns false (sequence gap)
+//   kWorkerStall          -> FleetSampler::stall_worker on the owning worker
+//
+// The injector is deterministic: what it does to stack k at scan s depends
+// only on the plan, never on timing or thread count.  Per-event bookkeeping
+// (applied latches, saved rails) is only ever touched by the worker that
+// owns the event's stack, so no locking is needed; the injected-fault
+// counters are plain per-stack slots summed after run().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/supply.hpp"
+#include "inject/fault_plan.hpp"
+#include "telemetry/fleet_sampler.hpp"
+
+namespace tsvpt::inject {
+
+class ChaosInjector final : public telemetry::ScanInterceptor {
+ public:
+  /// `sampler` is required when the plan contains kWorkerStall events (the
+  /// stall gate lives in the sampler); it is not owned and must outlive
+  /// the injector's use.
+  explicit ChaosInjector(FaultPlan plan,
+                         telemetry::FleetSampler* sampler = nullptr);
+
+  void before_scan(std::size_t stack, std::uint64_t scan,
+                   core::StackMonitor& monitor) override;
+  void after_scan(std::size_t stack, std::uint64_t scan,
+                  std::vector<core::StackMonitor::SiteReading>& readings)
+      override;
+  bool before_publish(std::size_t stack, std::uint64_t scan,
+                      std::vector<std::uint8_t>& buffer) override;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  struct Stats {
+    /// Sensor-level fault windows opened (stuck/dead/droop applications).
+    std::uint64_t sensor_faults_applied = 0;
+    /// Readings silently offset (bit flips + drift, one per scan touched).
+    std::uint64_t readings_corrupted = 0;
+    std::uint64_t frames_corrupted = 0;
+    std::uint64_t publishes_suppressed = 0;
+    std::uint64_t worker_stalls_requested = 0;
+  };
+  /// Aggregate counters (valid after the sampler's run()).
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Slot {
+    FaultEvent event;
+    /// Window currently applied to the target (sensor fault latched, rail
+    /// swapped, stall requested).
+    bool applied = false;
+    /// Rail to restore when a droop window closes.
+    circuit::SupplyRail saved_rail;
+  };
+
+  FaultPlan plan_;
+  telemetry::FleetSampler* sampler_;
+  /// Slots grouped by stack: by_stack_[k] holds the events targeting stack
+  /// k, touched only by the worker that owns stack k.
+  std::vector<std::vector<Slot>> by_stack_;
+  std::vector<Stats> stats_by_stack_;
+};
+
+}  // namespace tsvpt::inject

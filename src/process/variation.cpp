@@ -6,7 +6,7 @@ namespace tsvpt::process {
 
 VariationModel::VariationModel(const device::Technology& tech,
                                std::vector<Point> points)
-    : tech_(&tech), points_(std::move(points)) {
+    : tech_(tech), points_(std::move(points)) {
   if (points_.empty()) throw std::invalid_argument{"VariationModel: no points"};
   const double sigma = tech.sigma_vt_wid.value();
   const double length = tech.wid_correlation_length.value();
@@ -20,8 +20,8 @@ void VariationModel::set_tsv_stress(TsvStressField field) {
 
 void VariationModel::scale_wid_sigma(double factor) {
   if (factor < 0.0) throw std::invalid_argument{"scale_wid_sigma < 0"};
-  const double sigma = tech_->sigma_vt_wid.value() * factor;
-  const double length = tech_->wid_correlation_length.value();
+  const double sigma = tech_.sigma_vt_wid.value() * factor;
+  const double length = tech_.wid_correlation_length.value();
   wid_nmos_.emplace(points_, sigma, length);
   wid_pmos_.emplace(points_, sigma, length);
 }
@@ -38,7 +38,7 @@ std::vector<device::VtDelta> VariationModel::stress_at_points() const {
 
 DieVariation VariationModel::sample_die(Rng& rng) const {
   DieVariation die;
-  const double sigma_d2d = tech_->sigma_vt_d2d.value() * d2d_scale_;
+  const double sigma_d2d = tech_.sigma_vt_d2d.value() * d2d_scale_;
   die.d2d.nmos = Volt{rng.gaussian(0.0, sigma_d2d)};
   die.d2d.pmos = Volt{rng.gaussian(0.0, sigma_d2d)};
 
@@ -54,7 +54,7 @@ DieVariation VariationModel::sample_die(Rng& rng) const {
 
 DieVariation VariationModel::corner_die(device::Corner corner) const {
   DieVariation die;
-  const device::CornerShift shift = tech_->corner_shift(corner);
+  const device::CornerShift shift = tech_.corner_shift(corner);
   die.d2d = {shift.nmos, shift.pmos};
   die.wid.assign(points_.size(), device::VtDelta{});
   die.stress = stress_at_points();

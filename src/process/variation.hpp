@@ -59,7 +59,9 @@ class VariationModel {
  private:
   [[nodiscard]] std::vector<device::VtDelta> stress_at_points() const;
 
-  const device::Technology* tech_;
+  // Stored by value: the model must stay valid when callers construct it
+  // from a temporary card (e.g. Technology::tsmc65_like()).
+  device::Technology tech_;
   std::vector<Point> points_;
   // Separate, independent fields for the two device types: NMOS and PMOS
   // variation are dominated by their own implant steps and are largely

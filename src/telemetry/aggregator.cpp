@@ -25,9 +25,10 @@ const char* to_string(AlertKind kind) {
   return "unknown";
 }
 
-Aggregator::Aggregator(Config config, AlertCallback on_alert)
+Aggregator::Aggregator(Config config, AlertCallback on_alert,
+                       HealthCallback on_health)
     : config_(std::move(config)), on_alert_(std::move(on_alert)),
-      fault_detector_(config_.fault) {}
+      on_health_(std::move(on_health)), fault_detector_(config_.fault) {}
 
 Aggregator::~Aggregator() { stop(); }
 
@@ -48,16 +49,41 @@ void Aggregator::stop() {
 }
 
 void Aggregator::collect(std::vector<FrameRing*> rings) {
+  // Frame-age watchdog state: wall-clock of each ring's last frame and a
+  // kicked latch so one stall fires on_stalled_ring exactly once until the
+  // ring produces again.
+  const bool watchdog = config_.watchdog_timeout.value() > 0.0;
+  const std::uint64_t timeout_ns = static_cast<std::uint64_t>(
+      config_.watchdog_timeout.value() * 1e9);
+  std::vector<std::uint64_t> last_seen_ns(rings.size(), steady_now_ns());
+  std::vector<bool> kicked(rings.size(), false);
+
   std::vector<std::uint8_t> buffer;
   for (;;) {
     bool drained_any = false;
-    for (FrameRing* ring : rings) {
+    for (std::size_t r = 0; r < rings.size(); ++r) {
+      FrameRing* ring = rings[r];
       while (ring->try_pop(buffer)) {
         drained_any = true;
+        if (watchdog) {
+          last_seen_ns[r] = steady_now_ns();
+          kicked[r] = false;
+        }
         ingest(buffer);
       }
     }
     if (!drained_any) {
+      if (watchdog && !stop_requested_.load(std::memory_order_acquire)) {
+        // Idle with workers still supposedly running: any ring silent past
+        // the timeout marks its worker as stalled.
+        const std::uint64_t now = steady_now_ns();
+        for (std::size_t r = 0; r < rings.size(); ++r) {
+          if (kicked[r] || now - last_seen_ns[r] <= timeout_ns) continue;
+          kicked[r] = true;
+          summary_.watchdog_kicks += 1;
+          if (config_.on_stalled_ring) config_.on_stalled_ring(r);
+        }
+      }
       if (stop_requested_.load(std::memory_order_acquire)) {
         // The empty pass above may have scanned a ring *before* its worker's
         // final push (stop() is only called once workers are joined, but the
@@ -125,7 +151,33 @@ void Aggregator::ingest(const std::vector<std::uint8_t>& buffer) {
   for (const auto& r : frame.readings) {
     DieStats& die = stack.dies[r.die];
     die.sensed_c.add(r.sensed.value());
-    die.error_c.add(r.error());
+    if (r.degraded) {
+      die.degraded_error_c.add(r.error());
+      summary_.substituted_readings += 1;
+    } else {
+      die.error_c.add(r.error());
+    }
+
+    // Health-byte edge: the producer's supervisor changed its verdict on
+    // this site since the last frame we saw.
+    const auto health_it =
+        summary_.site_health
+            .try_emplace(std::make_pair(frame.stack_id, r.site_index),
+                         core::HealthState::kHealthy)
+            .first;
+    const auto state_now = static_cast<core::HealthState>(r.health);
+    if (health_it->second != state_now) {
+      HealthEvent event;
+      event.stack_id = frame.stack_id;
+      event.die = r.die;
+      event.site_index = r.site_index;
+      event.from = health_it->second;
+      event.to = state_now;
+      event.sim_time = frame.sim_time;
+      summary_.health_transitions.push_back(event);
+      health_it->second = state_now;
+      if (on_health_) on_health_(event);
+    }
 
     auto [it, inserted] =
         die_max.try_emplace(r.die, r.sensed.value(), r.site_index);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/fault_detector.hpp"
+#include "core/health_supervisor.hpp"
 #include "ptsim/stats.hpp"
 #include "telemetry/frame.hpp"
 #include "telemetry/ring.hpp"
@@ -55,6 +56,19 @@ struct Alert {
   Second sim_time{0.0};
 };
 
+/// A producer-side health transition as seen on the wire: the collector
+/// tracks every site's health byte and emits one event per change
+/// (edge-triggered, like alerts).  Lost frames may collapse intermediate
+/// hops into a single observed edge.
+struct HealthEvent {
+  std::uint32_t stack_id = 0;
+  std::size_t die = 0;
+  std::size_t site_index = 0;
+  core::HealthState from = core::HealthState::kHealthy;
+  core::HealthState to = core::HealthState::kHealthy;
+  Second sim_time{0.0};
+};
+
 class Aggregator {
  public:
   struct Config {
@@ -72,11 +86,23 @@ class Aggregator {
     /// default; widen the threshold so healthy fleets stay quiet and the
     /// check catches electrically impossible outliers (dead/stuck sensors).
     core::FaultDetector::Config fault{.threshold = Celsius{15.0}};
+    /// Collector-side worker watchdog: when a ring stays empty for this
+    /// much wall-clock time while others still flow (or the collector is
+    /// otherwise idle), the worker feeding it is presumed stalled and
+    /// on_stalled_ring fires once (re-armed by the ring's next frame).
+    /// Zero disables the watchdog.
+    Second watchdog_timeout{0.0};
+    /// Called on the collector thread with the stalled ring's index —
+    /// typically wired to FleetSampler::resume_worker (ring index == worker
+    /// index).  Must tolerate kicks on workers that finished legitimately.
+    std::function<void(std::size_t)> on_stalled_ring;
   };
 
   using AlertCallback = std::function<void(const Alert&)>;
+  using HealthCallback = std::function<void(const HealthEvent&)>;
 
-  explicit Aggregator(Config config, AlertCallback on_alert = nullptr);
+  explicit Aggregator(Config config, AlertCallback on_alert = nullptr,
+                      HealthCallback on_health = nullptr);
   ~Aggregator();
 
   Aggregator(const Aggregator&) = delete;
@@ -98,6 +124,10 @@ class Aggregator {
   struct DieStats {
     RunningStats sensed_c;
     RunningStats error_c;  // sensed - truth, the tracking-accuracy ledger
+    /// Error of degraded readings (substituted estimates and failed
+    /// conversions) — kept out of error_c so sensor accuracy and
+    /// degraded-mode accuracy are separately auditable.
+    RunningStats degraded_error_c;
   };
 
   struct StackStats {
@@ -117,6 +147,16 @@ class Aggregator {
     std::map<std::uint32_t, StackStats> stacks;
     /// Collector-side end-to-end latency (capture to decode), seconds.
     Samples latency;
+    /// Health-byte edges observed on the wire, in arrival order.
+    std::vector<HealthEvent> health_transitions;
+    /// Last health state seen per (stack, site).
+    std::map<std::pair<std::uint32_t, std::size_t>, core::HealthState>
+        site_health;
+    /// Readings that arrived flagged degraded (substitutes + failed
+    /// conversions).
+    std::uint64_t substituted_readings = 0;
+    /// Times the frame-age watchdog fired on_stalled_ring.
+    std::uint64_t watchdog_kicks = 0;
   };
 
   /// Snapshot of everything aggregated so far.  Call after stop() (or
@@ -144,6 +184,7 @@ class Aggregator {
 
   Config config_;
   AlertCallback on_alert_;
+  HealthCallback on_health_;
   core::FaultDetector fault_detector_;
   Summary summary_;
   std::map<std::pair<std::uint32_t, std::size_t>, SiteState> sites_;

@@ -29,6 +29,9 @@ struct FleetSampler::Stack {
   Rng noise;
   Second now{0.0};
   std::uint64_t sequence = 0;
+  /// Present only when Config::supervise — owned by this stack's worker.
+  std::unique_ptr<core::HealthSupervisor> supervisor;
+  std::vector<core::HealthSupervisor::Transition> transitions;
 
   Stack(thermal::StackConfig geom, thermal::Workload load,
         std::vector<core::SensorSite> sites,
@@ -88,11 +91,17 @@ FleetSampler::FleetSampler(Config config) : config_(std::move(config)) {
     stacks_.push_back(std::make_unique<Stack>(
         std::move(geometry), std::move(workload), std::move(sites),
         config_.sensor, stack_seed));
+    if (config_.supervise) {
+      stacks_.back()->supervisor =
+          std::make_unique<core::HealthSupervisor>(config_.health);
+    }
   }
 
   rings_.reserve(config_.thread_count);
+  gates_.reserve(config_.thread_count);
   for (std::size_t w = 0; w < config_.thread_count; ++w) {
     rings_.push_back(std::make_unique<FrameRing>(config_.ring_capacity));
+    gates_.push_back(std::make_unique<StallGate>());
   }
 }
 
@@ -121,9 +130,21 @@ void FleetSampler::worker(std::size_t worker_index) {
   // (scan-major, not stack-major: a collector watching for runaway should
   // not see one stack's whole history before another's first frame).
   for (std::size_t scan = 0; scan < config_.scans_per_stack; ++scan) {
+    // Scan boundary: honour an injected worker stall.  Parked here the
+    // worker produces nothing, its rings age, and the collector's watchdog
+    // is expected to notice and resume it.
+    {
+      StallGate& gate = *gates_[worker_index];
+      std::unique_lock<std::mutex> lock{gate.mutex};
+      gate.cv.wait(lock, [&] { return !gate.stalled; });
+    }
+
     for (std::size_t k = worker_index; k < stacks_.size();
          k += config_.thread_count) {
       Stack& stack = *stacks_[k];
+      if (config_.interceptor != nullptr) {
+        config_.interceptor->before_scan(k, scan, stack.monitor);
+      }
       // Advance simulated time to the next sampling instant.
       Second advanced{0.0};
       while (advanced < config_.sample_period) {
@@ -140,11 +161,59 @@ void FleetSampler::worker(std::size_t worker_index) {
       frame.stack_id = static_cast<std::uint32_t>(k);
       frame.sequence = stack.sequence++;
       frame.sim_time = stack.now;
-      frame.readings = stack.monitor.sample_all(&stack.noise);
+      if (stack.supervisor != nullptr) {
+        // Supervised path: only convert the sites the supervisor asks for
+        // (quarantined sites between probes and dead sites cost nothing);
+        // skipped slots carry a placeholder the supervisor substitutes.
+        const std::size_t sites = stack.monitor.site_count();
+        std::vector<bool> sampled(sites, true);
+        frame.readings.reserve(sites);
+        for (std::size_t i = 0; i < sites; ++i) {
+          if (stack.supervisor->wants_sample(i)) {
+            frame.readings.push_back(stack.monitor.sample_site(i, &stack.noise));
+          } else {
+            sampled[i] = false;
+            core::StackMonitor::SiteReading placeholder;
+            placeholder.site_index = i;
+            placeholder.die = stack.monitor.site(i).die;
+            placeholder.location = stack.monitor.site(i).location;
+            placeholder.truth = stack.monitor.truth_at(i);
+            placeholder.degraded = true;  // no conversion behind it
+            frame.readings.push_back(placeholder);
+          }
+        }
+        if (config_.interceptor != nullptr) {
+          config_.interceptor->after_scan(k, scan, frame.readings);
+        }
+        auto result = stack.supervisor->observe(frame.readings, sampled);
+        for (const std::size_t i : result.recalibrate) {
+          // Forced recalibration on recovery: drop the latched process
+          // point; the next conversion self-calibrates afresh.
+          stack.monitor.sensor(i).clear_calibration();
+        }
+        for (auto& t : result.transitions) {
+          stack.transitions.push_back(std::move(t));
+        }
+        frame.readings = std::move(result.readings);
+      } else {
+        frame.readings = stack.monitor.sample_all(&stack.noise);
+        if (config_.interceptor != nullptr) {
+          config_.interceptor->after_scan(k, scan, frame.readings);
+        }
+      }
       frame.capture_ns = steady_now_ns();
 
       production_[k].frames += 1;
-      ring.push_overwrite(encode(frame), [&](std::vector<std::uint8_t>&& v) {
+      std::vector<std::uint8_t> buffer = encode(frame);
+      if (config_.interceptor != nullptr &&
+          !config_.interceptor->before_publish(k, scan, buffer)) {
+        // Injected ring stall: the frame is produced (sequence advanced)
+        // but never published — the collector sees a sequence gap.
+        production_[k].suppressed += 1;
+        continue;
+      }
+      ring.push_overwrite(std::move(buffer),
+                          [&](std::vector<std::uint8_t>&& v) {
         const auto victim = peek_stack_id(v);
         if (victim && *victim < production_.size()) {
           production_[*victim].dropped += 1;
@@ -157,6 +226,13 @@ void FleetSampler::worker(std::size_t worker_index) {
       });
     }
   }
+}
+
+void FleetSampler::set_interceptor(ScanInterceptor* interceptor) {
+  if (ran_) {
+    throw std::logic_error{"FleetSampler::set_interceptor: already ran"};
+  }
+  config_.interceptor = interceptor;
 }
 
 void FleetSampler::run() {
@@ -185,6 +261,49 @@ std::uint64_t FleetSampler::total_dropped() const {
   std::uint64_t total = unattributed_drops_.load(std::memory_order_relaxed);
   for (const auto& p : production_) total += p.dropped;
   return total;
+}
+
+std::size_t FleetSampler::worker_of(std::size_t stack) const {
+  if (stack >= stacks_.size()) {
+    throw std::out_of_range{"FleetSampler::worker_of: no such stack"};
+  }
+  return stack % config_.thread_count;
+}
+
+void FleetSampler::stall_worker(std::size_t worker_index) {
+  StallGate& gate = *gates_.at(worker_index);
+  const std::lock_guard<std::mutex> lock{gate.mutex};
+  gate.stalled = true;
+}
+
+void FleetSampler::resume_worker(std::size_t worker_index) {
+  StallGate& gate = *gates_.at(worker_index);
+  {
+    const std::lock_guard<std::mutex> lock{gate.mutex};
+    gate.stalled = false;
+  }
+  gate.cv.notify_all();
+}
+
+void FleetSampler::resume_all() {
+  for (std::size_t w = 0; w < gates_.size(); ++w) resume_worker(w);
+}
+
+std::vector<core::HealthSupervisor::Transition> FleetSampler::transitions(
+    std::size_t stack) const {
+  const Stack& s = *stacks_.at(stack);
+  return s.transitions;
+}
+
+std::vector<core::HealthState> FleetSampler::health(std::size_t stack) const {
+  const Stack& s = *stacks_.at(stack);
+  std::vector<core::HealthState> out;
+  if (s.supervisor == nullptr) return out;
+  out.reserve(s.supervisor->site_count());
+  for (std::size_t i = 0; i < s.supervisor->site_count(); ++i) {
+    out.push_back(s.supervisor->state(i));
+  }
+  return out;
 }
 
 }  // namespace tsvpt::telemetry

@@ -12,11 +12,14 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/health_supervisor.hpp"
 #include "core/stack_monitor.hpp"
 #include "telemetry/frame.hpp"
 #include "telemetry/ring.hpp"
@@ -24,6 +27,39 @@
 #include "thermal/workload.hpp"
 
 namespace tsvpt::telemetry {
+
+/// Fault-injection seam in the sampling path: a worker calls these hooks
+/// around every scan of every stack it owns.  Implementations (see
+/// inject::ChaosInjector) must be safe for concurrent calls with
+/// *different* stack indices — a stack is only ever touched by one worker,
+/// so per-stack state needs no locking, but anything cross-stack does.
+class ScanInterceptor {
+ public:
+  virtual ~ScanInterceptor() = default;
+
+  /// Before stack `stack`'s scan `scan` is sampled: inject or clear sensor
+  /// faults, perturb supply rails, request worker stalls.
+  virtual void before_scan(std::size_t stack, std::uint64_t scan,
+                           core::StackMonitor& monitor) {
+    (void)stack; (void)scan; (void)monitor;
+  }
+  /// After sampling, before supervision: mutate raw readings (silent
+  /// corruption — counter bit flips, calibration drift).
+  virtual void after_scan(std::size_t stack, std::uint64_t scan,
+                          std::vector<core::StackMonitor::SiteReading>&
+                              readings) {
+    (void)stack; (void)scan; (void)readings;
+  }
+  /// The encoded frame, about to be published.  Mutate to corrupt it on
+  /// the wire; return false to suppress the publish entirely (a stalled
+  /// ring: the sequence number still advances, so the collector sees the
+  /// gap as missed frames).
+  virtual bool before_publish(std::size_t stack, std::uint64_t scan,
+                              std::vector<std::uint8_t>& buffer) {
+    (void)stack; (void)scan; (void)buffer;
+    return true;
+  }
+};
 
 class FleetSampler {
  public:
@@ -48,6 +84,13 @@ class FleetSampler {
     Second burst_period{50e-3};
     core::PtSensor::Config sensor;
     std::uint64_t seed = 1;
+    /// Optional fault-injection seam (not owned; must outlive run()).
+    ScanInterceptor* interceptor = nullptr;
+    /// Per-stack health supervision: quarantine faulty sites, substitute
+    /// their readings, recalibrate on recovery.  Off by default — the
+    /// plain pipeline ships raw scans.
+    bool supervise = false;
+    core::HealthSupervisor::Config health;
   };
 
   /// Builds every stack up front (thermal network, variation draw, monitor)
@@ -69,10 +112,18 @@ class FleetSampler {
   /// stack has produced scans_per_stack frames.  Callable once.
   void run();
 
+  /// Late-bind the fault-injection seam (injectors usually need the sampler
+  /// pointer themselves, so they cannot exist before it).  Call before
+  /// run(); throws afterwards.
+  void set_interceptor(ScanInterceptor* interceptor);
+
   struct StackProduction {
     std::uint64_t frames = 0;
     /// Frames this stack lost to ring eviction (drop-oldest).
     std::uint64_t dropped = 0;
+    /// Frames produced but never published (interceptor suppressed them —
+    /// an injected ring stall).  The collector sees these as sequence gaps.
+    std::uint64_t suppressed = 0;
   };
 
   /// Per-stack production counters (valid after run()).
@@ -91,14 +142,42 @@ class FleetSampler {
   /// Wall-clock duration of run().
   [[nodiscard]] Second elapsed() const { return elapsed_; }
 
+  /// The worker thread that owns stack k (ring index == worker index).
+  [[nodiscard]] std::size_t worker_of(std::size_t stack) const;
+
+  /// Park worker w at its next scan boundary (an injected worker kill).
+  /// The worker stays parked — producing nothing, tripping the collector's
+  /// frame-age watchdog — until resume_worker restores it.  Callable from
+  /// any thread, including the stalled worker itself (takes effect at the
+  /// next boundary).
+  void stall_worker(std::size_t worker_index);
+  /// Un-park worker w; no-op when it is not stalled (safe from the
+  /// Aggregator's watchdog callback even after the worker finished).
+  void resume_worker(std::size_t worker_index);
+  void resume_all();
+
+  /// Health-transition log of stack k's supervisor (empty unless
+  /// Config::supervise; valid after run()).
+  [[nodiscard]] std::vector<core::HealthSupervisor::Transition> transitions(
+      std::size_t stack) const;
+  /// Final health state of every site of stack k (empty unless supervised).
+  [[nodiscard]] std::vector<core::HealthState> health(
+      std::size_t stack) const;
+
  private:
   struct Stack;
+  struct StallGate {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool stalled = false;
+  };
 
   void worker(std::size_t worker_index);
 
   Config config_;
   std::vector<std::unique_ptr<Stack>> stacks_;
   std::vector<std::unique_ptr<FrameRing>> rings_;
+  std::vector<std::unique_ptr<StallGate>> gates_;
   std::vector<StackProduction> production_;
   std::atomic<std::uint64_t> unattributed_drops_{0};
   Second elapsed_{0.0};

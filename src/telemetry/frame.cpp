@@ -4,13 +4,15 @@
 #include <bit>
 #include <cstring>
 
+#include "core/health_supervisor.hpp"
+
 namespace tsvpt::telemetry {
 namespace {
 
 // Header: magic, version, flags, stack_id, site_count, sequence, sim_time,
 // capture_ns.
 constexpr std::size_t kHeaderSize = 4 + 2 + 2 + 4 + 4 + 8 + 8 + 8;
-constexpr std::size_t kSiteSize = 4 + 4 + 8 * 5 + 1;
+constexpr std::size_t kSiteSize = 4 + 4 + 8 * 5 + 1 + 1;
 constexpr std::size_t kCrcSize = 4;
 constexpr std::size_t kStackIdOffset = 4 + 2 + 2;
 
@@ -116,7 +118,8 @@ bool Frame::operator==(const Frame& other) const {
         a.location.x != b.location.x || a.location.y != b.location.y ||
         a.sensed.value() != b.sensed.value() ||
         a.truth.value() != b.truth.value() ||
-        a.energy.value() != b.energy.value() || a.degraded != b.degraded) {
+        a.energy.value() != b.energy.value() || a.degraded != b.degraded ||
+        a.health != b.health) {
       return false;
     }
   }
@@ -146,6 +149,7 @@ std::vector<std::uint8_t> encode(const Frame& frame) {
     w.f64(r.truth.value());
     w.f64(r.energy.value());
     w.u8(r.degraded ? 1 : 0);
+    w.u8(r.health);
   }
   w.u32(crc32(w.bytes().data(), w.bytes().size()));
   return std::move(w.bytes());
@@ -208,6 +212,11 @@ DecodeResult decode(const std::uint8_t* data, std::size_t size) {
     reading.truth = Celsius{r.f64()};
     reading.energy = Joule{r.f64()};
     reading.degraded = r.u8() != 0;
+    reading.health = r.u8();
+    if (reading.health >= core::kHealthStateCount) {
+      result.status = DecodeStatus::kBadHealthState;
+      return result;
+    }
     frame.readings.push_back(reading);
   }
   result.status = DecodeStatus::kOk;
@@ -237,6 +246,7 @@ const char* to_string(DecodeStatus status) {
     case DecodeStatus::kUnsupportedVersion: return "unsupported-version";
     case DecodeStatus::kBadSiteCount: return "bad-site-count";
     case DecodeStatus::kBadSiteIndex: return "bad-site-index";
+    case DecodeStatus::kBadHealthState: return "bad-health-state";
     case DecodeStatus::kBadCrc: return "bad-crc";
   }
   return "unknown";

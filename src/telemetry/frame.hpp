@@ -6,7 +6,8 @@
 //   [magic u32] [version u16] [flags u16] [stack_id u32] [site_count u32]
 //   [sequence u64] [sim_time f64] [capture_ns u64]
 //   site_count x { site u32, die u32, x f64, y f64,
-//                  sensed f64, truth f64, energy f64, degraded u8 }
+//                  sensed f64, truth f64, energy f64, degraded u8,
+//                  health u8 }
 //   [crc32 u32]
 //
 // Everything is little-endian on the wire regardless of host order; doubles
@@ -29,7 +30,10 @@
 namespace tsvpt::telemetry {
 
 /// Wire-format revision this build encodes and the only one it decodes.
-inline constexpr std::uint16_t kWireVersion = 1;
+/// v2 added the per-site health byte (core::HealthState as judged by the
+/// producer-side HealthSupervisor), so the collector can track quarantine
+/// transitions without re-deriving them.
+inline constexpr std::uint16_t kWireVersion = 2;
 /// "TSVT" little-endian.
 inline constexpr std::uint32_t kWireMagic = 0x54565354u;
 /// Decode-time sanity bound: no plausible stack carries more sites.
@@ -64,10 +68,12 @@ enum class DecodeStatus {
   kUnsupportedVersion,
   /// Site count exceeds kMaxSiteCount (corrupt or hostile length field).
   kBadSiteCount,
-  /// A reading's site_index is outside [0, site_count).  Version-1 frames
-  /// carry one full scan, so indexes are dense; consumers rely on this to
-  /// index scan-shaped arrays safely.
+  /// A reading's site_index is outside [0, site_count).  Frames carry one
+  /// full scan, so indexes are dense; consumers rely on this to index
+  /// scan-shaped arrays safely.
   kBadSiteIndex,
+  /// A reading's health byte names no core::HealthState.
+  kBadHealthState,
   kBadCrc,
 };
 

@@ -1,0 +1,402 @@
+// Chaos suite: the fault-injection framework (inject::FaultPlan +
+// ChaosInjector) driven through the supervised fleet pipeline.  The
+// campaign test is the robustness acceptance gate: a seeded multi-fault
+// campaign across an 8-stack fleet must be detected within bounded latency,
+// never permanently quarantine a healthy site, serve substitutes within the
+// spatial estimator's error bound, and converge back to all-healthy once
+// the faults clear — identically at any thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "inject/fault_plan.hpp"
+#include "inject/injectors.hpp"
+#include "telemetry/aggregator.hpp"
+#include "telemetry/fleet_sampler.hpp"
+
+namespace tsvpt {
+namespace {
+
+using core::HealthState;
+using inject::ChaosInjector;
+using inject::FaultEvent;
+using inject::FaultKind;
+using inject::FaultPlan;
+using telemetry::Aggregator;
+using telemetry::FleetSampler;
+
+constexpr std::uint64_t kScans = 120;
+constexpr std::uint64_t kSeed = 7;
+
+bool is_sensor_fault(FaultKind kind) {
+  return kind == FaultKind::kStuckRo || kind == FaultKind::kDeadRo ||
+         kind == FaultKind::kCounterBitFlip ||
+         kind == FaultKind::kSupplyDroop || kind == FaultKind::kCalDrift;
+}
+
+FleetSampler::Config chaos_fleet(std::size_t threads) {
+  FleetSampler::Config cfg;
+  cfg.stack_count = 8;
+  cfg.thread_count = threads;
+  cfg.scans_per_stack = kScans;
+  cfg.grid_columns = 2;
+  cfg.grid_rows = 2;
+  cfg.ring_capacity = 512;
+  cfg.seed = kSeed;
+  cfg.supervise = true;
+  // The burst workload's hotspot reaches ~20 C leave-one-out deviation on a
+  // sparse 2x2 grid; the spatial threshold must clear it or every clean
+  // stack false-quarantines its hot corner.
+  cfg.health.fault.threshold = Celsius{25.0};
+  return cfg;
+}
+
+struct CampaignRun {
+  FaultPlan plan;
+  std::vector<std::vector<core::HealthSupervisor::Transition>> transitions;
+  std::vector<std::vector<HealthState>> final_health;
+  ChaosInjector::Stats stats;
+  Aggregator::Summary summary;
+  std::vector<FleetSampler::StackProduction> production;
+};
+
+CampaignRun run_campaign(std::size_t threads) {
+  const FleetSampler::Config cfg = chaos_fleet(threads);
+  const std::size_t sites_per_stack =
+      cfg.grid_columns * cfg.grid_rows * 4;  // four_die_stack
+  FleetSampler sampler{cfg};
+
+  const std::vector<FaultKind> kinds{
+      FaultKind::kStuckRo,      FaultKind::kDeadRo,
+      FaultKind::kCounterBitFlip, FaultKind::kSupplyDroop,
+      FaultKind::kCalDrift,     FaultKind::kFrameCorrupt,
+      FaultKind::kRingStall,    FaultKind::kWorkerStall};
+  const FaultPlan plan = FaultPlan::random_campaign(
+      kSeed, cfg.stack_count, sites_per_stack, kScans, kinds);
+  ChaosInjector injector{plan, &sampler};
+  sampler.set_interceptor(&injector);
+
+  Aggregator::Config acfg;
+  acfg.alert_threshold = Celsius{200.0};  // alerting is not under test here
+  acfg.fault.threshold = Celsius{25.0};
+  acfg.watchdog_timeout = Second{0.05};
+  acfg.on_stalled_ring = [&](std::size_t w) { sampler.resume_worker(w); };
+  Aggregator aggregator{acfg};
+
+  aggregator.start(sampler.rings());
+  sampler.run();
+  aggregator.stop();
+
+  CampaignRun run;
+  run.plan = plan;
+  for (std::size_t k = 0; k < cfg.stack_count; ++k) {
+    run.transitions.push_back(sampler.transitions(k));
+    run.final_health.push_back(sampler.health(k));
+  }
+  run.stats = injector.stats();
+  run.summary = aggregator.summary();
+  run.production = sampler.production();
+  return run;
+}
+
+TEST(ChaosCampaign, DetectsIsolatesAndRecovers) {
+  const CampaignRun run = run_campaign(4);
+
+  // The campaign genuinely exercises the required fault diversity.
+  std::size_t kinds_present = 0;
+  for (const FaultKind kind :
+       {FaultKind::kStuckRo, FaultKind::kDeadRo, FaultKind::kCounterBitFlip,
+        FaultKind::kSupplyDroop, FaultKind::kCalDrift,
+        FaultKind::kFrameCorrupt, FaultKind::kRingStall,
+        FaultKind::kWorkerStall}) {
+    kinds_present += run.plan.has_kind(kind) ? 1 : 0;
+  }
+  EXPECT_GE(kinds_present, 4u);
+  EXPECT_EQ(kinds_present, 8u);
+
+  // Every sensor-level fault is detected (quarantined) within a bounded
+  // number of scans of its onset.
+  std::map<std::pair<std::size_t, std::size_t>, const FaultEvent*> faulted;
+  for (const FaultEvent& e : run.plan.events()) {
+    if (!is_sensor_fault(e.kind)) continue;
+    faulted[{e.stack, e.site}] = &e;
+    bool detected = false;
+    for (const auto& t : run.transitions[e.stack]) {
+      if (t.site_index == e.site && t.to == HealthState::kQuarantined &&
+          t.scan >= e.start_scan) {
+        EXPECT_LE(t.scan - e.start_scan, 30u)
+            << to_string(e.kind) << " detected too late";
+        detected = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(detected) << to_string(e.kind) << " on stack " << e.stack
+                          << " site " << e.site << " never quarantined";
+  }
+
+  // Zero permanent false positives: every site that never carried a sensor
+  // fault ends Healthy — and so do the faulted ones, because every fault
+  // window closed in the first half of the run (recovery converges).
+  for (std::size_t k = 0; k < run.final_health.size(); ++k) {
+    for (std::size_t i = 0; i < run.final_health[k].size(); ++i) {
+      EXPECT_EQ(run.final_health[k][i], HealthState::kHealthy)
+          << "stack " << k << " site " << i
+          << (faulted.count({k, i}) ? " (faulted)" : " (never faulted)");
+    }
+  }
+
+  // Recovery went through the probe path and forced recalibration.
+  bool recalibrated = false;
+  for (const auto& stack_transitions : run.transitions) {
+    for (const auto& t : stack_transitions) {
+      recalibrated |= t.reason == "probe consistent; recalibrating";
+    }
+  }
+  EXPECT_TRUE(recalibrated);
+
+  // Degraded-mode service: substitutes reached the collector flagged, and
+  // stayed within the spatial estimator's error bound.
+  EXPECT_GT(run.summary.substituted_readings, 0u);
+  RunningStats degraded;
+  for (const auto& [stack_id, stats] : run.summary.stacks) {
+    for (const auto& [die, die_stats] : stats.dies) {
+      degraded.merge(die_stats.degraded_error_c);
+    }
+  }
+  ASSERT_GT(degraded.count(), 0u);
+  EXPECT_LT(degraded.max_abs(), 25.0);
+
+  // Transport faults land where designed: corrupted frames die at the CRC,
+  // suppressed publishes surface as sequence gaps, the stalled worker is
+  // kicked back to life by the collector's watchdog and every stack still
+  // finishes its full production.
+  EXPECT_GT(run.stats.frames_corrupted, 0u);
+  EXPECT_EQ(run.summary.decode_errors, run.stats.frames_corrupted);
+  EXPECT_GT(run.stats.publishes_suppressed, 0u);
+  std::uint64_t missed = 0;
+  for (const auto& [stack_id, stats] : run.summary.stacks) {
+    missed += stats.missed;
+  }
+  EXPECT_GE(missed, run.stats.publishes_suppressed);
+  EXPECT_EQ(run.stats.worker_stalls_requested, 1u);
+  EXPECT_GE(run.summary.watchdog_kicks, 1u);
+  for (const auto& p : run.production) EXPECT_EQ(p.frames, kScans);
+  EXPECT_EQ(run.summary.health_transitions.empty(), false);
+}
+
+TEST(ChaosCampaign, DeterministicAcrossThreadCounts) {
+  // The injector acts per (stack, scan) and supervisors live inside the
+  // worker that owns the stack, so the entire health history must be
+  // bit-identical no matter how the fleet is scheduled.
+  const CampaignRun one = run_campaign(1);
+  const CampaignRun many = run_campaign(4);
+
+  ASSERT_EQ(one.transitions.size(), many.transitions.size());
+  for (std::size_t k = 0; k < one.transitions.size(); ++k) {
+    ASSERT_EQ(one.transitions[k].size(), many.transitions[k].size())
+        << "stack " << k;
+    for (std::size_t t = 0; t < one.transitions[k].size(); ++t) {
+      const auto& a = one.transitions[k][t];
+      const auto& b = many.transitions[k][t];
+      EXPECT_EQ(a.site_index, b.site_index);
+      EXPECT_EQ(a.from, b.from);
+      EXPECT_EQ(a.to, b.to);
+      EXPECT_EQ(a.scan, b.scan);
+      EXPECT_EQ(a.reason, b.reason);
+    }
+    EXPECT_EQ(one.final_health[k], many.final_health[k]);
+  }
+  EXPECT_EQ(one.stats.sensor_faults_applied, many.stats.sensor_faults_applied);
+  EXPECT_EQ(one.stats.readings_corrupted, many.stats.readings_corrupted);
+  EXPECT_EQ(one.stats.frames_corrupted, many.stats.frames_corrupted);
+  EXPECT_EQ(one.stats.publishes_suppressed, many.stats.publishes_suppressed);
+}
+
+TEST(ChaosTransport, WatchdogResumesStalledWorker) {
+  FleetSampler::Config cfg;
+  cfg.stack_count = 2;
+  cfg.thread_count = 2;
+  cfg.scans_per_stack = 12;
+  cfg.grid_columns = 1;
+  cfg.grid_rows = 1;
+  cfg.seed = 3;
+  FleetSampler sampler{cfg};
+
+  FaultPlan plan;
+  plan.add({.kind = FaultKind::kWorkerStall, .stack = 1, .start_scan = 4,
+            .end_scan = 5});
+  ChaosInjector injector{plan, &sampler};
+  sampler.set_interceptor(&injector);
+
+  Aggregator::Config acfg;
+  acfg.watchdog_timeout = Second{0.02};
+  acfg.on_stalled_ring = [&](std::size_t w) { sampler.resume_worker(w); };
+  Aggregator aggregator{acfg};
+  aggregator.start(sampler.rings());
+  sampler.run();  // would never return if the watchdog failed to kick
+  aggregator.stop();
+
+  EXPECT_EQ(injector.stats().worker_stalls_requested, 1u);
+  EXPECT_GE(aggregator.summary().watchdog_kicks, 1u);
+  for (const auto& p : sampler.production()) EXPECT_EQ(p.frames, 12u);
+}
+
+TEST(ChaosTransport, CorruptedFramesDieAtTheCrc) {
+  FleetSampler::Config cfg;
+  cfg.stack_count = 1;
+  cfg.thread_count = 1;
+  cfg.scans_per_stack = 10;
+  cfg.grid_columns = 1;
+  cfg.grid_rows = 1;
+  cfg.seed = 4;
+  FleetSampler sampler{cfg};
+
+  FaultPlan plan;
+  plan.add({.kind = FaultKind::kFrameCorrupt, .stack = 0, .start_scan = 2,
+            .end_scan = 6});
+  ChaosInjector injector{plan};
+  sampler.set_interceptor(&injector);
+
+  Aggregator aggregator{Aggregator::Config{}};
+  aggregator.start(sampler.rings());
+  sampler.run();
+  aggregator.stop();
+
+  EXPECT_EQ(injector.stats().frames_corrupted, 4u);
+  const auto& sum = aggregator.summary();
+  EXPECT_EQ(sum.decode_errors, 4u);
+  ASSERT_EQ(sum.stacks.size(), 1u);
+  const auto& stats = sum.stacks.begin()->second;
+  EXPECT_EQ(stats.frames, 6u);
+  EXPECT_EQ(stats.missed, 4u);  // the CRC victims read as lost frames
+}
+
+TEST(ChaosTransport, RingStallSurfacesAsSequenceGaps) {
+  FleetSampler::Config cfg;
+  cfg.stack_count = 1;
+  cfg.thread_count = 1;
+  cfg.scans_per_stack = 10;
+  cfg.grid_columns = 1;
+  cfg.grid_rows = 1;
+  cfg.seed = 5;
+  FleetSampler sampler{cfg};
+
+  FaultPlan plan;
+  plan.add({.kind = FaultKind::kRingStall, .stack = 0, .start_scan = 2,
+            .end_scan = 5});
+  ChaosInjector injector{plan};
+  sampler.set_interceptor(&injector);
+
+  Aggregator aggregator{Aggregator::Config{}};
+  aggregator.start(sampler.rings());
+  sampler.run();
+  aggregator.stop();
+
+  EXPECT_EQ(injector.stats().publishes_suppressed, 3u);
+  EXPECT_EQ(sampler.production()[0].suppressed, 3u);
+  const auto& sum = aggregator.summary();
+  EXPECT_EQ(sum.decode_errors, 0u);
+  ASSERT_EQ(sum.stacks.size(), 1u);
+  EXPECT_EQ(sum.stacks.begin()->second.frames, 7u);
+  EXPECT_EQ(sum.stacks.begin()->second.missed, 3u);
+}
+
+// ---- FaultDetector::Config propagation through Aggregator::Config.
+
+telemetry::Frame outlier_frame(double deviation_c) {
+  telemetry::Frame frame;
+  frame.stack_id = 0;
+  frame.sequence = 0;
+  frame.sim_time = Second{1e-3};
+  for (std::size_t i = 0; i < 9; ++i) {
+    core::StackMonitor::SiteReading r;
+    r.site_index = i;
+    r.die = 0;
+    r.location = {1e-3 * static_cast<double>(i % 3),
+                  1e-3 * static_cast<double>(i / 3)};
+    r.sensed = Celsius{30.0 + (i == 4 ? deviation_c : 0.0)};
+    r.truth = Celsius{30.0};
+    frame.readings.push_back(r);
+  }
+  return frame;
+}
+
+TEST(ChaosAggregation, FaultDetectorConfigReachesTheSpatialCheck) {
+  // The same 20 C outlier, judged under two thresholds: the collector's
+  // spatial cross-check must obey Config::fault, not a baked-in default.
+  const std::vector<std::uint8_t> wire = encode(outlier_frame(20.0));
+
+  Aggregator tight{Aggregator::Config{}};  // fleet default: 15 C
+  tight.ingest(wire);
+  EXPECT_EQ(tight.summary().alerts_by_kind.at(
+                telemetry::AlertKind::kSpatialSuspect),
+            1u);
+
+  Aggregator::Config wide_cfg;
+  wide_cfg.fault.threshold = Celsius{25.0};
+  Aggregator wide{wide_cfg};
+  wide.ingest(wire);
+  EXPECT_EQ(wide.summary().alerts_by_kind.count(
+                telemetry::AlertKind::kSpatialSuspect),
+            0u);
+  EXPECT_EQ(wide.summary().alerts, 0u);
+}
+
+// ---- FaultPlan construction and validation.
+
+TEST(FaultPlanTest, RejectsEmptyWindowAndDegenerateCampaigns) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.add({.kind = FaultKind::kStuckRo, .start_scan = 5,
+                         .end_scan = 5}),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::random_campaign(1, 0, 4, 64,
+                                                {FaultKind::kStuckRo}),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::random_campaign(1, 8, 4, 8,
+                                                {FaultKind::kStuckRo}),
+               std::invalid_argument);
+}
+
+TEST(FaultPlanTest, RandomCampaignCoversKindsInFirstHalf) {
+  const std::vector<FaultKind> kinds{FaultKind::kStuckRo, FaultKind::kDeadRo,
+                                     FaultKind::kCalDrift,
+                                     FaultKind::kFrameCorrupt};
+  const FaultPlan plan = FaultPlan::random_campaign(42, 8, 16, 64, kinds, 2);
+  EXPECT_EQ(plan.size(), kinds.size() * 2);
+  for (const FaultKind kind : kinds) EXPECT_TRUE(plan.has_kind(kind));
+  EXPECT_FALSE(plan.has_kind(FaultKind::kWorkerStall));
+  for (const FaultEvent& e : plan.events()) {
+    EXPECT_GE(e.start_scan, 2u);
+    EXPECT_LT(e.start_scan, e.end_scan);
+    EXPECT_LE(e.end_scan, 32u);  // first half: recovery is observable
+    EXPECT_LT(e.stack, 8u);
+    EXPECT_LT(e.site, 16u);
+  }
+  EXPECT_LE(plan.last_active_scan(), 31u);
+
+  // Same seed, same campaign — the whole run replays from one integer.
+  const FaultPlan replay = FaultPlan::random_campaign(42, 8, 16, 64, kinds, 2);
+  ASSERT_EQ(replay.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(replay.events()[i].kind, plan.events()[i].kind);
+    EXPECT_EQ(replay.events()[i].stack, plan.events()[i].stack);
+    EXPECT_EQ(replay.events()[i].site, plan.events()[i].site);
+    EXPECT_EQ(replay.events()[i].start_scan, plan.events()[i].start_scan);
+    EXPECT_EQ(replay.events()[i].end_scan, plan.events()[i].end_scan);
+    EXPECT_EQ(replay.events()[i].magnitude, plan.events()[i].magnitude);
+  }
+}
+
+TEST(FaultPlanTest, WorkerStallRequiresSampler) {
+  FaultPlan plan;
+  plan.add({.kind = FaultKind::kWorkerStall, .stack = 0, .start_scan = 1,
+            .end_scan = 2});
+  EXPECT_THROW(ChaosInjector{plan}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsvpt

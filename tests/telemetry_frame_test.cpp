@@ -3,6 +3,7 @@
 #include <cstring>
 #include <vector>
 
+#include "core/health_supervisor.hpp"
 #include "telemetry/frame.hpp"
 
 namespace tsvpt::telemetry {
@@ -27,6 +28,8 @@ Frame sample_frame() {
     r.truth = Celsius{25.1 + 7.3 * static_cast<double>(i)};
     r.energy = Joule{-1.0e-12 * static_cast<double>(i)};  // sign survives
     r.degraded = (i == 4);
+    // Exercise every health state the wire can carry.
+    r.health = static_cast<std::uint8_t>(i % core::kHealthStateCount);
     frame.readings.push_back(r);
   }
   return frame;
@@ -147,11 +150,33 @@ TEST(TelemetryFrame, PeekStackId) {
   EXPECT_FALSE(peek_stack_id(std::vector<std::uint8_t>(8)).has_value());
 }
 
+TEST(TelemetryFrame, HealthBytesSurviveRoundTrip) {
+  const Frame original = sample_frame();
+  const DecodeResult result = decode(encode(original));
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < original.readings.size(); ++i) {
+    EXPECT_EQ(result.frame.readings[i].health, original.readings[i].health)
+        << "site " << i;
+  }
+}
+
+TEST(TelemetryFrame, BogusHealthStateRejected) {
+  // A CRC-valid frame whose health byte names no core::HealthState must be
+  // refused: collectors cast the byte straight into the enum.
+  constexpr std::size_t kHeaderSize = 40;
+  constexpr std::size_t kSiteSize = 50;  // health is the site's last byte
+  std::vector<std::uint8_t> wire = encode(sample_frame());
+  wire[kHeaderSize + kSiteSize - 1] = core::kHealthStateCount;
+  refresh_crc(wire);
+  EXPECT_EQ(decode(wire).status, DecodeStatus::kBadHealthState);
+}
+
 TEST(TelemetryFrame, StatusStringsCoverEveryCode) {
   for (const DecodeStatus status :
        {DecodeStatus::kOk, DecodeStatus::kTruncated, DecodeStatus::kBadMagic,
         DecodeStatus::kUnsupportedVersion, DecodeStatus::kBadSiteCount,
-        DecodeStatus::kBadSiteIndex, DecodeStatus::kBadCrc}) {
+        DecodeStatus::kBadSiteIndex, DecodeStatus::kBadHealthState,
+        DecodeStatus::kBadCrc}) {
     EXPECT_STRNE(to_string(status), "unknown");
   }
 }

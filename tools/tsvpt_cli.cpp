@@ -17,6 +17,17 @@
 //       Concurrent fleet telemetry: sample N independent stacks on a worker
 //       pool, stream wire frames through lock-free rings into the
 //       aggregator, print a JSON summary (frame/drop/alert counts).
+//       Exit status: 0 only when the run is clean — nonzero when any alert
+//       fired or any frame failed to decode, so scripts can gate on it.
+//   tsvpt_cli chaos [--stacks 8] [--threads 4] [--scans 120] [--grid 2]
+//                   [--events-per-kind 1] [--watchdog-ms 50] [--seed 7]
+//       Chaos campaign: run a supervised fleet under a seeded random fault
+//       plan (stuck/dead oscillators, bit flips, supply droop, calibration
+//       drift, frame corruption, ring and worker stalls) and print a JSON
+//       report: per-fault detection latency, false-positive count,
+//       degraded-mode temperature error, recovery status.  Exit 0 when
+//       every sensor fault was detected, nothing healthy was permanently
+//       quarantined, and the fleet converged back to all-healthy.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -25,6 +36,8 @@
 
 #include "core/stack_monitor.hpp"
 #include "device/tech_io.hpp"
+#include "inject/fault_plan.hpp"
+#include "inject/injectors.hpp"
 #include "process/montecarlo.hpp"
 #include "process/variation.hpp"
 #include "ptsim/args.hpp"
@@ -248,12 +261,169 @@ int cmd_fleet(const Args& args) {
   }
   json << "  ]\n}\n";
   std::cout << json.str();
-  return sum.decode_errors == 0 ? 0 : 1;
+  // Nonzero when anything alerted (or failed to decode): `tsvpt_cli fleet`
+  // doubles as a scriptable health gate for the simulated fleet.
+  return (sum.decode_errors == 0 && sum.alerts == 0) ? 0 : 1;
+}
+
+int cmd_chaos(const Args& args) {
+  args.check_known({"stacks", "threads", "scans", "sample-ms", "ring", "grid",
+                    "events-per-kind", "watchdog-ms", "seed", "card"});
+  telemetry::FleetSampler::Config cfg;
+  cfg.stack_count = static_cast<std::size_t>(args.get("stacks", 8LL));
+  cfg.thread_count = static_cast<std::size_t>(args.get("threads", 4LL));
+  cfg.scans_per_stack = static_cast<std::size_t>(args.get("scans", 120LL));
+  cfg.sample_period = Second{args.get("sample-ms", 1.0) * 1e-3};
+  cfg.ring_capacity = static_cast<std::size_t>(args.get("ring", 512LL));
+  cfg.grid_columns = cfg.grid_rows =
+      static_cast<std::size_t>(args.get("grid", 2LL));
+  cfg.seed = static_cast<std::uint64_t>(args.get("seed", 7LL));
+  cfg.sensor.tech = technology_from(args);
+  cfg.sensor.model_vdd = cfg.sensor.tech.vdd_nominal;
+  cfg.supervise = true;
+  // Sparse fleet grids see real gradients past the single-stack default:
+  // the burst workload's die-0 hotspot reaches ~20 degC of leave-one-out
+  // deviation on a 2x2 grid.  Quarantine decisions need the threshold
+  // above that, or healthy hotspot sensors get false-quarantined.
+  cfg.health.fault.threshold = Celsius{25.0};
+
+  const auto sites_per_stack =
+      cfg.grid_columns * cfg.grid_rows * 4;  // four_die_stack
+  const inject::FaultPlan plan = inject::FaultPlan::random_campaign(
+      cfg.seed, cfg.stack_count, sites_per_stack, cfg.scans_per_stack,
+      {inject::FaultKind::kStuckRo, inject::FaultKind::kDeadRo,
+       inject::FaultKind::kCounterBitFlip, inject::FaultKind::kSupplyDroop,
+       inject::FaultKind::kCalDrift, inject::FaultKind::kFrameCorrupt,
+       inject::FaultKind::kRingStall, inject::FaultKind::kWorkerStall},
+      static_cast<std::size_t>(args.get("events-per-kind", 1LL)));
+
+  telemetry::FleetSampler sampler{cfg};
+  inject::ChaosInjector injector{plan, &sampler};
+  sampler.set_interceptor(&injector);
+
+  telemetry::Aggregator::Config agg_cfg;
+  agg_cfg.alert_threshold = Celsius{200.0};  // alerts are not under test here
+  agg_cfg.watchdog_timeout = Second{args.get("watchdog-ms", 50.0) * 1e-3};
+  agg_cfg.on_stalled_ring = [&sampler](std::size_t ring) {
+    sampler.resume_worker(ring);
+  };
+  telemetry::Aggregator aggregator{agg_cfg};
+  aggregator.start(sampler.rings());
+  sampler.run();
+  aggregator.stop();
+
+  // Detection latency per sensor-level fault: scans from the fault's onset
+  // to the site's quarantine transition.
+  const auto is_sensor_fault = [](inject::FaultKind k) {
+    return k == inject::FaultKind::kStuckRo ||
+           k == inject::FaultKind::kDeadRo ||
+           k == inject::FaultKind::kCounterBitFlip ||
+           k == inject::FaultKind::kSupplyDroop ||
+           k == inject::FaultKind::kCalDrift;
+  };
+  struct Detection {
+    const inject::FaultEvent* event;
+    long latency = -1;  // scans; -1 = never quarantined
+  };
+  std::vector<Detection> detections;
+  std::set<std::pair<std::size_t, std::size_t>> faulted_sites;
+  for (const auto& e : plan.events()) {
+    if (!is_sensor_fault(e.kind)) continue;
+    faulted_sites.insert({e.stack, e.site});
+    Detection d{&e, -1};
+    for (const auto& t : sampler.transitions(e.stack)) {
+      if (t.site_index == e.site &&
+          t.to == core::HealthState::kQuarantined && t.scan >= e.start_scan) {
+        d.latency = static_cast<long>(t.scan - e.start_scan);
+        break;
+      }
+    }
+    detections.push_back(d);
+  }
+
+  std::size_t detected = 0;
+  for (const auto& d : detections) {
+    if (d.latency >= 0) ++detected;
+  }
+  // False positive: a never-faulted site that was quarantined; permanent
+  // when it is still not healthy at the end of the run.
+  std::uint64_t false_quarantines = 0;
+  std::uint64_t permanent_false_positives = 0;
+  bool all_healthy = true;
+  for (std::size_t k = 0; k < sampler.stack_count(); ++k) {
+    for (const auto& t : sampler.transitions(k)) {
+      if (t.to == core::HealthState::kQuarantined &&
+          faulted_sites.count({k, t.site_index}) == 0) {
+        false_quarantines += 1;
+      }
+    }
+    const auto health = sampler.health(k);
+    for (std::size_t i = 0; i < health.size(); ++i) {
+      if (health[i] != core::HealthState::kHealthy) {
+        all_healthy = false;
+        if (faulted_sites.count({k, i}) == 0) permanent_false_positives += 1;
+      }
+    }
+  }
+
+  const telemetry::Aggregator::Summary& sum = aggregator.summary();
+  RunningStats degraded_error;
+  RunningStats healthy_error;
+  for (const auto& [id, stack] : sum.stacks) {
+    for (const auto& [die, stats] : stack.dies) {
+      degraded_error.merge(stats.degraded_error_c);
+      healthy_error.merge(stats.error_c);
+    }
+  }
+
+  const inject::ChaosInjector::Stats inj = injector.stats();
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"stacks\": " << sampler.stack_count() << ",\n"
+       << "  \"scans_per_stack\": " << cfg.scans_per_stack << ",\n"
+       << "  \"fault_events\": " << plan.size() << ",\n"
+       << "  \"sensor_faults\": " << detections.size() << ",\n"
+       << "  \"detected\": " << detected << ",\n"
+       << "  \"detections\": [\n";
+  for (std::size_t i = 0; i < detections.size(); ++i) {
+    const auto& d = detections[i];
+    json << "    {\"kind\": \"" << inject::to_string(d.event->kind)
+         << "\", \"stack\": " << d.event->stack
+         << ", \"site\": " << d.event->site
+         << ", \"start_scan\": " << d.event->start_scan
+         << ", \"detection_latency_scans\": " << d.latency << "}"
+         << (i + 1 < detections.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"false_quarantines\": " << false_quarantines << ",\n"
+       << "  \"permanent_false_positives\": " << permanent_false_positives
+       << ",\n"
+       << "  \"recovered_all_healthy\": " << (all_healthy ? "true" : "false")
+       << ",\n"
+       << "  \"health_transitions_on_wire\": "
+       << sum.health_transitions.size() << ",\n"
+       << "  \"substituted_readings\": " << sum.substituted_readings << ",\n"
+       << "  \"degraded_error_mean_c\": " << degraded_error.mean() << ",\n"
+       << "  \"degraded_error_max_abs_c\": " << degraded_error.max_abs()
+       << ",\n"
+       << "  \"healthy_error_max_abs_c\": " << healthy_error.max_abs()
+       << ",\n"
+       << "  \"decode_errors\": " << sum.decode_errors << ",\n"
+       << "  \"frames_corrupted\": " << inj.frames_corrupted << ",\n"
+       << "  \"publishes_suppressed\": " << inj.publishes_suppressed << ",\n"
+       << "  \"worker_stalls\": " << inj.worker_stalls_requested << ",\n"
+       << "  \"watchdog_kicks\": " << sum.watchdog_kicks << "\n"
+       << "}\n";
+  std::cout << json.str();
+
+  const bool ok = detected == detections.size() &&
+                  permanent_false_positives == 0 && all_healthy;
+  return ok ? 0 : 1;
 }
 
 int usage() {
   std::fprintf(stderr,
-               "usage: tsvpt_cli <tech|sense|mc|trace|fleet> [flags]\n"
+               "usage: tsvpt_cli <tech|sense|mc|trace|fleet|chaos> [flags]\n"
                "  tech   [--card FILE]\n"
                "  sense  --t DEGC [--dvtn-mv MV] [--dvtp-mv MV] [--seed N]"
                " [--card FILE] [--compensate 1]\n"
@@ -262,7 +432,12 @@ int usage() {
                " [--seed N]\n"
                "  fleet  [--stacks N] [--threads N] [--scans N]"
                " [--sample-ms MS] [--ring N] [--grid N] [--alert-c DEGC]"
-               " [--seed N] [--card FILE]\n");
+               " [--seed N] [--card FILE]\n"
+               "         (exit 0 only when no alert fired and every frame"
+               " decoded)\n"
+               "  chaos  [--stacks N] [--threads N] [--scans N]"
+               " [--sample-ms MS] [--ring N] [--grid N] [--events-per-kind N]"
+               " [--watchdog-ms MS] [--seed N] [--card FILE]\n");
   return 2;
 }
 
@@ -278,6 +453,7 @@ int main(int argc, char** argv) {
     if (command == "mc") return cmd_mc(args);
     if (command == "trace") return cmd_trace(args);
     if (command == "fleet") return cmd_fleet(args);
+    if (command == "chaos") return cmd_chaos(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tsvpt_cli: %s\n", e.what());
     return 1;
