@@ -1,0 +1,84 @@
+// A16 [R]: telemetry historian ingest throughput and compression ratio.
+//
+// The historian's two costs are write bandwidth and disk footprint; its
+// lever is the block size (frames batched into one compressed unit).  Each
+// row records the same deterministic fleet capture (8 stacks x 60 scans,
+// 16 sites each) through a StoreWriter configured with a different
+// block_frames, then reopens the store and reports ingest rate, bytes on
+// disk vs raw wire bytes, the resulting compression ratio, and block count.
+//
+// Expectation: compression improves with block size (more delta frames per
+// key frame) and saturates once the per-block key-frame cost is amortized
+// — the default (64) must clear the 3x acceptance bar; tiny blocks (8) pay
+// one key frame per stack every 8 frames and land well below the plateau.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_util.hpp"
+#include "ptsim/table.hpp"
+#include "store/store.hpp"
+#include "telemetry/fleet_sampler.hpp"
+
+int main() {
+  using namespace tsvpt;
+
+  bench::banner("A16", "historian ingest throughput vs block size");
+
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "tsvpt_bench_a16").string();
+  std::filesystem::remove_all(base);
+
+  Table table{"8 stacks x 60 scans, 2x2 sites/die; segment roll at 4 MiB"};
+  table.add_column("block frames", 0);
+  table.add_column("frames", 0);
+  table.add_column("ingest s", 4);
+  table.add_column("frames/s", 0);
+  table.add_column("raw KiB", 1);
+  table.add_column("disk KiB", 1);
+  table.add_column("ratio", 2);
+  table.add_column("blocks", 0);
+
+  bool default_meets_bar = true;
+  for (const std::size_t block_frames : {8u, 32u, 64u, 256u}) {
+    const std::string dir = base + "/b" + std::to_string(block_frames);
+
+    // One deterministic capture per row: same seed, same frames, so only
+    // the store configuration varies.
+    telemetry::FleetSampler::Config cfg;
+    cfg.stack_count = 8;
+    cfg.scans_per_stack = 60;
+    cfg.ring_capacity = 1024;
+    cfg.seed = 11;
+
+    store::StoreOptions options;
+    options.block_frames = block_frames;
+    store::StoreWriter writer{dir, options};
+    cfg.sink = &writer;
+
+    telemetry::FleetSampler sampler{cfg};
+    const auto t0 = std::chrono::steady_clock::now();
+    sampler.run();
+    writer.close();
+    const double ingest_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const store::StoreReader reader{dir};
+    const store::StoreStats stats = reader.stats();
+    const double ratio = stats.compression_ratio();
+    if (block_frames == 64 && ratio < 3.0) default_meets_bar = false;
+    table.add_row({static_cast<double>(block_frames),
+                   static_cast<double>(stats.frames), ingest_s,
+                   static_cast<double>(stats.frames) / ingest_s,
+                   static_cast<double>(stats.bytes_raw) / 1024.0,
+                   static_cast<double>(stats.bytes_on_disk) / 1024.0, ratio,
+                   static_cast<double>(stats.blocks)});
+  }
+  bench::emit(table, "a16_store_throughput");
+  std::filesystem::remove_all(base);
+
+  std::printf("default block size (64) compression >= 3x: %s\n",
+              default_meets_bar ? "yes" : "NO");
+  return default_meets_bar ? 0 : 1;
+}

@@ -1,0 +1,430 @@
+#include "store/block.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/health_supervisor.hpp"
+#include "telemetry/codec_util.hpp"
+
+namespace tsvpt::store {
+
+namespace {
+
+using telemetry::ByteCursor;
+using telemetry::crc32;
+using telemetry::put_f64;
+using telemetry::put_u32;
+using telemetry::put_u64;
+using telemetry::put_u8;
+using telemetry::put_varint;
+using telemetry::zigzag_decode;
+using telemetry::zigzag_encode;
+
+constexpr std::uint8_t kKeyFrame = 1;
+constexpr std::uint8_t kDeltaFrame = 0;
+
+[[nodiscard]] std::uint8_t pack_flags(
+    const core::StackMonitor::SiteReading& r) {
+  return static_cast<std::uint8_t>((r.degraded ? 1u : 0u) |
+                                   (static_cast<unsigned>(r.health) << 1));
+}
+
+/// Second difference against context: new_delta = value - prev, emitted as
+/// zigzag(new_delta - prev_delta).  All arithmetic wraps in u64 space so
+/// arbitrary bit patterns (doubles reinterpreted as integers) are safe.
+void put_dod(std::vector<std::uint8_t>& out, std::uint64_t value,
+             std::uint64_t& prev, std::int64_t& prev_delta) {
+  const auto delta = static_cast<std::int64_t>(value - prev);
+  put_varint(out, zigzag_encode(delta - prev_delta));
+  prev = value;
+  prev_delta = delta;
+}
+
+[[nodiscard]] bool get_dod(ByteCursor& in, std::uint64_t& prev,
+                           std::int64_t& prev_delta, std::uint64_t& out) {
+  std::uint64_t zz = 0;
+  if (!in.varint(zz)) return false;
+  const std::int64_t delta = prev_delta + zigzag_decode(zz);
+  out = prev + static_cast<std::uint64_t>(delta);
+  prev = out;
+  prev_delta = delta;
+  return true;
+}
+
+}  // namespace
+
+bool BlockHeader::contains_stack(std::uint32_t stack_id) const {
+  return std::binary_search(stack_ids.begin(), stack_ids.end(), stack_id);
+}
+
+const char* to_string(BlockStatus status) {
+  switch (status) {
+    case BlockStatus::kOk: return "ok";
+    case BlockStatus::kTruncated: return "truncated";
+    case BlockStatus::kBadMagic: return "bad-magic";
+    case BlockStatus::kBadHeader: return "bad-header";
+    case BlockStatus::kBadHeaderCrc: return "bad-header-crc";
+    case BlockStatus::kBadPayloadCrc: return "bad-payload-crc";
+    case BlockStatus::kBadFrame: return "bad-frame";
+  }
+  return "unknown";
+}
+
+bool BlockBuilder::layout_matches(const StackContext& ctx,
+                                  const telemetry::Frame& frame) {
+  if (ctx.layout.size() != frame.readings.size()) return false;
+  for (std::size_t i = 0; i < ctx.layout.size(); ++i) {
+    const auto& a = ctx.layout[i];
+    const auto& b = frame.readings[i];
+    if (a.site_index != b.site_index || a.die != b.die ||
+        a.location.x != b.location.x || a.location.y != b.location.y) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BlockBuilder::add(const telemetry::Frame& frame) {
+  const double t = frame.sim_time.value();
+  if (frame_count_ == 0) {
+    t_min_ = t_max_ = t;
+  } else {
+    t_min_ = std::min(t_min_, t);
+    t_max_ = std::max(t_max_, t);
+  }
+  frame_count_ += 1;
+  raw_bytes_ += telemetry::encoded_size(frame.readings.size());
+
+  StackContext* ctx = nullptr;
+  for (std::size_t i = 0; i < context_ids_.size(); ++i) {
+    if (context_ids_[i] == frame.stack_id) {
+      ctx = &contexts_[i];
+      break;
+    }
+  }
+  if (ctx == nullptr) {
+    context_ids_.push_back(frame.stack_id);
+    contexts_.emplace_back();
+    ctx = &contexts_.back();
+    ctx->layout.clear();  // forces a key frame below
+  }
+
+  put_varint(payload_, frame.stack_id);
+  const bool key = !layout_matches(*ctx, frame);
+  put_u8(payload_, key ? kKeyFrame : kDeltaFrame);
+  put_varint(payload_, frame.readings.size());
+
+  if (key) {
+    put_varint(payload_, frame.sequence);
+    put_u64(payload_, std::bit_cast<std::uint64_t>(t));
+    put_varint(payload_, frame.capture_ns);
+    ctx->sequence = frame.sequence;
+    ctx->sequence_delta = 1;
+    ctx->sim_time_bits = std::bit_cast<std::uint64_t>(t);
+    ctx->sim_time_delta = 0;
+    ctx->capture_ns = frame.capture_ns;
+    ctx->capture_delta = 0;
+    ctx->layout = frame.readings;
+    ctx->sites.assign(frame.readings.size(), SiteContext{});
+    // Key-frame doubles XOR against the *previous site in this frame*
+    // (site 0 against zero): grid-adjacent sites share sign, exponent and
+    // high mantissa bits — and y repeats exactly along a grid row — so the
+    // XORs varint-encode small even with no earlier frame to delta from.
+    std::uint64_t prev_x = 0;
+    std::uint64_t prev_y = 0;
+    std::uint64_t prev_sensed = 0;
+    std::uint64_t prev_truth = 0;
+    std::uint64_t prev_energy = 0;
+    for (std::size_t i = 0; i < frame.readings.size(); ++i) {
+      const auto& r = frame.readings[i];
+      const std::uint64_t x = std::bit_cast<std::uint64_t>(r.location.x);
+      const std::uint64_t y = std::bit_cast<std::uint64_t>(r.location.y);
+      const std::uint64_t sensed =
+          std::bit_cast<std::uint64_t>(r.sensed.value());
+      const std::uint64_t truth = std::bit_cast<std::uint64_t>(r.truth.value());
+      const std::uint64_t energy =
+          std::bit_cast<std::uint64_t>(r.energy.value());
+      put_varint(payload_, r.site_index);
+      put_varint(payload_, r.die);
+      put_varint(payload_, x ^ prev_x);
+      put_varint(payload_, y ^ prev_y);
+      put_varint(payload_, sensed ^ prev_sensed);
+      put_varint(payload_, truth ^ prev_truth);
+      put_varint(payload_, energy ^ prev_energy);
+      put_u8(payload_, pack_flags(r));
+      prev_x = x;
+      prev_y = y;
+      prev_sensed = sensed;
+      prev_truth = truth;
+      prev_energy = energy;
+      ctx->sites[i] = {sensed, truth, energy, pack_flags(r)};
+    }
+    return;
+  }
+
+  put_dod(payload_, frame.sequence, ctx->sequence, ctx->sequence_delta);
+  put_dod(payload_, std::bit_cast<std::uint64_t>(t), ctx->sim_time_bits,
+          ctx->sim_time_delta);
+  put_dod(payload_, frame.capture_ns, ctx->capture_ns, ctx->capture_delta);
+  for (std::size_t i = 0; i < frame.readings.size(); ++i) {
+    const auto& r = frame.readings[i];
+    SiteContext& site = ctx->sites[i];
+    const std::uint64_t sensed = std::bit_cast<std::uint64_t>(r.sensed.value());
+    const std::uint64_t truth = std::bit_cast<std::uint64_t>(r.truth.value());
+    const std::uint64_t energy = std::bit_cast<std::uint64_t>(r.energy.value());
+    const std::uint8_t flags = pack_flags(r);
+    put_varint(payload_, sensed ^ site.sensed_bits);
+    put_varint(payload_, truth ^ site.truth_bits);
+    put_varint(payload_, energy ^ site.energy_bits);
+    put_varint(payload_, static_cast<std::uint64_t>(flags ^ site.flags));
+    site = {sensed, truth, energy, flags};
+  }
+}
+
+std::vector<std::uint8_t> BlockBuilder::seal() {
+  std::vector<std::uint32_t> ids = context_ids_;
+  std::sort(ids.begin(), ids.end());
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kBlockFixedHeaderSize + ids.size() * 4 + kBlockCrcSize +
+              payload_.size() + kBlockCrcSize);
+  put_u32(out, kBlockMagic);
+  put_u32(out, static_cast<std::uint32_t>(payload_.size()));
+  put_u32(out, static_cast<std::uint32_t>(frame_count_));
+  put_u32(out, static_cast<std::uint32_t>(ids.size()));
+  put_f64(out, t_min_);
+  put_f64(out, t_max_);
+  put_u64(out, raw_bytes_);
+  for (const std::uint32_t id : ids) put_u32(out, id);
+  put_u32(out, crc32(out.data(), out.size()));
+  out.insert(out.end(), payload_.begin(), payload_.end());
+  put_u32(out, crc32(payload_.data(), payload_.size()));
+  clear();
+  return out;
+}
+
+void BlockBuilder::clear() {
+  payload_.clear();
+  contexts_.clear();
+  context_ids_.clear();
+  frame_count_ = 0;
+  raw_bytes_ = 0;
+  t_min_ = t_max_ = 0.0;
+}
+
+BlockStatus parse_block_header(const std::uint8_t* data, std::size_t size,
+                               BlockHeader& out) {
+  if (data == nullptr || size < kBlockFixedHeaderSize + kBlockCrcSize) {
+    return BlockStatus::kTruncated;
+  }
+  ByteCursor in{data, size};
+  std::uint32_t magic = 0;
+  (void)in.u32(magic);
+  if (magic != kBlockMagic) return BlockStatus::kBadMagic;
+  BlockHeader header;
+  std::uint32_t stack_count = 0;
+  (void)in.u32(header.payload_size);
+  (void)in.u32(header.frame_count);
+  (void)in.u32(stack_count);
+  (void)in.f64(header.t_min);
+  (void)in.f64(header.t_max);
+  (void)in.u64(header.raw_bytes);
+  if (header.payload_size > kMaxBlockPayload ||
+      header.frame_count > kMaxBlockFrames || stack_count > kMaxBlockStacks) {
+    return BlockStatus::kBadHeader;
+  }
+  if (in.remaining() < stack_count * std::size_t{4} + kBlockCrcSize) {
+    return BlockStatus::kTruncated;
+  }
+  header.stack_ids.reserve(stack_count);
+  for (std::uint32_t i = 0; i < stack_count; ++i) {
+    std::uint32_t id = 0;
+    (void)in.u32(id);
+    header.stack_ids.push_back(id);
+  }
+  const std::size_t header_bytes = in.pos();
+  std::uint32_t header_crc = 0;
+  (void)in.u32(header_crc);
+  if (crc32(data, header_bytes) != header_crc) {
+    return BlockStatus::kBadHeaderCrc;
+  }
+  out = std::move(header);
+  return BlockStatus::kOk;
+}
+
+BlockStatus decode_block(const std::uint8_t* data, std::size_t size,
+                         std::vector<telemetry::Frame>& out) {
+  BlockHeader header;
+  const BlockStatus header_status = parse_block_header(data, size, header);
+  if (header_status != BlockStatus::kOk) return header_status;
+  if (size < header.record_size()) return BlockStatus::kTruncated;
+
+  const std::size_t payload_offset =
+      kBlockFixedHeaderSize + header.stack_ids.size() * 4 + kBlockCrcSize;
+  const std::uint8_t* payload = data + payload_offset;
+  if (crc32(payload, header.payload_size) !=
+      telemetry::get_u32(payload + header.payload_size)) {
+    return BlockStatus::kBadPayloadCrc;
+  }
+
+  // Decoder-side mirror of BlockBuilder's per-stack contexts.
+  struct SiteContext {
+    std::uint64_t sensed_bits = 0;
+    std::uint64_t truth_bits = 0;
+    std::uint64_t energy_bits = 0;
+    std::uint8_t flags = 0;
+  };
+  struct StackContext {
+    std::vector<core::StackMonitor::SiteReading> layout;
+    std::vector<SiteContext> sites;
+    std::uint64_t sequence = 0;
+    std::int64_t sequence_delta = 1;
+    std::uint64_t sim_time_bits = 0;
+    std::int64_t sim_time_delta = 0;
+    std::uint64_t capture_ns = 0;
+    std::int64_t capture_delta = 0;
+  };
+  std::vector<std::uint32_t> context_ids;
+  std::vector<StackContext> contexts;
+
+  std::vector<telemetry::Frame> frames;
+  frames.reserve(header.frame_count);
+  ByteCursor in{payload, header.payload_size};
+  for (std::uint32_t f = 0; f < header.frame_count; ++f) {
+    std::uint64_t stack_id = 0;
+    std::uint8_t kind = 0;
+    std::uint64_t site_count = 0;
+    if (!in.varint(stack_id) || !in.u8(kind) || !in.varint(site_count)) {
+      return BlockStatus::kBadFrame;
+    }
+    if (stack_id > 0xFFFFFFFFull || kind > kKeyFrame ||
+        site_count > telemetry::kMaxSiteCount) {
+      return BlockStatus::kBadFrame;
+    }
+
+    StackContext* ctx = nullptr;
+    for (std::size_t i = 0; i < context_ids.size(); ++i) {
+      if (context_ids[i] == stack_id) {
+        ctx = &contexts[i];
+        break;
+      }
+    }
+    if (ctx == nullptr) {
+      if (kind != kKeyFrame) return BlockStatus::kBadFrame;
+      context_ids.push_back(static_cast<std::uint32_t>(stack_id));
+      contexts.emplace_back();
+      ctx = &contexts.back();
+    }
+
+    telemetry::Frame frame;
+    frame.stack_id = static_cast<std::uint32_t>(stack_id);
+    frame.readings.reserve(site_count);
+
+    if (kind == kKeyFrame) {
+      std::uint64_t sim_bits = 0;
+      if (!in.varint(frame.sequence) || !in.u64(sim_bits) ||
+          !in.varint(frame.capture_ns)) {
+        return BlockStatus::kBadFrame;
+      }
+      frame.sim_time = Second{std::bit_cast<double>(sim_bits)};
+      ctx->sequence = frame.sequence;
+      ctx->sequence_delta = 1;
+      ctx->sim_time_bits = sim_bits;
+      ctx->sim_time_delta = 0;
+      ctx->capture_ns = frame.capture_ns;
+      ctx->capture_delta = 0;
+      ctx->layout.clear();
+      ctx->sites.assign(site_count, SiteContext{});
+      // Mirror of the encoder's XOR-vs-previous-site chain.
+      std::uint64_t prev_x = 0;
+      std::uint64_t prev_y = 0;
+      std::uint64_t prev_sensed = 0;
+      std::uint64_t prev_truth = 0;
+      std::uint64_t prev_energy = 0;
+      for (std::uint64_t i = 0; i < site_count; ++i) {
+        core::StackMonitor::SiteReading r;
+        std::uint64_t site_index = 0;
+        std::uint64_t die = 0;
+        std::uint64_t x_xor = 0;
+        std::uint64_t y_xor = 0;
+        std::uint64_t sensed_xor = 0;
+        std::uint64_t truth_xor = 0;
+        std::uint64_t energy_xor = 0;
+        std::uint8_t flags = 0;
+        if (!in.varint(site_index) || !in.varint(die) || !in.varint(x_xor) ||
+            !in.varint(y_xor) || !in.varint(sensed_xor) ||
+            !in.varint(truth_xor) || !in.varint(energy_xor) ||
+            !in.u8(flags)) {
+          return BlockStatus::kBadFrame;
+        }
+        if (site_index >= site_count ||
+            (flags >> 1) >= core::kHealthStateCount) {
+          return BlockStatus::kBadFrame;
+        }
+        prev_x ^= x_xor;
+        prev_y ^= y_xor;
+        prev_sensed ^= sensed_xor;
+        prev_truth ^= truth_xor;
+        prev_energy ^= energy_xor;
+        r.site_index = static_cast<std::size_t>(site_index);
+        r.die = static_cast<std::size_t>(die);
+        r.location.x = std::bit_cast<double>(prev_x);
+        r.location.y = std::bit_cast<double>(prev_y);
+        r.sensed = Celsius{std::bit_cast<double>(prev_sensed)};
+        r.truth = Celsius{std::bit_cast<double>(prev_truth)};
+        r.energy = Joule{std::bit_cast<double>(prev_energy)};
+        r.degraded = (flags & 1u) != 0;
+        r.health = static_cast<std::uint8_t>(flags >> 1);
+        ctx->sites[i] = {prev_sensed, prev_truth, prev_energy, flags};
+        frame.readings.push_back(r);
+      }
+      ctx->layout = frame.readings;
+    } else {
+      if (site_count != ctx->layout.size()) return BlockStatus::kBadFrame;
+      std::uint64_t sim_bits = 0;
+      if (!get_dod(in, ctx->sequence, ctx->sequence_delta, frame.sequence) ||
+          !get_dod(in, ctx->sim_time_bits, ctx->sim_time_delta, sim_bits) ||
+          !get_dod(in, ctx->capture_ns, ctx->capture_delta,
+                   frame.capture_ns)) {
+        return BlockStatus::kBadFrame;
+      }
+      frame.sim_time = Second{std::bit_cast<double>(sim_bits)};
+      for (std::uint64_t i = 0; i < site_count; ++i) {
+        core::StackMonitor::SiteReading r = ctx->layout[i];
+        SiteContext& site = ctx->sites[i];
+        std::uint64_t sensed_xor = 0;
+        std::uint64_t truth_xor = 0;
+        std::uint64_t energy_xor = 0;
+        std::uint64_t flags_xor = 0;
+        if (!in.varint(sensed_xor) || !in.varint(truth_xor) ||
+            !in.varint(energy_xor) || !in.varint(flags_xor)) {
+          return BlockStatus::kBadFrame;
+        }
+        if (flags_xor > 0xFFu) return BlockStatus::kBadFrame;
+        const std::uint8_t flags =
+            static_cast<std::uint8_t>(site.flags ^ flags_xor);
+        if ((flags >> 1) >= core::kHealthStateCount) {
+          return BlockStatus::kBadFrame;
+        }
+        site.sensed_bits ^= sensed_xor;
+        site.truth_bits ^= truth_xor;
+        site.energy_bits ^= energy_xor;
+        site.flags = flags;
+        r.sensed = Celsius{std::bit_cast<double>(site.sensed_bits)};
+        r.truth = Celsius{std::bit_cast<double>(site.truth_bits)};
+        r.energy = Joule{std::bit_cast<double>(site.energy_bits)};
+        r.degraded = (flags & 1u) != 0;
+        r.health = static_cast<std::uint8_t>(flags >> 1);
+        frame.readings.push_back(r);
+      }
+    }
+    frames.push_back(std::move(frame));
+  }
+  if (in.remaining() != 0) return BlockStatus::kBadFrame;
+
+  out.insert(out.end(), std::make_move_iterator(frames.begin()),
+             std::make_move_iterator(frames.end()));
+  return BlockStatus::kOk;
+}
+
+}  // namespace tsvpt::store

@@ -1,0 +1,157 @@
+// Block codec for the telemetry historian: a block is the unit of
+// compression, CRC protection and query skipping inside a segment file.
+// Frames are appended in arrival order (stacks interleave freely) and
+// compressed against per-stack context that lives only within the block, so
+// any block decodes standalone:
+//
+//   [magic u32 "TSVB"] [payload_size u32] [frame_count u32] [stack_count u32]
+//   [t_min f64] [t_max f64] [raw_bytes u64]
+//   stack_count x [stack_id u32]          (sorted, unique)
+//   [header_crc u32]                      (CRC-32 of everything above)
+//   payload bytes                         (compressed frame records)
+//   [payload_crc u32]                     (CRC-32 of the payload)
+//
+// The header carries the block's time span, stack-id set and frame count so
+// a reader can build a sparse index — and skip whole blocks on a time or
+// stack filter — without touching the payload.  `raw_bytes` is the size the
+// same frames occupy in the raw wire codec (telemetry::encoded_size), kept
+// for compression accounting.
+//
+// Payload compression.  The first frame a block sees from a stack (or any
+// frame whose site layout changed) is a *key* frame: absolute values,
+// including the per-site layout (site index, die, x/y location).  Every
+// later frame of that stack is a *delta* frame: the layout is elided
+// entirely (it repeats scan to scan), sequence / sim-time-bits /
+// capture_ns are delta-of-delta + zigzag varints (steady sampling makes
+// second differences ~0), and each site's sensed/truth/energy doubles are
+// XOR-ed against the previous frame's same-site bit pattern and written as
+// varints — close doubles share sign/exponent/high-mantissa bits, so the
+// XOR is a small integer (and counter quantization makes repeats exact, one
+// byte).  Everything is lossless: decode reproduces the Frame structs
+// bit-for-bit, so re-encoding through the wire codec yields identical
+// bytes and CRCs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/frame.hpp"
+
+namespace tsvpt::store {
+
+/// "TSVB" little-endian.
+inline constexpr std::uint32_t kBlockMagic = 0x42565354u;
+/// Fixed-width header prefix: magic, payload_size, frame_count, stack_count,
+/// t_min, t_max, raw_bytes.  Followed by stack ids and the header CRC.
+inline constexpr std::size_t kBlockFixedHeaderSize = 4 + 4 + 4 + 4 + 8 + 8 + 8;
+inline constexpr std::size_t kBlockCrcSize = 4;
+/// Decode-time sanity bounds (corrupt or hostile length fields must be
+/// refused before any allocation is sized from them).
+inline constexpr std::uint32_t kMaxBlockFrames = 1u << 22;
+inline constexpr std::uint32_t kMaxBlockStacks = 1u << 16;
+inline constexpr std::uint32_t kMaxBlockPayload = 1u << 30;
+
+struct BlockHeader {
+  std::uint32_t payload_size = 0;
+  std::uint32_t frame_count = 0;
+  /// Simulated-time span of the contained frames.
+  double t_min = 0.0;
+  double t_max = 0.0;
+  /// Bytes the same frames occupy in the raw wire codec.
+  std::uint64_t raw_bytes = 0;
+  /// Sorted unique stack ids present in the block.
+  std::vector<std::uint32_t> stack_ids;
+
+  /// Total on-disk size of the block record this header describes.
+  [[nodiscard]] std::size_t record_size() const {
+    return kBlockFixedHeaderSize + stack_ids.size() * 4 + kBlockCrcSize +
+           payload_size + kBlockCrcSize;
+  }
+
+  [[nodiscard]] bool contains_stack(std::uint32_t stack_id) const;
+  /// True when [t_min, t_max] intersects the queried closed interval.
+  [[nodiscard]] bool overlaps(double query_t_min, double query_t_max) const {
+    return t_min <= query_t_max && t_max >= query_t_min;
+  }
+};
+
+enum class BlockStatus {
+  kOk,
+  /// Buffer ends before the layout promises (the torn-tail case).
+  kTruncated,
+  kBadMagic,
+  /// Header length fields exceed the sanity bounds.
+  kBadHeader,
+  kBadHeaderCrc,
+  kBadPayloadCrc,
+  /// Payload CRC matched but the frame records are structurally invalid
+  /// (cannot happen from torn writes; indicates a codec bug or a forged
+  /// CRC) — nothing is returned.
+  kBadFrame,
+};
+
+[[nodiscard]] const char* to_string(BlockStatus status);
+
+/// Accumulates frames into a compressed payload and seals them into a block
+/// record.  Reusable: seal() resets the builder for the next block.
+class BlockBuilder {
+ public:
+  void add(const telemetry::Frame& frame);
+
+  [[nodiscard]] bool empty() const { return frame_count_ == 0; }
+  [[nodiscard]] std::size_t frame_count() const { return frame_count_; }
+  /// Compressed payload bytes buffered so far (header/CRC not included).
+  [[nodiscard]] std::size_t payload_bytes() const { return payload_.size(); }
+  [[nodiscard]] std::uint64_t raw_bytes() const { return raw_bytes_; }
+
+  /// Seal buffered frames into a complete block record (header + payload +
+  /// CRCs) and reset.  Must not be called empty.
+  [[nodiscard]] std::vector<std::uint8_t> seal();
+
+  void clear();
+
+ private:
+  struct SiteContext {
+    std::uint64_t sensed_bits = 0;
+    std::uint64_t truth_bits = 0;
+    std::uint64_t energy_bits = 0;
+    std::uint8_t flags = 0;  // degraded | health << 1
+  };
+  struct StackContext {
+    std::vector<core::StackMonitor::SiteReading> layout;
+    std::vector<SiteContext> sites;
+    std::uint64_t sequence = 0;
+    std::int64_t sequence_delta = 1;
+    std::uint64_t sim_time_bits = 0;
+    std::int64_t sim_time_delta = 0;
+    std::uint64_t capture_ns = 0;
+    std::int64_t capture_delta = 0;
+  };
+
+  [[nodiscard]] static bool layout_matches(const StackContext& ctx,
+                                           const telemetry::Frame& frame);
+
+  std::vector<std::uint8_t> payload_;
+  std::vector<StackContext> contexts_;       // parallel to context_ids_
+  std::vector<std::uint32_t> context_ids_;   // stack id per context
+  std::size_t frame_count_ = 0;
+  std::uint64_t raw_bytes_ = 0;
+  double t_min_ = 0.0;
+  double t_max_ = 0.0;
+};
+
+/// Parse and validate a block header at data[0].  On kOk, `out` is filled
+/// and the full record occupies out.record_size() bytes (the payload may
+/// still extend past `size` — callers check before touching it).  Never
+/// reads past `size`.
+[[nodiscard]] BlockStatus parse_block_header(const std::uint8_t* data,
+                                             std::size_t size,
+                                             BlockHeader& out);
+
+/// Decode a complete block record (as produced by BlockBuilder::seal) back
+/// into frames, verifying both CRCs.  Appends to `out` only on kOk.
+[[nodiscard]] BlockStatus decode_block(const std::uint8_t* data,
+                                       std::size_t size,
+                                       std::vector<telemetry::Frame>& out);
+
+}  // namespace tsvpt::store

@@ -1,0 +1,215 @@
+#include "store/segment.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/codec_util.hpp"
+
+namespace tsvpt::store {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw std::runtime_error{what + " " + path + ": " +
+                           std::strerror(errno)};
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size,
+               const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("SegmentWriter: write", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::uint64_t SegmentIndex::frames() const {
+  std::uint64_t total = 0;
+  for (const auto& b : blocks) total += b.header.frame_count;
+  return total;
+}
+
+std::uint64_t SegmentIndex::raw_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& b : blocks) total += b.header.raw_bytes;
+  return total;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return false;
+  }
+  out.resize(static_cast<std::size_t>(st.st_size));
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n = ::read(fd, out.data() + got, out.size() - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;  // shrank underneath us; treat the prefix as the file
+    got += static_cast<std::size_t>(n);
+  }
+  out.resize(got);
+  ::close(fd);
+  return true;
+}
+
+void replace_file_sync(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("replace_file_sync: create", tmp);
+  try {
+    write_all(fd, bytes.data(), bytes.size(), tmp);
+    if (::fsync(fd) != 0) throw_errno("replace_file_sync: fsync", tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("replace_file_sync: rename", path);
+  }
+}
+
+void sync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+SegmentIndex scan_segment(const std::string& path) {
+  SegmentIndex index;
+  index.path = path;
+  std::vector<std::uint8_t> bytes;
+  if (!read_file(path, bytes)) return index;
+  index.file_bytes = bytes.size();
+  if (bytes.size() < kSegmentHeaderSize ||
+      telemetry::get_u32(bytes.data()) != kSegmentMagic ||
+      telemetry::get_u16(bytes.data() + 4) != kSegmentVersion) {
+    return index;  // not a segment (or its very first write was torn)
+  }
+  index.valid_header = true;
+  std::size_t pos = kSegmentHeaderSize;
+  while (pos < bytes.size()) {
+    BlockHeader header;
+    const BlockStatus status =
+        parse_block_header(bytes.data() + pos, bytes.size() - pos, header);
+    if (status != BlockStatus::kOk) break;
+    const std::size_t record = header.record_size();
+    if (bytes.size() - pos < record) break;  // payload torn
+    index.blocks.push_back({pos, record, std::move(header)});
+    pos += record;
+  }
+  index.valid_bytes = pos;
+  return index;
+}
+
+SegmentWriter SegmentWriter::create(const std::string& path,
+                                    Options options) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("SegmentWriter: create", path);
+  std::vector<std::uint8_t> header;
+  telemetry::put_u32(header, kSegmentMagic);
+  telemetry::put_u16(header, kSegmentVersion);
+  telemetry::put_u16(header, 0);
+  write_all(fd, header.data(), header.size(), path);
+  if (::fsync(fd) != 0) throw_errno("SegmentWriter: fsync", path);
+  return SegmentWriter{path, options, fd, kSegmentHeaderSize, false};
+}
+
+SegmentWriter SegmentWriter::recover(const std::string& path,
+                                     Options options,
+                                     SegmentIndex& recovered) {
+  recovered = scan_segment(path);
+  if (!recovered.valid_header) {
+    // Nothing recoverable (torn before the header landed): start fresh.
+    SegmentWriter writer = create(path, options);
+    writer.tail_truncated_ = recovered.file_bytes > 0;
+    return writer;
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) throw_errno("SegmentWriter: open", path);
+  const bool torn = recovered.torn_tail();
+  if (torn) {
+    if (::ftruncate(fd, static_cast<off_t>(recovered.valid_bytes)) != 0) {
+      throw_errno("SegmentWriter: ftruncate", path);
+    }
+    if (::fsync(fd) != 0) throw_errno("SegmentWriter: fsync", path);
+  }
+  if (::lseek(fd, static_cast<off_t>(recovered.valid_bytes), SEEK_SET) < 0) {
+    throw_errno("SegmentWriter: lseek", path);
+  }
+  return SegmentWriter{path, options, fd, recovered.valid_bytes, torn};
+}
+
+SegmentWriter::SegmentWriter(std::string path, Options options, int fd,
+                             std::uint64_t bytes, bool tail_truncated)
+    : path_(std::move(path)), options_(options), fd_(fd), bytes_(bytes),
+      tail_truncated_(tail_truncated) {}
+
+SegmentWriter::SegmentWriter(SegmentWriter&& other) noexcept
+    : path_(std::move(other.path_)), options_(other.options_),
+      fd_(std::exchange(other.fd_, -1)), bytes_(other.bytes_),
+      blocks_appended_(other.blocks_appended_),
+      blocks_since_sync_(other.blocks_since_sync_),
+      fsync_count_(other.fsync_count_),
+      tail_truncated_(other.tail_truncated_) {}
+
+SegmentWriter::~SegmentWriter() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+void SegmentWriter::append_block(const std::vector<std::uint8_t>& record) {
+  if (fd_ < 0) throw std::logic_error{"SegmentWriter: closed"};
+  write_all(fd_, record.data(), record.size(), path_);
+  bytes_ += record.size();
+  blocks_appended_ += 1;
+  blocks_since_sync_ += 1;
+  if (options_.fsync_every_blocks > 0 &&
+      blocks_since_sync_ >= options_.fsync_every_blocks) {
+    sync();
+  }
+}
+
+void SegmentWriter::sync() {
+  if (fd_ < 0) return;
+  if (::fsync(fd_) != 0) throw_errno("SegmentWriter: fsync", path_);
+  fsync_count_ += 1;
+  blocks_since_sync_ = 0;
+}
+
+void SegmentWriter::close() {
+  if (fd_ < 0) return;
+  sync();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace tsvpt::store

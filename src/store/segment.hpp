@@ -1,0 +1,132 @@
+// Segment files for the telemetry historian: an append-only sequence of
+// sealed block records behind a small file header:
+//
+//   [magic u32 "TSVS"] [version u16] [reserved u16]  then  block records...
+//
+// Appends are block-at-a-time (a block is sealed in memory, then written
+// with one write()), and fsync is batched — every `fsync_every_blocks`
+// appends plus on roll/close — so a crash can lose at most the blocks since
+// the last sync, and a torn final write leaves a *prefix* of a block at the
+// tail.  Recovery is therefore a scan: walk block headers from the front,
+// stop at the first record that does not fully fit or whose header fails
+// its CRC, and truncate the file there.  scan_segment() performs the walk
+// (building the sparse index the reader queries by — headers only, payloads
+// untouched); SegmentWriter::recover() additionally truncates so appending
+// can resume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/block.hpp"
+
+namespace tsvpt::store {
+
+/// "TSVS" little-endian.
+inline constexpr std::uint32_t kSegmentMagic = 0x53565354u;
+inline constexpr std::uint16_t kSegmentVersion = 1;
+inline constexpr std::size_t kSegmentHeaderSize = 8;
+
+/// One block's position within a segment plus its parsed header — the
+/// sparse index entry time/stack queries skip by.
+struct BlockIndexEntry {
+  std::uint64_t offset = 0;  // file offset of the block record
+  std::uint64_t size = 0;    // record bytes (header + payload + CRCs)
+  BlockHeader header;
+};
+
+/// Result of walking a segment's blocks (recovery + index build).
+struct SegmentIndex {
+  std::string path;
+  /// False when the file header is missing or wrong — the file is not a
+  /// segment (or its first write was torn) and holds no usable blocks.
+  bool valid_header = false;
+  /// Bytes holding the header and every complete block; anything past this
+  /// is a torn tail.
+  std::uint64_t valid_bytes = 0;
+  std::uint64_t file_bytes = 0;
+  std::vector<BlockIndexEntry> blocks;
+
+  [[nodiscard]] bool torn_tail() const { return valid_bytes < file_bytes; }
+  [[nodiscard]] std::uint64_t frames() const;
+  [[nodiscard]] std::uint64_t raw_bytes() const;
+};
+
+/// Walk `path`'s blocks front to back, stopping at the first torn or
+/// corrupt-header record.  Read-only; never modifies the file.
+[[nodiscard]] SegmentIndex scan_segment(const std::string& path);
+
+/// Read a whole file into `out`; false on open/read failure.
+[[nodiscard]] bool read_file(const std::string& path,
+                             std::vector<std::uint8_t>& out);
+
+/// Atomically replace `path` with `bytes`: write `path`.tmp, fsync, rename
+/// over, fsync the parent directory.  A crash leaves either the old or the
+/// new file, never a mix — what compaction's segment rewrite relies on.
+/// Throws std::runtime_error on I/O failure.
+void replace_file_sync(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes);
+
+/// fsync a directory so renames/unlinks inside it are durable (best effort:
+/// silently ignored where directories cannot be opened for sync).
+void sync_dir(const std::string& dir);
+
+/// Appends sealed block records to one segment file with batched fsync.
+class SegmentWriter {
+ public:
+  struct Options {
+    /// fsync after every N block appends; 0 = only on close()/sync().
+    std::size_t fsync_every_blocks = 8;
+  };
+
+  /// Create (or truncate) a fresh segment at `path` and write its header.
+  /// The header is synced immediately so recovery never sees a header-less
+  /// file that was supposed to be a segment.
+  static SegmentWriter create(const std::string& path, Options options);
+
+  /// Reopen an existing segment for appending: scan, truncate any torn
+  /// tail, resume after the last complete block.  `recovered` reports the
+  /// scan (tail_truncated() below tells whether anything was cut).
+  static SegmentWriter recover(const std::string& path, Options options,
+                               SegmentIndex& recovered);
+
+  SegmentWriter(SegmentWriter&& other) noexcept;
+  SegmentWriter& operator=(SegmentWriter&&) = delete;
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+  ~SegmentWriter();
+
+  /// Append one sealed block record (one write syscall), fsyncing per the
+  /// batching policy.  Throws std::runtime_error on I/O failure.
+  void append_block(const std::vector<std::uint8_t>& record);
+
+  /// fsync whatever has been appended.
+  void sync();
+
+  /// Sync and close; further appends throw.  Idempotent.
+  void close();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t blocks_appended() const {
+    return blocks_appended_;
+  }
+  [[nodiscard]] bool tail_truncated() const { return tail_truncated_; }
+  [[nodiscard]] std::uint64_t fsync_count() const { return fsync_count_; }
+
+ private:
+  SegmentWriter(std::string path, Options options, int fd,
+                std::uint64_t bytes, bool tail_truncated);
+
+  std::string path_;
+  Options options_;
+  int fd_ = -1;
+  std::uint64_t bytes_ = 0;
+  std::size_t blocks_appended_ = 0;
+  std::size_t blocks_since_sync_ = 0;
+  std::uint64_t fsync_count_ = 0;
+  bool tail_truncated_ = false;
+};
+
+}  // namespace tsvpt::store

@@ -109,6 +109,7 @@ void Aggregator::raise(AlertKind kind, const Frame& frame, std::size_t die,
   alert.value = value;
   alert.sim_time = frame.sim_time;
   summary_.alerts += 1;
+  live_alerts_.fetch_add(1, std::memory_order_relaxed);
   summary_.alerts_by_kind[kind] += 1;
   summary_.stacks[frame.stack_id].alerts += 1;
   if (on_alert_) on_alert_(alert);
@@ -118,11 +119,13 @@ void Aggregator::ingest(const std::vector<std::uint8_t>& buffer) {
   DecodeResult result = decode(buffer);
   if (!result.ok()) {
     summary_.decode_errors += 1;
+    live_decode_errors_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   const Frame& frame = result.frame;
 
   summary_.frames += 1;
+  live_frames_.fetch_add(1, std::memory_order_relaxed);
   if (frame.capture_ns != 0) {
     const std::uint64_t now = steady_now_ns();
     // >= : on coarse steady_clock resolution capture and decode can share a

@@ -163,6 +163,20 @@ class Aggregator {
   /// before start()) — not concurrently with a running collector.
   [[nodiscard]] const Summary& summary() const { return summary_; }
 
+  /// Coarse live counters, safe to read from any thread *while the
+  /// collector runs* (relaxed atomics mirroring the Summary fields) — what
+  /// periodic progress reporting prints without stopping collection.
+  struct Progress {
+    std::uint64_t frames = 0;
+    std::uint64_t decode_errors = 0;
+    std::uint64_t alerts = 0;
+  };
+  [[nodiscard]] Progress progress() const {
+    return Progress{live_frames_.load(std::memory_order_relaxed),
+                    live_decode_errors_.load(std::memory_order_relaxed),
+                    live_alerts_.load(std::memory_order_relaxed)};
+  }
+
  private:
   void collect(std::vector<FrameRing*> rings);
   void raise(AlertKind kind, const Frame& frame, std::size_t die,
@@ -193,6 +207,9 @@ class Aggregator {
 
   std::thread collector_;
   std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> live_frames_{0};
+  std::atomic<std::uint64_t> live_decode_errors_{0};
+  std::atomic<std::uint64_t> live_alerts_{0};
 };
 
 }  // namespace tsvpt::telemetry

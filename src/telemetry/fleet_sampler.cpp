@@ -205,6 +205,13 @@ void FleetSampler::worker(std::size_t worker_index) {
 
       production_[k].frames += 1;
       std::vector<std::uint8_t> buffer = encode(frame);
+      if (config_.sink != nullptr) {
+        // The recorder sees every produced frame with its pristine wire
+        // image — before the interceptor gets a chance to corrupt or
+        // suppress the publish.  The live ring stays lossy; the store does
+        // not.
+        config_.sink->on_frame(frame, buffer);
+      }
       if (config_.interceptor != nullptr &&
           !config_.interceptor->before_publish(k, scan, buffer)) {
         // Injected ring stall: the frame is produced (sequence advanced)

@@ -61,6 +61,20 @@ class ScanInterceptor {
   }
 };
 
+/// Durable-recording seam: every frame a worker produces is offered to the
+/// sink right after encoding, alongside its wire image — this is how the
+/// historian (store::StoreWriter) persists a run while it samples.  Workers
+/// call concurrently from their own threads, so implementations must be
+/// thread-safe.  The sink sees every *produced* frame, including ones the
+/// ring later evicts or an interceptor suppresses/corrupts on publish: the
+/// recorder's job is the production history, not the lossy live path.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual void on_frame(const Frame& frame,
+                        const std::vector<std::uint8_t>& wire) = 0;
+};
+
 class FleetSampler {
  public:
   struct Config {
@@ -86,6 +100,9 @@ class FleetSampler {
     std::uint64_t seed = 1;
     /// Optional fault-injection seam (not owned; must outlive run()).
     ScanInterceptor* interceptor = nullptr;
+    /// Optional durable-recording seam (not owned; must outlive run()).
+    /// Called by every worker with every frame it produces — see FrameSink.
+    FrameSink* sink = nullptr;
     /// Per-stack health supervision: quarantine faulty sites, substitute
     /// their readings, recalibrate on recovery.  Off by default — the
     /// plain pipeline ships raw scans.

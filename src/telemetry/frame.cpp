@@ -1,10 +1,10 @@
 #include "telemetry/frame.hpp"
 
-#include <array>
 #include <bit>
 #include <cstring>
 
 #include "core/health_supervisor.hpp"
+#include "telemetry/codec_util.hpp"
 
 namespace tsvpt::telemetry {
 namespace {
@@ -16,93 +16,7 @@ constexpr std::size_t kSiteSize = 4 + 4 + 8 * 5 + 1 + 1;
 constexpr std::size_t kCrcSize = 4;
 constexpr std::size_t kStackIdOffset = 4 + 2 + 2;
 
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-class Writer {
- public:
-  explicit Writer(std::size_t reserve) { out_.reserve(reserve); }
-
-  void u8(std::uint8_t v) { out_.push_back(v); }
-  void u16(std::uint16_t v) {
-    out_.push_back(static_cast<std::uint8_t>(v));
-    out_.push_back(static_cast<std::uint8_t>(v >> 8));
-  }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) {
-      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-    }
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-    }
-  }
-  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
-
-  std::vector<std::uint8_t>& bytes() { return out_; }
-
- private:
-  std::vector<std::uint8_t> out_;
-};
-
-class Reader {
- public:
-  Reader(const std::uint8_t* data, std::size_t size)
-      : data_(data), size_(size) {}
-
-  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
-
-  std::uint8_t u8() { return data_[pos_++]; }
-  std::uint16_t u16() {
-    const auto v = static_cast<std::uint16_t>(
-        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
-    pos_ += 2;
-    return v;
-  }
-  std::uint32_t u32() {
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
-    }
-    pos_ += 4;
-    return v;
-  }
-  std::uint64_t u64() {
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
-    }
-    pos_ += 8;
-    return v;
-  }
-  double f64() { return std::bit_cast<double>(u64()); }
-
- private:
-  const std::uint8_t* data_;
-  std::size_t size_;
-  std::size_t pos_ = 0;
-};
-
 }  // namespace
-
-std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
 
 bool Frame::operator==(const Frame& other) const {
   if (stack_id != other.stack_id || sequence != other.sequence ||
@@ -131,28 +45,29 @@ std::size_t encoded_size(std::size_t site_count) {
 }
 
 std::vector<std::uint8_t> encode(const Frame& frame) {
-  Writer w{encoded_size(frame.readings.size())};
-  w.u32(kWireMagic);
-  w.u16(kWireVersion);
-  w.u16(0);  // flags, reserved
-  w.u32(frame.stack_id);
-  w.u32(static_cast<std::uint32_t>(frame.readings.size()));
-  w.u64(frame.sequence);
-  w.f64(frame.sim_time.value());
-  w.u64(frame.capture_ns);
+  std::vector<std::uint8_t> out;
+  out.reserve(encoded_size(frame.readings.size()));
+  put_u32(out, kWireMagic);
+  put_u16(out, kWireVersion);
+  put_u16(out, 0);  // flags, reserved
+  put_u32(out, frame.stack_id);
+  put_u32(out, static_cast<std::uint32_t>(frame.readings.size()));
+  put_u64(out, frame.sequence);
+  put_f64(out, frame.sim_time.value());
+  put_u64(out, frame.capture_ns);
   for (const auto& r : frame.readings) {
-    w.u32(static_cast<std::uint32_t>(r.site_index));
-    w.u32(static_cast<std::uint32_t>(r.die));
-    w.f64(r.location.x);
-    w.f64(r.location.y);
-    w.f64(r.sensed.value());
-    w.f64(r.truth.value());
-    w.f64(r.energy.value());
-    w.u8(r.degraded ? 1 : 0);
-    w.u8(r.health);
+    put_u32(out, static_cast<std::uint32_t>(r.site_index));
+    put_u32(out, static_cast<std::uint32_t>(r.die));
+    put_f64(out, r.location.x);
+    put_f64(out, r.location.y);
+    put_f64(out, r.sensed.value());
+    put_f64(out, r.truth.value());
+    put_f64(out, r.energy.value());
+    put_u8(out, r.degraded ? 1 : 0);
+    put_u8(out, r.health);
   }
-  w.u32(crc32(w.bytes().data(), w.bytes().size()));
-  return std::move(w.bytes());
+  put_u32(out, crc32(out.data(), out.size()));
+  return out;
 }
 
 DecodeResult decode(const std::uint8_t* data, std::size_t size) {
@@ -161,19 +76,23 @@ DecodeResult decode(const std::uint8_t* data, std::size_t size) {
     result.status = DecodeStatus::kTruncated;
     return result;
   }
-  Reader r{data, size};
-  if (r.u32() != kWireMagic) {
+  ByteCursor r{data, size};
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  std::uint16_t flags = 0;
+  if (!r.u32(magic) || magic != kWireMagic) {
     result.status = DecodeStatus::kBadMagic;
     return result;
   }
-  if (r.u16() != kWireVersion) {
+  if (!r.u16(version) || version != kWireVersion) {
     result.status = DecodeStatus::kUnsupportedVersion;
     return result;
   }
-  (void)r.u16();  // flags
+  (void)r.u16(flags);  // reserved
   Frame frame;
-  frame.stack_id = r.u32();
-  const std::uint32_t site_count = r.u32();
+  std::uint32_t site_count = 0;
+  (void)r.u32(frame.stack_id);
+  (void)r.u32(site_count);
   if (site_count > kMaxSiteCount) {
     result.status = DecodeStatus::kBadSiteCount;
     return result;
@@ -182,37 +101,46 @@ DecodeResult decode(const std::uint8_t* data, std::size_t size) {
     result.status = DecodeStatus::kTruncated;
     return result;
   }
-  if (crc32(data, size - kCrcSize) !=
-      [&] {
-        std::uint32_t v = 0;
-        std::memcpy(&v, data + size - kCrcSize, kCrcSize);
-        if constexpr (std::endian::native == std::endian::big) {
-          v = __builtin_bswap32(v);
-        }
-        return v;
-      }()) {
+  if (crc32(data, size - kCrcSize) != get_u32(data + size - kCrcSize)) {
     result.status = DecodeStatus::kBadCrc;
     return result;
   }
-  frame.sequence = r.u64();
-  frame.sim_time = Second{r.f64()};
-  frame.capture_ns = r.u64();
+  (void)r.u64(frame.sequence);
+  double sim_time = 0.0;
+  (void)r.f64(sim_time);
+  frame.sim_time = Second{sim_time};
+  (void)r.u64(frame.capture_ns);
   frame.readings.reserve(site_count);
   for (std::uint32_t i = 0; i < site_count; ++i) {
     core::StackMonitor::SiteReading reading;
-    reading.site_index = r.u32();
+    std::uint32_t site_index = 0;
+    std::uint32_t die = 0;
+    (void)r.u32(site_index);
+    reading.site_index = site_index;
     if (reading.site_index >= site_count) {
       result.status = DecodeStatus::kBadSiteIndex;
       return result;
     }
-    reading.die = r.u32();
-    reading.location.x = r.f64();
-    reading.location.y = r.f64();
-    reading.sensed = Celsius{r.f64()};
-    reading.truth = Celsius{r.f64()};
-    reading.energy = Joule{r.f64()};
-    reading.degraded = r.u8() != 0;
-    reading.health = r.u8();
+    (void)r.u32(die);
+    reading.die = die;
+    double x = 0.0;
+    double y = 0.0;
+    double sensed = 0.0;
+    double truth = 0.0;
+    double energy = 0.0;
+    (void)r.f64(x);
+    (void)r.f64(y);
+    (void)r.f64(sensed);
+    (void)r.f64(truth);
+    (void)r.f64(energy);
+    reading.location = {x, y};
+    reading.sensed = Celsius{sensed};
+    reading.truth = Celsius{truth};
+    reading.energy = Joule{energy};
+    std::uint8_t degraded = 0;
+    (void)r.u8(degraded);
+    reading.degraded = degraded != 0;
+    (void)r.u8(reading.health);
     if (reading.health >= core::kHealthStateCount) {
       result.status = DecodeStatus::kBadHealthState;
       return result;
@@ -231,11 +159,7 @@ DecodeResult decode(const std::vector<std::uint8_t>& buffer) {
 std::optional<std::uint32_t> peek_stack_id(
     const std::vector<std::uint8_t>& buffer) {
   if (buffer.size() < kHeaderSize) return std::nullopt;
-  std::uint32_t id = 0;
-  for (int i = 0; i < 4; ++i) {
-    id |= static_cast<std::uint32_t>(buffer[kStackIdOffset + i]) << (8 * i);
-  }
-  return id;
+  return get_u32(buffer.data() + kStackIdOffset);
 }
 
 const char* to_string(DecodeStatus status) {

@@ -26,6 +26,7 @@
 
 #include "core/stack_monitor.hpp"
 #include "ptsim/units.hpp"
+#include "telemetry/codec_util.hpp"  // crc32 + varint/zigzag primitives
 
 namespace tsvpt::telemetry {
 
@@ -38,9 +39,6 @@ inline constexpr std::uint16_t kWireVersion = 2;
 inline constexpr std::uint32_t kWireMagic = 0x54565354u;
 /// Decode-time sanity bound: no plausible stack carries more sites.
 inline constexpr std::uint32_t kMaxSiteCount = 1u << 16;
-
-/// CRC-32 (reflected 0xEDB88320, init/final 0xFFFFFFFF — the zlib CRC).
-[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
 
 /// One scan of one stack, as transported on the wire.
 struct Frame {

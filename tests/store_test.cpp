@@ -1,0 +1,502 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "store/store.hpp"
+#include "telemetry/aggregator.hpp"
+#include "telemetry/fleet_sampler.hpp"
+
+namespace tsvpt::store {
+namespace {
+
+telemetry::Frame make_frame(std::uint32_t stack, std::uint64_t sequence,
+                            double sim_time) {
+  telemetry::Frame frame;
+  frame.stack_id = stack;
+  frame.sequence = sequence;
+  frame.sim_time = Second{sim_time};
+  frame.capture_ns = 1'000'000 * sequence + stack;
+  for (std::size_t i = 0; i < 4; ++i) {
+    core::StackMonitor::SiteReading r;
+    r.site_index = i;
+    r.die = i / 2;
+    r.location = {0.5e-3 * static_cast<double>(i % 2),
+                  0.5e-3 * static_cast<double>(i / 2)};
+    r.sensed = Celsius{40.0 + 0.01 * static_cast<double>(sequence) +
+                       0.5 * static_cast<double>(i)};
+    r.truth = Celsius{r.sensed.value() - 0.3};
+    r.energy = Joule{2.0e-9};
+    frame.readings.push_back(r);
+  }
+  return frame;
+}
+
+std::string fresh_dir(const char* name) {
+  // Per-process root: sanitizer jobs may run this binary concurrently.
+  const std::filesystem::path dir =
+      std::filesystem::path{testing::TempDir()} /
+      ("tsvpt_store_tests_" + std::to_string(::getpid())) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir.parent_path());
+  return dir.string();
+}
+
+/// A FrameSink that persists through the writer AND remembers arrival order
+/// under one lock, so the on-disk order and the in-memory baseline agree
+/// even with concurrent fleet workers.
+class RecordingSink : public telemetry::FrameSink {
+ public:
+  explicit RecordingSink(StoreWriter& writer) : writer_(writer) {}
+
+  void on_frame(const telemetry::Frame& frame,
+                const std::vector<std::uint8_t>& wire) override {
+    (void)wire;
+    std::lock_guard<std::mutex> lock{mutex_};
+    writer_.append(frame);
+    seen_.push_back(frame);
+  }
+
+  [[nodiscard]] const std::vector<telemetry::Frame>& seen() const {
+    return seen_;
+  }
+
+ private:
+  StoreWriter& writer_;
+  std::mutex mutex_;
+  std::vector<telemetry::Frame> seen_;
+};
+
+void run_fleet(telemetry::FrameSink* sink, std::uint64_t seed,
+               std::size_t stacks, std::size_t scans) {
+  telemetry::FleetSampler::Config cfg;
+  cfg.stack_count = stacks;
+  cfg.scans_per_stack = scans;
+  cfg.seed = seed;
+  cfg.sink = sink;
+  telemetry::FleetSampler sampler{cfg};
+  sampler.run();
+}
+
+TEST(StoreHistorian, RecordThenQueryReturnsExactFramesInOrder) {
+  const std::string dir = fresh_dir("record_query");
+  std::vector<telemetry::Frame> baseline;
+  {
+    StoreWriter writer{dir};
+    RecordingSink sink{writer};
+    run_fleet(&sink, /*seed=*/7, /*stacks=*/4, /*scans=*/20);
+    writer.close();
+    baseline = sink.seen();
+  }
+  ASSERT_EQ(baseline.size(), 80u);
+
+  const StoreReader reader{dir};
+  const std::vector<telemetry::Frame> stored = reader.query({});
+  ASSERT_EQ(stored.size(), baseline.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_TRUE(stored[i] == baseline[i]) << "frame " << i;
+  }
+  EXPECT_EQ(reader.verify(), 0u);
+}
+
+TEST(StoreHistorian, ReplayMatchesLiveIngestExactly) {
+  // The acceptance property: replaying the store through an Aggregator must
+  // produce the same analysis a live collector would have produced from the
+  // same frames — alert for alert, stack for stack.
+  const std::string dir = fresh_dir("replay_parity");
+  std::vector<telemetry::Frame> baseline;
+  {
+    StoreWriter writer{dir};
+    RecordingSink sink{writer};
+    run_fleet(&sink, /*seed=*/13, /*stacks=*/3, /*scans=*/30);
+    writer.close();
+    baseline = sink.seen();
+  }
+
+  telemetry::Aggregator live{telemetry::Aggregator::Config{}};
+  for (const telemetry::Frame& frame : baseline) {
+    live.ingest(telemetry::encode(frame));
+  }
+
+  telemetry::Aggregator replayed{telemetry::Aggregator::Config{}};
+  const StoreReader reader{dir};
+  const StoreReader::ReplayResult result = reader.replay({}, replayed);
+  EXPECT_EQ(result.corrupt_blocks, 0u);
+  EXPECT_EQ(result.frames_replayed, baseline.size());
+
+  const telemetry::Aggregator::Summary& a = live.summary();
+  const telemetry::Aggregator::Summary& b = replayed.summary();
+  EXPECT_EQ(b.frames, a.frames);
+  EXPECT_EQ(b.decode_errors, 0u);
+  EXPECT_EQ(b.alerts, a.alerts);
+  EXPECT_EQ(b.alerts_by_kind, a.alerts_by_kind);
+  EXPECT_EQ(b.substituted_readings, a.substituted_readings);
+  EXPECT_EQ(b.health_transitions.size(), a.health_transitions.size());
+  ASSERT_EQ(b.stacks.size(), a.stacks.size());
+  for (const auto& [stack_id, live_stats] : a.stacks) {
+    const auto it = b.stacks.find(stack_id);
+    ASSERT_NE(it, b.stacks.end()) << "stack " << stack_id;
+    EXPECT_EQ(it->second.frames, live_stats.frames);
+    EXPECT_EQ(it->second.missed, live_stats.missed);
+    EXPECT_EQ(it->second.alerts, live_stats.alerts);
+  }
+}
+
+TEST(StoreHistorian, CrashAtEveryByteRecoversAPrefixAndResumes) {
+  // Tear the store at EVERY byte offset.  Whatever survives must be an exact
+  // prefix of the recorded sequence — never a corrupt or reordered frame —
+  // and reopening for append must resume cleanly after the survivors.
+  const std::string dir = fresh_dir("crash_prefix");
+  StoreOptions opts;
+  opts.block_frames = 4;
+  opts.fsync_every_blocks = 1;
+  {
+    StoreWriter writer{dir, opts};
+    for (std::uint64_t i = 0; i < 18; ++i) {
+      writer.append(make_frame(1, i, 1e-3 * static_cast<double>(i)));
+    }
+    writer.close();
+  }
+  const std::vector<std::string> files = list_segment_files(dir);
+  ASSERT_EQ(files.size(), 1u);
+  std::vector<std::uint8_t> golden;
+  ASSERT_TRUE(read_file(files[0], golden));
+  const std::vector<telemetry::Frame> baseline = StoreReader{dir}.query({});
+  ASSERT_EQ(baseline.size(), 18u);
+
+  const std::string crash_dir = fresh_dir("crash_prefix_torn");
+  std::filesystem::create_directories(crash_dir);
+  const std::string crash_file =
+      (std::filesystem::path{crash_dir} / "seg-000001.tsl").string();
+  for (std::size_t len = 0; len <= golden.size(); ++len) {
+    {
+      std::FILE* file = std::fopen(crash_file.c_str(), "wb");
+      ASSERT_NE(file, nullptr);
+      if (len > 0) {
+        ASSERT_EQ(std::fwrite(golden.data(), 1, len, file), len);
+      }
+      ASSERT_EQ(std::fclose(file), 0);
+    }
+
+    const StoreReader reader{crash_dir};
+    EXPECT_EQ(reader.verify(), 0u) << "length " << len;
+    StoreReader::Cursor cursor = reader.scan();
+    telemetry::Frame frame;
+    std::size_t served = 0;
+    while (cursor.next(frame)) {
+      ASSERT_LT(served, baseline.size()) << "length " << len;
+      EXPECT_TRUE(frame == baseline[served]) << "length " << len << " frame "
+                                             << served;
+      served += 1;
+    }
+    EXPECT_EQ(cursor.corrupt_blocks(), 0u) << "length " << len;
+
+    // Sample the writer path too: reopen the torn store, append, and check
+    // the new frame lands right after the recovered prefix.
+    if (len % 7 == 0) {
+      const std::size_t prefix = served;
+      {
+        StoreWriter writer{crash_dir, opts};
+        writer.append(make_frame(1, 99, 1.0));
+        writer.close();
+      }
+      const std::vector<telemetry::Frame> resumed =
+          StoreReader{crash_dir}.query({});
+      ASSERT_EQ(resumed.size(), prefix + 1) << "length " << len;
+      for (std::size_t i = 0; i < prefix; ++i) {
+        EXPECT_TRUE(resumed[i] == baseline[i]) << "length " << len;
+      }
+      EXPECT_EQ(resumed.back().sequence, 99u) << "length " << len;
+    }
+  }
+}
+
+TEST(StoreHistorian, TimeAndStackFiltersSkipBySparseIndex) {
+  const std::string dir = fresh_dir("filters");
+  StoreOptions opts;
+  opts.block_frames = 2;  // several blocks, so header skipping is exercised
+  {
+    StoreWriter writer{dir, opts};
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      writer.append(make_frame(1, i, 1e-3 * static_cast<double>(i)));
+      writer.append(make_frame(2, i, 1e-3 * static_cast<double>(i)));
+    }
+    writer.close();
+  }
+  const StoreReader reader{dir};
+
+  StoreReader::Query window;
+  window.t_min = 3e-3;
+  window.t_max = 6e-3;
+  window.stack_ids = {2};
+  const std::vector<telemetry::Frame> hits = reader.query(window);
+  ASSERT_EQ(hits.size(), 4u);  // scans 3..6 of stack 2
+  for (const telemetry::Frame& frame : hits) {
+    EXPECT_EQ(frame.stack_id, 2u);
+    EXPECT_GE(frame.sim_time.value(), window.t_min);
+    EXPECT_LE(frame.sim_time.value(), window.t_max);
+  }
+
+  StoreReader::Query nobody;
+  nobody.stack_ids = {42};
+  EXPECT_TRUE(reader.query(nobody).empty());
+
+  // The limit short-circuits the cursor.
+  EXPECT_EQ(reader.query({}, 5).size(), 5u);
+}
+
+TEST(StoreHistorian, SiteFilterPrunesQueriesButReplaysWholeFrames) {
+  const std::string dir = fresh_dir("site_filter");
+  {
+    StoreWriter writer{dir};
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      writer.append(make_frame(1, i, 1e-3 * static_cast<double>(i)));
+    }
+    writer.close();
+  }
+  const StoreReader reader{dir};
+
+  StoreReader::Query query;
+  query.site_ids = {1};
+  const std::vector<telemetry::Frame> pruned = reader.query(query);
+  ASSERT_EQ(pruned.size(), 8u);
+  for (const telemetry::Frame& frame : pruned) {
+    ASSERT_EQ(frame.readings.size(), 1u);
+    EXPECT_EQ(frame.readings[0].site_index, 1u);
+  }
+
+  StoreReader::Query absent;
+  absent.site_ids = {99};
+  EXPECT_TRUE(reader.query(absent).empty());
+
+  // Replay must NOT prune: dropping readings would renumber sites and the
+  // re-encoded frame would be rejected by the wire codec's dense-index
+  // check.  Zero decode errors proves whole frames went through.
+  telemetry::Aggregator aggregator{telemetry::Aggregator::Config{}};
+  const StoreReader::ReplayResult result = reader.replay(query, aggregator);
+  EXPECT_EQ(result.frames_replayed, 8u);
+  EXPECT_EQ(aggregator.summary().decode_errors, 0u);
+  EXPECT_EQ(aggregator.summary().frames, 8u);
+}
+
+TEST(StoreHistorian, FlushMakesPartialBlockDurable) {
+  const std::string dir = fresh_dir("flush");
+  StoreWriter writer{dir};  // block_frames = 64, far from full
+  writer.append(make_frame(1, 0, 0.0));
+  writer.append(make_frame(1, 1, 1e-3));
+  writer.append(make_frame(1, 2, 2e-3));
+  EXPECT_TRUE(StoreReader{dir}.query({}).empty());  // still buffered
+  writer.flush();
+  EXPECT_EQ(StoreReader{dir}.query({}).size(), 3u);  // sealed + synced
+  writer.close();
+}
+
+TEST(StoreHistorian, WriterReopenResumesWithoutTornTail) {
+  const std::string dir = fresh_dir("reopen");
+  StoreOptions opts;
+  opts.block_frames = 2;
+  {
+    StoreWriter writer{dir, opts};
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      writer.append(make_frame(3, i, 1e-3 * static_cast<double>(i)));
+    }
+    writer.close();
+  }
+  {
+    StoreWriter writer{dir, opts};
+    EXPECT_EQ(writer.stats().torn_tail_recoveries, 0u);
+    for (std::uint64_t i = 6; i < 10; ++i) {
+      writer.append(make_frame(3, i, 1e-3 * static_cast<double>(i)));
+    }
+    writer.close();
+  }
+  const StoreReader reader{dir};
+  const std::vector<telemetry::Frame> frames = reader.query({});
+  ASSERT_EQ(frames.size(), 10u);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].sequence, i);  // one contiguous history, in order
+  }
+  EXPECT_EQ(reader.segments().size(), 1u);  // resumed, not a fresh segment
+}
+
+TEST(StoreHistorian, AppendAfterCloseThrows) {
+  const std::string dir = fresh_dir("closed");
+  StoreWriter writer{dir};
+  writer.append(make_frame(1, 0, 0.0));
+  writer.close();
+  EXPECT_THROW(writer.append(make_frame(1, 1, 1e-3)), std::logic_error);
+}
+
+TEST(StoreHistorian, CompactionOfEmptyOrMissingStoreIsANoOp) {
+  const Retention aggressive{.max_bytes = 1, .max_age = Second{1e-9}};
+
+  const std::string empty = fresh_dir("compact_empty");
+  std::filesystem::create_directories(empty);
+  const CompactionReport on_empty = compact_store(empty, aggressive);
+  EXPECT_EQ(on_empty.segments_removed, 0u);
+  EXPECT_EQ(on_empty.segments_rewritten, 0u);
+  EXPECT_EQ(on_empty.bytes_before, 0u);
+
+  const CompactionReport on_missing =
+      compact_store(fresh_dir("compact_missing"), aggressive);
+  EXPECT_EQ(on_missing.segments_removed, 0u);
+  EXPECT_EQ(on_missing.bytes_after, 0u);
+}
+
+TEST(StoreHistorian, OnlineCompactionNeverTouchesTheOpenSegment) {
+  const std::string dir = fresh_dir("compact_open");
+  StoreOptions opts;
+  opts.block_frames = 2;  // seals land in the (single, open) segment
+  StoreWriter writer{dir, opts};
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    writer.append(make_frame(1, i, 1e-3 * static_cast<double>(i)));
+  }
+  const CompactionReport report =
+      writer.compact({.max_bytes = 1, .max_age = Second{1e-9}});
+  EXPECT_EQ(report.segments_removed, 0u);
+  EXPECT_EQ(report.segments_rewritten, 0u);
+  EXPECT_EQ(writer.stats().frames, 6u);  // nothing was harmed
+  writer.close();
+  EXPECT_EQ(StoreReader{dir}.query({}).size(), 6u);
+}
+
+TEST(StoreHistorian, ExpiryExactlyOnBlockEdgeSurvives) {
+  // Retention is a closed interval: a block whose t_max lands exactly on
+  // the cutoff is NOT expired.  One epsilon tighter and it is.
+  const std::string dir = fresh_dir("expiry_edge");
+  StoreOptions opts;
+  opts.block_frames = 4;
+  {
+    StoreWriter writer{dir, opts};
+    for (const double t : {0.0, 0.25, 0.5, 1.0}) {  // block A, t_max = 1.0
+      writer.append(make_frame(1, static_cast<std::uint64_t>(t * 4), t));
+    }
+    for (const double t : {2.0, 2.25, 2.5, 3.0}) {  // block B, newest = 3.0
+      writer.append(make_frame(1, 8 + static_cast<std::uint64_t>(t * 4), t));
+    }
+    writer.close();
+  }
+
+  // cutoff = 3.0 - 2.0 = 1.0 == block A's t_max: A survives.
+  const CompactionReport on_edge =
+      compact_store(dir, {.max_age = Second{2.0}});
+  EXPECT_EQ(on_edge.blocks_dropped, 0u);
+  EXPECT_EQ(on_edge.segments_rewritten, 0u);
+  EXPECT_EQ(StoreReader{dir}.query({}).size(), 8u);
+
+  // cutoff = 1.5 > 1.0: A expires; the shared segment is rewritten in
+  // place, keeping only block B.
+  const CompactionReport past_edge =
+      compact_store(dir, {.max_age = Second{1.5}});
+  EXPECT_EQ(past_edge.segments_rewritten, 1u);
+  EXPECT_EQ(past_edge.blocks_dropped, 1u);
+  EXPECT_EQ(past_edge.frames_dropped, 4u);
+  EXPECT_LT(past_edge.bytes_after, past_edge.bytes_before);
+
+  const StoreReader reader{dir};
+  const std::vector<telemetry::Frame> frames = reader.query({});
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_DOUBLE_EQ(frames.front().sim_time.value(), 2.0);
+  EXPECT_EQ(reader.verify(), 0u);  // the rewrite kept records bit-exact
+}
+
+TEST(StoreHistorian, ByteBudgetDropsOldestWholeSegments) {
+  const std::string dir = fresh_dir("byte_budget");
+  StoreOptions opts;
+  opts.block_frames = 4;
+  opts.segment_bytes = 1;  // roll after every sealed block: 1 block/segment
+  {
+    StoreWriter writer{dir, opts};
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      writer.append(make_frame(1, i, 1e-3 * static_cast<double>(i)));
+    }
+    writer.close();
+  }
+  {
+    const StoreReader before{dir};
+    ASSERT_EQ(before.segments().size(), 4u);
+  }
+
+  // Budget for exactly the newest two segments.
+  const StoreReader sizing{dir};
+  const std::uint64_t budget = sizing.segments()[2].valid_bytes +
+                               sizing.segments()[3].valid_bytes + 1;
+  const CompactionReport report =
+      compact_store(dir, {.max_bytes = budget});
+  EXPECT_EQ(report.segments_removed, 2u);
+  EXPECT_LE(report.bytes_after, budget);
+
+  const StoreReader reader{dir};
+  const std::vector<telemetry::Frame> frames = reader.query({});
+  ASSERT_EQ(frames.size(), 8u);
+  EXPECT_EQ(frames.front().sequence, 8u);  // the oldest half is gone
+  EXPECT_EQ(frames.back().sequence, 15u);
+  EXPECT_EQ(reader.verify(), 0u);
+}
+
+TEST(StoreHistorian, CompactionConcurrentWithActiveWriter) {
+  // Retention must be safe to run while appends continue: the writer-side
+  // pass only touches sealed segments.  Afterwards the surviving history
+  // must be a contiguous, uncorrupted suffix ending at the newest frame.
+  const std::string dir = fresh_dir("concurrent_compact");
+  StoreOptions opts;
+  opts.block_frames = 2;
+  opts.segment_bytes = 600;  // small segments -> frequent rolls
+  opts.fsync_every_blocks = 0;
+  StoreWriter writer{dir, opts};
+
+  std::thread appender{[&] {
+    for (std::uint64_t i = 0; i < 300; ++i) {
+      writer.append(make_frame(1, i, 1e-4 * static_cast<double>(i)));
+    }
+  }};
+  for (int i = 0; i < 100; ++i) {
+    const CompactionReport report = writer.compact({.max_bytes = 8192});
+    EXPECT_EQ(report.segments_rewritten, 0u);  // byte budget only
+    std::this_thread::yield();
+  }
+  appender.join();
+  writer.close();
+
+  const StoreReader reader{dir};
+  EXPECT_EQ(reader.verify(), 0u);
+  const std::vector<telemetry::Frame> frames = reader.query({});
+  ASSERT_FALSE(frames.empty());
+  EXPECT_EQ(frames.back().sequence, 299u);  // close() sealed the newest
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].sequence, frames[i - 1].sequence + 1)
+        << "history must stay contiguous — only oldest segments may drop";
+  }
+}
+
+TEST(StoreHistorian, FleetRecordingCompressesPastThreeToOne) {
+  // The headline number: a realistic fleet capture at default options must
+  // beat the raw wire codec by >3x (the bench asserts the same bar).
+  const std::string dir = fresh_dir("compression");
+  StoreWriter writer{dir};
+  run_fleet(&writer, /*seed=*/5, /*stacks=*/4, /*scans=*/60);
+  writer.close();
+
+  const StoreStats stats = writer.stats();
+  EXPECT_EQ(stats.frames, 240u);
+  EXPECT_GT(stats.bytes_raw, stats.bytes_on_disk);
+  EXPECT_GT(stats.compression_ratio(), 3.0)
+      << stats.bytes_on_disk << " bytes on disk vs " << stats.bytes_raw
+      << " raw";
+  EXPECT_EQ(stats.stack_ids.size(), 4u);
+  EXPECT_EQ(stats.torn_tail_recoveries, 0u);
+
+  const StoreStats reread = StoreReader{dir}.stats();
+  EXPECT_EQ(reread.frames, stats.frames);
+  EXPECT_EQ(reread.bytes_on_disk, stats.bytes_on_disk);
+}
+
+}  // namespace
+}  // namespace tsvpt::store

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "core/health_supervisor.hpp"
@@ -82,6 +83,23 @@ TEST(TelemetryFrame, EveryTruncationRejected) {
   longer.push_back(0);
   EXPECT_EQ(decode(longer).status, DecodeStatus::kTruncated);
   EXPECT_EQ(decode(nullptr, 0).status, DecodeStatus::kTruncated);
+}
+
+TEST(TelemetryFrame, TruncationFuzzExactAllocations) {
+  // EveryTruncationRejected passes a short length over the *full* buffer, so
+  // a decoder bug that reads past `len` would land in valid memory and go
+  // unnoticed.  Here every prefix is copied into an exactly-sized heap
+  // allocation: under the sanitizer CI job any out-of-bounds read is a
+  // heap-buffer-overflow, and in all builds the status must be non-kOk.
+  const Frame multi = sample_frame();
+  const std::vector<std::uint8_t> wire = encode(multi);
+  ASSERT_GT(multi.readings.size(), 1u);  // multi-site, per the threat model
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    std::unique_ptr<std::uint8_t[]> exact{new std::uint8_t[len]};
+    std::memcpy(exact.get(), wire.data(), len);
+    const DecodeResult result = decode(exact.get(), len);
+    EXPECT_NE(result.status, DecodeStatus::kOk) << "length " << len;
+  }
 }
 
 TEST(TelemetryFrame, EveryBitFlipRejected) {

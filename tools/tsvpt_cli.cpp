@@ -28,11 +28,24 @@
 //       degraded-mode temperature error, recovery status.  Exit 0 when
 //       every sensor fault was detected, nothing healthy was permanently
 //       quarantined, and the fleet converged back to all-healthy.
+//       Both fleet and chaos take --store DIR to persist every produced
+//       frame into the telemetry historian while sampling; fleet also takes
+//       --summary-interval S for periodic progress lines on stderr.
+//   tsvpt_cli store <info|query|replay|compact> --dir DIR
+//       Operate on a historian directory: `info` prints stats and verifies
+//       every block CRC (exit 1 on corruption — the post-crash integrity
+//       gate), `query` filters by time/stack/site, `replay` feeds stored
+//       frames through the aggregator for offline alert analysis, and
+//       `compact` applies --max-bytes / --max-age-s retention.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "core/stack_monitor.hpp"
 #include "device/tech_io.hpp"
@@ -43,6 +56,7 @@
 #include "ptsim/args.hpp"
 #include "ptsim/stats.hpp"
 #include "sim/monitor_session.hpp"
+#include "store/store.hpp"
 #include "telemetry/aggregator.hpp"
 #include "telemetry/fleet_sampler.hpp"
 #include "thermal/workload_io.hpp"
@@ -182,9 +196,51 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
+/// Periodic progress reporter for long fleet runs: a thread printing the
+/// aggregator's live counters to stderr every `interval` until stopped.
+class SummaryReporter {
+ public:
+  SummaryReporter(const telemetry::Aggregator& aggregator, double interval_s)
+      : aggregator_(aggregator), interval_s_(interval_s) {
+    if (interval_s_ > 0.0) thread_ = std::thread{[this] { loop(); }};
+  }
+  ~SummaryReporter() { stop(); }
+
+  void stop() {
+    done_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void loop() {
+    const auto t0 = std::chrono::steady_clock::now();
+    double next = interval_s_;
+    while (!done_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (elapsed < next) continue;
+      next += interval_s_;
+      const telemetry::Aggregator::Progress p = aggregator_.progress();
+      std::fprintf(stderr,
+                   "[fleet %6.1fs] frames=%llu decode_errors=%llu "
+                   "alerts=%llu\n",
+                   elapsed, static_cast<unsigned long long>(p.frames),
+                   static_cast<unsigned long long>(p.decode_errors),
+                   static_cast<unsigned long long>(p.alerts));
+    }
+  }
+
+  const telemetry::Aggregator& aggregator_;
+  double interval_s_;
+  std::atomic<bool> done_{false};
+  std::thread thread_;
+};
+
 int cmd_fleet(const Args& args) {
   args.check_known({"stacks", "threads", "scans", "sample-ms", "ring", "grid",
-                    "alert-c", "seed", "card"});
+                    "alert-c", "seed", "card", "store", "summary-interval"});
   telemetry::FleetSampler::Config cfg;
   cfg.stack_count = static_cast<std::size_t>(args.get("stacks", 8LL));
   cfg.thread_count = static_cast<std::size_t>(args.get("threads", 0LL));
@@ -200,11 +256,21 @@ int cmd_fleet(const Args& args) {
   telemetry::Aggregator::Config agg_cfg;
   agg_cfg.alert_threshold = Celsius{args.get("alert-c", 85.0)};
 
+  std::unique_ptr<store::StoreWriter> writer;
+  const std::string store_dir = args.get("store", std::string{});
+  if (!store_dir.empty()) {
+    writer = std::make_unique<store::StoreWriter>(store_dir);
+    cfg.sink = writer.get();
+  }
+
   telemetry::FleetSampler sampler{cfg};
   telemetry::Aggregator aggregator{agg_cfg};
+  SummaryReporter reporter{aggregator, args.get("summary-interval", 0.0)};
   aggregator.start(sampler.rings());
   sampler.run();
   aggregator.stop();
+  reporter.stop();
+  if (writer != nullptr) writer->close();
 
   const telemetry::Aggregator::Summary& sum = aggregator.summary();
   std::ostringstream json;
@@ -235,7 +301,17 @@ int cmd_fleet(const Args& args) {
       first = false;
     }
   }
-  json << "},\n  \"per_stack\": [\n";
+  json << "},\n";
+  if (writer != nullptr) {
+    const store::StoreStats st = writer->stats();
+    json << "  \"store\": {\"dir\": \"" << store_dir
+         << "\", \"segments\": " << st.segments
+         << ", \"blocks\": " << st.blocks << ", \"frames\": " << st.frames
+         << ", \"bytes_on_disk\": " << st.bytes_on_disk
+         << ", \"bytes_raw\": " << st.bytes_raw
+         << ", \"compression_ratio\": " << st.compression_ratio() << "},\n";
+  }
+  json << "  \"per_stack\": [\n";
   for (std::size_t k = 0; k < sampler.stack_count(); ++k) {
     const auto id = static_cast<std::uint32_t>(k);
     const auto it = sum.stacks.find(id);
@@ -268,7 +344,8 @@ int cmd_fleet(const Args& args) {
 
 int cmd_chaos(const Args& args) {
   args.check_known({"stacks", "threads", "scans", "sample-ms", "ring", "grid",
-                    "events-per-kind", "watchdog-ms", "seed", "card"});
+                    "events-per-kind", "watchdog-ms", "seed", "card",
+                    "store"});
   telemetry::FleetSampler::Config cfg;
   cfg.stack_count = static_cast<std::size_t>(args.get("stacks", 8LL));
   cfg.thread_count = static_cast<std::size_t>(args.get("threads", 4LL));
@@ -297,6 +374,17 @@ int cmd_chaos(const Args& args) {
        inject::FaultKind::kRingStall, inject::FaultKind::kWorkerStall},
       static_cast<std::size_t>(args.get("events-per-kind", 1LL)));
 
+  // Recording under chaos: the sink sees pristine frames before the
+  // injector corrupts the wire, so the store stays replayable even while
+  // the live path is being battered (and a SIGKILL mid-run leaves at most
+  // a torn tail for recovery to truncate — the CI soak relies on this).
+  std::unique_ptr<store::StoreWriter> writer;
+  const std::string store_dir = args.get("store", std::string{});
+  if (!store_dir.empty()) {
+    writer = std::make_unique<store::StoreWriter>(store_dir);
+    cfg.sink = writer.get();
+  }
+
   telemetry::FleetSampler sampler{cfg};
   inject::ChaosInjector injector{plan, &sampler};
   sampler.set_interceptor(&injector);
@@ -311,6 +399,7 @@ int cmd_chaos(const Args& args) {
   aggregator.start(sampler.rings());
   sampler.run();
   aggregator.stop();
+  if (writer != nullptr) writer->close();
 
   // Detection latency per sensor-level fault: scans from the fault's onset
   // to the site's quarantine transition.
@@ -421,9 +510,166 @@ int cmd_chaos(const Args& args) {
   return ok ? 0 : 1;
 }
 
+void print_ids(std::ostringstream& json, const std::vector<std::uint32_t>& ids) {
+  json << "[";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    json << (i == 0 ? "" : ", ") << ids[i];
+  }
+  json << "]";
+}
+
+store::StoreReader::Query query_from(const Args& args) {
+  store::StoreReader::Query query;
+  if (args.has("t-min")) query.t_min = args.get("t-min", 0.0);
+  if (args.has("t-max")) query.t_max = args.get("t-max", 0.0);
+  if (args.has("stack")) {
+    query.stack_ids.push_back(
+        static_cast<std::uint32_t>(args.get("stack", 0LL)));
+  }
+  if (args.has("site")) {
+    query.site_ids.push_back(
+        static_cast<std::size_t>(args.get("site", 0LL)));
+  }
+  return query;
+}
+
+int cmd_store_info(const std::string& dir) {
+  const store::StoreReader reader{dir};
+  const store::StoreStats stats = reader.stats();
+  const std::uint64_t corrupt = reader.verify();
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"dir\": \"" << dir << "\",\n"
+       << "  \"segments\": " << stats.segments << ",\n"
+       << "  \"blocks\": " << stats.blocks << ",\n"
+       << "  \"frames\": " << stats.frames << ",\n"
+       << "  \"bytes_on_disk\": " << stats.bytes_on_disk << ",\n"
+       << "  \"bytes_raw\": " << stats.bytes_raw << ",\n"
+       << "  \"compression_ratio\": " << stats.compression_ratio() << ",\n"
+       << "  \"torn_tails\": " << stats.torn_tail_recoveries << ",\n"
+       << "  \"corrupt_blocks\": " << corrupt << ",\n"
+       << "  \"t_min\": " << stats.t_min << ",\n"
+       << "  \"t_max\": " << stats.t_max << ",\n"
+       << "  \"stack_ids\": ";
+  print_ids(json, stats.stack_ids);
+  json << ",\n  \"segment_files\": [\n";
+  const auto& segments = reader.segments();
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto& s = segments[i];
+    json << "    {\"path\": \"" << s.path << "\", \"blocks\": "
+         << s.blocks.size() << ", \"frames\": " << s.frames()
+         << ", \"valid_bytes\": " << s.valid_bytes
+         << ", \"torn_tail\": " << (s.torn_tail() ? "true" : "false") << "}"
+         << (i + 1 < segments.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << json.str();
+  // Scriptable integrity gate: nonzero on any corrupt block, so `store
+  // info` doubles as the post-crash soak check.
+  return corrupt == 0 ? 0 : 1;
+}
+
+int cmd_store_query(const Args& args, const std::string& dir) {
+  const store::StoreReader reader{dir};
+  const auto limit = static_cast<std::size_t>(args.get("limit", 20LL));
+  auto cursor = reader.scan(query_from(args));
+  telemetry::Frame frame;
+  std::size_t printed = 0;
+  std::uint64_t matched = 0;
+  while (cursor.next(frame)) {
+    matched += 1;
+    if (printed >= limit) continue;  // keep counting for the summary line
+    printed += 1;
+    double max_sensed = 0.0;
+    for (const auto& r : frame.readings) {
+      max_sensed = std::max(max_sensed, r.sensed.value());
+    }
+    std::printf(
+        "{\"stack\": %u, \"sequence\": %llu, \"sim_time\": %.6f, "
+        "\"sites\": %zu, \"max_sensed_c\": %.3f}\n",
+        frame.stack_id, static_cast<unsigned long long>(frame.sequence),
+        frame.sim_time.value(), frame.readings.size(), max_sensed);
+  }
+  std::fprintf(stderr, "%llu frames matched, %zu printed, %llu corrupt blocks\n",
+               static_cast<unsigned long long>(matched), printed,
+               static_cast<unsigned long long>(cursor.corrupt_blocks()));
+  return cursor.corrupt_blocks() == 0 ? 0 : 1;
+}
+
+int cmd_store_replay(const Args& args, const std::string& dir) {
+  const store::StoreReader reader{dir};
+  telemetry::Aggregator::Config agg_cfg;
+  agg_cfg.alert_threshold = Celsius{args.get("alert-c", 85.0)};
+  telemetry::Aggregator aggregator{agg_cfg};
+  const auto result = reader.replay(query_from(args), aggregator);
+  const telemetry::Aggregator::Summary& sum = aggregator.summary();
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"frames_replayed\": " << result.frames_replayed << ",\n"
+       << "  \"corrupt_blocks\": " << result.corrupt_blocks << ",\n"
+       << "  \"decode_errors\": " << sum.decode_errors << ",\n"
+       << "  \"alerts\": {";
+  bool first = true;
+  for (const auto& [kind, count] : sum.alerts_by_kind) {
+    json << (first ? "" : ", ") << '"' << telemetry::to_string(kind)
+         << "\": " << count;
+    first = false;
+  }
+  json << "},\n  \"health_transitions\": " << sum.health_transitions.size()
+       << ",\n  \"substituted_readings\": " << sum.substituted_readings
+       << "\n}\n";
+  std::cout << json.str();
+  // Stored frames are pristine wire images: any decode error on replay
+  // means the store (not the run) is damaged.
+  return (result.corrupt_blocks == 0 && sum.decode_errors == 0) ? 0 : 1;
+}
+
+int cmd_store_compact(const Args& args, const std::string& dir) {
+  store::Retention retention;
+  retention.max_bytes = static_cast<std::uint64_t>(args.get("max-bytes", 0LL));
+  retention.max_age = Second{args.get("max-age-s", 0.0)};
+  const store::CompactionReport report = store::compact_store(dir, retention);
+  std::printf(
+      "{\"segments_removed\": %zu, \"segments_rewritten\": %zu, "
+      "\"blocks_dropped\": %zu, \"frames_dropped\": %llu, "
+      "\"bytes_before\": %llu, \"bytes_after\": %llu}\n",
+      report.segments_removed, report.segments_rewritten,
+      report.blocks_dropped,
+      static_cast<unsigned long long>(report.frames_dropped),
+      static_cast<unsigned long long>(report.bytes_before),
+      static_cast<unsigned long long>(report.bytes_after));
+  return 0;
+}
+
+int cmd_store(const Args& args) {
+  args.check_known({"dir", "t-min", "t-max", "stack", "site", "limit",
+                    "alert-c", "max-bytes", "max-age-s"});
+  if (args.positionals().empty()) {
+    std::fprintf(stderr,
+                 "usage: tsvpt_cli store <info|query|replay|compact> "
+                 "--dir DIR [flags]\n");
+    return 2;
+  }
+  const std::string sub = args.positionals().front();
+  const std::string dir = args.get("dir", std::string{});
+  if (dir.empty()) {
+    std::fprintf(stderr, "tsvpt_cli store %s: --dir is required\n",
+                 sub.c_str());
+    return 2;
+  }
+  if (sub == "info") return cmd_store_info(dir);
+  if (sub == "query") return cmd_store_query(args, dir);
+  if (sub == "replay") return cmd_store_replay(args, dir);
+  if (sub == "compact") return cmd_store_compact(args, dir);
+  std::fprintf(stderr, "tsvpt_cli store: unknown subcommand '%s'\n",
+               sub.c_str());
+  return 2;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: tsvpt_cli <tech|sense|mc|trace|fleet|chaos> [flags]\n"
+               "usage: tsvpt_cli <tech|sense|mc|trace|fleet|chaos|store>"
+               " [flags]\n"
                "  tech   [--card FILE]\n"
                "  sense  --t DEGC [--dvtn-mv MV] [--dvtp-mv MV] [--seed N]"
                " [--card FILE] [--compensate 1]\n"
@@ -437,7 +683,16 @@ int usage() {
                " decoded)\n"
                "  chaos  [--stacks N] [--threads N] [--scans N]"
                " [--sample-ms MS] [--ring N] [--grid N] [--events-per-kind N]"
-               " [--watchdog-ms MS] [--seed N] [--card FILE]\n");
+               " [--watchdog-ms MS] [--seed N] [--card FILE] [--store DIR]\n"
+               "  store  <info|query|replay|compact> --dir DIR\n"
+               "         info                   print stats + integrity"
+               " (exit 1 on corrupt blocks)\n"
+               "         query   [--t-min S] [--t-max S] [--stack N]"
+               " [--site N] [--limit N]\n"
+               "         replay  [--t-min S] [--t-max S] [--stack N]"
+               " [--alert-c DEGC]\n"
+               "         compact [--max-bytes N] [--max-age-s S]\n"
+               "  fleet also takes [--store DIR] [--summary-interval S]\n");
   return 2;
 }
 
@@ -454,6 +709,7 @@ int main(int argc, char** argv) {
     if (command == "trace") return cmd_trace(args);
     if (command == "fleet") return cmd_fleet(args);
     if (command == "chaos") return cmd_chaos(args);
+    if (command == "store") return cmd_store(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tsvpt_cli: %s\n", e.what());
     return 1;
