@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tsvpt::core {
 
 const char* to_string(HealthState state) {
@@ -81,6 +84,13 @@ void HealthSupervisor::transition(std::size_t i, HealthState to,
   t.scan = scan;
   t.reason = std::move(reason);
   result->transitions.push_back(std::move(t));
+  // Health edges are rare (a handful per fault), so each one is both
+  // counted and dropped into the flight recorder as an instant event named
+  // after the destination state (to_string returns literals).
+  static const obs::Counter transitions_total =
+      obs::counter("tsvpt_health_transitions_total");
+  transitions_total.inc();
+  obs::instant("health", to_string(to), i);
   site.state = to;
   site.clean_streak = 0;
   site.degraded_streak = 0;

@@ -2,7 +2,22 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace tsvpt::core {
+
+namespace {
+
+// Per-conversion counting stays a single sharded atomic add; the duration
+// histogram wraps whole scans (sample_all), not single conversions, so the
+// sensor's Newton solver is never bracketed by clock reads site-by-site.
+const obs::Counter& conversions_total() {
+  static const obs::Counter c =
+      obs::counter("tsvpt_sensor_conversions_total");
+  return c;
+}
+
+}  // namespace
 
 StackMonitor::StackMonitor(thermal::ThermalNetwork* network,
                            PtSensor::Config sensor_config,
@@ -51,6 +66,7 @@ StackMonitor::SiteReading StackMonitor::sample_site(std::size_t site_index,
   site_reading.truth = to_celsius(env.temperature);
   site_reading.energy = reading.energy;
   site_reading.degraded = reading.degraded;
+  conversions_total().inc();
   return site_reading;
 }
 
@@ -71,6 +87,9 @@ void StackMonitor::set_site_supply(std::size_t site_index,
 }
 
 std::vector<StackMonitor::SiteReading> StackMonitor::sample_all(Rng* noise) {
+  static const obs::Histogram scan_seconds =
+      obs::histogram("tsvpt_sensor_scan_seconds");
+  const obs::ScopedTimer timer{scan_seconds};
   std::vector<SiteReading> out;
   out.reserve(sites_.size());
   for (std::size_t i = 0; i < sites_.size(); ++i) {

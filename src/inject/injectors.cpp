@@ -4,9 +4,24 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ptsim/units.hpp"
 
 namespace tsvpt::inject {
+
+namespace {
+
+/// Every fault firing lands in the flight recorder as an instant named after
+/// the fault kind, so a trace shows cause (chaos) next to effect (alerts,
+/// health transitions) on the same timeline.
+void record_fault(FaultKind kind, std::size_t stack) {
+  static const obs::Counter faults = obs::counter("tsvpt_chaos_faults_total");
+  faults.inc();
+  obs::instant("chaos", to_string(kind), stack);
+}
+
+}  // namespace
 
 ChaosInjector::ChaosInjector(FaultPlan plan, telemetry::FleetSampler* sampler)
     : plan_(std::move(plan)), sampler_(sampler) {
@@ -45,6 +60,7 @@ void ChaosInjector::before_scan(std::size_t stack, std::uint64_t scan,
                                               core::RoFault::kStuck, stuck);
           slot.applied = true;
           stats.sensor_faults_applied += 1;
+          record_fault(e.kind, stack);
         } else if (!active && slot.applied) {
           monitor.sensor(e.site).clear_faults();
           slot.applied = false;
@@ -57,6 +73,7 @@ void ChaosInjector::before_scan(std::size_t stack, std::uint64_t scan,
                                               core::RoFault::kDead);
           slot.applied = true;
           stats.sensor_faults_applied += 1;
+          record_fault(e.kind, stack);
         } else if (!active && slot.applied) {
           monitor.sensor(e.site).clear_faults();
           slot.applied = false;
@@ -71,6 +88,7 @@ void ChaosInjector::before_scan(std::size_t stack, std::uint64_t scan,
           monitor.set_site_supply(e.site, circuit::SupplyRail{drooped});
           slot.applied = true;
           stats.sensor_faults_applied += 1;
+          record_fault(e.kind, stack);
         } else if (!active && slot.applied) {
           monitor.set_site_supply(e.site, slot.saved_rail);
           slot.applied = false;
@@ -84,6 +102,7 @@ void ChaosInjector::before_scan(std::size_t stack, std::uint64_t scan,
           sampler_->stall_worker(sampler_->worker_of(stack));
           slot.applied = true;
           stats.worker_stalls_requested += 1;
+          record_fault(e.kind, stack);
         }
         break;
       }
@@ -110,12 +129,14 @@ void ChaosInjector::after_scan(
         readings[e.site].sensed =
             Celsius{readings[e.site].sensed.value() + e.magnitude};
         stats.readings_corrupted += 1;
+        record_fault(e.kind, stack);
         break;
       case FaultKind::kCalDrift:
         readings[e.site].sensed = Celsius{
             readings[e.site].sensed.value() +
             e.magnitude * static_cast<double>(scan - e.start_scan + 1)};
         stats.readings_corrupted += 1;
+        record_fault(e.kind, stack);
         break;
       default:
         break;
@@ -136,11 +157,15 @@ bool ChaosInjector::before_publish(std::size_t stack, std::uint64_t scan,
       // collector counts a decode error instead of ingesting garbage.
       buffer[buffer.size() / 2] ^= 0xFFu;
       stats.frames_corrupted += 1;
+      record_fault(e.kind, stack);
     } else if (e.kind == FaultKind::kRingStall) {
       publish = false;
     }
   }
-  if (!publish) stats.publishes_suppressed += 1;
+  if (!publish) {
+    stats.publishes_suppressed += 1;
+    record_fault(FaultKind::kRingStall, stack);
+  }
   return publish;
 }
 

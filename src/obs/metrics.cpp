@@ -1,0 +1,320 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace tsvpt::obs {
+
+namespace detail {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+std::atomic<std::size_t> g_next_shard{0};
+}  // namespace
+
+bool metrics_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+std::size_t thread_shard() {
+  thread_local const std::size_t shard =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return shard;
+}
+
+std::size_t bucket_index(double value) {
+  if (!(value > 0.0)) return 0;  // zero, negative and NaN all land here
+  int exp = 0;
+  (void)std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  const int octave = exp - 1;     // floor(log2(value))
+  if (octave > kHistMaxExp) return kHistBuckets - 1;
+  if (octave < kHistMinExp) return 1;  // clamp into the first log bucket
+  const double mantissa = std::ldexp(value, -octave);  // [1, 2)
+  int sub = static_cast<int>((mantissa - 1.0) * kHistSub);
+  sub = std::clamp(sub, 0, kHistSub - 1);
+  return 1 +
+         static_cast<std::size_t>(octave - kHistMinExp) * kHistSub +
+         static_cast<std::size_t>(sub);
+}
+
+double bucket_mid(std::size_t index) {
+  if (index == 0) return 0.0;
+  if (index >= kHistBuckets - 1) return std::ldexp(1.0, kHistMaxExp + 1);
+  const std::size_t linear = index - 1;
+  const int octave = kHistMinExp + static_cast<int>(linear / kHistSub);
+  const int sub = static_cast<int>(linear % kHistSub);
+  return std::ldexp(1.0 + (static_cast<double>(sub) + 0.5) / kHistSub,
+                    octave);
+}
+
+}  // namespace detail
+
+void Histogram::observe(double value) const {
+  if (metric_ == nullptr || !detail::metrics_enabled()) return;
+  detail::HistogramShard& shard =
+      metric_->shards[detail::thread_shard()];
+  shard.counts[detail::bucket_index(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  const double clamped = (std::isfinite(value) && value > 0.0) ? value : 0.0;
+  shard.sum.fetch_add(clamped, std::memory_order_relaxed);
+  // Relaxed CAS-max on the bit pattern; nonnegative doubles order like
+  // their bit patterns.
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &clamped, sizeof bits);
+  std::uint64_t seen = shard.max_bits.load(std::memory_order_relaxed);
+  while (bits > seen && !shard.max_bits.compare_exchange_weak(
+                            seen, bits, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Counter::value() const {
+  if (metric_ == nullptr) return 0;
+  std::uint64_t total = 0;
+  for (const auto& cell : metric_->cells) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Gauge::value() const {
+  if (metric_ == nullptr) return 0.0;
+  return metric_->value.load(std::memory_order_relaxed);
+}
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<detail::CounterMetric>> counters;
+  std::map<std::string, std::unique_ptr<detail::GaugeMetric>> gauges;
+  std::map<std::string, std::unique_ptr<detail::HistogramMetric>> histograms;
+};
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter Registry::counter(const std::string& name) {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock{i.mutex};
+  auto it = i.counters.find(name);
+  if (it == i.counters.end()) {
+    auto metric = std::make_unique<detail::CounterMetric>();
+    metric->name = name;
+    it = i.counters.emplace(name, std::move(metric)).first;
+  }
+  return Counter{it->second.get()};
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock{i.mutex};
+  auto it = i.gauges.find(name);
+  if (it == i.gauges.end()) {
+    auto metric = std::make_unique<detail::GaugeMetric>();
+    metric->name = name;
+    it = i.gauges.emplace(name, std::move(metric)).first;
+  }
+  return Gauge{it->second.get()};
+}
+
+Histogram Registry::histogram(const std::string& name) {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock{i.mutex};
+  auto it = i.histograms.find(name);
+  if (it == i.histograms.end()) {
+    auto metric = std::make_unique<detail::HistogramMetric>();
+    metric->name = name;
+    metric->shards = std::vector<detail::HistogramShard>(kShards);
+    it = i.histograms.emplace(name, std::move(metric)).first;
+  }
+  return Histogram{it->second.get()};
+}
+
+namespace {
+
+/// Quantile from merged bucket counts: the representative value of the
+/// bucket holding the rank, clamped to the exact max so a quantile never
+/// exceeds an observed sample.
+double bucket_quantile(const std::uint64_t* counts, std::uint64_t total,
+                       double q, double exact_max) {
+  if (total == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < detail::kHistBuckets; ++b) {
+    cumulative += counts[b];
+    if (cumulative >= rank) {
+      if (b == 0) return 0.0;
+      // The overflow bucket is unbounded, so its midpoint is meaningless;
+      // the exact max is the best point estimate there.
+      if (b == detail::kHistBuckets - 1) return exact_max;
+      return std::min(detail::bucket_mid(b), exact_max);
+    }
+  }
+  return exact_max;
+}
+
+}  // namespace
+
+Snapshot Registry::snapshot() const {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock{i.mutex};
+  Snapshot out;
+  out.counters.reserve(i.counters.size());
+  for (const auto& [name, metric] : i.counters) {
+    std::uint64_t total = 0;
+    for (const auto& cell : metric->cells) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    out.counters.emplace_back(name, total);
+  }
+  out.gauges.reserve(i.gauges.size());
+  for (const auto& [name, metric] : i.gauges) {
+    out.gauges.emplace_back(name,
+                            metric->value.load(std::memory_order_relaxed));
+  }
+  out.histograms.reserve(i.histograms.size());
+  for (const auto& [name, metric] : i.histograms) {
+    HistogramSnapshot h;
+    h.name = name;
+    std::uint64_t merged[detail::kHistBuckets] = {};
+    std::uint64_t max_bits = 0;
+    for (const auto& shard : metric->shards) {
+      for (std::size_t b = 0; b < detail::kHistBuckets; ++b) {
+        merged[b] += shard.counts[b].load(std::memory_order_relaxed);
+      }
+      h.sum += shard.sum.load(std::memory_order_relaxed);
+      max_bits = std::max(max_bits,
+                          shard.max_bits.load(std::memory_order_relaxed));
+    }
+    for (const std::uint64_t c : merged) h.count += c;
+    std::memcpy(&h.max, &max_bits, sizeof h.max);
+    h.p50 = bucket_quantile(merged, h.count, 0.50, h.max);
+    h.p90 = bucket_quantile(merged, h.count, 0.90, h.max);
+    h.p99 = bucket_quantile(merged, h.count, 0.99, h.max);
+    out.histograms.push_back(std::move(h));
+  }
+  return out;
+}
+
+void Registry::set_enabled(bool enabled) {
+  detail::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Registry::enabled() const {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+void Registry::reset_values() {
+  Impl& i = impl();
+  const std::lock_guard<std::mutex> lock{i.mutex};
+  for (const auto& [name, metric] : i.counters) {
+    for (auto& cell : metric->cells) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (const auto& [name, metric] : i.gauges) {
+    metric->value.store(0.0, std::memory_order_relaxed);
+  }
+  for (const auto& [name, metric] : i.histograms) {
+    for (auto& shard : metric->shards) {
+      for (auto& c : shard.counts) c.store(0, std::memory_order_relaxed);
+      shard.sum.store(0.0, std::memory_order_relaxed);
+      shard.max_bits.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Counter counter(const std::string& name) {
+  return Registry::instance().counter(name);
+}
+Gauge gauge(const std::string& name) {
+  return Registry::instance().gauge(name);
+}
+Histogram histogram(const std::string& name) {
+  return Registry::instance().histogram(name);
+}
+void set_metrics_enabled(bool enabled) {
+  Registry::instance().set_enabled(enabled);
+}
+bool metrics_enabled() { return Registry::instance().enabled(); }
+
+namespace {
+
+/// Finite, locale-independent number rendering for both exposition formats
+/// (JSON forbids inf/nan; prometheus parsers choke on locale commas).
+std::string render(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "# TYPE " << name << " counter\n"
+        << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << "# TYPE " << name << " gauge\n"
+        << name << ' ' << render(value) << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    out << "# TYPE " << h.name << " summary\n"
+        << h.name << "{quantile=\"0.5\"} " << render(h.p50) << '\n'
+        << h.name << "{quantile=\"0.9\"} " << render(h.p90) << '\n'
+        << h.name << "{quantile=\"0.99\"} " << render(h.p99) << '\n'
+        << h.name << "_sum " << render(h.sum) << '\n'
+        << h.name << "_count " << h.count << '\n'
+        << "# TYPE " << h.name << "_max gauge\n"
+        << h.name << "_max " << render(h.max) << '\n';
+  }
+  return out.str();
+}
+
+std::string to_json(const Snapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "\n    \"" << snapshot.counters[i].first
+        << "\": " << snapshot.counters[i].second;
+  }
+  out << (snapshot.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "\n    \"" << snapshot.gauges[i].first
+        << "\": " << render(snapshot.gauges[i].second);
+  }
+  out << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    out << (i == 0 ? "" : ",") << "\n    \"" << h.name
+        << "\": {\"count\": " << h.count << ", \"sum\": " << render(h.sum)
+        << ", \"max\": " << render(h.max) << ", \"p50\": " << render(h.p50)
+        << ", \"p90\": " << render(h.p90) << ", \"p99\": " << render(h.p99)
+        << "}";
+  }
+  out << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::string metrics_prometheus() {
+  return to_prometheus(Registry::instance().snapshot());
+}
+
+std::string metrics_json() {
+  return to_json(Registry::instance().snapshot());
+}
+
+}  // namespace tsvpt::obs

@@ -1,0 +1,250 @@
+// Self-observability: process-wide metrics registry.
+//
+// The pipeline being monitored (sampler workers, collector, store writer)
+// is itself a concurrent hot path, so the registry is built to the same
+// relaxed-atomic discipline as the telemetry ring: a hot-path increment is
+// exactly one uncontended relaxed atomic op on a per-thread shard, and all
+// cross-thread merging happens at snapshot time.
+//
+//   Counter   — monotonically increasing u64, sharded: each thread lands on
+//               cells[thread_shard] and snapshot() sums the shards.
+//   Gauge     — last-write-wins double (set) with atomic add; gauges are
+//               low-rate (occupancy, config echoes), so a single slot.
+//   Histogram — HDR-style log-bucketed distribution over nonnegative
+//               values: 8 sub-buckets per power of two from 2^-30 to 2^12
+//               (sub-nanosecond to ~hour when recording seconds), plus a
+//               zero bucket and an overflow bucket.  Relative quantile
+//               error is bounded by the bucket width (1/8 of an octave,
+//               ~= 12.5%).  Buckets are sharded like counters; sum and an
+//               exact max ride along per shard.
+//
+// Registration (`obs::counter("name")`) takes a mutex and returns a cheap
+// copyable handle; instrumented call sites cache the handle in a static
+// local so steady state never touches the lock.  Handles stay valid for
+// the process lifetime — reset_values() (tests) zeroes data but never
+// deregisters.
+//
+// The whole layer is always compiled and cheap when idle: set_enabled(false)
+// turns every hot-path op into one relaxed bool load (bench_a17 gates the
+// enabled cost at <5% of fleet sampler throughput).
+//
+// Naming conventions (enforced by review, exported verbatim):
+//   tsvpt_<layer>_<what>_total   counters (sampler, agg, store, sensor, …)
+//   tsvpt_<layer>_<what>_seconds / _bytes   histograms, unit-suffixed
+//   tsvpt_<layer>_<what>         gauges
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsvpt::obs {
+
+/// Threads hash onto this many independent slots per metric (power of two).
+inline constexpr std::size_t kShards = 8;
+
+namespace detail {
+
+// -- histogram bucket geometry -----------------------------------------
+inline constexpr int kHistMinExp = -30;  // 2^-30 ~= 0.93e-9
+inline constexpr int kHistMaxExp = 12;   // 2^12  = 4096
+inline constexpr int kHistSubBits = 3;
+inline constexpr int kHistSub = 1 << kHistSubBits;  // 8 sub-buckets/octave
+/// [0] zero-or-negative, [1 .. N] log buckets, [N+1] overflow.
+inline constexpr std::size_t kHistBuckets =
+    static_cast<std::size_t>(kHistMaxExp - kHistMinExp + 1) * kHistSub + 2;
+
+/// Bucket for a sample (total order, clamping at both ends).
+[[nodiscard]] std::size_t bucket_index(double value);
+/// Representative value reported for quantiles landing in a bucket.
+[[nodiscard]] double bucket_mid(std::size_t index);
+
+struct alignas(64) CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct CounterMetric {
+  std::string name;
+  CounterCell cells[kShards];
+};
+
+struct GaugeMetric {
+  std::string name;
+  std::atomic<double> value{0.0};
+};
+
+struct alignas(64) HistogramShard {
+  std::atomic<std::uint64_t> counts[kHistBuckets];
+  std::atomic<double> sum{0.0};
+  /// Bit pattern of the largest sample seen (values are nonnegative, so
+  /// the IEEE-754 bit patterns order like the doubles).
+  std::atomic<std::uint64_t> max_bits{0};
+};
+
+struct HistogramMetric {
+  std::string name;
+  std::vector<HistogramShard> shards;  // kShards entries
+};
+
+/// This thread's shard slot (assigned round-robin on first use).
+[[nodiscard]] std::size_t thread_shard();
+
+/// The global kill switch, hot-path form (relaxed load).
+[[nodiscard]] bool metrics_enabled();
+
+}  // namespace detail
+
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::uint64_t n) const {
+    if (metric_ == nullptr || !detail::metrics_enabled()) return;
+    metric_->cells[detail::thread_shard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void inc() const { add(1); }
+
+  /// Merged value (racy while writers run; exact at quiescence).
+  [[nodiscard]] std::uint64_t value() const;
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::CounterMetric* metric) : metric_(metric) {}
+  detail::CounterMetric* metric_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(double v) const {
+    if (metric_ == nullptr || !detail::metrics_enabled()) return;
+    metric_->value.store(v, std::memory_order_relaxed);
+  }
+  void add(double v) const {
+    if (metric_ == nullptr || !detail::metrics_enabled()) return;
+    metric_->value.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double value() const;
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::GaugeMetric* metric) : metric_(metric) {}
+  detail::GaugeMetric* metric_ = nullptr;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void observe(double value) const;
+
+  [[nodiscard]] bool valid() const { return metric_ != nullptr; }
+
+ private:
+  friend class Registry;
+  friend class ObsSpan;
+  explicit Histogram(detail::HistogramMetric* metric) : metric_(metric) {}
+  detail::HistogramMetric* metric_ = nullptr;
+};
+
+/// RAII seconds timer into a histogram — no trace event, just the metric
+/// (use ObsSpan from trace.hpp when the operation should also appear in the
+/// flight recorder).  Skips the clock entirely when metrics are disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram seconds)
+      : seconds_(seconds),
+        active_(seconds.valid() && detail::metrics_enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (!active_) return;
+    seconds_.observe(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count());
+  }
+
+ private:
+  Histogram seconds_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Everything the registry knows at one instant, shards merged, sorted by
+/// name.  The exposition formats below render this — they never touch the
+/// live registry themselves.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create by name (mutex-guarded; cache the handle).
+  [[nodiscard]] Counter counter(const std::string& name);
+  [[nodiscard]] Gauge gauge(const std::string& name);
+  [[nodiscard]] Histogram histogram(const std::string& name);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Kill switch for every hot-path op (counters, gauges, histograms).
+  /// Handles stay usable either way.
+  void set_enabled(bool enabled);
+  [[nodiscard]] bool enabled() const;
+
+  /// Zero every metric's data without invalidating any handle (tests and
+  /// the overhead bench isolate runs with this).
+  void reset_values();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  [[nodiscard]] Impl& impl() const;
+};
+
+// -- convenience free functions (the forms call sites actually use) ------
+[[nodiscard]] Counter counter(const std::string& name);
+[[nodiscard]] Gauge gauge(const std::string& name);
+[[nodiscard]] Histogram histogram(const std::string& name);
+void set_metrics_enabled(bool enabled);
+[[nodiscard]] bool metrics_enabled();
+
+/// Prometheus exposition text: counters as `counter`, gauges as `gauge`,
+/// histograms as `summary` (quantile-labelled samples + _sum/_count) with a
+/// companion `<name>_max` gauge.
+[[nodiscard]] std::string to_prometheus(const Snapshot& snapshot);
+/// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}};
+/// numbers are always finite (empty histograms export zeros).
+[[nodiscard]] std::string to_json(const Snapshot& snapshot);
+
+/// snapshot() + format, the one-call exports the CLI uses.
+[[nodiscard]] std::string metrics_prometheus();
+[[nodiscard]] std::string metrics_json();
+
+}  // namespace tsvpt::obs

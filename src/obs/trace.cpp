@@ -1,0 +1,192 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+namespace tsvpt::obs {
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint32_t current_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+FlightRecorder::FlightRecorder() {
+  set_capacity(std::size_t{1} << 15);  // 32k events, ~2.5 MB resident
+}
+
+void FlightRecorder::set_capacity(std::size_t min_capacity) {
+  std::size_t cap = 2;
+  while (cap < min_capacity) cap <<= 1;
+  cells_ = std::vector<Cell>(cap);
+  mask_ = cap - 1;
+  ticket_.store(0, std::memory_order_relaxed);
+}
+
+void FlightRecorder::clear() {
+  for (auto& cell : cells_) {
+    cell.state.store(kNever, std::memory_order_relaxed);
+  }
+  ticket_.store(0, std::memory_order_relaxed);
+}
+
+void FlightRecorder::record(const TraceEvent& event) {
+  if (!enabled()) return;
+  const std::uint64_t t = ticket_.fetch_add(1, std::memory_order_relaxed);
+  Cell& cell = cells_[t & mask_];
+  cell.state.store(2 * t + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  cell.category.store(event.category, std::memory_order_relaxed);
+  cell.name.store(event.name, std::memory_order_relaxed);
+  cell.start_ns.store(event.start_ns, std::memory_order_relaxed);
+  cell.dur_ns.store(event.dur_ns, std::memory_order_relaxed);
+  cell.arg.store(event.arg, std::memory_order_relaxed);
+  cell.tid.store(event.tid, std::memory_order_relaxed);
+  cell.phase.store(event.phase, std::memory_order_relaxed);
+  cell.state.store(2 * t, std::memory_order_release);
+}
+
+void FlightRecorder::record_complete(const char* category, const char* name,
+                                     std::uint64_t start_ns,
+                                     std::uint64_t dur_ns,
+                                     std::uint64_t arg) {
+  TraceEvent event;
+  event.category = category;
+  event.name = name;
+  event.start_ns = start_ns;
+  event.dur_ns = dur_ns;
+  event.arg = arg;
+  event.tid = current_thread_id();
+  event.phase = 'X';
+  record(event);
+}
+
+void FlightRecorder::record_instant(const char* category, const char* name,
+                                    std::uint64_t arg) {
+  TraceEvent event;
+  event.category = category;
+  event.name = name;
+  event.start_ns = monotonic_ns();
+  event.dur_ns = 0;
+  event.arg = arg;
+  event.tid = current_thread_id();
+  event.phase = 'i';
+  record(event);
+}
+
+std::vector<TraceEvent> FlightRecorder::snapshot() const {
+  const std::uint64_t end = ticket_.load(std::memory_order_acquire);
+  const std::uint64_t cap = cells_.size();
+  const std::uint64_t begin = end > cap ? end - cap : 0;
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t t = begin; t < end; ++t) {
+    const Cell& cell = cells_[t & mask_];
+    const std::uint64_t s1 = cell.state.load(std::memory_order_acquire);
+    if (s1 != 2 * t) continue;  // mid-write, lapped, or never published
+    TraceEvent event;
+    event.category = cell.category.load(std::memory_order_relaxed);
+    event.name = cell.name.load(std::memory_order_relaxed);
+    event.start_ns = cell.start_ns.load(std::memory_order_relaxed);
+    event.dur_ns = cell.dur_ns.load(std::memory_order_relaxed);
+    event.arg = cell.arg.load(std::memory_order_relaxed);
+    event.tid = cell.tid.load(std::memory_order_relaxed);
+    event.phase = cell.phase.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (cell.state.load(std::memory_order_relaxed) != s1) continue;  // torn
+    out.push_back(event);
+  }
+  return out;
+}
+
+namespace {
+
+/// Names and categories are call-site string literals, but a hostile or
+/// future caller must never be able to break the JSON.
+void append_escaped(std::string& out, const char* s) {
+  if (s == nullptr) {
+    out += "null";
+    return;
+  }
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
+  std::uint64_t t0 = ~std::uint64_t{0};
+  for (const TraceEvent& e : events) t0 = std::min(t0, e.start_ns);
+  if (events.empty()) t0 = 0;
+
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  char buf[128];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += (i == 0 ? "\n" : ",\n");
+    out += "{\"name\": \"";
+    append_escaped(out, e.name);
+    out += "\", \"cat\": \"";
+    append_escaped(out, e.category);
+    out += "\", \"ph\": \"";
+    out += e.phase;
+    out += '"';
+    if (e.phase == 'i') out += ", \"s\": \"t\"";
+    std::snprintf(buf, sizeof buf, ", \"pid\": 1, \"tid\": %u, \"ts\": %.3f",
+                  e.tid, static_cast<double>(e.start_ns - t0) * 1e-3);
+    out += buf;
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof buf, ", \"dur\": %.3f",
+                    static_cast<double>(e.dur_ns) * 1e-3);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof buf, ", \"args\": {\"arg\": %llu}}",
+                  static_cast<unsigned long long>(e.arg));
+    out += buf;
+  }
+  out += events.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+std::string trace_chrome_json() {
+  return to_chrome_trace(FlightRecorder::instance().snapshot());
+}
+
+void set_enabled(bool enabled) {
+  set_metrics_enabled(enabled);
+  FlightRecorder::instance().set_enabled(enabled);
+}
+
+bool enabled() {
+  return metrics_enabled() || FlightRecorder::instance().enabled();
+}
+
+}  // namespace tsvpt::obs

@@ -1,0 +1,183 @@
+// Self-observability: flight-recorder tracing.
+//
+// A bounded, lock-free, drop-oldest ring of trace events that is always
+// recording (cheap enough to leave on) and exportable on demand as Chrome
+// trace-event JSON (`chrome://tracing` / Perfetto "load trace").  The CLI
+// dumps it at exit — which covers the alert/failed-run case, since the dump
+// happens whether or not the run was clean — and tests snapshot it live.
+//
+// Writers reserve a slot with one relaxed fetch_add on the global ticket
+// and then publish through a per-cell seqlock: the cell's ticket goes
+// odd-while-writing / even-when-done, and snapshot() accepts a cell only
+// when it reads the same even ticket before and after copying the payload.
+// Every payload field is a relaxed atomic, so concurrent snapshots are
+// data-race-free (TSan-clean) and a torn cell is simply discarded.  When
+// the ring laps, old events are overwritten in place: dropped() is exactly
+// max(0, recorded() - capacity()).
+//
+// Event name/category strings are NOT copied — pass string literals (or
+// other pointers that outlive the recorder).  Span arg carries one u64 of
+// context (stack id, site index, byte count…), rendered into the JSON.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace tsvpt::obs {
+
+struct TraceEvent {
+  const char* category = nullptr;  // layer: "sampler", "aggregator", …
+  const char* name = nullptr;      // operation: "scan", "fsync", …
+  std::uint64_t start_ns = 0;      // steady-clock
+  std::uint64_t dur_ns = 0;        // 0 for instants
+  std::uint64_t arg = 0;
+  std::uint32_t tid = 0;           // small per-thread id (not the OS tid)
+  char phase = 'X';                // 'X' complete span, 'i' instant
+};
+
+/// Nanoseconds on the same steady clock the telemetry pipeline stamps
+/// frames with.
+[[nodiscard]] std::uint64_t monotonic_ns();
+
+/// Small dense id of the calling thread (first call assigns the next id).
+[[nodiscard]] std::uint32_t current_thread_id();
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Recording kill switch — record() becomes one relaxed load when off.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Resize the ring (rounded up to a power of two).  NOT safe concurrently
+  /// with writers — call at startup or between runs, like clear().
+  void set_capacity(std::size_t min_capacity);
+  [[nodiscard]] std::size_t capacity() const { return cells_.size(); }
+
+  void record(const TraceEvent& event);
+  void record_complete(const char* category, const char* name,
+                       std::uint64_t start_ns, std::uint64_t dur_ns,
+                       std::uint64_t arg = 0);
+  void record_instant(const char* category, const char* name,
+                      std::uint64_t arg = 0);
+
+  /// Events currently resident, oldest first.  Safe while writers run:
+  /// cells mid-write (or lapped during the copy) are skipped.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Total events ever recorded / overwritten by lapping (drop-oldest).
+  [[nodiscard]] std::uint64_t recorded() const {
+    return ticket_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    const std::uint64_t n = recorded();
+    return n > cells_.size() ? n - cells_.size() : 0;
+  }
+
+  /// Forget everything (tests / between bench reps).  NOT safe concurrently
+  /// with writers.
+  void clear();
+
+ private:
+  FlightRecorder();
+
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  struct Cell {
+    /// 2*ticket+1 while the payload is being written, 2*ticket once
+    /// published; kNever before first use.
+    std::atomic<std::uint64_t> state{kNever};
+    std::atomic<const char*> category{nullptr};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> start_ns{0};
+    std::atomic<std::uint64_t> dur_ns{0};
+    std::atomic<std::uint64_t> arg{0};
+    std::atomic<std::uint32_t> tid{0};
+    std::atomic<char> phase{'X'};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> ticket_{0};
+  std::atomic<bool> enabled_{true};
+};
+
+/// RAII trace span: stamps the clock at construction and records a complete
+/// event (and optionally feeds the duration into a histogram — one clock
+/// pair serves both) at destruction.  When both the recorder and metrics
+/// are off, cost is two relaxed loads and no clock read.
+class ObsSpan {
+ public:
+  ObsSpan(const char* category, const char* name, std::uint64_t arg = 0)
+      : ObsSpan(category, name, Histogram{}, arg) {}
+
+  ObsSpan(const char* category, const char* name, Histogram seconds,
+          std::uint64_t arg = 0)
+      : category_(category), name_(name), seconds_(seconds), arg_(arg) {
+    const bool tracing = FlightRecorder::instance().enabled();
+    const bool timing = seconds_.valid() && detail::metrics_enabled();
+    active_ = tracing || timing;
+    tracing_ = tracing;
+    if (active_) start_ns_ = monotonic_ns();
+  }
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  ~ObsSpan() {
+    if (!active_) return;
+    const std::uint64_t dur = monotonic_ns() - start_ns_;
+    if (tracing_) {
+      FlightRecorder::instance().record_complete(category_, name_, start_ns_,
+                                                 dur, arg_);
+    }
+    if (seconds_.valid()) {
+      seconds_.observe(static_cast<double>(dur) * 1e-9);
+    }
+  }
+
+ private:
+  const char* category_;
+  const char* name_;
+  Histogram seconds_;
+  std::uint64_t arg_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+  bool tracing_ = false;
+};
+
+/// One-line instant event (alert fired, fault injected, state transition).
+inline void instant(const char* category, const char* name,
+                    std::uint64_t arg = 0) {
+  FlightRecorder& recorder = FlightRecorder::instance();
+  if (recorder.enabled()) recorder.record_instant(category, name, arg);
+}
+
+/// Chrome trace-event JSON ({"traceEvents": [...]}) from a snapshot.
+/// Timestamps are microseconds rebased to the earliest event so doubles
+/// keep sub-microsecond precision.
+[[nodiscard]] std::string to_chrome_trace(
+    const std::vector<TraceEvent>& events);
+
+/// instance().snapshot() + format, the one-call export the CLI uses.
+[[nodiscard]] std::string trace_chrome_json();
+
+/// Convenience: flip metrics and tracing together (the "observability off"
+/// baseline bench_a17 compares against).
+void set_enabled(bool enabled);
+[[nodiscard]] bool enabled();
+
+}  // namespace tsvpt::obs

@@ -1,8 +1,32 @@
 #include "ptsim/log.hpp"
 
-#include <iostream>
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace tsvpt {
+
+namespace {
+
+// Serializes sink invocation and replacement: worker threads log while the
+// CLI may still be installing a capture sink in a test.
+std::mutex& sink_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+/// Seconds since the first log line (monotonic), so multi-threaded output
+/// can be ordered and aligned with trace spans without wall-clock skew.
+double uptime_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+}  // namespace
 
 const char* to_string(LogLevel level) {
   switch (level) {
@@ -18,21 +42,43 @@ const char* to_string(LogLevel level) {
   return "?";
 }
 
+std::optional<LogLevel> parse_log_level(const std::string& text) {
+  std::string lower;
+  lower.reserve(text.size());
+  std::transform(text.begin(), text.end(), std::back_inserter(lower),
+                 [](unsigned char c) {
+                   return static_cast<char>(std::tolower(c));
+                 });
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
 }
 
 Logger::Logger() {
+  if (const char* env = std::getenv("TSVPT_LOG")) {
+    if (const auto level = parse_log_level(env)) level_ = *level;
+  }
   sink_ = [](LogLevel level, const std::string& message) {
-    std::cerr << "[" << to_string(level) << "] " << message << '\n';
+    std::fprintf(stderr, "[%10.6f] [%s] %s\n", uptime_seconds(),
+                 to_string(level), message.c_str());
   };
 }
 
-void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock{sink_mutex()};
+  sink_ = std::move(sink);
+}
 
 void Logger::log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock{sink_mutex()};
   if (sink_) sink_(level, message);
 }
 

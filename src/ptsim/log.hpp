@@ -3,7 +3,9 @@
 // this sink, which tests can capture and benches can silence.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -13,17 +15,31 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 [[nodiscard]] const char* to_string(LogLevel level);
 
-/// Process-wide logging configuration.  Not thread-safe by design: the
-/// simulator is single-threaded per experiment, and benches set this once at
-/// startup.
+/// "debug" / "info" / "warn" / "error" (case-insensitive; "warning" also
+/// accepted).  nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(const std::string& text);
+
+/// Process-wide logging configuration.  The level is an atomic so worker
+/// threads can consult it while the CLI (or a test) flips it; sink swaps are
+/// serialized against in-flight log() calls by an internal mutex.  The
+/// startup level comes from the TSVPT_LOG environment variable when set
+/// (kWarn otherwise); the default sink writes to stderr with a monotonic
+/// timestamp so interleaved worker output can be ordered.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
 
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(this->level());
+  }
 
   /// Replace the output sink (default writes to stderr).
   void set_sink(Sink sink);
@@ -32,7 +48,7 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
   Sink sink_;
 };
 

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "telemetry/codec_util.hpp"
 
 namespace tsvpt::store {
@@ -200,7 +202,14 @@ void SegmentWriter::append_block(const std::vector<std::uint8_t>& record) {
 
 void SegmentWriter::sync() {
   if (fd_ < 0) return;
+  // fsync dominates the historian's tail latency; a dedicated histogram
+  // makes its cost visible next to the (cheap) encode/compress spans.
+  static const obs::Counter fsyncs = obs::counter("tsvpt_store_fsyncs_total");
+  static const obs::Histogram fsync_seconds =
+      obs::histogram("tsvpt_store_fsync_seconds");
+  const obs::ObsSpan fsync_span{"store", "fsync", fsync_seconds};
   if (::fsync(fd_) != 0) throw_errno("SegmentWriter: fsync", path_);
+  fsyncs.inc();
   fsync_count_ += 1;
   blocks_since_sync_ = 0;
 }

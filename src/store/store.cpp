@@ -9,11 +9,43 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "telemetry/codec_util.hpp"
 
 namespace tsvpt::store {
 
 namespace {
+
+/// Historian instrumentation.  The writer side runs under mutex_ on
+/// whichever sampler worker seals the block, the reader side on whoever
+/// drives the cursor — the sharded handles serve both without contention.
+struct StoreMetrics {
+  obs::Counter frames_appended =
+      obs::counter("tsvpt_store_frames_appended_total");
+  obs::Counter blocks_sealed = obs::counter("tsvpt_store_blocks_sealed_total");
+  obs::Counter bytes_written = obs::counter("tsvpt_store_bytes_written_total");
+  obs::Counter segment_rolls =
+      obs::counter("tsvpt_store_segment_rolls_total");
+  obs::Counter torn_tails = obs::counter("tsvpt_store_torn_tails_total");
+  obs::Counter blocks_decoded =
+      obs::counter("tsvpt_store_blocks_decoded_total");
+  obs::Counter blocks_skipped =
+      obs::counter("tsvpt_store_blocks_skipped_total");
+  obs::Counter corrupt_blocks =
+      obs::counter("tsvpt_store_corrupt_blocks_total");
+  obs::Histogram seal_seconds =
+      obs::histogram("tsvpt_store_block_seal_seconds");
+  obs::Histogram decode_seconds =
+      obs::histogram("tsvpt_store_block_decode_seconds");
+  obs::Histogram recover_seconds =
+      obs::histogram("tsvpt_store_recover_seconds");
+
+  static const StoreMetrics& get() {
+    static const StoreMetrics metrics;
+    return metrics;
+  }
+};
 
 constexpr const char* kSegmentPrefix = "seg-";
 constexpr const char* kSegmentSuffix = ".tsl";
@@ -215,6 +247,8 @@ CompactionReport compact_store(const std::string& dir,
 StoreWriter::StoreWriter(std::string dir, StoreOptions options)
     : dir_(std::move(dir)), options_(options) {
   if (options_.block_frames == 0) options_.block_frames = 1;
+  const obs::ObsSpan recover_span{"store", "recover",
+                                  StoreMetrics::get().recover_seconds};
   std::filesystem::create_directories(dir_);
   const std::vector<std::string> files = list_segment_files(dir_);
   if (files.empty()) return;
@@ -224,7 +258,10 @@ StoreWriter::StoreWriter(std::string dir, StoreOptions options)
   SegmentIndex recovered;
   SegmentWriter writer = SegmentWriter::recover(
       files.back(), {options_.fsync_every_blocks}, recovered);
-  if (writer.tail_truncated()) torn_tail_recoveries_ += 1;
+  if (writer.tail_truncated()) {
+    torn_tail_recoveries_ += 1;
+    StoreMetrics::get().torn_tails.inc();
+  }
   for (const BlockIndexEntry& block : recovered.blocks) {
     newest_t_ = saw_frame_ ? std::max(newest_t_, block.header.t_max)
                            : block.header.t_max;
@@ -249,6 +286,7 @@ StoreWriter::~StoreWriter() {
 void StoreWriter::append(const telemetry::Frame& frame) {
   std::lock_guard<std::mutex> lock{mutex_};
   if (closed_) throw std::logic_error{"StoreWriter: append after close"};
+  StoreMetrics::get().frames_appended.inc();
   builder_.add(frame);
   newest_t_ = saw_frame_ ? std::max(newest_t_, frame.sim_time.value())
                          : frame.sim_time.value();
@@ -263,6 +301,12 @@ void StoreWriter::on_frame(const telemetry::Frame& frame,
 }
 
 void StoreWriter::seal_block_locked() {
+  const StoreMetrics& metrics = StoreMetrics::get();
+  // One span covers compress + append (+ the amortized fsync inside
+  // append_block); segment rolls get their own span since they add a
+  // close-with-fsync and a create.
+  const obs::ObsSpan seal_span{"store", "seal_block", metrics.seal_seconds,
+                               builder_.frame_count()};
   const std::vector<std::uint8_t> record = builder_.seal();
   if (open_segment_.empty()) {
     open_segment_.push_back(SegmentWriter::create(
@@ -270,9 +314,13 @@ void StoreWriter::seal_block_locked() {
     next_segment_index_ += 1;
   }
   open_segment_.front().append_block(record);
+  metrics.blocks_sealed.inc();
+  metrics.bytes_written.add(record.size());
   if (open_segment_.front().bytes() >= options_.segment_bytes) {
+    const obs::ObsSpan roll_span{"store", "segment_roll"};
     open_segment_.front().close();
     open_segment_.clear();  // the next seal opens the successor
+    metrics.segment_rolls.inc();
   }
 }
 
@@ -336,6 +384,8 @@ std::string StoreWriter::segment_path(std::uint64_t index) const {
 // StoreReader
 
 StoreReader::StoreReader(std::string dir) : dir_(std::move(dir)) {
+  const obs::ObsSpan recover_span{"store", "recover",
+                                  StoreMetrics::get().recover_seconds};
   for (const std::string& file : list_segment_files(dir_)) {
     SegmentIndex index = scan_segment(file);
     if (index.torn_tail()) torn_tails_ += 1;
@@ -384,6 +434,7 @@ bool StoreReader::Cursor::next(telemetry::Frame& out) {
 }
 
 bool StoreReader::Cursor::load_more() {
+  const StoreMetrics& metrics = StoreMetrics::get();
   const std::vector<SegmentIndex>& segments = reader_->segments_;
   while (segment_ < segments.size()) {
     const SegmentIndex& segment = segments[segment_];
@@ -396,33 +447,44 @@ bool StoreReader::Cursor::load_more() {
     block_ += 1;
     // The sparse index: skip whole blocks whose header's time span or stack
     // set cannot match, without touching the payload.
-    if (!entry.header.overlaps(query_.t_min, query_.t_max)) continue;
+    if (!entry.header.overlaps(query_.t_min, query_.t_max)) {
+      metrics.blocks_skipped.inc();
+      continue;
+    }
     if (!query_.stack_ids.empty() &&
         std::none_of(query_.stack_ids.begin(), query_.stack_ids.end(),
                      [&](std::uint32_t id) {
                        return entry.header.contains_stack(id);
                      })) {
+      metrics.blocks_skipped.inc();
       continue;
     }
     if (loaded_segment_ != segment_) {
       if (!read_file(segment.path, file_)) {
         corrupt_ += 1;
+        metrics.corrupt_blocks.inc();
         continue;
       }
       loaded_segment_ = segment_;
     }
     if (entry.offset + entry.size > file_.size()) {
       corrupt_ += 1;  // file changed under the index (concurrent compaction)
+      metrics.corrupt_blocks.inc();
       continue;
     }
     frames_.clear();
     frame_ = 0;
+    const obs::ObsSpan decode_span{"store", "decode_block",
+                                   metrics.decode_seconds,
+                                   entry.header.frame_count};
     if (decode_block(file_.data() + entry.offset,
                      static_cast<std::size_t>(entry.size),
                      frames_) != BlockStatus::kOk) {
       corrupt_ += 1;
+      metrics.corrupt_blocks.inc();
       continue;
     }
+    metrics.blocks_decoded.inc();
     if (!frames_.empty()) return true;
   }
   return false;

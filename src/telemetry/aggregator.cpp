@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tsvpt::telemetry {
 
 namespace {
@@ -12,6 +15,27 @@ std::uint64_t steady_now_ns() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+/// Collector-side instrumentation (one collector thread live, plus the
+/// replay path reusing ingest() — same handles serve both).
+struct AggregatorMetrics {
+  obs::Counter frames = obs::counter("tsvpt_agg_frames_total");
+  obs::Counter decode_errors = obs::counter("tsvpt_agg_decode_errors_total");
+  obs::Counter alerts = obs::counter("tsvpt_agg_alerts_total");
+  obs::Counter health_events = obs::counter("tsvpt_agg_health_events_total");
+  obs::Counter watchdog_kicks =
+      obs::counter("tsvpt_agg_watchdog_kicks_total");
+  obs::Counter missed = obs::counter("tsvpt_agg_missed_frames_total");
+  obs::Histogram ingest_seconds =
+      obs::histogram("tsvpt_agg_ingest_seconds");
+  obs::Histogram e2e_latency_seconds =
+      obs::histogram("tsvpt_agg_e2e_latency_seconds");
+
+  static const AggregatorMetrics& get() {
+    static const AggregatorMetrics metrics;
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -81,6 +105,8 @@ void Aggregator::collect(std::vector<FrameRing*> rings) {
           if (kicked[r] || now - last_seen_ns[r] <= timeout_ns) continue;
           kicked[r] = true;
           summary_.watchdog_kicks += 1;
+          AggregatorMetrics::get().watchdog_kicks.inc();
+          obs::instant("aggregator", "watchdog_kick", r);
           if (config_.on_stalled_ring) config_.on_stalled_ring(r);
         }
       }
@@ -112,26 +138,39 @@ void Aggregator::raise(AlertKind kind, const Frame& frame, std::size_t die,
   live_alerts_.fetch_add(1, std::memory_order_relaxed);
   summary_.alerts_by_kind[kind] += 1;
   summary_.stacks[frame.stack_id].alerts += 1;
+  AggregatorMetrics::get().alerts.inc();
+  // Alert edges land in the flight recorder so a trace of a bad run shows
+  // *when* the pipeline noticed, not just that it did.
+  obs::instant("alert", to_string(kind), frame.stack_id);
   if (on_alert_) on_alert_(alert);
 }
 
 void Aggregator::ingest(const std::vector<std::uint8_t>& buffer) {
+  const AggregatorMetrics& metrics = AggregatorMetrics::get();
+  const obs::ObsSpan ingest_span{"aggregator", "ingest",
+                                 metrics.ingest_seconds};
   DecodeResult result = decode(buffer);
   if (!result.ok()) {
     summary_.decode_errors += 1;
     live_decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    metrics.decode_errors.inc();
+    obs::instant("aggregator", "decode_error");
     return;
   }
   const Frame& frame = result.frame;
 
   summary_.frames += 1;
   live_frames_.fetch_add(1, std::memory_order_relaxed);
+  metrics.frames.inc();
   if (frame.capture_ns != 0) {
     const std::uint64_t now = steady_now_ns();
     // >= : on coarse steady_clock resolution capture and decode can share a
     // tick, and zero is a valid latency sample.
     if (now >= frame.capture_ns) {
-      summary_.latency.add(static_cast<double>(now - frame.capture_ns) * 1e-9);
+      const double latency_s =
+          static_cast<double>(now - frame.capture_ns) * 1e-9;
+      summary_.latency.add(latency_s);
+      metrics.e2e_latency_seconds.observe(latency_s);
     }
   }
 
@@ -144,8 +183,10 @@ void Aggregator::ingest(const std::vector<std::uint8_t>& buffer) {
     // Sequences start at 0, so a first arrival at seq > 0 means the ring
     // evicted the stack's opening frames before we drained them.
     stack.missed += frame.sequence;
+    metrics.missed.add(frame.sequence);
   } else if (frame.sequence > seq_it->second) {
     stack.missed += frame.sequence - seq_it->second;
+    metrics.missed.add(frame.sequence - seq_it->second);
   }
   seq_it->second = frame.sequence + 1;
 
@@ -179,6 +220,7 @@ void Aggregator::ingest(const std::vector<std::uint8_t>& buffer) {
       event.sim_time = frame.sim_time;
       summary_.health_transitions.push_back(event);
       health_it->second = state_now;
+      metrics.health_events.inc();
       if (on_health_) on_health_(event);
     }
 

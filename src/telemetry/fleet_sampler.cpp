@@ -4,6 +4,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "process/variation.hpp"
 
 namespace tsvpt::telemetry {
@@ -16,6 +18,29 @@ std::uint64_t steady_now_ns() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+/// Worker-loop instrumentation, registered once and shared by every worker
+/// thread (the handles are sharded internally, so concurrent use from the
+/// pool stays uncontended).
+struct SamplerMetrics {
+  obs::Counter frames = obs::counter("tsvpt_sampler_frames_total");
+  obs::Counter dropped = obs::counter("tsvpt_sampler_dropped_total");
+  obs::Counter suppressed = obs::counter("tsvpt_sampler_suppressed_total");
+  obs::Counter stalls = obs::counter("tsvpt_sampler_stalls_total");
+  obs::Histogram scan_seconds =
+      obs::histogram("tsvpt_sampler_scan_seconds");
+  obs::Histogram encode_seconds =
+      obs::histogram("tsvpt_sampler_encode_seconds");
+  obs::Histogram push_seconds =
+      obs::histogram("tsvpt_sampler_ring_push_seconds");
+  obs::Histogram stall_wait_seconds =
+      obs::histogram("tsvpt_sampler_stall_wait_seconds");
+
+  static const SamplerMetrics& get() {
+    static const SamplerMetrics metrics;
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -136,12 +161,26 @@ void FleetSampler::worker(std::size_t worker_index) {
     {
       StallGate& gate = *gates_[worker_index];
       std::unique_lock<std::mutex> lock{gate.mutex};
-      gate.cv.wait(lock, [&] { return !gate.stalled; });
+      if (gate.stalled) {
+        // Only a real stall pays for a span — the un-stalled boundary stays
+        // a mutex acquire and one branch.
+        const SamplerMetrics& m = SamplerMetrics::get();
+        m.stalls.inc();
+        const obs::ObsSpan wait_span{"sampler", "stall_wait",
+                                     m.stall_wait_seconds, worker_index};
+        gate.cv.wait(lock, [&] { return !gate.stalled; });
+      }
     }
 
     for (std::size_t k = worker_index; k < stacks_.size();
          k += config_.thread_count) {
       Stack& stack = *stacks_[k];
+      const SamplerMetrics& metrics = SamplerMetrics::get();
+      // One span per stack-scan (thermal advance + conversion +
+      // supervision): the frame is the pipeline's natural unit of work, so
+      // frame-level spans keep the recorder's rate equal to the frame rate.
+      const obs::ObsSpan scan_span{"sampler", "scan", metrics.scan_seconds,
+                                   k};
       if (config_.interceptor != nullptr) {
         config_.interceptor->before_scan(k, scan, stack.monitor);
       }
@@ -204,7 +243,13 @@ void FleetSampler::worker(std::size_t worker_index) {
       frame.capture_ns = steady_now_ns();
 
       production_[k].frames += 1;
-      std::vector<std::uint8_t> buffer = encode(frame);
+      metrics.frames.inc();
+      std::vector<std::uint8_t> buffer;
+      {
+        const obs::ObsSpan encode_span{"sampler", "encode",
+                                       metrics.encode_seconds, k};
+        buffer = encode(frame);
+      }
       if (config_.sink != nullptr) {
         // The recorder sees every produced frame with its pristine wire
         // image — before the interceptor gets a chance to corrupt or
@@ -217,10 +262,14 @@ void FleetSampler::worker(std::size_t worker_index) {
         // Injected ring stall: the frame is produced (sequence advanced)
         // but never published — the collector sees a sequence gap.
         production_[k].suppressed += 1;
+        metrics.suppressed.inc();
         continue;
       }
+      const obs::ObsSpan push_span{"sampler", "ring_push",
+                                   metrics.push_seconds, k};
       ring.push_overwrite(std::move(buffer),
                           [&](std::vector<std::uint8_t>&& v) {
+        metrics.dropped.inc();
         const auto victim = peek_stack_id(v);
         if (victim && *victim < production_.size()) {
           production_[*victim].dropped += 1;
@@ -246,6 +295,10 @@ void FleetSampler::run() {
   if (ran_) throw std::logic_error{"FleetSampler::run: already ran"};
   ran_ = true;
 
+  obs::gauge("tsvpt_sampler_workers")
+      .set(static_cast<double>(config_.thread_count));
+  obs::gauge("tsvpt_sampler_stacks")
+      .set(static_cast<double>(config_.stack_count));
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> pool;
   pool.reserve(config_.thread_count);

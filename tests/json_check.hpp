@@ -1,0 +1,161 @@
+// Minimal recursive-descent JSON syntax checker for golden-schema tests.
+// No DOM, no dependencies: answers only "is this byte string one valid JSON
+// value?" — which is exactly what the exposition tests need to guarantee
+// that downstream tooling (Perfetto, jq, Prometheus scrapers) can load our
+// output.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace tsvpt::testing {
+
+namespace json_detail {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool parse() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (depth_ > 256 || pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++depth_;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; --depth_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; --depth_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++depth_;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; --depth_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; --depth_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') { ++pos_; return true; }
+      if (c < 0x20) return false;  // control chars must be escaped
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace json_detail
+
+/// True when `text` is exactly one syntactically valid JSON value.
+[[nodiscard]] inline bool is_valid_json(const std::string& text) {
+  return json_detail::Parser{text}.parse();
+}
+
+}  // namespace tsvpt::testing

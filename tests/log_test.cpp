@@ -68,5 +68,24 @@ TEST(Log, NullSinkIsSafe) {
   EXPECT_NO_THROW(log_error() << "nowhere to go");
 }
 
+TEST(Log, ParseLevelAcceptsAnyCaseAndRejectsJunk) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_FALSE(parse_log_level("loud").has_value());
+  EXPECT_FALSE(parse_log_level("").has_value());
+}
+
+TEST(Log, EnabledFollowsLevel) {
+  LogCapture capture;
+  Logger::instance().set_level(LogLevel::kWarn);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+}
+
 }  // namespace
 }  // namespace tsvpt

@@ -1,0 +1,181 @@
+// End-to-end self-observability: run the real pipeline (fleet sampler ->
+// rings -> aggregator, with the historian as the frame sink), then check
+// that the instrumentation's counters reconcile exactly with the pipeline's
+// own ground-truth accounting and that the flight recorder saw spans from
+// every layer.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "json_check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "store/store.hpp"
+#include "telemetry/aggregator.hpp"
+#include "telemetry/fleet_sampler.hpp"
+
+namespace tsvpt {
+namespace {
+
+std::string fresh_dir(const char* name) {
+  const std::filesystem::path dir =
+      std::filesystem::path{::testing::TempDir()} /
+      ("tsvpt_obs_tests_" + std::to_string(::getpid())) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir.parent_path());
+  return dir.string();
+}
+
+telemetry::FleetSampler::Config small_fleet() {
+  telemetry::FleetSampler::Config cfg;
+  cfg.stack_count = 3;
+  cfg.thread_count = 2;
+  cfg.scans_per_stack = 5;
+  cfg.grid_columns = cfg.grid_rows = 1;
+  cfg.ring_capacity = 64;
+  cfg.seed = 11;
+  return cfg;
+}
+
+std::uint64_t counter_value(const std::string& name) {
+  return obs::counter(name).value();
+}
+
+class ObsPipeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::Registry::instance().reset_values();
+    obs::FlightRecorder::instance().clear();
+  }
+  void TearDown() override {
+    obs::set_enabled(true);
+    obs::Registry::instance().reset_values();
+    obs::FlightRecorder::instance().clear();
+  }
+};
+
+TEST_F(ObsPipeline, CountersReconcileWithPipelineGroundTruth) {
+  const std::string dir = fresh_dir("reconcile");
+  telemetry::FleetSampler::Config cfg = small_fleet();
+  store::StoreWriter writer{dir, {.block_frames = 4}};
+  cfg.sink = &writer;
+
+  telemetry::FleetSampler sampler{cfg};
+  telemetry::Aggregator aggregator{telemetry::Aggregator::Config{}};
+  aggregator.start(sampler.rings());
+  sampler.run();
+  aggregator.stop();
+  writer.close();
+
+  const auto& sum = aggregator.summary();
+  const std::uint64_t produced = sampler.total_frames();
+  ASSERT_EQ(produced, 15u);
+
+  // Sampler-side counters against the sampler's own ledger.
+  EXPECT_EQ(counter_value("tsvpt_sampler_frames_total"), produced);
+  EXPECT_EQ(counter_value("tsvpt_sampler_dropped_total"),
+            sampler.total_dropped());
+  // Collector-side counters against the aggregator summary.
+  EXPECT_EQ(counter_value("tsvpt_agg_frames_total"), sum.frames);
+  EXPECT_EQ(counter_value("tsvpt_agg_decode_errors_total"),
+            sum.decode_errors);
+  EXPECT_EQ(counter_value("tsvpt_agg_alerts_total"), sum.alerts);
+  // Store-side counters against the historian's on-disk stats.
+  const store::StoreStats st = writer.stats();
+  EXPECT_EQ(counter_value("tsvpt_store_frames_appended_total"), produced);
+  EXPECT_EQ(counter_value("tsvpt_store_blocks_sealed_total"), st.blocks);
+  EXPECT_GE(counter_value("tsvpt_store_bytes_written_total"),
+            st.bytes_on_disk - 8 * st.segments);  // headers are not blocks
+  // Every site conversion lands in the sensor counter: sites * scans.
+  EXPECT_EQ(counter_value("tsvpt_sensor_conversions_total"),
+            produced * 4u);  // 1x1 grid on 4 dies
+
+  // Gauges echo the fleet shape.
+  EXPECT_DOUBLE_EQ(obs::gauge("tsvpt_sampler_stacks").value(), 3.0);
+}
+
+TEST_F(ObsPipeline, FlightRecorderSawEveryLayer) {
+  const std::string dir = fresh_dir("layers");
+  telemetry::FleetSampler::Config cfg = small_fleet();
+  store::StoreWriter writer{dir, {.block_frames = 4}};
+  cfg.sink = &writer;
+
+  telemetry::FleetSampler sampler{cfg};
+  telemetry::Aggregator aggregator{telemetry::Aggregator::Config{}};
+  aggregator.start(sampler.rings());
+  sampler.run();
+  aggregator.stop();
+  writer.close();
+
+  // Read a few frames back so the store's decode path traces too.
+  store::StoreReader reader{dir};
+  const auto frames = reader.query({}, 100);
+  EXPECT_FALSE(frames.empty());
+
+  const std::vector<obs::TraceEvent> events =
+      obs::FlightRecorder::instance().snapshot();
+  ASSERT_FALSE(events.empty());
+  const auto has = [&events](const char* cat, const char* name) {
+    return std::any_of(events.begin(), events.end(),
+                       [&](const obs::TraceEvent& e) {
+                         return std::string{e.category} == cat &&
+                                std::string{e.name} == name;
+                       });
+  };
+  EXPECT_TRUE(has("sampler", "scan"));
+  EXPECT_TRUE(has("sampler", "encode"));
+  EXPECT_TRUE(has("sampler", "ring_push"));
+  EXPECT_TRUE(has("aggregator", "ingest"));
+  EXPECT_TRUE(has("store", "seal_block"));
+  EXPECT_TRUE(has("store", "recover"));
+  EXPECT_TRUE(has("store", "decode_block"));
+
+  // The whole run exports as one loadable Chrome trace.
+  const std::string json = obs::to_chrome_trace(events);
+  EXPECT_TRUE(tsvpt::testing::is_valid_json(json));
+
+  // And the decode counter matches the cursor's work.
+  EXPECT_GT(counter_value("tsvpt_store_blocks_decoded_total"), 0u);
+  EXPECT_EQ(counter_value("tsvpt_store_corrupt_blocks_total"), 0u);
+}
+
+TEST_F(ObsPipeline, DisabledObservabilityRunsPipelineUntouched) {
+  obs::set_enabled(false);
+  telemetry::FleetSampler sampler{small_fleet()};
+  telemetry::Aggregator aggregator{telemetry::Aggregator::Config{}};
+  aggregator.start(sampler.rings());
+  sampler.run();
+  aggregator.stop();
+
+  EXPECT_EQ(sampler.total_frames(), 15u);
+  EXPECT_EQ(aggregator.summary().frames, 15u);
+  EXPECT_EQ(counter_value("tsvpt_sampler_frames_total"), 0u);
+  EXPECT_TRUE(obs::FlightRecorder::instance().snapshot().empty());
+}
+
+TEST_F(ObsPipeline, PrometheusExportCoversPipelineMetricNames) {
+  telemetry::FleetSampler sampler{small_fleet()};
+  telemetry::Aggregator aggregator{telemetry::Aggregator::Config{}};
+  aggregator.start(sampler.rings());
+  sampler.run();
+  aggregator.stop();
+
+  const std::string text = obs::metrics_prometheus();
+  for (const char* name :
+       {"tsvpt_sampler_frames_total", "tsvpt_sampler_scan_seconds",
+        "tsvpt_agg_frames_total", "tsvpt_agg_ingest_seconds",
+        "tsvpt_sensor_conversions_total"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_TRUE(
+      tsvpt::testing::is_valid_json(obs::metrics_json()));
+}
+
+}  // namespace
+}  // namespace tsvpt

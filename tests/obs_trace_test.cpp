@@ -1,0 +1,188 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_check.hpp"
+#include "obs/metrics.hpp"
+
+namespace tsvpt::obs {
+namespace {
+
+/// Each test gets an empty, enabled recorder at a known small capacity and
+/// restores the library default afterwards (other suites run in the same
+/// process when the binary is invoked without a filter).
+class ObsTrace : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::instance().set_enabled(true);
+    FlightRecorder::instance().set_capacity(1u << 10);
+    FlightRecorder::instance().clear();
+  }
+  void TearDown() override {
+    FlightRecorder::instance().set_enabled(true);
+    FlightRecorder::instance().set_capacity(1u << 15);
+    FlightRecorder::instance().clear();
+  }
+};
+
+TEST_F(ObsTrace, SpanRecordsOneCompleteEvent) {
+  { const ObsSpan span{"test", "op", 42}; }
+  const std::vector<TraceEvent> events = FlightRecorder::instance().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].category, "test");
+  EXPECT_STREQ(events[0].name, "op");
+  EXPECT_EQ(events[0].arg, 42u);
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_GT(events[0].start_ns, 0u);
+  EXPECT_NE(events[0].tid, 0u);
+}
+
+TEST_F(ObsTrace, InstantRecordsPointEvent) {
+  instant("test", "edge", 7);
+  const std::vector<TraceEvent> events = FlightRecorder::instance().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].phase, 'i');
+  EXPECT_EQ(events[0].dur_ns, 0u);
+}
+
+TEST_F(ObsTrace, SpanFeedsDurationIntoHistogram) {
+  Registry::instance().set_enabled(true);
+  Registry::instance().reset_values();
+  const Histogram h = histogram("obs_test_span_seconds");
+  { const ObsSpan span{"test", "timed", h}; }
+  const Snapshot snap = Registry::instance().snapshot();
+  for (const HistogramSnapshot& hs : snap.histograms) {
+    if (hs.name != "obs_test_span_seconds") continue;
+    EXPECT_EQ(hs.count, 1u);
+    Registry::instance().reset_values();
+    return;
+  }
+  FAIL() << "span did not observe into the histogram";
+}
+
+TEST_F(ObsTrace, DisabledRecorderCostsNothingAndRecordsNothing) {
+  FlightRecorder::instance().set_enabled(false);
+  { const ObsSpan span{"test", "ghost"}; }
+  instant("test", "ghost_edge");
+  EXPECT_EQ(FlightRecorder::instance().recorded(), 0u);
+  EXPECT_TRUE(FlightRecorder::instance().snapshot().empty());
+}
+
+TEST_F(ObsTrace, GlobalKillSwitchFlipsMetricsAndTracing) {
+  set_enabled(false);
+  EXPECT_FALSE(FlightRecorder::instance().enabled());
+  EXPECT_FALSE(metrics_enabled());
+  set_enabled(true);
+  EXPECT_TRUE(FlightRecorder::instance().enabled());
+  EXPECT_TRUE(metrics_enabled());
+}
+
+// Drop-oldest accounting must be exact: recorded() counts every event ever,
+// dropped() is precisely the overwritten prefix, and the snapshot holds the
+// newest `capacity` events in order.
+TEST_F(ObsTrace, DropOldestAccountingIsExact) {
+  FlightRecorder::instance().set_capacity(64);
+  FlightRecorder& rec = FlightRecorder::instance();
+  const std::size_t cap = rec.capacity();
+  const std::uint64_t total = 10 * cap + 3;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    rec.record_instant("test", "flood", i);
+  }
+  EXPECT_EQ(rec.recorded(), total);
+  EXPECT_EQ(rec.dropped(), total - cap);
+  const std::vector<TraceEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), cap);
+  // Oldest-first, contiguous, ending at the last event written.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg, total - cap + i);
+  }
+}
+
+TEST_F(ObsTrace, UnfilledRingReportsNoDrops) {
+  FlightRecorder& rec = FlightRecorder::instance();
+  for (int i = 0; i < 10; ++i) rec.record_instant("test", "few");
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_EQ(rec.snapshot().size(), 10u);
+}
+
+// Writers flooding the ring while a reader snapshots continuously: every
+// accepted event must be coherent (a torn cell is dropped, never surfaced).
+// The TSan CI job runs this to prove the seqlock discipline is race-free.
+TEST_F(ObsTrace, ConcurrentWritersAndSnapshotsStayCoherent) {
+  FlightRecorder::instance().set_capacity(256);
+  FlightRecorder& rec = FlightRecorder::instance();
+  constexpr std::size_t kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20'000;
+  std::atomic<bool> stop{false};
+  std::thread reader{[&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const TraceEvent& e : rec.snapshot()) {
+        // A torn read would show a mismatched pair; each writer stamps both
+        // name and arg with its own identity.
+        ASSERT_STREQ(e.category, "test");
+        ASSERT_EQ(std::string{e.name}.substr(0, 6), "writer");
+        ASSERT_EQ(e.name[6] - '0', static_cast<int>(e.arg));
+      }
+    }
+  }};
+  static const char* kNames[kWriters] = {"writer0", "writer1", "writer2",
+                                         "writer3"};
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&rec, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        rec.record_instant("test", kNames[w], w);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(rec.recorded(), kWriters * kPerWriter);
+  EXPECT_EQ(rec.dropped(), kWriters * kPerWriter - rec.capacity());
+}
+
+// -- golden-schema checks on the Chrome trace export ---------------------
+
+TEST_F(ObsTrace, ChromeTraceJsonParsesAndCarriesTheEvents) {
+  {
+    const ObsSpan span{"sampler", "scan", 3};
+    instant("alert", "over_temperature", 1);
+  }
+  const std::string json = trace_chrome_json();
+  EXPECT_TRUE(tsvpt::testing::is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"sampler\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"over_temperature\""), std::string::npos);
+}
+
+TEST_F(ObsTrace, ChromeTraceEscapesAndEmptyRing) {
+  // Empty ring still exports a loadable document.
+  const std::string empty = trace_chrome_json();
+  EXPECT_TRUE(tsvpt::testing::is_valid_json(empty)) << empty;
+  // Names with JSON-hostile characters survive escaping.
+  instant("test", "quote\"back\\slash");
+  const std::string json = trace_chrome_json();
+  EXPECT_TRUE(tsvpt::testing::is_valid_json(json)) << json;
+}
+
+TEST_F(ObsTrace, ThreadIdsAreSmallAndStablePerThread) {
+  const std::uint32_t here = current_thread_id();
+  EXPECT_EQ(current_thread_id(), here);
+  std::uint32_t other = 0;
+  std::thread t{[&other] { other = current_thread_id(); }};
+  t.join();
+  EXPECT_NE(other, here);
+}
+
+}  // namespace
+}  // namespace tsvpt::obs

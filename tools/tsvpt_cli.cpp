@@ -37,10 +37,19 @@
 //       gate), `query` filters by time/stack/site, `replay` feeds stored
 //       frames through the aggregator for offline alert analysis, and
 //       `compact` applies --max-bytes / --max-age-s retention.
+//   tsvpt_cli obs dump [--format prom|json] [--exercise 1]
+//       Print the self-observability metric registry (Prometheus text or
+//       JSON); --exercise runs a mini fleet first so the dump holds live
+//       numbers.  fleet and chaos take --metrics-out FILE / --trace-out
+//       FILE to export the run's metrics and a Chrome trace-event JSON of
+//       its flight-recorder spans, and every command takes --log-level
+//       (or the TSVPT_LOG environment variable).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <set>
@@ -51,9 +60,12 @@
 #include "device/tech_io.hpp"
 #include "inject/fault_plan.hpp"
 #include "inject/injectors.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "process/montecarlo.hpp"
 #include "process/variation.hpp"
 #include "ptsim/args.hpp"
+#include "ptsim/log.hpp"
 #include "ptsim/stats.hpp"
 #include "sim/monitor_session.hpp"
 #include "store/store.hpp"
@@ -65,6 +77,47 @@ namespace {
 
 using namespace tsvpt;
 
+/// Shared --log-level handling.  The flag wins over the TSVPT_LOG
+/// environment default the Logger picked up at startup.
+void apply_log_level(const Args& args) {
+  const std::string text = args.get("log-level", std::string{});
+  if (text.empty()) return;
+  const auto level = parse_log_level(text);
+  if (!level) {
+    throw std::invalid_argument{
+        "--log-level: expected debug|info|warn|error, got '" + text + "'"};
+  }
+  Logger::instance().set_level(*level);
+}
+
+void write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error{"cannot open for writing: " + path};
+  out << body;
+  if (!out) throw std::runtime_error{"write failed: " + path};
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Shared --metrics-out / --trace-out handling, run after a command's
+/// workload so the files hold the whole run.  The metrics format follows
+/// the extension (.json -> JSON, anything else -> Prometheus text); the
+/// trace file is always Chrome trace-event JSON (load via about:tracing or
+/// https://ui.perfetto.dev).
+void export_obs(const Args& args) {
+  const std::string metrics = args.get("metrics-out", std::string{});
+  if (!metrics.empty()) {
+    write_text_file(metrics, ends_with(metrics, ".json")
+                                 ? obs::metrics_json()
+                                 : obs::metrics_prometheus());
+  }
+  const std::string trace = args.get("trace-out", std::string{});
+  if (!trace.empty()) write_text_file(trace, obs::trace_chrome_json());
+}
+
 device::Technology technology_from(const Args& args) {
   const std::string card = args.get("card", std::string{});
   return card.empty() ? device::Technology::tsmc65_like()
@@ -72,13 +125,14 @@ device::Technology technology_from(const Args& args) {
 }
 
 int cmd_tech(const Args& args) {
-  args.check_known({"card"});
+  args.check_known({"card", "log-level"});
   std::cout << device::to_card_string(technology_from(args));
   return 0;
 }
 
 int cmd_sense(const Args& args) {
-  args.check_known({"card", "t", "dvtn-mv", "dvtp-mv", "seed", "compensate"});
+  args.check_known(
+      {"card", "t", "dvtn-mv", "dvtp-mv", "seed", "compensate", "log-level"});
   core::PtSensor::Config cfg;
   cfg.tech = technology_from(args);
   cfg.model_vdd = cfg.tech.vdd_nominal;
@@ -109,7 +163,7 @@ int cmd_sense(const Args& args) {
 }
 
 int cmd_mc(const Args& args) {
-  args.check_known({"card", "dies", "seed"});
+  args.check_known({"card", "dies", "seed", "log-level"});
   const device::Technology tech = technology_from(args);
   core::PtSensor::Config cfg;
   cfg.tech = tech;
@@ -151,7 +205,8 @@ int cmd_mc(const Args& args) {
 }
 
 int cmd_trace(const Args& args) {
-  args.check_known({"trace", "sample-ms", "duration-ms", "seed"});
+  args.check_known(
+      {"trace", "sample-ms", "duration-ms", "seed", "log-level"});
   const thermal::StackConfig stack = thermal::StackConfig::four_die_stack();
   const std::string trace = args.get("trace", std::string{});
   const thermal::Workload workload =
@@ -223,12 +278,17 @@ class SummaryReporter {
       if (elapsed < next) continue;
       next += interval_s_;
       const telemetry::Aggregator::Progress p = aggregator_.progress();
-      std::fprintf(stderr,
-                   "[fleet %6.1fs] frames=%llu decode_errors=%llu "
-                   "alerts=%llu\n",
-                   elapsed, static_cast<unsigned long long>(p.frames),
-                   static_cast<unsigned long long>(p.decode_errors),
-                   static_cast<unsigned long long>(p.alerts));
+      // Through the Logger, not raw stderr: progress must never pollute the
+      // machine-parsed stdout report, and the default sink's monotonic
+      // timestamps line up with trace spans.
+      char line[128];
+      std::snprintf(line, sizeof line,
+                    "[fleet %6.1fs] frames=%llu decode_errors=%llu "
+                    "alerts=%llu",
+                    elapsed, static_cast<unsigned long long>(p.frames),
+                    static_cast<unsigned long long>(p.decode_errors),
+                    static_cast<unsigned long long>(p.alerts));
+      Logger::instance().log(LogLevel::kInfo, line);
     }
   }
 
@@ -240,7 +300,8 @@ class SummaryReporter {
 
 int cmd_fleet(const Args& args) {
   args.check_known({"stacks", "threads", "scans", "sample-ms", "ring", "grid",
-                    "alert-c", "seed", "card", "store", "summary-interval"});
+                    "alert-c", "seed", "card", "store", "summary-interval",
+                    "log-level", "metrics-out", "trace-out"});
   telemetry::FleetSampler::Config cfg;
   cfg.stack_count = static_cast<std::size_t>(args.get("stacks", 8LL));
   cfg.thread_count = static_cast<std::size_t>(args.get("threads", 0LL));
@@ -263,9 +324,17 @@ int cmd_fleet(const Args& args) {
     cfg.sink = writer.get();
   }
 
+  const double summary_interval = args.get("summary-interval", 0.0);
+  // Explicitly requested progress must not be filtered by the default WARN
+  // level; an explicit --log-level (or TSVPT_LOG) still wins.
+  if (summary_interval > 0.0 && !args.has("log-level") &&
+      std::getenv("TSVPT_LOG") == nullptr) {
+    Logger::instance().set_level(LogLevel::kInfo);
+  }
+
   telemetry::FleetSampler sampler{cfg};
   telemetry::Aggregator aggregator{agg_cfg};
-  SummaryReporter reporter{aggregator, args.get("summary-interval", 0.0)};
+  SummaryReporter reporter{aggregator, summary_interval};
   aggregator.start(sampler.rings());
   sampler.run();
   aggregator.stop();
@@ -335,8 +404,10 @@ int cmd_fleet(const Args& args) {
          << ", \"max_sensed_c\": " << max_sensed << "}"
          << (k + 1 < sampler.stack_count() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n"
+       << "  \"obs\": " << obs::metrics_json() << "\n}\n";
   std::cout << json.str();
+  export_obs(args);
   // Nonzero when anything alerted (or failed to decode): `tsvpt_cli fleet`
   // doubles as a scriptable health gate for the simulated fleet.
   return (sum.decode_errors == 0 && sum.alerts == 0) ? 0 : 1;
@@ -344,8 +415,8 @@ int cmd_fleet(const Args& args) {
 
 int cmd_chaos(const Args& args) {
   args.check_known({"stacks", "threads", "scans", "sample-ms", "ring", "grid",
-                    "events-per-kind", "watchdog-ms", "seed", "card",
-                    "store"});
+                    "events-per-kind", "watchdog-ms", "seed", "card", "store",
+                    "log-level", "metrics-out", "trace-out"});
   telemetry::FleetSampler::Config cfg;
   cfg.stack_count = static_cast<std::size_t>(args.get("stacks", 8LL));
   cfg.thread_count = static_cast<std::size_t>(args.get("threads", 4LL));
@@ -501,9 +572,11 @@ int cmd_chaos(const Args& args) {
        << "  \"frames_corrupted\": " << inj.frames_corrupted << ",\n"
        << "  \"publishes_suppressed\": " << inj.publishes_suppressed << ",\n"
        << "  \"worker_stalls\": " << inj.worker_stalls_requested << ",\n"
-       << "  \"watchdog_kicks\": " << sum.watchdog_kicks << "\n"
+       << "  \"watchdog_kicks\": " << sum.watchdog_kicks << ",\n"
+       << "  \"obs\": " << obs::metrics_json() << "\n"
        << "}\n";
   std::cout << json.str();
+  export_obs(args);
 
   const bool ok = detected == detections.size() &&
                   permanent_false_positives == 0 && all_healthy;
@@ -643,7 +716,7 @@ int cmd_store_compact(const Args& args, const std::string& dir) {
 
 int cmd_store(const Args& args) {
   args.check_known({"dir", "t-min", "t-max", "stack", "site", "limit",
-                    "alert-c", "max-bytes", "max-age-s"});
+                    "alert-c", "max-bytes", "max-age-s", "log-level"});
   if (args.positionals().empty()) {
     std::fprintf(stderr,
                  "usage: tsvpt_cli store <info|query|replay|compact> "
@@ -666,9 +739,52 @@ int cmd_store(const Args& args) {
   return 2;
 }
 
+int cmd_obs(const Args& args) {
+  args.check_known({"format", "metrics-out", "trace-out", "exercise",
+                    "stacks", "scans", "log-level"});
+  if (args.positionals().empty() || args.positionals().front() != "dump") {
+    std::fprintf(stderr,
+                 "usage: tsvpt_cli obs dump [--format prom|json]"
+                 " [--metrics-out FILE] [--trace-out FILE]"
+                 " [--exercise 1 [--stacks N] [--scans N]]\n");
+    return 2;
+  }
+  if (args.has("exercise")) {
+    // A mini supervised fleet run so the dump holds live numbers — the
+    // quickest way to see the full metric inventory and a real trace.
+    telemetry::FleetSampler::Config cfg;
+    cfg.stack_count = static_cast<std::size_t>(args.get("stacks", 2LL));
+    cfg.thread_count = 2;
+    cfg.scans_per_stack = static_cast<std::size_t>(args.get("scans", 20LL));
+    cfg.sample_period = Second{1e-3};
+    cfg.ring_capacity = 64;
+    cfg.grid_columns = cfg.grid_rows = 1;
+    cfg.seed = 1;
+    cfg.sensor.tech = device::Technology::tsmc65_like();
+    cfg.sensor.model_vdd = cfg.sensor.tech.vdd_nominal;
+    telemetry::FleetSampler sampler{cfg};
+    telemetry::Aggregator aggregator{{}};
+    aggregator.start(sampler.rings());
+    sampler.run();
+    aggregator.stop();
+  }
+  const std::string format = args.get("format", std::string{"prom"});
+  if (format == "prom") {
+    std::cout << obs::metrics_prometheus();
+  } else if (format == "json") {
+    std::cout << obs::metrics_json() << "\n";
+  } else {
+    std::fprintf(stderr, "tsvpt_cli obs: unknown --format '%s'\n",
+                 format.c_str());
+    return 2;
+  }
+  export_obs(args);
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: tsvpt_cli <tech|sense|mc|trace|fleet|chaos|store>"
+               "usage: tsvpt_cli <tech|sense|mc|trace|fleet|chaos|store|obs>"
                " [flags]\n"
                "  tech   [--card FILE]\n"
                "  sense  --t DEGC [--dvtn-mv MV] [--dvtp-mv MV] [--seed N]"
@@ -692,7 +808,16 @@ int usage() {
                "         replay  [--t-min S] [--t-max S] [--stack N]"
                " [--alert-c DEGC]\n"
                "         compact [--max-bytes N] [--max-age-s S]\n"
-               "  fleet also takes [--store DIR] [--summary-interval S]\n");
+               "  obs    dump [--format prom|json] [--metrics-out FILE]"
+               " [--trace-out FILE] [--exercise 1]\n"
+               "         print the self-observability metric registry"
+               " (--exercise runs a mini fleet first)\n"
+               "  fleet also takes [--store DIR] [--summary-interval S]\n"
+               "  fleet and chaos also take [--metrics-out FILE]"
+               " [--trace-out FILE] (metrics format by extension:"
+               " .json -> JSON, else Prometheus text)\n"
+               "  every command takes [--log-level debug|info|warn|error]"
+               " (default warn, or the TSVPT_LOG environment variable)\n");
   return 2;
 }
 
@@ -703,6 +828,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args{argc - 2, argv + 2};
+    apply_log_level(args);
     if (command == "tech") return cmd_tech(args);
     if (command == "sense") return cmd_sense(args);
     if (command == "mc") return cmd_mc(args);
@@ -710,6 +836,7 @@ int main(int argc, char** argv) {
     if (command == "fleet") return cmd_fleet(args);
     if (command == "chaos") return cmd_chaos(args);
     if (command == "store") return cmd_store(args);
+    if (command == "obs") return cmd_obs(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tsvpt_cli: %s\n", e.what());
     return 1;
