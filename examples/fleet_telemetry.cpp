@@ -52,7 +52,7 @@ int main() {
               static_cast<unsigned long long>(sampler.total_dropped()),
               static_cast<unsigned long long>(sum.decode_errors));
   std::printf("%d alerts delivered through the callback\n\n",
-              alert_count.load());
+              alert_count.load(std::memory_order_relaxed));
 
   for (const auto& [stack_id, stats] : sum.stacks) {
     std::printf("stack %2u: %3llu frames", stack_id,

@@ -50,6 +50,8 @@ void FlightRecorder::record(const TraceEvent& event) {
   const std::uint64_t t = ticket_.fetch_add(1, std::memory_order_relaxed);
   Cell& cell = cells_[t & mask_];
   cell.state.store(2 * t + 1, std::memory_order_relaxed);
+  // mo: release fence orders the odd-state store before the payload stores;
+  // pairs with snapshot()'s acquire fence for torn-cell detection.
   std::atomic_thread_fence(std::memory_order_release);
   cell.category.store(event.category, std::memory_order_relaxed);
   cell.name.store(event.name, std::memory_order_relaxed);
@@ -58,6 +60,8 @@ void FlightRecorder::record(const TraceEvent& event) {
   cell.arg.store(event.arg, std::memory_order_relaxed);
   cell.tid.store(event.tid, std::memory_order_relaxed);
   cell.phase.store(event.phase, std::memory_order_relaxed);
+  // mo: release publishes the payload; pairs with snapshot()'s first acquire
+  // state load (s1).
   cell.state.store(2 * t, std::memory_order_release);
 }
 
@@ -90,6 +94,8 @@ void FlightRecorder::record_instant(const char* category, const char* name,
 }
 
 std::vector<TraceEvent> FlightRecorder::snapshot() const {
+  // mo: acquire pairs with record()'s release state store via the ticket:
+  // cells at tickets below `end` are at least claimed, usually published.
   const std::uint64_t end = ticket_.load(std::memory_order_acquire);
   const std::uint64_t cap = cells_.size();
   const std::uint64_t begin = end > cap ? end - cap : 0;
@@ -97,6 +103,8 @@ std::vector<TraceEvent> FlightRecorder::snapshot() const {
   out.reserve(static_cast<std::size_t>(end - begin));
   for (std::uint64_t t = begin; t < end; ++t) {
     const Cell& cell = cells_[t & mask_];
+    // mo: acquire pairs with record()'s release state store, making the
+    // payload visible when s1 reads as published (even).
     const std::uint64_t s1 = cell.state.load(std::memory_order_acquire);
     if (s1 != 2 * t) continue;  // mid-write, lapped, or never published
     TraceEvent event;
@@ -107,6 +115,8 @@ std::vector<TraceEvent> FlightRecorder::snapshot() const {
     event.arg = cell.arg.load(std::memory_order_relaxed);
     event.tid = cell.tid.load(std::memory_order_relaxed);
     event.phase = cell.phase.load(std::memory_order_relaxed);
+    // mo: acquire fence orders the payload loads before the state re-check;
+    // pairs with record()'s release fence.
     std::atomic_thread_fence(std::memory_order_acquire);
     if (cell.state.load(std::memory_order_relaxed) != s1) continue;  // torn
     out.push_back(event);

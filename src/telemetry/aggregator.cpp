@@ -68,6 +68,8 @@ void Aggregator::start(std::vector<FrameRing*> rings) {
 
 void Aggregator::stop() {
   if (!collector_.joinable()) return;
+  // mo: release pairs with collect()'s acquire loads so everything written
+  // before stop() is visible to the collector's final drain.
   stop_requested_.store(true, std::memory_order_release);
   collector_.join();
 }
@@ -97,6 +99,7 @@ void Aggregator::collect(std::vector<FrameRing*> rings) {
       }
     }
     if (!drained_any) {
+      // mo: acquire pairs with stop()'s release store (see below).
       if (watchdog && !stop_requested_.load(std::memory_order_acquire)) {
         // Idle with workers still supposedly running: any ring silent past
         // the timeout marks its worker as stalled.
@@ -110,6 +113,8 @@ void Aggregator::collect(std::vector<FrameRing*> rings) {
           if (config_.on_stalled_ring) config_.on_stalled_ring(r);
         }
       }
+      // mo: acquire pairs with stop()'s release store; after it reads true,
+      // all frames pushed before stop() are visible to the drain below.
       if (stop_requested_.load(std::memory_order_acquire)) {
         // The empty pass above may have scanned a ring *before* its worker's
         // final push (stop() is only called once workers are joined, but the

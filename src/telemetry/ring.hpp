@@ -57,6 +57,8 @@ class SpscRing {
     std::size_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[pos & mask_];
+      // mo: acquire pairs with try_pop's release seq store, so a recycled
+      // slot's prior value read is complete before we overwrite it.
       const std::size_t seq = cell.seq.load(std::memory_order_acquire);
       const auto diff = static_cast<std::intptr_t>(seq) -
                         static_cast<std::intptr_t>(pos);
@@ -64,6 +66,8 @@ class SpscRing {
         if (head_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           cell.value = std::move(value);
+          // mo: release publishes cell.value to the consumer; pairs with
+          // try_pop's acquire seq load.
           cell.seq.store(pos + 1, std::memory_order_release);
           pushed_.fetch_add(1, std::memory_order_relaxed);
           return true;
@@ -103,6 +107,8 @@ class SpscRing {
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[pos & mask_];
+      // mo: acquire pairs with try_push's release seq store, making the
+      // producer's cell.value write visible before we move from it.
       const std::size_t seq = cell.seq.load(std::memory_order_acquire);
       const auto diff = static_cast<std::intptr_t>(seq) -
                         static_cast<std::intptr_t>(pos + 1);
@@ -110,6 +116,8 @@ class SpscRing {
         if (tail_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           out = std::move(cell.value);
+          // mo: release hands the emptied slot back to producers; pairs with
+          // try_push's acquire seq load.
           cell.seq.store(pos + mask_ + 1, std::memory_order_release);
           popped_.fetch_add(1, std::memory_order_relaxed);
           return true;
@@ -124,8 +132,10 @@ class SpscRing {
 
   /// Frames currently resident (racy snapshot; exact at quiescence).
   [[nodiscard]] std::size_t size() const {
+    // mo: acquire on both cursors keeps the snapshot no staler than the
+    // callers' published claims; pairs with the CAS updates above.
     const std::size_t head = head_.load(std::memory_order_acquire);
-    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);  // mo: ditto
     return head >= tail ? head - tail : 0;
   }
   [[nodiscard]] bool empty() const { return size() == 0; }

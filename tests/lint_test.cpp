@@ -1,0 +1,571 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "json_check.hpp"
+#include "lint/analyzer.hpp"
+#include "lint/config.hpp"
+#include "lint/lexer.hpp"
+
+namespace tsvpt::lint {
+namespace {
+
+// Three-layer demo DAG used by most fixtures: top -> mid -> base.
+LayeringConfig demo_layering() {
+  LayeringConfig config;
+  std::string error;
+  const bool ok = parse_layering(
+      "[modules]\n"
+      "order = [\"base\", \"mid\", \"top\"]\n"
+      "[deps]\n"
+      "base = []\n"
+      "mid = [\"base\"]\n"
+      "top = [\"base\", \"mid\"]\n",
+      &config, &error);
+  EXPECT_TRUE(ok) << error;
+  return config;
+}
+
+Analyzer::Options only(std::initializer_list<const char*> rules) {
+  Analyzer::Options options;
+  options.enabled.clear();
+  for (const char* rule : rules) options.enabled.insert(rule);
+  return options;
+}
+
+using Fixture = std::vector<std::pair<std::string, std::string>>;
+
+std::vector<Diagnostic> run(const Fixture& files,
+                            Analyzer::Options options = {},
+                            Stats* stats_out = nullptr,
+                            LayeringConfig config = demo_layering()) {
+  Analyzer analyzer{std::move(config), std::move(options)};
+  for (const auto& [path, content] : files) {
+    analyzer.add_file(path, content);
+  }
+  std::vector<Diagnostic> diags = analyzer.finish();
+  if (stats_out != nullptr) *stats_out = analyzer.stats();
+  return diags;
+}
+
+bool any_message_contains(const std::vector<Diagnostic>& diags,
+                          const std::string& needle) {
+  for (const Diagnostic& diag : diags) {
+    if (diag.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer edge cases
+
+TEST(LintLexer, RawStringHidesCommentAndQuoteMarkers) {
+  const LexResult lex_result =
+      lex("auto s = R\"(// not a comment */ \" still string)\";");
+  EXPECT_TRUE(lex_result.comments.empty());
+  bool found = false;
+  for (const Token& tok : lex_result.tokens) {
+    if (tok.kind == TokKind::kString) {
+      found = true;
+      EXPECT_NE(tok.text.find("// not a comment"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LintLexer, RawStringCustomDelimiterSwallowsPlainCloser) {
+  // The `)"` inside must not terminate an R"xy(...)xy" literal.
+  const LexResult lex_result = lex("auto s = R\"xy(a )\" b)xy\"; int z;");
+  ASSERT_FALSE(lex_result.tokens.empty());
+  bool seen_z = false;
+  for (const Token& tok : lex_result.tokens) {
+    if (tok.kind == TokKind::kString) {
+      EXPECT_NE(tok.text.find("a )\" b"), std::string::npos);
+    }
+    seen_z = seen_z || (tok.kind == TokKind::kIdentifier && tok.text == "z");
+  }
+  EXPECT_TRUE(seen_z);
+}
+
+TEST(LintLexer, LineContinuedCommentSpansLines) {
+  const LexResult lex_result = lex(
+      "// continued \\\n"
+      "still comment\n"
+      "int x;\n");
+  ASSERT_EQ(lex_result.comments.size(), 1u);
+  EXPECT_EQ(lex_result.comments[0].line, 1);
+  EXPECT_EQ(lex_result.comments[0].end_line, 2);
+  ASSERT_FALSE(lex_result.tokens.empty());
+  EXPECT_EQ(lex_result.tokens[0].text, "int");
+  EXPECT_EQ(lex_result.tokens[0].line, 3);
+}
+
+TEST(LintLexer, BlockCommentLineRange) {
+  const LexResult lex_result = lex("/* a\nb\nc */ int y;");
+  ASSERT_EQ(lex_result.comments.size(), 1u);
+  EXPECT_EQ(lex_result.comments[0].line, 1);
+  EXPECT_EQ(lex_result.comments[0].end_line, 3);
+  EXPECT_EQ(lex_result.tokens[0].line, 3);
+}
+
+TEST(LintLexer, StringLiteralHidesCommentMarkers) {
+  const LexResult lex_result = lex("const char* s = \"// /* */\";");
+  EXPECT_TRUE(lex_result.comments.empty());
+}
+
+TEST(LintLexer, DirectiveTokensFlagged) {
+  const LexResult lex_result = lex("#include \"a.hpp\"\nint x;\n");
+  bool saw_directive = false;
+  for (const Token& tok : lex_result.tokens) {
+    if (tok.line == 1) {
+      EXPECT_TRUE(tok.in_directive) << tok.text;
+      saw_directive = true;
+    } else {
+      EXPECT_FALSE(tok.in_directive) << tok.text;
+    }
+  }
+  EXPECT_TRUE(saw_directive);
+}
+
+// ---------------------------------------------------------------------------
+// atomics-contract
+
+TEST(LintAtomics, ImplicitSeqCstIsFlagged) {
+  const auto diags = run({{"src/mid/a.cpp",
+                           "#include <atomic>\n"
+                           "std::atomic<bool> flag;\n"
+                           "void f() { flag.store(true); }\n"}},
+                         only({kRuleAtomics}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleAtomics);
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_NE(diags[0].message.find("explicit std::memory_order"),
+            std::string::npos);
+}
+
+TEST(LintAtomics, ExplicitRelaxedIsClean) {
+  Stats stats;
+  const auto diags =
+      run({{"src/mid/a.cpp",
+            "#include <atomic>\n"
+            "std::atomic<int> n;\n"
+            "void f() { n.fetch_add(1, std::memory_order_relaxed); }\n"}},
+          only({kRuleAtomics}), &stats);
+  EXPECT_TRUE(diags.empty());
+  EXPECT_EQ(stats.atomic_sites, 1);
+  EXPECT_EQ(stats.atomic_nonrelaxed, 0);
+}
+
+TEST(LintAtomics, NonRelaxedInSrcNeedsMoComment) {
+  const auto diags =
+      run({{"src/mid/a.cpp",
+            "#include <atomic>\n"
+            "std::atomic<bool> flag;\n"
+            "void f() { flag.store(true, std::memory_order_release); }\n"}},
+          only({kRuleAtomics}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("// mo:"), std::string::npos);
+}
+
+TEST(LintAtomics, SameLineMoCommentSatisfies) {
+  const auto diags = run(
+      {{"src/mid/a.cpp",
+        "#include <atomic>\n"
+        "std::atomic<bool> flag;\n"
+        "void f() { flag.store(true, std::memory_order_release); }"
+        "  // mo: pairs with g()'s acquire load\n"}},
+      only({kRuleAtomics}));
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintAtomics, MultiLineMoBlockAboveSatisfies) {
+  // The `mo:` text sits on the first line of a two-line comment block; the
+  // whole contiguous block must count as "immediately above".
+  const auto diags =
+      run({{"src/mid/a.cpp",
+            "#include <atomic>\n"
+            "std::atomic<bool> flag;\n"
+            "void f() {\n"
+            "  // mo: release publishes the payload written above;\n"
+            "  // pairs with g()'s acquire load.\n"
+            "  flag.store(true, std::memory_order_release);\n"
+            "}\n"}},
+          only({kRuleAtomics}));
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintAtomics, NonSrcNeedsNoMoComment) {
+  const auto diags =
+      run({{"tests/a_test.cpp",
+            "#include <atomic>\n"
+            "std::atomic<bool> flag;\n"
+            "void f() { flag.store(true, std::memory_order_release); }\n"}},
+          only({kRuleAtomics}));
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintAtomics, AtomicInMacroBodyIsStillChecked) {
+  const auto diags = run({{"src/mid/a.cpp",
+                           "#include <atomic>\n"
+                           "std::atomic<bool> flag;\n"
+                           "#define PUBLISH() flag.store(true)\n"}},
+                         only({kRuleAtomics}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintAtomics, FenceCountsAsSite) {
+  const auto diags = run(
+      {{"src/mid/a.cpp",
+        "#include <atomic>\n"
+        "void f() { std::atomic_thread_fence(std::memory_order_release); }\n"}},
+      only({kRuleAtomics}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("atomic_thread_fence"), std::string::npos);
+}
+
+TEST(LintAtomics, SelfIdentifyingReceiverIsChecked) {
+  // `ticket` is declared in another TU we have not seen, but the call names
+  // a memory_order, which marks it as an atomic site on its own.
+  const auto diags =
+      run({{"src/mid/a.cpp",
+            "void f(Cell& c) { c.seq.load(std::memory_order_acquire); }\n"}},
+          only({kRuleAtomics}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("non-relaxed"), std::string::npos);
+}
+
+TEST(LintAtomics, SubscriptedReceiverResolvesToDeclaredAtomic) {
+  const auto diags = run({{"src/mid/a.cpp",
+                           "#include <atomic>\n"
+                           "std::atomic<int> seq;\n"
+                           "void f() { cells[i & mask].seq.load(); }\n"}},
+                         only({kRuleAtomics}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+// ---------------------------------------------------------------------------
+// determinism-ban
+
+TEST(LintDeterminism, RandCallIsFlaggedInSrc) {
+  const auto diags = run({{"src/mid/a.cpp", "int f() { return rand(); }\n"}},
+                         only({kRuleDeterminism}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleDeterminism);
+  EXPECT_NE(diags[0].message.find("ptsim::Rng"), std::string::npos);
+}
+
+TEST(LintDeterminism, FunctionDeclarationNamedRandomIsNotACall) {
+  const auto diags =
+      run({{"src/mid/a.hpp",
+            "#pragma once\n"
+            "struct W { static W random(int seed); };\n"
+            "W* time(int);\n"}},
+          only({kRuleDeterminism}));
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintDeterminism, RandomDeviceBannedOutsideRng) {
+  const auto outside = run({{"src/mid/a.cpp", "std::random_device rd;\n"}},
+                           only({kRuleDeterminism}));
+  ASSERT_EQ(outside.size(), 1u);
+  EXPECT_NE(outside[0].message.find("random_device"), std::string::npos);
+
+  const auto inside = run({{"src/ptsim/rng.cpp", "std::random_device rd;\n"}},
+                          only({kRuleDeterminism}));
+  EXPECT_TRUE(inside.empty());
+}
+
+TEST(LintDeterminism, SystemClockBannedInSrc) {
+  const auto diags = run(
+      {{"src/mid/a.cpp", "auto t = std::chrono::system_clock::now();\n"}},
+      only({kRuleDeterminism}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("system_clock"), std::string::npos);
+}
+
+TEST(LintDeterminism, TestsAreExempt) {
+  const auto diags = run({{"tests/a_test.cpp", "int f() { return rand(); }\n"}},
+                         only({kRuleDeterminism}));
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintDeterminism, MutableGlobalInPhysicsModuleIsFlagged) {
+  const auto diags = run({{"src/core/state.cpp",
+                           "namespace tsvpt::core {\n"
+                           "int call_count = 0;\n"
+                           "}  // namespace tsvpt::core\n"}},
+                         only({kRuleDeterminism}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("call_count"), std::string::npos);
+}
+
+TEST(LintDeterminism, ConstexprAndLocalsAreNotGlobals) {
+  const auto diags = run({{"src/core/state.cpp",
+                           "namespace tsvpt::core {\n"
+                           "constexpr int kLimit = 8;\n"
+                           "const double kGain = 1.5;\n"
+                           "int helper() { int local = 0; return local; }\n"
+                           "}  // namespace tsvpt::core\n"}},
+                         only({kRuleDeterminism}));
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintDeterminism, NonPhysicsModuleMayHoldState) {
+  // Mutable namespace-scope state is only banned in device/process/circuit/
+  // core; the telemetry registry pattern stays legal.
+  const auto diags = run({{"src/telemetry/reg.cpp",
+                           "namespace tsvpt::telemetry {\n"
+                           "int registry_epoch = 0;\n"
+                           "}\n"}},
+                         only({kRuleDeterminism}));
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// header-hygiene
+
+TEST(LintHygiene, MissingPragmaOnce) {
+  const auto diags = run({{"src/mid/a.hpp", "int f();\n"}},
+                         only({kRuleHygiene}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("#pragma once"), std::string::npos);
+}
+
+TEST(LintHygiene, UsingNamespaceInHeader) {
+  const auto diags = run({{"src/mid/a.hpp",
+                           "#pragma once\n"
+                           "using namespace std;\n"}},
+                         only({kRuleHygiene}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("using namespace"), std::string::npos);
+}
+
+TEST(LintHygiene, SelfIncludeMustComeFirst) {
+  const Fixture wrong = {
+      {"src/mid/widget.hpp", "#pragma once\nint f();\n"},
+      {"src/mid/widget.cpp",
+       "#include <vector>\n#include \"mid/widget.hpp\"\nint f() { return 1; }\n"},
+  };
+  const auto diags = run(wrong, only({kRuleHygiene}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("own header"), std::string::npos);
+
+  const Fixture right = {
+      {"src/mid/widget.hpp", "#pragma once\nint f();\n"},
+      {"src/mid/widget.cpp",
+       "#include \"mid/widget.hpp\"\n#include <vector>\nint f() { return 1; }\n"},
+  };
+  EXPECT_TRUE(run(right, only({kRuleHygiene})).empty());
+}
+
+TEST(LintHygiene, CppWithoutSiblingHeaderIsExempt) {
+  const auto diags = run(
+      {{"src/mid/main.cpp", "#include <vector>\nint main() { return 0; }\n"}},
+      only({kRuleHygiene}));
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// layering-dag
+
+TEST(LintLayering, UndeclaredEdgeIsFlagged) {
+  const auto diags =
+      run({{"src/base/a.cpp", "#include \"mid/b.hpp\"\n"}},
+          only({kRuleLayering}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("undeclared edge base -> mid"),
+            std::string::npos);
+}
+
+TEST(LintLayering, DeclaredEdgeAndLocalIncludesAreClean) {
+  const auto diags = run({{"src/top/a.cpp",
+                           "#include \"mid/b.hpp\"\n"
+                           "#include \"top/detail.hpp\"\n"
+                           "#include \"helper.hpp\"\n"
+                           "#include <vector>\n"}},
+                         only({kRuleLayering}));
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintLayering, UnknownModuleIsFlagged) {
+  const auto diags = run({{"src/rogue/a.cpp", "int x;\n"}},
+                         only({kRuleLayering}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("not declared"), std::string::npos);
+}
+
+TEST(LintLayering, DeclaredCycleYieldsBackEdgeDiagnostic) {
+  LayeringConfig config;
+  std::string error;
+  ASSERT_TRUE(parse_layering(
+      "[modules]\norder = [\"a\", \"b\"]\n[deps]\na = [\"b\"]\nb = [\"a\"]\n",
+      &config, &error))
+      << error;
+  const auto diags = run({}, only({kRuleLayering}), nullptr, config);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_TRUE(any_message_contains(diags, "back-edge"));
+  EXPECT_EQ(diags[0].file, "tools/lint/layering.toml");
+}
+
+TEST(LintLayering, SelfEdgeIsRejected) {
+  LayeringConfig config;
+  std::string error;
+  ASSERT_TRUE(parse_layering(
+      "[modules]\norder = [\"a\"]\n[deps]\na = [\"a\"]\n", &config, &error));
+  const auto diags = run({}, only({kRuleLayering}), nullptr, config);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(any_message_contains(diags, "back-edge"));
+}
+
+TEST(LintLayering, AuditFlagsDeclaredButUnusedEdges) {
+  Analyzer::Options options = only({kRuleLayering});
+  options.layering_audit = true;
+  // top -> mid is exercised; mid -> base and top -> base are not.
+  const auto diags =
+      run({{"src/top/a.cpp", "#include \"mid/b.hpp\"\n"}}, options);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_TRUE(any_message_contains(diags, "mid -> base"));
+  EXPECT_TRUE(any_message_contains(diags, "top -> base"));
+  EXPECT_TRUE(any_message_contains(diags, "not used by any include"));
+}
+
+// ---------------------------------------------------------------------------
+// suppressions
+
+TEST(LintSuppression, AllowWithReasonSuppresses) {
+  Stats stats;
+  const auto diags = run(
+      {{"src/mid/a.cpp",
+        "int f() { return rand(); }  "
+        "// lint:allow(determinism-ban): fixture exercises legacy path\n"}},
+      only({kRuleDeterminism}), &stats);
+  EXPECT_TRUE(diags.empty());
+  EXPECT_EQ(stats.suppressions_used, 1);
+}
+
+TEST(LintSuppression, OwnLineAllowCoversNextLine) {
+  const auto diags = run(
+      {{"src/mid/a.cpp",
+        "// lint:allow(determinism-ban): fixture exercises legacy path\n"
+        "int f() { return rand(); }\n"}},
+      only({kRuleDeterminism}));
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintSuppression, ReasonIsMandatory) {
+  const auto diags = run({{"src/mid/a.cpp",
+                           "int f() { return rand(); }  "
+                           "// lint:allow(determinism-ban)\n"}},
+                         only({kRuleDeterminism}));
+  // The original diagnostic survives AND the reason-less allow is diagnosed.
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_TRUE(any_message_contains(diags, "must carry a reason"));
+  EXPECT_TRUE(any_message_contains(diags, "banned in src/"));
+}
+
+TEST(LintSuppression, UnknownRuleNameIsDiagnosed) {
+  const auto diags = run(
+      {{"src/mid/a.cpp", "// lint:allow(no-such-rule): whatever\nint x;\n"}},
+      only({kRuleDeterminism}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleSuppression);
+  EXPECT_TRUE(any_message_contains(diags, "unknown rule"));
+}
+
+TEST(LintSuppression, UnusedAllowIsDiagnosed) {
+  const auto diags = run(
+      {{"src/mid/a.cpp",
+        "// lint:allow(determinism-ban): nothing here actually fires\n"
+        "int f() { return 1; }\n"}},
+      only({kRuleDeterminism}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(any_message_contains(diags, "never matched"));
+}
+
+TEST(LintSuppression, ProseMentionIsNotADirective) {
+  // A comment *talking about* lint:allow(rule) mid-sentence must not be
+  // parsed as a suppression (and thus must not be flagged as unused).
+  const auto diags = run(
+      {{"src/mid/a.cpp",
+        "// Suppress with lint:allow(determinism-ban): reason, like this.\n"
+        "int f() { return 1; }\n"}},
+      only({kRuleDeterminism}));
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// output formats
+
+TEST(LintOutput, FormatDiagnostic) {
+  Diagnostic diag;
+  diag.file = "src/mid/a.cpp";
+  diag.line = 12;
+  diag.rule = kRuleDeterminism;
+  diag.message = "msg";
+  EXPECT_EQ(format_diagnostic(diag), "src/mid/a.cpp:12: [determinism-ban] msg");
+}
+
+TEST(LintOutput, JsonReportIsValidJson) {
+  Stats stats;
+  const auto diags = run({{"src/mid/a.cpp",
+                           "int f() { return rand(); }\n"
+                           "const char* s = \"quote \\\" and \\\\ inside\";\n"}},
+                         only({kRuleDeterminism}), &stats);
+  ASSERT_EQ(diags.size(), 1u);
+  const std::string report = json_report(diags, stats);
+  EXPECT_TRUE(tsvpt::testing::is_valid_json(report)) << report;
+  EXPECT_NE(report.find("\"clean\": false"), std::string::npos);
+
+  const std::string clean = json_report({}, stats);
+  EXPECT_TRUE(tsvpt::testing::is_valid_json(clean)) << clean;
+  EXPECT_NE(clean.find("\"clean\": true"), std::string::npos);
+}
+
+TEST(LintOutput, RuleCatalogIsStable) {
+  const auto& rules = all_rules();
+  ASSERT_EQ(rules.size(), 4u);
+  for (const std::string& rule : rules) {
+    EXPECT_FALSE(rule_description(rule).empty()) << rule;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// layering config parser
+
+TEST(LintConfig, MultiLineListsParse) {
+  LayeringConfig config;
+  std::string error;
+  ASSERT_TRUE(parse_layering(
+      "[modules]\n"
+      "order = [\"a\",  # trailing comment\n"
+      "         \"b\"]\n"
+      "[deps]\na = []\nb = [\"a\"]\n",
+      &config, &error))
+      << error;
+  ASSERT_EQ(config.modules.size(), 2u);
+  EXPECT_EQ(config.modules[1], "b");
+}
+
+TEST(LintConfig, RejectsModuleWithoutDepsEntry) {
+  LayeringConfig config;
+  std::string error;
+  EXPECT_FALSE(parse_layering("[modules]\norder = [\"a\"]\n[deps]\n", &config,
+                              &error));
+  EXPECT_NE(error.find("no [deps] entry"), std::string::npos);
+}
+
+TEST(LintConfig, RejectsUnknownDependency) {
+  LayeringConfig config;
+  std::string error;
+  EXPECT_FALSE(parse_layering(
+      "[modules]\norder = [\"a\"]\n[deps]\na = [\"ghost\"]\n", &config,
+      &error));
+  EXPECT_NE(error.find("unknown module"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsvpt::lint

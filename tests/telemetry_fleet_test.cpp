@@ -121,7 +121,7 @@ TEST(FleetPipeline, AlertCallbackMatchesSummary) {
 
   const auto& sum = aggregator.summary();
   EXPECT_GT(sum.alerts, 0u);
-  EXPECT_EQ(delivered.load(), sum.alerts);
+  EXPECT_EQ(delivered.load(std::memory_order_relaxed), sum.alerts);
   // Edge-triggered: one over-temperature alert per site, not per frame.
   EXPECT_EQ(sum.alerts_by_kind.at(AlertKind::kOverTemperature),
             3u * 4u);  // 3 stacks x 4 sites all sit above 1 C

@@ -82,13 +82,13 @@ TEST(TelemetryRing, ConcurrentProducerConsumerStress) {
     std::uint64_t out = 0;
     for (;;) {
       if (ring.try_pop(out)) {
-        if (!first && out <= last_seen) ordered.store(false);
+        if (!first && out <= last_seen) ordered.store(false, std::memory_order_relaxed);
         last_seen = out;
         first = false;
         consumed.fetch_add(1, std::memory_order_relaxed);
       } else if (done.load(std::memory_order_acquire)) {
         if (!ring.try_pop(out)) break;
-        if (!first && out <= last_seen) ordered.store(false);
+        if (!first && out <= last_seen) ordered.store(false, std::memory_order_relaxed);
         last_seen = out;
         first = false;
         consumed.fetch_add(1, std::memory_order_relaxed);
@@ -102,9 +102,9 @@ TEST(TelemetryRing, ConcurrentProducerConsumerStress) {
   done.store(true, std::memory_order_release);
   consumer.join();
 
-  EXPECT_TRUE(ordered.load());
+  EXPECT_TRUE(ordered.load(std::memory_order_relaxed));
   EXPECT_EQ(ring.pushed(), kCount);
-  EXPECT_EQ(consumed.load(), ring.popped());
+  EXPECT_EQ(consumed.load(std::memory_order_relaxed), ring.popped());
   EXPECT_EQ(ring.pushed(), ring.popped() + ring.dropped());
   EXPECT_TRUE(ring.empty());
 }
@@ -160,9 +160,11 @@ TEST(TelemetryRing, MultiProducerMultiConsumerConservation) {
     produced_sum += 1 + i;
     produced_sum += 1'000'000 + i;
   }
-  EXPECT_EQ(pop_sum.load() + drop_sum.load(), produced_sum);
+  EXPECT_EQ(pop_sum.load(std::memory_order_relaxed) +
+                drop_sum.load(std::memory_order_relaxed),
+            produced_sum);
   EXPECT_EQ(ring.pushed(), 2 * kPerProducer);
-  EXPECT_EQ(pop_count.load(), ring.popped());
+  EXPECT_EQ(pop_count.load(std::memory_order_relaxed), ring.popped());
   EXPECT_EQ(ring.pushed(), ring.popped() + ring.dropped());
 }
 

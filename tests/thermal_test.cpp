@@ -169,7 +169,8 @@ TEST(ThermalNetwork, InterpolationMatchesCellCenters) {
   const double cell_w = 5e-3 / 4.0;
   for (std::size_t ix = 0; ix < 4; ++ix) {
     for (std::size_t iy = 0; iy < 4; ++iy) {
-      const process::Point center{(ix + 0.5) * cell_w, (iy + 0.5) * cell_w};
+      const process::Point center{(static_cast<double>(ix) + 0.5) * cell_w,
+                                  (static_cast<double>(iy) + 0.5) * cell_w};
       EXPECT_NEAR(net.temperature_at(0, center).value(),
                   net.temperature_at(0, ix, iy).value(), 1e-9);
     }

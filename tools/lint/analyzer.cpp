@@ -1,0 +1,851 @@
+#include "lint/analyzer.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace tsvpt::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Path classification
+
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_header(const std::string& path) {
+  return ends_with(path, ".hpp") || ends_with(path, ".h");
+}
+
+/// "src/core/pt_sensor.cpp" -> "core"; "" when not under src/.
+std::string module_of(const std::string& path) {
+  if (!starts_with(path, "src/")) return "";
+  const std::size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return path.substr(4, slash - 4);
+}
+
+/// Modules whose physics must be bit-reproducible: no hidden mutable state.
+bool in_deterministic_module(const std::string& path) {
+  const std::string mod = module_of(path);
+  return mod == "device" || mod == "process" || mod == "circuit" ||
+         mod == "core";
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+std::string stem_of(const std::string& path) {
+  const std::string base = basename_of(path);
+  const std::size_t dot = base.rfind('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+struct Allow {
+  std::string rule;
+  int line = 0;      // first line the allow applies to
+  int end_line = 0;  // last line it applies to
+  bool has_reason = false;
+  bool used = false;
+  int comment_line = 0;  // where the comment itself lives (for diagnostics)
+};
+
+/// Extract suppressions from a comment.  A suppression must be the comment's
+/// directive — the text right after the `//` or `/*` delimiter (modulo
+/// whitespace) must start with `lint:allow(` — so prose that merely
+/// *mentions* the grammar is never parsed as an allow.  After one parsed
+/// allow, further chained `lint:allow(...)` entries in the same comment are
+/// honoured.  An own-line comment also covers the next source line.
+void collect_allows(const Token& comment, bool own_line,
+                    std::vector<Allow>* out) {
+  const std::string& text = comment.text;
+  std::size_t start = 0;
+  while (start < text.size() &&
+         (text[start] == '/' || text[start] == '*' || text[start] == ' ' ||
+          text[start] == '\t')) {
+    ++start;
+  }
+  if (text.compare(start, 11, "lint:allow(") != 0) return;
+  std::size_t pos = start;
+  while ((pos = text.find("lint:allow(", pos)) != std::string::npos) {
+    const std::size_t open = pos + 10;  // index of '('
+    const std::size_t close = text.find(')', open);
+    if (close == std::string::npos) break;
+    Allow allow;
+    allow.rule = text.substr(open + 1, close - open - 1);
+    allow.comment_line = comment.line;
+    allow.line = comment.line;
+    allow.end_line = comment.end_line + (own_line ? 1 : 0);
+    std::size_t after = close + 1;
+    if (after < text.size() && text[after] == ':') {
+      ++after;
+      while (after < text.size() && text[after] == ' ') ++after;
+      allow.has_reason = after < text.size();
+    }
+    out->push_back(std::move(allow));
+    pos = close;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+
+bool is_punct(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kPunct && tok.text == text;
+}
+
+bool is_ident(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kIdentifier && tok.text == text;
+}
+
+/// Walk a balanced bracket group starting at `open` (which must hold the
+/// opening token); returns the index of the matching closer, or the last
+/// index when unbalanced.
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t open,
+                          std::string_view open_text,
+                          std::string_view close_text) {
+  int depth = 0;
+  std::size_t i = open;
+  for (; i < toks.size(); ++i) {
+    if (is_punct(toks[i], open_text)) ++depth;
+    if (is_punct(toks[i], close_text)) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return toks.size() - 1;
+}
+
+const std::set<std::string>& ordered_atomic_methods() {
+  static const std::set<std::string> kMethods{
+      "load",          "store",
+      "exchange",      "fetch_add",
+      "fetch_sub",     "fetch_and",
+      "fetch_or",      "fetch_xor",
+      "compare_exchange_weak", "compare_exchange_strong",
+      "wait",          "test_and_set",
+      "test",          "clear"};
+  return kMethods;
+}
+
+const std::set<std::string>& banned_random_calls() {
+  static const std::set<std::string> kCalls{
+      "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48", "random"};
+  return kCalls;
+}
+
+const std::set<std::string>& banned_clock_calls() {
+  static const std::set<std::string> kCalls{"time", "clock", "gettimeofday",
+                                            "localtime", "gmtime"};
+  return kCalls;
+}
+
+struct IncludeInfo {
+  std::string target;  // path inside the quotes / angle brackets
+  bool quoted = false;
+  int line = 0;
+};
+
+std::vector<IncludeInfo> collect_includes(const std::vector<Token>& toks) {
+  std::vector<IncludeInfo> out;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_punct(toks[i], "#") || !is_ident(toks[i + 1], "include")) continue;
+    const Token& target = toks[i + 2];
+    if (target.kind == TokKind::kString && target.text.size() >= 2) {
+      IncludeInfo inc;
+      inc.target = target.text.substr(1, target.text.size() - 2);
+      inc.quoted = true;
+      inc.line = target.line;
+      out.push_back(std::move(inc));
+    } else if (is_punct(target, "<")) {
+      IncludeInfo inc;
+      inc.quoted = false;
+      inc.line = target.line;
+      for (std::size_t j = i + 3;
+           j < toks.size() && !is_punct(toks[j], ">") &&
+           toks[j].line == target.line;
+           ++j) {
+        inc.target += toks[j].text;
+      }
+      out.push_back(std::move(inc));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> kRules{
+      kRuleAtomics, kRuleLayering, kRuleDeterminism, kRuleHygiene};
+  return kRules;
+}
+
+std::string rule_description(const std::string& rule) {
+  if (rule == kRuleAtomics) {
+    return "atomic ops pass an explicit std::memory_order; non-relaxed "
+           "orderings in src/ carry a '// mo:' pairing comment";
+  }
+  if (rule == kRuleLayering) {
+    return "src/ module includes follow the DAG declared in "
+           "tools/lint/layering.toml (no undeclared edges, no back-edges)";
+  }
+  if (rule == kRuleDeterminism) {
+    return "no rand()/time()/system_clock in src/, no std::random_device "
+           "outside ptsim/rng, no mutable globals in "
+           "src/{device,process,circuit,core}";
+  }
+  if (rule == kRuleHygiene) {
+    return "headers use #pragma once and never 'using namespace'; a .cpp "
+           "includes its own header first";
+  }
+  return "";
+}
+
+std::string format_diagnostic(const Diagnostic& diag) {
+  return diag.file + ":" + std::to_string(diag.line) + ": [" + diag.rule +
+         "] " + diag.message;
+}
+
+Analyzer::Analyzer(LayeringConfig layering, Options options)
+    : layering_(std::move(layering)), options_(std::move(options)) {}
+
+void Analyzer::add_file(std::string path, std::string_view content) {
+  FileData data;
+  data.path = std::move(path);
+  data.lex = lex(content);
+  ++stats_.files_scanned;
+
+  // Pass 1 of the atomics rule happens at add time so declarations in
+  // headers are visible when the .cpp that uses them is checked, whatever
+  // the add order: collect the names of declared atomic variables.
+  const std::vector<Token>& toks = data.lex.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != TokKind::kIdentifier) continue;
+    const bool plain_atomic = tok.text == "atomic";
+    const bool typedef_atomic =
+        starts_with(tok.text, "atomic_") && tok.text != "atomic_thread_fence" &&
+        tok.text != "atomic_signal_fence";
+    if (!plain_atomic && !typedef_atomic) continue;
+    std::size_t j = i + 1;
+    if (plain_atomic) {
+      if (j >= toks.size() || !is_punct(toks[j], "<")) continue;
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (is_punct(toks[j], "<")) ++depth;
+        if (is_punct(toks[j], ">") && --depth == 0) break;
+      }
+      ++j;  // step past the closing '>'
+    }
+    // One or more declarators: name [init] {, name [init]} ;
+    while (j < toks.size()) {
+      if (toks[j].kind != TokKind::kIdentifier) break;
+      const std::size_t name_idx = j;
+      ++j;
+      if (j < toks.size() && is_punct(toks[j], "(")) break;  // function
+      atomic_names_.insert(toks[name_idx].text);
+      // Skip initializer / array extent up to ',' or ';'.
+      while (j < toks.size() && !is_punct(toks[j], ",") &&
+             !is_punct(toks[j], ";")) {
+        if (is_punct(toks[j], "{")) {
+          j = skip_balanced(toks, j, "{", "}") + 1;
+        } else if (is_punct(toks[j], "[")) {
+          j = skip_balanced(toks, j, "[", "]") + 1;
+        } else if (is_punct(toks[j], "(")) {
+          j = skip_balanced(toks, j, "(", ")") + 1;
+        } else {
+          ++j;
+        }
+      }
+      if (j >= toks.size() || is_punct(toks[j], ";")) break;
+      ++j;  // step past ',' to the next declarator
+    }
+  }
+
+  files_.push_back(std::move(data));
+}
+
+std::vector<Diagnostic> Analyzer::finish() {
+  std::vector<Diagnostic> diags;
+  const bool atomics_on = options_.enabled.count(kRuleAtomics) != 0;
+  const bool layering_on = options_.enabled.count(kRuleLayering) != 0;
+  const bool determinism_on = options_.enabled.count(kRuleDeterminism) != 0;
+  const bool hygiene_on = options_.enabled.count(kRuleHygiene) != 0;
+
+  std::set<std::string> known_paths;
+  for (const FileData& file : files_) known_paths.insert(file.path);
+
+  // module -> dep -> first observing (file, line); doubles as the observed
+  // edge set for the layering audit.
+  std::map<std::string, std::map<std::string, std::pair<std::string, int>>>
+      observed_edges;
+
+  for (const FileData& file : files_) {
+    const std::vector<Token>& toks = file.lex.tokens;
+    const std::string mod = module_of(file.path);
+    const bool in_src = starts_with(file.path, "src/");
+
+    auto emit = [&](int line, const char* rule, std::string message) {
+      Diagnostic diag;
+      diag.file = file.path;
+      diag.line = line;
+      diag.rule = rule;
+      diag.message = std::move(message);
+      diags.push_back(std::move(diag));
+    };
+
+    // Lines covered by any comment, so a multi-line run of `//` comments
+    // directly above a statement counts as one contiguous block.
+    std::set<int> comment_lines;
+    for (const Token& comment : file.lex.comments) {
+      for (int l = comment.line; l <= comment.end_line; ++l) {
+        comment_lines.insert(l);
+      }
+    }
+
+    auto has_mo_comment = [&](int first_line, int last_line) {
+      // Extend the window upward over the contiguous comment block (if any)
+      // that ends on the line just above the statement.
+      int above = first_line - 1;
+      while (comment_lines.count(above) != 0) --above;
+      for (const Token& comment : file.lex.comments) {
+        if (comment.text.find("mo:") == std::string::npos) continue;
+        if (comment.line <= last_line && comment.end_line > above) return true;
+      }
+      return false;
+    };
+
+    // ---- atomics-contract ------------------------------------------------
+    if (atomics_on) {
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::kIdentifier) continue;
+        const bool is_fence = toks[i].text == "atomic_thread_fence";
+        const bool is_method =
+            ordered_atomic_methods().count(toks[i].text) != 0 && i > 0 &&
+            (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"));
+        if (!is_fence && !is_method) continue;
+        if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) continue;
+
+        // Resolve the receiver's terminal identifier: a.b[i].load -> b;
+        // cells_[t & mask_].state.load -> state.
+        bool known_atomic = is_fence;
+        if (is_method && i >= 2) {
+          std::size_t j = i - 2;
+          while (j > 0 && (is_punct(toks[j], "]") || is_punct(toks[j], ")"))) {
+            const std::string close_text = toks[j].text;
+            const std::string open_text = close_text == "]" ? "[" : "(";
+            int depth = 0;
+            while (j > 0) {
+              if (is_punct(toks[j], close_text)) ++depth;
+              if (is_punct(toks[j], open_text) && --depth == 0) break;
+              --j;
+            }
+            if (j > 0) --j;  // step before the opening bracket
+          }
+          known_atomic = toks[j].kind == TokKind::kIdentifier &&
+                         atomic_names_.count(toks[j].text) != 0;
+        }
+
+        const std::size_t close = skip_balanced(toks, i + 1, "(", ")");
+        // Orders named in the argument list.
+        std::vector<std::string> orders;
+        for (std::size_t j = i + 2; j < close; ++j) {
+          if (toks[j].kind != TokKind::kIdentifier) continue;
+          if (starts_with(toks[j].text, "memory_order_")) {
+            orders.push_back(toks[j].text.substr(13));
+          } else if (toks[j].text == "memory_order" && j + 2 < close &&
+                     is_punct(toks[j + 1], "::")) {
+            orders.push_back(toks[j + 2].text);
+          }
+        }
+        if (!known_atomic && orders.empty()) continue;  // not an atomic site
+        ++stats_.atomic_sites;
+
+        if (orders.empty()) {
+          emit(toks[i].line, kRuleAtomics,
+               "atomic '" + toks[i].text +
+                   "' must pass an explicit std::memory_order "
+                   "(implicit seq_cst is banned)");
+          continue;
+        }
+        bool non_relaxed = false;
+        for (const std::string& order : orders) {
+          non_relaxed = non_relaxed || order != "relaxed";
+        }
+        if (non_relaxed && in_src) {
+          ++stats_.atomic_nonrelaxed;
+          // The statement starts at the receiver (or the fence itself).
+          int first_line = toks[i].line;
+          if (is_method && i >= 2) {
+            first_line = std::min(first_line, toks[i - 2].line);
+          }
+          if (!has_mo_comment(first_line, toks[close].line)) {
+            emit(toks[i].line, kRuleAtomics,
+                 "non-relaxed atomic '" + toks[i].text +
+                     "' needs a same-line-or-preceding '// mo:' comment "
+                     "naming its pairing counterpart");
+          }
+        }
+      }
+    }
+
+    // ---- determinism-ban -------------------------------------------------
+    if (determinism_on && in_src) {
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::kIdentifier) continue;
+        const std::string& name = toks[i].text;
+
+        if (name == "random_device") {
+          ++stats_.determinism_sites;
+          if (!starts_with(file.path, "src/ptsim/rng")) {
+            emit(toks[i].line, kRuleDeterminism,
+                 "std::random_device is banned outside src/ptsim/rng "
+                 "(seedable ptsim::Rng keeps runs replayable)");
+          }
+          continue;
+        }
+        if (name == "system_clock") {
+          ++stats_.determinism_sites;
+          emit(toks[i].line, kRuleDeterminism,
+               "std::chrono::system_clock is banned in src/ "
+               "(wall-clock reads break deterministic replay; use "
+               "steady_clock or simulated time)");
+          continue;
+        }
+
+        const bool random_call = banned_random_calls().count(name) != 0;
+        const bool clock_call = banned_clock_calls().count(name) != 0;
+        if (!random_call && !clock_call) continue;
+        if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) continue;
+        if (i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+          continue;  // member call on some unrelated object
+        }
+        if (i > 1 && is_punct(toks[i - 1], "::") &&
+            !is_ident(toks[i - 2], "std")) {
+          continue;  // qualified call into a project type
+        }
+        if (i > 0) {
+          // `Workload random(...)` / `Second* time(...)` declare a function
+          // of that name; only flag call expressions.
+          const Token& prev = toks[i - 1];
+          static const std::set<std::string> kExprKeywords{
+              "return", "co_return", "co_yield", "case", "else", "do"};
+          const bool decl_context =
+              (prev.kind == TokKind::kIdentifier &&
+               kExprKeywords.count(prev.text) == 0) ||
+              is_punct(prev, ">") || is_punct(prev, "*") ||
+              is_punct(prev, "&");
+          if (decl_context) continue;
+        }
+        ++stats_.determinism_sites;
+        emit(toks[i].line, kRuleDeterminism,
+             random_call
+                 ? "'" + name + "()' is banned in src/ (use the seedable "
+                   "ptsim::Rng so runs are replayable)"
+                 : "'" + name + "()' is banned in src/ (wall-clock reads "
+                   "break deterministic replay)");
+      }
+
+      // Mutable namespace-scope variables in the physics modules.
+      if (in_deterministic_module(file.path)) {
+        // Scope machine over non-directive tokens.
+        std::vector<const Token*> code;
+        code.reserve(toks.size());
+        for (const Token& tok : toks) {
+          if (!tok.in_directive) code.push_back(&tok);
+        }
+        std::vector<char> scopes;  // 'n' namespace, 'c' class, 'b' block
+        auto at_ns_scope = [&]() {
+          for (const char kind : scopes) {
+            if (kind != 'n') return false;
+          }
+          return true;
+        };
+        auto classify = [&](std::size_t open) {
+          for (std::size_t j = open; j-- > 0;) {
+            const Token& tok = *code[j];
+            if (is_punct(tok, ";") || is_punct(tok, "{") ||
+                is_punct(tok, "}")) {
+              break;
+            }
+            if (is_ident(tok, "namespace")) return 'n';
+            if (is_ident(tok, "class") || is_ident(tok, "struct") ||
+                is_ident(tok, "union") || is_ident(tok, "enum")) {
+              return 'c';
+            }
+          }
+          if (open > 0 && is_punct(*code[open - 1], ")")) return 'b';
+          for (std::size_t j = open; j-- > 0;) {
+            const Token& tok = *code[j];
+            if (is_punct(tok, ";") || is_punct(tok, "{") ||
+                is_punct(tok, "}")) {
+              break;
+            }
+            if (is_punct(tok, "=")) return 'i';
+          }
+          if (open > 0 && (code[open - 1]->kind == TokKind::kIdentifier ||
+                           is_punct(*code[open - 1], ">") ||
+                           is_punct(*code[open - 1], "]"))) {
+            return 'i';  // brace-init of a declarator
+          }
+          return 'b';
+        };
+
+        auto analyze_stmt = [&](const std::vector<std::size_t>& stmt) {
+          if (stmt.empty()) return;
+          ++stats_.globals_audited;
+          static const std::set<std::string> kStructural{
+              "using",    "typedef",  "namespace", "template",
+              "friend",   "operator", "extern",    "static_assert",
+              "concept",  "requires", "class",     "struct",
+              "union",    "enum",     "asm"};
+          std::size_t first_eq = stmt.size();
+          std::size_t first_paren = stmt.size();
+          std::size_t first_brace = stmt.size();
+          int idents = 0;
+          for (std::size_t k = 0; k < stmt.size(); ++k) {
+            const Token& tok = *code[stmt[k]];
+            if (tok.kind == TokKind::kIdentifier) {
+              if (kStructural.count(tok.text) != 0) return;
+              if (tok.text == "const" || tok.text == "constexpr") return;
+              // alignas/decltype parens are type syntax, not calls.
+              if ((tok.text == "alignas" || tok.text == "decltype") &&
+                  k + 1 < stmt.size() && is_punct(*code[stmt[k + 1]], "(")) {
+                int depth = 0;
+                while (k + 1 < stmt.size()) {
+                  ++k;
+                  if (is_punct(*code[stmt[k]], "(")) ++depth;
+                  if (is_punct(*code[stmt[k]], ")") && --depth == 0) break;
+                }
+                continue;
+              }
+              ++idents;
+              continue;
+            }
+            if (is_punct(tok, "=") && first_eq == stmt.size()) first_eq = k;
+            if (is_punct(tok, "(") && first_paren == stmt.size()) {
+              first_paren = k;
+            }
+            if (is_punct(tok, "{") && first_brace == stmt.size()) {
+              first_brace = k;
+            }
+          }
+          if (idents < 2) return;
+          if (first_paren < first_eq && first_paren < first_brace) {
+            return;  // function declaration / vexing parse
+          }
+          // The declared name: nearest identifier before init or end.
+          std::size_t name_end = std::min(first_eq, first_brace);
+          if (name_end == stmt.size()) name_end = stmt.size();
+          std::string name;
+          for (std::size_t k = name_end; k-- > 0;) {
+            const Token& tok = *code[stmt[k]];
+            if (tok.kind == TokKind::kIdentifier) {
+              name = tok.text;
+              break;
+            }
+          }
+          if (name.empty()) return;
+          emit(code[stmt.front()]->line, kRuleDeterminism,
+               "mutable namespace-scope variable '" + name +
+                   "' in deterministic module src/" + mod +
+                   "/ (hidden state breaks thread-count-invariant replay)");
+        };
+
+        std::vector<std::size_t> stmt;
+        for (std::size_t i = 0; i < code.size(); ++i) {
+          const Token& tok = *code[i];
+          if (is_punct(tok, "{")) {
+            const char kind = classify(i);
+            if (kind == 'i' && at_ns_scope() && !stmt.empty()) {
+              int depth = 0;
+              do {
+                if (is_punct(*code[i], "{")) ++depth;
+                if (is_punct(*code[i], "}")) --depth;
+                stmt.push_back(i);
+                ++i;
+              } while (i < code.size() && depth > 0);
+              --i;  // the loop's ++i re-advances
+              continue;
+            }
+            scopes.push_back(kind);
+            stmt.clear();
+            continue;
+          }
+          if (is_punct(tok, "}")) {
+            if (!scopes.empty()) scopes.pop_back();
+            stmt.clear();
+            continue;
+          }
+          if (is_punct(tok, ";")) {
+            if (at_ns_scope()) analyze_stmt(stmt);
+            stmt.clear();
+            continue;
+          }
+          if (at_ns_scope()) stmt.push_back(i);
+        }
+      }
+    }
+
+    // ---- header-hygiene --------------------------------------------------
+    const std::vector<IncludeInfo> includes = collect_includes(toks);
+    if (hygiene_on) {
+      if (is_header(file.path)) {
+        ++stats_.headers_audited;
+        bool pragma_once = false;
+        for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+          if (is_punct(toks[i], "#") && is_ident(toks[i + 1], "pragma") &&
+              is_ident(toks[i + 2], "once")) {
+            pragma_once = true;
+            break;
+          }
+        }
+        if (!pragma_once) {
+          emit(1, kRuleHygiene, "header is missing '#pragma once'");
+        }
+        for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+          if (is_ident(toks[i], "using") &&
+              is_ident(toks[i + 1], "namespace")) {
+            emit(toks[i].line, kRuleHygiene,
+                 "'using namespace' in a header leaks into every includer");
+          }
+        }
+      }
+      if (ends_with(file.path, ".cpp")) {
+        const std::string sibling =
+            dirname_of(file.path) + "/" + stem_of(file.path) + ".hpp";
+        if (known_paths.count(sibling) != 0) {
+          const std::string want = stem_of(file.path) + ".hpp";
+          if (includes.empty()) {
+            emit(1, kRuleHygiene,
+                 "source file must include its own header '" + want +
+                     "' first");
+          } else if (basename_of(includes.front().target) != want) {
+            emit(includes.front().line, kRuleHygiene,
+                 "first include must be the file's own header '" + want +
+                     "' (self-include-first catches non-self-contained "
+                     "headers)");
+          }
+        }
+      }
+    }
+
+    // ---- layering-dag ----------------------------------------------------
+    if (layering_on && in_src && !mod.empty()) {
+      if (!layering_.has_module(mod)) {
+        emit(1, kRuleLayering,
+             "module 'src/" + mod + "/' is not declared in layering config");
+      } else {
+        for (const IncludeInfo& inc : includes) {
+          if (!inc.quoted) continue;
+          const std::size_t slash = inc.target.find('/');
+          if (slash == std::string::npos) continue;
+          const std::string dep = inc.target.substr(0, slash);
+          // Same-module includes and quoted includes that are not rooted at
+          // a declared module (local headers) are outside the DAG's
+          // jurisdiction.
+          if (dep == mod || !layering_.has_module(dep)) continue;
+          ++stats_.includes_checked;
+          auto& slot = observed_edges[mod][dep];
+          if (slot.first.empty()) slot = {file.path, inc.line};
+          if (layering_.deps.at(mod).count(dep) == 0) {
+            emit(inc.line, kRuleLayering,
+                 "include of \"" + inc.target + "\" creates undeclared edge " +
+                     mod + " -> " + dep +
+                     " (add it to tools/lint/layering.toml only if it keeps "
+                     "the DAG acyclic)");
+          }
+        }
+      }
+    }
+  }
+
+  // ---- cross-file layering checks ----------------------------------------
+  const bool layering_enabled = options_.enabled.count(kRuleLayering) != 0;
+  if (layering_enabled) {
+    // Back-edges in the *declared* config: an edge must point strictly down
+    // the declared order, which is what makes the graph a DAG by
+    // construction (any declared cycle necessarily contains a back-edge).
+    std::map<std::string, std::size_t> rank;
+    for (std::size_t i = 0; i < layering_.modules.size(); ++i) {
+      rank[layering_.modules[i]] = i;
+    }
+    for (const auto& [mod, deps] : layering_.deps) {
+      for (const std::string& dep : deps) {
+        if (rank.count(mod) != 0 && rank.count(dep) != 0 &&
+            rank[dep] >= rank[mod]) {
+          Diagnostic diag;
+          diag.file = options_.config_path;
+          diag.line = 1;
+          diag.rule = kRuleLayering;
+          diag.message = "declared edge " + mod + " -> " + dep +
+                         " is a back-edge (or self-edge) against the "
+                         "declared module order; the layering graph must be "
+                         "a DAG";
+          diags.push_back(std::move(diag));
+        }
+      }
+    }
+    if (options_.layering_audit) {
+      for (const auto& [mod, deps] : layering_.deps) {
+        for (const std::string& dep : deps) {
+          const auto observed = observed_edges.find(mod);
+          if (observed == observed_edges.end() ||
+              observed->second.count(dep) == 0) {
+            Diagnostic diag;
+            diag.file = options_.config_path;
+            diag.line = 1;
+            diag.rule = kRuleLayering;
+            diag.message = "declared edge " + mod + " -> " + dep +
+                           " is not used by any include in the tree "
+                           "(stale layering config)";
+            diags.push_back(std::move(diag));
+          }
+        }
+      }
+    }
+  }
+
+  // ---- suppressions -------------------------------------------------------
+  // Allows were collected per file but the vector is flat; rebuild the
+  // file association by re-walking files (paths were not stored above).
+  // To keep this simple and correct, re-collect with paths.
+  std::vector<std::pair<std::string, Allow>> file_allows;
+  for (const FileData& file : files_) {
+    std::set<int> code_lines;
+    for (const Token& tok : file.lex.tokens) code_lines.insert(tok.line);
+    for (const Token& comment : file.lex.comments) {
+      std::vector<Allow> local;
+      collect_allows(comment, code_lines.count(comment.line) == 0, &local);
+      for (Allow& allow : local) {
+        file_allows.emplace_back(file.path, std::move(allow));
+      }
+    }
+  }
+
+  std::vector<Diagnostic> kept;
+  for (Diagnostic& diag : diags) {
+    bool suppressed = false;
+    if (diag.rule != kRuleSuppression) {
+      for (auto& [path, allow] : file_allows) {
+        if (path == diag.file && allow.rule == diag.rule &&
+            allow.line <= diag.line && diag.line <= allow.end_line) {
+          allow.used = true;
+          if (allow.has_reason) {
+            suppressed = true;
+            ++stats_.suppressions_used;
+          }
+        }
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(diag));
+  }
+
+  for (const auto& [path, allow] : file_allows) {
+    const bool rule_known =
+        std::find(all_rules().begin(), all_rules().end(), allow.rule) !=
+        all_rules().end();
+    if (!rule_known) {
+      kept.push_back({path, allow.comment_line, kRuleSuppression,
+                      "lint:allow(" + allow.rule + ") names an unknown rule"});
+      continue;
+    }
+    if (!allow.has_reason) {
+      kept.push_back({path, allow.comment_line, kRuleSuppression,
+                      "lint:allow(" + allow.rule +
+                          ") must carry a reason: '// lint:allow(" +
+                          allow.rule + "): <why>'"});
+      continue;
+    }
+    if (!allow.used && options_.enabled.count(allow.rule) != 0) {
+      kept.push_back({path, allow.comment_line, kRuleSuppression,
+                      "lint:allow(" + allow.rule +
+                          ") never matched a diagnostic; delete it"});
+    }
+  }
+
+  std::sort(kept.begin(), kept.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.message < b.message;
+            });
+  return kept;
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_report(const std::vector<Diagnostic>& diags,
+                        const Stats& stats) {
+  std::string out = "{\n  \"diagnostics\": [";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": \"";
+    append_json_escaped(out, diags[i].file);
+    out += "\", \"line\": " + std::to_string(diags[i].line) + ", \"rule\": \"";
+    append_json_escaped(out, diags[i].rule);
+    out += "\", \"message\": \"";
+    append_json_escaped(out, diags[i].message);
+    out += "\"}";
+  }
+  out += diags.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"stats\": {\n";
+  out += "    \"files_scanned\": " + std::to_string(stats.files_scanned) +
+         ",\n";
+  out += "    \"atomic_sites\": " + std::to_string(stats.atomic_sites) + ",\n";
+  out += "    \"atomic_nonrelaxed\": " +
+         std::to_string(stats.atomic_nonrelaxed) + ",\n";
+  out += "    \"includes_checked\": " + std::to_string(stats.includes_checked) +
+         ",\n";
+  out += "    \"determinism_sites\": " +
+         std::to_string(stats.determinism_sites) + ",\n";
+  out += "    \"globals_audited\": " + std::to_string(stats.globals_audited) +
+         ",\n";
+  out += "    \"headers_audited\": " + std::to_string(stats.headers_audited) +
+         ",\n";
+  out += "    \"suppressions_used\": " +
+         std::to_string(stats.suppressions_used) + "\n";
+  out += "  },\n";
+  out += "  \"clean\": ";
+  out += diags.empty() ? "true" : "false";
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace tsvpt::lint

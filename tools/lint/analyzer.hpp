@@ -1,0 +1,118 @@
+// tsvpt_lint rule engine.
+//
+// The Analyzer consumes (path, content) pairs — real files from the driver,
+// inline fixture strings from the unit tests — and enforces the project
+// invariants:
+//
+//   atomics-contract   every load/store/fetch_*/exchange/compare_exchange/
+//                      wait on a std::atomic passes an explicit
+//                      std::memory_order (no seq_cst-by-default), and every
+//                      non-relaxed ordering in src/ carries a same-line-or-
+//                      preceding `// mo:` comment naming its counterpart.
+//   layering-dag       src/ module includes must follow the DAG declared in
+//                      tools/lint/layering.toml: no undeclared edges, no
+//                      back-edges, no cycles.  Audit mode additionally
+//                      flags declared edges no include actually uses.
+//   determinism-ban    rand()/srand()/time()/clock()/gettimeofday(),
+//                      std::random_device (outside src/ptsim/rng) and
+//                      std::chrono::system_clock are banned in src/; mutable
+//                      namespace-scope variables are banned in the physics
+//                      modules src/{device,process,circuit,core}.
+//   header-hygiene     headers use #pragma once and never `using namespace`;
+//                      a .cpp with a same-stem sibling header includes it
+//                      first.
+//
+// Suppression: `// lint:allow(<rule>): <reason>` on (or immediately above)
+// the offending line.  The reason is mandatory, and suppressions that never
+// fire are themselves diagnosed, so the allow-list can only shrink.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/config.hpp"
+#include "lint/lexer.hpp"
+
+namespace tsvpt::lint {
+
+inline constexpr const char* kRuleAtomics = "atomics-contract";
+inline constexpr const char* kRuleLayering = "layering-dag";
+inline constexpr const char* kRuleDeterminism = "determinism-ban";
+inline constexpr const char* kRuleHygiene = "header-hygiene";
+/// Meta-rule guarding the suppression mechanism itself (reason-less or
+/// never-firing `lint:allow` comments).  Not suppressible, not toggleable.
+inline constexpr const char* kRuleSuppression = "suppression";
+
+/// The four toggleable rule families, in catalog order.
+[[nodiscard]] const std::vector<std::string>& all_rules();
+
+/// One-line human description of a rule (for --list-rules).
+[[nodiscard]] std::string rule_description(const std::string& rule);
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// "file:line: [rule] message" — the clickable format every consumer sees.
+[[nodiscard]] std::string format_diagnostic(const Diagnostic& diag);
+
+/// Per-rule audit counters: how many sites each rule actually examined.
+struct Stats {
+  int files_scanned = 0;
+  int atomic_sites = 0;        // atomic op / fence call sites audited
+  int atomic_nonrelaxed = 0;   // subset that required a // mo: contract
+  int includes_checked = 0;    // cross-module src/ include edges audited
+  int determinism_sites = 0;   // banned-symbol candidates audited
+  int globals_audited = 0;     // namespace-scope statements audited
+  int headers_audited = 0;     // headers checked for pragma/using hygiene
+  int suppressions_used = 0;
+};
+
+class Analyzer {
+ public:
+  struct Options {
+    /// Enabled rule families; defaults to all four.
+    std::set<std::string> enabled{kRuleAtomics, kRuleLayering,
+                                  kRuleDeterminism, kRuleHygiene};
+    /// Flag declared-but-unused layering edges (LintLayeringAudit).
+    bool layering_audit = false;
+    /// Path the layering config is reported under in diagnostics.
+    std::string config_path = "tools/lint/layering.toml";
+  };
+
+  Analyzer(LayeringConfig layering, Options options);
+
+  /// `path` must be repo-relative with forward slashes (e.g.
+  /// "src/core/pt_sensor.cpp"); it drives module/scope classification.
+  void add_file(std::string path, std::string_view content);
+
+  /// Run every enabled rule over everything added; returns diagnostics
+  /// sorted by file then line.  Call once.
+  [[nodiscard]] std::vector<Diagnostic> finish();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct FileData {
+    std::string path;
+    LexResult lex;
+  };
+
+  LayeringConfig layering_;
+  Options options_;
+  Stats stats_;
+  std::vector<FileData> files_;
+  std::set<std::string> atomic_names_;  // collected across all files
+};
+
+/// Machine-readable report: {"diagnostics": [...], "stats": {...}}.
+[[nodiscard]] std::string json_report(const std::vector<Diagnostic>& diags,
+                                      const Stats& stats);
+
+}  // namespace tsvpt::lint

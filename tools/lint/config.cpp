@@ -1,0 +1,132 @@
+#include "lint/config.hpp"
+
+#include <cctype>
+
+namespace tsvpt::lint {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parse `["a", "b", ...]` into out; false on malformed input.
+bool parse_string_list(std::string_view s, std::vector<std::string>* out) {
+  s = trim(s);
+  if (s.size() < 2 || s.front() != '[' || s.back() != ']') return false;
+  s = s.substr(1, s.size() - 2);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    while (pos < s.size() &&
+           (std::isspace(static_cast<unsigned char>(s[pos])) ||
+            s[pos] == ',')) {
+      ++pos;
+    }
+    if (pos >= s.size()) break;
+    if (s[pos] != '"') return false;
+    const std::size_t close = s.find('"', pos + 1);
+    if (close == std::string_view::npos) return false;
+    out->push_back(std::string(s.substr(pos + 1, close - pos - 1)));
+    pos = close + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_layering(std::string_view text, LayeringConfig* out,
+                    std::string* error) {
+  *out = LayeringConfig{};
+  std::string section;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[' && line.back() == ']') {
+      section = std::string(trim(line.substr(1, line.size() - 2)));
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      *error = "line " + std::to_string(line_no) + ": expected key = [...]";
+      return false;
+    }
+    const std::string key{trim(line.substr(0, eq))};
+    // A list may span lines; accumulate until the closing bracket.
+    std::string value{line.substr(eq + 1)};
+    while (value.find(']') == std::string::npos && pos <= text.size()) {
+      const std::size_t next_eol = text.find('\n', pos);
+      std::string_view cont = text.substr(
+          pos, next_eol == std::string_view::npos ? text.size() - pos
+                                                  : next_eol - pos);
+      pos = next_eol == std::string_view::npos ? text.size() + 1
+                                               : next_eol + 1;
+      ++line_no;
+      const std::size_t cont_hash = cont.find('#');
+      if (cont_hash != std::string_view::npos) cont = cont.substr(0, cont_hash);
+      value += ' ';
+      value += std::string(cont);
+    }
+    std::vector<std::string> values;
+    if (!parse_string_list(value, &values)) {
+      *error = "line " + std::to_string(line_no) + ": malformed string list";
+      return false;
+    }
+    if (section == "modules" && key == "order") {
+      out->modules = std::move(values);
+    } else if (section == "deps") {
+      out->deps[key] = std::set<std::string>(values.begin(), values.end());
+    } else {
+      *error = "line " + std::to_string(line_no) + ": unknown entry '" + key +
+               "' in section [" + section + "]";
+      return false;
+    }
+  }
+
+  if (out->modules.empty()) {
+    *error = "missing [modules] order = [...]";
+    return false;
+  }
+  for (const std::string& m : out->modules) {
+    if (out->deps.count(m) == 0) {
+      *error = "module '" + m + "' listed in order but has no [deps] entry";
+      return false;
+    }
+  }
+  for (const auto& [mod, deps] : out->deps) {
+    bool known = false;
+    for (const std::string& m : out->modules) known = known || m == mod;
+    if (!known) {
+      *error = "module '" + mod + "' has deps but is not in [modules] order";
+      return false;
+    }
+    for (const std::string& d : deps) {
+      bool dep_known = false;
+      for (const std::string& m : out->modules) dep_known = dep_known || m == d;
+      if (!dep_known) {
+        *error = "module '" + mod + "' depends on unknown module '" + d + "'";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace tsvpt::lint

@@ -1,0 +1,36 @@
+// Layering configuration for the layering-dag rule: which src/ modules
+// exist, and which direct include edges are allowed.  The checked-in
+// instance lives at tools/lint/layering.toml; LintLayeringAudit asserts it
+// matches the include graph that is actually in the tree.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsvpt::lint {
+
+struct LayeringConfig {
+  /// Declared bottom-up; a module may only include modules that appear
+  /// earlier in this list (plus itself), and then only via a declared edge.
+  std::vector<std::string> modules;
+  /// module -> allowed direct dependencies (fully enumerated, no closure).
+  std::map<std::string, std::set<std::string>> deps;
+
+  [[nodiscard]] bool has_module(const std::string& name) const {
+    return deps.count(name) != 0;
+  }
+};
+
+/// Parse the minimal TOML subset the layering file uses:
+///   [modules]
+///   order = ["ptsim", "obs", ...]
+///   [deps]
+///   core = ["ptsim", "circuit"]
+/// Comments start with '#'.  On failure returns false and sets `error`.
+bool parse_layering(std::string_view text, LayeringConfig* out,
+                    std::string* error);
+
+}  // namespace tsvpt::lint

@@ -1,0 +1,250 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace tsvpt::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Cursor over the source with physical line tracking and phase-2 line
+// splicing (backslash-newline disappears, the line counter still advances).
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= src_.size(); }
+  [[nodiscard]] int line() const { return line_; }
+
+  /// Current character after splicing; '\0' at end.
+  [[nodiscard]] char peek() const {
+    std::size_t p = pos_;
+    while (is_splice(p)) p += splice_len(p);
+    return p < src_.size() ? src_[p] : '\0';
+  }
+
+  [[nodiscard]] char peek2() const {
+    std::size_t p = pos_;
+    while (is_splice(p)) p += splice_len(p);
+    if (p < src_.size()) ++p;  // step over peek()
+    while (is_splice(p)) p += splice_len(p);
+    return p < src_.size() ? src_[p] : '\0';
+  }
+
+  /// Advance one (spliced) character and return it.
+  char next() {
+    while (is_splice(pos_)) {
+      pos_ += splice_len(pos_);
+      ++line_;
+    }
+    if (pos_ >= src_.size()) return '\0';
+    const char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  /// Raw (unspliced) access, for raw string literals.
+  [[nodiscard]] char raw_peek() const {
+    return pos_ < src_.size() ? src_[pos_] : '\0';
+  }
+  char raw_next() {
+    if (pos_ >= src_.size()) return '\0';
+    const char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+ private:
+  [[nodiscard]] bool is_splice(std::size_t p) const {
+    if (p + 1 >= src_.size() || src_[p] != '\\') return false;
+    if (src_[p + 1] == '\n') return true;
+    return p + 2 < src_.size() && src_[p + 1] == '\r' && src_[p + 2] == '\n';
+  }
+  [[nodiscard]] std::size_t splice_len(std::size_t p) const {
+    return src_[p + 1] == '\r' ? 3 : 2;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view source) {
+  LexResult out;
+  Cursor cur{source};
+  bool in_directive = false;
+  bool at_line_start = true;  // only whitespace seen on this logical line
+
+  auto push = [&](TokKind kind, std::string text, int line, int end_line) {
+    Token tok;
+    tok.kind = kind;
+    tok.text = std::move(text);
+    tok.line = line;
+    tok.end_line = end_line;
+    tok.in_directive = in_directive;
+    if (kind == TokKind::kComment) {
+      out.comments.push_back(std::move(tok));
+    } else {
+      out.tokens.push_back(std::move(tok));
+    }
+  };
+
+  while (!cur.done()) {
+    const char c = cur.peek();
+    const int line = cur.line();
+
+    if (c == '\n') {
+      cur.next();
+      in_directive = false;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.next();
+      continue;
+    }
+
+    // Line comment, including `// ... \` continuations (the splice-aware
+    // cursor folds those in, so the comment's end_line covers them).
+    if (c == '/' && cur.peek2() == '/') {
+      std::string text;
+      while (!cur.done() && cur.peek() != '\n') text += cur.next();
+      push(TokKind::kComment, std::move(text), line, cur.line());
+      continue;
+    }
+    if (c == '/' && cur.peek2() == '*') {
+      std::string text;
+      text += cur.next();
+      text += cur.next();
+      while (!cur.done()) {
+        if (cur.peek() == '*' && cur.peek2() == '/') {
+          text += cur.next();
+          text += cur.next();
+          break;
+        }
+        text += cur.next();
+      }
+      push(TokKind::kComment, std::move(text), line, cur.line());
+      continue;
+    }
+
+    if (c == '#' && at_line_start) {
+      in_directive = true;
+      push(TokKind::kPunct, "#", line, line);
+      cur.next();
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+
+    if (is_ident_start(c)) {
+      std::string text;
+      while (!cur.done() && is_ident_char(cur.peek())) text += cur.next();
+      // Raw string literal right after an encoding prefix ending in R?
+      const bool raw_prefix = !text.empty() && text.back() == 'R' &&
+                              (text == "R" || text == "u8R" || text == "uR" ||
+                               text == "UR" || text == "LR");
+      if (raw_prefix && cur.peek() == '"') {
+        // R"delim( ... )delim" — no splicing, no escapes inside.
+        text += cur.raw_next();  // opening quote
+        std::string delim;
+        while (!cur.done() && cur.raw_peek() != '(' && delim.size() < 20) {
+          delim += cur.raw_next();
+        }
+        text += delim;
+        if (!cur.done()) text += cur.raw_next();  // '('
+        const std::string closer = ")" + delim + "\"";
+        std::string body;
+        while (!cur.done()) {
+          body += cur.raw_next();
+          if (body.size() >= closer.size() &&
+              body.compare(body.size() - closer.size(), closer.size(),
+                           closer) == 0) {
+            break;
+          }
+        }
+        text += body;
+        push(TokKind::kString, std::move(text), line, cur.line());
+        continue;
+      }
+      if (raw_prefix || text == "u8" || text == "u" || text == "U" ||
+          text == "L") {
+        if (cur.peek() == '"' || cur.peek() == '\'') {
+          // Encoding-prefixed ordinary literal: fall through by treating the
+          // prefix as part of the upcoming string token.
+          const char quote = cur.next();
+          std::string lit = text;
+          lit += quote;
+          while (!cur.done() && cur.peek() != quote && cur.peek() != '\n') {
+            const char ch = cur.next();
+            lit += ch;
+            if (ch == '\\' && !cur.done()) lit += cur.next();
+          }
+          if (!cur.done() && cur.peek() == quote) lit += cur.next();
+          push(TokKind::kString, std::move(lit), line, cur.line());
+          continue;
+        }
+      }
+      push(TokKind::kIdentifier, std::move(text), line, cur.line());
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.peek2())))) {
+      std::string text;
+      while (!cur.done()) {
+        const char ch = cur.peek();
+        if (is_ident_char(ch) || ch == '.' || ch == '\'') {
+          text += cur.next();
+          // Exponent signs: 1e-9, 0x1p+3.
+          if ((text.back() == 'e' || text.back() == 'E' ||
+               text.back() == 'p' || text.back() == 'P') &&
+              (cur.peek() == '+' || cur.peek() == '-')) {
+            text += cur.next();
+          }
+        } else {
+          break;
+        }
+      }
+      push(TokKind::kNumber, std::move(text), line, cur.line());
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      const char quote = cur.next();
+      std::string text(1, quote);
+      while (!cur.done() && cur.peek() != quote && cur.peek() != '\n') {
+        const char ch = cur.next();
+        text += ch;
+        if (ch == '\\' && !cur.done()) text += cur.next();
+      }
+      if (!cur.done() && cur.peek() == quote) text += cur.next();
+      push(TokKind::kString, std::move(text), line, cur.line());
+      continue;
+    }
+
+    // Punctuation: only the multi-char operators the rules inspect get
+    // longest-match treatment; everything else is a single char.
+    const char d = cur.peek2();
+    if ((c == ':' && d == ':') || (c == '-' && d == '>')) {
+      std::string text;
+      text += cur.next();
+      text += cur.next();
+      push(TokKind::kPunct, std::move(text), line, line);
+      continue;
+    }
+    push(TokKind::kPunct, std::string(1, cur.next()), line, line);
+  }
+  return out;
+}
+
+}  // namespace tsvpt::lint

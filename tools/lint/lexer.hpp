@@ -1,0 +1,52 @@
+// tsvpt_lint lexer: a lightweight, dependency-free C++ tokenizer.
+//
+// This is not a compiler front end — it is exactly the slice of lexing the
+// project-invariant rules need to be trustworthy on this codebase:
+//
+//   * comments (line, block, and line-continued `// ... \`) are lexed as
+//     first-class tokens with begin/end line ranges, because the rules read
+//     them (`// mo:` pairing contracts, `// lint:allow(...)` suppressions);
+//   * string literals — including raw strings with arbitrary delimiters and
+//     encoding prefixes — and char literals are opaque single tokens, so a
+//     `*/` or `//` inside a string can never derail rule matching;
+//   * backslash-newline splices are honoured everywhere except inside raw
+//     strings (mirroring translation phase 2), and physical line numbers
+//     keep advancing through them so diagnostics stay clickable;
+//   * preprocessor directive lines are lexed normally but flagged
+//     `in_directive`, so include/pragma parsing is trivial and brace/scope
+//     tracking can skip them, while atomics inside macro bodies are still
+//     visible to the atomics-contract rule.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsvpt::lint {
+
+enum class TokKind {
+  kIdentifier,
+  kNumber,
+  kString,   // "..." / R"(...)" / '...' — quotes included in text
+  kPunct,    // longest-match of multi-char operators we care about
+  kComment,  // full text including // or /* */ delimiters
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;      // 1-based physical line where the token starts
+  int end_line = 0;  // last physical line the token touches
+  bool in_directive = false;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;    // everything except comments
+  std::vector<Token> comments;  // comments, in source order
+};
+
+/// Tokenize one translation unit. Never throws; unterminated constructs are
+/// closed at end of input (the linter must not crash on in-progress code).
+[[nodiscard]] LexResult lex(std::string_view source);
+
+}  // namespace tsvpt::lint

@@ -1,0 +1,214 @@
+// tsvpt_lint — project-invariant static analyzer for the tsvpt tree.
+//
+//   tsvpt_lint --root <repo> [--config <layering.toml>] [--rules a,b]
+//              [--disable rule] [--json <out.json>] [--layering-audit]
+//              [--list-rules] [--stats] [paths...]
+//
+// Walks src/, tools/, tests/, bench/ and examples/ under --root (or lints
+// just the explicitly listed files), runs the enabled rules, and prints
+// file:line diagnostics.  Exit code: 0 clean, 1 diagnostics found, 2 usage
+// or I/O error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/analyzer.hpp"
+#include "lint/config.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kVersion = "tsvpt_lint 1.0";
+
+bool read_file(const fs::path& path, std::string* out) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool has_cpp_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Repo-relative path with forward slashes.
+std::string relative_key(const fs::path& root, const fs::path& path) {
+  return fs::relative(path, root).generic_string();
+}
+
+void usage(std::ostream& out) {
+  out << "usage: tsvpt_lint [--root DIR] [--config FILE] [--rules LIST]\n"
+         "                  [--disable RULE] [--json FILE] "
+         "[--layering-audit]\n"
+         "                  [--list-rules] [--stats] [--version] "
+         "[paths...]\n";
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string item =
+        csv.substr(pos, comma == std::string::npos ? csv.size() - pos
+                                                   : comma - pos);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::string config_path;
+  std::string json_path;
+  bool layering_audit = false;
+  bool list_rules = false;
+  bool show_stats = false;
+  std::vector<std::string> explicit_paths;
+  tsvpt::lint::Analyzer::Options options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "tsvpt_lint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = next_value("--root");
+    } else if (arg == "--config") {
+      config_path = next_value("--config");
+    } else if (arg == "--json") {
+      json_path = next_value("--json");
+    } else if (arg == "--rules") {
+      options.enabled.clear();
+      for (const std::string& rule : split_csv(next_value("--rules"))) {
+        options.enabled.insert(rule);
+      }
+    } else if (arg == "--disable") {
+      options.enabled.erase(next_value("--disable"));
+    } else if (arg == "--layering-audit") {
+      layering_audit = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--stats") {
+      show_stats = true;
+    } else if (arg == "--version") {
+      std::cout << kVersion << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "tsvpt_lint: unknown flag '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      explicit_paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const std::string& rule : tsvpt::lint::all_rules()) {
+      std::cout << rule << "  " << tsvpt::lint::rule_description(rule)
+                << "\n";
+    }
+    return 0;
+  }
+  for (const std::string& rule : options.enabled) {
+    const auto& rules = tsvpt::lint::all_rules();
+    if (std::find(rules.begin(), rules.end(), rule) == rules.end()) {
+      std::cerr << "tsvpt_lint: unknown rule '" << rule
+                << "' (see --list-rules)\n";
+      return 2;
+    }
+  }
+
+  if (config_path.empty()) {
+    config_path = (root / "tools/lint/layering.toml").string();
+  }
+  std::string config_text;
+  if (!read_file(config_path, &config_text)) {
+    std::cerr << "tsvpt_lint: cannot read layering config '" << config_path
+              << "'\n";
+    return 2;
+  }
+  tsvpt::lint::LayeringConfig layering;
+  std::string config_error;
+  if (!tsvpt::lint::parse_layering(config_text, &layering, &config_error)) {
+    std::cerr << "tsvpt_lint: " << config_path << ": " << config_error
+              << "\n";
+    return 2;
+  }
+
+  options.layering_audit = layering_audit;
+  options.config_path = "tools/lint/layering.toml";
+  tsvpt::lint::Analyzer analyzer{std::move(layering), options};
+
+  std::vector<fs::path> targets;
+  if (!explicit_paths.empty()) {
+    for (const std::string& path : explicit_paths) {
+      targets.emplace_back(path);
+    }
+  } else {
+    for (const char* dir : {"src", "tools", "tests", "bench", "examples"}) {
+      const fs::path base = root / dir;
+      if (!fs::exists(base)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (entry.is_regular_file() && has_cpp_extension(entry.path())) {
+          targets.push_back(entry.path());
+        }
+      }
+    }
+  }
+  std::sort(targets.begin(), targets.end());
+
+  for (const fs::path& path : targets) {
+    std::string content;
+    if (!read_file(path, &content)) {
+      std::cerr << "tsvpt_lint: cannot read '" << path.string() << "'\n";
+      return 2;
+    }
+    analyzer.add_file(relative_key(root, path), content);
+  }
+
+  const std::vector<tsvpt::lint::Diagnostic> diags = analyzer.finish();
+  for (const tsvpt::lint::Diagnostic& diag : diags) {
+    std::cout << tsvpt::lint::format_diagnostic(diag) << "\n";
+  }
+  if (show_stats || !diags.empty()) {
+    const tsvpt::lint::Stats& stats = analyzer.stats();
+    std::cout << "tsvpt_lint: " << stats.files_scanned << " files, "
+              << stats.atomic_sites << " atomic sites ("
+              << stats.atomic_nonrelaxed << " non-relaxed), "
+              << stats.includes_checked << " cross-module includes, "
+              << stats.determinism_sites << " determinism sites, "
+              << stats.globals_audited << " namespace-scope statements, "
+              << stats.headers_audited << " headers; " << diags.size()
+              << " diagnostics, " << stats.suppressions_used
+              << " suppressed\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream out{json_path, std::ios::binary};
+    if (!out) {
+      std::cerr << "tsvpt_lint: cannot write '" << json_path << "'\n";
+      return 2;
+    }
+    out << tsvpt::lint::json_report(diags, analyzer.stats());
+  }
+  return diags.empty() ? 0 : 1;
+}
