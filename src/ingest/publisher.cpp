@@ -1,0 +1,242 @@
+#include "ingest/publisher.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace tsvpt::ingest {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] Clock::duration to_duration(Second s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s.value()));
+}
+
+struct PublisherMetrics {
+  obs::Counter frames = obs::counter("tsvpt_pub_frames_total");
+  obs::Counter batches = obs::counter("tsvpt_pub_batches_total");
+  obs::Counter bytes = obs::counter("tsvpt_pub_bytes_total");
+  obs::Counter reconnects = obs::counter("tsvpt_pub_reconnects_total");
+  obs::Counter queue_drops = obs::counter("tsvpt_pub_queue_drops_total");
+  obs::Counter stalls = obs::counter("tsvpt_pub_backpressure_stalls_total");
+  obs::Histogram batch_bytes = obs::histogram("tsvpt_pub_batch_bytes");
+  obs::Histogram send_seconds = obs::histogram("tsvpt_pub_send_seconds");
+};
+
+[[nodiscard]] PublisherMetrics& metrics_of() {
+  static PublisherMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+FleetPublisher::FleetPublisher(Config config) : config_(std::move(config)) {
+  if (config_.batch_max_frames == 0) config_.batch_max_frames = 1;
+  if (config_.queue_max_batches == 0) config_.queue_max_batches = 1;
+  backoff_ = config_.backoff_initial;
+}
+
+FleetPublisher::~FleetPublisher() { stop(); }
+
+void FleetPublisher::start(std::vector<telemetry::FrameRing*> rings) {
+  stop_requested_.store(false, std::memory_order_relaxed);
+  sender_ = std::thread([this, rings = std::move(rings)]() mutable {
+    run(std::move(rings));
+  });
+}
+
+void FleetPublisher::stop() {
+  if (!sender_.joinable()) return;
+  // mo: release pairs with the sender loop's acquire load so everything the
+  // stopping thread did (e.g. final ring pushes) is visible to the drain.
+  stop_requested_.store(true, std::memory_order_release);
+  sender_.join();
+}
+
+void FleetPublisher::run(std::vector<telemetry::FrameRing*> rings) {
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+  for (;;) {
+    bool progressed = false;
+    std::vector<std::uint8_t> wire;
+    for (telemetry::FrameRing* ring : rings) {
+      while (ring->try_pop(wire)) {
+        offer(std::move(wire));
+        wire.clear();
+        progressed = true;
+      }
+    }
+    if (open_deadline_armed_ && Clock::now() >= open_deadline_) flush();
+    if (try_send_pending()) progressed = true;
+
+    // mo: acquire pairs with stop()'s release store (see above).
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      if (!draining) {
+        draining = true;
+        drain_deadline = Clock::now() + to_duration(config_.drain_deadline);
+        flush();
+      }
+      const bool rings_empty = std::all_of(
+          rings.begin(), rings.end(),
+          [](telemetry::FrameRing* r) { return r->empty(); });
+      if (rings_empty && open_frames_.empty() &&
+          (pending_.empty() || Clock::now() >= drain_deadline)) {
+        break;
+      }
+    }
+    if (!progressed) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+void FleetPublisher::offer(std::vector<std::uint8_t> wire) {
+  if (open_frames_.empty()) {
+    open_deadline_ = Clock::now() + to_duration(config_.flush_interval);
+    open_deadline_armed_ = true;
+  }
+  open_bytes_ += wire.size();
+  open_frames_.push_back(std::move(wire));
+  frames_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  if (open_frames_.size() >= config_.batch_max_frames ||
+      open_bytes_ >= config_.batch_max_bytes) {
+    seal_locked();
+  }
+}
+
+void FleetPublisher::flush() {
+  if (!open_frames_.empty()) seal_locked();
+}
+
+bool FleetPublisher::pump() {
+  try_send_pending();
+  return pending_.empty();
+}
+
+void FleetPublisher::seal_locked() {
+  Batch batch;
+  batch.bytes = net::encode_batch(open_frames_);
+  batch.frames = open_frames_.size();
+  batch.index = next_batch_index_++;
+  metrics_of().batch_bytes.observe(static_cast<double>(batch.bytes.size()));
+  open_frames_.clear();
+  open_bytes_ = 0;
+  open_deadline_armed_ = false;
+  pending_.push_back(std::move(batch));
+  while (pending_.size() > config_.queue_max_batches) {
+    queue_dropped_batches_.fetch_add(1, std::memory_order_relaxed);
+    queue_dropped_frames_.fetch_add(pending_.front().frames,
+                                    std::memory_order_relaxed);
+    metrics_of().queue_drops.add(1);
+    metrics_of().stalls.add(1);
+    pending_.pop_front();
+  }
+}
+
+bool FleetPublisher::ensure_connected() {
+  if (socket_.valid()) return true;
+  if (backoff_armed_ && Clock::now() < next_attempt_) return false;
+  socket_ = net::tcp_connect(config_.host, config_.port);
+  if (!socket_.valid()) {
+    backoff_armed_ = true;
+    next_attempt_ = Clock::now() + to_duration(backoff_);
+    backoff_ = Second{
+        std::min(backoff_.value() * 2.0, config_.backoff_max.value())};
+    return false;
+  }
+  net::set_nodelay(socket_);
+  backoff_armed_ = false;
+  backoff_ = config_.backoff_initial;
+  const std::uint64_t prior =
+      connects_.fetch_add(1, std::memory_order_relaxed);
+  if (prior > 0) {
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+    metrics_of().reconnects.add(1);
+  }
+  connected_once_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool FleetPublisher::try_send_pending() {
+  bool progressed = false;
+  while (!pending_.empty()) {
+    if (!ensure_connected()) return progressed;
+    Batch& batch = pending_.front();
+    net::BatchAction action;
+    if (config_.hook != nullptr) {
+      action = config_.hook->on_batch(batch.index, batch.bytes);
+    }
+    if (action.stall_seconds > 0.0) {
+      hook_stalls_.fetch_add(1, std::memory_order_relaxed);
+      metrics_of().stalls.add(1);
+      std::this_thread::sleep_for(to_duration(Second{action.stall_seconds}));
+    }
+    const std::size_t limit =
+        std::min(action.truncate_to, batch.bytes.size());
+    const bool truncated = limit < batch.bytes.size();
+    const obs::ScopedTimer timer{metrics_of().send_seconds};
+    if (!net::send_all(socket_, batch.bytes.data(), limit)) {
+      // Connection died mid-send: the batch stays queued for retransmit
+      // after reconnect (the server discards whatever partial tail it saw).
+      send_failures_.fetch_add(1, std::memory_order_relaxed);
+      socket_.close();
+      backoff_armed_ = true;
+      next_attempt_ = Clock::now() + to_duration(backoff_);
+      return progressed;
+    }
+    if (truncated) {
+      // Deliberate mid-batch cut: the server must treat the partial batch
+      // as lost frames, so drop the connection and do NOT retransmit.
+      hook_truncated_.fetch_add(1, std::memory_order_relaxed);
+      socket_.close();
+      pending_.pop_front();
+      progressed = true;
+      continue;
+    }
+    frames_sent_.fetch_add(batch.frames, std::memory_order_relaxed);
+    batches_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(batch.bytes.size(), std::memory_order_relaxed);
+    metrics_of().frames.add(batch.frames);
+    metrics_of().batches.add(1);
+    metrics_of().bytes.add(batch.bytes.size());
+    pending_.pop_front();
+    progressed = true;
+    if (action.drop_connection) {
+      hook_dropped_.fetch_add(1, std::memory_order_relaxed);
+      socket_.close();
+    }
+  }
+  return progressed;
+}
+
+void FleetPublisher::disconnect() {
+  socket_.close();
+  backoff_armed_ = false;
+  backoff_ = config_.backoff_initial;
+}
+
+FleetPublisher::Stats FleetPublisher::stats() const {
+  Stats s;
+  s.frames_enqueued = frames_enqueued_.load(std::memory_order_relaxed);
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  s.batches_sent = batches_sent_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.connects = connects_.load(std::memory_order_relaxed);
+  s.reconnects = reconnects_.load(std::memory_order_relaxed);
+  s.send_failures = send_failures_.load(std::memory_order_relaxed);
+  s.queue_dropped_batches =
+      queue_dropped_batches_.load(std::memory_order_relaxed);
+  s.queue_dropped_frames =
+      queue_dropped_frames_.load(std::memory_order_relaxed);
+  s.hook_stalls = hook_stalls_.load(std::memory_order_relaxed);
+  s.hook_truncated_batches = hook_truncated_.load(std::memory_order_relaxed);
+  s.hook_dropped_connections = hook_dropped_.load(std::memory_order_relaxed);
+  s.connected_once = connected_once_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace tsvpt::ingest

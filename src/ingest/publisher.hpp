@@ -1,0 +1,162 @@
+// Client side of the fleet telemetry service: FleetPublisher drains the
+// sampler's lock-free rings into size/time-bounded batches and ships them
+// over framed TCP (net/framing.hpp), surviving a flaky or absent server.
+//
+// Backpressure is a bounded batch queue with drop-oldest overflow — the
+// same policy as the telemetry ring, applied one stage later: when the
+// server (or the network) cannot keep up, the publisher sheds the *oldest*
+// batches so what eventually arrives is the freshest picture of the fleet,
+// and the server's sequence-gap accounting records exactly what was lost.
+//
+// Reconnect is exponential backoff (initial * 2^n, capped).  A batch that
+// fails to send stays at the queue front and is retransmitted after
+// reconnect, so a clean connection drop loses nothing; a batch the chaos
+// hook truncates mid-send is gone by design (the server discards the
+// partial tail) and shows up as a sequence gap downstream.
+//
+// Two driving modes share all of the batching/sending logic:
+//   - start(rings)/stop(): a sender thread polls the rings — production.
+//   - offer()/flush()/pump(): caller-driven, single-threaded — what the
+//     deterministic chaos-replay tests and the benchmark use.
+// The modes are exclusive; do not mix them on one instance.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "ptsim/units.hpp"
+#include "telemetry/ring.hpp"
+
+namespace tsvpt::ingest {
+
+class FleetPublisher {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /// A batch seals when it holds this many frames...
+    std::size_t batch_max_frames = 64;
+    /// ...or this many payload bytes, whichever comes first.
+    std::size_t batch_max_bytes = 256 * 1024;
+    /// An open batch also seals after this long, so a trickle of frames
+    /// still reaches the server promptly.
+    Second flush_interval{0.005};
+    /// Bounded send queue (sealed batches); overflow drops the oldest.
+    std::size_t queue_max_batches = 64;
+    Second backoff_initial{0.010};
+    Second backoff_max{1.0};
+    /// After stop() is requested, keep retrying queued batches for at most
+    /// this long before giving up (threaded mode only).
+    Second drain_deadline{2.0};
+    /// Chaos seam; may be null.  Called from the sending thread.
+    net::TransportHook* hook = nullptr;
+  };
+
+  explicit FleetPublisher(Config config);
+  ~FleetPublisher();
+
+  FleetPublisher(const FleetPublisher&) = delete;
+  FleetPublisher& operator=(const FleetPublisher&) = delete;
+
+  // --- threaded mode ---
+
+  /// Spawn the sender thread draining `rings` (must outlive stop()).
+  void start(std::vector<telemetry::FrameRing*> rings);
+
+  /// Drain rings and queued batches (bounded by drain_deadline), then join.
+  void stop();
+
+  // --- caller-driven mode ---
+
+  /// Enqueue one encoded wire frame into the open batch (sealing it when
+  /// full).  Does no socket IO.
+  void offer(std::vector<std::uint8_t> wire);
+
+  /// Seal the open batch regardless of size.
+  void flush();
+
+  /// Attempt to send every queued batch (connecting as needed, honouring
+  /// backoff).  Returns true when the queue was fully drained.
+  bool pump();
+
+  /// Drop the connection (next pump reconnects).  Backoff is reset: the
+  /// caller asked for the drop, so it is not evidence the server is down.
+  void disconnect();
+
+  struct Stats {
+    std::uint64_t frames_enqueued = 0;
+    std::uint64_t frames_sent = 0;
+    std::uint64_t batches_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t connects = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t send_failures = 0;
+    /// Batches (and the frames inside them) shed by queue overflow.
+    std::uint64_t queue_dropped_batches = 0;
+    std::uint64_t queue_dropped_frames = 0;
+    /// Chaos-hook effects actually applied.
+    std::uint64_t hook_stalls = 0;
+    std::uint64_t hook_truncated_batches = 0;
+    std::uint64_t hook_dropped_connections = 0;
+    bool connected_once = false;
+  };
+  /// Safe from any thread while the sender runs (relaxed counters).
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] bool connected() const { return socket_.valid(); }
+
+ private:
+  struct Batch {
+    std::vector<std::uint8_t> bytes;
+    std::size_t frames = 0;
+    std::uint64_t index = 0;
+  };
+
+  void run(std::vector<telemetry::FrameRing*> rings);
+  void seal_locked();
+  bool ensure_connected();
+  /// Send queued batches until drained or blocked; true on progress.
+  bool try_send_pending();
+
+  Config config_;
+
+  // Batching state — touched only by the driving thread (sender thread in
+  // threaded mode, caller in manual mode).
+  std::vector<std::vector<std::uint8_t>> open_frames_;
+  std::size_t open_bytes_ = 0;
+  bool open_deadline_armed_ = false;
+  std::chrono::steady_clock::time_point open_deadline_;
+  std::deque<Batch> pending_;
+  std::uint64_t next_batch_index_ = 0;
+
+  net::Socket socket_;
+  bool backoff_armed_ = false;
+  std::chrono::steady_clock::time_point next_attempt_;
+  Second backoff_{0.0};
+
+  std::thread sender_;
+  std::atomic<bool> stop_requested_{false};
+
+  std::atomic<std::uint64_t> frames_enqueued_{0};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> batches_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> connects_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> send_failures_{0};
+  std::atomic<std::uint64_t> queue_dropped_batches_{0};
+  std::atomic<std::uint64_t> queue_dropped_frames_{0};
+  std::atomic<std::uint64_t> hook_stalls_{0};
+  std::atomic<std::uint64_t> hook_truncated_{0};
+  std::atomic<std::uint64_t> hook_dropped_{0};
+  std::atomic<bool> connected_once_{false};
+};
+
+}  // namespace tsvpt::ingest

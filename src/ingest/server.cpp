@@ -1,0 +1,298 @@
+#include "ingest/server.hpp"
+
+#include <poll.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "telemetry/frame.hpp"
+
+namespace tsvpt::ingest {
+
+namespace {
+
+constexpr int kPollTimeoutMs = 10;
+constexpr std::size_t kRecvChunk = 64 * 1024;
+
+struct ServerMetrics {
+  obs::Counter connections = obs::counter("tsvpt_ingest_connections_total");
+  obs::Counter batches = obs::counter("tsvpt_ingest_batches_total");
+  obs::Counter frames = obs::counter("tsvpt_ingest_frames_total");
+  obs::Counter bytes = obs::counter("tsvpt_ingest_bytes_total");
+  obs::Counter ring_drops = obs::counter("tsvpt_ingest_ring_drops_total");
+  obs::Counter protocol_errors =
+      obs::counter("tsvpt_ingest_protocol_errors_total");
+};
+
+[[nodiscard]] ServerMetrics& metrics_of() {
+  static ServerMetrics metrics;
+  return metrics;
+}
+
+[[nodiscard]] std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+IngestServer::IngestServer(Config config) : config_(std::move(config)) {
+  if (config_.shard_count == 0) config_.shard_count = 1;
+  if (config_.shard_count > 64) {
+    throw std::invalid_argument("ingest: shard_count is capped at 64");
+  }
+}
+
+IngestServer::~IngestServer() { stop(); }
+
+std::size_t IngestServer::shard_of(std::uint32_t stack_id,
+                                   std::size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  return static_cast<std::size_t>(splitmix64(stack_id) % shard_count);
+}
+
+void IngestServer::fail_shard(std::size_t shard) {
+  if (shard >= shards_.size()) return;
+  // mo: release pairs with live_shard_for's relaxed read being on the same
+  // (IO) thread in steady state; release covers the cross-thread caller so
+  // the failover decision is not reordered before whatever prompted it.
+  failed_mask_.fetch_or(1ull << shard, std::memory_order_release);
+}
+
+std::size_t IngestServer::live_shard_for(std::uint32_t stack_id) const {
+  const std::size_t count = shards_.size();
+  const std::size_t home = shard_of(stack_id, count);
+  // mo: acquire pairs with fail_shard's release (see there).
+  const std::uint64_t failed = failed_mask_.load(std::memory_order_acquire);
+  if (failed == 0) return home;
+  for (std::size_t probe = 0; probe < count; ++probe) {
+    const std::size_t candidate = (home + probe) % count;
+    if ((failed & (1ull << candidate)) == 0) return candidate;
+  }
+  return home;  // everything failed: keep routing home, rings still absorb
+}
+
+void IngestServer::start() {
+  // mo: acquire pairs with stop()/start()'s release stores (see running()).
+  if (running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(false, std::memory_order_relaxed);
+  listener_ = net::tcp_listen(config_.bind_host, config_.port);
+  net::set_nonblocking(listener_, true);
+  port_ = net::local_port(listener_);
+
+  if (!config_.store_dir.empty()) {
+    store_ = std::make_unique<store::StoreWriter>(config_.store_dir);
+  }
+
+  shards_.clear();
+  frames_per_shard_.clear();
+  for (std::size_t s = 0; s < config_.shard_count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->ring = std::make_unique<telemetry::FrameRing>(
+        config_.shard_ring_capacity);
+    telemetry::Aggregator::Config agg = config_.aggregator;
+    Shard* raw = shard.get();
+    shard->aggregator = std::make_unique<telemetry::Aggregator>(
+        std::move(agg), [raw](const telemetry::Alert& alert) {
+          raw->alerts.push_back(alert);
+        });
+    shard->aggregator->start({shard->ring.get()});
+    shards_.push_back(std::move(shard));
+    frames_per_shard_.push_back(
+        std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+
+  touch_activity();
+  io_thread_ = std::thread([this] { run(); });
+  // mo: release pairs with running()'s acquire load.
+  running_.store(true, std::memory_order_release);
+}
+
+void IngestServer::stop() {
+  if (!io_thread_.joinable()) return;
+  // mo: release pairs with the IO loop's acquire load, ordering anything
+  // the stopping thread did (e.g. fail_shard) before the final drain.
+  stop_requested_.store(true, std::memory_order_release);
+  io_thread_.join();
+  for (auto& shard : shards_) shard->aggregator->stop();
+  if (store_) store_->close();
+  // mo: release pairs with running()'s acquire load: "not running" implies
+  // the shard summaries are fully drained and safe to read.
+  running_.store(false, std::memory_order_release);
+}
+
+void IngestServer::touch_activity() {
+  last_activity_ns_.store(now_ns(), std::memory_order_relaxed);
+}
+
+Second IngestServer::idle_for() const {
+  const std::int64_t last = last_activity_ns_.load(std::memory_order_relaxed);
+  return Second{static_cast<double>(now_ns() - last) * 1e-9};
+}
+
+void IngestServer::route_frame(std::vector<std::uint8_t>&& wire) {
+  const auto stack_id = telemetry::peek_stack_id(wire);
+  if (!stack_id) {
+    unroutable_frames_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (store_) {
+    const telemetry::DecodeResult decoded = telemetry::decode(wire);
+    if (decoded.ok()) {
+      store_->append(decoded.frame);
+    } else {
+      store_decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  const std::size_t shard = live_shard_for(*stack_id);
+  frames_total_.fetch_add(1, std::memory_order_relaxed);
+  frames_per_shard_[shard]->fetch_add(1, std::memory_order_relaxed);
+  metrics_of().frames.add(1);
+  const std::size_t evicted =
+      shards_[shard]->ring->push_overwrite(std::move(wire));
+  if (evicted > 0) {
+    ring_drops_.fetch_add(evicted, std::memory_order_relaxed);
+    metrics_of().ring_drops.add(evicted);
+  }
+}
+
+void IngestServer::run() {
+  std::vector<Connection> connections;
+  std::vector<pollfd> fds;
+  std::vector<std::uint8_t> chunk(kRecvChunk);
+
+  const auto close_connection = [&](std::size_t i, bool protocol_error) {
+    if (protocol_error) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      metrics_of().protocol_errors.add(1);
+    } else if (connections[i].parser.buffered() > 0) {
+      partial_disconnects_.fetch_add(1, std::memory_order_relaxed);
+    }
+    disconnects_.fetch_add(1, std::memory_order_relaxed);
+    connections.erase(connections.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+    open_connections_.store(connections.size(), std::memory_order_relaxed);
+  };
+
+  for (;;) {
+    // mo: acquire pairs with stop()'s release store.
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+
+    fds.clear();
+    fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+    for (const Connection& conn : connections) {
+      fds.push_back(pollfd{conn.socket.fd(), POLLIN, 0});
+    }
+    const int ready =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), kPollTimeoutMs);
+    if (ready <= 0) continue;
+    // Connections this round's pollfds actually describe: the accept loop
+    // below grows `connections`, and those new sockets have no pollfd
+    // until the next iteration.
+    const std::size_t polled = connections.size();
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        net::Socket accepted = net::tcp_accept(listener_);
+        if (!accepted.valid()) break;
+        net::set_nonblocking(accepted, true);
+        net::set_nodelay(accepted);
+        connections.push_back(Connection{std::move(accepted), {}});
+        connections_total_.fetch_add(1, std::memory_order_relaxed);
+        metrics_of().connections.add(1);
+        open_connections_.store(connections.size(),
+                                std::memory_order_relaxed);
+        touch_activity();
+      }
+    }
+
+    // Reverse order so close_connection's erase does not shift the
+    // indices of connections not yet visited this round.
+    for (std::size_t i = polled; i-- > 0;) {
+      const pollfd& pfd = fds[i + 1];
+      if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Connection& conn = connections[i];
+      bool closed = false;
+      bool errored = false;
+      for (;;) {
+        const net::IoResult r =
+            net::recv_some(conn.socket, chunk.data(), chunk.size());
+        if (r.status == net::IoStatus::kOk) {
+          touch_activity();
+          bytes_total_.fetch_add(r.bytes, std::memory_order_relaxed);
+          metrics_of().bytes.add(r.bytes);
+          const std::uint64_t before = conn.parser.batches();
+          const net::BatchStatus status = conn.parser.consume(
+              chunk.data(), r.bytes, [this](std::vector<std::uint8_t>&& f) {
+                route_frame(std::move(f));
+              });
+          batches_total_.fetch_add(conn.parser.batches() - before,
+                             std::memory_order_relaxed);
+          metrics_of().batches.add(conn.parser.batches() - before);
+          if (status != net::BatchStatus::kOk) {
+            errored = true;
+            break;
+          }
+          continue;
+        }
+        if (r.status == net::IoStatus::kWouldBlock) break;
+        closed = true;  // kClosed or kError: either way the peer is gone
+        break;
+      }
+      if (errored) {
+        close_connection(i, true);
+      } else if (closed) {
+        close_connection(i, false);
+      }
+    }
+  }
+
+  // Connections close here; bytes still in flight are discarded, which is
+  // the documented stop() contract (the CLI waits for idle first).
+  connections.clear();
+  open_connections_.store(0, std::memory_order_relaxed);
+  listener_.close();
+}
+
+IngestServer::Stats IngestServer::stats() const {
+  Stats s;
+  s.connections = connections_total_.load(std::memory_order_relaxed);
+  s.disconnects = disconnects_.load(std::memory_order_relaxed);
+  s.partial_disconnects =
+      partial_disconnects_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.batches = batches_total_.load(std::memory_order_relaxed);
+  s.frames = frames_total_.load(std::memory_order_relaxed);
+  s.bytes = bytes_total_.load(std::memory_order_relaxed);
+  s.ring_drops = ring_drops_.load(std::memory_order_relaxed);
+  s.unroutable_frames = unroutable_frames_.load(std::memory_order_relaxed);
+  s.store_decode_errors =
+      store_decode_errors_.load(std::memory_order_relaxed);
+  s.open_connections = open_connections_.load(std::memory_order_relaxed);
+  s.frames_per_shard.reserve(frames_per_shard_.size());
+  for (const auto& counter : frames_per_shard_) {
+    s.frames_per_shard.push_back(counter->load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+FleetView IngestServer::fleet_view() const {
+  FleetView view;
+  for (const auto& shard : shards_) {
+    view.add_shard(shard->aggregator->summary(), shard->alerts);
+  }
+  view.finalize();
+  return view;
+}
+
+}  // namespace tsvpt::ingest

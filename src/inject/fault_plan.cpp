@@ -16,6 +16,10 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kFrameCorrupt: return "frame-corrupt";
     case FaultKind::kRingStall: return "ring-stall";
     case FaultKind::kWorkerStall: return "worker-stall";
+    case FaultKind::kNetCorrupt: return "net-corrupt";
+    case FaultKind::kNetTruncate: return "net-truncate";
+    case FaultKind::kNetDrop: return "net-drop";
+    case FaultKind::kNetStall: return "net-stall";
   }
   return "unknown";
 }
@@ -150,6 +154,27 @@ FaultPlan FaultPlan::random_campaign(std::uint64_t seed,
           // Fires once at start_scan; recovery is the watchdog's job.
           pick_stack(e);
           pick_window(e, 1, 1);
+          break;
+        // Net kinds: windows are batch indexes (a publisher seals batches
+        // in deterministic order), but the placement logic is the same —
+        // first half of the run, transport-style stack dedupe.
+        case FaultKind::kNetCorrupt:
+          pick_stack(e);
+          pick_window(e, 2, 5);
+          break;
+        case FaultKind::kNetTruncate:
+          pick_stack(e);
+          pick_window(e, 1, 3);
+          e.magnitude = rng.uniform(0.25, 0.75);
+          break;
+        case FaultKind::kNetDrop:
+          pick_stack(e);
+          pick_window(e, 1, 1);
+          break;
+        case FaultKind::kNetStall:
+          pick_stack(e);
+          pick_window(e, 2, 4);
+          e.magnitude = rng.uniform(0.002, 0.010);
           break;
       }
       plan.add(e);

@@ -48,8 +48,31 @@ enum class FaultKind {
   /// (fires once at start_scan); only the collector's watchdog — or an
   /// explicit resume — brings it back.
   kWorkerStall,
+  // The remaining kinds act on the publisher->server TCP transport and are
+  // executed by NetChaos (a net::TransportHook), not by ChaosInjector.
+  // Their windows are measured in *batch indexes*, not scans.
+  /// Batch payload corrupted on the wire: a byte in the trailing frame's
+  /// CRC region is flipped, so the server counts one decode error per
+  /// corrupted batch (the framing layer itself stays intact).
+  kNetCorrupt,
+  /// Batch truncated mid-send and the connection cut: every frame in the
+  /// batch is lost and surfaces as a sequence gap at the server.
+  /// magnitude = fraction of the batch's bytes actually delivered (0, 1).
+  kNetTruncate,
+  /// Connection dropped cleanly after a sent batch (fires once per event);
+  /// the publisher reconnects with backoff and resumes, losing nothing.
+  kNetDrop,
+  /// Slow-consumer stall: the sender sleeps before each batch in the
+  /// window.  magnitude = seconds of stall per batch.
+  kNetStall,
 };
-inline constexpr std::size_t kFaultKindCount = 8;
+inline constexpr std::size_t kFaultKindCount = 12;
+
+/// True for the kinds NetChaos executes on the transport (batch windows).
+[[nodiscard]] constexpr bool is_net_fault(FaultKind kind) {
+  return kind == FaultKind::kNetCorrupt || kind == FaultKind::kNetTruncate ||
+         kind == FaultKind::kNetDrop || kind == FaultKind::kNetStall;
+}
 
 [[nodiscard]] const char* to_string(FaultKind kind);
 

@@ -111,6 +111,11 @@ void ChaosInjector::before_scan(std::size_t stack, std::uint64_t scan,
       case FaultKind::kFrameCorrupt:
       case FaultKind::kRingStall:
         break;  // handled after sampling / at publish
+      case FaultKind::kNetCorrupt:
+      case FaultKind::kNetTruncate:
+      case FaultKind::kNetDrop:
+      case FaultKind::kNetStall:
+        break;  // transport faults: executed by NetChaos, not here
     }
   }
 }
@@ -167,6 +172,59 @@ bool ChaosInjector::before_publish(std::size_t stack, std::uint64_t scan,
     record_fault(FaultKind::kRingStall, stack);
   }
   return publish;
+}
+
+NetChaos::NetChaos(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const FaultEvent& e : plan_.events()) {
+    if (is_net_fault(e.kind)) slots_.push_back(Slot{e, false, ~0ull});
+  }
+}
+
+net::BatchAction NetChaos::on_batch(std::uint64_t batch_index,
+                                    std::vector<std::uint8_t>& bytes) {
+  net::BatchAction action;
+  for (Slot& slot : slots_) {
+    const FaultEvent& e = slot.event;
+    if (!e.active_at(batch_index)) continue;
+    switch (e.kind) {
+      case FaultKind::kNetCorrupt:
+        // Target the trailing inner frame's CRC bytes: the framing layer
+        // stays parseable, the frame fails its own CRC at the aggregator.
+        if (bytes.size() > net::kBatchHeaderSize + 8 &&
+            slot.last_corrupted != batch_index) {
+          bytes[bytes.size() - 1 - (batch_index % 4)] ^= 0xFFu;
+          slot.last_corrupted = batch_index;
+          stats_.batches_corrupted += 1;
+          record_fault(e.kind, e.stack);
+        }
+        break;
+      case FaultKind::kNetTruncate: {
+        const auto keep = static_cast<std::size_t>(
+            static_cast<double>(bytes.size()) * e.magnitude);
+        action.truncate_to =
+            std::min(std::max<std::size_t>(keep, 1), bytes.size() - 1);
+        stats_.batches_truncated += 1;
+        record_fault(e.kind, e.stack);
+        break;
+      }
+      case FaultKind::kNetDrop:
+        if (!slot.fired) {
+          action.drop_connection = true;
+          slot.fired = true;
+          stats_.connections_dropped += 1;
+          record_fault(e.kind, e.stack);
+        }
+        break;
+      case FaultKind::kNetStall:
+        action.stall_seconds += e.magnitude;
+        stats_.stalls_injected += 1;
+        record_fault(e.kind, e.stack);
+        break;
+      default:
+        break;  // sensor/scan kinds: ChaosInjector's job
+    }
+  }
+  return action;
 }
 
 ChaosInjector::Stats ChaosInjector::stats() const {

@@ -25,6 +25,7 @@
 
 #include "circuit/supply.hpp"
 #include "inject/fault_plan.hpp"
+#include "net/framing.hpp"
 #include "telemetry/fleet_sampler.hpp"
 
 namespace tsvpt::inject {
@@ -75,6 +76,57 @@ class ChaosInjector final : public telemetry::ScanInterceptor {
   /// k, touched only by the worker that owns stack k.
   std::vector<std::vector<Slot>> by_stack_;
   std::vector<Stats> stats_by_stack_;
+};
+
+/// NetChaos: executes a FaultPlan's transport kinds (kNet*) as a
+/// net::TransportHook on the publisher's sending thread; all other kinds in
+/// the plan are ignored, mirroring how ChaosInjector ignores the net kinds —
+/// one plan can drive both seams.  Windows are batch indexes (batches seal
+/// in deterministic order), and every action depends only on
+/// (plan, batch_index), so a replay with the same plan and batch stream
+/// applies byte-identical faults:
+///
+///   kNetCorrupt  -> flips a byte in the batch's trailing frame-CRC region,
+///                   so framing survives and the server counts exactly one
+///                   decode error per corrupted batch
+///   kNetTruncate -> delivers only `magnitude` of the batch's bytes and
+///                   cuts the connection (the server discards the tail and
+///                   the batch's frames surface as sequence gaps)
+///   kNetDrop     -> drops the connection once, after a clean send
+///   kNetStall    -> sleeps `magnitude` seconds before each batch sent in
+///                   the window (slow-consumer backpressure)
+class NetChaos final : public net::TransportHook {
+ public:
+  explicit NetChaos(FaultPlan plan);
+
+  net::BatchAction on_batch(std::uint64_t batch_index,
+                            std::vector<std::uint8_t>& bytes) override;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  struct Stats {
+    std::uint64_t batches_corrupted = 0;
+    std::uint64_t batches_truncated = 0;
+    std::uint64_t connections_dropped = 0;
+    std::uint64_t stalls_injected = 0;
+  };
+  /// Plain counters, updated on the sending thread; read after the
+  /// publisher stops (or between manual pumps).
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    FaultEvent event;
+    /// One-shot latch (kNetDrop fires once per event).
+    bool fired = false;
+    /// Last batch this slot corrupted — a retransmitted batch is offered to
+    /// the hook again, and flipping the same byte twice would repair it.
+    std::uint64_t last_corrupted = ~0ull;
+  };
+
+  FaultPlan plan_;
+  std::vector<Slot> slots_;
+  Stats stats_;
 };
 
 }  // namespace tsvpt::inject

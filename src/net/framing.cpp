@@ -1,0 +1,139 @@
+#include "net/framing.hpp"
+
+#include <cstring>
+
+#include "telemetry/codec_util.hpp"
+
+namespace tsvpt::net {
+
+namespace {
+
+// Header CRC covers magic..payload_bytes (everything before the CRC field).
+constexpr std::size_t kCrcCoverage = kBatchHeaderSize - 4;
+
+// Keep the consumed prefix from growing without bound on long-lived
+// connections: once it passes this, shift the live tail to the front.
+constexpr std::size_t kCompactThreshold = 1u << 16;
+
+}  // namespace
+
+const char* to_string(BatchStatus status) {
+  switch (status) {
+    case BatchStatus::kOk: return "ok";
+    case BatchStatus::kBadMagic: return "bad-magic";
+    case BatchStatus::kBadVersion: return "bad-version";
+    case BatchStatus::kBadHeaderCrc: return "bad-header-crc";
+    case BatchStatus::kOversized: return "oversized";
+    case BatchStatus::kBadFrameBounds: return "bad-frame-bounds";
+  }
+  return "unknown";
+}
+
+std::size_t batch_wire_size(
+    const std::vector<std::vector<std::uint8_t>>& frames) {
+  std::size_t payload = 0;
+  for (const auto& f : frames) payload += 4 + f.size();
+  return kBatchHeaderSize + payload;
+}
+
+std::vector<std::uint8_t> encode_batch(
+    const std::vector<std::vector<std::uint8_t>>& frames) {
+  using telemetry::put_u16;
+  using telemetry::put_u32;
+  std::vector<std::uint8_t> out;
+  out.reserve(batch_wire_size(frames));
+  std::size_t payload = 0;
+  for (const auto& f : frames) payload += 4 + f.size();
+  put_u32(out, kBatchMagic);
+  put_u16(out, kBatchVersion);
+  put_u16(out, 0);  // flags: reserved
+  put_u32(out, static_cast<std::uint32_t>(frames.size()));
+  put_u32(out, static_cast<std::uint32_t>(payload));
+  put_u32(out, telemetry::crc32(out.data(), kCrcCoverage));
+  for (const auto& f : frames) {
+    put_u32(out, static_cast<std::uint32_t>(f.size()));
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  return out;
+}
+
+BatchStatus BatchParser::consume(const std::uint8_t* data, std::size_t size,
+                                 const FrameHandler& on_frame) {
+  if (status_ != BatchStatus::kOk) return status_;
+  buffer_.insert(buffer_.end(), data, data + size);
+
+  for (;;) {
+    const std::size_t available = buffer_.size() - pos_;
+    if (available < kBatchHeaderSize) break;
+    const std::uint8_t* head = buffer_.data() + pos_;
+
+    if (telemetry::get_u32(head) != kBatchMagic) {
+      status_ = BatchStatus::kBadMagic;
+      return status_;
+    }
+    if (telemetry::get_u16(head + 4) != kBatchVersion) {
+      status_ = BatchStatus::kBadVersion;
+      return status_;
+    }
+    const std::uint32_t frame_count = telemetry::get_u32(head + 8);
+    const std::uint32_t payload_bytes = telemetry::get_u32(head + 12);
+    if (telemetry::get_u32(head + 16) !=
+        telemetry::crc32(head, kCrcCoverage)) {
+      status_ = BatchStatus::kBadHeaderCrc;
+      return status_;
+    }
+    if (payload_bytes > kMaxBatchPayload || frame_count > kMaxBatchFrames) {
+      status_ = BatchStatus::kOversized;
+      return status_;
+    }
+    if (available < kBatchHeaderSize + payload_bytes) break;  // partial batch
+
+    // Validate every inner length before emitting anything, so a batch whose
+    // lengths disagree with payload_bytes emits zero frames.
+    const std::uint8_t* payload = head + kBatchHeaderSize;
+    std::size_t cursor = 0;
+    for (std::uint32_t i = 0; i < frame_count; ++i) {
+      if (payload_bytes - cursor < 4) {
+        status_ = BatchStatus::kBadFrameBounds;
+        return status_;
+      }
+      const std::uint32_t len = telemetry::get_u32(payload + cursor);
+      cursor += 4;
+      if (payload_bytes - cursor < len) {
+        status_ = BatchStatus::kBadFrameBounds;
+        return status_;
+      }
+      cursor += len;
+    }
+    if (cursor != payload_bytes) {
+      status_ = BatchStatus::kBadFrameBounds;
+      return status_;
+    }
+
+    cursor = 0;
+    for (std::uint32_t i = 0; i < frame_count; ++i) {
+      const std::uint32_t len = telemetry::get_u32(payload + cursor);
+      cursor += 4;
+      on_frame(std::vector<std::uint8_t>(payload + cursor,
+                                         payload + cursor + len));
+      cursor += len;
+    }
+
+    pos_ += kBatchHeaderSize + payload_bytes;
+    batches_ += 1;
+    frames_ += frame_count;
+    bytes_ += kBatchHeaderSize + payload_bytes;
+  }
+
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  } else if (pos_ > kCompactThreshold) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return status_;
+}
+
+}  // namespace tsvpt::net

@@ -1,0 +1,117 @@
+// Batch framing for the fleet telemetry transport.  A TCP stream carries a
+// sequence of batches, each wrapping one or more v2 telemetry wire frames:
+//
+//   [magic u32 "TSVB"] [version u16] [flags u16] [frame_count u32]
+//   [payload_bytes u32] [header_crc32 u32]          -- 20-byte header
+//   payload: frame_count x { [len u32] [len bytes of v2 frame] }
+//
+// The header CRC covers the first 16 header bytes, so a corrupted or
+// desynchronised stream is rejected before any length field is trusted.
+// Inner frames carry their own CRC (telemetry::decode verifies it), so a
+// payload byte flipped on the wire surfaces as a per-frame decode error at
+// the aggregator, not as UB or a poisoned connection.
+//
+// BatchParser is an incremental consumer: feed it whatever recv() returned —
+// a byte at a time, half a header, three batches at once — and it emits each
+// completed inner frame exactly once.  Any structural violation (bad magic,
+// bad header CRC, frame lengths that disagree with payload_bytes, absurd
+// sizes) poisons the parser: the connection cannot be trusted past that
+// point and must be dropped.  A partial batch at orderly disconnect is NOT
+// an error — a SIGKILL'd publisher must leave the server consistent, so the
+// tail is simply discarded.
+//
+// TransportHook is the chaos seam: the publisher offers every outgoing batch
+// to the hook, which may stall, truncate (cutting the connection mid-batch),
+// corrupt bytes in place, or drop the connection after a clean send.  It
+// lives here (not in inject/) so inject can depend on net without ingest.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace tsvpt::net {
+
+inline constexpr std::uint32_t kBatchMagic = 0x42565354u;  // "TSVB" LE
+inline constexpr std::uint16_t kBatchVersion = 1;
+inline constexpr std::size_t kBatchHeaderSize = 20;
+/// Upper bounds a well-formed batch may claim; anything larger is treated as
+/// stream corruption rather than trusted as an allocation size.
+inline constexpr std::uint32_t kMaxBatchPayload = 64u << 20;
+inline constexpr std::uint32_t kMaxBatchFrames = 1u << 20;
+
+/// Serialize `frames` (each an encoded v2 wire frame) into one batch.
+[[nodiscard]] std::vector<std::uint8_t> encode_batch(
+    const std::vector<std::vector<std::uint8_t>>& frames);
+
+/// Bytes a batch of these frames occupies on the wire.
+[[nodiscard]] std::size_t batch_wire_size(
+    const std::vector<std::vector<std::uint8_t>>& frames);
+
+enum class BatchStatus : std::uint8_t {
+  kOk,             // all fed bytes consumed (possibly buffering a partial)
+  kBadMagic,       // stream desynchronised or not a TSVB stream
+  kBadVersion,     // version this build does not speak
+  kBadHeaderCrc,   // header corrupted on the wire
+  kOversized,      // claimed payload/frame count above sanity bounds
+  kBadFrameBounds  // inner frame lengths disagree with payload_bytes
+};
+
+[[nodiscard]] const char* to_string(BatchStatus status);
+
+/// Incremental batch stream decoder.  One instance per connection; any
+/// status other than kOk is sticky and the connection must be closed.
+class BatchParser {
+ public:
+  using FrameHandler = std::function<void(std::vector<std::uint8_t>&&)>;
+
+  /// Feed `size` received bytes; `on_frame` is invoked once per completed
+  /// inner frame, in stream order.  A batch's frames are only emitted after
+  /// the whole batch has been validated, so a batch that fails validation
+  /// emits nothing.
+  BatchStatus consume(const std::uint8_t* data, std::size_t size,
+                      const FrameHandler& on_frame);
+
+  [[nodiscard]] bool failed() const { return status_ != BatchStatus::kOk; }
+  [[nodiscard]] BatchStatus status() const { return status_; }
+
+  /// Bytes buffered awaiting a batch's completion; nonzero at disconnect
+  /// means the peer died mid-batch (the tail is discarded, not an error).
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size() - pos_; }
+
+  [[nodiscard]] std::uint64_t batches() const { return batches_; }
+  [[nodiscard]] std::uint64_t frames() const { return frames_; }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;  // consumed prefix of buffer_
+  BatchStatus status_ = BatchStatus::kOk;
+  std::uint64_t batches_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+inline constexpr std::size_t kNoTruncate =
+    std::numeric_limits<std::size_t>::max();
+
+/// What the chaos hook wants done to one outgoing batch.
+struct BatchAction {
+  double stall_seconds = 0.0;          // sleep before sending (slow consumer)
+  std::size_t truncate_to = kNoTruncate;  // send only this many bytes, then
+                                          // cut the connection mid-batch
+  bool drop_connection = false;        // close after a clean send
+};
+
+/// Publisher-side fault seam.  Called once per send attempt from the sending
+/// thread; `bytes` may be mutated in place to model wire corruption.
+class TransportHook {
+ public:
+  virtual ~TransportHook() = default;
+  virtual BatchAction on_batch(std::uint64_t batch_index,
+                               std::vector<std::uint8_t>& bytes) = 0;
+};
+
+}  // namespace tsvpt::net

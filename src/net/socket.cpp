@@ -1,0 +1,159 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace tsvpt::net {
+
+namespace {
+
+#if defined(MSG_NOSIGNAL)
+constexpr int kSendFlags = MSG_NOSIGNAL;  // dead peer -> EPIPE, not SIGPIPE
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+[[nodiscard]] sockaddr_in make_addr(const std::string& host,
+                                    std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("net: not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket tcp_listen(const std::string& host, std::uint16_t port, int backlog) {
+  Socket sock{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!sock.valid()) {
+    throw std::runtime_error("net: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in addr = make_addr(host, port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw std::runtime_error("net: cannot bind " + host + ": " +
+                             std::string(std::strerror(errno)));
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    throw std::runtime_error("net: listen() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  return sock;
+}
+
+std::uint16_t local_port(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port) {
+  Socket sock{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!sock.valid()) return Socket{};
+  const sockaddr_in addr = make_addr(host, port);
+  int rc = 0;
+  do {
+    rc = ::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Socket{};
+  return sock;
+}
+
+Socket tcp_accept(const Socket& listener) {
+  int fd = -1;
+  do {
+    fd = ::accept(listener.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  return Socket{fd};
+}
+
+void set_nonblocking(const Socket& socket, bool enabled) {
+  const int flags = ::fcntl(socket.fd(), F_GETFL, 0);
+  if (flags < 0) return;
+  const int next = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  ::fcntl(socket.fd(), F_SETFL, next);
+}
+
+void set_nodelay(const Socket& socket) {
+  const int one = 1;
+  ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+IoResult recv_some(const Socket& socket, std::uint8_t* data,
+                   std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::recv(socket.fd(), data, size, 0);
+    if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    if (n == 0) return {IoStatus::kClosed, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+IoResult send_some(const Socket& socket, const std::uint8_t* data,
+                   std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::send(socket.fd(), data, size, kSendFlags);
+    if (n >= 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+bool send_all(const Socket& socket, const std::uint8_t* data,
+              std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const IoResult r = send_some(socket, data + sent, size - sent);
+    if (r.status == IoStatus::kOk) {
+      sent += r.bytes;
+      continue;
+    }
+    if (r.status == IoStatus::kWouldBlock) continue;  // blocking socket: rare
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tsvpt::net

@@ -1,5 +1,6 @@
 #include "telemetry/aggregator.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "obs/metrics.hpp"
@@ -194,6 +195,7 @@ void Aggregator::ingest(const std::vector<std::uint8_t>& buffer) {
     metrics.missed.add(frame.sequence - seq_it->second);
   }
   seq_it->second = frame.sequence + 1;
+  stack.next_sequence = std::max(stack.next_sequence, frame.sequence + 1);
 
   // Per-die fold + runaway bookkeeping input (hottest sensed site per die).
   std::map<std::size_t, std::pair<double, std::size_t>> die_max;

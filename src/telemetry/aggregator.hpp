@@ -135,6 +135,10 @@ class Aggregator {
     /// Sequence-number gaps observed (frames lost before the collector).
     std::uint64_t missed = 0;
     std::uint64_t alerts = 0;
+    /// One past the highest sequence ingested — lets a cross-shard merge
+    /// recompute missed as max(next_sequence) - frames even when a stack's
+    /// frames were split across shards (ingest failover).
+    std::uint64_t next_sequence = 0;
     Second last_sim_time{0.0};
     std::map<std::size_t, DieStats> dies;
   };

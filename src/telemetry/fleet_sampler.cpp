@@ -197,7 +197,8 @@ void FleetSampler::worker(std::size_t worker_index) {
       stack.now += config_.sample_period;
 
       Frame frame;
-      frame.stack_id = static_cast<std::uint32_t>(k);
+      frame.stack_id =
+          config_.stack_id_base + static_cast<std::uint32_t>(k);
       frame.sequence = stack.sequence++;
       frame.sim_time = stack.now;
       if (stack.supervisor != nullptr) {
@@ -271,8 +272,9 @@ void FleetSampler::worker(std::size_t worker_index) {
                           [&](std::vector<std::uint8_t>&& v) {
         metrics.dropped.inc();
         const auto victim = peek_stack_id(v);
-        if (victim && *victim < production_.size()) {
-          production_[*victim].dropped += 1;
+        if (victim && *victim >= config_.stack_id_base &&
+            *victim - config_.stack_id_base < production_.size()) {
+          production_[*victim - config_.stack_id_base].dropped += 1;
         } else {
           // Peeked id out of range (or no header): a frame this sampler did
           // not produce.  Impossible while rings stay private, but never an

@@ -98,6 +98,10 @@ class FleetSampler {
     Second burst_period{50e-3};
     core::PtSensor::Config sensor;
     std::uint64_t seed = 1;
+    /// Offset added to every frame's stack_id on the wire, so multiple
+    /// publisher processes feeding one ingest server occupy disjoint fleet
+    /// id ranges.  Local indices (worker_of, production()) stay 0-based.
+    std::uint32_t stack_id_base = 0;
     /// Optional fault-injection seam (not owned; must outlive run()).
     ScanInterceptor* interceptor = nullptr;
     /// Optional durable-recording seam (not owned; must outlive run()).

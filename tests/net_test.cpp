@@ -1,0 +1,317 @@
+// Transport framing + socket edge cases: the batch codec must tolerate
+// arbitrary read boundaries (TCP promises a byte stream, nothing more),
+// reject every structural corruption before trusting a length field, and
+// treat a partial batch at disconnect as loss, not as an error.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "telemetry/codec_util.hpp"
+#include "telemetry/frame.hpp"
+
+namespace tsvpt::net {
+namespace {
+
+/// A few valid v2 wire frames of varying sizes (the parser treats inner
+/// bytes as opaque, but using real frames keeps the test honest end to end).
+std::vector<std::vector<std::uint8_t>> sample_frames(std::size_t count) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (std::size_t k = 0; k < count; ++k) {
+    telemetry::Frame frame;
+    frame.stack_id = static_cast<std::uint32_t>(40 + k);
+    frame.sequence = k;
+    frame.sim_time = Second{1e-3 * static_cast<double>(k)};
+    for (std::size_t i = 0; i < 1 + k % 3; ++i) {
+      core::StackMonitor::SiteReading r;
+      r.site_index = i;
+      r.die = i;
+      r.sensed = Celsius{50.0 + static_cast<double>(k)};
+      r.truth = Celsius{50.1 + static_cast<double>(k)};
+      frame.readings.push_back(r);
+    }
+    frames.push_back(telemetry::encode(frame));
+  }
+  return frames;
+}
+
+std::vector<std::vector<std::uint8_t>> parse_all(
+    BatchParser& parser, const std::uint8_t* data, std::size_t size,
+    BatchStatus expect = BatchStatus::kOk) {
+  std::vector<std::vector<std::uint8_t>> out;
+  const BatchStatus status = parser.consume(
+      data, size, [&](std::vector<std::uint8_t>&& f) {
+        out.push_back(std::move(f));
+      });
+  EXPECT_EQ(status, expect) << to_string(status);
+  return out;
+}
+
+TEST(NetFraming, BatchRoundTrip) {
+  const auto frames = sample_frames(3);
+  const std::vector<std::uint8_t> wire = encode_batch(frames);
+  EXPECT_EQ(wire.size(), batch_wire_size(frames));
+
+  BatchParser parser;
+  const auto decoded = parse_all(parser, wire.data(), wire.size());
+  ASSERT_EQ(decoded.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(decoded[i], frames[i]) << "frame " << i;
+  }
+  EXPECT_EQ(parser.batches(), 1u);
+  EXPECT_EQ(parser.frames(), 3u);
+  EXPECT_EQ(parser.bytes(), wire.size());
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(NetFraming, EmptyBatchRoundTrips) {
+  const std::vector<std::uint8_t> wire = encode_batch({});
+  BatchParser parser;
+  const auto decoded = parse_all(parser, wire.data(), wire.size());
+  EXPECT_TRUE(decoded.empty());
+  EXPECT_EQ(parser.batches(), 1u);
+}
+
+TEST(NetFraming, SplitAtEveryByteBoundary) {
+  const auto frames = sample_frames(2);
+  const std::vector<std::uint8_t> wire = encode_batch(frames);
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    BatchParser parser;
+    std::vector<std::vector<std::uint8_t>> out;
+    const auto sink = [&](std::vector<std::uint8_t>&& f) {
+      out.push_back(std::move(f));
+    };
+    ASSERT_EQ(parser.consume(wire.data(), split, sink), BatchStatus::kOk);
+    ASSERT_EQ(parser.consume(wire.data() + split, wire.size() - split, sink),
+              BatchStatus::kOk);
+    ASSERT_EQ(out.size(), frames.size()) << "split at " << split;
+    EXPECT_EQ(out.front(), frames.front()) << "split at " << split;
+    EXPECT_EQ(out.back(), frames.back()) << "split at " << split;
+  }
+}
+
+TEST(NetFraming, OneByteAtATime) {
+  const auto frames = sample_frames(3);
+  // Two batches back to back, dribbled in a byte at a time.
+  std::vector<std::uint8_t> wire = encode_batch({frames[0], frames[1]});
+  const std::vector<std::uint8_t> second = encode_batch({frames[2]});
+  wire.insert(wire.end(), second.begin(), second.end());
+
+  BatchParser parser;
+  std::vector<std::vector<std::uint8_t>> out;
+  for (const std::uint8_t byte : wire) {
+    ASSERT_EQ(parser.consume(&byte, 1,
+                             [&](std::vector<std::uint8_t>&& f) {
+                               out.push_back(std::move(f));
+                             }),
+              BatchStatus::kOk);
+  }
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2], frames[2]);
+  EXPECT_EQ(parser.batches(), 2u);
+}
+
+TEST(NetFraming, MultipleBatchesInOneChunk) {
+  const auto frames = sample_frames(4);
+  std::vector<std::uint8_t> wire = encode_batch({frames[0]});
+  for (std::size_t i = 1; i < 4; ++i) {
+    const auto next = encode_batch({frames[i]});
+    wire.insert(wire.end(), next.begin(), next.end());
+  }
+  BatchParser parser;
+  const auto out = parse_all(parser, wire.data(), wire.size());
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(parser.batches(), 4u);
+}
+
+TEST(NetFraming, HeaderCorruptionRejected) {
+  const auto frames = sample_frames(1);
+  const std::vector<std::uint8_t> wire = encode_batch(frames);
+  // Any flipped header byte must poison the stream: magic and version
+  // mismatches name themselves; everything else trips the header CRC (or,
+  // for a flipped CRC field, the CRC check itself).
+  for (std::size_t i = 0; i < kBatchHeaderSize; ++i) {
+    std::vector<std::uint8_t> bad = wire;
+    bad[i] ^= 0x5Au;
+    BatchParser parser;
+    std::size_t emitted = 0;
+    const BatchStatus status =
+        parser.consume(bad.data(), bad.size(),
+                       [&](std::vector<std::uint8_t>&&) { emitted += 1; });
+    EXPECT_NE(status, BatchStatus::kOk) << "header byte " << i;
+    EXPECT_TRUE(parser.failed()) << "header byte " << i;
+    EXPECT_EQ(emitted, 0u) << "header byte " << i;
+
+    // Poisoned parsers stay poisoned: feeding good bytes cannot revive one.
+    EXPECT_EQ(parser.consume(wire.data(), wire.size(),
+                             [&](std::vector<std::uint8_t>&&) {
+                               emitted += 1;
+                             }),
+              status);
+    EXPECT_EQ(emitted, 0u);
+  }
+}
+
+TEST(NetFraming, TruncatedBatchEmitsNothingAndIsNotAnError) {
+  const auto frames = sample_frames(2);
+  const std::vector<std::uint8_t> wire = encode_batch(frames);
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    BatchParser parser;
+    std::size_t emitted = 0;
+    ASSERT_EQ(parser.consume(wire.data(), cut,
+                             [&](std::vector<std::uint8_t>&&) {
+                               emitted += 1;
+                             }),
+              BatchStatus::kOk)
+        << "cut at " << cut;
+    // Frames only appear when the whole batch arrived; a SIGKILL'd client
+    // mid-batch must not surface partial garbage.
+    EXPECT_EQ(emitted, 0u) << "cut at " << cut;
+    EXPECT_FALSE(parser.failed());
+    EXPECT_EQ(parser.buffered(), cut);
+  }
+}
+
+TEST(NetFraming, OversizedClaimsRejected) {
+  using telemetry::put_u16;
+  using telemetry::put_u32;
+  const auto make_header = [](std::uint32_t frame_count,
+                              std::uint32_t payload_bytes) {
+    std::vector<std::uint8_t> h;
+    put_u32(h, kBatchMagic);
+    put_u16(h, kBatchVersion);
+    put_u16(h, 0);
+    put_u32(h, frame_count);
+    put_u32(h, payload_bytes);
+    put_u32(h, telemetry::crc32(h.data(), h.size()));
+    return h;
+  };
+  {
+    const auto h = make_header(1, kMaxBatchPayload + 1);
+    BatchParser parser;
+    EXPECT_EQ(parser.consume(h.data(), h.size(),
+                             [](std::vector<std::uint8_t>&&) {}),
+              BatchStatus::kOversized);
+  }
+  {
+    const auto h = make_header(kMaxBatchFrames + 1, 64);
+    BatchParser parser;
+    EXPECT_EQ(parser.consume(h.data(), h.size(),
+                             [](std::vector<std::uint8_t>&&) {}),
+              BatchStatus::kOversized);
+  }
+}
+
+TEST(NetFraming, InconsistentFrameLengthsRejected) {
+  const auto frames = sample_frames(2);
+  std::vector<std::uint8_t> wire = encode_batch(frames);
+  // Inflate the first inner length so it overruns the payload; the header
+  // CRC does not cover the payload, so this models payload corruption that
+  // happens to hit a length prefix.
+  wire[kBatchHeaderSize + 3] = 0x7F;
+  BatchParser parser;
+  std::size_t emitted = 0;
+  EXPECT_EQ(parser.consume(wire.data(), wire.size(),
+                           [&](std::vector<std::uint8_t>&&) {
+                             emitted += 1;
+                           }),
+            BatchStatus::kBadFrameBounds);
+  EXPECT_EQ(emitted, 0u);
+}
+
+TEST(NetSocket, LoopbackSendRecvRoundTrip) {
+  Socket listener = tcp_listen("127.0.0.1", 0);
+  set_nonblocking(listener, true);
+  const std::uint16_t port = local_port(listener);
+  ASSERT_NE(port, 0);
+
+  Socket client = tcp_connect("127.0.0.1", port);
+  ASSERT_TRUE(client.valid());
+
+  Socket server;
+  for (int i = 0; i < 1000 && !server.valid(); ++i) {
+    server = tcp_accept(listener);
+    if (!server.valid()) std::this_thread::yield();
+  }
+  ASSERT_TRUE(server.valid());
+
+  std::vector<std::uint8_t> payload(4096);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  ASSERT_TRUE(send_all(client, payload.data(), payload.size()));
+  client.close();  // orderly shutdown -> reader sees kClosed after the bytes
+
+  std::vector<std::uint8_t> received;
+  std::uint8_t chunk[257];
+  for (;;) {
+    const IoResult r = recv_some(server, chunk, sizeof(chunk));
+    if (r.status == IoStatus::kOk) {
+      received.insert(received.end(), chunk, chunk + r.bytes);
+      continue;
+    }
+    ASSERT_EQ(r.status, IoStatus::kClosed);
+    break;
+  }
+  EXPECT_EQ(received, payload);
+}
+
+TEST(NetSocket, ConnectToClosedPortFails) {
+  // Bind-then-close to get a port that is almost certainly not listening.
+  std::uint16_t port = 0;
+  {
+    const Socket listener = tcp_listen("127.0.0.1", 0);
+    port = local_port(listener);
+  }
+  const Socket client = tcp_connect("127.0.0.1", port);
+  EXPECT_FALSE(client.valid());
+}
+
+TEST(NetSocket, ChunkedSendsReassembleThroughParser) {
+  // A real socket between sender and parser, bytes pushed in awkward
+  // 7-byte chunks: partial *writes* at arbitrary boundaries must be
+  // invisible to the framing layer.
+  Socket listener = tcp_listen("127.0.0.1", 0);
+  set_nonblocking(listener, true);
+  Socket client = tcp_connect("127.0.0.1", local_port(listener));
+  ASSERT_TRUE(client.valid());
+  Socket server;
+  for (int i = 0; i < 1000 && !server.valid(); ++i) {
+    server = tcp_accept(listener);
+    if (!server.valid()) std::this_thread::yield();
+  }
+  ASSERT_TRUE(server.valid());
+
+  const auto frames = sample_frames(3);
+  const std::vector<std::uint8_t> wire = encode_batch(frames);
+  for (std::size_t off = 0; off < wire.size(); off += 7) {
+    const std::size_t n = std::min<std::size_t>(7, wire.size() - off);
+    ASSERT_TRUE(send_all(client, wire.data() + off, n));
+  }
+  client.close();
+
+  BatchParser parser;
+  std::vector<std::vector<std::uint8_t>> out;
+  std::uint8_t chunk[64];
+  for (;;) {
+    const IoResult r = recv_some(server, chunk, sizeof(chunk));
+    if (r.status == IoStatus::kOk) {
+      ASSERT_EQ(parser.consume(chunk, r.bytes,
+                               [&](std::vector<std::uint8_t>&& f) {
+                                 out.push_back(std::move(f));
+                               }),
+                BatchStatus::kOk);
+      continue;
+    }
+    ASSERT_EQ(r.status, IoStatus::kClosed);
+    break;
+  }
+  ASSERT_EQ(out.size(), frames.size());
+  EXPECT_EQ(out, frames);
+}
+
+}  // namespace
+}  // namespace tsvpt::net

@@ -37,6 +37,23 @@
 //       gate), `query` filters by time/stack/site, `replay` feeds stored
 //       frames through the aggregator for offline alert analysis, and
 //       `compact` applies --max-bytes / --max-age-s retention.
+//   tsvpt_cli serve [--port 0] [--shards 2] [--ring 4096] [--alert-c 85]
+//                   [--store DIR] [--duration-s S] [--idle-exit-s 10]
+//       Sharded fleet ingest server: accept framed-TCP publisher
+//       connections, partition stacks across per-shard aggregators, and on
+//       exit print a JSON report with the merged cross-shard fleet view
+//       (including its canonical digest).  Runs until --duration-s elapses
+//       or, once idle with no open connections, --idle-exit-s.  Exit 0 only
+//       when no alert fired and every frame decoded.
+//   tsvpt_cli publish --port N [--host H] [--stacks 8] [--threads 2]
+//                     [--scans 50] [--stack-base 0] [--batch-frames 64]
+//                     [--flush-ms 5] [--queue 64] [--seed 1]
+//       Fleet publisher: sample N stacks and stream their frames to a serve
+//       instance over framed TCP (size/time-bounded batches, bounded-queue
+//       backpressure, exponential-backoff reconnect).  --stack-base offsets
+//       wire stack ids so several publishers occupy disjoint fleet ranges.
+//       Exit 0 only when the server was reached and every produced frame
+//       was sent.
 //   tsvpt_cli obs dump [--format prom|json] [--exercise 1]
 //       Print the self-observability metric registry (Prometheus text or
 //       JSON); --exercise runs a mini fleet first so the dump holds live
@@ -58,6 +75,9 @@
 
 #include "core/stack_monitor.hpp"
 #include "device/tech_io.hpp"
+#include "ingest/fleet_view.hpp"
+#include "ingest/publisher.hpp"
+#include "ingest/server.hpp"
 #include "inject/fault_plan.hpp"
 #include "inject/injectors.hpp"
 #include "obs/metrics.hpp"
@@ -583,6 +603,168 @@ int cmd_chaos(const Args& args) {
   return ok ? 0 : 1;
 }
 
+int cmd_serve(const Args& args) {
+  args.check_known({"port", "shards", "ring", "alert-c", "spatial", "store",
+                    "duration-s", "idle-exit-s", "log-level", "metrics-out",
+                    "trace-out"});
+  ingest::IngestServer::Config cfg;
+  cfg.port = static_cast<std::uint16_t>(args.get("port", 0LL));
+  cfg.shard_count = static_cast<std::size_t>(args.get("shards", 2LL));
+  cfg.shard_ring_capacity = static_cast<std::size_t>(args.get("ring", 4096LL));
+  cfg.aggregator.alert_threshold = Celsius{args.get("alert-c", 85.0)};
+  // Sparse 2x2 publisher grids see real hotspot gradients past the spatial
+  // check's threshold (the same caveat cmd_chaos documents); --spatial 0
+  // gates a soak on transport cleanliness without the detector's opinion.
+  cfg.aggregator.spatial_check = args.get("spatial", 1LL) != 0;
+  cfg.store_dir = args.get("store", std::string{});
+
+  const double duration_s = args.get("duration-s", 0.0);
+  const double idle_exit_s = args.get("idle-exit-s", 10.0);
+
+  ingest::IngestServer server{cfg};
+  server.start();
+  // The bound port on stderr immediately, so scripts wrapping an ephemeral
+  // port (--port 0) can discover it before the JSON report exists.
+  std::fprintf(stderr, "tsvpt_cli serve: listening on %s:%u (%zu shards)\n",
+               cfg.bind_host.c_str(), server.port(), server.shard_count());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (duration_s > 0.0 && elapsed >= duration_s) break;
+    if (idle_exit_s > 0.0 && server.stats().open_connections == 0 &&
+        server.idle_for().value() >= idle_exit_s) {
+      break;
+    }
+  }
+  server.stop();
+
+  const ingest::IngestServer::Stats st = server.stats();
+  const ingest::FleetView view = server.fleet_view();
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"port\": " << server.port() << ",\n"
+       << "  \"shards\": " << server.shard_count() << ",\n"
+       << "  \"connections\": " << st.connections << ",\n"
+       << "  \"disconnects\": " << st.disconnects << ",\n"
+       << "  \"partial_disconnects\": " << st.partial_disconnects << ",\n"
+       << "  \"protocol_errors\": " << st.protocol_errors << ",\n"
+       << "  \"batches\": " << st.batches << ",\n"
+       << "  \"frames\": " << st.frames << ",\n"
+       << "  \"bytes\": " << st.bytes << ",\n"
+       << "  \"ring_drops\": " << st.ring_drops << ",\n"
+       << "  \"frames_per_shard\": [";
+  for (std::size_t s = 0; s < st.frames_per_shard.size(); ++s) {
+    json << (s == 0 ? "" : ", ") << st.frames_per_shard[s];
+  }
+  json << "],\n"
+       << "  \"fleet\": {\n"
+       << "    \"frames\": " << view.frames() << ",\n"
+       << "    \"decode_errors\": " << view.decode_errors() << ",\n"
+       << "    \"missed\": " << view.missed() << ",\n"
+       << "    \"stacks\": " << view.stacks().size() << ",\n"
+       << "    \"alerts\": {";
+  {
+    bool first = true;
+    for (const auto& [kind, count] : view.alerts_by_kind()) {
+      json << (first ? "" : ", ") << '"' << telemetry::to_string(kind)
+           << "\": " << count;
+      first = false;
+    }
+  }
+  json << "},\n"
+       << "    \"digest\": " << view.digest() << "\n"
+       << "  },\n"
+       << "  \"per_stack\": [\n";
+  {
+    std::size_t i = 0;
+    for (const auto& [stack_id, sv] : view.stacks()) {
+      json << "    {\"stack\": " << stack_id << ", \"frames\": " << sv.frames
+           << ", \"missed\": " << sv.missed << ", \"alerts\": " << sv.alerts
+           << "}" << (++i < view.stacks().size() ? "," : "") << "\n";
+    }
+  }
+  json << "  ],\n"
+       << "  \"obs\": " << obs::metrics_json() << "\n}\n";
+  std::cout << json.str();
+  export_obs(args);
+  // The same scriptable gate as `fleet`: nonzero when anything alerted or
+  // failed to decode anywhere in the (possibly multi-publisher) fleet.
+  return (view.decode_errors() == 0 && view.alerts() == 0) ? 0 : 1;
+}
+
+int cmd_publish(const Args& args) {
+  args.check_known({"host", "port", "stacks", "threads", "scans", "sample-ms",
+                    "ring", "grid", "seed", "card", "stack-base",
+                    "batch-frames", "batch-bytes", "flush-ms", "queue",
+                    "log-level", "metrics-out", "trace-out"});
+  if (!args.has("port")) {
+    std::fprintf(stderr, "tsvpt_cli publish: --port is required\n");
+    return 2;
+  }
+  telemetry::FleetSampler::Config cfg;
+  cfg.stack_count = static_cast<std::size_t>(args.get("stacks", 8LL));
+  cfg.thread_count = static_cast<std::size_t>(args.get("threads", 2LL));
+  cfg.scans_per_stack = static_cast<std::size_t>(args.get("scans", 50LL));
+  cfg.sample_period = Second{args.get("sample-ms", 1.0) * 1e-3};
+  cfg.ring_capacity = static_cast<std::size_t>(args.get("ring", 1024LL));
+  cfg.grid_columns = cfg.grid_rows =
+      static_cast<std::size_t>(args.get("grid", 2LL));
+  cfg.seed = static_cast<std::uint64_t>(args.get("seed", 1LL));
+  cfg.stack_id_base =
+      static_cast<std::uint32_t>(args.get("stack-base", 0LL));
+  cfg.sensor.tech = technology_from(args);
+  cfg.sensor.model_vdd = cfg.sensor.tech.vdd_nominal;
+
+  ingest::FleetPublisher::Config pub_cfg;
+  pub_cfg.host = args.get("host", std::string{"127.0.0.1"});
+  pub_cfg.port = static_cast<std::uint16_t>(args.get("port", 0LL));
+  pub_cfg.batch_max_frames =
+      static_cast<std::size_t>(args.get("batch-frames", 64LL));
+  pub_cfg.batch_max_bytes =
+      static_cast<std::size_t>(args.get("batch-bytes", 262144LL));
+  pub_cfg.flush_interval = Second{args.get("flush-ms", 5.0) * 1e-3};
+  pub_cfg.queue_max_batches =
+      static_cast<std::size_t>(args.get("queue", 64LL));
+
+  telemetry::FleetSampler sampler{cfg};
+  ingest::FleetPublisher publisher{pub_cfg};
+  publisher.start(sampler.rings());
+  sampler.run();
+  publisher.stop();
+
+  const ingest::FleetPublisher::Stats st = publisher.stats();
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"stacks\": " << sampler.stack_count() << ",\n"
+       << "  \"stack_base\": " << cfg.stack_id_base << ",\n"
+       << "  \"frames_produced\": " << sampler.total_frames() << ",\n"
+       << "  \"frames_ring_dropped\": " << sampler.total_dropped() << ",\n"
+       << "  \"frames_enqueued\": " << st.frames_enqueued << ",\n"
+       << "  \"frames_sent\": " << st.frames_sent << ",\n"
+       << "  \"batches_sent\": " << st.batches_sent << ",\n"
+       << "  \"bytes_sent\": " << st.bytes_sent << ",\n"
+       << "  \"connects\": " << st.connects << ",\n"
+       << "  \"reconnects\": " << st.reconnects << ",\n"
+       << "  \"send_failures\": " << st.send_failures << ",\n"
+       << "  \"queue_dropped_batches\": " << st.queue_dropped_batches << ",\n"
+       << "  \"queue_dropped_frames\": " << st.queue_dropped_frames << ",\n"
+       << "  \"connected\": " << (st.connected_once ? "true" : "false")
+       << ",\n"
+       << "  \"obs\": " << obs::metrics_json() << "\n}\n";
+  std::cout << json.str();
+  export_obs(args);
+  // Clean publish = the server was reachable and nothing was shed anywhere
+  // on the way out (ring, queue, wire).
+  return (st.connected_once && st.frames_sent == st.frames_enqueued &&
+          st.frames_enqueued == sampler.total_frames())
+             ? 0
+             : 1;
+}
+
 void print_ids(std::ostringstream& json, const std::vector<std::uint32_t>& ids) {
   json << "[";
   for (std::size_t i = 0; i < ids.size(); ++i) {
@@ -784,7 +966,8 @@ int cmd_obs(const Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: tsvpt_cli <tech|sense|mc|trace|fleet|chaos|store|obs>"
+               "usage: tsvpt_cli"
+               " <tech|sense|mc|trace|fleet|chaos|serve|publish|store|obs>"
                " [flags]\n"
                "  tech   [--card FILE]\n"
                "  sense  --t DEGC [--dvtn-mv MV] [--dvtp-mv MV] [--seed N]"
@@ -800,6 +983,15 @@ int usage() {
                "  chaos  [--stacks N] [--threads N] [--scans N]"
                " [--sample-ms MS] [--ring N] [--grid N] [--events-per-kind N]"
                " [--watchdog-ms MS] [--seed N] [--card FILE] [--store DIR]\n"
+               "  serve  [--port N] [--shards N] [--ring N] [--alert-c DEGC]"
+               " [--store DIR] [--duration-s S] [--idle-exit-s S]\n"
+               "         sharded TCP ingest server; prints the merged fleet"
+               " view (exit 0 only when clean)\n"
+               "  publish --port N [--host H] [--stacks N] [--threads N]"
+               " [--scans N] [--stack-base N] [--batch-frames N]"
+               " [--flush-ms MS] [--queue N] [--seed N]\n"
+               "         sample a fleet and stream it to a serve instance"
+               " (exit 0 only when everything sent)\n"
                "  store  <info|query|replay|compact> --dir DIR\n"
                "         info                   print stats + integrity"
                " (exit 1 on corrupt blocks)\n"
@@ -835,6 +1027,8 @@ int main(int argc, char** argv) {
     if (command == "trace") return cmd_trace(args);
     if (command == "fleet") return cmd_fleet(args);
     if (command == "chaos") return cmd_chaos(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "publish") return cmd_publish(args);
     if (command == "store") return cmd_store(args);
     if (command == "obs") return cmd_obs(args);
   } catch (const std::exception& e) {
