@@ -1,9 +1,13 @@
 #include "ingest/publisher.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "telemetry/codec_util.hpp"
 
 namespace tsvpt::ingest {
 
@@ -23,8 +27,12 @@ struct PublisherMetrics {
   obs::Counter reconnects = obs::counter("tsvpt_pub_reconnects_total");
   obs::Counter queue_drops = obs::counter("tsvpt_pub_queue_drops_total");
   obs::Counter stalls = obs::counter("tsvpt_pub_backpressure_stalls_total");
+  obs::Counter acks = obs::counter("tsvpt_pub_acks_total");
+  obs::Counter retransmits = obs::counter("tsvpt_pub_retransmits_total");
+  obs::Counter heartbeats = obs::counter("tsvpt_pub_heartbeats_total");
   obs::Histogram batch_bytes = obs::histogram("tsvpt_pub_batch_bytes");
   obs::Histogram send_seconds = obs::histogram("tsvpt_pub_send_seconds");
+  obs::Histogram ack_rtt = obs::histogram("tsvpt_pub_ack_rtt_seconds");
 };
 
 [[nodiscard]] PublisherMetrics& metrics_of() {
@@ -32,12 +40,64 @@ struct PublisherMetrics {
   return metrics;
 }
 
+/// Fallback identity when the caller did not assign one.  Two regimes:
+///   - spill_dir set: the id must be STABLE across restarts of the same
+///     publisher (resume + dedup is keyed on it), so it is derived from the
+///     spill path alone — the same durable identity the log embodies.
+///   - no spill dir: the id must be DISTINCT per publisher instance (the
+///     server's dedup would otherwise veto a second publisher's seq 1..N
+///     as retransmits of the first's), so fold in the pid and a
+///     process-wide instance counter.
+[[nodiscard]] std::uint64_t derive_publisher_id(
+    const FleetPublisher::Config& config) {
+  std::vector<std::uint8_t> key(config.host.begin(), config.host.end());
+  key.push_back(static_cast<std::uint8_t>(config.port));
+  key.push_back(static_cast<std::uint8_t>(config.port >> 8));
+  key.insert(key.end(), config.spill_dir.begin(), config.spill_dir.end());
+  std::uint64_t id = derive_seed(telemetry::crc32(key.data(), key.size()),
+                                 0x1Du);
+  if (config.spill_dir.empty()) {
+    static std::atomic<std::uint64_t> instance_counter{0};
+    id = derive_seed(id, static_cast<std::uint64_t>(::getpid()));
+    id = derive_seed(
+        id, instance_counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
+  return id == 0 ? 1 : id;
+}
+
 }  // namespace
 
 FleetPublisher::FleetPublisher(Config config) : config_(std::move(config)) {
   if (config_.batch_max_frames == 0) config_.batch_max_frames = 1;
   if (config_.queue_max_batches == 0) config_.queue_max_batches = 1;
+  if (config_.publisher_id == 0) {
+    config_.publisher_id = derive_publisher_id(config_);
+  }
   backoff_ = config_.backoff_initial;
+  jitter_rng_ = Rng{config_.jitter_seed != 0
+                        ? config_.jitter_seed
+                        : derive_seed(config_.publisher_id, 0xB0FFu)};
+  last_send_ = Clock::now();
+
+  if (!config_.spill_dir.empty()) {
+    SpillQueue::RecoverInfo info;
+    spill_.emplace(SpillQueue::open(config_.spill_dir, config_.spill, info));
+    next_seq_ = info.next_seq;
+    // Resume: the recovered unacked window becomes the head of the pending
+    // queue, bytes left on disk until each batch's turn to (re)send.  Their
+    // sends count as retransmits — a crash cannot tell what reached the
+    // server, which is exactly what dedup absorbs.
+    for (const std::uint64_t seq : info.unacked_seqs) {
+      Batch batch;
+      batch.seq = seq;
+      batch.frames = spill_->frame_count_of(seq);
+      batch.spilled = true;
+      batch.sent_before = true;
+      resumed_batches_.fetch_add(1, std::memory_order_relaxed);
+      resumed_frames_.fetch_add(batch.frames, std::memory_order_relaxed);
+      pending_.push_back(std::move(batch));
+    }
+  }
 }
 
 FleetPublisher::~FleetPublisher() { stop(); }
@@ -71,7 +131,14 @@ void FleetPublisher::run(std::vector<telemetry::FrameRing*> rings) {
       }
     }
     if (open_deadline_armed_ && Clock::now() >= open_deadline_) flush();
+    if (!poll_acks()) on_connection_lost();
     if (try_send_pending()) progressed = true;
+
+    if (config_.heartbeat_interval.value() > 0.0 && socket_.valid() &&
+        Clock::now() - last_send_ >=
+            to_duration(config_.heartbeat_interval)) {
+      heartbeat();
+    }
 
     // mo: acquire pairs with stop()'s release store (see above).
     if (stop_requested_.load(std::memory_order_acquire)) {
@@ -83,6 +150,19 @@ void FleetPublisher::run(std::vector<telemetry::FrameRing*> rings) {
       const bool rings_empty = std::all_of(
           rings.begin(), rings.end(),
           [](telemetry::FrameRing* r) { return r->empty(); });
+      // Spill mode always runs the handshake (drain() reconnects if needed:
+      // even an empty resumed window needs the server's confirmation);
+      // best-effort mode only bothers when a connection is up.
+      if (rings_empty && open_frames_.empty() && pending_.empty() &&
+          (socket_.valid() || spill_.has_value())) {
+        // Everything handed to the kernel: run the FIN handshake with
+        // whatever deadline budget remains, then leave.
+        const double left = std::chrono::duration<double>(
+                                drain_deadline - Clock::now())
+                                .count();
+        if (left > 0.0) drain(Second{left});
+        break;
+      }
       if (rings_empty && open_frames_.empty() &&
           (pending_.empty() || Clock::now() >= drain_deadline)) {
         break;
@@ -113,28 +193,102 @@ void FleetPublisher::flush() {
 }
 
 bool FleetPublisher::pump() {
+  if (!poll_acks()) on_connection_lost();
   try_send_pending();
   return pending_.empty();
 }
 
 void FleetPublisher::seal_locked() {
   Batch batch;
-  batch.bytes = net::encode_batch(open_frames_);
+  net::BatchMeta meta;
+  meta.publisher_id = config_.publisher_id;
+  meta.seq = next_seq_++;
+  batch.seq = meta.seq;
+  batch.bytes = net::encode_batch(open_frames_, meta);
   batch.frames = open_frames_.size();
-  batch.index = next_batch_index_++;
   metrics_of().batch_bytes.observe(static_cast<double>(batch.bytes.size()));
   open_frames_.clear();
   open_bytes_ = 0;
   open_deadline_armed_ = false;
-  pending_.push_back(std::move(batch));
-  while (pending_.size() > config_.queue_max_batches) {
-    queue_dropped_batches_.fetch_add(1, std::memory_order_relaxed);
-    queue_dropped_frames_.fetch_add(pending_.front().frames,
-                                    std::memory_order_relaxed);
-    metrics_of().queue_drops.add(1);
-    metrics_of().stalls.add(1);
-    pending_.pop_front();
+  if (spill_) {
+    // WAL discipline: on disk before the first send attempt, so a SIGKILL
+    // any time after seal_locked() returns cannot lose the batch.
+    spill_->append(batch.seq, static_cast<std::uint32_t>(batch.frames),
+                   batch.bytes);
+    spill_->note_next_seq(next_seq_);
   }
+  pending_.push_back(std::move(batch));
+  enforce_memory_bound();
+}
+
+void FleetPublisher::enforce_memory_bound() {
+  const auto in_memory = [this] {
+    std::size_t n = 0;
+    for (const Batch& b : pending_) n += b.bytes.empty() ? 0 : 1;
+    for (const Batch& b : unacked_) n += b.bytes.empty() ? 0 : 1;
+    return n;
+  };
+  if (!spill_) {
+    // Best-effort mode: bounded queue, drop-oldest (the v1 policy).  The
+    // dropped batches consumed seqs, so the loss is visible server-side as
+    // honest batch gaps rather than silence.
+    while (pending_.size() > config_.queue_max_batches) {
+      queue_dropped_batches_.fetch_add(1, std::memory_order_relaxed);
+      queue_dropped_frames_.fetch_add(pending_.front().frames,
+                                      std::memory_order_relaxed);
+      metrics_of().queue_drops.add(1);
+      metrics_of().stalls.add(1);
+      pending_.pop_front();
+    }
+    // The unacked window is also bounded; evicted batches were already
+    // sent, they just lose retransmit coverage (best-effort has no better
+    // answer — use a spill dir for the real guarantee).
+    while (unacked_.size() > config_.queue_max_batches) {
+      unacked_.pop_front();
+      unacked_depth_.store(unacked_.size(), std::memory_order_relaxed);
+    }
+    return;
+  }
+  // Durable mode: never shed — evict batch *bytes* back to the log,
+  // retransmit-coverage first (unacked retransmits are rare; the pending
+  // front is about to be sent, so it is evicted last).
+  if (in_memory() <= config_.queue_max_batches) return;
+  const auto evict = [this](Batch& b) {
+    if (b.bytes.empty()) return false;
+    b.bytes = {};
+    b.bytes.shrink_to_fit();
+    b.spilled = true;
+    spilled_batches_.fetch_add(1, std::memory_order_relaxed);
+    metrics_of().stalls.add(1);
+    return true;
+  };
+  std::size_t live = in_memory();
+  for (auto it = unacked_.rbegin();
+       it != unacked_.rend() && live > config_.queue_max_batches; ++it) {
+    if (evict(*it)) live -= 1;
+  }
+  for (auto it = pending_.rbegin();
+       it != pending_.rend() && live > config_.queue_max_batches; ++it) {
+    if (std::next(it) == pending_.rend()) break;  // keep the send head hot
+    if (evict(*it)) live -= 1;
+  }
+}
+
+void FleetPublisher::arm_backoff() {
+  backoff_armed_ = true;
+  // Deterministic jitter: scale this wait into [1-jitter, 1] with the next
+  // seed-derived draw, so a fleet restarted together fans out instead of
+  // reconnecting in lockstep — and a replay with the same seed waits the
+  // same.
+  double scale = 1.0;
+  if (config_.backoff_jitter > 0.0) {
+    const double jitter = std::min(config_.backoff_jitter, 1.0);
+    scale = 1.0 - jitter * jitter_rng_.uniform();
+  }
+  next_attempt_ =
+      Clock::now() + to_duration(Second{backoff_.value() * scale});
+  backoff_ = Second{
+      std::min(backoff_.value() * 2.0, config_.backoff_max.value())};
 }
 
 bool FleetPublisher::ensure_connected() {
@@ -142,15 +296,15 @@ bool FleetPublisher::ensure_connected() {
   if (backoff_armed_ && Clock::now() < next_attempt_) return false;
   socket_ = net::tcp_connect(config_.host, config_.port);
   if (!socket_.valid()) {
-    backoff_armed_ = true;
-    next_attempt_ = Clock::now() + to_duration(backoff_);
-    backoff_ = Second{
-        std::min(backoff_.value() * 2.0, config_.backoff_max.value())};
+    arm_backoff();
     return false;
   }
   net::set_nodelay(socket_);
+  net::set_nonblocking(socket_, true);
   backoff_armed_ = false;
   backoff_ = config_.backoff_initial;
+  ack_parser_ = net::AckParser{};  // ack frames never span connections
+  fin_inflight_ = false;
   const std::uint64_t prior =
       connects_.fetch_add(1, std::memory_order_relaxed);
   if (prior > 0) {
@@ -158,6 +312,149 @@ bool FleetPublisher::ensure_connected() {
     metrics_of().reconnects.add(1);
   }
   connected_once_.store(true, std::memory_order_relaxed);
+  // Retransmit-on-reconnect: the unacked window goes back to the head of
+  // the queue, in seq order, ahead of anything not yet sent.
+  if (!unacked_.empty()) {
+    pending_.insert(pending_.begin(),
+                    std::make_move_iterator(unacked_.begin()),
+                    std::make_move_iterator(unacked_.end()));
+    unacked_.clear();
+    unacked_depth_.store(0, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void FleetPublisher::on_connection_lost() {
+  if (!socket_.valid()) return;
+  socket_.close();
+  arm_backoff();
+}
+
+void FleetPublisher::handle_ack(const net::AckFrame& ack) {
+  acks_received_.fetch_add(1, std::memory_order_relaxed);
+  metrics_of().acks.inc();
+  if (ack.nacked()) {
+    // The server is closing this connection over a framing violation it
+    // attributes to us; reconnect and retransmit — at-least-once makes the
+    // crossover harmless.
+    nacks_received_.fetch_add(1, std::memory_order_relaxed);
+    on_connection_lost();
+  }
+  const std::uint64_t seen =
+      acked_seq_observed_.load(std::memory_order_relaxed);
+  if (ack.ack_seq > seen) {
+    acked_seq_observed_.store(ack.ack_seq, std::memory_order_relaxed);
+    const auto now = Clock::now();
+    while (!unacked_.empty() && unacked_.front().seq <= ack.ack_seq) {
+      const Batch& done = unacked_.front();
+      frames_acked_.fetch_add(done.frames, std::memory_order_relaxed);
+      batches_acked_.fetch_add(1, std::memory_order_relaxed);
+      metrics_of().ack_rtt.observe(
+          std::chrono::duration<double>(now - done.sent_at).count());
+      unacked_.pop_front();
+    }
+    unacked_depth_.store(unacked_.size(), std::memory_order_relaxed);
+    if (spill_) spill_->ack(ack.ack_seq);
+  }
+  if (ack.drained() && fin_inflight_) {
+    drained_.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool FleetPublisher::poll_acks() {
+  if (!socket_.valid()) return true;
+  std::uint8_t chunk[512];
+  for (;;) {
+    const net::IoResult r = net::recv_some(socket_, chunk, sizeof(chunk));
+    if (r.status == net::IoStatus::kWouldBlock) return true;
+    if (r.status != net::IoStatus::kOk) return false;  // peer gone
+    const net::AckStatus status = ack_parser_.consume(
+        chunk, r.bytes, [this](const net::AckFrame& ack) {
+          net::AckAction action;
+          if (config_.hook != nullptr) action = config_.hook->on_ack(ack);
+          if (action.delay_seconds > 0.0) {
+            std::this_thread::sleep_for(
+                to_duration(Second{action.delay_seconds}));
+          }
+          if (action.drop) {
+            hook_acks_dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          handle_ack(ack);
+        });
+    if (status != net::AckStatus::kOk) return false;  // poisoned: reconnect
+    if (!socket_.valid()) return true;  // a nack closed it mid-chunk
+  }
+}
+
+bool FleetPublisher::send_batch(Batch& batch) {
+  if (batch.bytes.empty() && batch.spilled && spill_) {
+    if (!spill_->read(batch.seq, batch.bytes)) {
+      // Compacted or unreadable: it must have been acked already; drop it.
+      return true;
+    }
+  }
+  net::BatchAction action;
+  if (config_.hook != nullptr) {
+    action = config_.hook->on_batch(batch.seq, batch.bytes);
+  }
+  if (action.stall_seconds > 0.0) {
+    hook_stalls_.fetch_add(1, std::memory_order_relaxed);
+    metrics_of().stalls.add(1);
+    std::this_thread::sleep_for(to_duration(Second{action.stall_seconds}));
+  }
+  const std::size_t limit = std::min(action.truncate_to, batch.bytes.size());
+  const bool truncated = limit < batch.bytes.size();
+  const obs::ScopedTimer timer{metrics_of().send_seconds};
+  if (!net::send_all(socket_, batch.bytes.data(), limit)) {
+    // Connection died mid-send: the batch stays queued for retransmit
+    // after reconnect (the server discards whatever partial tail it saw).
+    send_failures_.fetch_add(1, std::memory_order_relaxed);
+    on_connection_lost();
+    return false;
+  }
+  last_send_ = Clock::now();
+  if (truncated) {
+    // Deliberate mid-batch cut: the server must treat the partial batch
+    // as lost frames, so drop the connection and do NOT retransmit.  The
+    // seq it consumed becomes an honest batch gap; a later cumulative ack
+    // retires it from the spill log.
+    hook_truncated_.fetch_add(1, std::memory_order_relaxed);
+    socket_.close();
+    arm_backoff();
+    return true;  // batch disposed (by design)
+  }
+  if (action.duplicate) {
+    // Chaos: the same fully-sent batch again, back to back.  The server's
+    // dedup must swallow the copy; any frame double-count is a bug this
+    // seam exists to catch.
+    hook_duplicated_.fetch_add(1, std::memory_order_relaxed);
+    if (!net::send_all(socket_, batch.bytes.data(), batch.bytes.size())) {
+      send_failures_.fetch_add(1, std::memory_order_relaxed);
+      on_connection_lost();
+      // The original send completed: fall through to bookkeeping.
+    }
+  }
+  if (batch.sent_before) {
+    retransmitted_batches_.fetch_add(1, std::memory_order_relaxed);
+    retransmitted_frames_.fetch_add(batch.frames, std::memory_order_relaxed);
+    metrics_of().retransmits.inc();
+  } else {
+    frames_sent_.fetch_add(batch.frames, std::memory_order_relaxed);
+    batches_sent_.fetch_add(1, std::memory_order_relaxed);
+    metrics_of().frames.add(batch.frames);
+    metrics_of().batches.add(1);
+  }
+  bytes_sent_.fetch_add(batch.bytes.size(), std::memory_order_relaxed);
+  metrics_of().bytes.add(batch.bytes.size());
+  batch.sent_before = true;
+  batch.sent_at = Clock::now();
+  unacked_.push_back(std::move(batch));
+  unacked_depth_.store(unacked_.size(), std::memory_order_relaxed);
+  if (action.drop_connection) {
+    hook_dropped_.fetch_add(1, std::memory_order_relaxed);
+    socket_.close();
+  }
   return true;
 }
 
@@ -165,52 +462,69 @@ bool FleetPublisher::try_send_pending() {
   bool progressed = false;
   while (!pending_.empty()) {
     if (!ensure_connected()) return progressed;
-    Batch& batch = pending_.front();
-    net::BatchAction action;
-    if (config_.hook != nullptr) {
-      action = config_.hook->on_batch(batch.index, batch.bytes);
-    }
-    if (action.stall_seconds > 0.0) {
-      hook_stalls_.fetch_add(1, std::memory_order_relaxed);
-      metrics_of().stalls.add(1);
-      std::this_thread::sleep_for(to_duration(Second{action.stall_seconds}));
-    }
-    const std::size_t limit =
-        std::min(action.truncate_to, batch.bytes.size());
-    const bool truncated = limit < batch.bytes.size();
-    const obs::ScopedTimer timer{metrics_of().send_seconds};
-    if (!net::send_all(socket_, batch.bytes.data(), limit)) {
-      // Connection died mid-send: the batch stays queued for retransmit
-      // after reconnect (the server discards whatever partial tail it saw).
-      send_failures_.fetch_add(1, std::memory_order_relaxed);
-      socket_.close();
-      backoff_armed_ = true;
-      next_attempt_ = Clock::now() + to_duration(backoff_);
+    Batch batch = std::move(pending_.front());
+    pending_.pop_front();
+    if (!send_batch(batch)) {
+      // Send failed: back to the head, retried after reconnect.
+      pending_.push_front(std::move(batch));
       return progressed;
     }
-    if (truncated) {
-      // Deliberate mid-batch cut: the server must treat the partial batch
-      // as lost frames, so drop the connection and do NOT retransmit.
-      hook_truncated_.fetch_add(1, std::memory_order_relaxed);
-      socket_.close();
-      pending_.pop_front();
-      progressed = true;
-      continue;
-    }
-    frames_sent_.fetch_add(batch.frames, std::memory_order_relaxed);
-    batches_sent_.fetch_add(1, std::memory_order_relaxed);
-    bytes_sent_.fetch_add(batch.bytes.size(), std::memory_order_relaxed);
-    metrics_of().frames.add(batch.frames);
-    metrics_of().batches.add(1);
-    metrics_of().bytes.add(batch.bytes.size());
-    pending_.pop_front();
     progressed = true;
-    if (action.drop_connection) {
-      hook_dropped_.fetch_add(1, std::memory_order_relaxed);
-      socket_.close();
-    }
   }
   return progressed;
+}
+
+void FleetPublisher::send_control(std::uint16_t flags, std::uint64_t seq) {
+  if (!socket_.valid()) return;
+  net::BatchMeta meta;
+  meta.publisher_id = config_.publisher_id;
+  meta.seq = seq;
+  meta.flags = flags;
+  const std::vector<std::uint8_t> wire = net::encode_batch({}, meta);
+  if (!net::send_all(socket_, wire.data(), wire.size())) {
+    send_failures_.fetch_add(1, std::memory_order_relaxed);
+    on_connection_lost();
+    return;
+  }
+  last_send_ = Clock::now();
+  bytes_sent_.fetch_add(wire.size(), std::memory_order_relaxed);
+}
+
+void FleetPublisher::heartbeat() {
+  if (!socket_.valid()) return;
+  send_control(net::kBatchFlagHeartbeat, 0);
+  if (socket_.valid()) {
+    heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
+    metrics_of().heartbeats.inc();
+  }
+}
+
+bool FleetPublisher::drain(Second deadline) {
+  const Clock::time_point until = Clock::now() + to_duration(deadline);
+  flush();
+  while (Clock::now() < until) {
+    if (!poll_acks()) on_connection_lost();
+    try_send_pending();
+    if (drained_.load(std::memory_order_relaxed)) break;
+    // Connect for the FIN even when there was nothing to (re)send: a
+    // resume-only run whose whole window was already acked still needs the
+    // server's positive "drained" confirmation to exit clean.
+    if (pending_.empty() && !fin_inflight_ && ensure_connected()) {
+      // FIN carries the highest allocated data seq (not a fresh one):
+      // "drained" means your cumulative ack reached it.  Idempotent, so a
+      // reconnect simply resends it.
+      send_control(net::kBatchFlagFin, next_seq_ - 1);
+      if (socket_.valid()) {
+        fin_inflight_ = true;
+        fin_sent_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!drained_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  if (spill_) spill_->sync();
+  return drained_.load(std::memory_order_relaxed);
 }
 
 void FleetPublisher::disconnect() {
@@ -232,10 +546,29 @@ FleetPublisher::Stats FleetPublisher::stats() const {
       queue_dropped_batches_.load(std::memory_order_relaxed);
   s.queue_dropped_frames =
       queue_dropped_frames_.load(std::memory_order_relaxed);
+  s.acks_received = acks_received_.load(std::memory_order_relaxed);
+  s.frames_acked = frames_acked_.load(std::memory_order_relaxed);
+  s.batches_acked = batches_acked_.load(std::memory_order_relaxed);
+  s.retransmitted_batches =
+      retransmitted_batches_.load(std::memory_order_relaxed);
+  s.retransmitted_frames =
+      retransmitted_frames_.load(std::memory_order_relaxed);
+  s.nacks_received = nacks_received_.load(std::memory_order_relaxed);
+  s.heartbeats_sent = heartbeats_sent_.load(std::memory_order_relaxed);
+  s.fin_sent = fin_sent_.load(std::memory_order_relaxed);
+  s.spilled_batches = spilled_batches_.load(std::memory_order_relaxed);
+  s.resumed_batches = resumed_batches_.load(std::memory_order_relaxed);
+  s.resumed_frames = resumed_frames_.load(std::memory_order_relaxed);
+  s.unacked_batches = unacked_depth_.load(std::memory_order_relaxed);
   s.hook_stalls = hook_stalls_.load(std::memory_order_relaxed);
   s.hook_truncated_batches = hook_truncated_.load(std::memory_order_relaxed);
   s.hook_dropped_connections = hook_dropped_.load(std::memory_order_relaxed);
+  s.hook_acks_dropped =
+      hook_acks_dropped_.load(std::memory_order_relaxed);
+  s.hook_duplicated_batches =
+      hook_duplicated_.load(std::memory_order_relaxed);
   s.connected_once = connected_once_.load(std::memory_order_relaxed);
+  s.drained = drained_.load(std::memory_order_relaxed);
   return s;
 }
 

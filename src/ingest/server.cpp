@@ -24,6 +24,10 @@ struct ServerMetrics {
   obs::Counter ring_drops = obs::counter("tsvpt_ingest_ring_drops_total");
   obs::Counter protocol_errors =
       obs::counter("tsvpt_ingest_protocol_errors_total");
+  obs::Counter acks = obs::counter("tsvpt_ingest_acks_total");
+  obs::Counter duplicates = obs::counter("tsvpt_ingest_duplicates_total");
+  obs::Counter heartbeats = obs::counter("tsvpt_ingest_heartbeats_total");
+  obs::Counter reaped = obs::counter("tsvpt_ingest_reaped_total");
 };
 
 [[nodiscard]] ServerMetrics& metrics_of() {
@@ -166,10 +170,93 @@ void IngestServer::route_frame(std::vector<std::uint8_t>&& wire) {
   }
 }
 
+bool IngestServer::handle_batch_info(Connection& conn,
+                                     const net::BatchInfo& info) {
+  if (info.publisher_id != 0) conn.publisher_id = info.publisher_id;
+  auto [it, inserted] = peers_.try_emplace(info.publisher_id);
+  if (inserted && info.publisher_id != 0) {
+    publishers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Peer& peer = it->second;
+  conn.ack_pending = true;
+
+  if (info.heartbeat()) {
+    heartbeats_.fetch_add(1, std::memory_order_relaxed);
+    metrics_of().heartbeats.add(1);
+    return false;  // zero frames by construction; nothing to emit
+  }
+  if (info.fin()) {
+    // FIN names the highest data seq this publisher ever allocated; it
+    // consumes no sequence itself, so a resend after reconnect is a no-op.
+    peer.has_fin = true;
+    peer.fin_seq = info.seq;
+    return false;
+  }
+  if (info.seq == 0) return true;  // unsequenced producer: no dedup possible
+  if (info.seq <= peer.acked) {
+    // Retransmit of something already ingested (the ack that retired it
+    // raced the publisher's resend, or a crashed publisher replayed its
+    // spill log past a stale marker).  Veto the frames; the cumulative ack
+    // below tells the sender to move on.
+    duplicate_batches_.fetch_add(1, std::memory_order_relaxed);
+    duplicate_frames_.fetch_add(info.frame_count, std::memory_order_relaxed);
+    metrics_of().duplicates.add(1);
+    return false;
+  }
+  if (info.seq > peer.acked + 1) {
+    // The publisher skipped seqs on purpose (drop-oldest overflow or a
+    // deliberately-abandoned truncated batch).  Advance past the hole —
+    // the frame loss is already visible downstream as sequence gaps.
+    batch_gaps_.fetch_add(info.seq - peer.acked - 1,
+                          std::memory_order_relaxed);
+  }
+  peer.acked = info.seq;
+  return true;
+}
+
+void IngestServer::queue_ack(Connection& conn) {
+  conn.ack_pending = false;
+  const auto it = peers_.find(conn.publisher_id);
+  if (it == peers_.end()) return;
+  Peer& peer = it->second;
+  net::AckFrame ack;
+  ack.ack_seq = peer.acked;
+  if (peer.has_fin && peer.acked >= peer.fin_seq) {
+    ack.flags |= net::kAckFlagDrained;
+    if (!peer.drain_counted) {
+      peer.drain_counted = true;
+      fin_drains_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  net::append_ack(conn.outbox, ack);
+  acks_sent_.fetch_add(1, std::memory_order_relaxed);
+  metrics_of().acks.add(1);
+}
+
+bool IngestServer::flush_outbox(Connection& conn) {
+  while (!conn.outbox.empty()) {
+    const net::IoResult r = net::send_some(conn.socket, conn.outbox.data(),
+                                           conn.outbox.size());
+    if (r.status == net::IoStatus::kOk) {
+      conn.outbox.erase(conn.outbox.begin(),
+                        conn.outbox.begin() +
+                            static_cast<std::ptrdiff_t>(r.bytes));
+      continue;
+    }
+    if (r.status == net::IoStatus::kWouldBlock) return true;  // POLLOUT waits
+    return false;
+  }
+  return true;
+}
+
 void IngestServer::run() {
   std::vector<Connection> connections;
   std::vector<pollfd> fds;
   std::vector<std::uint8_t> chunk(kRecvChunk);
+  const bool reap = config_.idle_conn_timeout.value() > 0.0;
+  const auto reap_after = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(config_.idle_conn_timeout.value()));
 
   const auto close_connection = [&](std::size_t i, bool protocol_error) {
     if (protocol_error) {
@@ -191,23 +278,27 @@ void IngestServer::run() {
     fds.clear();
     fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
     for (const Connection& conn : connections) {
-      fds.push_back(pollfd{conn.socket.fd(), POLLIN, 0});
+      const short events =
+          static_cast<short>(POLLIN | (conn.outbox.empty() ? 0 : POLLOUT));
+      fds.push_back(pollfd{conn.socket.fd(), events, 0});
     }
     const int ready =
         ::poll(fds.data(), static_cast<nfds_t>(fds.size()), kPollTimeoutMs);
-    if (ready <= 0) continue;
     // Connections this round's pollfds actually describe: the accept loop
     // below grows `connections`, and those new sockets have no pollfd
     // until the next iteration.
     const std::size_t polled = connections.size();
 
-    if ((fds[0].revents & POLLIN) != 0) {
+    if (ready > 0 && (fds[0].revents & POLLIN) != 0) {
       for (;;) {
         net::Socket accepted = net::tcp_accept(listener_);
         if (!accepted.valid()) break;
         net::set_nonblocking(accepted, true);
         net::set_nodelay(accepted);
-        connections.push_back(Connection{std::move(accepted), {}});
+        Connection conn;
+        conn.socket = std::move(accepted);
+        conn.last_rx = std::chrono::steady_clock::now();
+        connections.push_back(std::move(conn));
         connections_total_.fetch_add(1, std::memory_order_relaxed);
         metrics_of().connections.add(1);
         open_connections_.store(connections.size(),
@@ -220,17 +311,40 @@ void IngestServer::run() {
     // indices of connections not yet visited this round.
     for (std::size_t i = polled; i-- > 0;) {
       const pollfd& pfd = fds[i + 1];
-      if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       Connection& conn = connections[i];
+
+      if (reap && std::chrono::steady_clock::now() - conn.last_rx >
+                      reap_after) {
+        reaped_connections_.fetch_add(1, std::memory_order_relaxed);
+        metrics_of().reaped.add(1);
+        close_connection(i, false);
+        continue;
+      }
+      if (ready <= 0) continue;
+
+      if ((pfd.revents & POLLOUT) != 0 && !flush_outbox(conn)) {
+        close_connection(i, false);
+        continue;
+      }
+      if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       bool closed = false;
       bool errored = false;
+      net::BatchStatus error_status = net::BatchStatus::kOk;
       for (;;) {
         const net::IoResult r =
             net::recv_some(conn.socket, chunk.data(), chunk.size());
         if (r.status == net::IoStatus::kOk) {
           touch_activity();
+          conn.last_rx = std::chrono::steady_clock::now();
           bytes_total_.fetch_add(r.bytes, std::memory_order_relaxed);
           metrics_of().bytes.add(r.bytes);
+          // Re-bound the veto seam every chunk: `conn` is a reference into
+          // a vector that reallocates as connections come and go, so a
+          // captured reference must never outlive this iteration.
+          conn.parser.set_batch_handler(
+              [this, &conn](const net::BatchInfo& info) {
+                return handle_batch_info(conn, info);
+              });
           const std::uint64_t before = conn.parser.batches();
           const net::BatchStatus status = conn.parser.consume(
               chunk.data(), r.bytes, [this](std::vector<std::uint8_t>&& f) {
@@ -241,6 +355,7 @@ void IngestServer::run() {
           metrics_of().batches.add(conn.parser.batches() - before);
           if (status != net::BatchStatus::kOk) {
             errored = true;
+            error_status = status;
             break;
           }
           continue;
@@ -249,9 +364,22 @@ void IngestServer::run() {
         closed = true;  // kClosed or kError: either way the peer is gone
         break;
       }
+      if (conn.ack_pending && !closed && !errored) queue_ack(conn);
       if (errored) {
+        // Best-effort nack so a live-but-buggy publisher learns why it is
+        // about to lose the connection; a full kernel buffer just skips it.
+        net::AckFrame nack;
+        nack.flags = net::kAckFlagNack;
+        nack.nack = static_cast<std::uint32_t>(error_status);
+        const auto peer_it = peers_.find(conn.publisher_id);
+        if (peer_it != peers_.end()) nack.ack_seq = peer_it->second.acked;
+        const std::vector<std::uint8_t> wire = net::encode_ack(nack);
+        (void)net::send_some(conn.socket, wire.data(), wire.size());
+        nacks_sent_.fetch_add(1, std::memory_order_relaxed);
         close_connection(i, true);
       } else if (closed) {
+        close_connection(i, false);
+      } else if (!flush_outbox(conn)) {
         close_connection(i, false);
       }
     }
@@ -278,6 +406,16 @@ IngestServer::Stats IngestServer::stats() const {
   s.unroutable_frames = unroutable_frames_.load(std::memory_order_relaxed);
   s.store_decode_errors =
       store_decode_errors_.load(std::memory_order_relaxed);
+  s.acks_sent = acks_sent_.load(std::memory_order_relaxed);
+  s.nacks_sent = nacks_sent_.load(std::memory_order_relaxed);
+  s.duplicate_batches = duplicate_batches_.load(std::memory_order_relaxed);
+  s.duplicate_frames = duplicate_frames_.load(std::memory_order_relaxed);
+  s.heartbeats = heartbeats_.load(std::memory_order_relaxed);
+  s.batch_gaps = batch_gaps_.load(std::memory_order_relaxed);
+  s.fin_drains = fin_drains_.load(std::memory_order_relaxed);
+  s.reaped_connections =
+      reaped_connections_.load(std::memory_order_relaxed);
+  s.publishers = publishers_.load(std::memory_order_relaxed);
   s.open_connections = open_connections_.load(std::memory_order_relaxed);
   s.frames_per_shard.reserve(frames_per_shard_.size());
   for (const auto& counter : frames_per_shard_) {

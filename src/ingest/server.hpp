@@ -6,6 +6,19 @@
 // single-process fleet path uses) draining its ring on its own thread, so
 // the scale-out layer reuses the alerting/stats machinery verbatim.
 //
+// Delivery protocol (server half): every validated TSVB v2 batch advances a
+// per-publisher cumulative position keyed on the batch header's publisher
+// id — a peer table that outlives individual connections, so a publisher
+// that reconnects (or is killed and restarted against its spill queue) and
+// retransmits its unacked window has the already-ingested copies vetoed
+// before any frame is emitted (dedup makes at-least-once delivery look
+// exactly-once downstream).  After each consumed chunk the server pushes a
+// TSVA cumulative ack back on the same connection; a framing violation gets
+// a best-effort nack before the close.  Zero-frame heartbeat batches
+// refresh liveness without touching sequencing, and a FIN batch naming the
+// publisher's highest seq turns into a drained ack once the cumulative
+// position covers it — the graceful-drain handshake.
+//
 // Partitioning invariant: shard_of() depends only on (stack_id,
 // shard_count), so every frame of a stack lands on the same shard and that
 // shard's per-stack statistics are bit-identical to a single-process run —
@@ -20,7 +33,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -45,6 +60,9 @@ class IngestServer {
     std::size_t shard_count = 1;
     /// Capacity of each shard's drop-oldest frame ring.
     std::size_t shard_ring_capacity = 4096;
+    /// Reap a connection that has been silent this long (publishers send
+    /// heartbeats to stay alive when idle).  0 disables.
+    Second idle_conn_timeout{0.0};
     /// Template for every shard's Aggregator (alert thresholds etc.).  Each
     /// shard records its alerts internally for the cross-shard merge.
     telemetry::Aggregator::Config aggregator;
@@ -101,6 +119,23 @@ class IngestServer {
     std::uint64_t unroutable_frames = 0;
     /// Store-sink decodes that failed (frame still counted + routed).
     std::uint64_t store_decode_errors = 0;
+    /// Delivery-protocol bookkeeping.
+    std::uint64_t acks_sent = 0;
+    std::uint64_t nacks_sent = 0;
+    /// Retransmitted batches vetoed by per-publisher dedup (and the frames
+    /// inside them, which were never emitted downstream).
+    std::uint64_t duplicate_batches = 0;
+    std::uint64_t duplicate_frames = 0;
+    std::uint64_t heartbeats = 0;
+    /// Sequence numbers skipped between accepted batches (publisher-side
+    /// deliberate loss, e.g. drop-oldest overflow or a truncated send).
+    std::uint64_t batch_gaps = 0;
+    /// FIN handshakes completed (drained ack emitted).
+    std::uint64_t fin_drains = 0;
+    /// Connections closed by the idle timeout.
+    std::uint64_t reaped_connections = 0;
+    /// Distinct publisher ids ever seen.
+    std::uint64_t publishers = 0;
     std::size_t open_connections = 0;
     std::vector<std::uint64_t> frames_per_shard;
   };
@@ -138,12 +173,36 @@ class IngestServer {
   struct Connection {
     net::Socket socket;
     net::BatchParser parser;
+    /// Publisher id from the last sequenced/control batch (0 = none yet).
+    std::uint64_t publisher_id = 0;
+    /// Ack bytes not yet accepted by the kernel (flushed opportunistically,
+    /// then via POLLOUT).
+    std::vector<std::uint8_t> outbox;
+    /// An ack is owed after the current consume chunk.
+    bool ack_pending = false;
+    std::chrono::steady_clock::time_point last_rx;
+  };
+
+  /// Per-publisher delivery state; outlives connections (IO thread only).
+  struct Peer {
+    std::uint64_t acked = 0;
+    std::uint64_t fin_seq = 0;
+    bool has_fin = false;
+    bool drain_counted = false;
   };
 
   void run();
   void route_frame(std::vector<std::uint8_t>&& wire);
   [[nodiscard]] std::size_t live_shard_for(std::uint32_t stack_id) const;
   void touch_activity();
+  /// BatchParser veto seam: dedup/heartbeat/FIN handling.  True = emit the
+  /// batch's frames downstream.
+  [[nodiscard]] bool handle_batch_info(Connection& conn,
+                                       const net::BatchInfo& info);
+  /// Append the owed cumulative ack for conn's publisher to its outbox.
+  void queue_ack(Connection& conn);
+  /// Push outbox bytes to the kernel; false when the connection died.
+  [[nodiscard]] bool flush_outbox(Connection& conn);
 
   Config config_;
   net::Socket listener_;
@@ -151,6 +210,7 @@ class IngestServer {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<store::StoreWriter> store_;
   std::thread io_thread_;
+  std::map<std::uint64_t, Peer> peers_;
 
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> running_{false};
@@ -168,6 +228,15 @@ class IngestServer {
   std::atomic<std::uint64_t> ring_drops_{0};
   std::atomic<std::uint64_t> unroutable_frames_{0};
   std::atomic<std::uint64_t> store_decode_errors_{0};
+  std::atomic<std::uint64_t> acks_sent_{0};
+  std::atomic<std::uint64_t> nacks_sent_{0};
+  std::atomic<std::uint64_t> duplicate_batches_{0};
+  std::atomic<std::uint64_t> duplicate_frames_{0};
+  std::atomic<std::uint64_t> heartbeats_{0};
+  std::atomic<std::uint64_t> batch_gaps_{0};
+  std::atomic<std::uint64_t> fin_drains_{0};
+  std::atomic<std::uint64_t> reaped_connections_{0};
+  std::atomic<std::uint64_t> publishers_{0};
   std::atomic<std::size_t> open_connections_{0};
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> frames_per_shard_;
 };

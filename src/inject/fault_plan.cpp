@@ -20,6 +20,9 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kNetTruncate: return "net-truncate";
     case FaultKind::kNetDrop: return "net-drop";
     case FaultKind::kNetStall: return "net-stall";
+    case FaultKind::kAckDrop: return "ack-drop";
+    case FaultKind::kAckDelay: return "ack-delay";
+    case FaultKind::kDupBatch: return "dup-batch";
   }
   return "unknown";
 }
@@ -175,6 +178,19 @@ FaultPlan FaultPlan::random_campaign(std::uint64_t seed,
           pick_stack(e);
           pick_window(e, 2, 4);
           e.magnitude = rng.uniform(0.002, 0.010);
+          break;
+        case FaultKind::kAckDrop:
+          pick_stack(e);
+          pick_window(e, 2, 5);
+          break;
+        case FaultKind::kAckDelay:
+          pick_stack(e);
+          pick_window(e, 2, 4);
+          e.magnitude = rng.uniform(0.002, 0.010);
+          break;
+        case FaultKind::kDupBatch:
+          pick_stack(e);
+          pick_window(e, 1, 3);
           break;
       }
       plan.add(e);

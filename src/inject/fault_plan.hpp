@@ -65,13 +65,25 @@ enum class FaultKind {
   /// Slow-consumer stall: the sender sleeps before each batch in the
   /// window.  magnitude = seconds of stall per batch.
   kNetStall,
+  /// Server->publisher ack frames silently discarded for batches in the
+  /// window: the publisher's unacked window stops advancing and a later
+  /// reconnect retransmits batches the server already has (exercising
+  /// dedup).  Windows are batch indexes of the *acked* seq.
+  kAckDrop,
+  /// Ack frames delivered late.  magnitude = seconds of delay per ack.
+  kAckDelay,
+  /// A batch in the window is sent twice back-to-back on the same
+  /// connection; the server's dedup must veto the copy.
+  kDupBatch,
 };
-inline constexpr std::size_t kFaultKindCount = 12;
+inline constexpr std::size_t kFaultKindCount = 15;
 
 /// True for the kinds NetChaos executes on the transport (batch windows).
 [[nodiscard]] constexpr bool is_net_fault(FaultKind kind) {
   return kind == FaultKind::kNetCorrupt || kind == FaultKind::kNetTruncate ||
-         kind == FaultKind::kNetDrop || kind == FaultKind::kNetStall;
+         kind == FaultKind::kNetDrop || kind == FaultKind::kNetStall ||
+         kind == FaultKind::kAckDrop || kind == FaultKind::kAckDelay ||
+         kind == FaultKind::kDupBatch;
 }
 
 [[nodiscard]] const char* to_string(FaultKind kind);

@@ -115,6 +115,9 @@ void ChaosInjector::before_scan(std::size_t stack, std::uint64_t scan,
       case FaultKind::kNetTruncate:
       case FaultKind::kNetDrop:
       case FaultKind::kNetStall:
+      case FaultKind::kAckDrop:
+      case FaultKind::kAckDelay:
+      case FaultKind::kDupBatch:
         break;  // transport faults: executed by NetChaos, not here
     }
   }
@@ -176,8 +179,17 @@ bool ChaosInjector::before_publish(std::size_t stack, std::uint64_t scan,
 
 NetChaos::NetChaos(FaultPlan plan) : plan_(std::move(plan)) {
   for (const FaultEvent& e : plan_.events()) {
-    if (is_net_fault(e.kind)) slots_.push_back(Slot{e, false, ~0ull});
+    if (is_net_fault(e.kind)) slots_.push_back(Slot{e, false, {}});
   }
+}
+
+bool NetChaos::Slot::first_fire(std::uint64_t batch_index) {
+  if (std::find(fired_indexes.begin(), fired_indexes.end(), batch_index) !=
+      fired_indexes.end()) {
+    return false;
+  }
+  fired_indexes.push_back(batch_index);
+  return true;
 }
 
 net::BatchAction NetChaos::on_batch(std::uint64_t batch_index,
@@ -191,9 +203,8 @@ net::BatchAction NetChaos::on_batch(std::uint64_t batch_index,
         // Target the trailing inner frame's CRC bytes: the framing layer
         // stays parseable, the frame fails its own CRC at the aggregator.
         if (bytes.size() > net::kBatchHeaderSize + 8 &&
-            slot.last_corrupted != batch_index) {
+            slot.first_fire(batch_index)) {
           bytes[bytes.size() - 1 - (batch_index % 4)] ^= 0xFFu;
-          slot.last_corrupted = batch_index;
           stats_.batches_corrupted += 1;
           record_fault(e.kind, e.stack);
         }
@@ -216,12 +227,48 @@ net::BatchAction NetChaos::on_batch(std::uint64_t batch_index,
         }
         break;
       case FaultKind::kNetStall:
-        action.stall_seconds += e.magnitude;
-        stats_.stalls_injected += 1;
+        if (slot.first_fire(batch_index)) {
+          action.stall_seconds += e.magnitude;
+          stats_.stalls_injected += 1;
+          record_fault(e.kind, e.stack);
+        }
+        break;
+      case FaultKind::kDupBatch:
+        if (slot.first_fire(batch_index)) {
+          action.duplicate = true;
+          stats_.batches_duplicated += 1;
+          record_fault(e.kind, e.stack);
+        }
+        break;
+      default:
+        break;  // sensor/scan kinds + ack kinds: not batch-side
+    }
+  }
+  return action;
+}
+
+net::AckAction NetChaos::on_ack(const net::AckFrame& ack) {
+  net::AckAction action;
+  for (Slot& slot : slots_) {
+    const FaultEvent& e = slot.event;
+    // Ack windows index the *acked* cumulative seq, so "drop acks covering
+    // batches 2..4" reads the same way batch windows do.  Ack cadence is
+    // timing-dependent (the server acks per consumed chunk), so these fire
+    // per ack, not once — tests assert on >= 1, not exact counts.
+    if (!e.active_at(ack.ack_seq)) continue;
+    switch (e.kind) {
+      case FaultKind::kAckDrop:
+        action.drop = true;
+        stats_.acks_dropped += 1;
+        record_fault(e.kind, e.stack);
+        break;
+      case FaultKind::kAckDelay:
+        action.delay_seconds += e.magnitude;
+        stats_.acks_delayed += 1;
         record_fault(e.kind, e.stack);
         break;
       default:
-        break;  // sensor/scan kinds: ChaosInjector's job
+        break;
     }
   }
   return action;

@@ -95,12 +95,24 @@ class ChaosInjector final : public telemetry::ScanInterceptor {
 ///   kNetDrop     -> drops the connection once, after a clean send
 ///   kNetStall    -> sleeps `magnitude` seconds before each batch sent in
 ///                   the window (slow-consumer backpressure)
+///   kAckDrop     -> discards server acks whose cumulative seq falls in the
+///                   window (the publisher's unacked window stops advancing
+///                   and a reconnect retransmits already-ingested batches)
+///   kAckDelay    -> delivers acks in the window `magnitude` seconds late
+///   kDupBatch    -> sends a batch in the window twice back-to-back (the
+///                   server's dedup must veto the copy)
+///
+/// Corrupt/stall/dup fire at most once per batch index: at-least-once
+/// delivery re-offers a retransmitted batch to the hook under the same
+/// index, and re-flipping the same byte would repair the corruption (and
+/// re-stalling would break replay determinism).
 class NetChaos final : public net::TransportHook {
  public:
   explicit NetChaos(FaultPlan plan);
 
   net::BatchAction on_batch(std::uint64_t batch_index,
                             std::vector<std::uint8_t>& bytes) override;
+  net::AckAction on_ack(const net::AckFrame& ack) override;
 
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 
@@ -109,6 +121,9 @@ class NetChaos final : public net::TransportHook {
     std::uint64_t batches_truncated = 0;
     std::uint64_t connections_dropped = 0;
     std::uint64_t stalls_injected = 0;
+    std::uint64_t acks_dropped = 0;
+    std::uint64_t acks_delayed = 0;
+    std::uint64_t batches_duplicated = 0;
   };
   /// Plain counters, updated on the sending thread; read after the
   /// publisher stops (or between manual pumps).
@@ -119,9 +134,12 @@ class NetChaos final : public net::TransportHook {
     FaultEvent event;
     /// One-shot latch (kNetDrop fires once per event).
     bool fired = false;
-    /// Last batch this slot corrupted — a retransmitted batch is offered to
-    /// the hook again, and flipping the same byte twice would repair it.
-    std::uint64_t last_corrupted = ~0ull;
+    /// Batch indexes this slot already fired on (once-per-index kinds);
+    /// windows are a handful of indexes, so linear scan is fine.
+    std::vector<std::uint64_t> fired_indexes;
+
+    /// True exactly once per batch index.
+    [[nodiscard]] bool first_fire(std::uint64_t batch_index);
   };
 
   FaultPlan plan_;

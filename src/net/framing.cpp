@@ -10,6 +10,7 @@ namespace {
 
 // Header CRC covers magic..payload_bytes (everything before the CRC field).
 constexpr std::size_t kCrcCoverage = kBatchHeaderSize - 4;
+constexpr std::size_t kAckCrcCoverage = kAckFrameSize - 4;
 
 // Keep the consumed prefix from growing without bound on long-lived
 // connections: once it passes this, shift the live tail to the front.
@@ -29,6 +30,16 @@ const char* to_string(BatchStatus status) {
   return "unknown";
 }
 
+const char* to_string(AckStatus status) {
+  switch (status) {
+    case AckStatus::kOk: return "ok";
+    case AckStatus::kBadMagic: return "bad-magic";
+    case AckStatus::kBadVersion: return "bad-version";
+    case AckStatus::kBadCrc: return "bad-crc";
+  }
+  return "unknown";
+}
+
 std::size_t batch_wire_size(
     const std::vector<std::vector<std::uint8_t>>& frames) {
   std::size_t payload = 0;
@@ -37,16 +48,20 @@ std::size_t batch_wire_size(
 }
 
 std::vector<std::uint8_t> encode_batch(
-    const std::vector<std::vector<std::uint8_t>>& frames) {
+    const std::vector<std::vector<std::uint8_t>>& frames,
+    const BatchMeta& meta) {
   using telemetry::put_u16;
   using telemetry::put_u32;
+  using telemetry::put_u64;
   std::vector<std::uint8_t> out;
   out.reserve(batch_wire_size(frames));
   std::size_t payload = 0;
   for (const auto& f : frames) payload += 4 + f.size();
   put_u32(out, kBatchMagic);
   put_u16(out, kBatchVersion);
-  put_u16(out, 0);  // flags: reserved
+  put_u16(out, meta.flags);
+  put_u64(out, meta.publisher_id);
+  put_u64(out, meta.seq);
   put_u32(out, static_cast<std::uint32_t>(frames.size()));
   put_u32(out, static_cast<std::uint32_t>(payload));
   put_u32(out, telemetry::crc32(out.data(), kCrcCoverage));
@@ -75,54 +90,127 @@ BatchStatus BatchParser::consume(const std::uint8_t* data, std::size_t size,
       status_ = BatchStatus::kBadVersion;
       return status_;
     }
-    const std::uint32_t frame_count = telemetry::get_u32(head + 8);
-    const std::uint32_t payload_bytes = telemetry::get_u32(head + 12);
-    if (telemetry::get_u32(head + 16) !=
+    BatchInfo info;
+    info.flags = telemetry::get_u16(head + 6);
+    info.publisher_id = telemetry::get_u64(head + 8);
+    info.seq = telemetry::get_u64(head + 16);
+    info.frame_count = telemetry::get_u32(head + 24);
+    info.payload_bytes = telemetry::get_u32(head + 28);
+    if (telemetry::get_u32(head + 32) !=
         telemetry::crc32(head, kCrcCoverage)) {
       status_ = BatchStatus::kBadHeaderCrc;
       return status_;
     }
-    if (payload_bytes > kMaxBatchPayload || frame_count > kMaxBatchFrames) {
+    if (info.payload_bytes > kMaxBatchPayload ||
+        info.frame_count > kMaxBatchFrames) {
       status_ = BatchStatus::kOversized;
       return status_;
     }
-    if (available < kBatchHeaderSize + payload_bytes) break;  // partial batch
+    if (available < kBatchHeaderSize + info.payload_bytes) break;  // partial
 
     // Validate every inner length before emitting anything, so a batch whose
     // lengths disagree with payload_bytes emits zero frames.
     const std::uint8_t* payload = head + kBatchHeaderSize;
     std::size_t cursor = 0;
-    for (std::uint32_t i = 0; i < frame_count; ++i) {
-      if (payload_bytes - cursor < 4) {
+    for (std::uint32_t i = 0; i < info.frame_count; ++i) {
+      if (info.payload_bytes - cursor < 4) {
         status_ = BatchStatus::kBadFrameBounds;
         return status_;
       }
       const std::uint32_t len = telemetry::get_u32(payload + cursor);
       cursor += 4;
-      if (payload_bytes - cursor < len) {
+      if (info.payload_bytes - cursor < len) {
         status_ = BatchStatus::kBadFrameBounds;
         return status_;
       }
       cursor += len;
     }
-    if (cursor != payload_bytes) {
+    if (cursor != info.payload_bytes) {
       status_ = BatchStatus::kBadFrameBounds;
       return status_;
     }
 
-    cursor = 0;
-    for (std::uint32_t i = 0; i < frame_count; ++i) {
-      const std::uint32_t len = telemetry::get_u32(payload + cursor);
-      cursor += 4;
-      on_frame(std::vector<std::uint8_t>(payload + cursor,
-                                         payload + cursor + len));
-      cursor += len;
+    // The veto seam sees only fully validated batches, so a dedup decision
+    // can never be made on bytes that later turn out to be torn.
+    const bool emit = !on_batch_ || on_batch_(info);
+    if (emit) {
+      cursor = 0;
+      for (std::uint32_t i = 0; i < info.frame_count; ++i) {
+        const std::uint32_t len = telemetry::get_u32(payload + cursor);
+        cursor += 4;
+        on_frame(std::vector<std::uint8_t>(payload + cursor,
+                                           payload + cursor + len));
+        cursor += len;
+      }
+      frames_ += info.frame_count;
+    } else {
+      frames_skipped_ += info.frame_count;
     }
 
-    pos_ += kBatchHeaderSize + payload_bytes;
+    pos_ += kBatchHeaderSize + info.payload_bytes;
     batches_ += 1;
-    frames_ += frame_count;
-    bytes_ += kBatchHeaderSize + payload_bytes;
+    bytes_ += kBatchHeaderSize + info.payload_bytes;
+  }
+
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  } else if (pos_ > kCompactThreshold) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return status_;
+}
+
+void append_ack(std::vector<std::uint8_t>& out, const AckFrame& ack) {
+  using telemetry::put_u16;
+  using telemetry::put_u32;
+  using telemetry::put_u64;
+  const std::size_t base = out.size();
+  out.reserve(base + kAckFrameSize);
+  put_u32(out, kAckMagic);
+  put_u16(out, kAckVersion);
+  put_u16(out, ack.flags);
+  put_u64(out, ack.ack_seq);
+  put_u32(out, ack.nack);
+  put_u32(out, telemetry::crc32(out.data() + base, kAckCrcCoverage));
+}
+
+std::vector<std::uint8_t> encode_ack(const AckFrame& ack) {
+  std::vector<std::uint8_t> out;
+  append_ack(out, ack);
+  return out;
+}
+
+AckStatus AckParser::consume(const std::uint8_t* data, std::size_t size,
+                             const AckHandler& on_ack) {
+  if (status_ != AckStatus::kOk) return status_;
+  buffer_.insert(buffer_.end(), data, data + size);
+
+  for (;;) {
+    if (buffer_.size() - pos_ < kAckFrameSize) break;
+    const std::uint8_t* head = buffer_.data() + pos_;
+    if (telemetry::get_u32(head) != kAckMagic) {
+      status_ = AckStatus::kBadMagic;
+      return status_;
+    }
+    if (telemetry::get_u16(head + 4) != kAckVersion) {
+      status_ = AckStatus::kBadVersion;
+      return status_;
+    }
+    if (telemetry::get_u32(head + 20) !=
+        telemetry::crc32(head, kAckCrcCoverage)) {
+      status_ = AckStatus::kBadCrc;
+      return status_;
+    }
+    AckFrame ack;
+    ack.flags = telemetry::get_u16(head + 6);
+    ack.ack_seq = telemetry::get_u64(head + 8);
+    ack.nack = telemetry::get_u32(head + 16);
+    pos_ += kAckFrameSize;
+    acks_ += 1;
+    on_ack(ack);
   }
 
   if (pos_ == buffer_.size()) {

@@ -1,11 +1,21 @@
 // Batch framing for the fleet telemetry transport.  A TCP stream carries a
-// sequence of batches, each wrapping one or more v2 telemetry wire frames:
+// sequence of batches, each wrapping zero or more v2 telemetry wire frames:
 //
-//   [magic u32 "TSVB"] [version u16] [flags u16] [frame_count u32]
-//   [payload_bytes u32] [header_crc32 u32]          -- 20-byte header
+//   [magic u32 "TSVB"] [version u16 = 2] [flags u16]
+//   [publisher_id u64] [batch_seq u64]
+//   [frame_count u32] [payload_bytes u32] [header_crc32 u32]  -- 36 bytes
 //   payload: frame_count x { [len u32] [len bytes of v2 frame] }
 //
-// The header CRC covers the first 16 header bytes, so a corrupted or
+// Protocol v2 adds the delivery-guarantee fields: every data batch carries
+// its publisher's stable id and a per-publisher sequence number (starting at
+// 1), which the server acks cumulatively and dedups against, making
+// retransmission idempotent.  Flags mark the two zero-frame control batches:
+// kBatchFlagHeartbeat (keepalive from an idle publisher; carries no seq) and
+// kBatchFlagFin (drain handshake; batch_seq echoes the highest data seq the
+// publisher allocated, so the server can report "drained" once its
+// cumulative ack reaches it).
+//
+// The header CRC covers the first 32 header bytes, so a corrupted or
 // desynchronised stream is rejected before any length field is trusted.
 // Inner frames carry their own CRC (telemetry::decode verifies it), so a
 // payload byte flipped on the wire surfaces as a per-frame decode error at
@@ -18,12 +28,22 @@
 // sizes) poisons the parser: the connection cannot be trusted past that
 // point and must be dropped.  A partial batch at orderly disconnect is NOT
 // an error — a SIGKILL'd publisher must leave the server consistent, so the
-// tail is simply discarded.
+// tail is simply discarded.  An optional BatchHandler sees every validated
+// batch header before its frames are emitted and may veto emission (the
+// server's dedup seam: a retransmitted batch parses cleanly but its frames
+// are skipped).
+//
+// The reverse direction is the ack channel: the server answers accepted
+// batches with fixed-size TSVA frames carrying its cumulative ack (and, on
+// protocol error, a best-effort nack naming the BatchStatus).  AckParser is
+// the publisher-side incremental decoder with the same poison discipline.
 //
 // TransportHook is the chaos seam: the publisher offers every outgoing batch
 // to the hook, which may stall, truncate (cutting the connection mid-batch),
-// corrupt bytes in place, or drop the connection after a clean send.  It
-// lives here (not in inject/) so inject can depend on net without ingest.
+// corrupt bytes in place, duplicate the send, or drop the connection after a
+// clean send; incoming acks pass through on_ack, which may drop or delay
+// them.  It lives here (not in inject/) so inject can depend on net without
+// ingest.
 #pragma once
 
 #include <cstddef>
@@ -35,16 +55,33 @@
 namespace tsvpt::net {
 
 inline constexpr std::uint32_t kBatchMagic = 0x42565354u;  // "TSVB" LE
-inline constexpr std::uint16_t kBatchVersion = 1;
-inline constexpr std::size_t kBatchHeaderSize = 20;
+inline constexpr std::uint16_t kBatchVersion = 2;
+inline constexpr std::size_t kBatchHeaderSize = 36;
 /// Upper bounds a well-formed batch may claim; anything larger is treated as
 /// stream corruption rather than trusted as an allocation size.
 inline constexpr std::uint32_t kMaxBatchPayload = 64u << 20;
 inline constexpr std::uint32_t kMaxBatchFrames = 1u << 20;
 
+/// Zero-frame keepalive from an idle publisher; carries no sequence number.
+inline constexpr std::uint16_t kBatchFlagHeartbeat = 1u << 0;
+/// Drain handshake: "my highest allocated data seq is batch_seq; tell me
+/// when your cumulative ack reaches it."
+inline constexpr std::uint16_t kBatchFlagFin = 1u << 1;
+
+/// Per-batch delivery metadata stamped into the v2 header.  The defaults
+/// encode "anonymous best-effort publisher" so v1-era call sites that only
+/// pass frames still produce valid batches (seq 0 batches bypass dedup).
+struct BatchMeta {
+  std::uint64_t publisher_id = 0;
+  /// Data batch sequence, starting at 1; 0 = unsequenced (no ack/dedup).
+  std::uint64_t seq = 0;
+  std::uint16_t flags = 0;
+};
+
 /// Serialize `frames` (each an encoded v2 wire frame) into one batch.
 [[nodiscard]] std::vector<std::uint8_t> encode_batch(
-    const std::vector<std::vector<std::uint8_t>>& frames);
+    const std::vector<std::vector<std::uint8_t>>& frames,
+    const BatchMeta& meta = {});
 
 /// Bytes a batch of these frames occupies on the wire.
 [[nodiscard]] std::size_t batch_wire_size(
@@ -61,11 +98,34 @@ enum class BatchStatus : std::uint8_t {
 
 [[nodiscard]] const char* to_string(BatchStatus status);
 
+/// A validated batch header, surfaced to the BatchHandler before any of the
+/// batch's frames are emitted.
+struct BatchInfo {
+  std::uint64_t publisher_id = 0;
+  std::uint64_t seq = 0;
+  std::uint16_t flags = 0;
+  std::uint32_t frame_count = 0;
+  std::uint32_t payload_bytes = 0;
+
+  [[nodiscard]] bool heartbeat() const {
+    return (flags & kBatchFlagHeartbeat) != 0;
+  }
+  [[nodiscard]] bool fin() const { return (flags & kBatchFlagFin) != 0; }
+};
+
 /// Incremental batch stream decoder.  One instance per connection; any
 /// status other than kOk is sticky and the connection must be closed.
 class BatchParser {
  public:
   using FrameHandler = std::function<void(std::vector<std::uint8_t>&&)>;
+  /// Sees every validated batch before its frames; return false to skip
+  /// frame emission (the batch still counts in batches()/bytes()).
+  using BatchHandler = std::function<bool(const BatchInfo&)>;
+
+  /// Install the per-batch veto seam (dedup, heartbeat/FIN handling).
+  void set_batch_handler(BatchHandler handler) {
+    on_batch_ = std::move(handler);
+  }
 
   /// Feed `size` received bytes; `on_frame` is invoked once per completed
   /// inner frame, in stream order.  A batch's frames are only emitted after
@@ -84,15 +144,88 @@ class BatchParser {
   [[nodiscard]] std::uint64_t batches() const { return batches_; }
   [[nodiscard]] std::uint64_t frames() const { return frames_; }
   [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  /// Frames inside batches a BatchHandler vetoed (dedup skips).
+  [[nodiscard]] std::uint64_t frames_skipped() const {
+    return frames_skipped_;
+  }
 
  private:
   std::vector<std::uint8_t> buffer_;
   std::size_t pos_ = 0;  // consumed prefix of buffer_
   BatchStatus status_ = BatchStatus::kOk;
+  BatchHandler on_batch_;
   std::uint64_t batches_ = 0;
   std::uint64_t frames_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t frames_skipped_ = 0;
 };
+
+// --- server -> client ack channel ------------------------------------------
+
+inline constexpr std::uint32_t kAckMagic = 0x41565354u;  // "TSVA" LE
+inline constexpr std::uint16_t kAckVersion = 1;
+inline constexpr std::size_t kAckFrameSize = 24;
+
+/// The nack field carries a BatchStatus and the connection is being closed.
+inline constexpr std::uint16_t kAckFlagNack = 1u << 0;
+/// The publisher's FIN seq is covered by ack_seq: it may close cleanly.
+inline constexpr std::uint16_t kAckFlagDrained = 1u << 1;
+
+/// One fixed-size ack frame:
+///   [magic u32 "TSVA"] [version u16] [flags u16]
+///   [ack_seq u64] [nack u32] [crc32 u32 over the first 20 bytes]
+struct AckFrame {
+  std::uint16_t flags = 0;
+  /// Cumulative: the highest batch seq accepted from this publisher (0 =
+  /// none yet).  Everything at or below it is durably ingested or was
+  /// deliberately skipped by the publisher itself.
+  std::uint64_t ack_seq = 0;
+  /// BatchStatus (as u32) when kAckFlagNack is set; 0 otherwise.
+  std::uint32_t nack = 0;
+
+  [[nodiscard]] bool nacked() const { return (flags & kAckFlagNack) != 0; }
+  [[nodiscard]] bool drained() const {
+    return (flags & kAckFlagDrained) != 0;
+  }
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_ack(const AckFrame& ack);
+/// Append the encoded ack to `out` (the server's per-connection outbox).
+void append_ack(std::vector<std::uint8_t>& out, const AckFrame& ack);
+
+enum class AckStatus : std::uint8_t {
+  kOk,
+  kBadMagic,    // stream desynchronised or not an ack stream
+  kBadVersion,  // version this build does not speak
+  kBadCrc       // frame corrupted on the wire
+};
+
+[[nodiscard]] const char* to_string(AckStatus status);
+
+/// Incremental decoder for the server->client ack stream.  Same poison
+/// discipline as BatchParser: any non-kOk status is sticky and the
+/// connection must be dropped (retransmission after reconnect makes that
+/// safe under at-least-once delivery).
+class AckParser {
+ public:
+  using AckHandler = std::function<void(const AckFrame&)>;
+
+  AckStatus consume(const std::uint8_t* data, std::size_t size,
+                    const AckHandler& on_ack);
+
+  [[nodiscard]] bool failed() const { return status_ != AckStatus::kOk; }
+  [[nodiscard]] AckStatus status() const { return status_; }
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size() - pos_; }
+  [[nodiscard]] std::uint64_t acks() const { return acks_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;
+  AckStatus status_ = AckStatus::kOk;
+  std::uint64_t acks_ = 0;
+};
+
+// --- chaos seam -------------------------------------------------------------
 
 inline constexpr std::size_t kNoTruncate =
     std::numeric_limits<std::size_t>::max();
@@ -103,15 +236,30 @@ struct BatchAction {
   std::size_t truncate_to = kNoTruncate;  // send only this many bytes, then
                                           // cut the connection mid-batch
   bool drop_connection = false;        // close after a clean send
+  /// Send the batch twice back to back (the server's dedup must drop the
+  /// second copy; only at-least-once semantics make this survivable).
+  bool duplicate = false;
 };
 
-/// Publisher-side fault seam.  Called once per send attempt from the sending
-/// thread; `bytes` may be mutated in place to model wire corruption.
+/// What the chaos hook wants done to one incoming ack frame.
+struct AckAction {
+  bool drop = false;          // swallow the ack (publisher retransmits later)
+  double delay_seconds = 0.0; // sleep before delivering it
+};
+
+/// Publisher-side fault seam.  on_batch is called once per send attempt from
+/// the sending thread; `bytes` may be mutated in place to model wire
+/// corruption.  on_ack is called once per decoded ack frame before the
+/// publisher's window advances; the default passes acks through untouched.
 class TransportHook {
  public:
   virtual ~TransportHook() = default;
   virtual BatchAction on_batch(std::uint64_t batch_index,
                                std::vector<std::uint8_t>& bytes) = 0;
+  virtual AckAction on_ack(const AckFrame& ack) {
+    (void)ack;
+    return {};
+  }
 };
 
 }  // namespace tsvpt::net

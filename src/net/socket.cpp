@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -150,7 +151,15 @@ bool send_all(const Socket& socket, const std::uint8_t* data,
       sent += r.bytes;
       continue;
     }
-    if (r.status == IoStatus::kWouldBlock) continue;  // blocking socket: rare
+    if (r.status == IoStatus::kWouldBlock) {
+      // Non-blocking socket with a full kernel buffer: wait for writability
+      // instead of spinning.  A short timeout keeps a wedged peer from
+      // stalling the caller forever — the loop re-checks and the publisher's
+      // own deadlines bound the total wait.
+      pollfd pfd{socket.fd(), POLLOUT, 0};
+      ::poll(&pfd, 1, 50);
+      continue;
+    }
     return false;
   }
   return true;

@@ -178,12 +178,15 @@ TEST(NetFraming, TruncatedBatchEmitsNothingAndIsNotAnError) {
 TEST(NetFraming, OversizedClaimsRejected) {
   using telemetry::put_u16;
   using telemetry::put_u32;
+  using telemetry::put_u64;
   const auto make_header = [](std::uint32_t frame_count,
                               std::uint32_t payload_bytes) {
     std::vector<std::uint8_t> h;
     put_u32(h, kBatchMagic);
     put_u16(h, kBatchVersion);
     put_u16(h, 0);
+    put_u64(h, 1);  // publisher id
+    put_u64(h, 1);  // batch seq
     put_u32(h, frame_count);
     put_u32(h, payload_bytes);
     put_u32(h, telemetry::crc32(h.data(), h.size()));
@@ -220,6 +223,120 @@ TEST(NetFraming, InconsistentFrameLengthsRejected) {
                            }),
             BatchStatus::kBadFrameBounds);
   EXPECT_EQ(emitted, 0u);
+}
+
+TEST(NetFraming, BatchMetaRoundTrips) {
+  const auto frames = sample_frames(3);
+  BatchMeta meta;
+  meta.publisher_id = 0xFEEDFACEDEADBEEFull;
+  meta.seq = 42;
+  meta.flags = kBatchFlagFin;
+  const std::vector<std::uint8_t> wire = encode_batch(frames, meta);
+  BatchParser parser;
+  std::size_t seen = 0;
+  parser.set_batch_handler([&](const BatchInfo& info) {
+    EXPECT_EQ(info.publisher_id, meta.publisher_id);
+    EXPECT_EQ(info.seq, meta.seq);
+    EXPECT_TRUE(info.fin());
+    EXPECT_FALSE(info.heartbeat());
+    EXPECT_EQ(info.frame_count, frames.size());
+    seen += 1;
+    return true;
+  });
+  std::size_t emitted = 0;
+  EXPECT_EQ(parser.consume(wire.data(), wire.size(),
+                           [&](std::vector<std::uint8_t>&&) { emitted += 1; }),
+            BatchStatus::kOk);
+  EXPECT_EQ(seen, 1u);
+  EXPECT_EQ(emitted, frames.size());
+}
+
+TEST(NetFraming, BatchHandlerVetoSkipsFrames) {
+  const auto frames = sample_frames(4);
+  const std::vector<std::uint8_t> wire =
+      encode_batch(frames, BatchMeta{7, 9, 0});
+  BatchParser parser;
+  parser.set_batch_handler([](const BatchInfo&) { return false; });
+  std::size_t emitted = 0;
+  EXPECT_EQ(parser.consume(wire.data(), wire.size(),
+                           [&](std::vector<std::uint8_t>&&) { emitted += 1; }),
+            BatchStatus::kOk);
+  // Vetoed: the batch still counts (it was valid wire), its frames do not.
+  EXPECT_EQ(emitted, 0u);
+  EXPECT_EQ(parser.batches(), 1u);
+  EXPECT_EQ(parser.frames(), 0u);
+  EXPECT_EQ(parser.frames_skipped(), frames.size());
+}
+
+TEST(NetFraming, AckRoundTripsAtEveryReadBoundary) {
+  AckFrame ack;
+  ack.flags = kAckFlagDrained;
+  ack.ack_seq = 0x0123456789ABCDEFull;
+  ack.nack = 0;
+  const std::vector<std::uint8_t> wire = encode_ack(ack);
+  ASSERT_EQ(wire.size(), kAckFrameSize);
+  for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+    AckParser parser;
+    std::vector<AckFrame> got;
+    ASSERT_EQ(parser.consume(wire.data(), cut,
+                             [&](const AckFrame& a) { got.push_back(a); }),
+              AckStatus::kOk);
+    ASSERT_EQ(parser.consume(wire.data() + cut, wire.size() - cut,
+                             [&](const AckFrame& a) { got.push_back(a); }),
+              AckStatus::kOk);
+    ASSERT_EQ(got.size(), 1u) << "cut at " << cut;
+    EXPECT_EQ(got[0].ack_seq, ack.ack_seq);
+    EXPECT_EQ(got[0].flags, ack.flags);
+    EXPECT_TRUE(got[0].drained());
+    EXPECT_FALSE(got[0].nacked());
+  }
+}
+
+TEST(NetFraming, AckEveryByteCorruptionDetected) {
+  AckFrame ack;
+  ack.ack_seq = 12345;
+  const std::vector<std::uint8_t> pristine = encode_ack(ack);
+  for (std::size_t i = 0; i < pristine.size(); ++i) {
+    for (const std::uint8_t flip : {std::uint8_t{0x01}, std::uint8_t{0x80},
+                                    std::uint8_t{0xFF}}) {
+      std::vector<std::uint8_t> wire = pristine;
+      wire[i] ^= flip;
+      AckParser parser;
+      std::size_t emitted = 0;
+      const AckStatus status = parser.consume(
+          wire.data(), wire.size(), [&](const AckFrame&) { emitted += 1; });
+      // Flag bytes and the ack_seq/nack payload are CRC-covered, so any
+      // single-byte damage must surface as a poisoned parser, never as a
+      // silently-wrong cumulative ack.
+      EXPECT_NE(status, AckStatus::kOk) << "byte " << i;
+      EXPECT_TRUE(parser.failed()) << "byte " << i;
+      EXPECT_EQ(emitted, 0u) << "byte " << i;
+      // Sticky: more (valid) bytes cannot resurrect the connection.
+      EXPECT_NE(parser.consume(pristine.data(), pristine.size(),
+                               [&](const AckFrame&) { emitted += 1; }),
+                AckStatus::kOk);
+      EXPECT_EQ(emitted, 0u) << "byte " << i;
+    }
+  }
+}
+
+TEST(NetFraming, AckTruncationNeverEmits) {
+  AckFrame ack;
+  ack.ack_seq = 999;
+  ack.flags = kAckFlagNack;
+  ack.nack = 3;
+  const std::vector<std::uint8_t> wire = encode_ack(ack);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    AckParser parser;
+    std::size_t emitted = 0;
+    EXPECT_EQ(parser.consume(wire.data(), cut,
+                             [&](const AckFrame&) { emitted += 1; }),
+              AckStatus::kOk)
+        << "cut at " << cut;
+    EXPECT_EQ(emitted, 0u) << "cut at " << cut;
+    EXPECT_FALSE(parser.failed());
+    EXPECT_EQ(parser.buffered(), cut);
+  }
 }
 
 TEST(NetSocket, LoopbackSendRecvRoundTrip) {

@@ -35,25 +35,39 @@
 //       Operate on a historian directory: `info` prints stats and verifies
 //       every block CRC (exit 1 on corruption — the post-crash integrity
 //       gate), `query` filters by time/stack/site, `replay` feeds stored
-//       frames through the aggregator for offline alert analysis, and
-//       `compact` applies --max-bytes / --max-age-s retention.
+//       frames through the aggregator for offline alert analysis and prints
+//       the replayed fleet view's canonical digest (compare against a serve
+//       report's digest to prove the store holds exactly what the server
+//       ingested), and `compact` applies --max-bytes / --max-age-s
+//       retention.
 //   tsvpt_cli serve [--port 0] [--shards 2] [--ring 4096] [--alert-c 85]
 //                   [--store DIR] [--duration-s S] [--idle-exit-s 10]
+//                   [--idle-conn-s S]
 //       Sharded fleet ingest server: accept framed-TCP publisher
-//       connections, partition stacks across per-shard aggregators, and on
+//       connections, ack every consumed batch (deduping retransmits per
+//       publisher), partition stacks across per-shard aggregators, and on
 //       exit print a JSON report with the merged cross-shard fleet view
-//       (including its canonical digest).  Runs until --duration-s elapses
-//       or, once idle with no open connections, --idle-exit-s.  Exit 0 only
-//       when no alert fired and every frame decoded.
+//       (including its canonical digest) plus ack/dedup/heartbeat counters.
+//       Runs until --duration-s elapses or, once idle with no open
+//       connections, --idle-exit-s; --idle-conn-s reaps connections that go
+//       silent (publishers heartbeat to stay alive).  Exit 0 only when no
+//       alert fired and every frame decoded.
 //   tsvpt_cli publish --port N [--host H] [--stacks 8] [--threads 2]
 //                     [--scans 50] [--stack-base 0] [--batch-frames 64]
 //                     [--flush-ms 5] [--queue 64] [--seed 1]
+//                     [--spill-dir DIR] [--publisher-id N]
+//                     [--heartbeat-ms MS] [--jitter 0.5] [--drain-s 2]
 //       Fleet publisher: sample N stacks and stream their frames to a serve
 //       instance over framed TCP (size/time-bounded batches, bounded-queue
-//       backpressure, exponential-backoff reconnect).  --stack-base offsets
-//       wire stack ids so several publishers occupy disjoint fleet ranges.
-//       Exit 0 only when the server was reached and every produced frame
-//       was sent.
+//       backpressure, exponential-backoff reconnect with seeded jitter).
+//       --stack-base offsets wire stack ids so several publishers occupy
+//       disjoint fleet ranges.  --spill-dir upgrades delivery to
+//       at-least-once: sealed batches persist to a crash-safe spill log
+//       until the server acks them, and a rerun on the same directory
+//       (--scans 0 for a pure resume) retransmits whatever a SIGKILL left
+//       unacked.  Without a spill dir, exit 0 only when the server was
+//       reached and every produced frame was sent; with one, exit 0 only
+//       when the FIN/drained handshake completed and nothing was shed.
 //   tsvpt_cli obs dump [--format prom|json] [--exercise 1]
 //       Print the self-observability metric registry (Prometheus text or
 //       JSON); --exercise runs a mini fleet first so the dump holds live
@@ -605,8 +619,8 @@ int cmd_chaos(const Args& args) {
 
 int cmd_serve(const Args& args) {
   args.check_known({"port", "shards", "ring", "alert-c", "spatial", "store",
-                    "duration-s", "idle-exit-s", "log-level", "metrics-out",
-                    "trace-out"});
+                    "duration-s", "idle-exit-s", "idle-conn-s", "log-level",
+                    "metrics-out", "trace-out"});
   ingest::IngestServer::Config cfg;
   cfg.port = static_cast<std::uint16_t>(args.get("port", 0LL));
   cfg.shard_count = static_cast<std::size_t>(args.get("shards", 2LL));
@@ -617,6 +631,9 @@ int cmd_serve(const Args& args) {
   // gates a soak on transport cleanliness without the detector's opinion.
   cfg.aggregator.spatial_check = args.get("spatial", 1LL) != 0;
   cfg.store_dir = args.get("store", std::string{});
+  // Reap connections silent past this long; publishers on a heartbeat
+  // interval below it stay alive while idle.  0 (default) disables.
+  cfg.idle_conn_timeout = Second{args.get("idle-conn-s", 0.0)};
 
   const double duration_s = args.get("duration-s", 0.0);
   const double idle_exit_s = args.get("idle-exit-s", 10.0);
@@ -656,6 +673,15 @@ int cmd_serve(const Args& args) {
        << "  \"frames\": " << st.frames << ",\n"
        << "  \"bytes\": " << st.bytes << ",\n"
        << "  \"ring_drops\": " << st.ring_drops << ",\n"
+       << "  \"acks_sent\": " << st.acks_sent << ",\n"
+       << "  \"nacks_sent\": " << st.nacks_sent << ",\n"
+       << "  \"duplicate_batches\": " << st.duplicate_batches << ",\n"
+       << "  \"duplicate_frames\": " << st.duplicate_frames << ",\n"
+       << "  \"heartbeats\": " << st.heartbeats << ",\n"
+       << "  \"batch_gaps\": " << st.batch_gaps << ",\n"
+       << "  \"fin_drains\": " << st.fin_drains << ",\n"
+       << "  \"reaped_connections\": " << st.reaped_connections << ",\n"
+       << "  \"publishers\": " << st.publishers << ",\n"
        << "  \"frames_per_shard\": [";
   for (std::size_t s = 0; s < st.frames_per_shard.size(); ++s) {
     json << (s == 0 ? "" : ", ") << st.frames_per_shard[s];
@@ -700,7 +726,8 @@ int cmd_publish(const Args& args) {
   args.check_known({"host", "port", "stacks", "threads", "scans", "sample-ms",
                     "ring", "grid", "seed", "card", "stack-base",
                     "batch-frames", "batch-bytes", "flush-ms", "queue",
-                    "log-level", "metrics-out", "trace-out"});
+                    "spill-dir", "publisher-id", "heartbeat-ms", "jitter",
+                    "drain-s", "log-level", "metrics-out", "trace-out"});
   if (!args.has("port")) {
     std::fprintf(stderr, "tsvpt_cli publish: --port is required\n");
     return 2;
@@ -729,6 +756,52 @@ int cmd_publish(const Args& args) {
   pub_cfg.flush_interval = Second{args.get("flush-ms", 5.0) * 1e-3};
   pub_cfg.queue_max_batches =
       static_cast<std::size_t>(args.get("queue", 64LL));
+  // At-least-once knobs.  A spill dir makes the run crash-safe: sealed
+  // batches hit the log before their first send, and a rerun on the same
+  // dir (e.g. --scans 0 for a pure resume) retransmits the unacked window.
+  pub_cfg.spill_dir = args.get("spill-dir", std::string{});
+  pub_cfg.publisher_id =
+      static_cast<std::uint64_t>(args.get("publisher-id", 0LL));
+  pub_cfg.heartbeat_interval = Second{args.get("heartbeat-ms", 0.0) * 1e-3};
+  pub_cfg.backoff_jitter = args.get("jitter", 0.5);
+  pub_cfg.drain_deadline = Second{args.get("drain-s", 2.0)};
+
+  // --scans 0: pure resume.  No sampler at all — construct the publisher on
+  // its spill dir (replaying whatever a killed run left unacked), let the
+  // sender thread retransmit, and run the FIN/drained handshake.  This is
+  // how a supervisor finishes the job of a publisher that was SIGKILL'd.
+  if (cfg.scans_per_stack == 0) {
+    if (pub_cfg.spill_dir.empty()) {
+      std::fprintf(stderr,
+                   "tsvpt_cli publish: --scans 0 (resume-only) needs"
+                   " --spill-dir\n");
+      return 2;
+    }
+    ingest::FleetPublisher publisher{pub_cfg};
+    publisher.start({});
+    publisher.stop();
+    const ingest::FleetPublisher::Stats st = publisher.stats();
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"resume_only\": true,\n"
+         << "  \"publisher_id\": " << publisher.publisher_id() << ",\n"
+         << "  \"acked_seq\": " << publisher.acked_seq() << ",\n"
+         << "  \"resumed_batches\": " << st.resumed_batches << ",\n"
+         << "  \"resumed_frames\": " << st.resumed_frames << ",\n"
+         << "  \"retransmitted_batches\": " << st.retransmitted_batches
+         << ",\n"
+         << "  \"retransmitted_frames\": " << st.retransmitted_frames << ",\n"
+         << "  \"acks_received\": " << st.acks_received << ",\n"
+         << "  \"unacked_batches\": " << st.unacked_batches << ",\n"
+         << "  \"fin_sent\": " << st.fin_sent << ",\n"
+         << "  \"drained\": " << (st.drained ? "true" : "false") << ",\n"
+         << "  \"connected\": " << (st.connected_once ? "true" : "false")
+         << ",\n"
+         << "  \"obs\": " << obs::metrics_json() << "\n}\n";
+    std::cout << json.str();
+    export_obs(args);
+    return (st.connected_once && st.drained) ? 0 : 1;
+  }
 
   telemetry::FleetSampler sampler{cfg};
   ingest::FleetPublisher publisher{pub_cfg};
@@ -752,13 +825,40 @@ int cmd_publish(const Args& args) {
        << "  \"send_failures\": " << st.send_failures << ",\n"
        << "  \"queue_dropped_batches\": " << st.queue_dropped_batches << ",\n"
        << "  \"queue_dropped_frames\": " << st.queue_dropped_frames << ",\n"
+       << "  \"publisher_id\": " << publisher.publisher_id() << ",\n"
+       << "  \"acked_seq\": " << publisher.acked_seq() << ",\n"
+       << "  \"acks_received\": " << st.acks_received << ",\n"
+       << "  \"frames_acked\": " << st.frames_acked << ",\n"
+       << "  \"batches_acked\": " << st.batches_acked << ",\n"
+       << "  \"retransmitted_batches\": " << st.retransmitted_batches << ",\n"
+       << "  \"retransmitted_frames\": " << st.retransmitted_frames << ",\n"
+       << "  \"nacks_received\": " << st.nacks_received << ",\n"
+       << "  \"heartbeats_sent\": " << st.heartbeats_sent << ",\n"
+       << "  \"fin_sent\": " << st.fin_sent << ",\n"
+       << "  \"spilled_batches\": " << st.spilled_batches << ",\n"
+       << "  \"resumed_batches\": " << st.resumed_batches << ",\n"
+       << "  \"resumed_frames\": " << st.resumed_frames << ",\n"
+       << "  \"unacked_batches\": " << st.unacked_batches << ",\n"
+       << "  \"drained\": " << (st.drained ? "true" : "false") << ",\n"
        << "  \"connected\": " << (st.connected_once ? "true" : "false")
        << ",\n"
        << "  \"obs\": " << obs::metrics_json() << "\n}\n";
   std::cout << json.str();
   export_obs(args);
-  // Clean publish = the server was reachable and nothing was shed anywhere
-  // on the way out (ring, queue, wire).
+  // Clean publish, two delivery regimes:
+  //   - best-effort (no spill dir): the server was reachable and nothing
+  //     was shed anywhere on the way out (ring, queue, wire).
+  //   - at-least-once (spill dir): the FIN handshake completed — every
+  //     batch that ever entered the log (this run or a resumed one) is
+  //     covered by the server's cumulative ack — and the sampler-side ring
+  //     shed nothing.  frames_sent == frames_enqueued is the wrong gate
+  //     here: a resumed window is retransmitted, not "sent".
+  if (!pub_cfg.spill_dir.empty()) {
+    return (st.connected_once && st.drained && sampler.total_dropped() == 0 &&
+            st.queue_dropped_frames == 0)
+               ? 0
+               : 1;
+  }
   return (st.connected_once && st.frames_sent == st.frames_enqueued &&
           st.frames_enqueued == sampler.total_frames())
              ? 0
@@ -855,14 +955,26 @@ int cmd_store_replay(const Args& args, const std::string& dir) {
   const store::StoreReader reader{dir};
   telemetry::Aggregator::Config agg_cfg;
   agg_cfg.alert_threshold = Celsius{args.get("alert-c", 85.0)};
-  telemetry::Aggregator aggregator{agg_cfg};
+  agg_cfg.spatial_check = args.get("spatial", 1LL) != 0;
+  std::vector<telemetry::Alert> alert_log;
+  telemetry::Aggregator aggregator{
+      agg_cfg, [&](const telemetry::Alert& a) { alert_log.push_back(a); }};
   const auto result = reader.replay(query_from(args), aggregator);
   const telemetry::Aggregator::Summary& sum = aggregator.summary();
+  // The replayed run folded into a canonical FleetView: `store replay` on a
+  // serve --store directory must digest-equal the serve report's fleet view
+  // (the store holds exactly the frames the server emitted post-dedup) —
+  // the offline half of the kill-and-resume zero-loss gate.
+  ingest::FleetView view;
+  view.add_shard(sum, alert_log);
+  view.finalize();
   std::ostringstream json;
   json << "{\n"
        << "  \"frames_replayed\": " << result.frames_replayed << ",\n"
        << "  \"corrupt_blocks\": " << result.corrupt_blocks << ",\n"
        << "  \"decode_errors\": " << sum.decode_errors << ",\n"
+       << "  \"missed\": " << view.missed() << ",\n"
+       << "  \"digest\": " << view.digest() << ",\n"
        << "  \"alerts\": {";
   bool first = true;
   for (const auto& [kind, count] : sum.alerts_by_kind) {
@@ -898,7 +1010,8 @@ int cmd_store_compact(const Args& args, const std::string& dir) {
 
 int cmd_store(const Args& args) {
   args.check_known({"dir", "t-min", "t-max", "stack", "site", "limit",
-                    "alert-c", "max-bytes", "max-age-s", "log-level"});
+                    "alert-c", "spatial", "max-bytes", "max-age-s",
+                    "log-level"});
   if (args.positionals().empty()) {
     std::fprintf(stderr,
                  "usage: tsvpt_cli store <info|query|replay|compact> "
@@ -984,21 +1097,28 @@ int usage() {
                " [--sample-ms MS] [--ring N] [--grid N] [--events-per-kind N]"
                " [--watchdog-ms MS] [--seed N] [--card FILE] [--store DIR]\n"
                "  serve  [--port N] [--shards N] [--ring N] [--alert-c DEGC]"
-               " [--store DIR] [--duration-s S] [--idle-exit-s S]\n"
-               "         sharded TCP ingest server; prints the merged fleet"
-               " view (exit 0 only when clean)\n"
+               " [--store DIR] [--duration-s S] [--idle-exit-s S]"
+               " [--idle-conn-s S]\n"
+               "         sharded TCP ingest server with per-publisher"
+               " ack/dedup; prints the merged fleet view (exit 0 only when"
+               " clean); --idle-conn-s reaps silent connections\n"
                "  publish --port N [--host H] [--stacks N] [--threads N]"
                " [--scans N] [--stack-base N] [--batch-frames N]"
                " [--flush-ms MS] [--queue N] [--seed N]\n"
-               "         sample a fleet and stream it to a serve instance"
-               " (exit 0 only when everything sent)\n"
+               "          [--spill-dir DIR] [--publisher-id N]"
+               " [--heartbeat-ms MS] [--jitter X] [--drain-s S]\n"
+               "         sample a fleet and stream it to a serve instance;"
+               " --spill-dir makes delivery at-least-once and crash-safe\n"
+               "         (rerun on the same dir, e.g. with --scans 0, to"
+               " resume a killed run; exit 0 = drained, else = all sent)\n"
                "  store  <info|query|replay|compact> --dir DIR\n"
                "         info                   print stats + integrity"
                " (exit 1 on corrupt blocks)\n"
                "         query   [--t-min S] [--t-max S] [--stack N]"
                " [--site N] [--limit N]\n"
                "         replay  [--t-min S] [--t-max S] [--stack N]"
-               " [--alert-c DEGC]\n"
+               " [--alert-c DEGC] [--spatial 0|1]"
+               " (prints the replayed fleet-view digest)\n"
                "         compact [--max-bytes N] [--max-age-s S]\n"
                "  obs    dump [--format prom|json] [--metrics-out FILE]"
                " [--trace-out FILE] [--exercise 1]\n"
