@@ -1,0 +1,152 @@
+// Closed-loop dynamic thermal management: a runaway-prone workload on a
+// weak-sink stack, run three ways.
+//
+//   uncontained      every die pinned at the top rung: leakage feedback
+//                    diverges and the run trips the thermal runaway limit;
+//   static worst-case every die parked at the bottom rung: safe, but the
+//                    whole fixed work budget is paid at the unscalable
+//                    power floor (and leakage) for twice as long;
+//   dvfs governor    per-die ladder with hysteresis: throttles on sensed
+//                    temperature, contains the runaway and finishes the
+//                    same work sooner.
+//
+//   $ ./examples/closed_loop_dtm
+#include <cstdio>
+#include <iostream>
+#include <stdexcept>
+
+#include "control/controller.hpp"
+#include "control/eval.hpp"
+#include "core/stack_monitor.hpp"
+#include "process/variation.hpp"
+#include "thermal/leakage.hpp"
+#include "thermal/workload.hpp"
+
+namespace {
+
+using namespace tsvpt;
+
+constexpr std::size_t kHotDie = 3;  // top die: every bond layer from sink
+
+thermal::StackConfig weak_sink_stack() {
+  thermal::StackConfig cfg = thermal::StackConfig::four_die_stack();
+  cfg.sink_resistance = 5.0;  // passively cooled molded package
+  return cfg;
+}
+
+thermal::Workload hot_workload() {
+  thermal::WorkloadPhase hot;
+  hot.name = "hot";
+  hot.duration = Second{10.0};
+  hot.directives.push_back({thermal::PowerDirective::Kind::kUniform, kHotDie,
+                            Watt{8.0}, {}, Meter{0.0}});
+  for (std::size_t d = 0; d < kHotDie; ++d) {
+    hot.directives.push_back({thermal::PowerDirective::Kind::kUniform, d,
+                              Watt{0.5}, {}, Meter{0.0}});
+  }
+  return thermal::Workload{{hot}};
+}
+
+std::vector<core::SensorSite> build_sites(const thermal::StackConfig& stack) {
+  std::vector<core::SensorSite> sites =
+      core::StackMonitor::uniform_sites(stack, 2, 2);
+  std::vector<process::Point> points;
+  for (std::size_t i = 0; i < 4; ++i) points.push_back(sites[i].location);
+  process::VariationModel variation{device::Technology::tsmc65_like(),
+                                    points};
+  Rng rng{11};
+  for (std::size_t d = 0; d < stack.die_count(); ++d) {
+    const process::DieVariation die = variation.sample_die(rng);
+    for (std::size_t i = 0; i < 4; ++i) sites[d * 4 + i].vt_delta = die.at(i);
+  }
+  return sites;
+}
+
+control::Controller::Config make_config(control::PolicyKind kind,
+                                        std::size_t static_level) {
+  control::Controller::Config cfg;
+  cfg.kind = kind;
+  cfg.policy.static_level = static_level;
+  cfg.policy.ceiling = Celsius{69.0};
+  cfg.policy.floor = Celsius{63.0};
+  cfg.violation_ceiling = Celsius{80.0};
+  cfg.plant.unscalable_fraction = 0.5;  // clock-tree/IO-heavy dies
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const thermal::StackConfig stack = weak_sink_stack();
+  const thermal::Workload workload = hot_workload();
+
+  control::EvalConfig eval;
+  eval.sample_period = Second{2e-3};
+  eval.thermal_step = Second{1e-3};
+  eval.work_budget = 2.4;
+  eval.max_duration = Second{3.0};
+  eval.abort_above = Celsius{120.0};  // silicon is gone past this
+
+  struct Scenario {
+    const char* name;
+    control::PolicyKind kind;
+    std::size_t static_level;
+  };
+  const Scenario scenarios[] = {
+      {"uncontained (all dies at P0)", control::PolicyKind::kStaticWorstCase,
+       0},
+      {"static worst-case (bottom rung)",
+       control::PolicyKind::kStaticWorstCase, control::kLadderBottom},
+      {"dvfs ladder governor", control::PolicyKind::kDvfsLadder,
+       control::kLadderBottom},
+  };
+
+  std::cout << "8 W on the top die of a 5 K/W stack; violation ceiling 80"
+               " degC; runaway abort 120 degC;\nfixed work budget "
+            << eval.work_budget << " (die-seconds of relative frequency)\n\n";
+
+  for (const Scenario& s : scenarios) {
+    thermal::ThermalNetwork network{stack};
+    const device::Technology tech = device::Technology::tsmc65_like();
+    for (std::size_t d = 0; d < stack.die_count(); ++d) {
+      network.set_leakage_power(
+          d, thermal::leakage_source(
+                 tech, Volt{1.0},
+                 Watt{0.10 / static_cast<double>(stack.dies[d].nx *
+                                                 stack.dies[d].ny)},
+                 Kelvin{318.15}));
+    }
+    std::vector<core::SensorSite> sites = build_sites(stack);
+    core::StackMonitor monitor{&network, core::PtSensor::Config{}, sites, 21};
+    control::Controller controller{make_config(s.kind, s.static_level),
+                                   stack.die_count()};
+
+    std::cout << s.name << ":\n";
+    const control::EvalResult result =
+        run_closed_loop(network, workload, monitor, controller, eval, 33);
+    const control::Controller::Stats& st = result.stats;
+    if (result.runaway) {
+      std::printf(
+          "  THERMAL RUNAWAY at t=%.3f s: true temperature crossed %.0f "
+          "degC (work %.2f of %.2f done)\n\n",
+          result.duration.value(), eval.abort_above.value(), st.work_done,
+          eval.work_budget);
+    } else {
+      std::printf(
+          "  %s in %.3f s: energy %.2f J, peak %.2f degC, "
+          "%.3f violation-s, %llu actuations\n\n",
+          result.completed ? "work budget met" : "timed out",
+          result.duration.value(), st.energy_j, st.peak_true_c,
+          st.violation_s,
+          static_cast<unsigned long long>(st.actuations));
+    }
+  }
+
+  std::cout
+      << "Takeaway: uncontrolled, leakage feedback runs the stack away;\n"
+         "parked at the worst-case rung it is safe but pays the unscalable\n"
+         "floor and leakage for the whole stretched-out run; the closed\n"
+         "loop finishes the same work sooner, cheaper, and still under the\n"
+         "ceiling.\n";
+  return 0;
+}

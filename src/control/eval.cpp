@@ -1,0 +1,152 @@
+#include "control/eval.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "core/pt_sensor.hpp"
+#include "ptsim/rng.hpp"
+
+namespace tsvpt::control {
+
+namespace {
+
+void set_site_dead(core::StackMonitor& monitor, std::size_t site, bool dead) {
+  if (dead) {
+    for (std::size_t r = 0; r < core::kRoCount; ++r) {
+      monitor.sensor(site).inject_fault(static_cast<core::RoRole>(r),
+                                        core::RoFault::kDead);
+    }
+  } else {
+    monitor.sensor(site).clear_faults();
+  }
+}
+
+Celsius stack_max_true(const thermal::ThermalNetwork& network) {
+  Celsius hottest{-273.15};
+  for (std::size_t d = 0; d < network.config().die_count(); ++d) {
+    const Celsius t = to_celsius(network.max_temperature(d));
+    if (t > hottest) hottest = t;
+  }
+  return hottest;
+}
+
+}  // namespace
+
+EvalResult run_closed_loop(thermal::ThermalNetwork& network,
+                           const thermal::Workload& workload,
+                           core::StackMonitor& monitor,
+                           Controller& controller, const EvalConfig& config,
+                           std::uint64_t noise_seed) {
+  if (config.sample_period.value() <= 0.0 ||
+      config.thermal_step.value() <= 0.0) {
+    throw std::invalid_argument{"run_closed_loop: non-positive period"};
+  }
+  if (config.max_duration.value() <= 0.0) {
+    throw std::invalid_argument{"run_closed_loop: non-positive duration"};
+  }
+  for (const SensorOutage& o : config.outages) {
+    if (o.site >= monitor.site_count() || o.end_scan <= o.start_scan) {
+      throw std::invalid_argument{"run_closed_loop: bad outage"};
+    }
+  }
+
+  Rng noise{noise_seed};
+  controller.reset();
+
+  // Power-on: program the uncontrolled map, pick the start state, calibrate.
+  workload.apply(network, Second{0.0});
+  if (config.start_at_steady_state) {
+    network.set_temperatures(network.steady_state());
+  } else {
+    network.set_uniform_temperature(network.config().ambient);
+  }
+  monitor.calibrate_all(&noise);
+
+  std::unique_ptr<core::HealthSupervisor> supervisor;
+  if (config.supervise) {
+    supervisor = std::make_unique<core::HealthSupervisor>(config.health);
+  }
+
+  EvalResult result;
+  Second t{0.0};
+  std::uint64_t scan = 0;
+  while (true) {
+    for (const SensorOutage& o : config.outages) {
+      if (scan == o.start_scan) set_site_dead(monitor, o.site, true);
+      if (scan == o.end_scan) set_site_dead(monitor, o.site, false);
+    }
+
+    std::vector<core::StackMonitor::SiteReading> readings;
+    if (supervisor != nullptr) {
+      // The FleetSampler's skip-quarantined path: sites the supervisor has
+      // pulled from duty are never converted; their slots carry degraded
+      // placeholders the supervisor substitutes.
+      const std::size_t sites = monitor.site_count();
+      std::vector<bool> sampled(sites, true);
+      readings.reserve(sites);
+      for (std::size_t i = 0; i < sites; ++i) {
+        if (supervisor->wants_sample(i)) {
+          readings.push_back(monitor.sample_site(i, &noise));
+        } else {
+          sampled[i] = false;
+          core::StackMonitor::SiteReading placeholder;
+          placeholder.site_index = i;
+          placeholder.die = monitor.site(i).die;
+          placeholder.location = monitor.site(i).location;
+          placeholder.truth = monitor.truth_at(i);
+          placeholder.degraded = true;
+          readings.push_back(placeholder);
+        }
+      }
+      auto observed = supervisor->observe(readings, sampled);
+      for (const std::size_t i : observed.recalibrate) {
+        monitor.sensor(i).clear_calibration();
+      }
+      readings = std::move(observed.readings);
+    } else {
+      readings = monitor.sample_all(&noise);
+    }
+
+    controller.on_scan(scan, t, readings);
+    if (config.on_scan) config.on_scan(scan, readings, controller.actuation());
+    ++scan;
+
+    Second advanced{0.0};
+    while (advanced < config.sample_period) {
+      const Second h = std::min(config.thermal_step,
+                                config.sample_period - advanced);
+      if (h.value() <= 0.0) break;  // float residue; the period is covered
+      apply_actuation(workload, network, t + advanced,
+                      controller.actuation(), controller.config().plant);
+      network.step(h);
+      const Celsius max_true = stack_max_true(network);
+      controller.note_tick(
+          h, max_true,
+          Watt{network.total_power().value() +
+               network.leakage_power().value()});
+      advanced += h;
+      if (max_true > config.abort_above) {
+        result.runaway = true;
+        result.duration = t + advanced;
+        result.stats = controller.stats();
+        return result;
+      }
+      if (config.work_budget > 0.0 &&
+          controller.stats().work_done >= config.work_budget) {
+        result.completed = true;
+        result.duration = t + advanced;
+        result.stats = controller.stats();
+        return result;
+      }
+    }
+    t += config.sample_period;
+    if (t >= config.max_duration) break;
+  }
+
+  result.duration = t;
+  result.stats = controller.stats();
+  return result;
+}
+
+}  // namespace tsvpt::control

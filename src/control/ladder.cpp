@@ -1,0 +1,49 @@
+#include "control/ladder.hpp"
+
+#include <stdexcept>
+
+namespace tsvpt::control {
+
+void validate_ladder(const Ladder& ladder) {
+  if (ladder.empty()) {
+    throw std::invalid_argument{"control: empty ladder"};
+  }
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    if (ladder[i].relative_frequency >= ladder[i - 1].relative_frequency) {
+      throw std::invalid_argument{"control: ladder must slow downward"};
+    }
+  }
+}
+
+Ladder typical_ladder() {
+  return {{"P0", 1.00, 1.00},
+          {"P1", 0.90, 0.73},  // ~f V^2 at 0.9 f, 0.95 V
+          {"P2", 0.75, 0.51},
+          {"P3", 0.50, 0.25}};
+}
+
+std::size_t LadderStepper::step(std::size_t level, std::size_t ladder_size,
+                                Celsius hottest) const {
+  if (ladder_size == 0) return 0;
+  if (level >= ladder_size) level = ladder_size - 1;
+  if (hottest > ceiling && level + 1 < ladder_size) return level + 1;
+  if (hottest < floor && level > 0) return level - 1;
+  return level;
+}
+
+Hysteresis::Hysteresis(Celsius on, Celsius off) : on_(on), off_(off) {
+  if (!(off < on)) {
+    throw std::invalid_argument{"Hysteresis: off must be below on"};
+  }
+}
+
+bool Hysteresis::update(Celsius value) {
+  if (!engaged_ && value > on_) {
+    engaged_ = true;
+  } else if (engaged_ && value < off_) {
+    engaged_ = false;
+  }
+  return engaged_;
+}
+
+}  // namespace tsvpt::control

@@ -9,23 +9,12 @@ namespace tsvpt::sim {
 
 DvfsGovernor::Config DvfsGovernor::Config::typical() {
   Config cfg;
-  cfg.ladder = {{"P0", 1.00, 1.00},
-                {"P1", 0.90, 0.73},   // ~f V^2 at 0.9 f, 0.95 V
-                {"P2", 0.75, 0.51},
-                {"P3", 0.50, 0.25}};
+  cfg.ladder = control::typical_ladder();
   return cfg;
 }
 
 DvfsGovernor::DvfsGovernor(Config config) : config_(std::move(config)) {
-  if (config_.ladder.empty()) {
-    throw std::invalid_argument{"DvfsGovernor: empty ladder"};
-  }
-  for (std::size_t i = 1; i < config_.ladder.size(); ++i) {
-    if (config_.ladder[i].relative_frequency >=
-        config_.ladder[i - 1].relative_frequency) {
-      throw std::invalid_argument{"DvfsGovernor: ladder must slow downward"};
-    }
-  }
+  control::validate_ladder(config_.ladder);
   if (config_.initial_level >= config_.ladder.size()) {
     throw std::invalid_argument{"DvfsGovernor: initial level out of range"};
   }
@@ -69,17 +58,17 @@ DvfsGovernor::Result DvfsGovernor::run(thermal::ThermalNetwork& network,
   };
   sim.schedule_at(Second{0.0}, thermal_tick);
 
+  const control::LadderStepper stepper{config_.ceiling, config_.floor};
   std::function<void(Simulator&)> sample_tick = [&](Simulator& s) {
     const auto readings = monitor.sample_all(&noise);
     Celsius hottest{-273.15};
     for (const auto& r : readings) {
       if (r.sensed > hottest) hottest = r.sensed;
     }
-    if (hottest > config_.ceiling && level + 1 < config_.ladder.size()) {
-      ++level;
-      ++result.transitions;
-    } else if (hottest < config_.floor && level > 0) {
-      --level;
+    const std::size_t next_level =
+        stepper.step(level, config_.ladder.size(), hottest);
+    if (next_level != level) {
+      level = next_level;
       ++result.transitions;
     }
     const Second next = s.now() + config_.sample_period;

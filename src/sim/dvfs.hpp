@@ -11,23 +11,19 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
+#include "control/ladder.hpp"
 #include "core/stack_monitor.hpp"
 #include "ptsim/units.hpp"
 #include "thermal/workload.hpp"
 
 namespace tsvpt::sim {
 
-/// One rung of the DVFS ladder.
-struct DvfsLevel {
-  std::string name;
-  /// Relative clock (1.0 = nominal); throughput accrues at this rate.
-  double relative_frequency = 1.0;
-  /// Power multiplier applied to the workload's map (~ f V^2 scaling).
-  double power_scale = 1.0;
-};
+/// One rung of the DVFS ladder (the control module's shared type — the
+/// governor's decision logic lives in control::LadderStepper now, this
+/// class remains the stack-global event-queue simulation of it).
+using DvfsLevel = control::LadderLevel;
 
 class DvfsGovernor {
  public:

@@ -33,20 +33,49 @@ void MonitoringSession::run(Second duration) {
   // Power-on self-calibration against the initial state.
   monitor_->calibrate_all(&noise_);
 
+  control::Controller* controller = config_.controller;
+  if (controller != nullptr) controller->reset();
+  const std::size_t die_count = network_->config().die_count();
+
+  // Program the power map for time `when`: the raw workload open-loop, the
+  // controller's held actuation on top of it closed-loop.
+  const auto program = [&](Second when) {
+    if (controller != nullptr) {
+      control::apply_actuation(*workload_, *network_, when,
+                               controller->actuation(),
+                               controller->config().plant);
+    } else {
+      workload_->apply(*network_, when);
+    }
+  };
+  const auto account = [&](Second dt) {
+    if (controller == nullptr) return;
+    Celsius hottest{-273.15};
+    for (std::size_t d = 0; d < die_count; ++d) {
+      const Celsius t = to_celsius(network_->max_temperature(d));
+      if (t > hottest) hottest = t;
+    }
+    controller->note_tick(dt, hottest,
+                          Watt{network_->total_power().value() +
+                               network_->leakage_power().value()});
+  };
+
   Simulator sim;
 
-  // Thermal advancement event: re-apply the active workload phase, then
+  // Thermal advancement event: re-program the active power map, then
   // integrate one step.
   const Second h = config_.thermal_step;
   std::function<void(Simulator&)> thermal_tick = [&](Simulator& s) {
-    workload_->apply(*network_, s.now());
+    program(s.now());
     network_->step(h);
+    account(h);
     if (s.now() + h <= duration) s.schedule_after(h, thermal_tick);
   };
   sim.schedule_at(Second{0.0}, thermal_tick);
 
   // Sampling event.  With a TDM slot, the stack keeps evolving between the
   // individual site conversions of one scan.
+  std::uint64_t scan = 0;
   std::function<void(Simulator&)> sample_tick = [&](Simulator& s) {
     SamplePoint point;
     point.time = s.now();
@@ -57,13 +86,16 @@ void MonitoringSession::run(Second duration) {
       for (std::size_t i = 0; i < monitor_->site_count(); ++i) {
         point.readings.push_back(monitor_->sample_site(i, &noise_));
         if (i + 1 < monitor_->site_count()) {
-          workload_->apply(*network_,
-                           s.now() + config_.readout_slot *
-                                         static_cast<double>(i));
+          program(s.now() + config_.readout_slot * static_cast<double>(i));
           network_->step(config_.readout_slot);
+          account(config_.readout_slot);
         }
       }
     }
+    if (controller != nullptr) {
+      controller->on_scan(scan, s.now(), point.readings);
+    }
+    ++scan;
     trace_.push_back(std::move(point));
     const Second next = s.now() + config_.sample_period;
     if (next <= duration) s.schedule_after(config_.sample_period, sample_tick);

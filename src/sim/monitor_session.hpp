@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "control/controller.hpp"
 #include "core/stack_monitor.hpp"
 #include "ptsim/stats.hpp"
 #include "ptsim/units.hpp"
@@ -39,6 +40,11 @@ class MonitoringSession {
     /// (pinned by MonitoringSession.TdmReadoutSkewsLaterSitesTowardNewer-
     /// ThermalState).
     Second readout_slot{0.0};
+    /// Closed-loop seam (not owned; must outlive run()): each scan is fed
+    /// to the controller, and every thermal step runs under its held
+    /// actuation instead of the raw workload map.  The controller is reset
+    /// at the start of run().  nullptr = open-loop (the default).
+    control::Controller* controller = nullptr;
   };
 
   /// All pointers must outlive the session.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "control/ladder.hpp"
 #include "sim/event_queue.hpp"
 
 namespace tsvpt::sim {
@@ -21,6 +22,9 @@ ThermalGuard::Result ThermalGuard::run(thermal::ThermalNetwork& network,
   network.set_uniform_temperature(network.config().ambient);
   monitor.calibrate_all(&noise);
 
+  // The trip itself is the shared control-module hysteresis; this class
+  // remains the stack-global simulation around it.
+  control::Hysteresis trip{config_.throttle_on, config_.throttle_off};
   bool throttled = false;
   std::size_t samples = 0;
   std::size_t throttled_samples = 0;
@@ -57,12 +61,9 @@ ThermalGuard::Result ThermalGuard::run(thermal::ThermalNetwork& network,
     ++samples;
     if (throttled) ++throttled_samples;
     if (enabled) {
-      if (!throttled && hottest > config_.throttle_on) {
-        throttled = true;
-        ++result.throttle_events;
-      } else if (throttled && hottest < config_.throttle_off) {
-        throttled = false;
-      }
+      const bool was = trip.engaged();
+      throttled = trip.update(hottest);
+      if (throttled && !was) ++result.throttle_events;
     }
     const Second next = s.now() + config_.sample_period;
     if (next <= duration) s.schedule_after(config_.sample_period, sample_tick);

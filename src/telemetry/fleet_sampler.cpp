@@ -79,6 +79,11 @@ FleetSampler::FleetSampler(Config config) : config_(std::move(config)) {
       config_.thermal_step.value() <= 0.0) {
     throw std::invalid_argument{"FleetSampler: non-positive period"};
   }
+  if (config_.control != nullptr &&
+      config_.control->stack_count() < config_.stack_count) {
+    throw std::invalid_argument{
+        "FleetSampler: control plane smaller than the fleet"};
+  }
   if (config_.thread_count == 0) {
     config_.thread_count = std::thread::hardware_concurrency();
     if (config_.thread_count == 0) config_.thread_count = 1;
@@ -120,6 +125,11 @@ FleetSampler::FleetSampler(Config config) : config_(std::move(config)) {
       stacks_.back()->supervisor =
           std::make_unique<core::HealthSupervisor>(config_.health);
     }
+  }
+  if (config_.control != nullptr &&
+      config_.control->die_count() != stacks_.front()->geometry.die_count()) {
+    throw std::invalid_argument{
+        "FleetSampler: control plane die count mismatch"};
   }
 
   rings_.reserve(config_.thread_count);
@@ -184,14 +194,37 @@ void FleetSampler::worker(std::size_t worker_index) {
       if (config_.interceptor != nullptr) {
         config_.interceptor->before_scan(k, scan, stack.monitor);
       }
-      // Advance simulated time to the next sampling instant.
+      control::Controller* controller =
+          config_.control != nullptr ? &config_.control->controller(k)
+                                     : nullptr;
+      // Advance simulated time to the next sampling instant — under the
+      // controller's held actuation when the loop is closed.
       Second advanced{0.0};
       while (advanced < config_.sample_period) {
         const Second h =
             std::min(config_.thermal_step, config_.sample_period - advanced);
         if (h.value() <= 0.0) break;  // float residue; the period is covered
-        stack.workload.apply(stack.network, stack.now + advanced);
+        if (controller != nullptr) {
+          control::apply_actuation(stack.workload, stack.network,
+                                   stack.now + advanced,
+                                   controller->actuation(),
+                                   controller->config().plant);
+        } else {
+          stack.workload.apply(stack.network, stack.now + advanced);
+        }
         stack.network.step(h);
+        if (controller != nullptr) {
+          Celsius hottest{-273.15};
+          const std::size_t dies = stack.geometry.die_count();
+          for (std::size_t d = 0; d < dies; ++d) {
+            const Celsius t = to_celsius(stack.network.max_temperature(d));
+            if (t > hottest) hottest = t;
+          }
+          controller->note_tick(
+              h, hottest,
+              Watt{stack.network.total_power().value() +
+                   stack.network.leakage_power().value()});
+        }
         advanced += h;
       }
       stack.now += config_.sample_period;
@@ -240,6 +273,12 @@ void FleetSampler::worker(std::size_t worker_index) {
         if (config_.interceptor != nullptr) {
           config_.interceptor->after_scan(k, scan, frame.readings);
         }
+      }
+      if (controller != nullptr) {
+        // Post-supervision readings: the controller sees what the fleet
+        // sees — substituted quarantine placeholders arrive flagged
+        // degraded, so no policy can actuate on a dead sensor.
+        controller->on_scan(scan, stack.now, frame.readings);
       }
       frame.capture_ns = steady_now_ns();
 

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "control/controller.hpp"
 #include "core/health_supervisor.hpp"
 #include "core/stack_monitor.hpp"
 #include "telemetry/frame.hpp"
@@ -112,6 +113,13 @@ class FleetSampler {
     /// plain pipeline ships raw scans.
     bool supervise = false;
     core::HealthSupervisor::Config health;
+    /// Closed-loop control seam (not owned; must outlive run()).  Stack k
+    /// is driven by plane->controller(k): each scan's post-supervision
+    /// readings feed its decision, and the next scan's thermal advance
+    /// runs under the held actuation.  Controllers follow the same
+    /// ownership rule as stacks — only the owning worker touches stack
+    /// k's controller, so the loop stays thread-count-invariant.
+    control::ControlPlane* control = nullptr;
   };
 
   /// Builds every stack up front (thermal network, variation draw, monitor)

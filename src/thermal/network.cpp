@@ -205,6 +205,34 @@ void ThermalNetwork::scale_power(double factor) {
   for (double& p : power_) p *= factor;
 }
 
+void ThermalNetwork::scale_die_power(std::size_t die, double factor) {
+  if (factor < 0.0) {
+    throw std::invalid_argument{"scale_die_power: negative"};
+  }
+  const DieGeometry& geom = config_.dies.at(die);
+  const std::size_t begin = die_node_offset_[die];
+  const std::size_t end = begin + geom.nx * geom.ny;
+  for (std::size_t n = begin; n < end; ++n) power_[n] *= factor;
+}
+
+void ThermalNetwork::add_uniform_power(std::size_t die, Watt total) {
+  const DieGeometry& geom = config_.dies.at(die);
+  const double per_cell =
+      total.value() / static_cast<double>(geom.nx * geom.ny);
+  const std::size_t begin = die_node_offset_[die];
+  const std::size_t end = begin + geom.nx * geom.ny;
+  for (std::size_t n = begin; n < end; ++n) power_[n] += per_cell;
+}
+
+Watt ThermalNetwork::die_power(std::size_t die) const {
+  const DieGeometry& geom = config_.dies.at(die);
+  const std::size_t begin = die_node_offset_[die];
+  const std::size_t end = begin + geom.nx * geom.ny;
+  double sum = 0.0;
+  for (std::size_t n = begin; n < end; ++n) sum += power_[n];
+  return Watt{sum};
+}
+
 Watt ThermalNetwork::total_power() const {
   double sum = 0.0;
   for (double p : power_) sum += p;

@@ -49,7 +49,15 @@ class ThermalNetwork {
   /// Scale every cell's power (used by throttling policies).  Does not
   /// affect temperature-dependent (leakage) sources.
   void scale_power(double factor);
+  /// Scale only one die's cells (per-die DVFS / gating actuation).  Like
+  /// scale_power, leakage sources are untouched.
+  void scale_die_power(std::size_t die, double factor);
+  /// Add `total` watts spread uniformly over one die on top of whatever is
+  /// already programmed (task-migration landing zone).
+  void add_uniform_power(std::size_t die, Watt total);
   [[nodiscard]] Watt total_power() const;
+  /// Power currently programmed on one die's map (excluding leakage).
+  [[nodiscard]] Watt die_power(std::size_t die) const;
 
   /// Attach a temperature-dependent per-cell power source to one die
   /// (leakage feedback).  Replaces any previous source on that die.

@@ -28,6 +28,18 @@
 //       degraded-mode temperature error, recovery status.  Exit 0 when
 //       every sensor fault was detected, nothing healthy was permanently
 //       quarantined, and the fleet converged back to all-healthy.
+//   tsvpt_cli control [--policy dvfs] [--stacks 8] [--threads 4]
+//                     [--scans 120] [--peak-w 8] [--ceiling-c 65]
+//                     [--floor-c 58] [--violation-c 75] [--chaos 0]
+//       Closed-loop DTM over a fleet: every stack is driven by its own
+//       controller (static worst-case, DVFS ladder, reactive gating or
+//       inter-die migration) actuating the plant between scans.  --chaos N
+//       injects N sensor faults per kind (dead/stuck oscillators, supply
+//       droop) under health supervision — quarantined sites are never
+//       actuated on; affected dies degrade to the worst-case rung.  Prints
+//       a JSON report (energy, peak true temperature, violation-seconds,
+//       actuation/migration/blind-scan counters).  Exit 0 only when the
+//       fleet accrued zero violation-seconds.
 //       Both fleet and chaos take --store DIR to persist every produced
 //       frame into the telemetry historian while sampling; fleet also takes
 //       --summary-interval S for periodic progress lines on stderr.
@@ -87,6 +99,8 @@
 #include <sstream>
 #include <thread>
 
+#include "control/controller.hpp"
+#include "control/policies.hpp"
 #include "core/stack_monitor.hpp"
 #include "device/tech_io.hpp"
 #include "ingest/fleet_view.hpp"
@@ -617,6 +631,104 @@ int cmd_chaos(const Args& args) {
   return ok ? 0 : 1;
 }
 
+int cmd_control(const Args& args) {
+  args.check_known({"policy", "stacks", "threads", "scans", "sample-ms",
+                    "ring", "grid", "seed", "peak-w", "ceiling-c", "floor-c",
+                    "violation-c", "chaos", "card", "log-level",
+                    "metrics-out", "trace-out"});
+
+  const std::string policy_name = args.get("policy", std::string{"dvfs"});
+  control::PolicyKind kind;
+  if (!control::parse_policy_kind(policy_name, &kind)) {
+    throw std::invalid_argument{"control: unknown policy '" + policy_name +
+                                "' (static|dvfs|gating|migration)"};
+  }
+
+  const double ceiling_c = args.get("ceiling-c", 65.0);
+  const double floor_c = args.get("floor-c", 58.0);
+  control::ControlPlane::Config plane_cfg;
+  plane_cfg.controller.kind = kind;
+  plane_cfg.controller.policy.ceiling = Celsius{ceiling_c};
+  plane_cfg.controller.policy.floor = Celsius{floor_c};
+  plane_cfg.controller.policy.gate_on = Celsius{ceiling_c};
+  plane_cfg.controller.policy.gate_off = Celsius{floor_c};
+  plane_cfg.controller.policy.migrate_trip = Celsius{floor_c + 2.0};
+  plane_cfg.controller.violation_ceiling =
+      Celsius{args.get("violation-c", 75.0)};
+
+  telemetry::FleetSampler::Config cfg;
+  cfg.stack_count = static_cast<std::size_t>(args.get("stacks", 8LL));
+  cfg.thread_count = static_cast<std::size_t>(args.get("threads", 4LL));
+  cfg.scans_per_stack = static_cast<std::size_t>(args.get("scans", 120LL));
+  cfg.sample_period = Second{args.get("sample-ms", 1.0) * 1e-3};
+  cfg.ring_capacity = static_cast<std::size_t>(args.get("ring", 512LL));
+  cfg.grid_columns = cfg.grid_rows =
+      static_cast<std::size_t>(args.get("grid", 2LL));
+  cfg.seed = static_cast<std::uint64_t>(args.get("seed", 4242LL));
+  cfg.peak_power = Watt{args.get("peak-w", 8.0)};
+  cfg.sensor.tech = technology_from(args);
+  cfg.sensor.model_vdd = cfg.sensor.tech.vdd_nominal;
+  // Controller-in-the-loop needs supervision: quarantined/dead sites must
+  // read as non-credible so a dark die degrades to the worst-case rung
+  // instead of being actuated on dead readings.
+  cfg.supervise = true;
+  cfg.health.fault.threshold = Celsius{25.0};  // same caveat as cmd_chaos
+
+  plane_cfg.stack_count = cfg.stack_count;
+  plane_cfg.die_count = 4;  // four_die_stack
+  control::ControlPlane plane{plane_cfg};
+  cfg.control = &plane;
+
+  telemetry::FleetSampler sampler{cfg};
+
+  // Optional sensor-fault chaos (kinds a controller must survive without
+  // ever acting on a dead reading; frame/ring faults are cmd_chaos's job).
+  std::unique_ptr<inject::ChaosInjector> injector;
+  const auto chaos_events =
+      static_cast<std::size_t>(args.get("chaos", 0LL));
+  inject::FaultPlan plan;
+  if (chaos_events > 0) {
+    const auto sites_per_stack = cfg.grid_columns * cfg.grid_rows * 4;
+    plan = inject::FaultPlan::random_campaign(
+        cfg.seed, cfg.stack_count, sites_per_stack, cfg.scans_per_stack,
+        {inject::FaultKind::kDeadRo, inject::FaultKind::kStuckRo,
+         inject::FaultKind::kSupplyDroop},
+        chaos_events);
+    injector = std::make_unique<inject::ChaosInjector>(plan, &sampler);
+    sampler.set_interceptor(injector.get());
+  }
+
+  sampler.run();
+
+  const control::Controller::Stats total = plane.total();
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"policy\": \"" << control::to_string(kind) << "\",\n"
+       << "  \"stacks\": " << cfg.stack_count << ",\n"
+       << "  \"threads\": " << cfg.thread_count << ",\n"
+       << "  \"scans_per_stack\": " << cfg.scans_per_stack << ",\n"
+       << "  \"fault_events\": " << plan.size() << ",\n"
+       << "  \"decisions\": " << total.decisions << ",\n"
+       << "  \"actuations\": " << total.actuations << ",\n"
+       << "  \"level_changes\": " << total.level_changes << ",\n"
+       << "  \"migrations\": " << total.migrations << ",\n"
+       << "  \"blind_scans\": " << total.blind_scans << ",\n"
+       << "  \"energy_j\": " << total.energy_j << ",\n"
+       << "  \"work_done\": " << total.work_done << ",\n"
+       << "  \"violation_seconds\": " << total.violation_s << ",\n"
+       << "  \"peak_true_c\": " << total.peak_true_c << ",\n"
+       << "  \"control_digest_bytes\": "
+       << control::canonical_digest(plane).size() << ",\n"
+       << "  \"obs\": " << obs::metrics_json() << "\n"
+       << "}\n";
+  std::cout << json.str();
+  export_obs(args);
+
+  // Scripts gate on this: the fleet stayed under the scoring ceiling for
+  // the whole campaign.
+  return total.violation_s == 0.0 ? 0 : 1;
+}
+
 int cmd_serve(const Args& args) {
   args.check_known({"port", "shards", "ring", "alert-c", "spatial", "store",
                     "duration-s", "idle-exit-s", "idle-conn-s", "log-level",
@@ -1080,7 +1192,8 @@ int cmd_obs(const Args& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: tsvpt_cli"
-               " <tech|sense|mc|trace|fleet|chaos|serve|publish|store|obs>"
+               " <tech|sense|mc|trace|fleet|chaos|control|serve|publish|"
+               "store|obs>"
                " [flags]\n"
                "  tech   [--card FILE]\n"
                "  sense  --t DEGC [--dvtn-mv MV] [--dvtp-mv MV] [--seed N]"
@@ -1096,6 +1209,18 @@ int usage() {
                "  chaos  [--stacks N] [--threads N] [--scans N]"
                " [--sample-ms MS] [--ring N] [--grid N] [--events-per-kind N]"
                " [--watchdog-ms MS] [--seed N] [--card FILE] [--store DIR]\n"
+               "  control [--policy static|dvfs|gating|migration]"
+               " [--stacks N] [--threads N] [--scans N] [--sample-ms MS]"
+               " [--ring N] [--grid N]\n"
+               "          [--seed N] [--peak-w W] [--ceiling-c DEGC]"
+               " [--floor-c DEGC] [--violation-c DEGC] [--chaos N]"
+               " [--card FILE]\n"
+               "         controller-in-the-loop fleet: every stack runs the"
+               " chosen DTM policy; --chaos N injects N sensor faults per"
+               " kind;\n"
+               "         prints a JSON report (energy, peak, violation"
+               " seconds, actuation counters); exit 0 only with zero"
+               " violation-seconds\n"
                "  serve  [--port N] [--shards N] [--ring N] [--alert-c DEGC]"
                " [--store DIR] [--duration-s S] [--idle-exit-s S]"
                " [--idle-conn-s S]\n"
@@ -1147,6 +1272,7 @@ int main(int argc, char** argv) {
     if (command == "trace") return cmd_trace(args);
     if (command == "fleet") return cmd_fleet(args);
     if (command == "chaos") return cmd_chaos(args);
+    if (command == "control") return cmd_control(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "publish") return cmd_publish(args);
     if (command == "store") return cmd_store(args);
