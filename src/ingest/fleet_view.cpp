@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/stages.hpp"
 #include "telemetry/codec_util.hpp"
 
 namespace tsvpt::ingest {
@@ -40,6 +41,7 @@ void FleetView::add_shard(const telemetry::Aggregator::Summary& summary,
   health_log_.insert(health_log_.end(), summary.health_transitions.begin(),
                      summary.health_transitions.end());
   for (const double v : summary.latency.values()) latency_.add(v);
+  latency_aligned_ += summary.latency_aligned;
 }
 
 void FleetView::finalize() {
@@ -134,6 +136,21 @@ std::vector<std::uint8_t> FleetView::canonical_bytes() const {
 std::uint32_t FleetView::digest() const {
   const std::vector<std::uint8_t> bytes = canonical_bytes();
   return telemetry::crc32(bytes.data(), bytes.size());
+}
+
+obs::SloTracker FleetView::default_slo_tracker() {
+  // 100 ms per stage at 99% is generous for a healthy pipeline (loopback
+  // legs run in microseconds) — burning this budget means a stage is
+  // genuinely backed up, not just jittering.
+  obs::SloTracker tracker;
+  for (const char* stage : obs::all_stages()) {
+    tracker.add(obs::SloTracker::stage_latency_slo(stage, 0.1, 0.99));
+  }
+  return tracker;
+}
+
+std::vector<obs::SloStatus> FleetView::slo_status() const {
+  return slo_.evaluate(obs::Registry::instance().snapshot());
 }
 
 }  // namespace tsvpt::ingest

@@ -28,6 +28,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/slo.hpp"
 #include "ptsim/stats.hpp"
 #include "telemetry/aggregator.hpp"
 
@@ -75,6 +76,27 @@ class FleetView {
   }
   /// Merged e2e latency samples — wall clock, excluded from the digest.
   [[nodiscard]] const Samples& latency() const { return latency_; }
+  /// How many merged latency samples were re-based with a publisher clock
+  /// offset (Aggregator::Summary::latency_aligned, summed over shards).
+  [[nodiscard]] std::uint64_t latency_aligned() const {
+    return latency_aligned_;
+  }
+  /// What clock the latency numbers are on: "aligned_clock" once any
+  /// sample was re-based with a publisher offset (cross-process
+  /// comparable), "local_clock" otherwise (capture and decode on the same
+  /// monotonic clock, or no offset estimate yet).
+  [[nodiscard]] const char* latency_source() const {
+    return latency_aligned_ > 0 ? "aligned_clock" : "local_clock";
+  }
+
+  /// Replace the attached SLO tracker (default: default_slo_tracker()).
+  void set_slo_tracker(obs::SloTracker tracker) {
+    slo_ = std::move(tracker);
+  }
+  /// Serve default: a 99%-under-100ms latency SLO per pipeline stage.
+  [[nodiscard]] static obs::SloTracker default_slo_tracker();
+  /// Evaluate the attached tracker against the live metrics registry.
+  [[nodiscard]] std::vector<obs::SloStatus> slo_status() const;
 
   /// Deterministic little-endian serialization of everything aggregated
   /// from frame *content* (doubles as IEEE-754 bit patterns).  Two views
@@ -95,6 +117,8 @@ class FleetView {
   std::vector<telemetry::Alert> alert_log_;
   std::vector<telemetry::HealthEvent> health_log_;
   Samples latency_;
+  std::uint64_t latency_aligned_ = 0;
+  obs::SloTracker slo_ = default_slo_tracker();
   bool finalized_ = false;
 };
 

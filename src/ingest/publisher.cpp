@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/stages.hpp"
+#include "obs/trace.hpp"
 #include "telemetry/codec_util.hpp"
 
 namespace tsvpt::ingest {
@@ -33,6 +35,8 @@ struct PublisherMetrics {
   obs::Histogram batch_bytes = obs::histogram("tsvpt_pub_batch_bytes");
   obs::Histogram send_seconds = obs::histogram("tsvpt_pub_send_seconds");
   obs::Histogram ack_rtt = obs::histogram("tsvpt_pub_ack_rtt_seconds");
+  obs::Histogram ring_to_seal = obs::stage_latency(obs::kStageRingToSeal);
+  obs::Histogram seal_to_wire = obs::stage_latency(obs::kStageSealToWire);
 };
 
 [[nodiscard]] PublisherMetrics& metrics_of() {
@@ -203,10 +207,29 @@ void FleetPublisher::seal_locked() {
   net::BatchMeta meta;
   meta.publisher_id = config_.publisher_id;
   meta.seq = next_seq_++;
+  // Trace context: a deterministic function of (publisher, seq), so the
+  // server derives the same id for the same batch without negotiation.
+  meta.trace_id = derive_seed(config_.publisher_id, meta.seq);
   batch.seq = meta.seq;
+  batch.trace_id = meta.trace_id;
+  const Clock::time_point now = Clock::now();
+  batch.seal_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          now.time_since_epoch())
+          .count());
   batch.bytes = net::encode_batch(open_frames_, meta);
   batch.frames = open_frames_.size();
   metrics_of().batch_bytes.observe(static_cast<double>(batch.bytes.size()));
+  // ring_to_seal: how long the oldest frame sat in the open batch.  The
+  // batch opened flush_interval before its deadline, so the open time is
+  // recoverable without a clock read at offer().
+  if (open_deadline_armed_) {
+    const double waited =
+        std::chrono::duration<double>(
+            now - (open_deadline_ - to_duration(config_.flush_interval)))
+            .count();
+    if (waited >= 0.0) metrics_of().ring_to_seal.observe(waited);
+  }
   open_frames_.clear();
   open_bytes_ = 0;
   open_deadline_armed_ = false;
@@ -304,6 +327,7 @@ bool FleetPublisher::ensure_connected() {
   backoff_armed_ = false;
   backoff_ = config_.backoff_initial;
   ack_parser_ = net::AckParser{};  // ack frames never span connections
+  clock_align_.reset();            // new socket, new queueing regime
   fin_inflight_ = false;
   const std::uint64_t prior =
       connects_.fetch_add(1, std::memory_order_relaxed);
@@ -333,6 +357,16 @@ void FleetPublisher::on_connection_lost() {
 void FleetPublisher::handle_ack(const net::AckFrame& ack) {
   acks_received_.fetch_add(1, std::memory_order_relaxed);
   metrics_of().acks.inc();
+  if (ack.timestamped()) {
+    // The four NTP timestamps: our send stamp echoed back (t1), the
+    // server's receive/transmit stamps (t2, t3), and now (t4).
+    clock_align_.update(ack.echo_send_ns, ack.srv_rx_ns, ack.srv_tx_ns,
+                        obs::monotonic_ns());
+    clock_offset_ns_.store(clock_align_.offset_ns(),
+                           std::memory_order_relaxed);
+    clock_rtt_ns_.store(clock_align_.min_rtt_ns(), std::memory_order_relaxed);
+    clock_samples_.store(clock_align_.samples(), std::memory_order_relaxed);
+  }
   if (ack.nacked()) {
     // The server is closing this connection over a framing violation it
     // attributes to us; reconnect and retransmit — at-least-once makes the
@@ -394,6 +428,16 @@ bool FleetPublisher::send_batch(Batch& batch) {
       return true;
     }
   }
+  // Fresh send stamp on every attempt (retransmits included), plus the
+  // current clock-offset estimate for server-side re-basing.  Before the
+  // hook, so chaos corruption of the header is not CRC-healed.
+  const std::uint64_t send_ns = obs::monotonic_ns();
+  net::restamp_batch_send(batch.bytes, send_ns, clock_align_.offset_ns(),
+                          clock_align_.valid());
+  if (!batch.sent_before && batch.seal_ns != 0 && send_ns >= batch.seal_ns) {
+    metrics_of().seal_to_wire.observe(
+        static_cast<double>(send_ns - batch.seal_ns) * 1e-9);
+  }
   net::BatchAction action;
   if (config_.hook != nullptr) {
     action = config_.hook->on_batch(batch.seq, batch.bytes);
@@ -405,7 +449,10 @@ bool FleetPublisher::send_batch(Batch& batch) {
   }
   const std::size_t limit = std::min(action.truncate_to, batch.bytes.size());
   const bool truncated = limit < batch.bytes.size();
-  const obs::ScopedTimer timer{metrics_of().send_seconds};
+  // Paired trace span: the server records a "batch_rx" instant with the
+  // same trace_id, which TraceMerge lines up on one timeline.
+  const obs::ObsSpan span{"pub", "batch_send", metrics_of().send_seconds,
+                          batch.trace_id};
   if (!net::send_all(socket_, batch.bytes.data(), limit)) {
     // Connection died mid-send: the batch stays queued for retransmit
     // after reconnect (the server discards whatever partial tail it saw).
@@ -567,6 +614,9 @@ FleetPublisher::Stats FleetPublisher::stats() const {
       hook_acks_dropped_.load(std::memory_order_relaxed);
   s.hook_duplicated_batches =
       hook_duplicated_.load(std::memory_order_relaxed);
+  s.clock_offset_ns = clock_offset_ns_.load(std::memory_order_relaxed);
+  s.clock_rtt_ns = clock_rtt_ns_.load(std::memory_order_relaxed);
+  s.clock_samples = clock_samples_.load(std::memory_order_relaxed);
   s.connected_once = connected_once_.load(std::memory_order_relaxed);
   s.drained = drained_.load(std::memory_order_relaxed);
   return s;

@@ -55,6 +55,7 @@
 #include "ingest/spill.hpp"
 #include "net/framing.hpp"
 #include "net/socket.hpp"
+#include "obs/clock_align.hpp"
 #include "ptsim/rng.hpp"
 #include "ptsim/units.hpp"
 #include "telemetry/ring.hpp"
@@ -181,6 +182,12 @@ class FleetPublisher {
     std::uint64_t hook_dropped_connections = 0;
     std::uint64_t hook_acks_dropped = 0;
     std::uint64_t hook_duplicated_batches = 0;
+    /// ClockAlign state for the current connection: estimated server clock
+    /// minus publisher clock (ns), the RTT of the sample it came from, and
+    /// how many round trips fed the window.  Zero until the first ack v2.
+    std::int64_t clock_offset_ns = 0;
+    std::int64_t clock_rtt_ns = 0;
+    std::uint64_t clock_samples = 0;
     bool connected_once = false;
     bool drained = false;
   };
@@ -202,6 +209,11 @@ class FleetPublisher {
     std::size_t frames = 0;
     std::uint64_t seq = 0;
     std::uint16_t flags = 0;
+    /// Trace-context id stamped into the v3 header at seal time.
+    std::uint64_t trace_id = 0;
+    /// Steady clock at seal, ns — seal_to_wire is measured from here on the
+    /// first send (0 for batches resumed from a spill log).
+    std::uint64_t seal_ns = 0;
     /// bytes were evicted; re-read from the spill log before sending.
     bool spilled = false;
     /// Already sent at least once (its next send is a retransmit).
@@ -238,6 +250,9 @@ class FleetPublisher {
   std::uint64_t next_seq_ = 1;
   std::optional<SpillQueue> spill_;
   net::AckParser ack_parser_;
+  /// Per-connection NTP-style offset estimator fed by ack v2 timestamps
+  /// (reset on reconnect — new socket, new queues).
+  obs::ClockAlign clock_align_;
   bool fin_inflight_ = false;
   std::chrono::steady_clock::time_point last_send_;
 
@@ -277,6 +292,9 @@ class FleetPublisher {
   std::atomic<std::uint64_t> hook_acks_dropped_{0};
   std::atomic<std::uint64_t> hook_duplicated_{0};
   std::atomic<std::uint64_t> acked_seq_observed_{0};
+  std::atomic<std::int64_t> clock_offset_ns_{0};
+  std::atomic<std::int64_t> clock_rtt_ns_{0};
+  std::atomic<std::uint64_t> clock_samples_{0};
   std::atomic<bool> connected_once_{false};
   std::atomic<bool> drained_{false};
 };

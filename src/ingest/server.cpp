@@ -3,10 +3,15 @@
 #include <poll.h>
 
 #include <chrono>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/http.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stages.hpp"
+#include "obs/trace.hpp"
+#include "telemetry/codec_util.hpp"
 #include "telemetry/frame.hpp"
 
 namespace tsvpt::ingest {
@@ -28,6 +33,9 @@ struct ServerMetrics {
   obs::Counter duplicates = obs::counter("tsvpt_ingest_duplicates_total");
   obs::Counter heartbeats = obs::counter("tsvpt_ingest_heartbeats_total");
   obs::Counter reaped = obs::counter("tsvpt_ingest_reaped_total");
+  obs::Counter http_requests =
+      obs::counter("tsvpt_ingest_http_requests_total");
+  obs::Histogram wire_to_shard = obs::stage_latency(obs::kStageWireToShard);
 };
 
 [[nodiscard]] ServerMetrics& metrics_of() {
@@ -93,6 +101,14 @@ void IngestServer::start() {
   listener_ = net::tcp_listen(config_.bind_host, config_.port);
   net::set_nonblocking(listener_, true);
   port_ = net::local_port(listener_);
+  if (config_.http_enabled) {
+    http_listener_ = net::tcp_listen(config_.bind_host, config_.http_port);
+    net::set_nonblocking(http_listener_, true);
+    http_port_ = net::local_port(http_listener_);
+  }
+  // A scrape must always expose the complete stage family, even before
+  // traffic has reached every stage (stable schema for grep gates).
+  obs::register_stage_histograms();
 
   if (!config_.store_dir.empty()) {
     store_ = std::make_unique<store::StoreWriter>(config_.store_dir);
@@ -105,6 +121,8 @@ void IngestServer::start() {
     shard->ring = std::make_unique<telemetry::FrameRing>(
         config_.shard_ring_capacity);
     telemetry::Aggregator::Config agg = config_.aggregator;
+    // Server-side shard rings always carry the attribution trailer.
+    agg.shard_trailer = true;
     Shard* raw = shard.get();
     shard->aggregator = std::make_unique<telemetry::Aggregator>(
         std::move(agg), [raw](const telemetry::Alert& alert) {
@@ -151,6 +169,7 @@ void IngestServer::route_frame(std::vector<std::uint8_t>&& wire) {
     return;
   }
   if (store_) {
+    // Store sink decodes the bare frame — before the trailer goes on.
     const telemetry::DecodeResult decoded = telemetry::decode(wire);
     if (decoded.ok()) {
       store_->append(decoded.frame);
@@ -162,6 +181,17 @@ void IngestServer::route_frame(std::vector<std::uint8_t>&& wire) {
   frames_total_.fetch_add(1, std::memory_order_relaxed);
   frames_per_shard_[shard]->fetch_add(1, std::memory_order_relaxed);
   metrics_of().frames.add(1);
+  // Attribution trailer for the shard aggregator: when this frame entered
+  // the shard queue, and the batch's publisher clock offset (sentinel when
+  // the publisher had no estimate).
+  {
+    using telemetry::put_u64;
+    const std::int64_t offset = cur_offset_valid_
+                                    ? cur_offset_ns_
+                                    : telemetry::kRingTrailerInvalidOffset;
+    put_u64(wire, static_cast<std::uint64_t>(now_ns()));
+    put_u64(wire, static_cast<std::uint64_t>(offset));
+  }
   const std::size_t evicted =
       shards_[shard]->ring->push_overwrite(std::move(wire));
   if (evicted > 0) {
@@ -179,6 +209,30 @@ bool IngestServer::handle_batch_info(Connection& conn,
   }
   Peer& peer = it->second;
   conn.ack_pending = true;
+
+  // Timestamped (v3 data) batch: capture the NTP echo pair for the next
+  // ack, stage the publisher's clock offset for route_frame's trailer, and
+  // attribute the wire leg when the offset lets us compare clocks.
+  if (info.send_ns != 0) {
+    const std::uint64_t rx = static_cast<std::uint64_t>(now_ns());
+    conn.echo_send_ns = info.send_ns;
+    conn.echo_rx_ns = rx;
+    cur_offset_ns_ = info.offset_ns;
+    cur_offset_valid_ = info.offset_valid();
+    obs::instant("ingest", "batch_rx", info.trace_id);
+    if (info.offset_valid()) {
+      const std::int64_t wire_ns =
+          static_cast<std::int64_t>(rx) -
+          (static_cast<std::int64_t>(info.send_ns) + info.offset_ns);
+      if (wire_ns >= 0) {
+        metrics_of().wire_to_shard.observe(static_cast<double>(wire_ns) *
+                                           1e-9);
+      }
+    }
+  } else {
+    // v2 replay or control batch: no send stamp, so no offset context.
+    cur_offset_valid_ = false;
+  }
 
   if (info.heartbeat()) {
     heartbeats_.fetch_add(1, std::memory_order_relaxed);
@@ -221,6 +275,11 @@ void IngestServer::queue_ack(Connection& conn) {
   Peer& peer = it->second;
   net::AckFrame ack;
   ack.ack_seq = peer.acked;
+  // NTP echo: t1 (publisher send) and t2 (our parse time) from the newest
+  // timestamped batch, t3 stamped now — as close to the send as we get.
+  ack.echo_send_ns = conn.echo_send_ns;
+  ack.srv_rx_ns = conn.echo_rx_ns;
+  ack.srv_tx_ns = static_cast<std::uint64_t>(now_ns());
   if (peer.has_fin && peer.acked >= peer.fin_seq) {
     ack.flags |= net::kAckFlagDrained;
     if (!peer.drain_counted) {
@@ -250,9 +309,18 @@ bool IngestServer::flush_outbox(Connection& conn) {
 }
 
 void IngestServer::run() {
+  // Scrape-port connections: parse one request, write one response, close.
+  struct HttpConn {
+    net::Socket socket;
+    obs::HttpRequestParser parser;
+    std::string response;
+    std::size_t sent = 0;
+  };
   std::vector<Connection> connections;
+  std::vector<HttpConn> http_conns;
   std::vector<pollfd> fds;
   std::vector<std::uint8_t> chunk(kRecvChunk);
+  const bool http = http_listener_.valid();
   const bool reap = config_.idle_conn_timeout.value() > 0.0;
   const auto reap_after = std::chrono::duration_cast<
       std::chrono::steady_clock::duration>(
@@ -277,17 +345,27 @@ void IngestServer::run() {
 
     fds.clear();
     fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+    const std::size_t http_listener_slot = fds.size();
+    if (http) fds.push_back(pollfd{http_listener_.fd(), POLLIN, 0});
+    const std::size_t conn_base = fds.size();
     for (const Connection& conn : connections) {
       const short events =
           static_cast<short>(POLLIN | (conn.outbox.empty() ? 0 : POLLOUT));
       fds.push_back(pollfd{conn.socket.fd(), events, 0});
     }
+    const std::size_t http_base = fds.size();
+    for (const HttpConn& hc : http_conns) {
+      const short events =
+          static_cast<short>(hc.response.empty() ? POLLIN : POLLOUT);
+      fds.push_back(pollfd{hc.socket.fd(), events, 0});
+    }
     const int ready =
         ::poll(fds.data(), static_cast<nfds_t>(fds.size()), kPollTimeoutMs);
-    // Connections this round's pollfds actually describe: the accept loop
-    // below grows `connections`, and those new sockets have no pollfd
-    // until the next iteration.
+    // Connections this round's pollfds actually describe: the accept loops
+    // below grow the vectors, and those new sockets have no pollfd until
+    // the next iteration.
     const std::size_t polled = connections.size();
+    const std::size_t http_polled = http_conns.size();
 
     if (ready > 0 && (fds[0].revents & POLLIN) != 0) {
       for (;;) {
@@ -310,7 +388,7 @@ void IngestServer::run() {
     // Reverse order so close_connection's erase does not shift the
     // indices of connections not yet visited this round.
     for (std::size_t i = polled; i-- > 0;) {
-      const pollfd& pfd = fds[i + 1];
+      const pollfd& pfd = fds[conn_base + i];
       Connection& conn = connections[i];
 
       if (reap && std::chrono::steady_clock::now() - conn.last_rx >
@@ -383,13 +461,133 @@ void IngestServer::run() {
         close_connection(i, false);
       }
     }
+
+    if (http && ready > 0 &&
+        (fds[http_listener_slot].revents & POLLIN) != 0) {
+      for (;;) {
+        net::Socket accepted = net::tcp_accept(http_listener_);
+        if (!accepted.valid()) break;
+        net::set_nonblocking(accepted, true);
+        HttpConn hc;
+        hc.socket = std::move(accepted);
+        http_conns.push_back(std::move(hc));
+      }
+    }
+
+    // Reverse order for the same erase-stability reason as above.
+    for (std::size_t i = http_polled; i-- > 0;) {
+      const pollfd& pfd = fds[http_base + i];
+      HttpConn& hc = http_conns[i];
+      bool drop = false;
+      if (ready > 0 && hc.response.empty() &&
+          (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        for (;;) {
+          const net::IoResult r =
+              net::recv_some(hc.socket, chunk.data(), chunk.size());
+          if (r.status == net::IoStatus::kOk) {
+            const obs::HttpRequestParser::State state = hc.parser.feed(
+                reinterpret_cast<const char*>(chunk.data()), r.bytes);
+            if (state == obs::HttpRequestParser::State::kIncomplete) {
+              continue;
+            }
+            if (state == obs::HttpRequestParser::State::kComplete) {
+              hc.response =
+                  http_respond(hc.parser.method(), hc.parser.path());
+            } else {
+              // Oversized or malformed: answer with the error and close.
+              http_requests_.fetch_add(1, std::memory_order_relaxed);
+              metrics_of().http_requests.add(1);
+              hc.response = obs::http_response(
+                  state == obs::HttpRequestParser::State::kTooLarge ? 431
+                                                                    : 400,
+                  "text/plain", "bad request\n");
+            }
+            break;
+          }
+          if (r.status == net::IoStatus::kWouldBlock) break;
+          drop = true;  // peer gone before a full request arrived
+          break;
+        }
+      }
+      if (!drop && !hc.response.empty()) {
+        while (hc.sent < hc.response.size()) {
+          const net::IoResult r = net::send_some(
+              hc.socket,
+              reinterpret_cast<const std::uint8_t*>(hc.response.data()) +
+                  hc.sent,
+              hc.response.size() - hc.sent);
+          if (r.status == net::IoStatus::kOk) {
+            hc.sent += r.bytes;
+            continue;
+          }
+          if (r.status != net::IoStatus::kWouldBlock) drop = true;
+          break;  // kWouldBlock: POLLOUT resumes next round
+        }
+        if (hc.sent == hc.response.size()) drop = true;  // close-on-done
+      }
+      if (drop) {
+        http_conns.erase(http_conns.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      }
+    }
   }
 
   // Connections close here; bytes still in flight are discarded, which is
   // the documented stop() contract (the CLI waits for idle first).
   connections.clear();
+  http_conns.clear();
   open_connections_.store(0, std::memory_order_relaxed);
   listener_.close();
+  http_listener_.close();
+}
+
+std::string IngestServer::http_respond(const std::string& method,
+                                       const std::string& path) {
+  http_requests_.fetch_add(1, std::memory_order_relaxed);
+  metrics_of().http_requests.add(1);
+  if (method != "GET") {
+    return obs::http_response(405, "text/plain", "method not allowed\n");
+  }
+  if (path == "/metrics") {
+    return obs::http_response(200,
+                              "text/plain; version=0.0.4; charset=utf-8",
+                              obs::metrics_prometheus());
+  }
+  if (path == "/healthz") {
+    return obs::http_response(200, "application/json", healthz_json());
+  }
+  return obs::http_response(404, "text/plain", "not found\n");
+}
+
+std::string IngestServer::healthz_json() const {
+  // IO thread: peers_ and the shard rings are safe to read here (rings via
+  // their own internal synchronization, peers_ because we own it).
+  std::ostringstream out;
+  out << "{\"shards\": [";
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (s != 0) out << ", ";
+    const bool failed =
+        (failed_mask_.load(std::memory_order_relaxed) & (1ull << s)) != 0;
+    out << "{\"shard\": " << s << ", \"ring_depth\": "
+        << shards_[s]->ring->size() << ", \"frames\": "
+        << frames_per_shard_[s]->load(std::memory_order_relaxed)
+        << ", \"failed\": " << (failed ? "true" : "false") << "}";
+  }
+  out << "], \"open_connections\": "
+      << open_connections_.load(std::memory_order_relaxed)
+      << ", \"peers\": [";
+  bool first = true;
+  for (const auto& [publisher_id, peer] : peers_) {
+    if (publisher_id == 0) continue;  // unsequenced producers: no identity
+    if (!first) out << ", ";
+    first = false;
+    const bool drained = peer.has_fin && peer.acked >= peer.fin_seq;
+    out << "{\"publisher_id\": " << publisher_id << ", \"acked\": "
+        << peer.acked << ", \"fin\": " << (peer.has_fin ? "true" : "false")
+        << ", \"drained\": " << (drained ? "true" : "false") << "}";
+  }
+  out << "]}";
+  return out.str();
 }
 
 IngestServer::Stats IngestServer::stats() const {
@@ -415,6 +613,7 @@ IngestServer::Stats IngestServer::stats() const {
   s.fin_drains = fin_drains_.load(std::memory_order_relaxed);
   s.reaped_connections =
       reaped_connections_.load(std::memory_order_relaxed);
+  s.http_requests = http_requests_.load(std::memory_order_relaxed);
   s.publishers = publishers_.load(std::memory_order_relaxed);
   s.open_connections = open_connections_.load(std::memory_order_relaxed);
   s.frames_per_shard.reserve(frames_per_shard_.size());

@@ -69,6 +69,12 @@ class IngestServer {
     /// Non-empty: persist every decodable frame to this historian directory
     /// (the server-side --store sink).
     std::string store_dir;
+    /// Serve `GET /metrics` (Prometheus text) and `GET /healthz` (JSON) on
+    /// a side port from the same poll loop.  Scrapes share the IO thread,
+    /// so a slow scraper can add at most one response write per poll round.
+    bool http_enabled = false;
+    /// 0 = ephemeral; read back with http_port().
+    std::uint16_t http_port = 0;
   };
 
   explicit IngestServer(Config config);
@@ -91,6 +97,8 @@ class IngestServer {
     return running_.load(std::memory_order_acquire);
   }
   [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// Bound scrape port (0 when http_enabled is false).
+  [[nodiscard]] std::uint16_t http_port() const { return http_port_; }
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
   /// Stable stack -> shard map (splitmix64 finalizer mod shard_count):
@@ -134,6 +142,8 @@ class IngestServer {
     std::uint64_t fin_drains = 0;
     /// Connections closed by the idle timeout.
     std::uint64_t reaped_connections = 0;
+    /// HTTP requests answered on the scrape port (any path or status).
+    std::uint64_t http_requests = 0;
     /// Distinct publisher ids ever seen.
     std::uint64_t publishers = 0;
     std::size_t open_connections = 0;
@@ -181,6 +191,10 @@ class IngestServer {
     /// An ack is owed after the current consume chunk.
     bool ack_pending = false;
     std::chrono::steady_clock::time_point last_rx;
+    /// Echo material for ack v2: the send stamp of the newest timestamped
+    /// batch on this connection, and the server clock when it was parsed.
+    std::uint64_t echo_send_ns = 0;
+    std::uint64_t echo_rx_ns = 0;
   };
 
   /// Per-publisher delivery state; outlives connections (IO thread only).
@@ -193,6 +207,11 @@ class IngestServer {
 
   void run();
   void route_frame(std::vector<std::uint8_t>&& wire);
+  /// Body + status for one scrape-port request (IO thread: peers_ and shard
+  /// rings are safe to read here).
+  [[nodiscard]] std::string http_respond(const std::string& method,
+                                         const std::string& path);
+  [[nodiscard]] std::string healthz_json() const;
   [[nodiscard]] std::size_t live_shard_for(std::uint32_t stack_id) const;
   void touch_activity();
   /// BatchParser veto seam: dedup/heartbeat/FIN handling.  True = emit the
@@ -207,6 +226,12 @@ class IngestServer {
   Config config_;
   net::Socket listener_;
   std::uint16_t port_ = 0;
+  net::Socket http_listener_;
+  std::uint16_t http_port_ = 0;
+  /// Current batch's clock-offset context (IO thread only): set by
+  /// handle_batch_info, consumed by route_frame for the ring trailer.
+  std::int64_t cur_offset_ns_ = 0;
+  bool cur_offset_valid_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<store::StoreWriter> store_;
   std::thread io_thread_;
@@ -236,6 +261,7 @@ class IngestServer {
   std::atomic<std::uint64_t> batch_gaps_{0};
   std::atomic<std::uint64_t> fin_drains_{0};
   std::atomic<std::uint64_t> reaped_connections_{0};
+  std::atomic<std::uint64_t> http_requests_{0};
   std::atomic<std::uint64_t> publishers_{0};
   std::atomic<std::size_t> open_connections_{0};
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> frames_per_shard_;

@@ -57,7 +57,7 @@ struct SpillMetrics {
   obs::Counter appends = obs::counter("tsvpt_spill_appends_total");
   obs::Counter bytes = obs::counter("tsvpt_spill_bytes_total");
   obs::Counter compactions = obs::counter("tsvpt_spill_compactions_total");
-  obs::Gauge depth = obs::gauge("tsvpt_spill_depth");
+  obs::Gauge depth = obs::gauge("tsvpt_spill_depth_batches");
 };
 
 [[nodiscard]] SpillMetrics& metrics_of() {

@@ -8,9 +8,17 @@ namespace tsvpt::net {
 
 namespace {
 
-// Header CRC covers magic..payload_bytes (everything before the CRC field).
+// Header CRC covers everything before the trailing CRC field, whichever
+// version sized the header.
 constexpr std::size_t kCrcCoverage = kBatchHeaderSize - 4;
+constexpr std::size_t kCrcCoverageV2 = kBatchHeaderSizeV2 - 4;
 constexpr std::size_t kAckCrcCoverage = kAckFrameSize - 4;
+constexpr std::size_t kAckCrcCoverageV1 = kAckFrameSizeV1 - 4;
+
+// v3 header field offsets (shared by encode_batch and restamp_batch_send).
+constexpr std::size_t kFlagsOffset = 6;
+constexpr std::size_t kSendNsOffset = 40;
+constexpr std::size_t kOffsetNsOffset = 48;
 
 // Keep the consumed prefix from growing without bound on long-lived
 // connections: once it passes this, shift the live tail to the front.
@@ -64,12 +72,56 @@ std::vector<std::uint8_t> encode_batch(
   put_u64(out, meta.seq);
   put_u32(out, static_cast<std::uint32_t>(frames.size()));
   put_u32(out, static_cast<std::uint32_t>(payload));
+  put_u64(out, meta.trace_id);
+  put_u64(out, meta.send_ns);
+  put_u64(out, static_cast<std::uint64_t>(meta.offset_ns));
   put_u32(out, telemetry::crc32(out.data(), kCrcCoverage));
   for (const auto& f : frames) {
     put_u32(out, static_cast<std::uint32_t>(f.size()));
     out.insert(out.end(), f.begin(), f.end());
   }
   return out;
+}
+
+namespace {
+
+// In-place little-endian u64 store (put_u64 only appends).
+void store_u64(std::uint8_t* dst, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    dst[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+void store_u32(std::uint8_t* dst, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    dst[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+}  // namespace
+
+bool restamp_batch_send(std::vector<std::uint8_t>& bytes,
+                        std::uint64_t send_ns, std::int64_t offset_ns,
+                        bool offset_valid) {
+  if (bytes.size() < kBatchHeaderSize) return false;
+  if (telemetry::get_u32(bytes.data()) != kBatchMagic) return false;
+  // Spill logs written by a v2 build replay with their original 36-byte
+  // headers — no timestamp fields to poke.
+  if (telemetry::get_u16(bytes.data() + 4) != kBatchVersion) return false;
+  std::uint16_t flags = telemetry::get_u16(bytes.data() + kFlagsOffset);
+  if (offset_valid) {
+    flags |= kBatchFlagOffsetValid;
+  } else {
+    flags = static_cast<std::uint16_t>(flags & ~kBatchFlagOffsetValid);
+  }
+  bytes[kFlagsOffset] = static_cast<std::uint8_t>(flags);
+  bytes[kFlagsOffset + 1] = static_cast<std::uint8_t>(flags >> 8);
+  store_u64(bytes.data() + kSendNsOffset, send_ns);
+  store_u64(bytes.data() + kOffsetNsOffset,
+            static_cast<std::uint64_t>(offset_ns));
+  store_u32(bytes.data() + kCrcCoverage,
+            telemetry::crc32(bytes.data(), kCrcCoverage));
+  return true;
 }
 
 BatchStatus BatchParser::consume(const std::uint8_t* data, std::size_t size,
@@ -79,25 +131,39 @@ BatchStatus BatchParser::consume(const std::uint8_t* data, std::size_t size,
 
   for (;;) {
     const std::size_t available = buffer_.size() - pos_;
-    if (available < kBatchHeaderSize) break;
+    // Magic + version first (6 bytes) — the version picks the header size.
+    if (available < 8) break;
     const std::uint8_t* head = buffer_.data() + pos_;
 
     if (telemetry::get_u32(head) != kBatchMagic) {
       status_ = BatchStatus::kBadMagic;
       return status_;
     }
-    if (telemetry::get_u16(head + 4) != kBatchVersion) {
+    const std::uint16_t version = telemetry::get_u16(head + 4);
+    if (version != kBatchVersion && version != kBatchVersionV2) {
       status_ = BatchStatus::kBadVersion;
       return status_;
     }
+    const std::size_t header_size =
+        version == kBatchVersionV2 ? kBatchHeaderSizeV2 : kBatchHeaderSize;
+    const std::size_t crc_coverage =
+        version == kBatchVersionV2 ? kCrcCoverageV2 : kCrcCoverage;
+    if (available < header_size) break;
     BatchInfo info;
+    info.version = version;
     info.flags = telemetry::get_u16(head + 6);
     info.publisher_id = telemetry::get_u64(head + 8);
     info.seq = telemetry::get_u64(head + 16);
     info.frame_count = telemetry::get_u32(head + 24);
     info.payload_bytes = telemetry::get_u32(head + 28);
-    if (telemetry::get_u32(head + 32) !=
-        telemetry::crc32(head, kCrcCoverage)) {
+    if (version == kBatchVersion) {
+      info.trace_id = telemetry::get_u64(head + 32);
+      info.send_ns = telemetry::get_u64(head + 40);
+      info.offset_ns =
+          static_cast<std::int64_t>(telemetry::get_u64(head + 48));
+    }
+    if (telemetry::get_u32(head + crc_coverage) !=
+        telemetry::crc32(head, crc_coverage)) {
       status_ = BatchStatus::kBadHeaderCrc;
       return status_;
     }
@@ -106,11 +172,11 @@ BatchStatus BatchParser::consume(const std::uint8_t* data, std::size_t size,
       status_ = BatchStatus::kOversized;
       return status_;
     }
-    if (available < kBatchHeaderSize + info.payload_bytes) break;  // partial
+    if (available < header_size + info.payload_bytes) break;  // partial
 
     // Validate every inner length before emitting anything, so a batch whose
     // lengths disagree with payload_bytes emits zero frames.
-    const std::uint8_t* payload = head + kBatchHeaderSize;
+    const std::uint8_t* payload = head + header_size;
     std::size_t cursor = 0;
     for (std::uint32_t i = 0; i < info.frame_count; ++i) {
       if (info.payload_bytes - cursor < 4) {
@@ -147,9 +213,9 @@ BatchStatus BatchParser::consume(const std::uint8_t* data, std::size_t size,
       frames_skipped_ += info.frame_count;
     }
 
-    pos_ += kBatchHeaderSize + info.payload_bytes;
+    pos_ += header_size + info.payload_bytes;
     batches_ += 1;
-    bytes_ += kBatchHeaderSize + info.payload_bytes;
+    bytes_ += header_size + info.payload_bytes;
   }
 
   if (pos_ == buffer_.size()) {
@@ -174,6 +240,9 @@ void append_ack(std::vector<std::uint8_t>& out, const AckFrame& ack) {
   put_u16(out, ack.flags);
   put_u64(out, ack.ack_seq);
   put_u32(out, ack.nack);
+  put_u64(out, ack.echo_send_ns);
+  put_u64(out, ack.srv_rx_ns);
+  put_u64(out, ack.srv_tx_ns);
   put_u32(out, telemetry::crc32(out.data() + base, kAckCrcCoverage));
 }
 
@@ -189,18 +258,24 @@ AckStatus AckParser::consume(const std::uint8_t* data, std::size_t size,
   buffer_.insert(buffer_.end(), data, data + size);
 
   for (;;) {
-    if (buffer_.size() - pos_ < kAckFrameSize) break;
+    if (buffer_.size() - pos_ < 8) break;
     const std::uint8_t* head = buffer_.data() + pos_;
     if (telemetry::get_u32(head) != kAckMagic) {
       status_ = AckStatus::kBadMagic;
       return status_;
     }
-    if (telemetry::get_u16(head + 4) != kAckVersion) {
+    const std::uint16_t version = telemetry::get_u16(head + 4);
+    if (version != kAckVersion && version != kAckVersionV1) {
       status_ = AckStatus::kBadVersion;
       return status_;
     }
-    if (telemetry::get_u32(head + 20) !=
-        telemetry::crc32(head, kAckCrcCoverage)) {
+    const std::size_t frame_size =
+        version == kAckVersionV1 ? kAckFrameSizeV1 : kAckFrameSize;
+    const std::size_t crc_coverage =
+        version == kAckVersionV1 ? kAckCrcCoverageV1 : kAckCrcCoverage;
+    if (buffer_.size() - pos_ < frame_size) break;
+    if (telemetry::get_u32(head + crc_coverage) !=
+        telemetry::crc32(head, crc_coverage)) {
       status_ = AckStatus::kBadCrc;
       return status_;
     }
@@ -208,7 +283,12 @@ AckStatus AckParser::consume(const std::uint8_t* data, std::size_t size,
     ack.flags = telemetry::get_u16(head + 6);
     ack.ack_seq = telemetry::get_u64(head + 8);
     ack.nack = telemetry::get_u32(head + 16);
-    pos_ += kAckFrameSize;
+    if (version == kAckVersion) {
+      ack.echo_send_ns = telemetry::get_u64(head + 20);
+      ack.srv_rx_ns = telemetry::get_u64(head + 28);
+      ack.srv_tx_ns = telemetry::get_u64(head + 36);
+    }
+    pos_ += frame_size;
     acks_ += 1;
     on_ack(ack);
   }

@@ -1,12 +1,14 @@
 // Batch framing for the fleet telemetry transport.  A TCP stream carries a
 // sequence of batches, each wrapping zero or more v2 telemetry wire frames:
 //
-//   [magic u32 "TSVB"] [version u16 = 2] [flags u16]
+//   [magic u32 "TSVB"] [version u16 = 3] [flags u16]
 //   [publisher_id u64] [batch_seq u64]
-//   [frame_count u32] [payload_bytes u32] [header_crc32 u32]  -- 36 bytes
+//   [frame_count u32] [payload_bytes u32]
+//   [trace_id u64] [send_ns u64] [offset_ns i64]
+//   [header_crc32 u32]                                        -- 60 bytes
 //   payload: frame_count x { [len u32] [len bytes of v2 frame] }
 //
-// Protocol v2 adds the delivery-guarantee fields: every data batch carries
+// Protocol v2 added the delivery-guarantee fields: every data batch carries
 // its publisher's stable id and a per-publisher sequence number (starting at
 // 1), which the server acks cumulatively and dedups against, making
 // retransmission idempotent.  Flags mark the two zero-frame control batches:
@@ -14,6 +16,17 @@
 // kBatchFlagFin (drain handshake; batch_seq echoes the highest data seq the
 // publisher allocated, so the server can report "drained" once its
 // cumulative ack reaches it).
+//
+// Protocol v3 adds the trace-context fields (v2 is still parsed — spill logs
+// written by a v2 build replay fine): `trace_id` names this batch in both
+// processes' flight recorders so a TraceMerge can pair the publisher's send
+// span with the server's receive span; `send_ns` is the publisher's steady
+// clock at the moment of the socket write (re-stamped on every send attempt
+// via restamp_batch_send, so a retransmit carries a fresh timestamp); and
+// `offset_ns` ships the publisher's current ClockAlign estimate
+// (server_clock - publisher_clock), valid only under kBatchFlagOffsetValid,
+// letting the server re-base publisher timestamps onto its own clock for
+// cross-process latency attribution.
 //
 // The header CRC covers the first 32 header bytes, so a corrupted or
 // desynchronised stream is rejected before any length field is trusted.
@@ -55,8 +68,12 @@
 namespace tsvpt::net {
 
 inline constexpr std::uint32_t kBatchMagic = 0x42565354u;  // "TSVB" LE
-inline constexpr std::uint16_t kBatchVersion = 2;
-inline constexpr std::size_t kBatchHeaderSize = 36;
+inline constexpr std::uint16_t kBatchVersion = 3;
+/// Previous protocol version, still accepted by BatchParser (spill logs and
+/// mixed-version fleets).
+inline constexpr std::uint16_t kBatchVersionV2 = 2;
+inline constexpr std::size_t kBatchHeaderSize = 60;
+inline constexpr std::size_t kBatchHeaderSizeV2 = 36;
 /// Upper bounds a well-formed batch may claim; anything larger is treated as
 /// stream corruption rather than trusted as an allocation size.
 inline constexpr std::uint32_t kMaxBatchPayload = 64u << 20;
@@ -67,15 +84,25 @@ inline constexpr std::uint16_t kBatchFlagHeartbeat = 1u << 0;
 /// Drain handshake: "my highest allocated data seq is batch_seq; tell me
 /// when your cumulative ack reaches it."
 inline constexpr std::uint16_t kBatchFlagFin = 1u << 1;
+/// The header's offset_ns carries a live ClockAlign estimate (a publisher
+/// that has not completed a round trip yet sends 0 without this flag).
+inline constexpr std::uint16_t kBatchFlagOffsetValid = 1u << 2;
 
-/// Per-batch delivery metadata stamped into the v2 header.  The defaults
-/// encode "anonymous best-effort publisher" so v1-era call sites that only
-/// pass frames still produce valid batches (seq 0 batches bypass dedup).
+/// Per-batch metadata stamped into the v3 header.  The defaults encode
+/// "anonymous best-effort publisher" so v1-era call sites that only pass
+/// frames still produce valid batches (seq 0 batches bypass dedup).
 struct BatchMeta {
   std::uint64_t publisher_id = 0;
   /// Data batch sequence, starting at 1; 0 = unsequenced (no ack/dedup).
   std::uint64_t seq = 0;
   std::uint16_t flags = 0;
+  /// Trace-context id pairing this batch's spans across processes.
+  std::uint64_t trace_id = 0;
+  /// Publisher steady clock at socket write, ns (restamped per attempt).
+  std::uint64_t send_ns = 0;
+  /// Publisher's ClockAlign estimate (server - publisher), ns; meaningful
+  /// only under kBatchFlagOffsetValid.
+  std::int64_t offset_ns = 0;
 };
 
 /// Serialize `frames` (each an encoded v2 wire frame) into one batch.
@@ -86,6 +113,16 @@ struct BatchMeta {
 /// Bytes a batch of these frames occupies on the wire.
 [[nodiscard]] std::size_t batch_wire_size(
     const std::vector<std::vector<std::uint8_t>>& frames);
+
+/// Re-stamp a previously encoded batch's send timestamp and clock offset in
+/// place (header CRC recomputed) — called immediately before every send
+/// attempt so retransmits carry fresh timestamps.  `offset_valid` sets or
+/// clears kBatchFlagOffsetValid.  v2 batches (replayed spill logs) have no
+/// timestamp fields and pass through untouched; returns whether the batch
+/// was restamped.
+bool restamp_batch_send(std::vector<std::uint8_t>& bytes,
+                        std::uint64_t send_ns, std::int64_t offset_ns,
+                        bool offset_valid);
 
 enum class BatchStatus : std::uint8_t {
   kOk,             // all fed bytes consumed (possibly buffering a partial)
@@ -106,11 +143,20 @@ struct BatchInfo {
   std::uint16_t flags = 0;
   std::uint32_t frame_count = 0;
   std::uint32_t payload_bytes = 0;
+  /// Wire protocol version this batch arrived as (2 or 3).
+  std::uint16_t version = kBatchVersion;
+  /// v3 trace-context fields; all zero on a v2 batch.
+  std::uint64_t trace_id = 0;
+  std::uint64_t send_ns = 0;
+  std::int64_t offset_ns = 0;
 
   [[nodiscard]] bool heartbeat() const {
     return (flags & kBatchFlagHeartbeat) != 0;
   }
   [[nodiscard]] bool fin() const { return (flags & kBatchFlagFin) != 0; }
+  [[nodiscard]] bool offset_valid() const {
+    return (flags & kBatchFlagOffsetValid) != 0;
+  }
 };
 
 /// Incremental batch stream decoder.  One instance per connection; any
@@ -163,17 +209,27 @@ class BatchParser {
 // --- server -> client ack channel ------------------------------------------
 
 inline constexpr std::uint32_t kAckMagic = 0x41565354u;  // "TSVA" LE
-inline constexpr std::uint16_t kAckVersion = 1;
-inline constexpr std::size_t kAckFrameSize = 24;
+inline constexpr std::uint16_t kAckVersion = 2;
+/// Previous ack version, still accepted by AckParser.
+inline constexpr std::uint16_t kAckVersionV1 = 1;
+inline constexpr std::size_t kAckFrameSize = 48;
+inline constexpr std::size_t kAckFrameSizeV1 = 24;
 
 /// The nack field carries a BatchStatus and the connection is being closed.
 inline constexpr std::uint16_t kAckFlagNack = 1u << 0;
 /// The publisher's FIN seq is covered by ack_seq: it may close cleanly.
 inline constexpr std::uint16_t kAckFlagDrained = 1u << 1;
 
-/// One fixed-size ack frame:
-///   [magic u32 "TSVA"] [version u16] [flags u16]
-///   [ack_seq u64] [nack u32] [crc32 u32 over the first 20 bytes]
+/// One fixed-size ack frame (v2, 48 bytes; the 24-byte v1 without the
+/// timestamp trio is still parsed):
+///   [magic u32 "TSVA"] [version u16 = 2] [flags u16]
+///   [ack_seq u64] [nack u32]
+///   [echo_send_ns u64] [srv_rx_ns u64] [srv_tx_ns u64]
+///   [crc32 u32 over the first 44 bytes]
+/// The timestamp trio gives the publisher the full NTP four-tuple: t1 =
+/// echo_send_ns (its own send stamp echoed back), t2 = srv_rx_ns (server
+/// clock at batch parse), t3 = srv_tx_ns (server clock at ack build), and
+/// t4 is the publisher's clock on ack receipt.
 struct AckFrame {
   std::uint16_t flags = 0;
   /// Cumulative: the highest batch seq accepted from this publisher (0 =
@@ -182,11 +238,20 @@ struct AckFrame {
   std::uint64_t ack_seq = 0;
   /// BatchStatus (as u32) when kAckFlagNack is set; 0 otherwise.
   std::uint32_t nack = 0;
+  /// send_ns of the most recent batch this ack covers, echoed verbatim
+  /// (0 = no timestamped batch seen, e.g. v2 traffic or v1 ack).
+  std::uint64_t echo_send_ns = 0;
+  /// Server steady clock when that batch was parsed, ns.
+  std::uint64_t srv_rx_ns = 0;
+  /// Server steady clock when this ack frame was built, ns.
+  std::uint64_t srv_tx_ns = 0;
 
   [[nodiscard]] bool nacked() const { return (flags & kAckFlagNack) != 0; }
   [[nodiscard]] bool drained() const {
     return (flags & kAckFlagDrained) != 0;
   }
+  /// All four NTP timestamps will be available to the receiver.
+  [[nodiscard]] bool timestamped() const { return echo_send_ns != 0; }
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_ack(const AckFrame& ack);

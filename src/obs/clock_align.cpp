@@ -1,0 +1,44 @@
+#include "obs/clock_align.hpp"
+
+namespace tsvpt::obs {
+
+void ClockAlign::update(std::uint64_t t1, std::uint64_t t2, std::uint64_t t3,
+                        std::uint64_t t4) {
+  const auto d21 = static_cast<std::int64_t>(t2 - t1);
+  const auto d43 = static_cast<std::int64_t>(t4 - t3);
+  const auto d41 = static_cast<std::int64_t>(t4 - t1);
+  const auto d32 = static_cast<std::int64_t>(t3 - t2);
+  const std::int64_t rtt = d41 - d32;
+  if (rtt <= 0) return;
+  Sample s;
+  s.offset_ns = (d21 - d43) / 2;
+  s.rtt_ns = rtt;
+  window_[next_] = s;
+  next_ = (next_ + 1) % kWindow;
+  if (size_ < kWindow) ++size_;
+  ++count_;
+  recompute();
+}
+
+void ClockAlign::reset() {
+  size_ = 0;
+  next_ = 0;
+  count_ = 0;
+  best_offset_ns_ = 0;
+  best_rtt_ns_ = 0;
+}
+
+void ClockAlign::recompute() {
+  std::int64_t best_rtt = 0;
+  std::int64_t best_offset = 0;
+  for (int i = 0; i < size_; ++i) {
+    if (best_rtt == 0 || window_[i].rtt_ns < best_rtt) {
+      best_rtt = window_[i].rtt_ns;
+      best_offset = window_[i].offset_ns;
+    }
+  }
+  best_rtt_ns_ = best_rtt;
+  best_offset_ns_ = best_offset;
+}
+
+}  // namespace tsvpt::obs

@@ -1,0 +1,71 @@
+#include "obs/http.hpp"
+
+#include <sstream>
+
+namespace tsvpt::obs {
+
+HttpRequestParser::State HttpRequestParser::feed(const char* data,
+                                                 std::size_t len) {
+  if (state_ != State::kIncomplete) return state_;
+  buffer_.append(data, len);
+  if (buffer_.find("\r\n\r\n") != std::string::npos) {
+    finish_headers();
+  } else if (buffer_.size() > kMaxHttpRequestBytes) {
+    state_ = State::kTooLarge;
+  }
+  return state_;
+}
+
+void HttpRequestParser::finish_headers() {
+  // Request line: METHOD SP PATH SP HTTP/1.x
+  const std::size_t eol = buffer_.find("\r\n");
+  const std::string line = buffer_.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || sp1 == 0) {
+    state_ = State::kMalformed;
+    return;
+  }
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) {
+    state_ = State::kMalformed;
+    return;
+  }
+  const std::string version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) {
+    state_ = State::kMalformed;
+    return;
+  }
+  method_ = line.substr(0, sp1);
+  path_ = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  state_ = State::kComplete;
+}
+
+void HttpRequestParser::reset() {
+  buffer_.clear();
+  method_.clear();
+  path_.clear();
+  state_ = State::kIncomplete;
+}
+
+std::string http_response(int status, const std::string& content_type,
+                          const std::string& body) {
+  const char* reason = "OK";
+  switch (status) {
+    case 200: reason = "OK"; break;
+    case 400: reason = "Bad Request"; break;
+    case 404: reason = "Not Found"; break;
+    case 405: reason = "Method Not Allowed"; break;
+    case 413: reason = "Payload Too Large"; break;
+    case 431: reason = "Request Header Fields Too Large"; break;
+    default: reason = "Error"; break;
+  }
+  std::ostringstream out;
+  out << "HTTP/1.0 " << status << ' ' << reason << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+}  // namespace tsvpt::obs

@@ -1,0 +1,61 @@
+// Minimal HTTP/1.0 plumbing for the live scrape endpoint.
+//
+// Just enough protocol for `GET /metrics` from curl/Prometheus/tsvpt_cli:
+// an incremental request parser (bytes arrive in arbitrary chunks from a
+// nonblocking socket) and a response builder.  One request per connection,
+// close after response — no keep-alive, no chunking, no bodies on requests.
+//
+// Deliberately dependency-free (obs sits at the bottom of the layering DAG,
+// under net) so both the ingest server and tests can use it without a
+// socket in sight.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tsvpt::obs {
+
+/// Requests larger than this are rejected outright (a GET for /metrics fits
+/// in a couple hundred bytes; anything bigger is garbage or abuse).
+inline constexpr std::size_t kMaxHttpRequestBytes = 8192;
+
+/// Incremental request-line + header parser.  Feed bytes as they arrive;
+/// kComplete after the blank line ends the header block.
+class HttpRequestParser {
+ public:
+  enum class State : std::uint8_t {
+    kIncomplete,  // need more bytes
+    kComplete,    // method/path parsed, header block terminated
+    kTooLarge,    // exceeded kMaxHttpRequestBytes before completing
+    kMalformed,   // request line was not `METHOD SP PATH SP HTTP/1.x`
+  };
+
+  /// Consume a chunk.  Returns the state after this chunk; once terminal
+  /// (anything but kIncomplete) further feeds are no-ops.
+  State feed(const char* data, std::size_t len);
+
+  [[nodiscard]] State state() const { return state_; }
+  /// Valid when kComplete.
+  [[nodiscard]] const std::string& method() const { return method_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  void reset();
+
+ private:
+  void finish_headers();
+
+  std::string buffer_;
+  std::string method_;
+  std::string path_;
+  State state_ = State::kIncomplete;
+};
+
+/// Serialize one response: status line, minimal headers (Content-Type,
+/// Content-Length, Connection: close), blank line, body.
+/// `status` e.g. 200/404/400; reason text derived from the code.
+[[nodiscard]] std::string http_response(int status,
+                                        const std::string& content_type,
+                                        const std::string& body);
+
+}  // namespace tsvpt::obs

@@ -126,15 +126,18 @@ Gauge Registry::gauge(const std::string& name) {
   return Gauge{it->second.get()};
 }
 
-Histogram Registry::histogram(const std::string& name) {
+Histogram Registry::histogram(const std::string& name,
+                              const std::string& label) {
   Impl& i = impl();
   const std::lock_guard<std::mutex> lock{i.mutex};
-  auto it = i.histograms.find(name);
+  const std::string key = label.empty() ? name : name + "{" + label + "}";
+  auto it = i.histograms.find(key);
   if (it == i.histograms.end()) {
     auto metric = std::make_unique<detail::HistogramMetric>();
     metric->name = name;
+    metric->label = label;
     metric->shards = std::vector<detail::HistogramShard>(kShards);
-    it = i.histograms.emplace(name, std::move(metric)).first;
+    it = i.histograms.emplace(key, std::move(metric)).first;
   }
   return Histogram{it->second.get()};
 }
@@ -183,9 +186,10 @@ Snapshot Registry::snapshot() const {
                             metric->value.load(std::memory_order_relaxed));
   }
   out.histograms.reserve(i.histograms.size());
-  for (const auto& [name, metric] : i.histograms) {
+  for (const auto& [key, metric] : i.histograms) {
     HistogramSnapshot h;
-    h.name = name;
+    h.name = metric->name;
+    h.label = metric->label;
     std::uint64_t merged[detail::kHistBuckets] = {};
     std::uint64_t max_bits = 0;
     for (const auto& shard : metric->shards) {
@@ -197,6 +201,11 @@ Snapshot Registry::snapshot() const {
                           shard.max_bits.load(std::memory_order_relaxed));
     }
     for (const std::uint64_t c : merged) h.count += c;
+    for (std::size_t b = 0; b < detail::kHistBuckets; ++b) {
+      if (merged[b] != 0) {
+        h.buckets.emplace_back(detail::bucket_mid(b), merged[b]);
+      }
+    }
     std::memcpy(&h.max, &max_bits, sizeof h.max);
     h.p50 = bucket_quantile(merged, h.count, 0.50, h.max);
     h.p90 = bucket_quantile(merged, h.count, 0.90, h.max);
@@ -243,6 +252,20 @@ Gauge gauge(const std::string& name) {
 Histogram histogram(const std::string& name) {
   return Registry::instance().histogram(name);
 }
+Histogram histogram(const std::string& name, const std::string& label_key,
+                    const std::string& label_value) {
+  return Registry::instance().histogram(
+      name, label_key + "=\"" + label_value + "\"");
+}
+
+double fraction_above(const HistogramSnapshot& h, double threshold) {
+  if (h.count == 0) return 0.0;
+  std::uint64_t bad = 0;
+  for (const auto& [mid, count] : h.buckets) {
+    if (mid > threshold) bad += count;
+  }
+  return static_cast<double>(bad) / static_cast<double>(h.count);
+}
 void set_metrics_enabled(bool enabled) {
   Registry::instance().set_enabled(enabled);
 }
@@ -259,6 +282,18 @@ std::string render(double v) {
   return buf;
 }
 
+/// JSON string escape for histogram keys — labels carry embedded quotes
+/// (`name{stage="x"}`); metric names themselves never need escaping.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string to_prometheus(const Snapshot& snapshot) {
@@ -271,15 +306,31 @@ std::string to_prometheus(const Snapshot& snapshot) {
     out << "# TYPE " << name << " gauge\n"
         << name << ' ' << render(value) << '\n';
   }
+  // Labelled members of one family sort adjacently (`name{...}` keys share
+  // the `name` prefix), so emitting `# TYPE` on each name change yields
+  // exactly one header per family.
+  std::string last_family;
   for (const auto& h : snapshot.histograms) {
-    out << "# TYPE " << h.name << " summary\n"
-        << h.name << "{quantile=\"0.5\"} " << render(h.p50) << '\n'
-        << h.name << "{quantile=\"0.9\"} " << render(h.p90) << '\n'
-        << h.name << "{quantile=\"0.99\"} " << render(h.p99) << '\n'
-        << h.name << "_sum " << render(h.sum) << '\n'
-        << h.name << "_count " << h.count << '\n'
-        << "# TYPE " << h.name << "_max gauge\n"
-        << h.name << "_max " << render(h.max) << '\n';
+    // Label prefix inside braces: `stage="x",` before `quantile=...`, or the
+    // whole label set `{stage="x"}` on _sum/_count/_max.
+    const std::string lq =
+        h.label.empty() ? std::string{} : h.label + ",";
+    const std::string lb =
+        h.label.empty() ? std::string{} : "{" + h.label + "}";
+    if (h.name != last_family) {
+      out << "# TYPE " << h.name << " summary\n";
+    }
+    out << h.name << "{" << lq << "quantile=\"0.5\"} " << render(h.p50) << '\n'
+        << h.name << "{" << lq << "quantile=\"0.9\"} " << render(h.p90) << '\n'
+        << h.name << "{" << lq << "quantile=\"0.99\"} " << render(h.p99)
+        << '\n'
+        << h.name << "_sum" << lb << ' ' << render(h.sum) << '\n'
+        << h.name << "_count" << lb << ' ' << h.count << '\n';
+    if (h.name != last_family) {
+      out << "# TYPE " << h.name << "_max gauge\n";
+    }
+    out << h.name << "_max" << lb << ' ' << render(h.max) << '\n';
+    last_family = h.name;
   }
   return out.str();
 }
@@ -299,7 +350,7 @@ std::string to_json(const Snapshot& snapshot) {
   out << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
   for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
     const HistogramSnapshot& h = snapshot.histograms[i];
-    out << (i == 0 ? "" : ",") << "\n    \"" << h.name
+    out << (i == 0 ? "" : ",") << "\n    \"" << json_escape(h.key())
         << "\": {\"count\": " << h.count << ", \"sum\": " << render(h.sum)
         << ", \"max\": " << render(h.max) << ", \"p50\": " << render(h.p50)
         << ", \"p90\": " << render(h.p90) << ", \"p99\": " << render(h.p99)

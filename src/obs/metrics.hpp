@@ -86,6 +86,9 @@ struct alignas(64) HistogramShard {
 
 struct HistogramMetric {
   std::string name;
+  /// Optional single Prometheus label, pre-rendered (`stage="seal_to_wire"`).
+  /// Empty for the common unlabelled case.
+  std::string label;
   std::vector<HistogramShard> shards;  // kShards entries
 };
 
@@ -182,13 +185,30 @@ class ScopedTimer {
 
 struct HistogramSnapshot {
   std::string name;
+  /// Pre-rendered label (`stage="seal_to_wire"`), empty when unlabelled.
+  std::string label;
   std::uint64_t count = 0;
   double sum = 0.0;
   double max = 0.0;
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  /// Non-empty merged buckets as (representative value, count) — what the
+  /// SLO evaluator folds into bad-sample fractions.  The zero bucket's
+  /// representative is 0.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+
+  /// `name{label}` when labelled, else `name` — the registry key and the
+  /// identity exposition formats render.
+  [[nodiscard]] std::string key() const {
+    return label.empty() ? name : name + "{" + label + "}";
+  }
 };
+
+/// Fraction of this histogram's samples whose bucket representative exceeds
+/// `threshold` (0 when empty).  Resolution is the bucket width (~12.5%).
+[[nodiscard]] double fraction_above(const HistogramSnapshot& h,
+                                    double threshold);
 
 /// Everything the registry knows at one instant, shards merged, sorted by
 /// name.  The exposition formats below render this — they never touch the
@@ -206,10 +226,13 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  /// Find-or-create by name (mutex-guarded; cache the handle).
+  /// Find-or-create by name (mutex-guarded; cache the handle).  The
+  /// histogram's optional `label` must be pre-rendered (`key="value"`);
+  /// (name, label) pairs are distinct metrics sharing one exposition family.
   [[nodiscard]] Counter counter(const std::string& name);
   [[nodiscard]] Gauge gauge(const std::string& name);
-  [[nodiscard]] Histogram histogram(const std::string& name);
+  [[nodiscard]] Histogram histogram(const std::string& name,
+                                    const std::string& label = {});
 
   [[nodiscard]] Snapshot snapshot() const;
 
@@ -232,6 +255,11 @@ class Registry {
 [[nodiscard]] Counter counter(const std::string& name);
 [[nodiscard]] Gauge gauge(const std::string& name);
 [[nodiscard]] Histogram histogram(const std::string& name);
+/// Labelled histogram: one label key/value pair, rendered into every sample
+/// of the family (`name{key="value",quantile="..."}`).
+[[nodiscard]] Histogram histogram(const std::string& name,
+                                  const std::string& label_key,
+                                  const std::string& label_value);
 void set_metrics_enabled(bool enabled);
 [[nodiscard]] bool metrics_enabled();
 

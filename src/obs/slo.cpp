@@ -1,0 +1,103 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/stages.hpp"
+
+namespace tsvpt::obs {
+
+namespace {
+
+std::uint64_t counter_value(const Snapshot& snapshot,
+                            const std::string& name) {
+  for (const auto& [n, v] : snapshot.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* find_histogram(const Snapshot& snapshot,
+                                        const std::string& name,
+                                        const std::string& label) {
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == name && h.label == label) return &h;
+  }
+  return nullptr;
+}
+
+std::string render(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<SloStatus> SloTracker::evaluate(const Snapshot& snapshot) const {
+  std::vector<SloStatus> out;
+  out.reserve(specs_.size());
+  for (const SloSpec& spec : specs_) {
+    SloStatus status;
+    status.name = spec.name;
+    status.objective = spec.objective;
+    if (spec.kind == SloSpec::Kind::kLatency) {
+      if (const HistogramSnapshot* h =
+              find_histogram(snapshot, spec.metric, spec.label)) {
+        status.samples = h->count;
+        status.bad_fraction = fraction_above(*h, spec.threshold_seconds);
+      }
+    } else {
+      const std::uint64_t total =
+          counter_value(snapshot, spec.total_counter);
+      const std::uint64_t good =
+          std::min(counter_value(snapshot, spec.good_counter), total);
+      status.samples = total;
+      if (total > 0) {
+        status.bad_fraction = 1.0 - static_cast<double>(good) /
+                                        static_cast<double>(total);
+      }
+    }
+    const double budget = 1.0 - spec.objective;
+    status.burn_rate =
+        budget > 0.0 ? status.bad_fraction / budget
+                     : (status.bad_fraction > 0.0 ? 1e9 : 0.0);
+    status.alerting = status.samples > 0 && status.burn_rate > 1.0;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+SloSpec SloTracker::stage_latency_slo(const std::string& stage,
+                                      double threshold_seconds,
+                                      double objective) {
+  SloSpec spec;
+  spec.name = "stage_" + stage;
+  spec.kind = SloSpec::Kind::kLatency;
+  spec.metric = kStageLatencyMetric;
+  spec.label = "stage=\"" + stage + "\"";
+  spec.threshold_seconds = threshold_seconds;
+  spec.objective = objective;
+  return spec;
+}
+
+std::string to_json(const std::vector<SloStatus>& statuses) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < statuses.size(); ++i) {
+    const SloStatus& s = statuses[i];
+    out << (i == 0 ? "" : ", ") << "{\"name\": \"" << s.name
+        << "\", \"objective\": " << render(s.objective)
+        << ", \"bad_fraction\": " << render(s.bad_fraction)
+        << ", \"burn_rate\": " << render(s.burn_rate)
+        << ", \"samples\": " << s.samples
+        << ", \"alerting\": " << (s.alerting ? "true" : "false") << "}";
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace tsvpt::obs

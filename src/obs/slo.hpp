@@ -1,0 +1,80 @@
+// SLO evaluation over registry snapshots.
+//
+// An SloSpec declares an objective against metrics that already exist:
+//
+//   latency       "99% of <histogram> samples under <threshold> seconds" —
+//                 bad fraction comes from fraction_above() on the
+//                 histogram's merged buckets (bucket-width resolution)
+//   availability  "<good>/<total> counter ratio >= objective" — e.g.
+//                 delivered batches over offered batches
+//
+// Both reduce to the standard error-budget burn rate:
+//
+//   burn = bad_fraction / (1 - objective)
+//
+// burn < 1 means the service meets the objective with budget to spare;
+// burn > 1 means the budget is being spent faster than it accrues, and the
+// tracker flags the SLO as alerting.  Evaluation is pull-based and pure —
+// feed it any Snapshot (live registry, test fixture) and get statuses back.
+// FleetView attaches a tracker to surface alerts in the serve report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace tsvpt::obs {
+
+struct SloSpec {
+  enum class Kind : std::uint8_t { kLatency, kAvailability };
+
+  std::string name;  // report key, e.g. "ingest_wire_latency"
+  Kind kind = Kind::kLatency;
+  /// Objective as a fraction of good events (0.99 → 1% error budget).
+  double objective = 0.99;
+
+  // -- kLatency --
+  std::string metric;  // histogram family, e.g. tsvpt_stage_latency_seconds
+  std::string label;   // pre-rendered (`stage="wire_to_shard"`), may be empty
+  double threshold_seconds = 0.0;
+
+  // -- kAvailability --
+  std::string good_counter;
+  std::string total_counter;
+};
+
+struct SloStatus {
+  std::string name;
+  double objective = 0.0;
+  double bad_fraction = 0.0;
+  double burn_rate = 0.0;
+  std::uint64_t samples = 0;  // histogram count / total counter value
+  bool alerting = false;      // burn_rate > 1 with at least one sample
+};
+
+class SloTracker {
+ public:
+  void add(SloSpec spec) { specs_.push_back(std::move(spec)); }
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+
+  /// Evaluate every spec against one snapshot.  Specs whose metrics are
+  /// absent evaluate to zero samples (never alerting).
+  [[nodiscard]] std::vector<SloStatus> evaluate(
+      const Snapshot& snapshot) const;
+
+  /// Convenience: stage-latency SLO for one pipeline stage.
+  [[nodiscard]] static SloSpec stage_latency_slo(const std::string& stage,
+                                                double threshold_seconds,
+                                                double objective);
+
+ private:
+  std::vector<SloSpec> specs_;
+};
+
+/// JSON array of statuses, stable field order — embedded in the FleetView
+/// serve report.
+[[nodiscard]] std::string to_json(const std::vector<SloStatus>& statuses);
+
+}  // namespace tsvpt::obs

@@ -1,0 +1,22 @@
+#include "obs/stages.hpp"
+
+namespace tsvpt::obs {
+
+const std::array<const char*, 5>& all_stages() {
+  static const std::array<const char*, 5> stages = {
+      kStageCaptureToRing, kStageRingToSeal, kStageSealToWire,
+      kStageWireToShard, kStageShardToIngest};
+  return stages;
+}
+
+Histogram stage_latency(const char* stage) {
+  return histogram(kStageLatencyMetric, "stage", stage);
+}
+
+void register_stage_histograms() {
+  for (const char* stage : all_stages()) {
+    (void)stage_latency(stage);
+  }
+}
+
+}  // namespace tsvpt::obs

@@ -1,0 +1,52 @@
+// Per-stage latency attribution for the distributed ingest path.
+//
+// The e2e latency A18 reports (capture → aggregator ingest) decomposes into
+// five hops, each observed where the data exists and all exported under one
+// labelled histogram family so a scrape sees the full waterfall:
+//
+//   tsvpt_stage_latency_seconds{stage="capture_to_ring"}   sampler: frame
+//       encoded + pushed into the lock-free ring (publisher process)
+//   tsvpt_stage_latency_seconds{stage="ring_to_seal"}      publisher: frames
+//       waiting in an open batch until it seals (publisher process)
+//   tsvpt_stage_latency_seconds{stage="seal_to_wire"}      publisher: sealed
+//       batch queued until its first socket write (publisher process)
+//   tsvpt_stage_latency_seconds{stage="wire_to_shard"}     server: socket
+//       transit, batch send stamp → server parse, clock-aligned (server)
+//   tsvpt_stage_latency_seconds{stage="shard_to_ingest"}   frame sitting in
+//       a shard ring until the aggregator drains it (server process)
+//
+// Cross-clock hops (wire_to_shard and the re-based e2e) are only meaningful
+// with a ClockAlign offset estimate; producers observe them only when the
+// batch carries kBatchFlagOffsetValid.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace tsvpt::obs {
+
+/// The one exposition family every stage lands in.
+inline constexpr const char* kStageLatencyMetric =
+    "tsvpt_stage_latency_seconds";
+
+inline constexpr const char* kStageCaptureToRing = "capture_to_ring";
+inline constexpr const char* kStageRingToSeal = "ring_to_seal";
+inline constexpr const char* kStageSealToWire = "seal_to_wire";
+inline constexpr const char* kStageWireToShard = "wire_to_shard";
+inline constexpr const char* kStageShardToIngest = "shard_to_ingest";
+
+/// Pipeline order — the waterfall rows, capture first.
+[[nodiscard]] const std::array<const char*, 5>& all_stages();
+
+/// Handle for one stage's histogram (cache in a static local like any other
+/// metric handle).
+[[nodiscard]] Histogram stage_latency(const char* stage);
+
+/// Force-create all five stage histograms so a scrape always exposes the
+/// complete family even before traffic reaches every stage (the server calls
+/// this at start()).
+void register_stage_histograms();
+
+}  // namespace tsvpt::obs

@@ -1,0 +1,154 @@
+#include "obs/trace_merge.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace tsvpt::obs {
+
+namespace {
+
+/// Extract the bracketed traceEvents array body (between `[` and its
+/// matching `]`), or empty on malformed input.  Depth tracking honours JSON
+/// strings so braces in event names can't derail it.
+std::string events_body(const std::string& doc) {
+  const std::size_t key = doc.find("\"traceEvents\"");
+  if (key == std::string::npos) return {};
+  const std::size_t open = doc.find('[', key);
+  if (open == std::string::npos) return {};
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (std::size_t i = open; i < doc.size(); ++i) {
+    const char c = doc[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) return doc.substr(open + 1, i - open - 1);
+    }
+  }
+  return {};
+}
+
+/// Split an array body into top-level `{...}` object strings.
+std::vector<std::string> split_objects(const std::string& body) {
+  std::vector<std::string> out;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth == 0) start = i;
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0) out.push_back(body.substr(start, i - start + 1));
+    }
+  }
+  return out;
+}
+
+/// Replace the numeric value of `"key": <number>` in one event object.
+/// Returns false (object untouched) when the key is absent.
+bool rewrite_number(std::string& obj, const char* key,
+                    const std::string& replacement) {
+  const std::string needle = std::string{"\""} + key + "\":";
+  const std::size_t pos = obj.find(needle);
+  if (pos == std::string::npos) return false;
+  std::size_t num = pos + needle.size();
+  while (num < obj.size() && obj[num] == ' ') ++num;
+  std::size_t end = num;
+  while (end < obj.size() &&
+         (std::isdigit(static_cast<unsigned char>(obj[end])) != 0 ||
+          obj[end] == '-' || obj[end] == '+' || obj[end] == '.' ||
+          obj[end] == 'e' || obj[end] == 'E')) {
+    ++end;
+  }
+  if (end == num) return false;
+  obj.replace(num, end - num, replacement);
+  return true;
+}
+
+/// Current `ts` value of one event object (0.0 if absent/garbled).
+double read_ts(const std::string& obj) {
+  const std::size_t pos = obj.find("\"ts\":");
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(obj.c_str() + pos + 5, nullptr);
+}
+
+std::string render_us(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", us);
+  return buf;
+}
+
+}  // namespace
+
+void TraceMerge::add(std::string json, std::int64_t offset_ns,
+                     std::string label) {
+  inputs_.push_back(Input{std::move(json), offset_ns, std::move(label)});
+}
+
+TraceMerge::Result TraceMerge::merge() const {
+  Result result;
+  result.events_per_input.assign(inputs_.size(), 0);
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    const Input& input = inputs_[i];
+    const int pid = static_cast<int>(i) + 1;
+    const std::string pid_str = std::to_string(pid);
+    if (!input.label.empty()) {
+      // Chrome metadata event naming this pid lane.
+      out << (first ? "\n" : ",\n")
+          << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+          << ", \"tid\": 0, \"args\": {\"name\": \"" << input.label << "\"}}";
+      first = false;
+    }
+    const double offset_us =
+        static_cast<double>(input.offset_ns) / 1000.0;
+    for (std::string obj : split_objects(events_body(input.json))) {
+      rewrite_number(obj, "pid", pid_str);
+      const double ts = read_ts(obj);
+      rewrite_number(obj, "ts", render_us(ts + offset_us));
+      out << (first ? "\n" : ",\n") << obj;
+      first = false;
+      ++result.events_per_input[i];
+      ++result.total_events;
+    }
+  }
+  out << "\n]}\n";
+  result.json = out.str();
+  return result;
+}
+
+}  // namespace tsvpt::obs

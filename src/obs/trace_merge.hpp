@@ -1,0 +1,56 @@
+// Cross-process trace stitching.
+//
+// Each process in a fleet run dumps its own flight recorder as Chrome trace
+// JSON (obs::to_chrome_trace) with its own steady clock and pid lane 1.
+// TraceMerge combines N such dumps into one timeline:
+//
+//   * per-input clock offset (from ClockAlign) added to every `ts`, mapping
+//     all events onto one reference clock,
+//   * each input assigned a distinct `pid` lane (1..N in add order) so
+//     chrome://tracing / Perfetto renders processes as separate tracks,
+//   * optional per-input process_name metadata so the lanes are labelled.
+//
+// The merger rewrites only `pid` and `ts` per event — name/cat/ph/tid/dur/
+// args pass through byte-for-byte — so a merged trace reconciles 1:1 with
+// its inputs' span counts (bench_a21 gates exactly that).  Inputs are
+// strings, not files; the CLI wires file IO around it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsvpt::obs {
+
+class TraceMerge {
+ public:
+  /// Queue one Chrome-trace JSON document.  `offset_ns` maps this process's
+  /// clock onto the reference clock (reference process passes 0); `label`,
+  /// when non-empty, becomes the lane's process_name metadata.
+  void add(std::string json, std::int64_t offset_ns, std::string label = {});
+
+  struct Result {
+    std::string json;  // merged Chrome-trace document
+    std::size_t total_events = 0;
+    /// Events recovered per input, add order — compare against per-process
+    /// dumps for reconciliation.
+    std::vector<std::size_t> events_per_input;
+  };
+
+  /// Merge everything queued so far.  Inputs that fail to parse contribute
+  /// zero events (visible in events_per_input) rather than aborting.
+  [[nodiscard]] Result merge() const;
+
+  [[nodiscard]] std::size_t inputs() const { return inputs_.size(); }
+
+ private:
+  struct Input {
+    std::string json;
+    std::int64_t offset_ns = 0;
+    std::string label;
+  };
+  std::vector<Input> inputs_;
+};
+
+}  // namespace tsvpt::obs

@@ -4,7 +4,9 @@
 #include <chrono>
 
 #include "obs/metrics.hpp"
+#include "obs/stages.hpp"
 #include "obs/trace.hpp"
+#include "telemetry/codec_util.hpp"
 
 namespace tsvpt::telemetry {
 
@@ -31,6 +33,8 @@ struct AggregatorMetrics {
       obs::histogram("tsvpt_agg_ingest_seconds");
   obs::Histogram e2e_latency_seconds =
       obs::histogram("tsvpt_agg_e2e_latency_seconds");
+  obs::Histogram shard_to_ingest =
+      obs::stage_latency(obs::kStageShardToIngest);
 
   static const AggregatorMetrics& get() {
     static const AggregatorMetrics metrics;
@@ -155,7 +159,20 @@ void Aggregator::ingest(const std::vector<std::uint8_t>& buffer) {
   const AggregatorMetrics& metrics = AggregatorMetrics::get();
   const obs::ObsSpan ingest_span{"aggregator", "ingest",
                                  metrics.ingest_seconds};
-  DecodeResult result = decode(buffer);
+  // Distributed mode: peel the IngestServer's ring trailer off before
+  // decode (the frame's own CRC does not cover it).
+  std::size_t wire_size = buffer.size();
+  std::uint64_t enqueue_ns = 0;
+  std::int64_t clock_offset_ns = kRingTrailerInvalidOffset;
+  bool have_trailer = false;
+  if (config_.shard_trailer && wire_size >= kRingTrailerSize) {
+    wire_size -= kRingTrailerSize;
+    enqueue_ns = get_u64(buffer.data() + wire_size);
+    clock_offset_ns =
+        static_cast<std::int64_t>(get_u64(buffer.data() + wire_size + 8));
+    have_trailer = true;
+  }
+  DecodeResult result = decode(buffer.data(), wire_size);
   if (!result.ok()) {
     summary_.decode_errors += 1;
     live_decode_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -168,15 +185,30 @@ void Aggregator::ingest(const std::vector<std::uint8_t>& buffer) {
   summary_.frames += 1;
   live_frames_.fetch_add(1, std::memory_order_relaxed);
   metrics.frames.inc();
-  if (frame.capture_ns != 0) {
+  if (frame.capture_ns != 0 || have_trailer) {
     const std::uint64_t now = steady_now_ns();
-    // >= : on coarse steady_clock resolution capture and decode can share a
-    // tick, and zero is a valid latency sample.
-    if (now >= frame.capture_ns) {
-      const double latency_s =
-          static_cast<double>(now - frame.capture_ns) * 1e-9;
-      summary_.latency.add(latency_s);
-      metrics.e2e_latency_seconds.observe(latency_s);
+    if (have_trailer && enqueue_ns != 0 && now >= enqueue_ns) {
+      metrics.shard_to_ingest.observe(
+          static_cast<double>(now - enqueue_ns) * 1e-9);
+    }
+    if (frame.capture_ns != 0) {
+      // Cross-process frames: capture_ns is on the publisher's clock; a
+      // valid trailer offset re-bases it onto ours so e2e is meaningful.
+      std::uint64_t capture = frame.capture_ns;
+      bool aligned = false;
+      if (have_trailer && clock_offset_ns != kRingTrailerInvalidOffset) {
+        capture = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(capture) + clock_offset_ns);
+        aligned = true;
+      }
+      // >= : on coarse steady_clock resolution capture and decode can share
+      // a tick, and zero is a valid latency sample.
+      if (now >= capture) {
+        const double latency_s = static_cast<double>(now - capture) * 1e-9;
+        summary_.latency.add(latency_s);
+        if (aligned) summary_.latency_aligned += 1;
+        metrics.e2e_latency_seconds.observe(latency_s);
+      }
     }
   }
 

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <string>
 #include <thread>
@@ -42,6 +43,16 @@ enum class AlertKind {
 };
 
 [[nodiscard]] const char* to_string(AlertKind kind);
+
+/// Distributed-ingest ring trailer: the IngestServer appends 16 bytes to
+/// each frame before pushing it into a shard ring —
+/// [enqueue_ns u64 LE][clock_offset_ns i64 LE] — giving the draining
+/// aggregator the shard-queue entry time (shard_to_ingest attribution) and
+/// the publisher's clock offset (aligned-clock e2e re-basing).  The offset
+/// is kRingTrailerInvalidOffset when the publisher had no estimate yet.
+inline constexpr std::size_t kRingTrailerSize = 16;
+inline constexpr std::int64_t kRingTrailerInvalidOffset =
+    std::numeric_limits<std::int64_t>::min();
 
 struct Alert {
   AlertKind kind = AlertKind::kOverTemperature;
@@ -96,6 +107,10 @@ class Aggregator {
     /// typically wired to FleetSampler::resume_worker (ring index == worker
     /// index).  Must tolerate kicks on workers that finished legitimately.
     std::function<void(std::size_t)> on_stalled_ring;
+    /// Ring entries carry the 16-byte IngestServer trailer (see
+    /// kRingTrailerSize above).  Set by the server for its shard
+    /// aggregators; single-process pipelines leave it off.
+    bool shard_trailer = false;
   };
 
   using AlertCallback = std::function<void(const Alert&)>;
@@ -150,7 +165,12 @@ class Aggregator {
     std::map<AlertKind, std::uint64_t> alerts_by_kind;
     std::map<std::uint32_t, StackStats> stacks;
     /// Collector-side end-to-end latency (capture to decode), seconds.
+    /// Cross-process samples are re-based onto this process's clock when
+    /// the ring trailer carried a valid offset (see latency_aligned).
     Samples latency;
+    /// How many latency samples used the aligned-clock path — nonzero means
+    /// the numbers are cross-process comparable ("aligned_clock" source).
+    std::uint64_t latency_aligned = 0;
     /// Health-byte edges observed on the wire, in arrival order.
     std::vector<HealthEvent> health_transitions;
     /// Last health state seen per (stack, site).

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/stages.hpp"
 #include "obs/trace.hpp"
 #include "process/variation.hpp"
 
@@ -35,6 +36,8 @@ struct SamplerMetrics {
       obs::histogram("tsvpt_sampler_ring_push_seconds");
   obs::Histogram stall_wait_seconds =
       obs::histogram("tsvpt_sampler_stall_wait_seconds");
+  obs::Histogram capture_to_ring =
+      obs::stage_latency(obs::kStageCaptureToRing);
 
   static const SamplerMetrics& get() {
     static const SamplerMetrics metrics;
@@ -321,6 +324,12 @@ void FleetSampler::worker(std::size_t worker_index) {
           unattributed_drops_.fetch_add(1, std::memory_order_relaxed);
         }
       });
+      // First leg of the stage waterfall: sense-complete to ring-visible.
+      const std::uint64_t pushed_ns = steady_now_ns();
+      if (pushed_ns >= frame.capture_ns) {
+        metrics.capture_to_ring.observe(
+            static_cast<double>(pushed_ns - frame.capture_ns) * 1e-9);
+      }
     }
   }
 }

@@ -370,6 +370,139 @@ TEST(LintHygiene, CppWithoutSiblingHeaderIsExempt) {
 }
 
 // ---------------------------------------------------------------------------
+// metric-name
+
+TEST(LintMetricName, MissingPrefixIsFlagged) {
+  const auto diags =
+      run({{"src/mid/a.cpp",
+            "void f() { obs::counter(\"frames_total\").add(1); }\n"}},
+          only({kRuleMetricName}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleMetricName);
+  EXPECT_NE(diags[0].message.find("tsvpt_[a-z0-9_]+"), std::string::npos);
+}
+
+TEST(LintMetricName, UppercaseAndDashesAreFlagged) {
+  const auto diags = run({{"src/mid/a.cpp",
+                           "void f() {\n"
+                           "  obs::counter(\"tsvpt_Frames_total\").add(1);\n"
+                           "  obs::gauge(\"tsvpt_ring-depth_frames\").set(1);\n"
+                           "}\n"}},
+                         only({kRuleMetricName}));
+  EXPECT_EQ(diags.size(), 2u);
+}
+
+TEST(LintMetricName, EmptySegmentsAreFlagged) {
+  const auto diags =
+      run({{"src/mid/a.cpp",
+            "void f() {\n"
+            "  obs::counter(\"tsvpt__frames_total\").add(1);\n"
+            "  obs::counter(\"tsvpt_frames_total_\").add(1);\n"
+            "}\n"}},
+          only({kRuleMetricName}));
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_TRUE(any_message_contains(diags, "empty name segments"));
+}
+
+TEST(LintMetricName, CounterMustEndTotal) {
+  const auto diags =
+      run({{"src/mid/a.cpp",
+            "void f() { obs::counter(\"tsvpt_frames\").add(1); }\n"}},
+          only({kRuleMetricName}));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("'_total'"), std::string::npos);
+}
+
+TEST(LintMetricName, HistogramMustEndUnitSuffix) {
+  const auto bad =
+      run({{"src/mid/a.cpp",
+            "void f() { obs::histogram(\"tsvpt_latency\").observe(1.0); }\n"}},
+          only({kRuleMetricName}));
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_TRUE(any_message_contains(bad, "unit suffix"));
+
+  const auto good = run(
+      {{"src/mid/a.cpp",
+        "void f() {\n"
+        "  obs::histogram(\"tsvpt_latency_seconds\").observe(1.0);\n"
+        "  obs::histogram(\"tsvpt_batch_bytes\").observe(1.0);\n"
+        "  obs::histogram(\"tsvpt_die_celsius\").observe(1.0);\n"
+        "}\n"}},
+      only({kRuleMetricName}));
+  EXPECT_TRUE(good.empty());
+}
+
+TEST(LintMetricName, GaugeSuffixContract) {
+  // `_total` is reserved for counters; a bare noun is missing its unit or
+  // countable suffix; the countable set is accepted.
+  const auto bad = run({{"src/mid/a.cpp",
+                         "void f() {\n"
+                         "  obs::gauge(\"tsvpt_spill_total\").set(1);\n"
+                         "  obs::gauge(\"tsvpt_spill_depth\").set(1);\n"
+                         "}\n"}},
+                       only({kRuleMetricName}));
+  ASSERT_EQ(bad.size(), 2u);
+  EXPECT_TRUE(any_message_contains(bad, "reserved for counters"));
+  EXPECT_TRUE(any_message_contains(bad, "countable suffix"));
+
+  const auto good =
+      run({{"src/mid/a.cpp",
+            "void f() {\n"
+            "  obs::gauge(\"tsvpt_spill_depth_batches\").set(1);\n"
+            "  obs::gauge(\"tsvpt_open_connections\").set(1);\n"
+            "  obs::gauge(\"tsvpt_duty_ratio\").set(0.5);\n"
+            "}\n"}},
+          only({kRuleMetricName}));
+  EXPECT_TRUE(good.empty());
+}
+
+TEST(LintMetricName, NonLiteralFirstArgumentIsExempt) {
+  // A shared constant is named (and linted) at its defining literal; the
+  // registration through the constant must not be double-flagged.
+  Stats stats;
+  const auto diags =
+      run({{"src/mid/a.cpp",
+            "void f() { obs::histogram(kStageLatencyMetric, \"stage\", "
+            "\"seal\").observe(1.0); }\n"}},
+          only({kRuleMetricName}), &stats);
+  EXPECT_TRUE(diags.empty());
+  EXPECT_EQ(stats.metric_names_checked, 0);
+}
+
+TEST(LintMetricName, NonSrcIsExempt) {
+  const auto diags =
+      run({{"tests/a_test.cpp",
+            "void f() { obs::counter(\"bad name\").add(1); }\n"}},
+          only({kRuleMetricName}));
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintMetricName, CompliantRegistrationsCountAsChecked) {
+  Stats stats;
+  const auto diags =
+      run({{"src/mid/a.cpp",
+            "void f() {\n"
+            "  obs::counter(\"tsvpt_ingest_frames_total\").add(1);\n"
+            "  obs::histogram(\"tsvpt_stage_latency_seconds\").observe(1.0);\n"
+            "  obs::gauge(\"tsvpt_ring_depth_frames\").set(3);\n"
+            "}\n"}},
+          only({kRuleMetricName}), &stats);
+  EXPECT_TRUE(diags.empty());
+  EXPECT_EQ(stats.metric_names_checked, 3);
+}
+
+TEST(LintMetricName, AllowWithReasonSuppresses) {
+  Stats stats;
+  const auto diags = run(
+      {{"src/mid/a.cpp",
+        "void f() { obs::counter(\"legacy_frames\").add(1); }  "
+        "// lint:allow(metric-name): grandfathered dashboard key\n"}},
+      only({kRuleMetricName}), &stats);
+  EXPECT_TRUE(diags.empty());
+  EXPECT_EQ(stats.suppressions_used, 1);
+}
+
+// ---------------------------------------------------------------------------
 // layering-dag
 
 TEST(LintLayering, UndeclaredEdgeIsFlagged) {
@@ -527,7 +660,7 @@ TEST(LintOutput, JsonReportIsValidJson) {
 
 TEST(LintOutput, RuleCatalogIsStable) {
   const auto& rules = all_rules();
-  ASSERT_EQ(rules.size(), 4u);
+  ASSERT_EQ(rules.size(), 5u);
   for (const std::string& rule : rules) {
     EXPECT_FALSE(rule_description(rule).empty()) << rule;
   }

@@ -189,6 +189,9 @@ TEST(NetFraming, OversizedClaimsRejected) {
     put_u64(h, 1);  // batch seq
     put_u32(h, frame_count);
     put_u32(h, payload_bytes);
+    put_u64(h, 0);  // trace id
+    put_u64(h, 0);  // send ns
+    put_u64(h, 0);  // offset ns
     put_u32(h, telemetry::crc32(h.data(), h.size()));
     return h;
   };
@@ -337,6 +340,198 @@ TEST(NetFraming, AckTruncationNeverEmits) {
     EXPECT_FALSE(parser.failed());
     EXPECT_EQ(parser.buffered(), cut);
   }
+}
+
+TEST(NetFraming, TraceContextFieldsRoundTrip) {
+  const auto frames = sample_frames(2);
+  BatchMeta meta;
+  meta.publisher_id = 11;
+  meta.seq = 3;
+  meta.flags = kBatchFlagOffsetValid;
+  meta.trace_id = 0xABCDEF0123456789ull;
+  meta.send_ns = 987'654'321;
+  meta.offset_ns = -250'000;
+  const std::vector<std::uint8_t> wire = encode_batch(frames, meta);
+
+  BatchParser parser;
+  std::size_t seen = 0;
+  parser.set_batch_handler([&](const BatchInfo& info) {
+    EXPECT_EQ(info.version, kBatchVersion);
+    EXPECT_EQ(info.trace_id, meta.trace_id);
+    EXPECT_EQ(info.send_ns, meta.send_ns);
+    EXPECT_EQ(info.offset_ns, meta.offset_ns);
+    EXPECT_TRUE(info.offset_valid());
+    seen += 1;
+    return true;
+  });
+  std::size_t emitted = 0;
+  EXPECT_EQ(parser.consume(wire.data(), wire.size(),
+                           [&](std::vector<std::uint8_t>&&) { emitted += 1; }),
+            BatchStatus::kOk);
+  EXPECT_EQ(seen, 1u);
+  EXPECT_EQ(emitted, frames.size());
+}
+
+/// A 36-byte v2 batch as a pre-upgrade build (or an old spill log) wrote it.
+std::vector<std::uint8_t> encode_v2_batch(
+    const std::vector<std::vector<std::uint8_t>>& frames) {
+  using telemetry::put_u16;
+  using telemetry::put_u32;
+  using telemetry::put_u64;
+  std::size_t payload = 0;
+  for (const auto& f : frames) payload += 4 + f.size();
+  std::vector<std::uint8_t> out;
+  put_u32(out, kBatchMagic);
+  put_u16(out, kBatchVersionV2);
+  put_u16(out, 0);  // flags
+  put_u64(out, 21); // publisher id
+  put_u64(out, 5);  // seq
+  put_u32(out, static_cast<std::uint32_t>(frames.size()));
+  put_u32(out, static_cast<std::uint32_t>(payload));
+  put_u32(out, telemetry::crc32(out.data(), kBatchHeaderSizeV2 - 4));
+  for (const auto& f : frames) {
+    put_u32(out, static_cast<std::uint32_t>(f.size()));
+    out.insert(out.end(), f.begin(), f.end());
+  }
+  return out;
+}
+
+TEST(NetFraming, V2BatchStillParses) {
+  const auto frames = sample_frames(3);
+  const std::vector<std::uint8_t> wire = encode_v2_batch(frames);
+  ASSERT_EQ(wire.size(),
+            kBatchHeaderSizeV2 + batch_wire_size(frames) - kBatchHeaderSize);
+
+  BatchParser parser;
+  std::size_t seen = 0;
+  parser.set_batch_handler([&](const BatchInfo& info) {
+    EXPECT_EQ(info.version, kBatchVersionV2);
+    EXPECT_EQ(info.publisher_id, 21u);
+    EXPECT_EQ(info.seq, 5u);
+    // v2 carries no trace context: fields default, offset never valid.
+    EXPECT_EQ(info.trace_id, 0u);
+    EXPECT_EQ(info.send_ns, 0u);
+    EXPECT_FALSE(info.offset_valid());
+    seen += 1;
+    return true;
+  });
+  std::size_t emitted = 0;
+  EXPECT_EQ(parser.consume(wire.data(), wire.size(),
+                           [&](std::vector<std::uint8_t>&&) { emitted += 1; }),
+            BatchStatus::kOk);
+  EXPECT_EQ(seen, 1u);
+  EXPECT_EQ(emitted, frames.size());
+}
+
+TEST(NetFraming, RestampRefreshesSendTimestampAndOffset) {
+  const auto frames = sample_frames(2);
+  BatchMeta meta;
+  meta.publisher_id = 4;
+  meta.seq = 8;
+  meta.send_ns = 1111;
+  std::vector<std::uint8_t> wire = encode_batch(frames, meta);
+
+  ASSERT_TRUE(restamp_batch_send(wire, 2222, 777, true));
+  BatchParser parser;
+  parser.set_batch_handler([&](const BatchInfo& info) {
+    EXPECT_EQ(info.send_ns, 2222u);
+    EXPECT_EQ(info.offset_ns, 777);
+    EXPECT_TRUE(info.offset_valid());
+    // Restamp must not disturb the delivery-protocol fields.
+    EXPECT_EQ(info.publisher_id, 4u);
+    EXPECT_EQ(info.seq, 8u);
+    return true;
+  });
+  std::size_t emitted = 0;
+  EXPECT_EQ(parser.consume(wire.data(), wire.size(),
+                           [&](std::vector<std::uint8_t>&&) { emitted += 1; }),
+            BatchStatus::kOk);
+  EXPECT_EQ(emitted, frames.size());
+
+  // A later attempt with no offset estimate clears the validity flag (and
+  // the header CRC is recomputed each time — the parse would fail if not).
+  ASSERT_TRUE(restamp_batch_send(wire, 3333, 0, false));
+  BatchParser reparse;
+  reparse.set_batch_handler([&](const BatchInfo& info) {
+    EXPECT_EQ(info.send_ns, 3333u);
+    EXPECT_FALSE(info.offset_valid());
+    return true;
+  });
+  EXPECT_EQ(reparse.consume(wire.data(), wire.size(),
+                            [](std::vector<std::uint8_t>&&) {}),
+            BatchStatus::kOk);
+}
+
+TEST(NetFraming, RestampRefusesV2AndGarbage) {
+  // v2 batches (replayed spill logs) have no timestamp fields: untouched.
+  std::vector<std::uint8_t> v2 = encode_v2_batch(sample_frames(1));
+  const std::vector<std::uint8_t> pristine = v2;
+  EXPECT_FALSE(restamp_batch_send(v2, 999, 0, false));
+  EXPECT_EQ(v2, pristine);
+
+  std::vector<std::uint8_t> tiny(8, 0);
+  EXPECT_FALSE(restamp_batch_send(tiny, 999, 0, false));
+
+  std::vector<std::uint8_t> wrong_magic = encode_batch(sample_frames(1));
+  wrong_magic[0] ^= 0xFF;
+  EXPECT_FALSE(restamp_batch_send(wrong_magic, 999, 0, false));
+}
+
+TEST(NetFraming, AckTimestampTrioRoundTrips) {
+  AckFrame ack;
+  ack.ack_seq = 17;
+  ack.echo_send_ns = 1'000'001;
+  ack.srv_rx_ns = 2'000'002;
+  ack.srv_tx_ns = 3'000'003;
+  const std::vector<std::uint8_t> wire = encode_ack(ack);
+  ASSERT_EQ(wire.size(), kAckFrameSize);
+
+  AckParser parser;
+  std::vector<AckFrame> got;
+  ASSERT_EQ(parser.consume(wire.data(), wire.size(),
+                           [&](const AckFrame& a) { got.push_back(a); }),
+            AckStatus::kOk);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].echo_send_ns, ack.echo_send_ns);
+  EXPECT_EQ(got[0].srv_rx_ns, ack.srv_rx_ns);
+  EXPECT_EQ(got[0].srv_tx_ns, ack.srv_tx_ns);
+  EXPECT_TRUE(got[0].timestamped());
+
+  // No timestamped batch seen yet → echo stays 0 and the publisher must not
+  // feed the sample to its clock filter.
+  AckFrame bare;
+  bare.ack_seq = 18;
+  const std::vector<std::uint8_t> bare_wire = encode_ack(bare);
+  got.clear();
+  ASSERT_EQ(parser.consume(bare_wire.data(), bare_wire.size(),
+                           [&](const AckFrame& a) { got.push_back(a); }),
+            AckStatus::kOk);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_FALSE(got[0].timestamped());
+}
+
+TEST(NetFraming, V1AckStillParses) {
+  using telemetry::put_u16;
+  using telemetry::put_u32;
+  using telemetry::put_u64;
+  std::vector<std::uint8_t> wire;
+  put_u32(wire, kAckMagic);
+  put_u16(wire, kAckVersionV1);
+  put_u16(wire, kAckFlagDrained);
+  put_u64(wire, 99);  // ack_seq
+  put_u32(wire, 0);   // nack
+  put_u32(wire, telemetry::crc32(wire.data(), kAckFrameSizeV1 - 4));
+  ASSERT_EQ(wire.size(), kAckFrameSizeV1);
+
+  AckParser parser;
+  std::vector<AckFrame> got;
+  ASSERT_EQ(parser.consume(wire.data(), wire.size(),
+                           [&](const AckFrame& a) { got.push_back(a); }),
+            AckStatus::kOk);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].ack_seq, 99u);
+  EXPECT_TRUE(got[0].drained());
+  EXPECT_FALSE(got[0].timestamped());
 }
 
 TEST(NetSocket, LoopbackSendRecvRoundTrip) {

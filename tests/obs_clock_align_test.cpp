@@ -1,0 +1,92 @@
+// NTP-style clock alignment: offset/rtt arithmetic, the min-RTT sample
+// filter, rejection of non-positive RTTs, window aging, and reset.  All
+// timestamps are synthetic, so every expectation is exact.
+#include "obs/clock_align.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace tsvpt::obs {
+namespace {
+
+TEST(ObsClockAlign, StartsInvalid) {
+  const ClockAlign align;
+  EXPECT_FALSE(align.valid());
+  EXPECT_EQ(align.offset_ns(), 0);
+  EXPECT_EQ(align.samples(), 0u);
+}
+
+TEST(ObsClockAlign, SymmetricExchangeRecoversExactOffset) {
+  // Server clock = publisher clock + 5000 ns, both wire legs 100 ns:
+  //   t1=1000 (pub), t2=1000+100+5000 (srv), t3=t2+50, t4=t1+100+50+100.
+  ClockAlign align;
+  align.update(1000, 6100, 6150, 1250);
+  ASSERT_TRUE(align.valid());
+  EXPECT_EQ(align.offset_ns(), 5000);
+  EXPECT_EQ(align.min_rtt_ns(), 200);  // (t4-t1) - (t3-t2) = 250 - 50
+  EXPECT_EQ(align.samples(), 1u);
+}
+
+TEST(ObsClockAlign, NegativeOffsetRecovered) {
+  // Server clock runs 3000 ns behind the publisher.
+  ClockAlign align;
+  align.update(10'000, 7'100, 7'150, 10'250);
+  ASSERT_TRUE(align.valid());
+  EXPECT_EQ(align.offset_ns(), -3000);
+}
+
+TEST(ObsClockAlign, MinRttSampleWins) {
+  // The offset must track whichever window sample has the smallest RTT —
+  // the exchange least polluted by queueing.
+  ClockAlign align;
+  align.update(1000, 6100, 6150, 1250);       // offset 5000, rtt 200
+  align.update(2000, 17'000, 17'050, 2'150);  // offset 14950, rtt 100
+  ASSERT_TRUE(align.valid());
+  EXPECT_EQ(align.min_rtt_ns(), 100);
+  EXPECT_EQ(align.offset_ns(), 14950);
+  EXPECT_EQ(align.samples(), 2u);
+
+  // A clearly slower exchange with yet another implied offset must NOT
+  // displace the min-RTT winner.
+  align.update(3000, 1'003'000, 1'003'500, 13'000);  // rtt 9500
+  EXPECT_EQ(align.offset_ns(), 14950);
+  EXPECT_EQ(align.min_rtt_ns(), 100);
+}
+
+TEST(ObsClockAlign, NonPositiveRttDropped) {
+  // t4 earlier than the exchange allows → rtt <= 0 → dropped.
+  ClockAlign align;
+  align.update(1000, 6000, 7000, 1500);  // rtt = 500 - 1000 < 0
+  EXPECT_FALSE(align.valid());
+  EXPECT_EQ(align.samples(), 0u);
+}
+
+TEST(ObsClockAlign, WindowAgesOutOldSamples) {
+  ClockAlign align;
+  // One ultra-clean sample (rtt 2), then kWindow samples with rtt 200 and a
+  // different offset: the clean sample must age out of the ring and the
+  // offset track the surviving window.
+  align.update(1000, 2001, 2001, 1002);  // offset ~1000, rtt 2
+  EXPECT_EQ(align.min_rtt_ns(), 2);
+  for (int i = 0; i < ClockAlign::kWindow; ++i) {
+    const std::uint64_t t1 = 10'000 + static_cast<std::uint64_t>(i) * 1000;
+    align.update(t1, t1 + 5100, t1 + 5150, t1 + 250);  // offset 5000, rtt 200
+  }
+  EXPECT_EQ(align.min_rtt_ns(), 200);
+  EXPECT_EQ(align.offset_ns(), 5000);
+  EXPECT_EQ(align.samples(), 1u + ClockAlign::kWindow);
+}
+
+TEST(ObsClockAlign, ResetDropsEverything) {
+  ClockAlign align;
+  align.update(1000, 6100, 6150, 1250);
+  ASSERT_TRUE(align.valid());
+  align.reset();
+  EXPECT_FALSE(align.valid());
+  EXPECT_EQ(align.offset_ns(), 0);
+  EXPECT_EQ(align.samples(), 0u);
+}
+
+}  // namespace
+}  // namespace tsvpt::obs

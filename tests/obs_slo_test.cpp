@@ -1,0 +1,156 @@
+// SLO evaluation: burn-rate arithmetic over hand-built snapshots (exact,
+// no registry involved), the stage-latency convenience spec, and the JSON
+// export embedded in the serve report.
+#include "obs/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "json_check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stages.hpp"
+
+namespace tsvpt::obs {
+namespace {
+
+/// Snapshot fixture with one labelled histogram: `fast` samples at 10 ms
+/// and `slow` samples at 500 ms.
+Snapshot latency_snapshot(std::uint64_t fast, std::uint64_t slow,
+                          const std::string& label) {
+  HistogramSnapshot h;
+  h.name = kStageLatencyMetric;
+  h.label = label;
+  h.count = fast + slow;
+  h.buckets = {{0.010, fast}, {0.500, slow}};
+  Snapshot snapshot;
+  snapshot.histograms.push_back(std::move(h));
+  return snapshot;
+}
+
+SloSpec wire_slo(double threshold, double objective) {
+  return SloTracker::stage_latency_slo(kStageWireToShard, threshold,
+                                       objective);
+}
+
+TEST(ObsSlo, LatencyWithinObjectiveDoesNotAlert) {
+  SloTracker tracker;
+  tracker.add(wire_slo(0.1, 0.99));
+  // 995/1000 fast: bad_fraction 0.005, budget 0.01 → burn 0.5.
+  const auto statuses = tracker.evaluate(
+      latency_snapshot(995, 5, "stage=\"wire_to_shard\""));
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].name, "stage_wire_to_shard");
+  EXPECT_EQ(statuses[0].samples, 1000u);
+  EXPECT_NEAR(statuses[0].bad_fraction, 0.005, 1e-12);
+  EXPECT_NEAR(statuses[0].burn_rate, 0.5, 1e-9);
+  EXPECT_FALSE(statuses[0].alerting);
+}
+
+TEST(ObsSlo, LatencyBudgetOverspendAlerts) {
+  SloTracker tracker;
+  tracker.add(wire_slo(0.1, 0.99));
+  // 950/1000 fast: bad_fraction 0.05 → burn 5.
+  const auto statuses = tracker.evaluate(
+      latency_snapshot(950, 50, "stage=\"wire_to_shard\""));
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_NEAR(statuses[0].burn_rate, 5.0, 1e-9);
+  EXPECT_TRUE(statuses[0].alerting);
+}
+
+TEST(ObsSlo, LabelMismatchMeansNoSamplesAndNoAlert) {
+  // The histogram exists but under a different stage label: the spec must
+  // see zero samples, and zero samples can never alert.
+  SloTracker tracker;
+  tracker.add(wire_slo(0.1, 0.99));
+  const auto statuses = tracker.evaluate(
+      latency_snapshot(0, 1000, "stage=\"seal_to_wire\""));
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].samples, 0u);
+  EXPECT_FALSE(statuses[0].alerting);
+}
+
+TEST(ObsSlo, AvailabilityRatio) {
+  SloSpec spec;
+  spec.name = "ingest_delivery";
+  spec.kind = SloSpec::Kind::kAvailability;
+  spec.objective = 0.999;
+  spec.good_counter = "tsvpt_acked_total";
+  spec.total_counter = "tsvpt_offered_total";
+  SloTracker tracker;
+  tracker.add(spec);
+
+  Snapshot snapshot;
+  snapshot.counters = {{"tsvpt_acked_total", 9980},
+                       {"tsvpt_offered_total", 10'000}};
+  const auto statuses = tracker.evaluate(snapshot);
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].samples, 10'000u);
+  EXPECT_NEAR(statuses[0].bad_fraction, 0.002, 1e-12);
+  EXPECT_NEAR(statuses[0].burn_rate, 2.0, 1e-9);  // 0.002 / 0.001
+  EXPECT_TRUE(statuses[0].alerting);
+}
+
+TEST(ObsSlo, AvailabilityGoodClampedToTotal) {
+  // good > total (counter race at snapshot time) must clamp, not go
+  // negative on bad_fraction.
+  SloSpec spec;
+  spec.name = "clamp";
+  spec.kind = SloSpec::Kind::kAvailability;
+  spec.objective = 0.99;
+  spec.good_counter = "tsvpt_good_total";
+  spec.total_counter = "tsvpt_all_total";
+  SloTracker tracker;
+  tracker.add(spec);
+
+  Snapshot snapshot;
+  snapshot.counters = {{"tsvpt_good_total", 105}, {"tsvpt_all_total", 100}};
+  const auto statuses = tracker.evaluate(snapshot);
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].bad_fraction, 0.0);
+  EXPECT_FALSE(statuses[0].alerting);
+}
+
+TEST(ObsSlo, AbsentMetricsEvaluateToZeroSamples) {
+  SloTracker tracker;
+  tracker.add(wire_slo(0.1, 0.99));
+  const auto statuses = tracker.evaluate(Snapshot{});
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].samples, 0u);
+  EXPECT_EQ(statuses[0].burn_rate, 0.0);
+  EXPECT_FALSE(statuses[0].alerting);
+}
+
+TEST(ObsSlo, FullStageWaterfallEvaluates) {
+  SloTracker tracker;
+  for (const char* stage : all_stages()) {
+    tracker.add(SloTracker::stage_latency_slo(stage, 0.1, 0.99));
+  }
+  EXPECT_EQ(tracker.size(), 5u);
+  const auto statuses = tracker.evaluate(
+      latency_snapshot(10, 0, "stage=\"capture_to_ring\""));
+  ASSERT_EQ(statuses.size(), 5u);
+  EXPECT_EQ(statuses[0].name, "stage_capture_to_ring");
+  EXPECT_EQ(statuses[0].samples, 10u);
+  for (std::size_t i = 1; i < statuses.size(); ++i) {
+    EXPECT_EQ(statuses[i].samples, 0u);
+  }
+}
+
+TEST(ObsSlo, JsonExportIsValid) {
+  SloTracker tracker;
+  tracker.add(wire_slo(0.1, 0.99));
+  const std::string json = to_json(tracker.evaluate(
+      latency_snapshot(950, 50, "stage=\"wire_to_shard\"")));
+  EXPECT_TRUE(tsvpt::testing::is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"name\": \"stage_wire_to_shard\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"alerting\": true"), std::string::npos);
+
+  const std::string empty = to_json(std::vector<SloStatus>{});
+  EXPECT_TRUE(tsvpt::testing::is_valid_json(empty)) << empty;
+}
+
+}  // namespace
+}  // namespace tsvpt::obs

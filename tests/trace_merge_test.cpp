@@ -1,0 +1,148 @@
+// Cross-process trace stitching: TraceMerge must map every input dump onto
+// one reference clock (per-input ts offset), give each input its own pid
+// lane, label the lanes, and pass every other field through untouched — so
+// a merged trace reconciles 1:1 with its inputs' span counts.
+#include "obs/trace_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json_check.hpp"
+#include "obs/trace.hpp"
+
+namespace tsvpt::obs {
+namespace {
+
+/// Minimal single-event Chrome dump with a controllable ts (microseconds).
+std::string one_event(const std::string& name, double ts_us) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
+                "{\"name\": \"%s\", \"cat\": \"t\", \"ph\": \"X\", "
+                "\"pid\": 1, \"tid\": 0, \"ts\": %.3f, \"dur\": 5.000, "
+                "\"args\": {\"arg\": 7}}\n]}\n",
+                name.c_str(), ts_us);
+  return buf;
+}
+
+/// The event object (outer braces included) containing `needle`.
+std::string event_containing(const std::string& doc,
+                             const std::string& needle) {
+  const std::size_t at = doc.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t open = doc.rfind('{', at);
+  const std::size_t close = doc.find('}', at);
+  // Step over the nested args object if the needle landed before it.
+  std::size_t end = close;
+  if (doc.compare(close + 1, 1, "}") == 0) end = close + 1;
+  return doc.substr(open, end - open + 1);
+}
+
+TEST(TraceMerge, GoldenMergeIsValidJsonWithLabelledLanes) {
+  TraceMerge merge;
+  merge.add(one_event("send", 100.0), 0, "publisher");
+  merge.add(one_event("recv", 100.0), 0, "server");
+  const TraceMerge::Result result = merge.merge();
+
+  EXPECT_TRUE(tsvpt::testing::is_valid_json(result.json)) << result.json;
+  EXPECT_EQ(result.total_events, 2u);
+  ASSERT_EQ(result.events_per_input.size(), 2u);
+  EXPECT_EQ(result.events_per_input[0], 1u);
+  EXPECT_EQ(result.events_per_input[1], 1u);
+  // One process_name metadata record per labelled lane.
+  EXPECT_NE(result.json.find("\"name\": \"publisher\""), std::string::npos);
+  EXPECT_NE(result.json.find("\"name\": \"server\""), std::string::npos);
+}
+
+TEST(TraceMerge, OffsetRebasesTimestamps) {
+  TraceMerge merge;
+  merge.add(one_event("a", 100.0), 0);
+  merge.add(one_event("b", 100.0), 2'000'000);   // +2 ms = +2000 us
+  merge.add(one_event("c", 100.0), -50'000);     // -50 us
+  const TraceMerge::Result result = merge.merge();
+
+  EXPECT_NE(event_containing(result.json, "\"a\"").find("\"ts\": 100.000"),
+            std::string::npos);
+  EXPECT_NE(event_containing(result.json, "\"b\"").find("\"ts\": 2100.000"),
+            std::string::npos);
+  EXPECT_NE(event_containing(result.json, "\"c\"").find("\"ts\": 50.000"),
+            std::string::npos);
+}
+
+TEST(TraceMerge, EachInputGetsItsOwnPidLane) {
+  TraceMerge merge;
+  merge.add(one_event("a", 1.0), 0);
+  merge.add(one_event("b", 1.0), 0);
+  merge.add(one_event("c", 1.0), 0);
+  const TraceMerge::Result result = merge.merge();
+
+  // Every input dump arrived claiming pid 1; the merge must relane them.
+  EXPECT_NE(event_containing(result.json, "\"a\"").find("\"pid\": 1"),
+            std::string::npos);
+  EXPECT_NE(event_containing(result.json, "\"b\"").find("\"pid\": 2"),
+            std::string::npos);
+  EXPECT_NE(event_containing(result.json, "\"c\"").find("\"pid\": 3"),
+            std::string::npos);
+}
+
+TEST(TraceMerge, NonPidTsFieldsPassThroughVerbatim) {
+  TraceMerge merge;
+  merge.add(one_event("op", 10.0), 1'000'000);
+  const std::string merged = merge.merge().json;
+  const std::string event = event_containing(merged, "\"op\"");
+  EXPECT_NE(event.find("\"cat\": \"t\""), std::string::npos);
+  EXPECT_NE(event.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(event.find("\"dur\": 5.000"), std::string::npos);
+  EXPECT_NE(event.find("\"args\": {\"arg\": 7}"), std::string::npos);
+}
+
+TEST(TraceMerge, MalformedInputContributesZeroEvents) {
+  TraceMerge merge;
+  merge.add("this is not a trace", 0, "broken");
+  merge.add(one_event("ok", 1.0), 0, "fine");
+  const TraceMerge::Result result = merge.merge();
+  ASSERT_EQ(result.events_per_input.size(), 2u);
+  EXPECT_EQ(result.events_per_input[0], 0u);
+  EXPECT_EQ(result.events_per_input[1], 1u);
+  EXPECT_EQ(result.total_events, 1u);
+  EXPECT_TRUE(tsvpt::testing::is_valid_json(result.json)) << result.json;
+}
+
+TEST(TraceMerge, EmptyMergeIsStillValidJson) {
+  const TraceMerge::Result result = TraceMerge{}.merge();
+  EXPECT_EQ(result.total_events, 0u);
+  EXPECT_TRUE(result.events_per_input.empty());
+  EXPECT_TRUE(tsvpt::testing::is_valid_json(result.json)) << result.json;
+}
+
+TEST(TraceMerge, RoundTripReconcilesWithFlightRecorderDumps) {
+  // Real to_chrome_trace output (the production input format), two
+  // "processes" of different sizes: counts must reconcile exactly.
+  std::vector<TraceEvent> pub_events;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    pub_events.push_back(
+        TraceEvent{"pub", "send", 1000 + i * 100, 40, i, 0, 'X'});
+  }
+  std::vector<TraceEvent> srv_events;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    srv_events.push_back(
+        TraceEvent{"ingest", "batch_rx", 2000 + i * 100, 0, i, 1, 'i'});
+  }
+
+  TraceMerge merge;
+  merge.add(to_chrome_trace(pub_events), 0, "publisher");
+  merge.add(to_chrome_trace(srv_events), 3'000, "server");
+  const TraceMerge::Result result = merge.merge();
+
+  ASSERT_EQ(result.events_per_input.size(), 2u);
+  EXPECT_EQ(result.events_per_input[0], pub_events.size());
+  EXPECT_EQ(result.events_per_input[1], srv_events.size());
+  EXPECT_EQ(result.total_events, pub_events.size() + srv_events.size());
+  EXPECT_TRUE(tsvpt::testing::is_valid_json(result.json)) << result.json;
+}
+
+}  // namespace
+}  // namespace tsvpt::obs

@@ -195,7 +195,8 @@ std::vector<IncludeInfo> collect_includes(const std::vector<Token>& toks) {
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules{
-      kRuleAtomics, kRuleLayering, kRuleDeterminism, kRuleHygiene};
+      kRuleAtomics, kRuleLayering, kRuleDeterminism, kRuleHygiene,
+      kRuleMetricName};
   return kRules;
 }
 
@@ -216,6 +217,11 @@ std::string rule_description(const std::string& rule) {
   if (rule == kRuleHygiene) {
     return "headers use #pragma once and never 'using namespace'; a .cpp "
            "includes its own header first";
+  }
+  if (rule == kRuleMetricName) {
+    return "obs metric names in src/ match tsvpt_[a-z0-9_]+; counters end "
+           "'_total', histograms end a unit suffix, gauges end a unit or "
+           "countable suffix (scrapers key on the schema staying regular)";
   }
   return "";
 }
@@ -290,6 +296,7 @@ std::vector<Diagnostic> Analyzer::finish() {
   const bool layering_on = options_.enabled.count(kRuleLayering) != 0;
   const bool determinism_on = options_.enabled.count(kRuleDeterminism) != 0;
   const bool hygiene_on = options_.enabled.count(kRuleHygiene) != 0;
+  const bool metric_on = options_.enabled.count(kRuleMetricName) != 0;
 
   std::set<std::string> known_paths;
   for (const FileData& file : files_) known_paths.insert(file.path);
@@ -606,6 +613,84 @@ std::vector<Diagnostic> Analyzer::finish() {
       }
     }
 
+    // ---- metric-name -----------------------------------------------------
+    // Registration sites are `counter("...")` / `gauge("...")` /
+    // `histogram("...")` calls with a string-literal first argument; a
+    // non-literal first argument (e.g. a shared kFooMetric constant) means
+    // the name is declared — and linted — where the literal lives.
+    if (metric_on && in_src) {
+      static const std::set<std::string> kUnitSuffixes{
+          "_seconds", "_bytes", "_ratio", "_celsius", "_joules", "_watts"};
+      static const std::set<std::string> kCountableSuffixes{
+          "_workers",     "_stacks", "_batches", "_frames",
+          "_connections", "_shards", "_sites"};
+      auto ends_with_any = [](const std::string& name,
+                              const std::set<std::string>& suffixes) {
+        for (const std::string& suffix : suffixes) {
+          if (ends_with(name, suffix)) return true;
+        }
+        return false;
+      };
+      for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::kIdentifier) continue;
+        const std::string& fn = toks[i].text;
+        const bool is_counter = fn == "counter";
+        const bool is_gauge = fn == "gauge";
+        const bool is_histogram = fn == "histogram";
+        if (!is_counter && !is_gauge && !is_histogram) continue;
+        if (!is_punct(toks[i + 1], "(")) continue;
+        const Token& arg = toks[i + 2];
+        if (arg.kind != TokKind::kString || arg.text.size() < 2 ||
+            arg.text.front() != '"' || arg.text.back() != '"') {
+          continue;
+        }
+        const std::string name = arg.text.substr(1, arg.text.size() - 2);
+        ++stats_.metric_names_checked;
+
+        bool charset_ok = name.size() > std::string("tsvpt_").size() &&
+                          starts_with(name, "tsvpt_");
+        for (const char c : name) {
+          charset_ok = charset_ok && ((c >= 'a' && c <= 'z') ||
+                                      (c >= '0' && c <= '9') || c == '_');
+        }
+        if (!charset_ok) {
+          emit(arg.line, kRuleMetricName,
+               "metric name '" + name +
+                   "' must match tsvpt_[a-z0-9_]+ (tsvpt_ prefix, lowercase, "
+                   "no dots or dashes)");
+          continue;
+        }
+        if (name.find("__") != std::string::npos || ends_with(name, "_")) {
+          emit(arg.line, kRuleMetricName,
+               "metric name '" + name +
+                   "' has empty name segments (no '__' runs or trailing '_')");
+          continue;
+        }
+        if (is_counter && !ends_with(name, "_total")) {
+          emit(arg.line, kRuleMetricName,
+               "counter '" + name +
+                   "' must end in '_total' (Prometheus counter convention)");
+        } else if (is_histogram && !ends_with_any(name, kUnitSuffixes)) {
+          emit(arg.line, kRuleMetricName,
+               "histogram '" + name +
+                   "' must end in a unit suffix (_seconds, _bytes, _ratio, "
+                   "_celsius, _joules, _watts)");
+        } else if (is_gauge && ends_with(name, "_total")) {
+          emit(arg.line, kRuleMetricName,
+               "gauge '" + name +
+                   "' must not end in '_total' (reserved for counters)");
+        } else if (is_gauge && !ends_with_any(name, kUnitSuffixes) &&
+                   !ends_with_any(name, kCountableSuffixes)) {
+          emit(arg.line, kRuleMetricName,
+               "gauge '" + name +
+                   "' must end in a unit suffix (_seconds, _bytes, _ratio, "
+                   "_celsius, _joules, _watts) or a countable suffix "
+                   "(_workers, _stacks, _batches, _frames, _connections, "
+                   "_shards, _sites)");
+        }
+      }
+    }
+
     // ---- header-hygiene --------------------------------------------------
     const std::vector<IncludeInfo> includes = collect_includes(toks);
     if (hygiene_on) {
@@ -839,6 +924,8 @@ std::string json_report(const std::vector<Diagnostic>& diags,
          ",\n";
   out += "    \"headers_audited\": " + std::to_string(stats.headers_audited) +
          ",\n";
+  out += "    \"metric_names_checked\": " +
+         std::to_string(stats.metric_names_checked) + ",\n";
   out += "    \"suppressions_used\": " +
          std::to_string(stats.suppressions_used) + "\n";
   out += "  },\n";

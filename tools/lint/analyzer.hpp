@@ -21,6 +21,11 @@
 //   header-hygiene     headers use #pragma once and never `using namespace`;
 //                      a .cpp with a same-stem sibling header includes it
 //                      first.
+//   metric-name        obs metric registrations in src/ (counter/gauge/
+//                      histogram with a literal first argument) follow the
+//                      Prometheus-style naming contract: tsvpt_[a-z0-9_]+,
+//                      counters end `_total`, histograms end a unit suffix,
+//                      gauges end a unit or countable suffix.
 //
 // Suppression: `// lint:allow(<rule>): <reason>` on (or immediately above)
 // the offending line.  The reason is mandatory, and suppressions that never
@@ -42,11 +47,12 @@ inline constexpr const char* kRuleAtomics = "atomics-contract";
 inline constexpr const char* kRuleLayering = "layering-dag";
 inline constexpr const char* kRuleDeterminism = "determinism-ban";
 inline constexpr const char* kRuleHygiene = "header-hygiene";
+inline constexpr const char* kRuleMetricName = "metric-name";
 /// Meta-rule guarding the suppression mechanism itself (reason-less or
 /// never-firing `lint:allow` comments).  Not suppressible, not toggleable.
 inline constexpr const char* kRuleSuppression = "suppression";
 
-/// The four toggleable rule families, in catalog order.
+/// The five toggleable rule families, in catalog order.
 [[nodiscard]] const std::vector<std::string>& all_rules();
 
 /// One-line human description of a rule (for --list-rules).
@@ -71,15 +77,17 @@ struct Stats {
   int determinism_sites = 0;   // banned-symbol candidates audited
   int globals_audited = 0;     // namespace-scope statements audited
   int headers_audited = 0;     // headers checked for pragma/using hygiene
+  int metric_names_checked = 0;  // literal metric registrations audited
   int suppressions_used = 0;
 };
 
 class Analyzer {
  public:
   struct Options {
-    /// Enabled rule families; defaults to all four.
+    /// Enabled rule families; defaults to all five.
     std::set<std::string> enabled{kRuleAtomics, kRuleLayering,
-                                  kRuleDeterminism, kRuleHygiene};
+                                  kRuleDeterminism, kRuleHygiene,
+                                  kRuleMetricName};
     /// Flag declared-but-unused layering edges (LintLayeringAudit).
     bool layering_audit = false;
     /// Path the layering config is reported under in diagnostics.

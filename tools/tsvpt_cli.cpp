@@ -87,6 +87,15 @@
 //       FILE to export the run's metrics and a Chrome trace-event JSON of
 //       its flight-recorder spans, and every command takes --log-level
 //       (or the TSVPT_LOG environment variable).
+//   tsvpt_cli obs scrape --port N [--host H] [--path /metrics|/healthz]
+//       One-shot HTTP client for a serve instance's scrape endpoint
+//       (--http-port): prints the response body (Prometheus text or health
+//       JSON); exit 0 only on a 200.
+//   tsvpt_cli obs merge-trace [--out FILE] FILE[:offset_ns[:label]] ...
+//       Stitch per-process Chrome traces (--trace-out dumps) into one
+//       timeline: each input gets its own pid lane and its events shift by
+//       the given clock offset (the publisher's ClockAlign estimate), so
+//       spans from different processes line up on one clock.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -108,8 +117,10 @@
 #include "ingest/server.hpp"
 #include "inject/fault_plan.hpp"
 #include "inject/injectors.hpp"
+#include "net/socket.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
 #include "process/montecarlo.hpp"
 #include "process/variation.hpp"
 #include "ptsim/args.hpp"
@@ -731,8 +742,8 @@ int cmd_control(const Args& args) {
 
 int cmd_serve(const Args& args) {
   args.check_known({"port", "shards", "ring", "alert-c", "spatial", "store",
-                    "duration-s", "idle-exit-s", "idle-conn-s", "log-level",
-                    "metrics-out", "trace-out"});
+                    "duration-s", "idle-exit-s", "idle-conn-s", "http-port",
+                    "log-level", "metrics-out", "trace-out"});
   ingest::IngestServer::Config cfg;
   cfg.port = static_cast<std::uint16_t>(args.get("port", 0LL));
   cfg.shard_count = static_cast<std::size_t>(args.get("shards", 2LL));
@@ -746,6 +757,12 @@ int cmd_serve(const Args& args) {
   // Reap connections silent past this long; publishers on a heartbeat
   // interval below it stay alive while idle.  0 (default) disables.
   cfg.idle_conn_timeout = Second{args.get("idle-conn-s", 0.0)};
+  // --http-port N turns on the live scrape endpoint (0 = ephemeral; the
+  // bound port is printed on stderr next to the ingest port).
+  if (args.has("http-port")) {
+    cfg.http_enabled = true;
+    cfg.http_port = static_cast<std::uint16_t>(args.get("http-port", 0LL));
+  }
 
   const double duration_s = args.get("duration-s", 0.0);
   const double idle_exit_s = args.get("idle-exit-s", 10.0);
@@ -756,6 +773,10 @@ int cmd_serve(const Args& args) {
   // port (--port 0) can discover it before the JSON report exists.
   std::fprintf(stderr, "tsvpt_cli serve: listening on %s:%u (%zu shards)\n",
                cfg.bind_host.c_str(), server.port(), server.shard_count());
+  if (cfg.http_enabled) {
+    std::fprintf(stderr, "tsvpt_cli serve: scrape endpoint on %s:%u\n",
+                 cfg.bind_host.c_str(), server.http_port());
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   for (;;) {
@@ -793,6 +814,7 @@ int cmd_serve(const Args& args) {
        << "  \"batch_gaps\": " << st.batch_gaps << ",\n"
        << "  \"fin_drains\": " << st.fin_drains << ",\n"
        << "  \"reaped_connections\": " << st.reaped_connections << ",\n"
+       << "  \"http_requests\": " << st.http_requests << ",\n"
        << "  \"publishers\": " << st.publishers << ",\n"
        << "  \"frames_per_shard\": [";
   for (std::size_t s = 0; s < st.frames_per_shard.size(); ++s) {
@@ -814,8 +836,12 @@ int cmd_serve(const Args& args) {
     }
   }
   json << "},\n"
+       << "    \"latency_source\": \"" << view.latency_source() << "\",\n"
+       << "    \"latency_aligned_samples\": " << view.latency_aligned()
+       << ",\n"
        << "    \"digest\": " << view.digest() << "\n"
        << "  },\n"
+       << "  \"slo\": " << obs::to_json(view.slo_status()) << ",\n"
        << "  \"per_stack\": [\n";
   {
     std::size_t i = 0;
@@ -909,6 +935,9 @@ int cmd_publish(const Args& args) {
          << "  \"drained\": " << (st.drained ? "true" : "false") << ",\n"
          << "  \"connected\": " << (st.connected_once ? "true" : "false")
          << ",\n"
+         << "  \"clock_offset_ns\": " << st.clock_offset_ns << ",\n"
+         << "  \"clock_rtt_ns\": " << st.clock_rtt_ns << ",\n"
+         << "  \"clock_samples\": " << st.clock_samples << ",\n"
          << "  \"obs\": " << obs::metrics_json() << "\n}\n";
     std::cout << json.str();
     export_obs(args);
@@ -954,6 +983,9 @@ int cmd_publish(const Args& args) {
        << "  \"drained\": " << (st.drained ? "true" : "false") << ",\n"
        << "  \"connected\": " << (st.connected_once ? "true" : "false")
        << ",\n"
+       << "  \"clock_offset_ns\": " << st.clock_offset_ns << ",\n"
+       << "  \"clock_rtt_ns\": " << st.clock_rtt_ns << ",\n"
+       << "  \"clock_samples\": " << st.clock_samples << ",\n"
        << "  \"obs\": " << obs::metrics_json() << "\n}\n";
   std::cout << json.str();
   export_obs(args);
@@ -1146,16 +1178,134 @@ int cmd_store(const Args& args) {
   return 2;
 }
 
+int cmd_obs_scrape(const Args& args) {
+  args.check_known({"host", "port", "path", "log-level"});
+  if (!args.has("port")) {
+    std::fprintf(stderr, "tsvpt_cli obs scrape: --port is required\n");
+    return 2;
+  }
+  const std::string host = args.get("host", std::string{"127.0.0.1"});
+  const auto port = static_cast<std::uint16_t>(args.get("port", 0LL));
+  const std::string path = args.get("path", std::string{"/metrics"});
+  net::Socket sock = net::tcp_connect(host, port);
+  if (!sock.valid()) {
+    std::fprintf(stderr, "tsvpt_cli obs scrape: cannot connect to %s:%u\n",
+                 host.c_str(), port);
+    return 1;
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  if (!net::send_all(sock,
+                     reinterpret_cast<const std::uint8_t*>(request.data()),
+                     request.size())) {
+    std::fprintf(stderr, "tsvpt_cli obs scrape: send failed\n");
+    return 1;
+  }
+  // HTTP/1.0 responses are close-delimited: read until the server hangs up.
+  std::string response;
+  std::uint8_t buf[4096];
+  for (;;) {
+    const net::IoResult r = net::recv_some(sock, buf, sizeof buf);
+    if (r.status != net::IoStatus::kOk) break;
+    response.append(reinterpret_cast<const char*>(buf), r.bytes);
+  }
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (response.rfind("HTTP/1.", 0) != 0 ||
+      header_end == std::string::npos) {
+    std::fprintf(stderr, "tsvpt_cli obs scrape: malformed response\n");
+    return 1;
+  }
+  const std::string status_line = response.substr(0, response.find("\r\n"));
+  std::cout << response.substr(header_end + 4);
+  if (status_line.find(" 200 ") == std::string::npos) {
+    std::fprintf(stderr, "tsvpt_cli obs scrape: %s\n", status_line.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_obs_merge(const Args& args) {
+  args.check_known({"out", "log-level"});
+  const auto& inputs = args.positionals();
+  if (inputs.size() < 2) {  // front() is "merge-trace"
+    std::fprintf(stderr,
+                 "usage: tsvpt_cli obs merge-trace [--out FILE]"
+                 " FILE[:offset_ns[:label]] ...\n");
+    return 2;
+  }
+  obs::TraceMerge merge;
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    // FILE[:offset_ns[:label]] — offset in nanoseconds, added to every
+    // event timestamp of that input (obs::ClockAlign's estimate, so all
+    // processes land on the ingest server's clock).
+    const std::string& spec = inputs[i];
+    std::string file = spec;
+    std::int64_t offset_ns = 0;
+    std::string label;
+    const std::size_t colon = spec.find(':');
+    if (colon != std::string::npos) {
+      file = spec.substr(0, colon);
+      std::string rest = spec.substr(colon + 1);
+      const std::size_t colon2 = rest.find(':');
+      if (colon2 != std::string::npos) {
+        label = rest.substr(colon2 + 1);
+        rest = rest.substr(0, colon2);
+      }
+      offset_ns = std::strtoll(rest.c_str(), nullptr, 10);
+    }
+    std::ifstream in{file};
+    if (!in) {
+      std::fprintf(stderr, "tsvpt_cli obs merge-trace: cannot read %s\n",
+                   file.c_str());
+      return 1;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    merge.add(content.str(), offset_ns,
+              label.empty() ? file : label);
+  }
+  const obs::TraceMerge::Result merged = merge.merge();
+  const std::string out_path = args.get("out", std::string{});
+  if (out_path.empty()) {
+    std::cout << merged.json;
+  } else {
+    std::ofstream out{out_path};
+    out << merged.json;
+    if (!out) {
+      std::fprintf(stderr, "tsvpt_cli obs merge-trace: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "tsvpt_cli obs merge-trace: %zu events from %zu"
+               " inputs (",
+               merged.total_events, merged.events_per_input.size());
+  for (std::size_t i = 0; i < merged.events_per_input.size(); ++i) {
+    std::fprintf(stderr, "%s%zu", i == 0 ? "" : ", ",
+                 merged.events_per_input[i]);
+  }
+  std::fprintf(stderr, ")\n");
+  return 0;
+}
+
 int cmd_obs(const Args& args) {
-  args.check_known({"format", "metrics-out", "trace-out", "exercise",
-                    "stacks", "scans", "log-level"});
-  if (args.positionals().empty() || args.positionals().front() != "dump") {
+  const std::string sub =
+      args.positionals().empty() ? std::string{} : args.positionals().front();
+  if (sub == "scrape") return cmd_obs_scrape(args);
+  if (sub == "merge-trace") return cmd_obs_merge(args);
+  if (sub != "dump") {
     std::fprintf(stderr,
                  "usage: tsvpt_cli obs dump [--format prom|json]"
                  " [--metrics-out FILE] [--trace-out FILE]"
-                 " [--exercise 1 [--stacks N] [--scans N]]\n");
+                 " [--exercise 1 [--stacks N] [--scans N]]\n"
+                 "       tsvpt_cli obs scrape --port N [--host H]"
+                 " [--path /metrics|/healthz]\n"
+                 "       tsvpt_cli obs merge-trace [--out FILE]"
+                 " FILE[:offset_ns[:label]] ...\n");
     return 2;
   }
+  args.check_known({"format", "metrics-out", "trace-out", "exercise",
+                    "stacks", "scans", "log-level"});
   if (args.has("exercise")) {
     // A mini supervised fleet run so the dump holds live numbers — the
     // quickest way to see the full metric inventory and a real trace.
@@ -1249,6 +1399,16 @@ int usage() {
                " [--trace-out FILE] [--exercise 1]\n"
                "         print the self-observability metric registry"
                " (--exercise runs a mini fleet first)\n"
+               "  obs    scrape --port N [--host H]"
+               " [--path /metrics|/healthz]\n"
+               "         fetch a serve --http-port endpoint (exit 0 only on"
+               " a 200)\n"
+               "  obs    merge-trace [--out FILE]"
+               " FILE[:offset_ns[:label]] ...\n"
+               "         stitch per-process Chrome traces onto one clock"
+               " (one pid lane per input)\n"
+               "  serve also takes [--http-port N] (live /metrics +"
+               " /healthz; 0 = ephemeral)\n"
                "  fleet also takes [--store DIR] [--summary-interval S]\n"
                "  fleet and chaos also take [--metrics-out FILE]"
                " [--trace-out FILE] (metrics format by extension:"
