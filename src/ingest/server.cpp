@@ -308,6 +308,9 @@ bool IngestServer::flush_outbox(Connection& conn) {
   return true;
 }
 
+// hot(lock): the shard event loop owns all of its state; every cross-thread
+// handoff goes through the lock-free shard queue, so any mutex acquired here
+// is a regression that can stall every connection on the shard.
 void IngestServer::run() {
   // Scrape-port connections: parse one request, write one response, close.
   struct HttpConn {

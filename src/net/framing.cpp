@@ -8,18 +8,6 @@ namespace tsvpt::net {
 
 namespace {
 
-// Header CRC covers everything before the trailing CRC field, whichever
-// version sized the header.
-constexpr std::size_t kCrcCoverage = kBatchHeaderSize - 4;
-constexpr std::size_t kCrcCoverageV2 = kBatchHeaderSizeV2 - 4;
-constexpr std::size_t kAckCrcCoverage = kAckFrameSize - 4;
-constexpr std::size_t kAckCrcCoverageV1 = kAckFrameSizeV1 - 4;
-
-// v3 header field offsets (shared by encode_batch and restamp_batch_send).
-constexpr std::size_t kFlagsOffset = 6;
-constexpr std::size_t kSendNsOffset = 40;
-constexpr std::size_t kOffsetNsOffset = 48;
-
 // Keep the consumed prefix from growing without bound on long-lived
 // connections: once it passes this, shift the live tail to the front.
 constexpr std::size_t kCompactThreshold = 1u << 16;
@@ -75,7 +63,7 @@ std::vector<std::uint8_t> encode_batch(
   put_u64(out, meta.trace_id);
   put_u64(out, meta.send_ns);
   put_u64(out, static_cast<std::uint64_t>(meta.offset_ns));
-  put_u32(out, telemetry::crc32(out.data(), kCrcCoverage));
+  put_u32(out, telemetry::crc32(out.data(), kBatchCrcCoverage));
   for (const auto& f : frames) {
     put_u32(out, static_cast<std::uint32_t>(f.size()));
     out.insert(out.end(), f.begin(), f.end());
@@ -107,20 +95,23 @@ bool restamp_batch_send(std::vector<std::uint8_t>& bytes,
   if (telemetry::get_u32(bytes.data()) != kBatchMagic) return false;
   // Spill logs written by a v2 build replay with their original 36-byte
   // headers — no timestamp fields to poke.
-  if (telemetry::get_u16(bytes.data() + 4) != kBatchVersion) return false;
-  std::uint16_t flags = telemetry::get_u16(bytes.data() + kFlagsOffset);
+  if (telemetry::get_u16(bytes.data() + kBatchVersionOffset) !=
+      kBatchVersion) {
+    return false;
+  }
+  std::uint16_t flags = telemetry::get_u16(bytes.data() + kBatchFlagsOffset);
   if (offset_valid) {
     flags |= kBatchFlagOffsetValid;
   } else {
     flags = static_cast<std::uint16_t>(flags & ~kBatchFlagOffsetValid);
   }
-  bytes[kFlagsOffset] = static_cast<std::uint8_t>(flags);
-  bytes[kFlagsOffset + 1] = static_cast<std::uint8_t>(flags >> 8);
-  store_u64(bytes.data() + kSendNsOffset, send_ns);
-  store_u64(bytes.data() + kOffsetNsOffset,
+  bytes[kBatchFlagsOffset] = static_cast<std::uint8_t>(flags);
+  bytes[kBatchFlagsOffset + 1] = static_cast<std::uint8_t>(flags >> 8);
+  store_u64(bytes.data() + kBatchSendNsOffset, send_ns);
+  store_u64(bytes.data() + kBatchOffsetNsOffset,
             static_cast<std::uint64_t>(offset_ns));
-  store_u32(bytes.data() + kCrcCoverage,
-            telemetry::crc32(bytes.data(), kCrcCoverage));
+  store_u32(bytes.data() + kBatchHeaderCrcOffset,
+            telemetry::crc32(bytes.data(), kBatchCrcCoverage));
   return true;
 }
 
@@ -139,7 +130,7 @@ BatchStatus BatchParser::consume(const std::uint8_t* data, std::size_t size,
       status_ = BatchStatus::kBadMagic;
       return status_;
     }
-    const std::uint16_t version = telemetry::get_u16(head + 4);
+    const std::uint16_t version = telemetry::get_u16(head + kBatchVersionOffset);
     if (version != kBatchVersion && version != kBatchVersionV2) {
       status_ = BatchStatus::kBadVersion;
       return status_;
@@ -147,20 +138,20 @@ BatchStatus BatchParser::consume(const std::uint8_t* data, std::size_t size,
     const std::size_t header_size =
         version == kBatchVersionV2 ? kBatchHeaderSizeV2 : kBatchHeaderSize;
     const std::size_t crc_coverage =
-        version == kBatchVersionV2 ? kCrcCoverageV2 : kCrcCoverage;
+        version == kBatchVersionV2 ? kBatchV2CrcCoverage : kBatchCrcCoverage;
     if (available < header_size) break;
     BatchInfo info;
     info.version = version;
-    info.flags = telemetry::get_u16(head + 6);
-    info.publisher_id = telemetry::get_u64(head + 8);
-    info.seq = telemetry::get_u64(head + 16);
-    info.frame_count = telemetry::get_u32(head + 24);
-    info.payload_bytes = telemetry::get_u32(head + 28);
+    info.flags = telemetry::get_u16(head + kBatchFlagsOffset);
+    info.publisher_id = telemetry::get_u64(head + kBatchPublisherIdOffset);
+    info.seq = telemetry::get_u64(head + kBatchSeqOffset);
+    info.frame_count = telemetry::get_u32(head + kBatchFrameCountOffset);
+    info.payload_bytes = telemetry::get_u32(head + kBatchPayloadBytesOffset);
     if (version == kBatchVersion) {
-      info.trace_id = telemetry::get_u64(head + 32);
-      info.send_ns = telemetry::get_u64(head + 40);
-      info.offset_ns =
-          static_cast<std::int64_t>(telemetry::get_u64(head + 48));
+      info.trace_id = telemetry::get_u64(head + kBatchTraceIdOffset);
+      info.send_ns = telemetry::get_u64(head + kBatchSendNsOffset);
+      info.offset_ns = static_cast<std::int64_t>(
+          telemetry::get_u64(head + kBatchOffsetNsOffset));
     }
     if (telemetry::get_u32(head + crc_coverage) !=
         telemetry::crc32(head, crc_coverage)) {
@@ -264,7 +255,7 @@ AckStatus AckParser::consume(const std::uint8_t* data, std::size_t size,
       status_ = AckStatus::kBadMagic;
       return status_;
     }
-    const std::uint16_t version = telemetry::get_u16(head + 4);
+    const std::uint16_t version = telemetry::get_u16(head + kAckVersionOffset);
     if (version != kAckVersion && version != kAckVersionV1) {
       status_ = AckStatus::kBadVersion;
       return status_;
@@ -272,7 +263,7 @@ AckStatus AckParser::consume(const std::uint8_t* data, std::size_t size,
     const std::size_t frame_size =
         version == kAckVersionV1 ? kAckFrameSizeV1 : kAckFrameSize;
     const std::size_t crc_coverage =
-        version == kAckVersionV1 ? kAckCrcCoverageV1 : kAckCrcCoverage;
+        version == kAckVersionV1 ? kAckV1CrcCoverage : kAckCrcCoverage;
     if (buffer_.size() - pos_ < frame_size) break;
     if (telemetry::get_u32(head + crc_coverage) !=
         telemetry::crc32(head, crc_coverage)) {
@@ -280,13 +271,13 @@ AckStatus AckParser::consume(const std::uint8_t* data, std::size_t size,
       return status_;
     }
     AckFrame ack;
-    ack.flags = telemetry::get_u16(head + 6);
-    ack.ack_seq = telemetry::get_u64(head + 8);
-    ack.nack = telemetry::get_u32(head + 16);
+    ack.flags = telemetry::get_u16(head + kAckFlagsOffset);
+    ack.ack_seq = telemetry::get_u64(head + kAckSeqOffset);
+    ack.nack = telemetry::get_u32(head + kAckNackOffset);
     if (version == kAckVersion) {
-      ack.echo_send_ns = telemetry::get_u64(head + 20);
-      ack.srv_rx_ns = telemetry::get_u64(head + 28);
-      ack.srv_tx_ns = telemetry::get_u64(head + 36);
+      ack.echo_send_ns = telemetry::get_u64(head + kAckEchoSendNsOffset);
+      ack.srv_rx_ns = telemetry::get_u64(head + kAckSrvRxNsOffset);
+      ack.srv_tx_ns = telemetry::get_u64(head + kAckSrvTxNsOffset);
     }
     pos_ += frame_size;
     acks_ += 1;

@@ -74,6 +74,41 @@ inline constexpr std::uint16_t kBatchVersion = 3;
 inline constexpr std::uint16_t kBatchVersionV2 = 2;
 inline constexpr std::size_t kBatchHeaderSize = 60;
 inline constexpr std::size_t kBatchHeaderSizeV2 = 36;
+
+// Byte-level batch header maps.  The `layout:` / `field:` comments are
+// wire-layout lint directives: tsvpt_lint cross-checks that each header's
+// fields start at 0, stay contiguous and non-overlapping, sum to the
+// declared header size, and that the CRC span stays inside the header — an
+// off-by-one here fails LintClean before it can corrupt a stream.
+
+// layout: tsvb_v3 size=60 crc=[0,56)
+inline constexpr std::size_t kBatchMagicOffset = 0;          // field: magic size=4
+inline constexpr std::size_t kBatchVersionOffset = 4;        // field: version size=2
+inline constexpr std::size_t kBatchFlagsOffset = 6;          // field: flags size=2
+inline constexpr std::size_t kBatchPublisherIdOffset = 8;    // field: publisher_id size=8
+inline constexpr std::size_t kBatchSeqOffset = 16;           // field: batch_seq size=8
+inline constexpr std::size_t kBatchFrameCountOffset = 24;    // field: frame_count size=4
+inline constexpr std::size_t kBatchPayloadBytesOffset = 28;  // field: payload_bytes size=4
+inline constexpr std::size_t kBatchTraceIdOffset = 32;       // field: trace_id size=8
+inline constexpr std::size_t kBatchSendNsOffset = 40;        // field: send_ns size=8
+inline constexpr std::size_t kBatchOffsetNsOffset = 48;      // field: offset_ns size=8
+inline constexpr std::size_t kBatchHeaderCrcOffset = 56;     // field: header_crc size=4
+/// Bytes the v3 header CRC covers (everything before the CRC field).
+inline constexpr std::size_t kBatchCrcCoverage = 56;
+
+// The v2 header is the v3 prefix without the trace/timestamp trio; spill
+// logs written by a v2 build still replay through BatchParser.
+// layout: tsvb_v2 size=36 crc=[0,32)
+inline constexpr std::size_t kBatchV2MagicOffset = 0;          // field: magic size=4
+inline constexpr std::size_t kBatchV2VersionOffset = 4;        // field: version size=2
+inline constexpr std::size_t kBatchV2FlagsOffset = 6;          // field: flags size=2
+inline constexpr std::size_t kBatchV2PublisherIdOffset = 8;    // field: publisher_id size=8
+inline constexpr std::size_t kBatchV2SeqOffset = 16;           // field: batch_seq size=8
+inline constexpr std::size_t kBatchV2FrameCountOffset = 24;    // field: frame_count size=4
+inline constexpr std::size_t kBatchV2PayloadBytesOffset = 28;  // field: payload_bytes size=4
+inline constexpr std::size_t kBatchV2HeaderCrcOffset = 32;     // field: header_crc size=4
+/// Bytes the v2 header CRC covers.
+inline constexpr std::size_t kBatchV2CrcCoverage = 32;
 /// Upper bounds a well-formed batch may claim; anything larger is treated as
 /// stream corruption rather than trusted as an allocation size.
 inline constexpr std::uint32_t kMaxBatchPayload = 64u << 20;
@@ -120,9 +155,10 @@ struct BatchMeta {
 /// clears kBatchFlagOffsetValid.  v2 batches (replayed spill logs) have no
 /// timestamp fields and pass through untouched; returns whether the batch
 /// was restamped.
-bool restamp_batch_send(std::vector<std::uint8_t>& bytes,
-                        std::uint64_t send_ns, std::int64_t offset_ns,
-                        bool offset_valid);
+[[nodiscard]] bool restamp_batch_send(std::vector<std::uint8_t>& bytes,
+                                      std::uint64_t send_ns,
+                                      std::int64_t offset_ns,
+                                      bool offset_valid);
 
 enum class BatchStatus : std::uint8_t {
   kOk,             // all fed bytes consumed (possibly buffering a partial)
@@ -177,8 +213,9 @@ class BatchParser {
   /// inner frame, in stream order.  A batch's frames are only emitted after
   /// the whole batch has been validated, so a batch that fails validation
   /// emits nothing.
-  BatchStatus consume(const std::uint8_t* data, std::size_t size,
-                      const FrameHandler& on_frame);
+  [[nodiscard]] BatchStatus consume(const std::uint8_t* data,
+                                    std::size_t size,
+                                    const FrameHandler& on_frame);
 
   [[nodiscard]] bool failed() const { return status_ != BatchStatus::kOk; }
   [[nodiscard]] BatchStatus status() const { return status_; }
@@ -214,6 +251,30 @@ inline constexpr std::uint16_t kAckVersion = 2;
 inline constexpr std::uint16_t kAckVersionV1 = 1;
 inline constexpr std::size_t kAckFrameSize = 48;
 inline constexpr std::size_t kAckFrameSizeV1 = 24;
+
+// layout: tsva_v2 size=48 crc=[0,44)
+inline constexpr std::size_t kAckMagicOffset = 0;        // field: magic size=4
+inline constexpr std::size_t kAckVersionOffset = 4;      // field: version size=2
+inline constexpr std::size_t kAckFlagsOffset = 6;        // field: flags size=2
+inline constexpr std::size_t kAckSeqOffset = 8;          // field: ack_seq size=8
+inline constexpr std::size_t kAckNackOffset = 16;        // field: nack size=4
+inline constexpr std::size_t kAckEchoSendNsOffset = 20;  // field: echo_send_ns size=8
+inline constexpr std::size_t kAckSrvRxNsOffset = 28;     // field: srv_rx_ns size=8
+inline constexpr std::size_t kAckSrvTxNsOffset = 36;     // field: srv_tx_ns size=8
+inline constexpr std::size_t kAckCrcOffset = 44;         // field: crc size=4
+/// Bytes the v2 ack CRC covers.
+inline constexpr std::size_t kAckCrcCoverage = 44;
+
+// The v1 ack is the same prefix without the NTP timestamp trio.
+// layout: tsva_v1 size=24 crc=[0,20)
+inline constexpr std::size_t kAckV1MagicOffset = 0;    // field: magic size=4
+inline constexpr std::size_t kAckV1VersionOffset = 4;  // field: version size=2
+inline constexpr std::size_t kAckV1FlagsOffset = 6;    // field: flags size=2
+inline constexpr std::size_t kAckV1SeqOffset = 8;      // field: ack_seq size=8
+inline constexpr std::size_t kAckV1NackOffset = 16;    // field: nack size=4
+inline constexpr std::size_t kAckV1CrcOffset = 20;     // field: crc size=4
+/// Bytes the v1 ack CRC covers.
+inline constexpr std::size_t kAckV1CrcCoverage = 20;
 
 /// The nack field carries a BatchStatus and the connection is being closed.
 inline constexpr std::uint16_t kAckFlagNack = 1u << 0;
@@ -275,8 +336,8 @@ class AckParser {
  public:
   using AckHandler = std::function<void(const AckFrame&)>;
 
-  AckStatus consume(const std::uint8_t* data, std::size_t size,
-                    const AckHandler& on_ack);
+  [[nodiscard]] AckStatus consume(const std::uint8_t* data, std::size_t size,
+                                  const AckHandler& on_ack);
 
   [[nodiscard]] bool failed() const { return status_ != AckStatus::kOk; }
   [[nodiscard]] AckStatus status() const { return status_; }

@@ -84,6 +84,9 @@ bool BlockBuilder::layout_matches(const StackContext& ctx,
   return true;
 }
 
+// hot(lock,io): add() runs on the collector thread once per routed frame;
+// it may grow its column buffers, but blocking on a mutex or touching the
+// filesystem belongs in seal(), never in the per-frame append.
 void BlockBuilder::add(const telemetry::Frame& frame) {
   const double t = frame.sim_time.value();
   if (frame_count_ == 0) {

@@ -152,6 +152,9 @@ std::vector<FrameRing*> FleetSampler::rings() {
   return out;
 }
 
+// hot(io): sampler workers feed the publisher through in-memory rings only;
+// a syscall here (socket, fsync, poll) would couple thermal scan cadence to
+// kernel scheduling and show up as fake sensor jitter.
 void FleetSampler::worker(std::size_t worker_index) {
   FrameRing& ring = *rings_[worker_index];
 

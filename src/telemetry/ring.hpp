@@ -51,9 +51,11 @@ class SpscRing {
 
   [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
 
+  // hot: SPSC producer path — runs once per captured frame; any allocation,
+  // lock, throw, or syscall here stalls the sampler tick.
   /// Publish `value`; returns false (and leaves `value` unconsumed) when the
   /// ring is full.
-  bool try_push(T& value) {
+  [[nodiscard]] bool try_push(T& value) {
     std::size_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[pos & mask_];
@@ -80,6 +82,8 @@ class SpscRing {
     }
   }
 
+  // hot: overwrite publish sits on the same sampler tick as try_push; the
+  // eviction loop may spin but must never allocate, lock, throw, or do IO.
   /// Publish unconditionally: when full, evict oldest frames until the push
   /// lands.  Returns the number evicted; each victim is handed to
   /// `on_drop(T&&)` before being destroyed (pass a no-op to just count).
@@ -102,8 +106,10 @@ class SpscRing {
     return push_overwrite(std::move(value), [](T&&) {});
   }
 
+  // hot: SPSC consumer path — the publisher drain loop calls this per frame
+  // while holding its send budget; it must stay wait-free.
   /// Take the oldest frame; false when empty.
-  bool try_pop(T& out) {
+  [[nodiscard]] bool try_pop(T& out) {
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[pos & mask_];

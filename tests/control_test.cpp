@@ -201,7 +201,7 @@ TEST(ControlPolicy, DvfsWalksPerDieAndParksBlindDiesAtBottom) {
   EXPECT_EQ(policy->safe_actuation().dies[0].level, bottom);
   Actuation act = policy->decide(obs_at({20, 70}));
   EXPECT_EQ(act.dies[0].level, bottom - 1);  // cooling: one rung up
-  EXPECT_EQ(act.dies[1].level, bottom);      // hot: stays at the bottom
+  EXPECT_EQ(act.dies[1].level, bottom);      // still hot: stays at the bottom
   act = policy->decide(obs_at({20, 70}));
   act = policy->decide(obs_at({20, 70}));
   EXPECT_EQ(act.dies[0].level, 0u);  // reached nominal

@@ -8,6 +8,7 @@
 #include "lint/analyzer.hpp"
 #include "lint/config.hpp"
 #include "lint/lexer.hpp"
+#include "lint/sarif.hpp"
 
 namespace tsvpt::lint {
 namespace {
@@ -23,6 +24,31 @@ LayeringConfig demo_layering() {
       "base = []\n"
       "mid = [\"base\"]\n"
       "top = [\"base\", \"mid\"]\n",
+      &config, &error);
+  EXPECT_TRUE(ok) << error;
+  return config;
+}
+
+// Flow-rule config: the demo DAG plus small must-consume / lock-order /
+// hot-path registries, so fixtures can exercise the flow rules without
+// dragging in the tree's full layering.toml.
+LayeringConfig flow_layering() {
+  LayeringConfig config;
+  std::string error;
+  const bool ok = parse_layering(
+      "[modules]\n"
+      "order = [\"base\", \"mid\", \"top\"]\n"
+      "[deps]\n"
+      "base = []\n"
+      "mid = [\"base\"]\n"
+      "top = [\"base\", \"mid\"]\n"
+      "[must_consume]\n"
+      "status_types = [\"DecodeStatus\"]\n"
+      "bool_functions = [\"send_all\"]\n"
+      "[lock_order]\n"
+      "blocking = [\"send_all\", \"fsync\"]\n"
+      "[hot_path]\n"
+      "io = [\"send_all\", \"fsync\", \"read\"]\n",
       &config, &error);
   EXPECT_TRUE(ok) << error;
   return config;
@@ -660,7 +686,7 @@ TEST(LintOutput, JsonReportIsValidJson) {
 
 TEST(LintOutput, RuleCatalogIsStable) {
   const auto& rules = all_rules();
-  ASSERT_EQ(rules.size(), 5u);
+  ASSERT_EQ(rules.size(), 9u);
   for (const std::string& rule : rules) {
     EXPECT_FALSE(rule_description(rule).empty()) << rule;
   }
@@ -698,6 +724,538 @@ TEST(LintConfig, RejectsUnknownDependency) {
       "[modules]\norder = [\"a\"]\n[deps]\na = [\"ghost\"]\n", &config,
       &error));
   EXPECT_NE(error.find("unknown module"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// lock-order graph
+
+TEST(LintLockOrder, ConsistentOrderAcrossFunctionsIsClean) {
+  Stats stats;
+  const auto diags = run(
+      {{"src/mid/a.cpp",
+        "#include <mutex>\n"
+        "std::mutex mu_a;\n"
+        "std::mutex mu_b;\n"
+        "void first() {\n"
+        "  std::lock_guard<std::mutex> ga{mu_a};\n"
+        "  std::lock_guard<std::mutex> gb{mu_b};\n"
+        "}\n"
+        "void second() {\n"
+        "  std::lock_guard<std::mutex> ga{mu_a};\n"
+        "  std::lock_guard<std::mutex> gb{mu_b};\n"
+        "}\n"}},
+      only({kRuleLockOrder}), &stats, flow_layering());
+  EXPECT_TRUE(diags.empty()) << diags.size();
+  EXPECT_EQ(stats.lock_sites, 4);
+  EXPECT_EQ(stats.lock_edges, 1);
+}
+
+TEST(LintLockOrder, DetectsSeededTwoMutexInversion) {
+  // The seeded deadlock: one function takes a then b, the other b then a.
+  const auto diags = run(
+      {{"src/mid/a.cpp",
+        "#include <mutex>\n"
+        "std::mutex mu_a;\n"
+        "std::mutex mu_b;\n"
+        "void forward() {\n"
+        "  std::lock_guard<std::mutex> ga{mu_a};\n"
+        "  std::lock_guard<std::mutex> gb{mu_b};\n"
+        "}\n"},
+       {"src/mid/b.cpp",
+        "#include <mutex>\n"
+        "extern std::mutex mu_a;\n"
+        "extern std::mutex mu_b;\n"
+        "void backward() {\n"
+        "  std::lock_guard<std::mutex> gb{mu_b};\n"
+        "  std::lock_guard<std::mutex> ga{mu_a};\n"
+        "}\n"}},
+      only({kRuleLockOrder}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleLockOrder);
+  EXPECT_NE(diags[0].message.find("lock-order cycle"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("'mu_a' -> 'mu_b'"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("can deadlock"), std::string::npos);
+}
+
+TEST(LintLockOrder, MemberMutexesResolveToClassQualifiedKeysAcrossTus) {
+  // The class body lives in one file, the inverted method in another: the
+  // cycle only falls out if both TUs resolve `mu_` to `Store::mu_`.
+  const auto diags = run(
+      {{"src/mid/store.cpp",
+        "#include <mutex>\n"
+        "class Store {\n"
+        " public:\n"
+        "  void fill();\n"
+        "  void drain();\n"
+        " private:\n"
+        "  std::mutex mu_;\n"
+        "  std::mutex compact_;\n"
+        "};\n"
+        "void Store::fill() {\n"
+        "  std::lock_guard<std::mutex> g1{mu_};\n"
+        "  std::lock_guard<std::mutex> g2{compact_};\n"
+        "}\n"},
+       {"src/mid/compact.cpp",
+        "#include <mutex>\n"
+        "#include \"store.hpp\"\n"
+        "void Store::drain() {\n"
+        "  std::lock_guard<std::mutex> g1{compact_};\n"
+        "  std::lock_guard<std::mutex> g2{mu_};\n"
+        "}\n"}},
+      only({kRuleLockOrder}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("'Store::compact_' -> 'Store::mu_'"),
+            std::string::npos)
+      << diags[0].message;
+}
+
+TEST(LintLockOrder, ScopedLockMultiArgGainsNoInternalEdges) {
+  // std::scoped_lock's multi-arg form uses deadlock-avoiding std::lock, so
+  // opposite argument orders in two functions must not read as an inversion.
+  const auto diags = run(
+      {{"src/mid/a.cpp",
+        "#include <mutex>\n"
+        "std::mutex mu_a;\n"
+        "std::mutex mu_b;\n"
+        "void forward() { std::scoped_lock g{mu_a, mu_b}; }\n"
+        "void backward() { std::scoped_lock g{mu_b, mu_a}; }\n"}},
+      only({kRuleLockOrder}), nullptr, flow_layering());
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintLockOrder, DeferLockDoesNotAcquire) {
+  const auto diags = run(
+      {{"src/mid/a.cpp",
+        "#include <mutex>\n"
+        "std::mutex mu_a;\n"
+        "std::mutex mu_b;\n"
+        "void forward() {\n"
+        "  std::unique_lock<std::mutex> ga{mu_a, std::defer_lock};\n"
+        "  std::lock_guard<std::mutex> gb{mu_b};\n"
+        "}\n"
+        "void backward() {\n"
+        "  std::lock_guard<std::mutex> gb{mu_b};\n"
+        "  std::lock_guard<std::mutex> ga{mu_a};\n"
+        "}\n"}},
+      only({kRuleLockOrder}), nullptr, flow_layering());
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintLockOrder, ExplicitUnlockReleasesTheHold) {
+  const auto diags = run(
+      {{"src/mid/a.cpp",
+        "#include <mutex>\n"
+        "std::mutex mu_a;\n"
+        "std::mutex mu_b;\n"
+        "void forward() {\n"
+        "  std::unique_lock<std::mutex> ga{mu_a};\n"
+        "  ga.unlock();\n"
+        "  std::lock_guard<std::mutex> gb{mu_b};\n"
+        "}\n"
+        "void backward() {\n"
+        "  std::lock_guard<std::mutex> gb{mu_b};\n"
+        "  std::lock_guard<std::mutex> ga{mu_a};\n"
+        "}\n"}},
+      only({kRuleLockOrder}), nullptr, flow_layering());
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintLockOrder, ScopeExitReleasesBeforeLaterAcquisition) {
+  const auto diags = run(
+      {{"src/mid/a.cpp",
+        "#include <mutex>\n"
+        "std::mutex mu_a;\n"
+        "std::mutex mu_b;\n"
+        "void forward() {\n"
+        "  { std::lock_guard<std::mutex> ga{mu_a}; }\n"
+        "  std::lock_guard<std::mutex> gb{mu_b};\n"
+        "}\n"
+        "void backward() {\n"
+        "  std::lock_guard<std::mutex> gb{mu_b};\n"
+        "  std::lock_guard<std::mutex> ga{mu_a};\n"
+        "}\n"}},
+      only({kRuleLockOrder}), nullptr, flow_layering());
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintLockOrder, BlockingCallUnderLockIsDiagnosed) {
+  const auto diags = run(
+      {{"src/mid/a.cpp",
+        "#include <mutex>\n"
+        "std::mutex mu_a;\n"
+        "void hold_and_send(int fd) {\n"
+        "  std::lock_guard<std::mutex> g{mu_a};\n"
+        "  send_all(fd);\n"
+        "}\n"}},
+      only({kRuleLockOrder}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("blocking call 'send_all' while holding"),
+            std::string::npos);
+  EXPECT_NE(diags[0].message.find("'mu_a'"), std::string::npos);
+}
+
+TEST(LintLockOrder, BlockingCallAfterGuardScopeIsClean) {
+  const auto diags = run(
+      {{"src/mid/a.cpp",
+        "#include <mutex>\n"
+        "std::mutex mu_a;\n"
+        "void send_unlocked(int fd) {\n"
+        "  { std::lock_guard<std::mutex> g{mu_a}; }\n"
+        "  send_all(fd);\n"
+        "}\n"}},
+      only({kRuleLockOrder}), nullptr, flow_layering());
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintLockOrder, SuppressionWithReasonIsHonoured) {
+  const auto diags = run(
+      {{"src/mid/a.cpp",
+        "#include <mutex>\n"
+        "std::mutex mu_a;\n"
+        "void hold_and_send(int fd) {\n"
+        "  std::lock_guard<std::mutex> g{mu_a};\n"
+        "  // lint:allow(lock-order): peer is a localhost pipe, cannot stall\n"
+        "  send_all(fd);\n"
+        "}\n"}},
+      only({kRuleLockOrder}), nullptr, flow_layering());
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// must-consume statuses
+
+TEST(LintMustConsume, DiscardedStatusCallIsDiagnosed) {
+  const auto diags = run(
+      {{"src/base/codec.hpp", "DecodeStatus decode(int frame);\n"},
+       {"src/mid/a.cpp", "void f() { decode(1); }\n"}},
+      only({kRuleMustConsume}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].file, "src/mid/a.cpp");
+  EXPECT_NE(
+      diags[0].message.find("status result of 'decode' (returns "
+                            "'DecodeStatus') is discarded"),
+      std::string::npos);
+}
+
+TEST(LintMustConsume, ConsumedCallSitesAreClean) {
+  Stats stats;
+  const auto diags = run(
+      {{"src/base/codec.hpp", "DecodeStatus decode(int frame);\n"},
+       {"src/mid/a.cpp",
+        "DecodeStatus keep() { return decode(1); }\n"
+        "void assign() { DecodeStatus s = decode(2); (void)s; }\n"
+        "bool compare() { return decode(3) == DecodeStatus::kOk; }\n"
+        "void cast_away() { (void)decode(4); }\n"}},
+      only({kRuleMustConsume}), &stats, flow_layering());
+  EXPECT_TRUE(diags.empty());
+  EXPECT_EQ(stats.must_consume_sites, 4);
+}
+
+TEST(LintMustConsume, DeclarationIsNotACallSite) {
+  const auto diags = run(
+      {{"src/base/codec.hpp",
+        "DecodeStatus decode(int frame);\n"
+        "DecodeStatus decode(int frame, bool strict);\n"}},
+      only({kRuleMustConsume}), nullptr, flow_layering());
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintMustConsume, RegisteredBoolFunctionMustBeConsumed) {
+  const auto diags = run(
+      {{"src/mid/a.cpp", "void f(int fd) { send_all(fd); }\n"}},
+      only({kRuleMustConsume}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("'send_all' (registered bool status)"),
+            std::string::npos);
+}
+
+TEST(LintMustConsume, UnbracedControlBodyStillDropsTheValue) {
+  const auto diags = run(
+      {{"src/base/codec.hpp", "DecodeStatus decode(int frame);\n"},
+       {"src/mid/a.cpp", "void f(int fd) { if (fd) decode(fd); }\n"}},
+      only({kRuleMustConsume}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("is discarded"), std::string::npos);
+}
+
+TEST(LintMustConsume, MemberChainReceiverCountsAsConsumption) {
+  // `parser.decode(1);` discards too, but `log(parser.decode(1));` consumes.
+  const auto diags = run(
+      {{"src/base/codec.hpp", "DecodeStatus decode(int frame);\n"},
+       {"src/mid/a.cpp",
+        "void drop(Parser& parser) { parser.decode(1); }\n"
+        "void feed(Parser& parser) { log(parser.decode(2)); }\n"}},
+      only({kRuleMustConsume}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 1);
+}
+
+// ---------------------------------------------------------------------------
+// wire-layout contracts
+
+TEST(LintWireLayout, ContiguousLayoutIsClean) {
+  Stats stats;
+  const auto diags = run(
+      {{"src/base/wire.hpp",
+        "// layout: demo size=8 crc=[0,4)\n"
+        "inline constexpr std::size_t kAOffset = 0;  // field: a size=4\n"
+        "inline constexpr std::size_t kBOffset = 4;  // field: b size=4\n"}},
+      only({kRuleWireLayout}), &stats, flow_layering());
+  EXPECT_TRUE(diags.empty());
+  EXPECT_EQ(stats.layouts_checked, 1);
+  EXPECT_EQ(stats.layout_fields, 2);
+}
+
+TEST(LintWireLayout, DetectsSeededOffByOneOffset) {
+  // The seeded header bug: field b starts one byte past the end of a.
+  const auto diags = run(
+      {{"src/base/wire.hpp",
+        "// layout: demo size=9\n"
+        "inline constexpr std::size_t kAOffset = 0;  // field: a size=4\n"
+        "inline constexpr std::size_t kBOffset = 5;  // field: b size=4\n"}},
+      only({kRuleWireLayout}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find(
+                "1-byte gap between 'a' (ends 4) and 'b' (starts 5)"),
+            std::string::npos);
+}
+
+TEST(LintWireLayout, DetectsOverlappingFields) {
+  const auto diags = run(
+      {{"src/base/wire.hpp",
+        "// layout: demo size=7\n"
+        "inline constexpr std::size_t kAOffset = 0;  // field: a size=4\n"
+        "inline constexpr std::size_t kBOffset = 3;  // field: b size=4\n"}},
+      only({kRuleWireLayout}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("overlaps 'a'"), std::string::npos);
+}
+
+TEST(LintWireLayout, FirstFieldMustStartAtZero) {
+  const auto diags = run(
+      {{"src/base/wire.hpp",
+        "// layout: demo size=8\n"
+        "inline constexpr std::size_t kAOffset = 2;  // field: a size=6\n"}},
+      only({kRuleWireLayout}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("starts at offset 2, expected 0"),
+            std::string::npos);
+}
+
+TEST(LintWireLayout, FieldsMustCoverTheDeclaredSize) {
+  const auto diags = run(
+      {{"src/base/wire.hpp",
+        "// layout: demo size=8\n"
+        "inline constexpr std::size_t kAOffset = 0;  // field: a size=4\n"
+        "inline constexpr std::size_t kBOffset = 4;  // field: b size=2\n"}},
+      only({kRuleWireLayout}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find(
+                "fields cover [0,6) but the layout declares size=8"),
+            std::string::npos);
+}
+
+TEST(LintWireLayout, CrcSpanMustLieInsideTheHeader) {
+  const auto diags = run(
+      {{"src/base/wire.hpp",
+        "// layout: demo size=8 crc=[0,12)\n"
+        "inline constexpr std::size_t kAOffset = 0;  // field: a size=8\n"}},
+      only({kRuleWireLayout}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("crc span [0,12) must lie inside [0,8)"),
+            std::string::npos);
+}
+
+TEST(LintWireLayout, CrcFieldInsideItsOwnCoverageIsDiagnosed) {
+  const auto diags = run(
+      {{"src/base/wire.hpp",
+        "// layout: demo size=8 crc=[0,8)\n"
+        "inline constexpr std::size_t kAOffset = 0;  // field: a size=4\n"
+        "inline constexpr std::size_t kCrcOffset = 4;"
+        "  // field: header_crc size=4\n"}},
+      only({kRuleWireLayout}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("lies inside its own coverage span"),
+            std::string::npos);
+}
+
+TEST(LintWireLayout, DanglingFieldDirectiveIsDiagnosed) {
+  const auto diags = run(
+      {{"src/base/wire.hpp",
+        "inline constexpr std::size_t kAOffset = 0;  // field: a size=4\n"}},
+      only({kRuleWireLayout}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("no preceding layout directive"),
+            std::string::npos);
+}
+
+TEST(LintWireLayout, DuplicateLayoutNameAcrossFilesIsDiagnosed) {
+  const auto diags = run(
+      {{"src/base/wire.hpp",
+        "// layout: demo size=4\n"
+        "inline constexpr std::size_t kAOffset = 0;  // field: a size=4\n"},
+       {"src/mid/wire2.hpp",
+        "// layout: demo size=4\n"
+        "inline constexpr std::size_t kBOffset = 0;  // field: b size=4\n"}},
+      only({kRuleWireLayout}), nullptr, flow_layering());
+  // The rejected duplicate also orphans its field directive, so two
+  // diagnostics: the redeclaration and the dangling field.
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_TRUE(any_message_contains(diags, "already declared at"));
+  EXPECT_TRUE(any_message_contains(diags, "no preceding layout directive"));
+}
+
+// ---------------------------------------------------------------------------
+// hot-path bans
+
+TEST(LintHotPath, CleanContractedFunctionPasses) {
+  Stats stats;
+  const auto diags = run(
+      {{"src/base/fast.hpp",
+        "// hot: per-frame conversion path\n"
+        "int fast(int x) { return x + 1; }\n"}},
+      only({kRuleHotPath}), &stats, flow_layering());
+  EXPECT_TRUE(diags.empty());
+  EXPECT_EQ(stats.hot_functions, 1);
+}
+
+TEST(LintHotPath, AllocationInHotFunctionIsDiagnosed) {
+  const auto diags = run(
+      {{"src/base/fast.cpp",
+        "#include <vector>\n"
+        "std::vector<int> sink;\n"
+        "// hot: per-frame append path\n"
+        "void record(int x) { sink.push_back(x); }\n"}},
+      only({kRuleHotPath}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("'push_back' allocates inside 'record'"),
+            std::string::npos);
+  EXPECT_NE(diags[0].message.find("bans alloc"), std::string::npos);
+}
+
+TEST(LintHotPath, SubsetContractBansOnlyListedCategories) {
+  // A hot(alloc) contract tolerates the throw but not the vector growth.
+  const auto diags = run(
+      {{"src/base/fast.cpp",
+        "// hot(alloc): bounds check may throw, that is fine\n"
+        "int pick(int i) {\n"
+        "  if (i < 0) throw 1;\n"
+        "  return i;\n"
+        "}\n"
+        "// hot(alloc): no growth on this path\n"
+        "void grow(std::vector<int>& v) { v.resize(8); }\n"}},
+      only({kRuleHotPath}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("'resize' allocates inside 'grow'"),
+            std::string::npos);
+}
+
+TEST(LintHotPath, TransitiveCalleeViolationIsDiagnosed) {
+  // The hot function itself is clean; its callee (defined in another file)
+  // throws, and the ban is enforced one call level deep.
+  const auto diags = run(
+      {{"src/base/helper.cpp",
+        "void validate(int x) { if (x < 0) throw 1; }\n"},
+       {"src/mid/outer.cpp",
+        "// hot: no exceptions on the scan path\n"
+        "void outer(int x) { validate(x); }\n"}},
+      only({kRuleHotPath}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("call to 'validate'"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("which throws"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("(transitive, depth 1)"),
+            std::string::npos);
+}
+
+TEST(LintHotPath, LockAcquisitionInHotFunctionIsDiagnosed) {
+  const auto diags = run(
+      {{"src/base/fast.cpp",
+        "#include <mutex>\n"
+        "std::mutex mu;\n"
+        "// hot: wait-free by contract\n"
+        "int locked_get(int x) {\n"
+        "  std::lock_guard<std::mutex> g{mu};\n"
+        "  return x;\n"
+        "}\n"}},
+      only({kRuleHotPath}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("acquires a lock"), std::string::npos);
+}
+
+TEST(LintHotPath, FreeIoCallIsDiagnosedButMemberReadIsNot) {
+  // `read` is in the io registry: the bare call is the syscall, while
+  // `sensor.read(...)` is a method on a model object and must not count.
+  const auto diags = run(
+      {{"src/base/fast.cpp",
+        "// hot: sensor conversion path\n"
+        "int sample(Sensor& sensor) { return sensor.read(); }\n"
+        "// hot: but this one really does io\n"
+        "int slurp() { return read(); }\n"}},
+      only({kRuleHotPath}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 4);
+  EXPECT_NE(diags[0].message.find("performs blocking io"), std::string::npos);
+}
+
+TEST(LintHotPath, MalformedContractIsDiagnosed) {
+  const auto diags = run(
+      {{"src/base/fast.cpp",
+        "// hot(bogus): not a category\n"
+        "int f(int x) { return x; }\n"}},
+      only({kRuleHotPath}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("unknown hot contract category 'bogus'"),
+            std::string::npos);
+}
+
+TEST(LintHotPath, ContractWithoutReasonIsDiagnosed) {
+  const auto diags = run(
+      {{"src/base/fast.cpp",
+        "// hot:\n"
+        "int f(int x) { return x; }\n"}},
+      only({kRuleHotPath}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("must carry a reason"), std::string::npos);
+}
+
+TEST(LintHotPath, DanglingContractIsDiagnosed) {
+  const auto diags = run(
+      {{"src/base/fast.cpp",
+        "// hot: floats free above a plain variable\n"
+        "int x = 3;\n"}},
+      only({kRuleHotPath}), nullptr, flow_layering());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("attaches to no function definition"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SARIF output
+
+TEST(LintSarif, ReportIsValidJsonWithRuleIds) {
+  const auto diags = run({{"src/mid/a.cpp", "int f() { return rand(); }\n"}},
+                         only({kRuleDeterminism}));
+  ASSERT_EQ(diags.size(), 1u);
+  const std::string report = sarif_report(diags);
+  EXPECT_TRUE(tsvpt::testing::is_valid_json(report)) << report;
+  EXPECT_NE(report.find("\"ruleId\": \"determinism-ban\""),
+            std::string::npos);
+  EXPECT_NE(report.find("src/mid/a.cpp"), std::string::npos);
+  EXPECT_NE(report.find("\"version\": \"2.1.0\""), std::string::npos);
+}
+
+TEST(LintSarif, EmptyReportIsValidJson) {
+  const std::string report = sarif_report({});
+  EXPECT_TRUE(tsvpt::testing::is_valid_json(report)) << report;
+  EXPECT_NE(report.find("\"results\": []"), std::string::npos);
+}
+
+TEST(LintConfig, FlowRegistrySectionsParse) {
+  const LayeringConfig config = flow_layering();
+  EXPECT_EQ(config.status_types.count("DecodeStatus"), 1u);
+  EXPECT_EQ(config.consume_bool_functions.count("send_all"), 1u);
+  EXPECT_EQ(config.blocking_calls.count("fsync"), 1u);
+  EXPECT_EQ(config.hot_io_calls.count("read"), 1u);
 }
 
 }  // namespace

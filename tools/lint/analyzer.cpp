@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "lint/flow.hpp"
+
 namespace tsvpt::lint {
 
 namespace {
@@ -195,8 +197,9 @@ std::vector<IncludeInfo> collect_includes(const std::vector<Token>& toks) {
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules{
-      kRuleAtomics, kRuleLayering, kRuleDeterminism, kRuleHygiene,
-      kRuleMetricName};
+      kRuleAtomics,     kRuleLayering,   kRuleDeterminism,
+      kRuleHygiene,     kRuleMetricName, kRuleLockOrder,
+      kRuleMustConsume, kRuleWireLayout, kRuleHotPath};
   return kRules;
 }
 
@@ -223,6 +226,31 @@ std::string rule_description(const std::string& rule) {
            "'_total', histograms end a unit suffix, gauges end a unit or "
            "countable suffix (scrapers key on the schema staying regular)";
   }
+  if (rule == kRuleLockOrder) {
+    return "RAII guard acquisitions must form an acyclic cross-TU mutex "
+           "order, and no lock may be held across a registered blocking "
+           "call (send_all/recv/fsync/poll/...)";
+  }
+  if (rule == kRuleMustConsume) {
+    return "results of functions returning a registered status type (or "
+           "named in the bool-status registry) must be assigned, compared, "
+           "or returned — a bare 'f(...);' statement drops the status";
+  }
+  if (rule == kRuleWireLayout) {
+    return "'layout:'/'field:' directives on framing offset constants must "
+           "be internally consistent: fields start at 0, contiguous, "
+           "non-overlapping, summing to the header size, CRC span inside "
+           "the header";
+  }
+  if (rule == kRuleHotPath) {
+    return "functions under a 'hot:' contract may not allocate, throw, "
+           "lock, or call IO (or the subset in 'hot(cats):'), enforced "
+           "transitively one call level deep";
+  }
+  if (rule == kRuleSuppression) {
+    return "meta-rule: lint:allow comments must carry a reason, name a real "
+           "rule, and actually fire";
+  }
   return "";
 }
 
@@ -239,6 +267,15 @@ void Analyzer::add_file(std::string path, std::string_view content) {
   data.path = std::move(path);
   data.lex = lex(content);
   ++stats_.files_scanned;
+
+  // The flow-aware rules all hang off the symbol resolver; run it once per
+  // file when any of them is enabled.
+  if (options_.enabled.count(kRuleLockOrder) != 0 ||
+      options_.enabled.count(kRuleMustConsume) != 0 ||
+      options_.enabled.count(kRuleWireLayout) != 0 ||
+      options_.enabled.count(kRuleHotPath) != 0) {
+    data.symbols = scan_symbols(data.lex);
+  }
 
   // Pass 1 of the atomics rule happens at add time so declarations in
   // headers are visible when the .cpp that uses them is checked, whatever
@@ -810,6 +847,23 @@ std::vector<Diagnostic> Analyzer::finish() {
     }
   }
 
+  // ---- flow-aware rules ---------------------------------------------------
+  {
+    FlowAnalyzer::Rules flow_rules;
+    flow_rules.lock_order = options_.enabled.count(kRuleLockOrder) != 0;
+    flow_rules.must_consume = options_.enabled.count(kRuleMustConsume) != 0;
+    flow_rules.wire_layout = options_.enabled.count(kRuleWireLayout) != 0;
+    flow_rules.hot_path = options_.enabled.count(kRuleHotPath) != 0;
+    if (flow_rules.lock_order || flow_rules.must_consume ||
+        flow_rules.wire_layout || flow_rules.hot_path) {
+      FlowAnalyzer flow(&layering_, flow_rules);
+      for (const FileData& file : files_) {
+        flow.add_file(&file.path, &file.lex, &file.symbols);
+      }
+      flow.finish(&stats_, &diags);
+    }
+  }
+
   // ---- suppressions -------------------------------------------------------
   // Allows were collected per file but the vector is flat; rebuild the
   // file association by re-walking files (paths were not stored above).
@@ -926,6 +980,20 @@ std::string json_report(const std::vector<Diagnostic>& diags,
          ",\n";
   out += "    \"metric_names_checked\": " +
          std::to_string(stats.metric_names_checked) + ",\n";
+  out += "    \"lock_sites\": " + std::to_string(stats.lock_sites) + ",\n";
+  out += "    \"lock_edges\": " + std::to_string(stats.lock_edges) + ",\n";
+  out += "    \"blocking_sites\": " + std::to_string(stats.blocking_sites) +
+         ",\n";
+  out += "    \"must_consume_sites\": " +
+         std::to_string(stats.must_consume_sites) + ",\n";
+  out += "    \"hot_functions\": " + std::to_string(stats.hot_functions) +
+         ",\n";
+  out += "    \"hot_callee_checks\": " +
+         std::to_string(stats.hot_callee_checks) + ",\n";
+  out += "    \"layouts_checked\": " + std::to_string(stats.layouts_checked) +
+         ",\n";
+  out += "    \"layout_fields\": " + std::to_string(stats.layout_fields) +
+         ",\n";
   out += "    \"suppressions_used\": " +
          std::to_string(stats.suppressions_used) + "\n";
   out += "  },\n";

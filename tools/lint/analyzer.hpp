@@ -27,6 +27,27 @@
 //                      counters end `_total`, histograms end a unit suffix,
 //                      gauges end a unit or countable suffix.
 //
+// Flow-aware rules (built on the symbol resolver in symbols.hpp and the
+// statement walkers in flow.cpp):
+//
+//   lock-order         RAII guard acquisitions form a global mutex
+//                      acquisition-order graph across all TUs; cycles
+//                      (potential deadlock) and locks held across registered
+//                      blocking calls are diagnosed.
+//   must-consume       results of functions returning a registered status
+//                      type (or named in the bool-status registry) must be
+//                      assigned, compared, or returned — never dropped as a
+//                      bare statement.
+//   wire-layout        `// layout:` / `// field:` directives on framing
+//                      offset constants are cross-checked: fields start at
+//                      0, stay contiguous and non-overlapping, sum to the
+//                      declared header size, and the CRC span stays inside
+//                      the header without covering the CRC field itself.
+//   hot-path           a function under a `// hot:` contract may not
+//                      allocate, throw, lock, or call IO (or the subset in
+//                      `// hot(cats):`), enforced transitively one call
+//                      level deep.
+//
 // Suppression: `// lint:allow(<rule>): <reason>` on (or immediately above)
 // the offending line.  The reason is mandatory, and suppressions that never
 // fire are themselves diagnosed, so the allow-list can only shrink.
@@ -40,6 +61,7 @@
 
 #include "lint/config.hpp"
 #include "lint/lexer.hpp"
+#include "lint/symbols.hpp"
 
 namespace tsvpt::lint {
 
@@ -48,11 +70,15 @@ inline constexpr const char* kRuleLayering = "layering-dag";
 inline constexpr const char* kRuleDeterminism = "determinism-ban";
 inline constexpr const char* kRuleHygiene = "header-hygiene";
 inline constexpr const char* kRuleMetricName = "metric-name";
+inline constexpr const char* kRuleLockOrder = "lock-order";
+inline constexpr const char* kRuleMustConsume = "must-consume";
+inline constexpr const char* kRuleWireLayout = "wire-layout";
+inline constexpr const char* kRuleHotPath = "hot-path";
 /// Meta-rule guarding the suppression mechanism itself (reason-less or
 /// never-firing `lint:allow` comments).  Not suppressible, not toggleable.
 inline constexpr const char* kRuleSuppression = "suppression";
 
-/// The five toggleable rule families, in catalog order.
+/// The nine toggleable rule families, in catalog order.
 [[nodiscard]] const std::vector<std::string>& all_rules();
 
 /// One-line human description of a rule (for --list-rules).
@@ -78,16 +104,25 @@ struct Stats {
   int globals_audited = 0;     // namespace-scope statements audited
   int headers_audited = 0;     // headers checked for pragma/using hygiene
   int metric_names_checked = 0;  // literal metric registrations audited
+  int lock_sites = 0;            // RAII guard acquisitions tracked
+  int lock_edges = 0;            // distinct acquisition-order edges observed
+  int blocking_sites = 0;        // blocking-call sites audited in functions
+  int must_consume_sites = 0;    // registered status call sites audited
+  int hot_functions = 0;         // functions under a hot contract
+  int hot_callee_checks = 0;     // transitive callee summaries consulted
+  int layouts_checked = 0;       // wire layouts validated
+  int layout_fields = 0;         // field directives audited
   int suppressions_used = 0;
 };
 
 class Analyzer {
  public:
   struct Options {
-    /// Enabled rule families; defaults to all five.
-    std::set<std::string> enabled{kRuleAtomics, kRuleLayering,
-                                  kRuleDeterminism, kRuleHygiene,
-                                  kRuleMetricName};
+    /// Enabled rule families; defaults to all nine.
+    std::set<std::string> enabled{
+        kRuleAtomics,     kRuleLayering,   kRuleDeterminism,
+        kRuleHygiene,     kRuleMetricName, kRuleLockOrder,
+        kRuleMustConsume, kRuleWireLayout, kRuleHotPath};
     /// Flag declared-but-unused layering edges (LintLayeringAudit).
     bool layering_audit = false;
     /// Path the layering config is reported under in diagnostics.
@@ -110,6 +145,7 @@ class Analyzer {
   struct FileData {
     std::string path;
     LexResult lex;
+    FileSymbols symbols;  // populated when any flow rule is enabled
   };
 
   LayeringConfig layering_;

@@ -93,6 +93,14 @@ bool parse_layering(std::string_view text, LayeringConfig* out,
       out->modules = std::move(values);
     } else if (section == "deps") {
       out->deps[key] = std::set<std::string>(values.begin(), values.end());
+    } else if (section == "must_consume" && key == "status_types") {
+      out->status_types.insert(values.begin(), values.end());
+    } else if (section == "must_consume" && key == "bool_functions") {
+      out->consume_bool_functions.insert(values.begin(), values.end());
+    } else if (section == "lock_order" && key == "blocking") {
+      out->blocking_calls.insert(values.begin(), values.end());
+    } else if (section == "hot_path" && key == "io") {
+      out->hot_io_calls.insert(values.begin(), values.end());
     } else {
       *error = "line " + std::to_string(line_no) + ": unknown entry '" + key +
                "' in section [" + section + "]";

@@ -1,6 +1,7 @@
-// Layering configuration for the layering-dag rule: which src/ modules
-// exist, and which direct include edges are allowed.  The checked-in
-// instance lives at tools/lint/layering.toml; LintLayeringAudit asserts it
+// Configuration for tsvpt_lint: the layering DAG plus the declared
+// registries the flow-aware rules (must-consume, lock-order, hot-path)
+// resolve names against.  The checked-in instance lives at
+// tools/lint/layering.toml; LintLayeringAudit asserts the layering half
 // matches the include graph that is actually in the tree.
 #pragma once
 
@@ -19,16 +20,41 @@ struct LayeringConfig {
   /// module -> allowed direct dependencies (fully enumerated, no closure).
   std::map<std::string, std::set<std::string>> deps;
 
+  // --- flow-rule registries (all optional; empty = the rule only enforces
+  // its built-in bans) -----------------------------------------------------
+
+  /// [must_consume] status_types: return types whose value is a status that
+  /// must never be dropped on the floor (DecodeStatus, BatchStatus, ...).
+  /// Every function the tree declares with one of these return types joins
+  /// the must-consume registry automatically.
+  std::set<std::string> status_types;
+  /// [must_consume] bool_functions: bool-returning functions whose result
+  /// is a status by convention (send_all, try_push, ...).
+  std::set<std::string> consume_bool_functions;
+  /// [lock_order] blocking: calls that may block indefinitely (send_all,
+  /// recv, fsync, poll, ...); holding any lock across one is diagnosed.
+  std::set<std::string> blocking_calls;
+  /// [hot_path] io: calls a `// hot:` function may not make when its
+  /// contract bans io.
+  std::set<std::string> hot_io_calls;
+
   [[nodiscard]] bool has_module(const std::string& name) const {
     return deps.count(name) != 0;
   }
 };
 
-/// Parse the minimal TOML subset the layering file uses:
+/// Parse the minimal TOML subset the config file uses:
 ///   [modules]
 ///   order = ["ptsim", "obs", ...]
 ///   [deps]
 ///   core = ["ptsim", "circuit"]
+///   [must_consume]
+///   status_types = ["DecodeStatus", ...]
+///   bool_functions = ["send_all", ...]
+///   [lock_order]
+///   blocking = ["fsync", ...]
+///   [hot_path]
+///   io = ["fsync", ...]
 /// Comments start with '#'.  On failure returns false and sets `error`.
 bool parse_layering(std::string_view text, LayeringConfig* out,
                     std::string* error);

@@ -1,14 +1,17 @@
 // tsvpt_lint — project-invariant static analyzer for the tsvpt tree.
 //
 //   tsvpt_lint --root <repo> [--config <layering.toml>] [--rules a,b]
-//              [--disable rule] [--json <out.json>] [--layering-audit]
-//              [--list-rules] [--stats] [paths...]
+//              [--disable rule] [--json <out.json>] [--sarif <out.sarif>]
+//              [--layering-audit] [--list-rules] [--stats]
+//              [--max-millis N] [paths...]
 //
 // Walks src/, tools/, tests/, bench/ and examples/ under --root (or lints
 // just the explicitly listed files), runs the enabled rules, and prints
-// file:line diagnostics.  Exit code: 0 clean, 1 diagnostics found, 2 usage
-// or I/O error.
+// file:line diagnostics.  Exit code: 0 clean, 1 diagnostics found (or the
+// --max-millis budget exceeded), 2 usage or I/O error.
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -18,6 +21,7 @@
 
 #include "lint/analyzer.hpp"
 #include "lint/config.hpp"
+#include "lint/sarif.hpp"
 
 namespace fs = std::filesystem;
 
@@ -46,10 +50,9 @@ std::string relative_key(const fs::path& root, const fs::path& path) {
 
 void usage(std::ostream& out) {
   out << "usage: tsvpt_lint [--root DIR] [--config FILE] [--rules LIST]\n"
-         "                  [--disable RULE] [--json FILE] "
-         "[--layering-audit]\n"
-         "                  [--list-rules] [--stats] [--version] "
-         "[paths...]\n";
+         "                  [--disable RULE] [--json FILE] [--sarif FILE]\n"
+         "                  [--layering-audit] [--list-rules] [--stats]\n"
+         "                  [--max-millis N] [--version] [paths...]\n";
 }
 
 std::vector<std::string> split_csv(const std::string& csv) {
@@ -70,9 +73,12 @@ std::vector<std::string> split_csv(const std::string& csv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto start_time = std::chrono::steady_clock::now();
   fs::path root = ".";
   std::string config_path;
   std::string json_path;
+  std::string sarif_path;
+  long max_millis = -1;
   bool layering_audit = false;
   bool list_rules = false;
   bool show_stats = false;
@@ -94,6 +100,14 @@ int main(int argc, char** argv) {
       config_path = next_value("--config");
     } else if (arg == "--json") {
       json_path = next_value("--json");
+    } else if (arg == "--sarif") {
+      sarif_path = next_value("--sarif");
+    } else if (arg == "--max-millis") {
+      max_millis = std::strtol(next_value("--max-millis"), nullptr, 10);
+      if (max_millis <= 0) {
+        std::cerr << "tsvpt_lint: --max-millis needs a positive integer\n";
+        return 2;
+      }
     } else if (arg == "--rules") {
       options.enabled.clear();
       for (const std::string& rule : split_csv(next_value("--rules"))) {
@@ -187,6 +201,9 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<tsvpt::lint::Diagnostic> diags = analyzer.finish();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start_time)
+                           .count();
   for (const tsvpt::lint::Diagnostic& diag : diags) {
     std::cout << tsvpt::lint::format_diagnostic(diag) << "\n";
   }
@@ -198,9 +215,16 @@ int main(int argc, char** argv) {
               << stats.includes_checked << " cross-module includes, "
               << stats.determinism_sites << " determinism sites, "
               << stats.globals_audited << " namespace-scope statements, "
-              << stats.headers_audited << " headers; " << diags.size()
+              << stats.headers_audited << " headers, " << stats.lock_sites
+              << " lock sites (" << stats.lock_edges << " order edges, "
+              << stats.blocking_sites << " blocking calls), "
+              << stats.must_consume_sites << " must-consume sites, "
+              << stats.hot_functions << " hot functions ("
+              << stats.hot_callee_checks << " callee checks), "
+              << stats.layouts_checked << " wire layouts ("
+              << stats.layout_fields << " fields); " << diags.size()
               << " diagnostics, " << stats.suppressions_used
-              << " suppressed\n";
+              << " suppressed; " << elapsed << " ms\n";
   }
   if (!json_path.empty()) {
     std::ofstream out{json_path, std::ios::binary};
@@ -209,6 +233,20 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << tsvpt::lint::json_report(diags, analyzer.stats());
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream out{sarif_path, std::ios::binary};
+    if (!out) {
+      std::cerr << "tsvpt_lint: cannot write '" << sarif_path << "'\n";
+      return 2;
+    }
+    out << tsvpt::lint::sarif_report(diags);
+  }
+  if (max_millis > 0 && elapsed > max_millis) {
+    std::cerr << "tsvpt_lint: run took " << elapsed
+              << " ms, over the --max-millis budget of " << max_millis
+              << " ms\n";
+    return 1;
   }
   return diags.empty() ? 0 : 1;
 }

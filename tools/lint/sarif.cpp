@@ -1,0 +1,81 @@
+#include "lint/sarif.hpp"
+
+#include <set>
+
+namespace tsvpt::lint {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string sarif_report(const std::vector<Diagnostic>& diags) {
+  // Rule catalog: every toggleable rule plus any rule id that actually
+  // fired (the suppression meta-rule only appears when it fires).
+  std::set<std::string> rule_ids(all_rules().begin(), all_rules().end());
+  for (const Diagnostic& diag : diags) rule_ids.insert(diag.rule);
+
+  std::string out;
+  out += "{\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out +=
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"runs\": [\n";
+  out += "    {\n";
+  out += "      \"tool\": {\n";
+  out += "        \"driver\": {\n";
+  out += "          \"name\": \"tsvpt_lint\",\n";
+  out += "          \"informationUri\": "
+         "\"https://example.invalid/tsvpt/tools/lint\",\n";
+  out += "          \"rules\": [";
+  bool first = true;
+  for (const std::string& rule : rule_ids) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "            {\"id\": \"";
+    append_escaped(out, rule);
+    out += "\", \"shortDescription\": {\"text\": \"";
+    append_escaped(out, rule_description(rule));
+    out += "\"}}";
+  }
+  out += rule_ids.empty() ? "]\n" : "\n          ]\n";
+  out += "        }\n";
+  out += "      },\n";
+  out += "      \"results\": [";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "        {\n";
+    out += "          \"ruleId\": \"";
+    append_escaped(out, diags[i].rule);
+    out += "\",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": {\"text\": \"";
+    append_escaped(out, diags[i].message);
+    out += "\"},\n";
+    out += "          \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"";
+    append_escaped(out, diags[i].file);
+    out += "\"}, \"region\": {\"startLine\": " +
+           std::to_string(diags[i].line < 1 ? 1 : diags[i].line) + "}}}]\n";
+    out += "        }";
+  }
+  out += diags.empty() ? "]\n" : "\n      ]\n";
+  out += "    }\n";
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace tsvpt::lint

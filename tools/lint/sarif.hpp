@@ -1,0 +1,15 @@
+// Minimal SARIF 2.1.0 serialization of a lint run, for CI artifact upload
+// and code-scanning ingestion.  One run, one tool ("tsvpt_lint"), one result
+// per diagnostic with the rule id, message, and physical location.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/analyzer.hpp"
+
+namespace tsvpt::lint {
+
+[[nodiscard]] std::string sarif_report(const std::vector<Diagnostic>& diags);
+
+}  // namespace tsvpt::lint

@@ -1,0 +1,340 @@
+#include "lint/symbols.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace tsvpt::lint {
+
+namespace {
+
+bool is_punct(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kPunct && tok.text == text;
+}
+
+bool is_ident(const Token& tok, std::string_view text) {
+  return tok.kind == TokKind::kIdentifier && tok.text == text;
+}
+
+/// Keywords that can precede a '(' without being a function name.
+const std::set<std::string>& non_function_keywords() {
+  static const std::set<std::string> kKeywords{
+      "if",       "for",      "while",    "switch",       "catch",
+      "return",   "sizeof",   "alignof",  "alignas",      "decltype",
+      "noexcept", "new",      "delete",   "static_assert","throw",
+      "else",     "do",       "case",     "co_return",    "co_yield",
+      "co_await", "typeid",   "assert",   "defined",      "requires"};
+  return kKeywords;
+}
+
+/// Trailer idents allowed between a parameter list's ')' and the body '{'.
+const std::set<std::string>& trailer_keywords() {
+  static const std::set<std::string> kKeywords{"const", "noexcept", "override",
+                                               "final", "mutable",  "try",
+                                               "requires", "volatile"};
+  return kKeywords;
+}
+
+/// Parse one `// hot:` / `// hot(cats):` directive.  Returns false when the
+/// comment is not a hot directive at all.
+bool parse_hot_directive(const Token& comment, HotContract* out) {
+  const std::string& text = comment.text;
+  std::size_t start = 0;
+  while (start < text.size() &&
+         (text[start] == '/' || text[start] == '*' || text[start] == ' ' ||
+          text[start] == '\t')) {
+    ++start;
+  }
+  if (text.compare(start, 4, "hot:") != 0 &&
+      text.compare(start, 4, "hot(") != 0) {
+    return false;
+  }
+  out->line = comment.line;
+  std::size_t pos = start + 3;
+  if (text[pos] == '(') {
+    const std::size_t close = text.find(')', pos);
+    if (close == std::string::npos || close + 1 >= text.size() ||
+        text[close + 1] != ':') {
+      out->error = "malformed hot contract: expected '// hot(cats): reason'";
+      return true;
+    }
+    std::string cats = text.substr(pos + 1, close - pos - 1);
+    std::size_t at = 0;
+    while (at <= cats.size()) {
+      std::size_t comma = cats.find(',', at);
+      if (comma == std::string::npos) comma = cats.size();
+      std::string cat = cats.substr(at, comma - at);
+      while (!cat.empty() && cat.front() == ' ') cat.erase(cat.begin());
+      while (!cat.empty() && cat.back() == ' ') cat.pop_back();
+      if (cat == "alloc") {
+        out->ban_alloc = true;
+      } else if (cat == "throw") {
+        out->ban_throw = true;
+      } else if (cat == "lock") {
+        out->ban_lock = true;
+      } else if (cat == "io") {
+        out->ban_io = true;
+      } else if (!cat.empty()) {
+        out->error = "unknown hot contract category '" + cat +
+                     "' (expected alloc, throw, lock, io)";
+        return true;
+      }
+      if (comma >= cats.size()) break;
+      at = comma + 1;
+    }
+    if (!out->any()) {
+      out->error = "hot contract bans no categories";
+      return true;
+    }
+    pos = close + 2;
+  } else {
+    out->ban_alloc = out->ban_throw = out->ban_lock = out->ban_io = true;
+    ++pos;  // step past ':'
+  }
+  while (pos < text.size() && text[pos] == ' ') ++pos;
+  if (pos >= text.size()) {
+    out->error = "hot contract must carry a reason: '// hot: <why>'";
+  }
+  return true;
+}
+
+}  // namespace
+
+FileSymbols scan_symbols(const LexResult& lex) {
+  FileSymbols out;
+
+  // Directive lines never contain definitions; work on the rest.
+  std::vector<const Token*> code;
+  std::vector<std::size_t> code_to_tok;  // index back into lex.tokens
+  code.reserve(lex.tokens.size());
+  for (std::size_t i = 0; i < lex.tokens.size(); ++i) {
+    if (!lex.tokens[i].in_directive) {
+      code.push_back(&lex.tokens[i]);
+      code_to_tok.push_back(i);
+    }
+  }
+  const auto cpunct = [&](std::size_t i, std::string_view t) {
+    return i < code.size() && is_punct(*code[i], t);
+  };
+  const auto cident = [&](std::size_t i) {
+    return i < code.size() && code[i]->kind == TokKind::kIdentifier;
+  };
+  const auto cskip = [&](std::size_t open, std::string_view o,
+                         std::string_view c) {
+    int depth = 0;
+    std::size_t i = open;
+    for (; i < code.size(); ++i) {
+      if (is_punct(*code[i], o)) ++depth;
+      if (is_punct(*code[i], c) && --depth == 0) return i;
+    }
+    return code.size() - 1;
+  };
+
+  // ---- pass 1: scope classification --------------------------------------
+  // For every code-token index, the innermost enclosing class name ("" at
+  // namespace/function scope).  Also collects std::mutex members per class.
+  std::vector<std::string> class_at(code.size());
+  {
+    struct Scope {
+      char kind = 'b';   // 'n' namespace, 'c' class, 'b' block
+      std::string name;  // class name when kind == 'c'
+    };
+    std::vector<Scope> scopes;
+    auto innermost_class = [&]() -> std::string {
+      for (std::size_t i = scopes.size(); i-- > 0;) {
+        if (scopes[i].kind == 'c') return scopes[i].name;
+      }
+      return "";
+    };
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      class_at[i] = innermost_class();
+      if (cpunct(i, "{")) {
+        Scope scope;
+        // Look back to the statement boundary for namespace/class keywords.
+        for (std::size_t j = i; j-- > 0;) {
+          const Token& tok = *code[j];
+          if (is_punct(tok, ";") || is_punct(tok, "{") || is_punct(tok, "}")) {
+            break;
+          }
+          if (is_ident(tok, "namespace")) {
+            scope.kind = 'n';
+            break;
+          }
+          if (is_ident(tok, "class") || is_ident(tok, "struct") ||
+              is_ident(tok, "union")) {
+            scope.kind = 'c';
+            // The name is the identifier right after the keyword (enum
+            // class X / anonymous structs leave the name empty, which is
+            // all the resolver needs).
+            if (cident(j + 1)) scope.name = code[j + 1]->text;
+            break;
+          }
+          if (is_ident(tok, "enum")) break;  // enumerators are not a class
+        }
+        scopes.push_back(std::move(scope));
+      } else if (cpunct(i, "}")) {
+        if (!scopes.empty()) scopes.pop_back();
+      } else if (cident(i) && code[i]->text == "mutex" && cident(i + 1) &&
+                 !innermost_class().empty()) {
+        // `std::mutex name;` (or brace-init) inside a class body: a member
+        // the lock-order rule can key on.  `mutex` as a type is preceded by
+        // `::` (std::mutex) or starts the declaration (using-imported).
+        const bool typed = i == 0 || cpunct(i - 1, "::") ||
+                           is_punct(*code[i - 1], ";") ||
+                           is_punct(*code[i - 1], "{") ||
+                           is_ident(*code[i - 1], "mutable") ||
+                           is_ident(*code[i - 1], "static");
+        if (typed) {
+          out.mutex_members.emplace_back(innermost_class(),
+                                         code[i + 1]->text);
+        }
+      }
+    }
+  }
+
+  // ---- pass 2: function definitions --------------------------------------
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!cident(i) || !cpunct(i + 1, "(")) continue;
+    const std::string& name = code[i]->text;
+    if (non_function_keywords().count(name) != 0) continue;
+    if (i > 0) {
+      const Token& prev = *code[i - 1];
+      // Member-init-list entries (`: a_(1)`), call chains (`x.f(`), and
+      // second declarators (`, b(`) are never definitions.
+      if (is_punct(prev, ".") || is_punct(prev, "->") ||
+          is_punct(prev, ":") || is_punct(prev, ",")) {
+        continue;
+      }
+    }
+    const std::size_t close = cskip(i + 1, "(", ")");
+    if (close + 1 >= code.size()) continue;
+
+    // Walk the trailer between ')' and the body '{': cv-qualifiers,
+    // noexcept(...), override/final, trailing return, ctor init list.
+    std::size_t j = close + 1;
+    bool in_init_list = false;
+    bool in_trailing_return = false;
+    std::size_t body = 0;
+    while (j < code.size()) {
+      const Token& tok = *code[j];
+      if (is_punct(tok, "{")) {
+        if (in_init_list || in_trailing_return) {
+          // A '{' directly after an identifier or '>' inside an init list
+          // or trailing return is a member brace-init / braced type arg;
+          // anything else opens the body.
+          const Token& before = *code[j - 1];
+          if (before.kind == TokKind::kIdentifier || is_punct(before, ">")) {
+            j = cskip(j, "{", "}") + 1;
+            continue;
+          }
+        }
+        body = j;
+        break;
+      }
+      if (is_punct(tok, ";") || is_punct(tok, "=")) break;  // declaration
+      if (is_punct(tok, "(")) {
+        j = cskip(j, "(", ")") + 1;
+        continue;
+      }
+      if (is_punct(tok, ":")) {
+        in_init_list = true;
+        ++j;
+        continue;
+      }
+      if (is_punct(tok, "->")) {
+        in_trailing_return = true;
+        ++j;
+        continue;
+      }
+      if (is_punct(tok, "<")) {
+        j = cskip(j, "<", ">") + 1;
+        continue;
+      }
+      if (tok.kind == TokKind::kIdentifier &&
+          (trailer_keywords().count(tok.text) != 0 || in_init_list ||
+           in_trailing_return)) {
+        ++j;
+        continue;
+      }
+      if (is_punct(tok, ",") || is_punct(tok, "::") || is_punct(tok, "&") ||
+          is_punct(tok, "*")) {
+        ++j;
+        continue;
+      }
+      break;  // anything else: not a definition
+    }
+    if (body == 0) continue;
+
+    FunctionDef def;
+    def.name = name;
+    def.line = code[i]->line;
+    def.name_index = code_to_tok[i];
+    def.body_begin = code_to_tok[body];
+    const std::size_t body_close = cskip(body, "{", "}");
+    def.body_end = code_to_tok[body_close];
+
+    // Out-of-line `Class::name(` beats the (empty) scope class.
+    if (i >= 2 && cpunct(i - 1, "::") && cident(i - 2)) {
+      def.class_name = code[i - 2]->text;
+    } else {
+      def.class_name = class_at[i];
+    }
+
+    // First line of the declaration statement, for hot-contract attachment:
+    // walk back to the previous statement boundary.
+    def.decl_line = def.line;
+    for (std::size_t k = i; k-- > 0;) {
+      const Token& tok = *code[k];
+      if (is_punct(tok, ";") || is_punct(tok, "{") || is_punct(tok, "}")) {
+        break;
+      }
+      def.decl_line = std::min(def.decl_line, tok.line);
+    }
+
+    out.functions.push_back(std::move(def));
+    // Resume after the header so parameter names are not re-scanned as
+    // candidates; the body itself may contain nested definitions the walk
+    // still visits (i advances one token at a time from here).
+    i = close;
+  }
+
+  // ---- pass 3: hot-contract attachment -----------------------------------
+  std::set<int> comment_lines;
+  for (const Token& comment : lex.comments) {
+    for (int l = comment.line; l <= comment.end_line; ++l) {
+      comment_lines.insert(l);
+    }
+  }
+  for (const Token& comment : lex.comments) {
+    HotContract contract;
+    if (!parse_hot_directive(comment, &contract)) continue;
+    // The contract governs the first non-comment line below it (stacked doc
+    // comments in between are fine).
+    int target = comment.end_line + 1;
+    while (comment_lines.count(target) != 0) ++target;
+    bool attached = false;
+    for (FunctionDef& def : out.functions) {
+      if (def.decl_line == target || def.line == target) {
+        def.has_hot = true;
+        def.hot = contract;
+        attached = true;
+        break;
+      }
+    }
+    if (!attached) out.dangling_hot_lines.push_back(comment.line);
+  }
+
+  return out;
+}
+
+void SymbolIndex::add(const std::string& path, const FileSymbols& symbols) {
+  paths_.push_back(std::make_unique<std::string>(path));
+  const std::string* stored = paths_.back().get();
+  for (const auto& [cls, member] : symbols.mutex_members) {
+    mutex_owners_[member].insert(cls);
+  }
+  for (const FunctionDef& def : symbols.functions) {
+    by_name_[def.name].push_back(DefRef{&def, stored});
+  }
+}
+
+}  // namespace tsvpt::lint

@@ -1,0 +1,107 @@
+// tsvpt_lint symbol/scope resolver: the lightweight semantic layer the
+// flow-aware rules share.  It is deliberately not a parser — it is a
+// single-pass scope machine over the lexer's token stream that recovers
+// exactly the symbols the rules need to be trustworthy on this codebase:
+//
+//   * function definitions, with their unqualified name, enclosing (or
+//     out-of-line `Class::name`) class, and body token range — the unit the
+//     per-function statement walkers in flow.cpp operate on;
+//   * `std::mutex` members per class, so lock-order can key a guard on
+//     `mu_` inside a member function as `Class::mu_` and merge acquisition
+//     edges across translation units;
+//   * `// hot:` contract annotations attached to the definition directly
+//     below them, parsed into the set of banned categories.
+//
+// Constructs the walker cannot classify (operator overloads, lambdas) fall
+// back to plain block scopes, which keeps brace tracking sound; they simply
+// cannot carry hot contracts or be resolved as transitive callees.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace tsvpt::lint {
+
+/// Categories a `// hot:` contract can ban.  `// hot: reason` bans all
+/// four; `// hot(alloc,lock): reason` bans just the listed ones.
+struct HotContract {
+  bool ban_alloc = false;
+  bool ban_throw = false;
+  bool ban_lock = false;
+  bool ban_io = false;
+  int line = 0;  // line of the contract comment (for diagnostics)
+  std::string error;  // non-empty when the directive itself is malformed
+
+  [[nodiscard]] bool any() const {
+    return ban_alloc || ban_throw || ban_lock || ban_io;
+  }
+};
+
+/// One function definition discovered by the scope walker.
+struct FunctionDef {
+  std::string name;        // unqualified (the token before the '(')
+  std::string class_name;  // enclosing or out-of-line class; "" when free
+  int line = 0;            // line of the name token
+  std::size_t name_index = 0;  // token index of the name
+  std::size_t body_begin = 0;  // token index of the opening '{'
+  std::size_t body_end = 0;    // token index of the matching '}'
+  int decl_line = 0;           // first line of the declaration statement
+  bool has_hot = false;
+  HotContract hot;
+
+  [[nodiscard]] std::string qualified() const {
+    return class_name.empty() ? name : class_name + "::" + name;
+  }
+};
+
+/// Everything the resolver extracted from one translation unit.
+struct FileSymbols {
+  std::vector<FunctionDef> functions;
+  /// (declaring class, member name) for every `std::mutex` member.
+  std::vector<std::pair<std::string, std::string>> mutex_members;
+  /// `// hot:` comments that did not attach to any function definition
+  /// (line numbers) — a dangling contract is a diagnosable mistake.
+  std::vector<int> dangling_hot_lines;
+};
+
+/// Run the scope walker over one file's tokens.
+[[nodiscard]] FileSymbols scan_symbols(const LexResult& lex);
+
+/// Cross-TU symbol index built from every scanned file.
+class SymbolIndex {
+ public:
+  /// `symbols` must outlive the index (the Analyzer keeps each file's
+  /// FileSymbols alive for the whole run).
+  void add(const std::string& path, const FileSymbols& symbols);
+
+  /// mutex member name -> set of classes declaring a member of that name.
+  [[nodiscard]] const std::map<std::string, std::set<std::string>>&
+  mutex_owners() const {
+    return mutex_owners_;
+  }
+
+  struct DefRef {
+    const FunctionDef* def = nullptr;
+    const std::string* file = nullptr;
+  };
+
+  /// All definitions sharing an unqualified name, across every file.
+  [[nodiscard]] const std::vector<DefRef>* definitions_of(
+      const std::string& name) const {
+    const auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::string, std::set<std::string>> mutex_owners_;
+  std::map<std::string, std::vector<DefRef>> by_name_;
+  // Stable storage for the file paths DefRef points into.
+  std::vector<std::unique_ptr<std::string>> paths_;
+};
+
+}  // namespace tsvpt::lint
